@@ -1,0 +1,284 @@
+//! The virtual Arm-like instruction set micro-kernels are generated in.
+//!
+//! This mirrors the instruction vocabulary of the paper's Listing 1: NEON/SVE
+//! vector loads (`ldr q`), stores (`str q`), fused multiply-add by lane
+//! (`fmla v.4s, v.4s, v.s[i]`), software prefetch (`prfm`), and the scalar
+//! address arithmetic (`mov`, `add`, `lsl`, `subs`) that walks row pointers.
+//!
+//! Control flow (the `kc` loop, `subs`/`bne`) is expressed structurally in
+//! [`crate::program::Block::Loop`] rather than with labels, which keeps both
+//! the functional interpreter and the pipeline simulator simple without
+//! changing the instruction stream the hardware would see.
+
+use serde::{Deserialize, Serialize};
+
+/// A vector register `v0..v31` (NEON `q0..q31` / SVE `z0..z31`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VReg(pub u8);
+
+impl VReg {
+    /// Panics if `idx` is outside the 32-register file.
+    pub fn new(idx: usize) -> Self {
+        assert!(idx < 32, "vector register index {idx} out of range");
+        VReg(idx as u8)
+    }
+}
+
+impl std::fmt::Display for VReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A scalar (general-purpose) register `x0..x30`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct XReg(pub u8);
+
+impl XReg {
+    /// Panics if `idx` is outside the 31-register file.
+    pub fn new(idx: usize) -> Self {
+        assert!(idx < 31, "scalar register index {idx} out of range");
+        XReg(idx as u8)
+    }
+}
+
+impl std::fmt::Display for XReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Prefetch target cache level, as in `prfm PLDL1KEEP` / `PLDL2KEEP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrefetchLevel {
+    L1,
+    L2,
+}
+
+/// Timing class of an instruction. The pipeline simulator and the analytic
+/// performance model both dispatch on this; it corresponds to the
+/// `L_[fma/load/store]` / `IPC_[fma/load/store]` rows of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstrClass {
+    Load,
+    Store,
+    Fma,
+    Prefetch,
+    /// Scalar ALU work: address arithmetic, loop-counter updates.
+    Scalar,
+}
+
+/// One instruction of the virtual ISA.
+///
+/// Addressing follows the generated kernels' conventions: a base scalar
+/// register holding a *byte* address, an immediate byte offset, and an
+/// optional post-increment (in bytes) applied to the base register after the
+/// access — exactly the `[%x[..]], #16` post-indexed forms of Listing 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// `ldr qD, [xB, #off]` (+ optional post-increment of `xB`).
+    Ldr {
+        dst: VReg,
+        base: XReg,
+        offset: i64,
+        post_inc: i64,
+    },
+    /// `str qS, [xB, #off]` (+ optional post-increment of `xB`).
+    Str {
+        src: VReg,
+        base: XReg,
+        offset: i64,
+        post_inc: i64,
+    },
+    /// `fmla vA.4s, vM.4s, vL.s[lane]` — `acc += mul * lane_src[lane]`
+    /// elementwise over all σ_lane lanes.
+    Fmla {
+        acc: VReg,
+        mul: VReg,
+        lane_src: VReg,
+        lane: u8,
+    },
+    /// Zero a vector register (`movi vD.4s, #0`); used when the kernel
+    /// computes `C = A·B` rather than `C += A·B`.
+    Vzero { dst: VReg },
+    /// `prfm PLDL{1,2}KEEP, [xB, #off]`.
+    Prfm {
+        base: XReg,
+        offset: i64,
+        level: PrefetchLevel,
+    },
+    /// `mov xD, #imm`.
+    MovImm { dst: XReg, imm: i64 },
+    /// `mov xD, xS`.
+    MovReg { dst: XReg, src: XReg },
+    /// `add xD, xA, xB`.
+    AddReg { dst: XReg, a: XReg, b: XReg },
+    /// `add xD, xA, #imm`.
+    AddImm { dst: XReg, a: XReg, imm: i64 },
+    /// `lsl xD, xS, #shift` — the `lda *= 4` byte-scaling of Listing 1.
+    Lsl { dst: XReg, src: XReg, shift: u8 },
+}
+
+impl Instr {
+    /// The timing class the simulator schedules this instruction under.
+    pub fn class(&self) -> InstrClass {
+        match self {
+            Instr::Ldr { .. } => InstrClass::Load,
+            Instr::Str { .. } => InstrClass::Store,
+            Instr::Fmla { .. } => InstrClass::Fma,
+            Instr::Vzero { .. } => InstrClass::Fma,
+            Instr::Prfm { .. } => InstrClass::Prefetch,
+            Instr::MovImm { .. }
+            | Instr::MovReg { .. }
+            | Instr::AddReg { .. }
+            | Instr::AddImm { .. }
+            | Instr::Lsl { .. } => InstrClass::Scalar,
+        }
+    }
+
+    /// Vector registers read by this instruction.
+    pub fn vreg_reads(&self) -> Vec<VReg> {
+        match self {
+            Instr::Fmla { acc, mul, lane_src, .. } => vec![*acc, *mul, *lane_src],
+            Instr::Str { src, .. } => vec![*src],
+            _ => vec![],
+        }
+    }
+
+    /// Vector register written by this instruction, if any.
+    pub fn vreg_write(&self) -> Option<VReg> {
+        match self {
+            Instr::Ldr { dst, .. } => Some(*dst),
+            Instr::Fmla { acc, .. } => Some(*acc),
+            Instr::Vzero { dst } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// Scalar registers read by this instruction (including bases that are
+    /// post-incremented, which are read-modify-write).
+    pub fn xreg_reads(&self) -> Vec<XReg> {
+        match self {
+            Instr::Ldr { base, .. } | Instr::Str { base, .. } | Instr::Prfm { base, .. } => {
+                vec![*base]
+            }
+            Instr::MovReg { src, .. } => vec![*src],
+            Instr::AddReg { a, b, .. } => vec![*a, *b],
+            Instr::AddImm { a, .. } => vec![*a],
+            Instr::Lsl { src, .. } => vec![*src],
+            _ => vec![],
+        }
+    }
+
+    /// Scalar register written by this instruction, if any.
+    pub fn xreg_write(&self) -> Option<XReg> {
+        match self {
+            Instr::Ldr { base, post_inc, .. } | Instr::Str { base, post_inc, .. } => {
+                (*post_inc != 0).then_some(*base)
+            }
+            Instr::MovImm { dst, .. }
+            | Instr::MovReg { dst, .. }
+            | Instr::AddReg { dst, .. }
+            | Instr::AddImm { dst, .. }
+            | Instr::Lsl { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// Render as AArch64-flavoured assembly text (NEON spelling).
+    pub fn render(&self) -> String {
+        match self {
+            Instr::Ldr { dst, base, offset, post_inc } => {
+                if *post_inc != 0 {
+                    format!("ldr q{}, [{}], #{}", dst.0, base, post_inc)
+                } else if *offset != 0 {
+                    format!("ldr q{}, [{}, #{}]", dst.0, base, offset)
+                } else {
+                    format!("ldr q{}, [{}]", dst.0, base)
+                }
+            }
+            Instr::Str { src, base, offset, post_inc } => {
+                if *post_inc != 0 {
+                    format!("str q{}, [{}], #{}", src.0, base, post_inc)
+                } else if *offset != 0 {
+                    format!("str q{}, [{}, #{}]", src.0, base, offset)
+                } else {
+                    format!("str q{}, [{}]", src.0, base)
+                }
+            }
+            Instr::Fmla { acc, mul, lane_src, lane } => {
+                format!("fmla {}.4s, {}.4s, {}.s[{}]", acc, mul, lane_src, lane)
+            }
+            Instr::Vzero { dst } => format!("movi {}.4s, #0", dst),
+            Instr::Prfm { base, offset, level } => {
+                let lvl = match level {
+                    PrefetchLevel::L1 => "PLDL1KEEP",
+                    PrefetchLevel::L2 => "PLDL2KEEP",
+                };
+                format!("prfm {lvl}, [{base}, #{offset}]")
+            }
+            Instr::MovImm { dst, imm } => format!("mov {dst}, #{imm}"),
+            Instr::MovReg { dst, src } => format!("mov {dst}, {src}"),
+            Instr::AddReg { dst, a, b } => format!("add {dst}, {a}, {b}"),
+            Instr::AddImm { dst, a, imm } => format!("add {dst}, {a}, #{imm}"),
+            Instr::Lsl { dst, src, shift } => format!("lsl {dst}, {src}, #{shift}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmla_reads_all_three_vregs_and_writes_acc() {
+        let i = Instr::Fmla {
+            acc: VReg(0),
+            mul: VReg(1),
+            lane_src: VReg(2),
+            lane: 3,
+        };
+        assert_eq!(i.class(), InstrClass::Fma);
+        assert_eq!(i.vreg_reads(), vec![VReg(0), VReg(1), VReg(2)]);
+        assert_eq!(i.vreg_write(), Some(VReg(0)));
+    }
+
+    #[test]
+    fn post_incremented_load_writes_its_base() {
+        let i = Instr::Ldr { dst: VReg(5), base: XReg(6), offset: 0, post_inc: 16 };
+        assert_eq!(i.xreg_write(), Some(XReg(6)));
+        assert_eq!(i.xreg_reads(), vec![XReg(6)]);
+        let plain = Instr::Ldr { dst: VReg(5), base: XReg(6), offset: 32, post_inc: 0 };
+        assert_eq!(plain.xreg_write(), None);
+    }
+
+    #[test]
+    fn render_matches_aarch64_spelling() {
+        let i = Instr::Fmla { acc: VReg(7), mul: VReg(21), lane_src: VReg(20), lane: 2 };
+        assert_eq!(i.render(), "fmla v7.4s, v21.4s, v20.s[2]");
+        let l = Instr::Ldr { dst: VReg(20), base: XReg(6), offset: 0, post_inc: 16 };
+        assert_eq!(l.render(), "ldr q20, [x6], #16");
+        let p = Instr::Prfm { base: XReg(0), offset: 64, level: PrefetchLevel::L1 };
+        assert_eq!(p.render(), "prfm PLDL1KEEP, [x0, #64]");
+    }
+
+    #[test]
+    fn scalar_ops_are_scalar_class() {
+        assert_eq!(Instr::Lsl { dst: XReg(3), src: XReg(3), shift: 2 }.class(), InstrClass::Scalar);
+        assert_eq!(Instr::MovImm { dst: XReg(29), imm: 8 }.class(), InstrClass::Scalar);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vreg_bounds_checked() {
+        let _ = VReg::new(32);
+    }
+
+    #[test]
+    fn store_reads_source_vreg() {
+        let s = Instr::Str { src: VReg(3), base: XReg(11), offset: 0, post_inc: 16 };
+        assert_eq!(s.vreg_reads(), vec![VReg(3)]);
+        assert_eq!(s.vreg_write(), None);
+        assert_eq!(s.class(), InstrClass::Store);
+    }
+}

@@ -1,0 +1,202 @@
+//! Structured micro-kernel programs: straight-line blocks and counted loops.
+//!
+//! The generated micro-kernels of Listing 1 have exactly one loop (the `kc`
+//! main loop, `subs x29 / bne 1b`). We represent that loop structurally so
+//! the simulator can either unroll it or account for it analytically; the
+//! rendered assembly still prints the label/branch form.
+
+use crate::isa::{Instr, InstrClass};
+use serde::{Deserialize, Serialize};
+
+/// A block of a micro-kernel program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Block {
+    /// Straight-line code.
+    Straight(Vec<Instr>),
+    /// A counted loop executed `count` times. Loop-control overhead
+    /// (`subs`/`bne`) is modelled as `ctrl_overhead` scalar instructions per
+    /// iteration by the simulator.
+    Loop { count: usize, body: Vec<Instr> },
+}
+
+impl Block {
+    /// Number of dynamic instructions this block executes (loop-control not
+    /// included).
+    pub fn dynamic_len(&self) -> usize {
+        match self {
+            Block::Straight(v) => v.len(),
+            Block::Loop { count, body } => count * body.len(),
+        }
+    }
+}
+
+/// A complete micro-kernel program plus metadata describing its shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Human-readable name, e.g. `micro_kernel_5x16_kc64`.
+    pub name: String,
+    pub blocks: Vec<Block>,
+}
+
+impl Program {
+    pub fn new(name: impl Into<String>) -> Self {
+        Program { name: name.into(), blocks: Vec::new() }
+    }
+
+    /// Append a straight-line block (empty blocks are dropped).
+    pub fn push_straight(&mut self, instrs: Vec<Instr>) {
+        if !instrs.is_empty() {
+            self.blocks.push(Block::Straight(instrs));
+        }
+    }
+
+    /// Append a counted loop (zero-trip or empty loops are dropped).
+    pub fn push_loop(&mut self, count: usize, body: Vec<Instr>) {
+        if count > 0 && !body.is_empty() {
+            self.blocks.push(Block::Loop { count, body });
+        }
+    }
+
+    /// Total dynamic instruction count.
+    pub fn dynamic_len(&self) -> usize {
+        self.blocks.iter().map(Block::dynamic_len).sum()
+    }
+
+    /// Dynamic instruction count for one timing class.
+    pub fn count_class(&self, class: InstrClass) -> usize {
+        let count_in = |v: &[Instr]| v.iter().filter(|i| i.class() == class).count();
+        self.blocks
+            .iter()
+            .map(|b| match b {
+                Block::Straight(v) => count_in(v),
+                Block::Loop { count, body } => count * count_in(body),
+            })
+            .sum()
+    }
+
+    /// Iterate over the fully unrolled dynamic instruction stream.
+    pub fn unrolled(&self) -> impl Iterator<Item = &Instr> {
+        self.blocks.iter().flat_map(|b| match b {
+            Block::Straight(v) => UnrollIter::Straight(v.iter()),
+            Block::Loop { count, body } => UnrollIter::Loop { body, rep: *count, inner: body.iter() },
+        })
+    }
+
+    /// Render the whole program as AArch64-flavoured assembly text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("// {}\n", self.name));
+        let mut label = 0;
+        for block in &self.blocks {
+            match block {
+                Block::Straight(v) => {
+                    for i in v {
+                        out.push_str("    ");
+                        out.push_str(&i.render());
+                        out.push('\n');
+                    }
+                }
+                Block::Loop { count, body } => {
+                    label += 1;
+                    out.push_str(&format!("    mov x29, #{count}\n{label}:\n"));
+                    for i in body {
+                        out.push_str("    ");
+                        out.push_str(&i.render());
+                        out.push('\n');
+                    }
+                    out.push_str(&format!("    subs x29, x29, #1\n    bne {label}b\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+enum UnrollIter<'a> {
+    Straight(std::slice::Iter<'a, Instr>),
+    Loop {
+        body: &'a [Instr],
+        rep: usize,
+        inner: std::slice::Iter<'a, Instr>,
+    },
+}
+
+impl<'a> Iterator for UnrollIter<'a> {
+    type Item = &'a Instr;
+    fn next(&mut self) -> Option<&'a Instr> {
+        match self {
+            UnrollIter::Straight(it) => it.next(),
+            UnrollIter::Loop { body, rep, inner } => loop {
+                if let Some(i) = inner.next() {
+                    return Some(i);
+                }
+                if *rep <= 1 {
+                    return None;
+                }
+                *rep -= 1;
+                *inner = body.iter();
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{VReg, XReg};
+
+    fn fmla(n: u8) -> Instr {
+        Instr::Fmla { acc: VReg(n), mul: VReg(20), lane_src: VReg(21), lane: 0 }
+    }
+
+    #[test]
+    fn dynamic_len_multiplies_loop_count() {
+        let mut p = Program::new("t");
+        p.push_straight(vec![fmla(0), fmla(1)]);
+        p.push_loop(10, vec![fmla(2), fmla(3), fmla(4)]);
+        assert_eq!(p.dynamic_len(), 2 + 30);
+    }
+
+    #[test]
+    fn unrolled_iterates_loop_body_count_times() {
+        let mut p = Program::new("t");
+        p.push_loop(3, vec![fmla(0), fmla(1)]);
+        let seq: Vec<_> = p.unrolled().collect();
+        assert_eq!(seq.len(), 6);
+        assert_eq!(*seq[0], fmla(0));
+        assert_eq!(*seq[5], fmla(1));
+    }
+
+    #[test]
+    fn empty_and_zero_trip_blocks_are_dropped() {
+        let mut p = Program::new("t");
+        p.push_straight(vec![]);
+        p.push_loop(0, vec![fmla(0)]);
+        p.push_loop(4, vec![]);
+        assert!(p.blocks.is_empty());
+        assert_eq!(p.dynamic_len(), 0);
+    }
+
+    #[test]
+    fn count_class_distinguishes_classes() {
+        let mut p = Program::new("t");
+        p.push_straight(vec![
+            Instr::Ldr { dst: VReg(0), base: XReg(0), offset: 0, post_inc: 16 },
+            fmla(1),
+        ]);
+        p.push_loop(5, vec![fmla(2)]);
+        assert_eq!(p.count_class(InstrClass::Fma), 6);
+        assert_eq!(p.count_class(InstrClass::Load), 1);
+        assert_eq!(p.count_class(InstrClass::Store), 0);
+    }
+
+    #[test]
+    fn render_contains_loop_scaffolding() {
+        let mut p = Program::new("k");
+        p.push_loop(7, vec![fmla(0)]);
+        let asm = p.render();
+        assert!(asm.contains("mov x29, #7"));
+        assert!(asm.contains("bne 1b"));
+        assert!(asm.contains("fmla v0.4s"));
+    }
+}

@@ -1,0 +1,99 @@
+//! SIMD instruction-set widths and the derived `σ_lane` parameter.
+//!
+//! The paper (§III-A) parameterizes its micro-kernels by `σ_lane`, the
+//! number of single-precision lanes per vector register: 4 for Armv8 NEON
+//! and 16 for 512-bit SVE machines such as the A64FX.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of `f32` lanes any supported SIMD ISA provides.
+///
+/// Functional simulation stores vector registers as `[f32; MAX_LANES]`;
+/// NEON programs only touch the first four lanes.
+pub const MAX_LANES: usize = 16;
+
+/// A SIMD instruction set available on some Arm chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimdIsa {
+    /// Armv8 Advanced SIMD: 128-bit vectors, 4 × f32 lanes.
+    Neon,
+    /// Scalable Vector Extension at the A64FX's 512-bit implementation:
+    /// 16 × f32 lanes.
+    Sve512,
+}
+
+impl SimdIsa {
+    /// Vector width in bits.
+    pub fn bits(self) -> usize {
+        match self {
+            SimdIsa::Neon => 128,
+            SimdIsa::Sve512 => 512,
+        }
+    }
+
+    /// `σ_lane`: single-precision lanes per vector register.
+    pub fn lanes(self) -> usize {
+        self.bits() / 32
+    }
+
+    /// Bytes moved by one vector load or store.
+    pub fn vector_bytes(self) -> usize {
+        self.bits() / 8
+    }
+
+    /// Number of architectural vector registers. Both NEON and SVE expose
+    /// 32, which the paper uses as the register-tiling budget (§III-A1).
+    pub fn vector_registers(self) -> usize {
+        32
+    }
+
+    /// Human-readable name as the paper's Table IV prints it.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            SimdIsa::Neon => "NEON(128)",
+            SimdIsa::Sve512 => "SVE(512)",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdIsa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neon_has_four_f32_lanes() {
+        assert_eq!(SimdIsa::Neon.lanes(), 4);
+        assert_eq!(SimdIsa::Neon.vector_bytes(), 16);
+    }
+
+    #[test]
+    fn sve512_has_sixteen_f32_lanes() {
+        assert_eq!(SimdIsa::Sve512.lanes(), 16);
+        assert_eq!(SimdIsa::Sve512.vector_bytes(), 64);
+    }
+
+    #[test]
+    fn lanes_never_exceed_max() {
+        for isa in [SimdIsa::Neon, SimdIsa::Sve512] {
+            assert!(isa.lanes() <= MAX_LANES);
+        }
+    }
+
+    #[test]
+    fn both_isas_expose_32_registers() {
+        assert_eq!(SimdIsa::Neon.vector_registers(), 32);
+        assert_eq!(SimdIsa::Sve512.vector_registers(), 32);
+    }
+
+    #[test]
+    fn display_matches_table_iv() {
+        assert_eq!(SimdIsa::Neon.to_string(), "NEON(128)");
+        assert_eq!(SimdIsa::Sve512.to_string(), "SVE(512)");
+    }
+}

@@ -1,0 +1,203 @@
+//! Execution drivers for the baselines: native correctness path and
+//! simulated performance path, both running the profile's plan.
+
+use crate::profiles::Baseline;
+use autogemm::native::{run_placement, CTile};
+use autogemm::packing::pack_block;
+use autogemm::simexec;
+use autogemm_arch::ChipSpec;
+use autogemm_sim::makespan;
+
+/// Simulated performance of a baseline on a problem.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineReport {
+    pub seconds: f64,
+    pub gflops: f64,
+    pub efficiency: f64,
+    pub threads: usize,
+}
+
+/// Simulate a baseline library run. Returns `None` when the library does
+/// not support the problem on this chip (rendered as missing points /
+/// "N/A" in the figures, exactly like the paper).
+pub fn simulate_baseline(
+    baseline: Baseline,
+    m: usize,
+    n: usize,
+    k: usize,
+    chip: &ChipSpec,
+    threads: usize,
+) -> Option<BaselineReport> {
+    if !baseline.supports(chip, m, n, k) {
+        return None;
+    }
+    let profile = baseline.profile(m, n, k, chip);
+    let plan = &profile.plan;
+    let block = simexec::simulate_block(plan, chip, true);
+    let (tm, tn, tk) = plan.grid();
+    let tiles_total = (tm * tn * tk) as u64 * block.tiles;
+    let overhead =
+        profile.call_overhead_cycles + tiles_total * profile.per_tile_overhead_cycles;
+    let flops = plan.flops();
+
+    let (seconds, threads_used) = if threads > 1 {
+        // Libraries thread inside their own GEMM drivers (fork-join over
+        // the whole problem), not over our cache-block grid.
+        let works = simexec::thread_works_even(plan, chip, block, threads);
+        let used = works.len();
+        let mut r = makespan(chip, &works);
+        r.seconds += overhead as f64 / (chip.freq_ghz * 1e9);
+        (r.seconds, used)
+    } else {
+        let cycles = simexec::single_core_cycles(plan, chip, block) + overhead as f64;
+        (cycles / (chip.freq_ghz * 1e9), 1)
+    };
+
+    let gflops = flops as f64 / seconds / 1e9;
+    let peak = chip.peak_gflops_core() * threads_used as f64;
+    Some(BaselineReport { seconds, gflops, efficiency: gflops / peak, threads: threads_used })
+}
+
+/// Native (host) execution of a baseline's plan: `C += A·B`, row-major.
+/// Used by the correctness tests — every baseline must agree with the
+/// naive reference to < 1e-6 relative error (§V).
+pub fn gemm_baseline(
+    baseline: Baseline,
+    m: usize,
+    n: usize,
+    k: usize,
+    chip: &ChipSpec,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    assert!(baseline.supports(chip, m, n, k), "{} unsupported", baseline.name());
+    let profile = baseline.profile(m, n, k, chip);
+    let plan = &profile.plan;
+    let s = &plan.schedule;
+    let (tm, tn, tk) = plan.grid();
+    // Generous pads: padded plans (OpenBLAS) read up to a full tile beyond
+    // the block; edge-rounded kernels read up to 31 elements beyond a row.
+    let pad_rows_a = 8;
+    let pad_cols_b = 32;
+
+    // SAFETY: single-threaded; blocks are disjoint.
+    let c_root = unsafe { CTile::new(c.as_mut_ptr(), n, c.len()) };
+    for bi in 0..tm {
+        for bj in 0..tn {
+            let row0 = bi * s.mc;
+            let col0 = bj * s.nc;
+            let c_block = unsafe { c_root.offset(row0, col0) };
+            for kb in 0..tk {
+                let krow = kb * s.kc;
+                let pa = pack_block(
+                    a,
+                    k,
+                    row0,
+                    krow,
+                    s.mc,
+                    s.kc,
+                    2 * plan.sigma_lane,
+                    pad_rows_a,
+                );
+                let pb = pack_block(b, n, krow, col0, s.kc, s.nc, pad_cols_b, 2);
+                // Baselines accumulate into C on every slice (C += A·B).
+                for placement in &plan.block_plan.placements {
+                    run_placement(
+                        placement,
+                        s.kc,
+                        &pa.data,
+                        pa.ld,
+                        &pb.data,
+                        pb.ld,
+                        c_block,
+                        true,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::{max_rel_error, naive_gemm};
+
+    fn data(m: usize, n: usize, k: usize) -> (Vec<f32>, Vec<f32>) {
+        let a = (0..m * k).map(|i| ((i * 11 + 3) % 17) as f32 - 8.0).collect();
+        let b = (0..k * n).map(|i| ((i * 5 + 7) % 13) as f32 - 6.0).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn every_baseline_matches_naive() {
+        let chip = ChipSpec::kp920();
+        for baseline in crate::all_baselines() {
+            for (m, n, k) in [(26, 36, 64), (64, 64, 64), (13, 24, 16)] {
+                if !baseline.supports(&chip, m, n, k) {
+                    continue;
+                }
+                let (a, b) = data(m, n, k);
+                let mut c = vec![0.0f32; m * n];
+                gemm_baseline(baseline, m, n, k, &chip, &a, &b, &mut c);
+                let mut want = vec![0.0f32; m * n];
+                naive_gemm(m, n, k, &a, &b, &mut want);
+                let err = max_rel_error(&c, &want);
+                assert!(err < 1e-5, "{} {m}x{n}x{k}: rel err {err}", baseline.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sve_baseline_matches_naive() {
+        let chip = ChipSpec::a64fx();
+        let (m, n, k) = (24, 32, 20);
+        let (a, b) = data(m, n, k);
+        let mut c = vec![0.0f32; m * n];
+        gemm_baseline(Baseline::Ssl2, m, n, k, &chip, &a, &b, &mut c);
+        let mut want = vec![0.0f32; m * n];
+        naive_gemm(m, n, k, &a, &b, &mut want);
+        assert!(max_rel_error(&c, &want) < 1e-5);
+    }
+
+    #[test]
+    fn unsupported_problems_return_none() {
+        let chip = ChipSpec::m2();
+        assert!(simulate_baseline(Baseline::LibShalom, 64, 64, 64, &chip, 1).is_none());
+        assert!(simulate_baseline(Baseline::Ssl2, 64, 64, 64, &chip, 1).is_none());
+    }
+
+    #[test]
+    fn baselines_are_slower_than_autogemm_at_64cubed() {
+        // Table I: autoGEMM leads every library at M=N=K=64.
+        let chip = ChipSpec::kp920();
+        let auto_eff = autogemm::AutoGemm::new(chip.clone()).simulate(64, 64, 64, 1).efficiency;
+        for baseline in crate::all_baselines() {
+            let Some(r) = simulate_baseline(baseline, 64, 64, 64, &chip, 1) else { continue };
+            assert!(
+                r.efficiency < auto_eff,
+                "{}: {:.3} !< autoGEMM {:.3}",
+                baseline.name(),
+                r.efficiency,
+                auto_eff
+            );
+        }
+    }
+
+    #[test]
+    fn library_ordering_matches_table_i_small() {
+        // Table I, M=N=K=64: OpenBLAS < Eigen < LIBXSMM < TVM < LibShalom.
+        let chip = ChipSpec::kp920();
+        let eff = |b: Baseline| simulate_baseline(b, 64, 64, 64, &chip, 1).unwrap().efficiency;
+        let ob = eff(Baseline::OpenBlas);
+        let eigen = eff(Baseline::Eigen);
+        let xsmm = eff(Baseline::Libxsmm);
+        let tvm = eff(Baseline::Tvm);
+        let shalom = eff(Baseline::LibShalom);
+        assert!(ob < eigen, "OpenBLAS {ob:.3} !< Eigen {eigen:.3}");
+        assert!(eigen < xsmm, "Eigen {eigen:.3} !< LIBXSMM {xsmm:.3}");
+        assert!(xsmm < tvm, "LIBXSMM {xsmm:.3} !< TVM {tvm:.3}");
+        assert!(tvm < shalom, "TVM {tvm:.3} !< LibShalom {shalom:.3}");
+    }
+}

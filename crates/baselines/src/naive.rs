@@ -1,0 +1,60 @@
+//! The reference triple-loop GEMM every implementation is verified
+//! against (the paper verifies all libraries to relative error < 1e-6,
+//! §V).
+
+/// `C += A·B`, row-major, no blocking.
+pub fn naive_gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aip * bv;
+            }
+        }
+    }
+}
+
+/// Maximum relative error between two buffers (the paper's < 1e-6
+/// verification criterion).
+pub fn max_rel_error(got: &[f32], want: &[f32]) -> f32 {
+    got.iter()
+        .zip(want)
+        .map(|(&g, &w)| (g - w).abs() / w.abs().max(1.0))
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_matrix_is_matrix() {
+        let n = 4;
+        let mut a = vec![0.0f32; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        let b: Vec<f32> = (0..n * n).map(|i| i as f32).collect();
+        let mut c = vec![0.0f32; n * n];
+        naive_gemm(n, n, n, &a, &b, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let mut c = vec![1.0f32; 1];
+        naive_gemm(1, 1, 1, &[2.0], &[3.0], &mut c);
+        assert_eq!(c[0], 7.0);
+    }
+
+    #[test]
+    fn rel_error_metric() {
+        assert_eq!(max_rel_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!(max_rel_error(&[1.1], &[1.0]) > 0.09);
+    }
+}

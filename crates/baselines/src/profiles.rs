@@ -1,0 +1,314 @@
+//! Baseline library profiles: how each comparison library tiles, blocks,
+//! pipelines and packs.
+
+use autogemm::ExecutionPlan;
+use autogemm_arch::ChipSpec;
+use autogemm_kernelgen::MicroTile;
+use autogemm_perfmodel::ModelOpts;
+use autogemm_sim::Warmth;
+use autogemm_tiling::{plan_libxsmm, plan_openblas, TilePlan};
+use autogemm_tuner::space::{divisors, LoopOrder};
+use autogemm_tuner::{Packing, Schedule};
+
+/// The comparison libraries of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Baseline {
+    /// Hand-tuned classic BLAS: fixed 5×16 tile with padded edges, fixed
+    /// large-matrix blocking heuristics, always-on packing, and heavy
+    /// per-call interface overhead (threading machinery, buffer setup).
+    OpenBlas,
+    /// Expression-template library: generic edge handling with a modest
+    /// 4×8 kernel, fixed blocking, moderate call overhead, no software
+    /// pipelining.
+    Eigen,
+    /// Hand-optimized small/irregular GEMM (the strongest prior art):
+    /// rotation, L1 prefetch (modelled as L1-resident operands), offline
+    /// packing, tuned blocking — but static edge tiling and no
+    /// epilogue/prologue fusion. Computes only `N ≡ K ≡ 0 (mod 8)` and
+    /// does not support the M2 or the A64FX.
+    LibShalom,
+    /// Code-generated convolution-oriented GEMM: 4×20 main tile with edge
+    /// strips, auto-tuned blocking, online packing, no rotation/fusion.
+    FastConv,
+    /// JIT small-matrix specialist: whole problem as one block, edge-strip
+    /// tiling, clean generated kernels but no rotation/fusion; small
+    /// matrices only.
+    Libxsmm,
+    /// TVM AOT codegen + auto-tuning: tuned blocking and edge tiling, but
+    /// generated (not hand-scheduled) kernels: no rotation, no fusion, no
+    /// software prefetch, and per-kernel dispatch overhead.
+    Tvm,
+    /// Fujitsu SSL2 on the A64FX: solid vendor blocked GEMM for SVE.
+    Ssl2,
+}
+
+/// A resolved execution profile: everything the executor needs.
+pub struct BaselineProfile {
+    pub plan: ExecutionPlan,
+    /// Fixed per-GEMM-call overhead in cycles (interface, threading
+    /// machinery, JIT cache lookup...).
+    pub call_overhead_cycles: u64,
+    /// Extra per-micro-kernel dispatch overhead in cycles.
+    pub per_tile_overhead_cycles: u64,
+}
+
+/// Largest divisor of `dim` that is `<= cap` (and a multiple of `align`
+/// when possible).
+fn capped_divisor(dim: usize, cap: usize, align: usize) -> usize {
+    let divs = divisors(dim);
+    divs.iter()
+        .rev()
+        .find(|&&d| d <= cap && d % align == 0)
+        .or_else(|| divs.iter().rev().find(|&&d| d <= cap))
+        .copied()
+        .unwrap_or(dim)
+}
+
+impl Baseline {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Baseline::OpenBlas => "OpenBLAS",
+            Baseline::Eigen => "Eigen",
+            Baseline::LibShalom => "LibShalom",
+            Baseline::FastConv => "FastConv",
+            Baseline::Libxsmm => "LIBXSMM",
+            Baseline::Tvm => "TVM",
+            Baseline::Ssl2 => "SSL2",
+        }
+    }
+
+    /// Whether the library supports the problem on this chip (Fig 8
+    /// caption; Table I footnotes).
+    pub fn supports(&self, chip: &ChipSpec, m: usize, n: usize, k: usize) -> bool {
+        let _ = m;
+        match self {
+            Baseline::LibShalom => {
+                n % 8 == 0 && k % 8 == 0 && chip.id != "m2" && chip.id != "a64fx"
+            }
+            Baseline::Ssl2 => chip.id == "a64fx",
+            Baseline::Libxsmm => m.max(n).max(k) <= 128,
+            _ => true,
+        }
+    }
+
+    /// The main register tile the library's kernels use on a NEON chip
+    /// (scaled to the first feasible lane multiple on SVE).
+    fn main_tile(&self, chip: &ChipSpec) -> MicroTile {
+        let sigma = chip.sigma_lane();
+        let scale = |mr: usize, nrv: usize| MicroTile::new(mr, nrv * sigma);
+        match self {
+            Baseline::OpenBlas => scale(5, 4),
+            Baseline::Eigen => scale(4, 2),
+            Baseline::LibShalom => scale(5, 4),
+            Baseline::FastConv => scale(4, 5).feasible(sigma).then(|| scale(4, 5)).unwrap_or(scale(4, 2)),
+            Baseline::Libxsmm => scale(5, 4),
+            Baseline::Tvm => scale(5, 4),
+            Baseline::Ssl2 => scale(6, 1),
+        }
+    }
+
+    fn blocking(&self, m: usize, n: usize, k: usize, chip: &ChipSpec) -> (usize, usize, usize) {
+        let sigma = chip.sigma_lane();
+        match self {
+            // Classic large-matrix heuristics, oblivious to small shapes.
+            Baseline::OpenBlas => (
+                capped_divisor(m, 192, 1),
+                capped_divisor(n, 4096, sigma),
+                capped_divisor(k, 384, 1),
+            ),
+            Baseline::Eigen => (
+                capped_divisor(m, 96, 1),
+                capped_divisor(n, 256, sigma),
+                capped_divisor(k, 256, 1),
+            ),
+            // Small-matrix JIT: one block.
+            Baseline::Libxsmm => (m, n, k),
+            Baseline::Ssl2 => (
+                capped_divisor(m, 128, 1),
+                capped_divisor(n, 512, sigma),
+                capped_divisor(k, 512, 1),
+            ),
+            // Tuned blocking (LibShalom's analytic model / TVM's search /
+            // FastConv's tuner land near our tuner's choices).
+            Baseline::LibShalom | Baseline::Tvm | Baseline::FastConv => {
+                let s = autogemm_tuner::tune(m, n, k, chip);
+                (s.mc, s.nc, s.kc)
+            }
+        }
+    }
+
+    fn tile_plan(&self, mc: usize, nc: usize, kc: usize, chip: &ChipSpec) -> TilePlan {
+        let sigma = chip.sigma_lane();
+        let tile = self.main_tile(chip);
+        let _ = kc;
+        match self {
+            Baseline::OpenBlas => plan_openblas(mc, nc, tile),
+            Baseline::Eigen
+            | Baseline::LibShalom
+            | Baseline::FastConv
+            | Baseline::Libxsmm
+            | Baseline::Tvm
+            | Baseline::Ssl2 => plan_libxsmm(mc, nc, tile, sigma),
+        }
+    }
+
+    fn packing(&self, n: usize, chip: &ChipSpec) -> Packing {
+        let _ = chip;
+        match self {
+            Baseline::OpenBlas | Baseline::Eigen | Baseline::Tvm | Baseline::FastConv => {
+                Packing::Online
+            }
+            // LibShalom packs B offline for large matrices (§V-C).
+            Baseline::LibShalom => {
+                if n >= 256 {
+                    Packing::Offline
+                } else {
+                    Packing::Online
+                }
+            }
+            Baseline::Libxsmm => Packing::None,
+            Baseline::Ssl2 => Packing::Online,
+        }
+    }
+
+    fn opts(&self) -> ModelOpts {
+        match self {
+            // Hand-scheduled kernels: rotation yes; no cross-kernel fusion.
+            Baseline::OpenBlas | Baseline::LibShalom | Baseline::Ssl2 => {
+                ModelOpts { rotate: true, fused: false }
+            }
+            // Generated or generic kernels: neither optimization.
+            Baseline::Eigen | Baseline::Libxsmm | Baseline::Tvm | Baseline::FastConv => {
+                ModelOpts { rotate: false, fused: false }
+            }
+        }
+    }
+
+    fn warmth(&self) -> Option<Warmth> {
+        match self {
+            // LibShalom's hand-written L1 prefetching keeps the streams
+            // L1-resident even when the block working set spills (this is
+            // why it beats autoGEMM at 128³ on the KP920, §V-C).
+            Baseline::LibShalom => Some(Warmth::L1),
+            _ => None,
+        }
+    }
+
+    fn overheads(&self) -> (u64, u64) {
+        // (per-call, per-tile) cycles.
+        match self {
+            // cblas interface + thread-pool wake/join + buffer management.
+            Baseline::OpenBlas => (110_000, 30),
+            // Template dispatch + generic packing paths.
+            Baseline::Eigen => (45_000, 40),
+            // Purpose-built for small shapes: tiny entry cost.
+            Baseline::LibShalom => (1_200, 8),
+            Baseline::FastConv => (30_000, 24),
+            // The paper's LIBXSMM usage dispatches one JIT'd call per
+            // small GEMM tile: the per-tile cost is a full function call
+            // through the dispatcher with argument marshalling (~100 ns).
+            Baseline::Libxsmm => (9_000, 240),
+            // TVM AOT emits one fused kernel per shape; dispatch is per
+            // call, not per tile.
+            Baseline::Tvm => (6_000, 4),
+            Baseline::Ssl2 => (20_000, 16),
+        }
+    }
+
+    /// Resolve the full execution profile for a problem on a chip.
+    ///
+    /// Panics if the library does not support the problem — check
+    /// [`Baseline::supports`] first.
+    pub fn profile(&self, m: usize, n: usize, k: usize, chip: &ChipSpec) -> BaselineProfile {
+        assert!(
+            self.supports(chip, m, n, k),
+            "{} does not support {m}x{n}x{k} on {}",
+            self.name(),
+            chip.name
+        );
+        let (mc, nc, kc) = self.blocking(m, n, k, chip);
+        let block_plan = self.tile_plan(mc, nc, kc, chip);
+        let schedule = Schedule {
+            m,
+            n,
+            k,
+            mc,
+            nc,
+            kc,
+            order: LoopOrder::goto(),
+            packing: self.packing(n, chip),
+        };
+        let (call, tile) = self.overheads();
+        BaselineProfile {
+            plan: ExecutionPlan {
+                schedule,
+                block_plan,
+                opts: self.opts(),
+                sigma_lane: chip.sigma_lane(),
+                warmth: self.warmth(),
+            },
+            call_overhead_cycles: call,
+            per_tile_overhead_cycles: tile,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn openblas_pads_and_others_do_not() {
+        let chip = ChipSpec::kp920();
+        let ob = Baseline::OpenBlas.profile(26, 36, 64, &chip);
+        assert!(ob.plan.block_plan.padded_elems() > 0);
+        let xs = Baseline::Tvm.profile(26, 36, 64, &chip);
+        assert_eq!(xs.plan.block_plan.padded_elems(), 0);
+    }
+
+    #[test]
+    fn libshalom_profile_has_prefetch_and_rotation() {
+        let chip = ChipSpec::graviton2();
+        let p = Baseline::LibShalom.profile(128, 128, 128, &chip);
+        assert_eq!(p.plan.warmth, Some(Warmth::L1));
+        assert!(p.plan.opts.rotate);
+        assert!(!p.plan.opts.fused, "fusion is an autoGEMM novelty");
+    }
+
+    #[test]
+    fn blockings_divide_the_problem() {
+        let chip = ChipSpec::kp920();
+        for b in crate::all_baselines() {
+            if !b.supports(&chip, 256, 3136, 64) {
+                continue;
+            }
+            let p = b.profile(256, 3136, 64, &chip);
+            let s = &p.plan.schedule;
+            assert_eq!(256 % s.mc, 0, "{}", b.name());
+            assert_eq!(3136 % s.nc, 0, "{}", b.name());
+            assert_eq!(64 % s.kc, 0, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn block_plans_cover_their_blocks() {
+        let chip = ChipSpec::graviton2();
+        for b in crate::all_baselines() {
+            if !b.supports(&chip, 64, 64, 64) {
+                continue;
+            }
+            let p = b.profile(64, 64, 64, &chip);
+            p.plan
+                .block_plan
+                .validate(chip.sigma_lane())
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        }
+    }
+
+    #[test]
+    fn sve_tiles_scale_to_16_lanes() {
+        let chip = ChipSpec::a64fx();
+        let p = Baseline::Ssl2.profile(64, 64, 64, &chip);
+        assert!(p.plan.block_plan.placements.iter().all(|t| t.tile.nr % 16 == 0));
+    }
+}

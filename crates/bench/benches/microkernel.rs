@@ -1,0 +1,30 @@
+//! Criterion benches of the native monomorphized micro-kernels.
+
+use autogemm::native::{run_placement, CTile};
+use autogemm_kernelgen::MicroTile;
+use autogemm_tiling::TilePlacement;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("microkernel");
+    let kc = 256usize;
+    for tile in autogemm_kernelgen::tiles::first_choice_neon() {
+        let lda = kc + 8;
+        let a = vec![1.0f32; tile.mr * lda];
+        let b = vec![1.0f32; (kc + 2) * tile.nr];
+        let mut cbuf = vec![0.0f32; tile.mr * tile.nr];
+        let placement = TilePlacement::full(0, 0, MicroTile::new(tile.mr, tile.nr));
+        group.throughput(Throughput::Elements((2 * tile.mr * tile.nr * kc) as u64));
+        group.bench_with_input(BenchmarkId::new("tile", tile.to_string()), &tile, |bch, _| {
+            bch.iter(|| {
+                let ct = unsafe { CTile::new(cbuf.as_mut_ptr(), tile.nr, cbuf.len()) };
+                run_placement(black_box(&placement), kc, &a, lda, &b, tile.nr, ct, true)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion benches of the packing kernels.
+
+use autogemm::packing::{pack_a, pack_b};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing");
+    for (rows, cols) in [(64usize, 64usize), (64, 512), (256, 784)] {
+        let src = vec![1.0f32; rows * cols];
+        group.throughput(Throughput::Bytes((rows * cols * 4) as u64));
+        let name = format!("{rows}x{cols}");
+        group.bench_with_input(BenchmarkId::new("pack_a", &name), &(rows, cols), |bch, _| {
+            bch.iter(|| pack_a(black_box(&src), cols, 0, 0, rows, cols, 4));
+        });
+        group.bench_with_input(BenchmarkId::new("pack_b", &name), &(rows, cols), |bch, _| {
+            bch.iter(|| pack_b(black_box(&src), cols, 0, 0, rows, cols, 4));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing);
+criterion_main!(benches);

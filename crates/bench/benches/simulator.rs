@@ -1,0 +1,28 @@
+//! Criterion benches of the pipeline simulator itself (instructions per
+//! second of simulation).
+
+use autogemm_arch::ChipSpec;
+use autogemm_kernelgen::{MicroKernelSpec, MicroTile};
+use autogemm_sim::{run_micro_kernel, Warmth};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let chip = ChipSpec::graviton2();
+    let mut group = c.benchmark_group("simulator");
+    for kc in [64usize, 256] {
+        let spec = MicroKernelSpec::listing1(MicroTile::new(5, 16), kc, &chip);
+        let a = vec![1.0f32; 5 * kc];
+        let b = vec![1.0f32; kc * 16];
+        let prog = autogemm_kernelgen::generate(&spec, &chip);
+        group.throughput(Throughput::Elements(prog.dynamic_len() as u64));
+        group.bench_with_input(BenchmarkId::new("micro_kernel", kc), &kc, |bch, _| {
+            let mut cbuf = vec![0.0f32; 5 * 16];
+            bch.iter(|| run_micro_kernel(black_box(&spec), &chip, &a, &b, &mut cbuf, Warmth::L1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

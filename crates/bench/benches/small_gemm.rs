@@ -1,0 +1,41 @@
+//! Criterion wall-clock benches: native autoGEMM vs naive reference on
+//! the Fig 8 small-matrix shapes (host machine).
+
+use autogemm::AutoGemm;
+use autogemm_arch::ChipSpec;
+use autogemm_baselines::naive_gemm;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn data(m: usize, n: usize, k: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let a = (0..m * k).map(|i| (i % 17) as f32 - 8.0).collect();
+    let b = (0..k * n).map(|i| (i % 13) as f32 - 6.0).collect();
+    let c = vec![0.0f32; m * n];
+    (a, b, c)
+}
+
+fn bench_small(c: &mut Criterion) {
+    let engine = AutoGemm::new(ChipSpec::graviton2());
+    let mut group = c.benchmark_group("small_gemm");
+    for s in [16usize, 32, 64, 128] {
+        let (a, b, c0) = data(s, s, s);
+        // Warm the schedule cache outside the timed region.
+        let mut cw = c0.clone();
+        engine.gemm(s, s, s, &a, &b, &mut cw);
+        group.bench_with_input(BenchmarkId::new("autogemm", s), &s, |bch, _| {
+            let mut cc = c0.clone();
+            bch.iter(|| engine.gemm(black_box(s), s, s, &a, &b, &mut cc));
+        });
+        group.bench_with_input(BenchmarkId::new("naive", s), &s, |bch, _| {
+            let mut cc = c0.clone();
+            bch.iter(|| {
+                cc.fill(0.0);
+                naive_gemm(black_box(s), s, s, &a, &b, &mut cc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_small);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion benches of schedule tuning (the TVM-stand-in search).
+
+use autogemm_arch::ChipSpec;
+use autogemm_tuner::tune;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_tuner(c: &mut Criterion) {
+    let chip = ChipSpec::graviton2();
+    let mut group = c.benchmark_group("tuner");
+    group.sample_size(10);
+    for (m, n, k) in [(64usize, 64usize, 64usize), (256, 196, 512)] {
+        let name = format!("{m}x{n}x{k}");
+        group.bench_with_input(BenchmarkId::new("tune", &name), &(m, n, k), |bch, _| {
+            bch.iter(|| tune(black_box(m), n, k, &chip));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tuner);
+criterion_main!(benches);

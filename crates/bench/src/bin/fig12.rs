@@ -1,0 +1,42 @@
+//! Fig 12: end-to-end DNN inference in the TNN-like runner — OpenBLAS vs
+//! autoGEMM backends, T_GEMM vs T_other decomposition, on KP920 and
+//! Graviton2.
+
+use autogemm_arch::ChipSpec;
+use autogemm_baselines::Baseline;
+use autogemm_bench::print_table;
+use autogemm_workloads::tnn::{reference_gemm_seconds, run_model, AutoGemmBackend, BaselineBackend};
+use autogemm_workloads::DnnModel;
+
+fn main() {
+    for chip in [ChipSpec::kp920(), ChipSpec::graviton2()] {
+        let threads = chip.cores;
+        let ob = BaselineBackend { baseline: Baseline::OpenBlas };
+        let auto = AutoGemmBackend::new(chip.clone());
+        let mut rows = Vec::new();
+        for model in DnnModel::all() {
+            let reference = reference_gemm_seconds(model, &ob, &chip, threads)
+                .expect("OpenBLAS supports all shapes");
+            let t_ob = run_model(model, &ob, reference, &chip, threads).unwrap();
+            let t_auto = run_model(model, &auto, reference, &chip, threads).unwrap();
+            let total_ob = t_ob.total();
+            rows.push(vec![
+                format!("{} ({})", model.label(), model.name()),
+                format!("{:.0} + {:.0}", t_ob.t_gemm * 1e6, t_ob.t_other * 1e6),
+                format!("{:.0} + {:.0}", t_auto.t_gemm * 1e6, t_auto.t_other * 1e6),
+                format!("{:.2}", t_ob.t_gemm / total_ob),
+                format!("{:.2}x", total_ob / t_auto.total()),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Fig 12 — end-to-end DNN inference on {} ({} threads) [T_GEMM + T_other, µs]",
+                chip.name, threads
+            ),
+            &["model", "OpenBLAS", "autoGEMM", "GEMM share", "end-to-end speedup"],
+            &rows,
+        );
+    }
+    println!("\npaper landmarks: T_other identical across backends; speedup 1.30x on KP920,");
+    println!("1.08-1.15x on Graviton2, across ResNet50 / Inception-V3 / MobileNet-V1 / SqueezeNet.");
+}

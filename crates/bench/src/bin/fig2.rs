@@ -1,0 +1,27 @@
+//! Fig 2: arithmetic intensity of m_r x 16 micro-kernels as k_c grows,
+//! against each chip's sigma_AI threshold.
+
+use autogemm_arch::ChipSpec;
+use autogemm_bench::print_table;
+use autogemm_perfmodel::ai::fig2_series;
+
+fn main() {
+    let kcs = [4usize, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256];
+    let series = fig2_series(&[2, 3, 4, 5], &kcs);
+    let mut rows = Vec::new();
+    for (mr, vals) in &series {
+        let mut row = vec![format!("{mr}x16")];
+        row.extend(vals.iter().map(|v| format!("{v:.2}")));
+        rows.push(row);
+    }
+    let kc_headers: Vec<String> = kcs.iter().map(|k| k.to_string()).collect();
+    let mut headers = vec!["tile \\ k_c"];
+    headers.extend(kc_headers.iter().map(|s| s.as_str()));
+    print_table("Fig 2 — AI(k_c) for m_r x 16 tiles (Eqn 3)", &headers, &rows);
+
+    println!("\nsigma_AI thresholds (lower = easier to reach peak):");
+    for chip in ChipSpec::all_evaluated() {
+        println!("  {:14} {:.1}", chip.name, chip.sigma_ai);
+    }
+    println!("\nA tile reaches close-to-peak once its AI(k_c) clears the chip's sigma_AI.");
+}

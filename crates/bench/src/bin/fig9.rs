@@ -1,0 +1,59 @@
+//! Fig 9: irregular GEMM performance on the 20 ResNet-50 layers of
+//! Table V — single core (upper) and all cores (lower) — for autoGEMM,
+//! OpenBLAS, Eigen and LibShalom.
+
+use autogemm::AutoGemm;
+use autogemm_arch::ChipSpec;
+use autogemm_baselines::{simulate_baseline, Baseline};
+use autogemm_bench::{gf, print_table};
+use autogemm_workloads::resnet50_table_v;
+
+fn main() {
+    let chips = [ChipSpec::kp920(), ChipSpec::graviton2(), ChipSpec::altra()];
+    for chip in chips {
+        // autoGEMM uses offline packing here, like LibShalom (§V-C).
+        let engine = AutoGemm::new(chip.clone()).with_offline_packing();
+        for threads in [1usize, chip.cores] {
+            let mut rows = Vec::new();
+            let mut speedup_ob = Vec::new();
+            let mut speedup_eigen = Vec::new();
+            for layer in resnet50_table_v() {
+                let (m, n, k) = (layer.m, layer.n, layer.k);
+                let auto = engine.simulate(m, n, k, threads);
+                let ob = simulate_baseline(Baseline::OpenBlas, m, n, k, &chip, threads);
+                let eig = simulate_baseline(Baseline::Eigen, m, n, k, &chip, threads);
+                let sha = simulate_baseline(Baseline::LibShalom, m, n, k, &chip, threads);
+                if let Some(r) = &ob {
+                    speedup_ob.push(auto.gflops / r.gflops);
+                }
+                if let Some(r) = &eig {
+                    speedup_eigen.push(auto.gflops / r.gflops);
+                }
+                rows.push(vec![
+                    layer.name(),
+                    format!("{m}x{n}x{k}"),
+                    gf(auto.gflops),
+                    ob.map(|r| gf(r.gflops)).unwrap_or("-".into()),
+                    eig.map(|r| gf(r.gflops)).unwrap_or("-".into()),
+                    sha.map(|r| gf(r.gflops)).unwrap_or("-".into()),
+                ]);
+            }
+            let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+            let mx = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
+            print_table(
+                &format!("Fig 9 — ResNet-50 layers on {} ({} thread(s)) [GFLOPS]", chip.name, threads),
+                &["layer", "shape", "autoGEMM", "OpenBLAS", "Eigen", "LibShalom"],
+                &rows,
+            );
+            println!(
+                "speedup vs OpenBLAS avg {:.2}x (max {:.2}x); vs Eigen avg {:.2}x (max {:.2}x)",
+                avg(&speedup_ob), mx(&speedup_ob), avg(&speedup_eigen), mx(&speedup_eigen)
+            );
+            if threads > 1 {
+                println!("(multi-core runs pin k_c = K — the TVM limitation — large-K layers L7/L12/L17/L20 dip)");
+            }
+        }
+    }
+    println!("\npaper landmarks: single-core 1.3x (up to 1.9x) over OpenBLAS, 1.5x (up to 2.0x) over Eigen;");
+    println!("within 2-8% of LibShalom; multi-core ~8% over LibShalom on Graviton2.");
+}

@@ -1,0 +1,33 @@
+//! Table II: maximum arithmetic intensity of every feasible register tile
+//! under the 32-vector-register budget, with the paper's first-choice
+//! shapes marked.
+
+use autogemm_bench::print_table;
+use autogemm_kernelgen::tiles::{enumerate, first_choice_neon, table_ii};
+
+fn main() {
+    let fc = first_choice_neon();
+    let rows: Vec<Vec<String>> = table_ii()
+        .into_iter()
+        .map(|(mr, cols)| {
+            let mut row = vec![mr.to_string()];
+            for (i, cell) in cols.into_iter().enumerate() {
+                let nr = (i + 1) * 4;
+                row.push(match cell {
+                    Some(ai) => {
+                        let mark = if fc.iter().any(|t| t.mr == mr && t.nr == nr) { "*" } else { "" };
+                        format!("{ai:.2}{mark}")
+                    }
+                    None => "-".into(),
+                });
+            }
+            row
+        })
+        .collect();
+    print_table(
+        "Table II — AI_max per register tile (* = first-choice)",
+        &["m_r \\ n_r", "4", "8", "12", "16", "20", "24", "28"],
+        &rows,
+    );
+    println!("\nfeasible NEON tiles under 32 registers: {}", enumerate(4).len());
+}

@@ -1,0 +1,27 @@
+//! Table IV: the five evaluated Arm machines as modelled by this
+//! reproduction (see DESIGN.md for the hardware-substitution rationale).
+
+use autogemm_arch::ChipSpec;
+use autogemm_bench::print_table;
+
+fn main() {
+    let chips = ChipSpec::all_evaluated();
+    let headers: Vec<&str> =
+        std::iter::once("").chain(chips.iter().map(|c| c.name)).collect();
+    let mut rows = Vec::new();
+    let row = |name: &str, f: &dyn Fn(&ChipSpec) -> String| -> Vec<String> {
+        std::iter::once(name.to_string()).chain(chips.iter().map(f)).collect()
+    };
+    rows.push(row("Cores", &|c| c.cores.to_string()));
+    rows.push(row("Frequency (GHz)", &|c| format!("{:.2}", c.freq_ghz)));
+    rows.push(row("L1d / core", &|c| format!("{}K", c.l1d_bytes() >> 10)));
+    rows.push(row("SIMD", &|c| c.simd.to_string()));
+    rows.push(row("sigma_lane", &|c| c.sigma_lane().to_string()));
+    rows.push(row("sigma_AI", &|c| format!("{:.1}", c.sigma_ai)));
+    rows.push(row("OoO window", &|c| c.ooo_window.to_string()));
+    rows.push(row("NUMA domains", &|c| c.numa.domains.to_string()));
+    rows.push(row("Mem BW (GB/s)", &|c| format!("{:.0}", c.numa.total_bw_gbs())));
+    rows.push(row("Peak sp GFLOPS/core", &|c| format!("{:.1}", c.peak_gflops_core())));
+    rows.push(row("Peak sp GFLOPS", &|c| format!("{:.0}", c.peak_gflops())));
+    print_table("Table IV — modelled hardware", &headers, &rows);
+}

@@ -1,0 +1,20 @@
+//! Table V: the 20 irregular GEMM shapes extracted from ResNet-50.
+
+use autogemm_bench::print_table;
+use autogemm_workloads::resnet50_table_v;
+
+fn main() {
+    let rows: Vec<Vec<String>> = resnet50_table_v()
+        .into_iter()
+        .map(|l| {
+            vec![
+                l.name(),
+                l.m.to_string(),
+                l.n.to_string(),
+                l.k.to_string(),
+                format!("{:.1}", l.flops() as f64 / 1e6),
+            ]
+        })
+        .collect();
+    print_table("Table V — ResNet-50 GEMM shapes", &["Layer", "M", "N", "K", "MFLOPs"], &rows);
+}

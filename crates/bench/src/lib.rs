@@ -1,0 +1,63 @@
+//! # autogemm-bench
+//!
+//! The benchmark harness: one binary per table/figure of the paper (run
+//! `cargo run --release -p autogemm-bench --bin fig8` etc. — see
+//! DESIGN.md §4 for the full index) plus criterion wall-clock benches of
+//! the native library (`cargo bench -p autogemm-bench`).
+
+use autogemm_arch::ChipSpec;
+
+/// Print a compact fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::from("| ");
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:>w$} | ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        line
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "|{}|",
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Percentage formatting for efficiency cells.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// GFLOPS formatting.
+pub fn gf(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// The three chips the step-wise / tiling / roofline figures use.
+pub fn fig_chips() -> Vec<ChipSpec> {
+    vec![ChipSpec::kp920(), ChipSpec::graviton2(), ChipSpec::m2()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.976), "97.6%");
+        assert_eq!(gf(19.84), "19.8");
+        assert_eq!(fig_chips().len(), 3);
+    }
+}

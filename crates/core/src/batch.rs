@@ -1,0 +1,167 @@
+//! Batched small GEMM — the LIBXSMM-style workload the paper's
+//! introduction motivates (blocked sparse solvers, DG/FEM element
+//! kernels, N-body interaction blocks): many independent multiplications
+//! of one small shape.
+//!
+//! The batch API tunes the shape once (one [`ExecutionPlan`] shared by
+//! every item) and spreads items over crossbeam workers; each item owns a
+//! disjoint `m·n` slice of the output, so the parallelism is safe by
+//! construction.
+
+use crate::native;
+use crate::plan::ExecutionPlan;
+
+/// A batch of same-shape GEMMs: `C[i] (+)= A[i] · B[i]`.
+pub struct GemmBatch<'a> {
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+    pub a: Vec<&'a [f32]>,
+    pub b: Vec<&'a [f32]>,
+}
+
+impl<'a> GemmBatch<'a> {
+    /// Build an empty batch of shape `m × n × k`.
+    pub fn new(m: usize, n: usize, k: usize) -> Self {
+        GemmBatch { m, n, k, a: Vec::new(), b: Vec::new() }
+    }
+
+    /// Append one item; `a` must be `m·k` elements and `b` `k·n`.
+    pub fn push(&mut self, a: &'a [f32], b: &'a [f32]) {
+        assert_eq!(a.len(), self.m * self.k, "A[i] must be m*k");
+        assert_eq!(b.len(), self.k * self.n, "B[i] must be k*n");
+        self.a.push(a);
+        self.b.push(b);
+    }
+
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+
+    pub fn flops(&self) -> u64 {
+        2 * (self.m * self.n * self.k * self.len()) as u64
+    }
+}
+
+/// Execute a batch natively with a shared tuned plan. `c` holds the
+/// outputs back to back (`len · m · n` elements), either zeroed or
+/// carrying accumulation inputs.
+pub fn gemm_batch(plan: &ExecutionPlan, batch: &GemmBatch, c: &mut [f32], threads: usize) {
+    let (m, n) = (batch.m, batch.n);
+    assert_eq!(c.len(), batch.len() * m * n, "C must hold len*m*n elements");
+    assert_eq!(plan.schedule.m, m, "plan shape mismatch");
+    assert_eq!(plan.schedule.n, n, "plan shape mismatch");
+    assert_eq!(plan.schedule.k, batch.k, "plan shape mismatch");
+    if batch.is_empty() {
+        return;
+    }
+    let threads = threads.max(1).min(batch.len());
+
+    // Round-robin ownership transfer of the disjoint output slices.
+    let mut per_thread: Vec<Vec<(usize, &mut [f32])>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, chunk) in c.chunks_mut(m * n).enumerate() {
+        per_thread[i % threads].push((i, chunk));
+    }
+
+    crossbeam::scope(|scope| {
+        for work in per_thread {
+            scope.spawn(move |_| {
+                for (i, c_item) in work {
+                    native::gemm_with_plan(plan, batch.a[i], batch.b[i], c_item, 1);
+                }
+            });
+        }
+    })
+    .expect("batch worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AutoGemm;
+    use autogemm_arch::ChipSpec;
+
+    fn naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_naive() {
+        let engine = AutoGemm::new(ChipSpec::graviton2());
+        let (m, n, k, items) = (8usize, 12usize, 16usize, 7usize);
+        let plan = engine.plan(m, n, k);
+        let a_store: Vec<Vec<f32>> = (0..items)
+            .map(|t| (0..m * k).map(|i| ((i + t * 3) % 9) as f32 - 4.0).collect())
+            .collect();
+        let b_store: Vec<Vec<f32>> = (0..items)
+            .map(|t| (0..k * n).map(|i| ((i * 5 + t) % 11) as f32 - 5.0).collect())
+            .collect();
+        let mut batch = GemmBatch::new(m, n, k);
+        for t in 0..items {
+            batch.push(&a_store[t], &b_store[t]);
+        }
+        let mut c = vec![0.0f32; items * m * n];
+        gemm_batch(&plan, &batch, &mut c, 3);
+        for t in 0..items {
+            let mut want = vec![0.0f32; m * n];
+            naive(m, n, k, &a_store[t], &b_store[t], &mut want);
+            assert_eq!(&c[t * m * n..(t + 1) * m * n], &want[..], "item {t}");
+        }
+    }
+
+    #[test]
+    fn single_thread_batch_matches_multithread() {
+        let engine = AutoGemm::new(ChipSpec::m2());
+        let (m, n, k, items) = (5usize, 16usize, 8usize, 5usize);
+        let plan = engine.plan(m, n, k);
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 3) as f32).collect();
+        let mut batch = GemmBatch::new(m, n, k);
+        for _ in 0..items {
+            batch.push(&a, &b);
+        }
+        let mut c1 = vec![0.0f32; items * m * n];
+        gemm_batch(&plan, &batch, &mut c1, 1);
+        let mut c4 = vec![0.0f32; items * m * n];
+        gemm_batch(&plan, &batch, &mut c4, 4);
+        assert_eq!(c1, c4);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let engine = AutoGemm::new(ChipSpec::kp920());
+        let plan = engine.plan(4, 4, 4);
+        let batch = GemmBatch::new(4, 4, 4);
+        let mut c: Vec<f32> = vec![];
+        gemm_batch(&plan, &batch, &mut c, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "m*k")]
+    fn wrong_item_shape_panics() {
+        let mut batch = GemmBatch::new(4, 4, 4);
+        let a = vec![0.0f32; 7];
+        let b = vec![0.0f32; 16];
+        batch.push(&a, &b);
+    }
+
+    #[test]
+    fn flops_accounting() {
+        let mut batch = GemmBatch::new(2, 3, 4);
+        let a = vec![0.0f32; 8];
+        let b = vec![0.0f32; 12];
+        batch.push(&a, &b);
+        batch.push(&a, &b);
+        assert_eq!(batch.flops(), 2 * 2 * 3 * 4 * 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! # autogemm
+//!
+//! The autoGEMM library: auto-generated, auto-tuned single-precision GEMM
+//! for irregular matrix shapes on Arm architectures — a faithful Rust
+//! reproduction of the SC'24 paper's open-source library, running against
+//! the cycle-level Arm machine models of `autogemm-sim` (see the
+//! repository's DESIGN.md for the hardware-substitution rationale).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use autogemm::AutoGemm;
+//! use autogemm_arch::ChipSpec;
+//!
+//! let engine = AutoGemm::new(ChipSpec::graviton2());
+//! let (m, n, k) = (26, 36, 64);
+//! let a: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.01).collect();
+//! let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32).collect();
+//! let mut c = vec![0.0f32; m * n];
+//!
+//! // Native execution on the host (correctness + wall-clock benches).
+//! engine.gemm(m, n, k, &a, &b, &mut c);
+//!
+//! // Cycle-accurate execution on the modelled chip (the paper's numbers).
+//! let report = engine.simulate(m, n, k, 1);
+//! println!("{:.1} GFLOPS ({:.1}% of peak)", report.gflops, report.efficiency * 100.0);
+//! ```
+//!
+//! ## Architecture
+//!
+//! * [`engine`] — [`AutoGemm`]: tuned schedule cache → execution plan →
+//!   native or simulated backends;
+//! * [`plan`] — the execution plan: cache blocking + per-block DMT tile
+//!   plans, shared by both backends;
+//! * [`packing`] — operand packing (`none` / `offline` / `online`) with the
+//!   generated kernels' padding contract;
+//! * [`native`] — portable-Rust micro-kernels (monomorphized for every
+//!   Table II shape) and the threaded block driver (crossbeam scoped
+//!   threads; the K dimension is never parallelized, matching the TVM
+//!   limitation the paper reports in §V-C);
+//! * [`simexec`] — the simulated backend: executes the generated virtual-ISA
+//!   kernels block-by-block on the pipeline model, memoizing per-block
+//!   cycle counts, and composes multi-core makespans.
+
+pub mod batch;
+pub mod engine;
+pub mod native;
+pub mod offline;
+pub mod packing;
+pub mod plan;
+pub mod simexec;
+pub mod transpose;
+
+pub use batch::{gemm_batch, GemmBatch};
+pub use engine::{AutoGemm, SimGemmReport};
+pub use offline::{gemm_prepacked, PackedB};
+pub use plan::ExecutionPlan;
+pub use transpose::{gemm_op, sgemm, Op};

@@ -1,0 +1,425 @@
+//! Native (host) execution backend: portable-Rust micro-kernels and the
+//! threaded block driver.
+//!
+//! The micro-kernels are monomorphized over `(m_r, n_r)` for every shape in
+//! the Table II menu — the compiler keeps the `m_r × n_r` accumulator panel
+//! in registers and auto-vectorizes the inner loop, which is the portable
+//! equivalent of the generated NEON kernels. The block driver walks the
+//! same [`ExecutionPlan`] the simulated backend uses.
+//!
+//! Threading follows the paper's §V-C constraint: cache blocks of `C` are
+//! distributed over crossbeam scoped threads; the K dimension is **never**
+//! split across threads (the TVM limitation autoGEMM inherits), so each
+//! `C` block is owned by exactly one thread and no reduction races exist.
+//! Because a strided `C` window overlaps other blocks' bytes, writes go
+//! through a raw-pointer tile handle ([`CTile`]) whose accessed cells are
+//! provably disjoint across threads, rather than through overlapping
+//! `&mut` slices (which would be UB regardless of write disjointness).
+
+use crate::packing::{pack_a, pack_b};
+use crate::plan::ExecutionPlan;
+use autogemm_tiling::TilePlacement;
+
+/// A writable view of one `C` micro-tile: base pointer at the tile's
+/// `(0,0)` element plus the row stride.
+///
+/// # Safety contract
+/// The creator guarantees that the cells `{(i, j) : i < eff_rows, j <
+/// eff_cols}` are not accessed by any other thread for the lifetime of the
+/// handle. This holds in the block driver because C blocks are disjoint
+/// and K is not split across threads (§V-C).
+#[derive(Clone, Copy)]
+pub struct CTile {
+    ptr: *mut f32,
+    ldc: usize,
+    /// Elements from `ptr` to the end of the underlying allocation
+    /// (bounds-checked in debug builds).
+    len: usize,
+}
+
+unsafe impl Send for CTile {}
+
+impl CTile {
+    /// # Safety
+    /// See the type-level contract. `len` is the number of elements from
+    /// `ptr` to the end of the underlying allocation.
+    pub unsafe fn new(ptr: *mut f32, ldc: usize, len: usize) -> Self {
+        CTile { ptr, ldc, len }
+    }
+
+    /// Narrow the handle to the sub-tile at `(row, col)`.
+    ///
+    /// # Safety
+    /// The sub-tile's accessed cells must stay within the original
+    /// allocation and this thread's ownership region.
+    pub unsafe fn offset(&self, row: usize, col: usize) -> CTile {
+        let off = row * self.ldc + col;
+        debug_assert!(off <= self.len, "CTile offset {off} beyond len {}", self.len);
+        CTile { ptr: unsafe { self.ptr.add(off) }, ldc: self.ldc, len: self.len - off }
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(
+            i * self.ldc + j < self.len,
+            "CTile read ({i},{j}) ldc={} beyond len {}",
+            self.ldc,
+            self.len
+        );
+        unsafe { *self.ptr.add(i * self.ldc + j) }
+    }
+
+    #[inline(always)]
+    fn set(&self, i: usize, j: usize, v: f32) {
+        debug_assert!(
+            i * self.ldc + j < self.len,
+            "CTile write ({i},{j}) ldc={} beyond len {}",
+            self.ldc,
+            self.len
+        );
+        unsafe { *self.ptr.add(i * self.ldc + j) = v }
+    }
+}
+
+/// Generic register-tiled micro-kernel:
+/// `C[0..eff_rows][0..eff_cols] (+)= A[0..MR][0..kc] · B[0..kc][0..NR]`.
+///
+/// `a` is `MR` rows with leading dimension `lda`; `b` is `kc` rows with
+/// leading dimension `ldb` (and at least `NR` readable elements per row,
+/// per the packing contract).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro_kernel<const MR: usize, const NR: usize>(
+    kc: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: CTile,
+    accumulate: bool,
+    eff_rows: usize,
+    eff_cols: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if accumulate {
+        for (i, row) in acc.iter_mut().enumerate().take(eff_rows) {
+            for (j, v) in row.iter_mut().enumerate().take(eff_cols) {
+                *v = c.get(i, j);
+            }
+        }
+    }
+    for p in 0..kc {
+        let brow = &b[p * ldb..p * ldb + NR];
+        for (i, row) in acc.iter_mut().enumerate() {
+            let aip = a[i * lda + p];
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = brow[j].mul_add(aip, *v);
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate().take(eff_rows) {
+        for (j, v) in row.iter().enumerate().take(eff_cols) {
+            c.set(i, j, *v);
+        }
+    }
+}
+
+/// Fallback kernel for shapes outside the monomorphized menu (e.g. wide
+/// SVE tiles executed natively).
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel_dyn(
+    mr: usize,
+    nr: usize,
+    kc: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: CTile,
+    accumulate: bool,
+    eff_rows: usize,
+    eff_cols: usize,
+) {
+    let mut acc = vec![0.0f32; mr * nr];
+    if accumulate {
+        for i in 0..eff_rows {
+            for j in 0..eff_cols {
+                acc[i * nr + j] = c.get(i, j);
+            }
+        }
+    }
+    for p in 0..kc {
+        for i in 0..mr {
+            let aip = a[i * lda + p];
+            for j in 0..nr {
+                acc[i * nr + j] += aip * b[p * ldb + j];
+            }
+        }
+    }
+    for i in 0..eff_rows {
+        for j in 0..eff_cols {
+            c.set(i, j, acc[i * nr + j]);
+        }
+    }
+}
+
+/// Dispatch a placement to the right monomorphized kernel. `a`/`b` are the
+/// packed block panels; `c` is a handle at the *block's* (0,0) with the
+/// full matrix stride.
+#[allow(clippy::too_many_arguments)]
+pub fn run_placement(
+    p: &TilePlacement,
+    kc: usize,
+    a_panel: &[f32],
+    lda: usize,
+    b_panel: &[f32],
+    ldb: usize,
+    c_block: CTile,
+    accumulate: bool,
+) {
+    let a = &a_panel[p.row * lda..];
+    let b = &b_panel[p.col..];
+    // SAFETY: the tile handle narrows the block handle; tiles within a
+    // validated plan are disjoint.
+    let c = unsafe { c_block.offset(p.row, p.col) };
+    let nrv = p.tile.nr / 4;
+    macro_rules! dispatch {
+        ($(($mr:literal, $nrv:literal, $nr:literal)),* $(,)?) => {
+            match (p.tile.mr, nrv) {
+                $(
+                    ($mr, $nrv) => micro_kernel::<$mr, $nr>(
+                        kc, a, lda, b, ldb, c, accumulate, p.eff_rows, p.eff_cols,
+                    ),
+                )*
+                _ => micro_kernel_dyn(
+                    p.tile.mr, p.tile.nr, kc, a, lda, b, ldb, c, accumulate,
+                    p.eff_rows, p.eff_cols,
+                ),
+            }
+        };
+    }
+    // The Table II menu (feasible m_r ≤ 8, n̄_r ≤ 7 shapes).
+    dispatch!(
+        (1, 1, 4), (1, 2, 8), (1, 3, 12), (1, 4, 16), (1, 5, 20), (1, 6, 24), (1, 7, 28),
+        (2, 1, 4), (2, 2, 8), (2, 3, 12), (2, 4, 16), (2, 5, 20), (2, 6, 24), (2, 7, 28),
+        (3, 1, 4), (3, 2, 8), (3, 3, 12), (3, 4, 16), (3, 5, 20), (3, 6, 24), (3, 7, 28),
+        (4, 1, 4), (4, 2, 8), (4, 3, 12), (4, 4, 16), (4, 5, 20),
+        (5, 1, 4), (5, 2, 8), (5, 3, 12), (5, 4, 16),
+        (6, 1, 4), (6, 2, 8), (6, 3, 12),
+        (7, 1, 4), (7, 2, 8), (7, 3, 12),
+        (8, 1, 4), (8, 2, 8),
+    );
+}
+
+/// Execute a plan natively: `C (M×N) = A (M×K) · B (K×N)` row-major,
+/// using `threads` worker threads over the cache-block grid.
+pub fn gemm_with_plan(
+    plan: &ExecutionPlan,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+) {
+    let s = &plan.schedule;
+    let (m, n, k) = (s.m, s.n, s.k);
+    assert_eq!(a.len(), m * k, "A must be M*K");
+    assert_eq!(b.len(), k * n, "A must be K*N");
+    assert_eq!(c.len(), m * n, "C must be M*N");
+    let (tm, tn, tk) = plan.grid();
+    let blocks = block_visit_order(&s.order, tm, tn);
+    let threads = threads.max(1).min(blocks.len().max(1));
+
+    // SAFETY: each (bi, bj) block is handled by exactly one thread and the
+    // blocks partition C; CTile accesses stay within a block's cells.
+    let c_root = unsafe { CTile::new(c.as_mut_ptr(), n, c.len()) };
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let blocks = &blocks;
+            scope.spawn(move |_| {
+                for (bi, bj) in blocks.iter().skip(t).step_by(threads) {
+                    run_block(plan, a, b, c_root, *bi, *bj, tk);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Visit order of the `(M_c, N_c)` block grid, following the tuned
+/// `σ_order`: whichever of the two cache loops sits further out in the
+/// permutation iterates slower. (The K loop always runs innermost per
+/// block — a reduction cannot move without changing results, and §V-C's
+/// constraint keeps it un-split anyway.)
+pub fn block_visit_order(
+    order: &autogemm_tuner::LoopOrder,
+    tm: usize,
+    tn: usize,
+) -> Vec<(usize, usize)> {
+    use autogemm_tuner::space::LoopIndex;
+    let m_outer = order.position(LoopIndex::Mc) < order.position(LoopIndex::Nc);
+    let mut blocks = Vec::with_capacity(tm * tn);
+    if m_outer {
+        for bi in 0..tm {
+            for bj in 0..tn {
+                blocks.push((bi, bj));
+            }
+        }
+    } else {
+        for bj in 0..tn {
+            for bi in 0..tm {
+                blocks.push((bi, bj));
+            }
+        }
+    }
+    blocks
+}
+
+/// Execute all K-slices of one `C` block (single-threaded by design).
+fn run_block(
+    plan: &ExecutionPlan,
+    a: &[f32],
+    b: &[f32],
+    c_root: CTile,
+    bi: usize,
+    bj: usize,
+    tk: usize,
+) {
+    let s = &plan.schedule;
+    let (mc, nc, kc) = (s.mc, s.nc, s.kc);
+    let (n, k) = (s.n, s.k);
+    let row0 = bi * mc;
+    let col0 = bj * nc;
+    // SAFETY: this thread exclusively owns the block's cells.
+    let c_block = unsafe { c_root.offset(row0, col0) };
+
+    for kb in 0..tk {
+        let krow = kb * kc;
+        // Materialize padded operand panels (the native backend always
+        // packs to honour the kernels' contract; the *simulated* backend
+        // charges the σ_packing-dependent costs).
+        let pa = pack_a(a, k, row0, krow, mc, kc, plan.sigma_lane);
+        let pb = pack_b(b, n, krow, col0, kc, nc, plan.sigma_lane);
+        let accumulate = kb > 0;
+        for placement in &plan.block_plan.placements {
+            run_placement(placement, kc, &pa.data, pa.ld, &pb.data, pb.ld, c_block, accumulate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autogemm_arch::ChipSpec;
+    use autogemm_tuner::tune;
+
+    fn naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a[i * k + p];
+                for j in 0..n {
+                    c[i * n + j] += aip * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn data(m: usize, n: usize, k: usize) -> (Vec<f32>, Vec<f32>) {
+        let a = (0..m * k).map(|i| ((i * 13 + 5) % 23) as f32 - 11.0).collect();
+        let b = (0..k * n).map(|i| ((i * 7 + 2) % 19) as f32 - 9.0).collect();
+        (a, b)
+    }
+
+    fn check(m: usize, n: usize, k: usize, threads: usize) {
+        let chip = ChipSpec::graviton2();
+        let sched = tune(m, n, k, &chip);
+        let plan = ExecutionPlan::from_schedule(sched, &chip);
+        let (a, b) = data(m, n, k);
+        let mut c = vec![0.0f32; m * n];
+        gemm_with_plan(&plan, &a, &b, &mut c, threads);
+        let want = naive(m, n, k, &a, &b);
+        for (i, (&got, &w)) in c.iter().zip(&want).enumerate() {
+            assert!(
+                (got - w).abs() <= 1e-3 * w.abs().max(1.0),
+                "{m}x{n}x{k} t{threads}: C[{i}] = {got} want {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_small_shapes() {
+        for (m, n, k) in [(1, 4, 1), (5, 16, 8), (8, 8, 64), (26, 36, 64), (13, 20, 17)] {
+            check(m, n, k, 1);
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_irregular_shapes() {
+        check(64, 196, 64, 1);
+        check(31, 44, 29, 1);
+    }
+
+    #[test]
+    fn multithreaded_matches_single() {
+        check(64, 128, 64, 4);
+        check(52, 72, 32, 3);
+    }
+
+    #[test]
+    fn micro_kernel_edge_stores_respect_bounds() {
+        // 2 eff rows / 3 eff cols of a 5x16 kernel must leave the rest of C
+        // untouched.
+        let kc = 4;
+        let a = vec![1.0f32; 5 * (kc + 8)];
+        let b = vec![1.0f32; (kc + 2) * 16];
+        let mut c = vec![7.0f32; 5 * 16];
+        let tile = unsafe { CTile::new(c.as_mut_ptr(), 16, c.len()) };
+        micro_kernel::<5, 16>(kc, &a, kc + 8, &b, 16, tile, false, 2, 3);
+        assert_eq!(c[0], kc as f32);
+        assert_eq!(c[2], kc as f32);
+        assert_eq!(c[3], 7.0, "col 3 out of eff_cols must be untouched");
+        assert_eq!(c[2 * 16], 7.0, "row 2 out of eff_rows must be untouched");
+    }
+}
+
+#[cfg(test)]
+mod order_tests {
+    use super::*;
+    use autogemm_arch::ChipSpec;
+    use autogemm_tuner::space::{LoopIndex, LoopOrder};
+    use autogemm_tuner::tune;
+
+    #[test]
+    fn block_order_follows_sigma_order() {
+        use LoopIndex::*;
+        let m_major = LoopOrder([Mc, Nc, Kc, Mr, Nr]);
+        let n_major = LoopOrder([Nc, Kc, Mc, Mr, Nr]);
+        assert_eq!(block_visit_order(&m_major, 2, 2), vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        assert_eq!(block_visit_order(&n_major, 2, 2), vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn results_identical_across_loop_orders() {
+        use LoopIndex::*;
+        let chip = ChipSpec::graviton2();
+        let (m, n, k) = (32usize, 48usize, 24usize);
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 9) as f32 - 4.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32 - 3.0).collect();
+        let mut sched = tune(m, n, k, &chip);
+        sched.mc = 16;
+        sched.nc = 16;
+        sched.kc = 12;
+        let mut reference: Option<Vec<f32>> = None;
+        for order in [LoopOrder([Mc, Nc, Kc, Mr, Nr]), LoopOrder([Nc, Kc, Mc, Mr, Nr])] {
+            sched.order = order;
+            let plan = crate::ExecutionPlan::from_schedule(sched.clone(), &chip);
+            let mut c = vec![0.0f32; m * n];
+            gemm_with_plan(&plan, &a, &b, &mut c, 1);
+            match &reference {
+                None => reference = Some(c),
+                Some(r) => assert_eq!(&c, r, "loop order changed the result"),
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Offline packing (§IV-C2, §V-C): pack `B` once, outside the timed
+//! region, and reuse the packed form across many GEMM calls — what
+//! LibShalom does for large matrices and what autoGEMM "is also flexible
+//! in enabling" for the Fig 9 comparison.
+//!
+//! The packed form stores one padded `(k_c+2) × n_c` panel per cache
+//! block of `B`, in block order, so the run-time loop does zero copies.
+
+use crate::packing::{pack_b, PackedBlock};
+use crate::plan::ExecutionPlan;
+
+/// `B`, packed offline for a specific execution plan.
+pub struct PackedB {
+    /// Panels indexed `[kb * tn + bj]`.
+    panels: Vec<PackedBlock>,
+    tn: usize,
+    /// Shape fingerprint to catch plan mismatches.
+    shape: (usize, usize, usize, usize, usize),
+}
+
+impl PackedB {
+    /// Pack `b` (row-major `k × n`) for `plan`. Do this once per weight
+    /// matrix; the cost is excluded from run-time, exactly like the
+    /// paper's offline mode.
+    pub fn new(plan: &ExecutionPlan, b: &[f32]) -> Self {
+        let s = &plan.schedule;
+        assert_eq!(b.len(), s.k * s.n, "B must be K*N");
+        let (_, tn, tk) = plan.grid();
+        let mut panels = Vec::with_capacity(tk * tn);
+        for kb in 0..tk {
+            for bj in 0..tn {
+                panels.push(pack_b(b, s.n, kb * s.kc, bj * s.nc, s.kc, s.nc, plan.sigma_lane));
+            }
+        }
+        PackedB { panels, tn, shape: (s.m, s.n, s.k, s.nc, s.kc) }
+    }
+
+    /// The packed panel for k-block `kb`, column block `bj`.
+    pub fn panel(&self, kb: usize, bj: usize) -> &PackedBlock {
+        &self.panels[kb * self.tn + bj]
+    }
+
+    /// Total packed bytes (for traffic accounting / memory budgeting).
+    pub fn bytes(&self) -> usize {
+        self.panels.iter().map(|p| p.data.len() * 4).sum()
+    }
+
+    pub(crate) fn check(&self, plan: &ExecutionPlan) {
+        let s = &plan.schedule;
+        assert_eq!(
+            self.shape,
+            (s.m, s.n, s.k, s.nc, s.kc),
+            "PackedB was built for a different plan"
+        );
+    }
+}
+
+/// `C = A · B` with `B` pre-packed offline. Single-threaded; the packed
+/// panels are shared read-only so the threaded variant distributes blocks
+/// exactly like [`crate::native::gemm_with_plan`].
+pub fn gemm_prepacked(
+    plan: &ExecutionPlan,
+    a: &[f32],
+    packed_b: &PackedB,
+    c: &mut [f32],
+    threads: usize,
+) {
+    packed_b.check(plan);
+    let s = &plan.schedule;
+    let (m, n, k) = (s.m, s.n, s.k);
+    assert_eq!(a.len(), m * k);
+    assert_eq!(c.len(), m * n);
+    let (tm, tn, tk) = plan.grid();
+    let blocks: Vec<(usize, usize)> =
+        (0..tm).flat_map(|bi| (0..tn).map(move |bj| (bi, bj))).collect();
+    let threads = threads.max(1).min(blocks.len().max(1));
+
+    // SAFETY: blocks partition C and K is not split (§V-C).
+    let c_root = unsafe { crate::native::CTile::new(c.as_mut_ptr(), n, c.len()) };
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let blocks = &blocks;
+            scope.spawn(move |_| {
+                for (bi, bj) in blocks.iter().skip(t).step_by(threads) {
+                    let row0 = bi * s.mc;
+                    let col0 = bj * s.nc;
+                    // SAFETY: this thread exclusively owns the block.
+                    let c_block = unsafe { c_root.offset(row0, col0) };
+                    for kb in 0..tk {
+                        let pa = crate::packing::pack_a(
+                            a,
+                            k,
+                            row0,
+                            kb * s.kc,
+                            s.mc,
+                            s.kc,
+                            plan.sigma_lane,
+                        );
+                        let pb = packed_b.panel(kb, *bj);
+                        for placement in &plan.block_plan.placements {
+                            crate::native::run_placement(
+                                placement,
+                                s.kc,
+                                &pa.data,
+                                pa.ld,
+                                &pb.data,
+                                pb.ld,
+                                c_block,
+                                kb > 0,
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AutoGemm;
+    use autogemm_arch::ChipSpec;
+
+    fn naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn prepacked_matches_naive() {
+        let engine = AutoGemm::new(ChipSpec::graviton2()).with_offline_packing();
+        let (m, n, k) = (48, 96, 32);
+        let plan = engine.plan(m, n, k);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 3) % 11) as f32 - 5.0).collect();
+        let packed = PackedB::new(&plan, &b);
+        let mut c = vec![0.0f32; m * n];
+        gemm_prepacked(&plan, &a, &packed, &mut c, 1);
+        assert_eq!(c, naive(m, n, k, &a, &b));
+    }
+
+    #[test]
+    fn prepacked_reuse_across_calls() {
+        // The LibShalom pattern: one packed weight matrix, many activations.
+        let engine = AutoGemm::new(ChipSpec::kp920());
+        let (m, n, k) = (26, 36, 24);
+        let plan = engine.plan(m, n, k);
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32).collect();
+        let packed = PackedB::new(&plan, &b);
+        assert!(packed.bytes() >= 4 * k * n);
+        for seed in 0..3 {
+            let a: Vec<f32> = (0..m * k).map(|i| ((i + seed) % 7) as f32 - 3.0).collect();
+            let mut c = vec![0.0f32; m * n];
+            gemm_prepacked(&plan, &a, &packed, &mut c, 2);
+            assert_eq!(c, naive(m, n, k, &a, &b), "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different plan")]
+    fn plan_mismatch_is_caught() {
+        let engine = AutoGemm::new(ChipSpec::m2());
+        let plan_a = engine.plan(16, 16, 16);
+        let plan_b = engine.plan(32, 32, 32);
+        let b: Vec<f32> = vec![0.0; 16 * 16];
+        let packed = PackedB::new(&plan_a, &b);
+        let a = vec![0.0f32; 32 * 32];
+        let mut c = vec![0.0f32; 32 * 32];
+        gemm_prepacked(&plan_b, &a, &packed, &mut c, 1);
+    }
+}

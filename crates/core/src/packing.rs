@@ -1,0 +1,172 @@
+//! Operand packing (`σ_packing`, §IV-C2) with the generated kernels'
+//! padding contract.
+//!
+//! Packed `A` blocks are row-major `m_c × k_c` with the leading dimension
+//! extended by `2·σ_lane` elements per row; packed `B` blocks are
+//! row-major `k_c × n_c` with two zeroed trailing rows. These paddings
+//! absorb the faithful Listing-1 kernels' trailing stream loads (see
+//! `autogemm-kernelgen`'s module docs).
+
+/// A packed operand block plus its layout.
+#[derive(Debug, Clone)]
+pub struct PackedBlock {
+    pub data: Vec<f32>,
+    /// Leading dimension in elements.
+    pub ld: usize,
+    pub rows: usize,
+    pub cols: usize,
+}
+
+/// Pack an `rows × cols` block of `src` (leading dimension `src_ld`,
+/// starting at `(row0, col0)`) into a fresh buffer with `pad_cols` extra
+/// elements per row and `pad_rows` extra zeroed rows.
+pub fn pack_block(
+    src: &[f32],
+    src_ld: usize,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+    pad_cols: usize,
+    pad_rows: usize,
+) -> PackedBlock {
+    let ld = cols + pad_cols;
+    let mut data = vec![0.0f32; (rows + pad_rows) * ld];
+    for r in 0..rows {
+        let src_off = (row0 + r) * src_ld + col0;
+        data[r * ld..r * ld + cols].copy_from_slice(&src[src_off..src_off + cols]);
+    }
+    PackedBlock { data, ld, rows, cols }
+}
+
+/// Pack an A block (`m_c × k_c`): rows padded by `2·σ_lane` columns.
+pub fn pack_a(
+    a: &[f32],
+    lda: usize,
+    row0: usize,
+    col0: usize,
+    mc: usize,
+    kc: usize,
+    sigma_lane: usize,
+) -> PackedBlock {
+    pack_block(a, lda, row0, col0, mc, kc, 2 * sigma_lane, 0)
+}
+
+/// Pack a B block (`k_c × n_c`): two zeroed trailing rows plus one lane
+/// of zeroed trailing columns — edge kernels are lane-width-rounded and
+/// read up to `σ_lane - 1` elements past a narrow block's columns.
+pub fn pack_b(
+    b: &[f32],
+    ldb: usize,
+    row0: usize,
+    col0: usize,
+    kc: usize,
+    nc: usize,
+    sigma_lane: usize,
+) -> PackedBlock {
+    pack_block(b, ldb, row0, col0, kc, nc, sigma_lane, 2)
+}
+
+/// Bytes moved by packing one block (read + write), used for traffic
+/// accounting in the simulated backend.
+pub fn pack_traffic_bytes(rows: usize, cols: usize) -> u64 {
+    2 * 4 * (rows as u64) * (cols as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_extracts_the_right_block() {
+        // 4x6 source, pack the 2x3 block at (1,2).
+        let src: Vec<f32> = (0..24).map(|i| i as f32).collect();
+        let p = pack_a(&src, 6, 1, 2, 2, 3, 4);
+        assert_eq!(p.ld, 3 + 8);
+        assert_eq!(&p.data[0..3], &[8.0, 9.0, 10.0]);
+        assert_eq!(&p.data[p.ld..p.ld + 3], &[14.0, 15.0, 16.0]);
+        // Padding is zeroed.
+        assert_eq!(p.data[3], 0.0);
+    }
+
+    #[test]
+    fn pack_b_adds_zero_rows_and_lane_columns() {
+        let src: Vec<f32> = (0..12).map(|i| i as f32 + 1.0).collect();
+        let p = pack_b(&src, 4, 0, 0, 3, 4, 4);
+        assert_eq!(p.ld, 8);
+        assert_eq!(p.data.len(), 5 * 8);
+        assert_eq!(&p.data[0..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert!(p.data[4..8].iter().all(|&x| x == 0.0), "lane padding zeroed");
+        assert!(p.data[3 * 8..].iter().all(|&x| x == 0.0), "row padding zeroed");
+    }
+
+    #[test]
+    fn traffic_is_read_plus_write() {
+        assert_eq!(pack_traffic_bytes(10, 10), 800);
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let src: Vec<f32> = (0..64).map(|i| (i * i) as f32).collect();
+        let p = pack_block(&src, 8, 2, 2, 4, 4, 1, 1);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(p.data[r * p.ld + c], src[(r + 2) * 8 + (c + 2)]);
+            }
+        }
+    }
+}
+
+/// Pack a block of the *transpose* of `src`: element `(r, c)` of the
+/// packed block is `src[(col0 + c) * src_ld + (row0 + r)]`. Used for the
+/// `op(A) = Aᵀ` / `op(B) = Bᵀ` BLAS forms: the kernels always see
+/// row-major packed panels, so transposition costs nothing at run time
+/// beyond this copy.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_block_t(
+    src: &[f32],
+    src_ld: usize,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+    pad_cols: usize,
+    pad_rows: usize,
+) -> PackedBlock {
+    let ld = cols + pad_cols;
+    let mut data = vec![0.0f32; (rows + pad_rows) * ld];
+    for r in 0..rows {
+        for c in 0..cols {
+            data[r * ld + c] = src[(col0 + c) * src_ld + (row0 + r)];
+        }
+    }
+    PackedBlock { data, ld, rows, cols }
+}
+
+#[cfg(test)]
+mod transpose_tests {
+    use super::*;
+
+    #[test]
+    fn pack_block_t_transposes() {
+        // src is 3x4 row-major; packing its transpose's 4x3 block at (0,0)
+        // must give columns-as-rows.
+        let src: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let p = pack_block_t(&src, 4, 0, 0, 4, 3, 1, 0);
+        // packed[r][c] = src[c * 4 + r]
+        assert_eq!(p.data[0], 0.0); // (0,0) -> src[0]
+        assert_eq!(p.data[1], 4.0); // (0,1) -> src[4]
+        assert_eq!(p.data[2], 8.0); // (0,2) -> src[8]
+        assert_eq!(p.data[p.ld], 1.0); // (1,0) -> src[1]
+    }
+
+    #[test]
+    fn pack_block_t_subblock() {
+        let src: Vec<f32> = (0..36).map(|i| i as f32).collect(); // 6x6
+        let p = pack_block_t(&src, 6, 1, 2, 2, 3, 0, 0);
+        // (r,c) -> src[(2+c)*6 + (1+r)]
+        assert_eq!(p.data[0], 13.0);
+        assert_eq!(p.data[1], 19.0);
+        assert_eq!(p.data[p.ld], 14.0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Transposed-operand GEMM: the four BLAS forms
+//! `C = op(A)·op(B)`, `op ∈ {identity, transpose}`.
+//!
+//! The generated kernels always consume row-major packed panels, so a
+//! transposed operand only changes how its panels are *packed*
+//! ([`crate::packing::pack_block_t`]); the tuned schedule, tiling and
+//! kernels are untouched — which is exactly how packing-based BLAS
+//! libraries implement `sgemm`'s `transa`/`transb`.
+
+use crate::native::{block_visit_order, run_placement, CTile};
+use crate::packing::{pack_block, pack_block_t, PackedBlock};
+use crate::plan::ExecutionPlan;
+
+/// Whether an operand is used as stored or transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Use the matrix as stored (row-major `rows × cols`).
+    NoTrans,
+    /// Use the transpose of the stored matrix.
+    Trans,
+}
+
+fn pack_a_op(
+    op: Op,
+    a: &[f32],
+    m: usize,
+    k: usize,
+    row0: usize,
+    col0: usize,
+    mc: usize,
+    kc: usize,
+    sigma_lane: usize,
+) -> PackedBlock {
+    match op {
+        // A stored m×k: plain block.
+        Op::NoTrans => pack_block(a, k, row0, col0, mc, kc, 2 * sigma_lane, 0),
+        // A stored k×m, used as its transpose.
+        Op::Trans => pack_block_t(a, m, row0, col0, mc, kc, 2 * sigma_lane, 0),
+    }
+}
+
+fn pack_b_op(
+    op: Op,
+    b: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    col0: usize,
+    kc: usize,
+    nc: usize,
+    sigma_lane: usize,
+) -> PackedBlock {
+    match op {
+        Op::NoTrans => pack_block(b, n, row0, col0, kc, nc, sigma_lane, 2),
+        // B stored n×k, used as its transpose.
+        Op::Trans => pack_block_t(b, k, row0, col0, kc, nc, sigma_lane, 2),
+    }
+}
+
+/// `C (M×N) = op(A) · op(B)`, row-major.
+///
+/// With `Op::NoTrans`, `a` is `M×K` and `b` is `K×N` (identical to
+/// [`crate::native::gemm_with_plan`]). With `Op::Trans`, `a` is stored
+/// `K×M` and/or `b` is stored `N×K`.
+pub fn gemm_op(
+    plan: &ExecutionPlan,
+    op_a: Op,
+    op_b: Op,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+) {
+    gemm_op_acc(plan, op_a, op_b, a, b, c, threads, false)
+}
+
+/// [`gemm_op`] with an explicit accumulate flag: when set, the existing
+/// contents of `C` are accumulated into (`C += op(A)·op(B)`), which is
+/// what a non-zero BLAS `β` needs after its scaling pass.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_op_acc(
+    plan: &ExecutionPlan,
+    op_a: Op,
+    op_b: Op,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+    accumulate: bool,
+) {
+    let s = &plan.schedule;
+    let (m, n, k) = (s.m, s.n, s.k);
+    assert_eq!(a.len(), m * k, "A must hold M*K elements");
+    assert_eq!(b.len(), k * n, "B must hold K*N elements");
+    assert_eq!(c.len(), m * n, "C must be M*N");
+    let (tm, tn, tk) = plan.grid();
+    let blocks = block_visit_order(&s.order, tm, tn);
+    let threads = threads.max(1).min(blocks.len().max(1));
+
+    // SAFETY: blocks partition C; K is never split across threads (§V-C).
+    let c_root = unsafe { CTile::new(c.as_mut_ptr(), n, c.len()) };
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let blocks = &blocks;
+            scope.spawn(move |_| {
+                for (bi, bj) in blocks.iter().skip(t).step_by(threads) {
+                    let row0 = bi * s.mc;
+                    let col0 = bj * s.nc;
+                    // SAFETY: exclusive block ownership.
+                    let c_block = unsafe { c_root.offset(row0, col0) };
+                    for kb in 0..tk {
+                        let krow = kb * s.kc;
+                        let pa =
+                            pack_a_op(op_a, a, m, k, row0, krow, s.mc, s.kc, plan.sigma_lane);
+                        let pb =
+                            pack_b_op(op_b, b, k, n, krow, col0, s.kc, s.nc, plan.sigma_lane);
+                        for placement in &plan.block_plan.placements {
+                            run_placement(
+                                placement,
+                                s.kc,
+                                &pa.data,
+                                pa.ld,
+                                &pb.data,
+                                pb.ld,
+                                c_block,
+                                accumulate || kb > 0,
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AutoGemm;
+    use autogemm_arch::ChipSpec;
+
+    fn naive_op(
+        m: usize,
+        n: usize,
+        k: usize,
+        op_a: Op,
+        op_b: Op,
+        a: &[f32],
+        b: &[f32],
+    ) -> Vec<f32> {
+        let get_a = |i: usize, p: usize| match op_a {
+            Op::NoTrans => a[i * k + p],
+            Op::Trans => a[p * m + i],
+        };
+        let get_b = |p: usize, j: usize| match op_b {
+            Op::NoTrans => b[p * n + j],
+            Op::Trans => b[j * k + p],
+        };
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += get_a(i, p) * get_b(p, j);
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn all_four_op_combinations_match_naive() {
+        let chip = ChipSpec::graviton2();
+        let engine = AutoGemm::new(chip.clone());
+        let (m, n, k) = (26usize, 36usize, 24usize);
+        let plan = engine.plan(m, n, k);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 5) % 11) as f32 - 5.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 3) % 7) as f32 - 3.0).collect();
+        for op_a in [Op::NoTrans, Op::Trans] {
+            for op_b in [Op::NoTrans, Op::Trans] {
+                let mut c = vec![0.0f32; m * n];
+                gemm_op(&plan, op_a, op_b, &a, &b, &mut c, 2);
+                let want = naive_op(m, n, k, op_a, op_b, &a, &b);
+                assert_eq!(c, want, "op_a={op_a:?} op_b={op_b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn notrans_notrans_equals_plain_gemm() {
+        let chip = ChipSpec::m2();
+        let engine = AutoGemm::new(chip.clone());
+        let (m, n, k) = (13usize, 20usize, 17usize);
+        let plan = engine.plan(m, n, k);
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 9) as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 4) as f32).collect();
+        let mut c1 = vec![0.0f32; m * n];
+        engine.gemm(m, n, k, &a, &b, &mut c1);
+        let mut c2 = vec![0.0f32; m * n];
+        gemm_op(&plan, Op::NoTrans, Op::NoTrans, &a, &b, &mut c2, 1);
+        assert_eq!(c1, c2);
+    }
+}
+
+/// Full BLAS-style `sgemm`: `C = α · op(A) · op(B) + β · C`, row-major.
+///
+/// `α` is folded into the `A` panels while packing (the kernels never see
+/// it — the standard packing-library trick), and `β` is applied to `C` in
+/// one pass up front, so the hot loops are identical to [`gemm_op`].
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm(
+    plan: &ExecutionPlan,
+    alpha: f32,
+    op_a: Op,
+    a: &[f32],
+    op_b: Op,
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    threads: usize,
+) {
+    let s = &plan.schedule;
+    assert_eq!(c.len(), s.m * s.n, "C must be M*N");
+    // β pass.
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for v in c.iter_mut() {
+            *v *= beta;
+        }
+    }
+    if alpha == 0.0 {
+        return;
+    }
+    let accumulate = beta != 0.0;
+    if alpha == 1.0 {
+        gemm_op_acc(plan, op_a, op_b, a, b, c, threads, accumulate);
+        return;
+    }
+    // Fold α into A once (the packed copies inherit it).
+    let scaled_a: Vec<f32> = a.iter().map(|&x| x * alpha).collect();
+    gemm_op_acc(plan, op_a, op_b, &scaled_a, b, c, threads, accumulate);
+}
+
+#[cfg(test)]
+mod sgemm_tests {
+    use super::*;
+    use crate::AutoGemm;
+    use autogemm_arch::ChipSpec;
+
+    fn data(m: usize, n: usize, k: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let a = (0..m * k).map(|i| ((i * 7) % 9) as f32 - 4.0).collect();
+        let b = (0..k * n).map(|i| ((i * 5) % 7) as f32 - 3.0).collect();
+        let c = (0..m * n).map(|i| ((i * 3) % 5) as f32 - 2.0).collect();
+        (a, b, c)
+    }
+
+    fn naive_sgemm(
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f32,
+        a: &[f32],
+        b: &[f32],
+        beta: f32,
+        c: &mut [f32],
+    ) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut dot = 0.0f32;
+                for p in 0..k {
+                    dot += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = alpha * dot + beta * c[i * n + j];
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_beta_combinations_match_naive() {
+        let chip = ChipSpec::graviton2();
+        let engine = AutoGemm::new(chip.clone());
+        let (m, n, k) = (16usize, 24usize, 20usize);
+        let plan = engine.plan(m, n, k);
+        let (a, b, c0) = data(m, n, k);
+        for (alpha, beta) in [(1.0f32, 0.0f32), (1.0, 1.0), (2.5, 0.0), (0.5, -1.5), (0.0, 3.0)] {
+            let mut c = c0.clone();
+            sgemm(&plan, alpha, Op::NoTrans, &a, Op::NoTrans, &b, beta, &mut c, 2);
+            let mut want = c0.clone();
+            naive_sgemm(m, n, k, alpha, &a, &b, beta, &mut want);
+            for (i, (&got, &w)) in c.iter().zip(&want).enumerate() {
+                assert!(
+                    (got - w).abs() <= 1e-3 * w.abs().max(1.0),
+                    "alpha={alpha} beta={beta}: C[{i}] = {got} want {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_zero_only_applies_beta() {
+        let chip = ChipSpec::kp920();
+        let engine = AutoGemm::new(chip.clone());
+        let (m, n, k) = (8usize, 8usize, 8usize);
+        let plan = engine.plan(m, n, k);
+        let (a, b, c0) = data(m, n, k);
+        let mut c = c0.clone();
+        sgemm(&plan, 0.0, Op::NoTrans, &a, Op::NoTrans, &b, 2.0, &mut c, 1);
+        let want: Vec<f32> = c0.iter().map(|&x| x * 2.0).collect();
+        assert_eq!(c, want);
+    }
+}

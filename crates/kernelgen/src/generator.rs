@@ -1,0 +1,714 @@
+//! Micro-kernel emission: the Rust port of the paper's Listing 1, plus the
+//! two pipeline optimizations of §III-C.
+//!
+//! A generated kernel has the paper's three-part structure:
+//!
+//! * **prologue** — prefetch `A`/`B`/`C`, scale leading dimensions to bytes,
+//!   materialize the `A` and `C` row pointers, load (or zero) the `C`
+//!   accumulator panel, and pre-load the first `A` column and `B` row
+//!   (Eqn 5);
+//! * **mainloop** — `⌊k̄_c⌋` iterations, each unrolled over the `σ_lane`
+//!   lanes of the `A` vectors: `m_r · n̄_r` FMAs per lane followed by the
+//!   reload of the next `B` row, with the next `A` vectors loaded at the
+//!   iteration boundary (Eqn 6);
+//! * **epilogue** — the `k_c mod σ_lane` remainder lanes and the stores of
+//!   the `C` panel (Eqn 7).
+//!
+//! With [`crate::spec::PipelineOpts::rotate`] set, the streaming operand is
+//! double-buffered in the tile's spare registers (§III-C1): compute-bound
+//! tiles rotate the `A` bank across a 2-unrolled main loop (Eqn 9);
+//! memory-bound tiles rotate the `B` bank and interleave its loads two
+//! lanes ahead of use, dissolving the `FMA → LOAD → FMA` dependency
+//! (Eqn 10).
+//!
+//! ### Buffer padding contract
+//!
+//! Faithful to Listing 1, the kernel streams one load *past* the data it
+//! consumes: callers must guarantee that each `A` row has `2·σ_lane` extra
+//! readable elements and that `B` has two extra readable rows. The values
+//! loaded from the padding never reach an accumulator; only the addresses
+//! must be mapped. `autogemm-sim`'s memory builder and the packing layer in
+//! `autogemm` both honour this contract.
+
+use crate::spec::{BoundClass, MicroKernelSpec, Strides};
+use autogemm_arch::isa::{Instr, PrefetchLevel, VReg, XReg};
+use autogemm_arch::{Block, ChipSpec, Program};
+
+/// Register assignment for one kernel, following the layout of Listing 1:
+/// accumulators first, then the `A` bank, then the `B` bank, with rotation
+/// banks carved out of the spare registers.
+pub(crate) struct RegMap {
+    mr: usize,
+    nrv: usize,
+    /// Rows of the `A` bank that have a second (rotation) register.
+    pub a_rotated_rows: usize,
+    /// Whether `B` has a full second bank.
+    pub b_rotated: bool,
+}
+
+impl RegMap {
+    pub(crate) fn new(spec: &MicroKernelSpec, class: BoundClass) -> Self {
+        let mr = spec.tile.mr;
+        let nrv = spec.tile.nr_vec(spec.sigma_lane);
+        let spare = spec.tile.spare_registers(spec.sigma_lane);
+        let (a_rotated_rows, b_rotated) = if spec.opts.rotate {
+            match class {
+                BoundClass::Compute => (spare.min(mr), false),
+                BoundClass::Memory => (0, spare >= nrv),
+            }
+        } else {
+            (0, false)
+        };
+        RegMap { mr, nrv, a_rotated_rows, b_rotated }
+    }
+
+    /// Accumulator register for `C[row][col]` (`col` in vector units).
+    fn acc(&self, row: usize, col: usize) -> VReg {
+        VReg::new(row * self.nrv + col)
+    }
+
+    /// `A` row register in `bank` 0 or 1. Bank 1 exists only for rotated
+    /// rows; other rows alias bank 0.
+    fn a(&self, bank: usize, row: usize) -> VReg {
+        let base = self.mr * self.nrv;
+        if bank == 1 && row < self.a_rotated_rows {
+            VReg::new(base + self.mr + self.nrv + row)
+        } else {
+            VReg::new(base + row)
+        }
+    }
+
+    /// `B` column register in `bank` 0 or 1.
+    fn b(&self, bank: usize, col: usize) -> VReg {
+        let base = self.mr * self.nrv + self.mr;
+        if bank == 1 && self.b_rotated {
+            VReg::new(base + self.nrv + col)
+        } else {
+            VReg::new(base + col)
+        }
+    }
+}
+
+/// Scalar-register conventions shared by all generated kernels.
+pub mod xregs {
+    use autogemm_arch::isa::XReg;
+    /// Base address of `A` (bytes), never clobbered in chain mode.
+    pub const A: XReg = XReg(0);
+    /// Base address of `B` (bytes).
+    pub const B: XReg = XReg(1);
+    /// Base address of `C` (bytes).
+    pub const C: XReg = XReg(2);
+    /// `lda` in elements on entry (scaled to bytes by dynamic-stride
+    /// prologues).
+    pub const LDA: XReg = XReg(3);
+    pub const LDB: XReg = XReg(4);
+    pub const LDC: XReg = XReg(5);
+    /// Epilogue C-store row cursor.
+    pub const C_STORE: XReg = XReg(21);
+    /// B row cursor for static-stride / chained kernels.
+    pub const B_CURSOR: XReg = XReg(22);
+    /// Prologue C-load row cursor (distinct from [`C_STORE`] so a fused
+    /// chain can interleave the previous kernel's stores with the next
+    /// kernel's loads).
+    pub const C_LOAD: XReg = XReg(23);
+    /// `A` row pointer for `row` (rows 0..15 map to `x6..x21`-exclusive).
+    pub fn a_row(row: usize) -> XReg {
+        XReg::new(6 + row)
+    }
+}
+
+/// Element offsets of one tile inside the `A` / `B` / `C` base buffers;
+/// used by fused chains where a single program addresses many tiles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Placement {
+    pub a_off: usize,
+    pub b_off: usize,
+    pub c_off: usize,
+}
+
+/// The dissected pieces of one generated kernel, used both to assemble a
+/// stand-alone [`Program`] and to build fused chains (§III-C2).
+pub(crate) struct KernelParts {
+    /// Prefetch + stride scaling + row-pointer setup.
+    pub setup: Vec<Instr>,
+    /// C-panel loads (accumulate) or zeroing.
+    pub c_panel: Vec<Instr>,
+    /// Initial A vectors and B row(s).
+    pub ab_loads: Vec<Instr>,
+    /// Main-loop blocks (at most one loop plus an optional peeled tail).
+    pub main: Vec<Block>,
+    /// Remainder-lane FMAs of the epilogue.
+    pub epilogue_fma: Vec<Instr>,
+    /// C-panel stores.
+    pub stores: Vec<Instr>,
+}
+
+pub(crate) struct Emitter<'a> {
+    spec: &'a MicroKernelSpec,
+    regs: RegMap,
+    class: BoundClass,
+    place: Placement,
+    /// Bytes of one vector register.
+    vb: i64,
+}
+
+impl<'a> Emitter<'a> {
+    pub(crate) fn new(spec: &'a MicroKernelSpec, chip: &ChipSpec, place: Placement) -> Self {
+        let class = BoundClass::classify(spec.tile, chip);
+        let regs = RegMap::new(spec, class);
+        if place != Placement::default() {
+            assert!(
+                matches!(spec.strides, Strides::Static { .. }),
+                "placed (chained) kernels require static strides"
+            );
+        }
+        Emitter { spec, regs, class, place, vb: (spec.sigma_lane * 4) as i64 }
+    }
+
+    fn static_strides(&self) -> Option<(i64, i64, i64)> {
+        match self.spec.strides {
+            Strides::Dynamic => None,
+            Strides::Static { lda, ldb, ldc } => {
+                Some(((lda * 4) as i64, (ldb * 4) as i64, (ldc * 4) as i64))
+            }
+        }
+    }
+
+    /// The register holding the running B row pointer.
+    fn b_cursor(&self) -> XReg {
+        if self.static_strides().is_some() {
+            xregs::B_CURSOR
+        } else {
+            xregs::B
+        }
+    }
+
+    /// Advance the B row cursor by one row.
+    fn advance_b(&self, out: &mut Vec<Instr>) {
+        match self.static_strides() {
+            None => out.push(Instr::AddReg { dst: xregs::B, a: xregs::B, b: xregs::LDB }),
+            Some((_, ldb, _)) => {
+                out.push(Instr::AddImm { dst: xregs::B_CURSOR, a: xregs::B_CURSOR, imm: ldb })
+            }
+        }
+    }
+
+    /// Step a C row cursor by `ldc`.
+    fn advance_c(&self, cursor: XReg, out: &mut Vec<Instr>) {
+        match self.static_strides() {
+            None => out.push(Instr::AddReg { dst: cursor, a: cursor, b: xregs::LDC }),
+            Some((_, _, ldc)) => out.push(Instr::AddImm { dst: cursor, a: cursor, imm: ldc }),
+        }
+    }
+
+    /// Load one full B row into `bank`, then advance the B cursor.
+    fn load_b_row(&self, bank: usize, out: &mut Vec<Instr>) {
+        for col in 0..self.regs.nrv {
+            out.push(Instr::Ldr {
+                dst: self.regs.b(bank, col),
+                base: self.b_cursor(),
+                offset: col as i64 * self.vb,
+                post_inc: 0,
+            });
+        }
+        self.advance_b(out);
+    }
+
+    /// Load the next vector of every A row in `rows` into `bank`
+    /// (post-incremented row pointers).
+    fn load_a_rows(&self, bank: usize, rows: std::ops::Range<usize>, out: &mut Vec<Instr>) {
+        for row in rows {
+            out.push(Instr::Ldr {
+                dst: self.regs.a(bank, row),
+                base: xregs::a_row(row),
+                offset: 0,
+                post_inc: self.vb,
+            });
+        }
+    }
+
+    /// The `m_r · n̄_r` FMAs of one lane, reading A from `a_bank` and B from
+    /// `b_bank` (Listing 1 lines 28-32 order: columns outer, rows inner).
+    fn fma_lane(&self, lane: usize, a_bank: usize, b_bank: usize, out: &mut Vec<Instr>) {
+        for col in 0..self.regs.nrv {
+            for row in 0..self.regs.mr {
+                out.push(Instr::Fmla {
+                    acc: self.regs.acc(row, col),
+                    mul: self.regs.b(b_bank, col),
+                    lane_src: self.regs.a(a_bank, row),
+                    lane: lane as u8,
+                });
+            }
+        }
+    }
+
+    /// FMAs of one lane with the B loads of the row two lanes ahead
+    /// interleaved after each column's last use — the memory-bound rotation
+    /// of §III-C1 (Eqn 10).
+    fn fma_lane_interleaved(&self, lane: usize, bank: usize, out: &mut Vec<Instr>) {
+        for col in 0..self.regs.nrv {
+            for row in 0..self.regs.mr {
+                out.push(Instr::Fmla {
+                    acc: self.regs.acc(row, col),
+                    mul: self.regs.b(bank, col),
+                    lane_src: self.regs.a(0, row),
+                    lane: lane as u8,
+                });
+            }
+            // B[p+2][col] replaces the value this lane just finished with.
+            out.push(Instr::Ldr {
+                dst: self.regs.b(bank, col),
+                base: self.b_cursor(),
+                offset: col as i64 * self.vb,
+                post_inc: 0,
+            });
+        }
+        self.advance_b(out);
+    }
+
+    /// Prefetch + stride scaling + A-row and B/C cursor setup.
+    fn setup(&self) -> Vec<Instr> {
+        let mut out = Vec::new();
+        if self.spec.opts.prefetch {
+            for base in [xregs::A, xregs::B, xregs::C] {
+                out.push(Instr::Prfm { base, offset: 64, level: PrefetchLevel::L1 });
+            }
+        }
+        match self.static_strides() {
+            None => {
+                for reg in [xregs::LDA, xregs::LDB, xregs::LDC] {
+                    out.push(Instr::Lsl { dst: reg, src: reg, shift: 2 });
+                }
+                out.push(Instr::MovReg { dst: xregs::a_row(0), src: xregs::A });
+                for row in 1..self.regs.mr {
+                    out.push(Instr::AddReg {
+                        dst: xregs::a_row(row),
+                        a: xregs::a_row(row - 1),
+                        b: xregs::LDA,
+                    });
+                }
+            }
+            Some((lda, ldb, _)) => {
+                let a0 = (self.place.a_off * 4) as i64;
+                out.push(Instr::AddImm { dst: xregs::a_row(0), a: xregs::A, imm: a0 });
+                for row in 1..self.regs.mr {
+                    out.push(Instr::AddImm {
+                        dst: xregs::a_row(row),
+                        a: xregs::a_row(row - 1),
+                        imm: lda,
+                    });
+                }
+                let _ = ldb;
+                out.push(Instr::AddImm {
+                    dst: xregs::B_CURSOR,
+                    a: xregs::B,
+                    imm: (self.place.b_off * 4) as i64,
+                });
+            }
+        }
+        out
+    }
+
+    /// C-panel loads (accumulate) or zeroing, walking rows with the
+    /// [`xregs::C_LOAD`] cursor.
+    fn c_panel(&self) -> Vec<Instr> {
+        let mut out = Vec::new();
+        if self.spec.accumulate {
+            match self.static_strides() {
+                None => out.push(Instr::MovReg { dst: xregs::C_LOAD, src: xregs::C }),
+                Some(_) => out.push(Instr::AddImm {
+                    dst: xregs::C_LOAD,
+                    a: xregs::C,
+                    imm: (self.place.c_off * 4) as i64,
+                }),
+            }
+            for row in 0..self.regs.mr {
+                for col in 0..self.regs.nrv {
+                    out.push(Instr::Ldr {
+                        dst: self.regs.acc(row, col),
+                        base: xregs::C_LOAD,
+                        offset: col as i64 * self.vb,
+                        post_inc: 0,
+                    });
+                }
+                if row + 1 < self.regs.mr {
+                    self.advance_c(xregs::C_LOAD, &mut out);
+                }
+            }
+        } else {
+            for row in 0..self.regs.mr {
+                for col in 0..self.regs.nrv {
+                    out.push(Instr::Vzero { dst: self.regs.acc(row, col) });
+                }
+            }
+        }
+        out
+    }
+
+    /// Initial A vectors and first B row(s) (Listing 1 lines 17-24).
+    fn ab_loads(&self) -> Vec<Instr> {
+        let mut out = Vec::new();
+        self.load_a_rows(0, 0..self.regs.mr, &mut out);
+        self.load_b_row(0, &mut out);
+        if self.regs.b_rotated {
+            self.load_b_row(1, &mut out);
+        }
+        out
+    }
+
+    /// FMAs of one lane with each B column's reload bound right after its
+    /// last use (Listing 1's "binding one load B" placement), reading A
+    /// from `a_bank` and writing the B reloads into `b_bank`.
+    fn fma_lane_bound(&self, lane: usize, a_bank: usize, b_bank: usize, out: &mut Vec<Instr>) {
+        for col in 0..self.regs.nrv {
+            for row in 0..self.regs.mr {
+                out.push(Instr::Fmla {
+                    acc: self.regs.acc(row, col),
+                    mul: self.regs.b(b_bank, col),
+                    lane_src: self.regs.a(a_bank, row),
+                    lane: lane as u8,
+                });
+            }
+            out.push(Instr::Ldr {
+                dst: self.regs.b(b_bank, col),
+                base: self.b_cursor(),
+                offset: col as i64 * self.vb,
+                post_inc: 0,
+            });
+        }
+        self.advance_b(out);
+    }
+
+    /// One basic main-loop iteration (Listing 1 lines 26-41).
+    fn basic_iteration(&self) -> Vec<Instr> {
+        let mut out = Vec::new();
+        for lane in 0..self.spec.sigma_lane {
+            self.fma_lane_bound(lane, 0, 0, &mut out);
+        }
+        self.load_a_rows(0, 0..self.regs.mr, &mut out);
+        out
+    }
+
+    /// One memory-bound-rotated iteration: lanes alternate B banks, loads
+    /// run two lanes ahead.
+    fn mem_rotated_iteration(&self) -> Vec<Instr> {
+        let mut out = Vec::new();
+        for lane in 0..self.spec.sigma_lane {
+            self.fma_lane_interleaved(lane, lane % 2, &mut out);
+        }
+        self.load_a_rows(0, 0..self.regs.mr, &mut out);
+        out
+    }
+
+    /// One half of a compute-bound-rotated pair. `cur` is the A bank this
+    /// half computes from; the rotated rows of the *other* bank are loaded
+    /// early (right after lane 0), the non-rotated rows at the boundary.
+    fn comp_rotated_half(&self, cur: usize, out: &mut Vec<Instr>) {
+        let next = 1 - cur;
+        for lane in 0..self.spec.sigma_lane {
+            self.fma_lane_bound(lane, cur, 0, out);
+            if lane == 0 {
+                self.load_a_rows(next, 0..self.regs.a_rotated_rows, out);
+            }
+        }
+        // Non-rotated rows always live in bank 0; reload them at the
+        // boundary as the basic kernel does.
+        self.load_a_rows(0, self.regs.a_rotated_rows..self.regs.mr, out);
+    }
+
+    fn main_blocks(&self) -> Vec<Block> {
+        let mut blocks = Vec::new();
+        let kv = self.spec.kc_vec_floor();
+        let rotate_comp = self.spec.opts.rotate
+            && self.class == BoundClass::Compute
+            && self.regs.a_rotated_rows > 0;
+        let rotate_mem = self.spec.opts.rotate && self.regs.b_rotated;
+        if rotate_comp {
+            let pairs = kv / 2;
+            if pairs > 0 {
+                let mut body = Vec::new();
+                self.comp_rotated_half(0, &mut body);
+                self.comp_rotated_half(1, &mut body);
+                blocks.push(Block::Loop { count: pairs, body });
+            }
+            if kv % 2 == 1 {
+                blocks.push(Block::Straight(self.basic_iteration()));
+            }
+        } else if rotate_mem {
+            if kv > 0 {
+                blocks.push(Block::Loop { count: kv, body: self.mem_rotated_iteration() });
+            }
+        } else if kv > 0 {
+            blocks.push(Block::Loop { count: kv, body: self.basic_iteration() });
+        }
+        blocks
+    }
+
+    /// Remainder-lane FMAs (k_c mod σ_lane) of the epilogue.
+    fn epilogue_fma(&self) -> Vec<Instr> {
+        let mut out = Vec::new();
+        let rem = self.spec.kc_remainder();
+        for lane in 0..rem {
+            let bank = if self.regs.b_rotated { lane % 2 } else { 0 };
+            self.fma_lane(lane, 0, bank, &mut out);
+            let next_needed = if self.regs.b_rotated { lane + 2 } else { lane + 1 };
+            if next_needed < rem {
+                self.load_b_row(bank, &mut out);
+            }
+        }
+        out
+    }
+
+    /// C-panel stores, walking rows with the [`xregs::C_STORE`] cursor.
+    fn stores(&self) -> Vec<Instr> {
+        let mut out = Vec::new();
+        match self.static_strides() {
+            None => out.push(Instr::MovReg { dst: xregs::C_STORE, src: xregs::C }),
+            Some(_) => out.push(Instr::AddImm {
+                dst: xregs::C_STORE,
+                a: xregs::C,
+                imm: (self.place.c_off * 4) as i64,
+            }),
+        }
+        for row in 0..self.regs.mr {
+            for col in 0..self.regs.nrv {
+                out.push(Instr::Str {
+                    src: self.regs.acc(row, col),
+                    base: xregs::C_STORE,
+                    offset: col as i64 * self.vb,
+                    post_inc: 0,
+                });
+            }
+            if row + 1 < self.regs.mr {
+                self.advance_c(xregs::C_STORE, &mut out);
+            }
+        }
+        out
+    }
+
+    pub(crate) fn parts(&self) -> KernelParts {
+        KernelParts {
+            setup: self.setup(),
+            c_panel: self.c_panel(),
+            ab_loads: self.ab_loads(),
+            main: self.main_blocks(),
+            epilogue_fma: self.epilogue_fma(),
+            stores: self.stores(),
+        }
+    }
+
+    pub(crate) fn class(&self) -> BoundClass {
+        self.class
+    }
+
+    fn build(&self) -> Program {
+        let parts = self.parts();
+        let mut prog = Program::new(self.spec.name());
+        let mut prologue = parts.setup;
+        prologue.extend(parts.c_panel);
+        prologue.extend(parts.ab_loads);
+        prog.push_straight(prologue);
+        for b in parts.main {
+            prog.blocks.push(b);
+        }
+        let mut epilogue = parts.epilogue_fma;
+        epilogue.extend(parts.stores);
+        prog.push_straight(epilogue);
+        prog
+    }
+}
+
+/// Generate the micro-kernel program for `spec` targeting `chip`.
+///
+/// Panics if the spec fails [`MicroKernelSpec::validate`] or if its
+/// `σ_lane` disagrees with the chip's.
+pub fn generate(spec: &MicroKernelSpec, chip: &ChipSpec) -> Program {
+    spec.validate().expect("invalid micro-kernel spec");
+    assert_eq!(
+        spec.sigma_lane,
+        chip.sigma_lane(),
+        "spec σ_lane does not match chip {}",
+        chip.name
+    );
+    Emitter::new(spec, chip, Placement::default()).build()
+}
+
+/// The bound class the generator resolves for a spec on a chip (exposed for
+/// the performance model and the fusion-kind bookkeeping).
+pub fn bound_class(spec: &MicroKernelSpec, chip: &ChipSpec) -> BoundClass {
+    BoundClass::classify(spec.tile, chip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PipelineOpts;
+    use crate::tiles::MicroTile;
+    use autogemm_arch::InstrClass;
+
+    fn spec(mr: usize, nr: usize, kc: usize, rotate: bool) -> MicroKernelSpec {
+        MicroKernelSpec {
+            tile: MicroTile::new(mr, nr),
+            kc,
+            sigma_lane: 4,
+            accumulate: true,
+            strides: Strides::Dynamic,
+            opts: PipelineOpts { rotate, prefetch: true },
+        }
+    }
+
+    #[test]
+    fn instruction_counts_match_eqn_bookkeeping() {
+        // 5x16, kc=64: m_r·n̄_r·k_c = 5·4·64 = 1280 vector FMAs.
+        let chip = ChipSpec::idealized();
+        let p = generate(&spec(5, 16, 64, false), &chip);
+        assert_eq!(p.count_class(InstrClass::Fma), 5 * 4 * 64);
+        // Loads: C (20) + A initial (5) + B initial (4) + per-iteration
+        // (4 B rows * 4 cols + 5 A) * 16 iterations.
+        assert_eq!(
+            p.count_class(InstrClass::Load),
+            20 + 5 + 4 + 16 * (4 * 4 + 5)
+        );
+        // Stores: the C panel.
+        assert_eq!(p.count_class(InstrClass::Store), 20);
+        assert_eq!(p.count_class(InstrClass::Prefetch), 3);
+    }
+
+    #[test]
+    fn remainder_kc_adds_epilogue_fmas_not_loop_iterations() {
+        let chip = ChipSpec::idealized();
+        let p18 = generate(&spec(5, 16, 18, false), &chip);
+        let p16 = generate(&spec(5, 16, 16, false), &chip);
+        // 18 = 4 iterations + 2 remainder lanes → 2 * 20 extra FMAs.
+        assert_eq!(
+            p18.count_class(InstrClass::Fma) - p16.count_class(InstrClass::Fma),
+            2 * 5 * 4
+        );
+    }
+
+    #[test]
+    fn rotation_on_memory_bound_tile_uses_b_bank() {
+        let chip = ChipSpec::idealized();
+        let s = spec(2, 16, 32, true);
+        assert_eq!(BoundClass::classify(s.tile, &chip), BoundClass::Memory);
+        let rm = RegMap::new(&s, BoundClass::Memory);
+        assert!(rm.b_rotated);
+        assert_eq!(rm.a_rotated_rows, 0);
+        // The rotated kernel has the same FMA count as the basic one.
+        let rot = generate(&s, &chip);
+        let basic = generate(&spec(2, 16, 32, false), &chip);
+        assert_eq!(
+            rot.count_class(InstrClass::Fma),
+            basic.count_class(InstrClass::Fma)
+        );
+    }
+
+    #[test]
+    fn rotation_on_compute_bound_tile_uses_partial_a_bank() {
+        // 5x16 has 3 spare registers (§III-C1): 3 of 5 rows double-buffered.
+        let chip = ChipSpec::idealized();
+        let s = spec(5, 16, 32, true);
+        let rm = RegMap::new(&s, BoundClass::Compute);
+        assert_eq!(rm.a_rotated_rows, 3);
+        assert!(!rm.b_rotated);
+        let p = generate(&s, &chip);
+        // Unroll-by-2 halves the loop trip count but not the work.
+        assert_eq!(p.count_class(InstrClass::Fma), 5 * 4 * 32);
+    }
+
+    #[test]
+    fn full_a_double_buffer_when_spares_allow() {
+        // 4x8: 4*2+4+2 = 14 regs, 18 spares >= mr=4.
+        let chip = ChipSpec::idealized();
+        let s = spec(4, 8, 32, true);
+        let class = BoundClass::classify(s.tile, &chip);
+        let rm = RegMap::new(&s, class);
+        if class == BoundClass::Compute {
+            assert_eq!(rm.a_rotated_rows, 4);
+        } else {
+            assert!(rm.b_rotated);
+        }
+    }
+
+    #[test]
+    fn register_budget_never_exceeded() {
+        let chip = ChipSpec::idealized();
+        for tile in crate::tiles::enumerate(4) {
+            for rotate in [false, true] {
+                let s = spec(tile.mr, tile.nr, 24, rotate);
+                let p = generate(&s, &chip);
+                for instr in p.unrolled() {
+                    if let Some(v) = instr.vreg_write() {
+                        assert!(v.0 < 32, "{}: vreg {} out of budget", s.name(), v.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_strides_fold_address_math_into_immediates() {
+        let chip = ChipSpec::idealized();
+        let mut s = spec(5, 16, 16, false);
+        s.strides = Strides::Static { lda: 16, ldb: 16, ldc: 64 };
+        let p = generate(&s, &chip);
+        let has_lsl = p.unrolled().any(|i| matches!(i, Instr::Lsl { .. }));
+        assert!(!has_lsl, "static-stride kernels must not scale strides at runtime");
+        let has_addreg = p.unrolled().any(|i| matches!(i, Instr::AddReg { .. }));
+        assert!(!has_addreg, "static-stride kernels use immediate address math");
+    }
+
+    #[test]
+    fn non_accumulating_kernel_zeroes_instead_of_loading_c() {
+        let chip = ChipSpec::idealized();
+        let mut s = spec(4, 8, 8, false);
+        s.accumulate = false;
+        let p = generate(&s, &chip);
+        let zeroes = p
+            .unrolled()
+            .filter(|i| matches!(i, Instr::Vzero { .. }))
+            .count();
+        assert_eq!(zeroes, 4 * 2);
+        // The accumulating variant instead loads the 4*2 C vectors.
+        let acc = generate(&spec(4, 8, 8, false), &chip);
+        assert_eq!(
+            acc.count_class(InstrClass::Load) - p.count_class(InstrClass::Load),
+            4 * 2
+        );
+    }
+
+    #[test]
+    fn kc_smaller_than_lane_count_generates_loop_free_kernel() {
+        let chip = ChipSpec::idealized();
+        let p = generate(&spec(5, 16, 3, false), &chip);
+        let has_loop = p.blocks.iter().any(|b| matches!(b, Block::Loop { .. }));
+        assert!(!has_loop);
+        assert_eq!(p.count_class(InstrClass::Fma), 5 * 4 * 3);
+    }
+
+    #[test]
+    fn render_produces_assembly_text() {
+        let chip = ChipSpec::idealized();
+        let p = generate(&spec(5, 16, 16, false), &chip);
+        let asm = p.render();
+        assert!(asm.contains("fmla"));
+        assert!(asm.contains("prfm PLDL1KEEP"));
+        assert!(asm.contains("lsl x3, x3, #2"));
+    }
+
+    #[test]
+    fn sve_kernels_unroll_sixteen_lanes() {
+        let chip = ChipSpec::a64fx();
+        let s = MicroKernelSpec {
+            tile: MicroTile::new(5, 16),
+            kc: 32,
+            sigma_lane: 16,
+            accumulate: true,
+            strides: Strides::Dynamic,
+            opts: PipelineOpts::basic(),
+        };
+        let p = generate(&s, &chip);
+        // 5 rows x 1 vector col x 32 k-values of FMAs.
+        assert_eq!(p.count_class(InstrClass::Fma), 5 * 1 * 32);
+    }
+}

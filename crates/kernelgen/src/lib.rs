@@ -1,0 +1,37 @@
+//! # autogemm-kernelgen
+//!
+//! Auto-generation of GEMM micro-kernels, reproducing §III of the autoGEMM
+//! paper.
+//!
+//! A micro-kernel computes `C(m_r, n_r) += A(m_r, k_c) · B(k_c, n_r)` with
+//! everything register-resident except streaming loads of `A` and `B`
+//! (Eqn 1). This crate provides:
+//!
+//! * [`tiles`] — enumeration of the 58 feasible register-tile shapes under
+//!   the 32-vector-register budget, their arithmetic intensity (Eqn 2,
+//!   Table II), and the four first-choice shapes.
+//! * [`spec`] — the micro-kernel specification (`m_r × n_r × k_c`, strides,
+//!   pipeline options) and the compute-/memory-bound classification of
+//!   §III-B.
+//! * [`generator`] — the Rust port of the paper's Listing 1: emission of
+//!   prologue / mainloop / epilogue instruction streams in the virtual Arm
+//!   ISA of `autogemm-arch`, including the two pipeline optimizations of
+//!   §III-C (rotating register allocation; interleaved, double-buffered
+//!   loads).
+//! * [`chain`] — fusing a micro-kernel's epilogue with the next kernel's
+//!   prologue (§III-C2), in the four `c_to_c` / `m_to_m` / `c_to_m` /
+//!   `m_to_c` flavours.
+//!
+//! The generated [`autogemm_arch::Program`]s are executed by `autogemm-sim`
+//! both functionally (bit-exact `f32` GEMM, used by the correctness tests)
+//! and on the cycle-level pipeline model (used by every performance figure).
+
+pub mod chain;
+pub mod generator;
+pub mod spec;
+pub mod tiles;
+
+pub use chain::{fuse_chain, FusionKind, TileInvocation};
+pub use generator::generate;
+pub use spec::{BoundClass, MicroKernelSpec, PipelineOpts, Strides};
+pub use tiles::MicroTile;

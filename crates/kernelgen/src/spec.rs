@@ -1,0 +1,200 @@
+//! Micro-kernel specifications and the compute-/memory-bound classification
+//! of §III-B.
+
+use crate::tiles::MicroTile;
+use autogemm_arch::ChipSpec;
+use serde::{Deserialize, Serialize};
+
+/// How the kernel obtains its leading dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strides {
+    /// Leading dimensions passed at runtime in `x3/x4/x5` (in elements);
+    /// the prologue scales them to bytes with `lsl #2`, exactly as
+    /// Listing 1 does. This is the faithful stand-alone kernel form.
+    Dynamic,
+    /// Leading dimensions known at generation time (JIT-style); all address
+    /// arithmetic folds into immediates. Used inside fused kernel chains
+    /// where each segment addresses a different tile.
+    Static { lda: usize, ldb: usize, ldc: usize },
+}
+
+/// Pipeline-optimization switches of §III-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PipelineOpts {
+    /// Rotating register allocation (§III-C1): double-buffer the streaming
+    /// operand in spare registers so its loads issue early. For
+    /// compute-bound tiles this rotates the `A` rows; for memory-bound
+    /// tiles it rotates the `B` row (Eqns 9 and 10).
+    pub rotate: bool,
+    /// Emit L1 prefetches in the prologue (Listing 1 lines 5-7).
+    pub prefetch: bool,
+}
+
+impl PipelineOpts {
+    /// Listing 1 as published: prefetch on, no rotation.
+    pub fn basic() -> Self {
+        PipelineOpts { rotate: false, prefetch: true }
+    }
+
+    /// Listing 1 + rotating register allocation.
+    pub fn rotated() -> Self {
+        PipelineOpts { rotate: true, prefetch: true }
+    }
+}
+
+/// Whether a tile's main loop is limited by FMA throughput or by the
+/// latency of the streaming `B` loads (§III-B1 vs §III-B2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BoundClass {
+    Compute,
+    Memory,
+}
+
+impl BoundClass {
+    /// Classify a tile on a chip: the per-lane FMA burst
+    /// (`m_r · n̄_r · rt_fma` cycles) must cover one `B`-row reload
+    /// (`n̄_r · rt_load + L_load` cycles for L1-resident data), otherwise
+    /// the `FMA → LOAD → FMA` dependency of §III-B2 leaves bubbles.
+    pub fn classify(tile: MicroTile, chip: &ChipSpec) -> BoundClass {
+        let nrv = tile.nr_vec(chip.sigma_lane());
+        let fma_cycles = (tile.mr * nrv) as u64 * chip.rt_fma;
+        let load_cycles = nrv as u64 * chip.rt_load + chip.lat_load_l1();
+        if fma_cycles >= load_cycles {
+            BoundClass::Compute
+        } else {
+            BoundClass::Memory
+        }
+    }
+}
+
+/// Full specification of one micro-kernel to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MicroKernelSpec {
+    pub tile: MicroTile,
+    /// Reduction depth `k_c` in elements. Need not be a lane multiple; the
+    /// remainder is handled by the epilogue (Eqn 7).
+    pub kc: usize,
+    /// `σ_lane` of the target chip (4 for NEON, 16 for SVE-512).
+    pub sigma_lane: usize,
+    /// `true` ⇒ `C += A·B` (loads the C panel in the prologue, Eqn 5);
+    /// `false` ⇒ `C = A·B` (zeroes the accumulators instead).
+    pub accumulate: bool,
+    pub strides: Strides,
+    pub opts: PipelineOpts,
+}
+
+impl MicroKernelSpec {
+    /// A faithful Listing-1 kernel for `tile` at depth `kc` on a chip.
+    pub fn listing1(tile: MicroTile, kc: usize, chip: &ChipSpec) -> Self {
+        MicroKernelSpec {
+            tile,
+            kc,
+            sigma_lane: chip.sigma_lane(),
+            accumulate: true,
+            strides: Strides::Dynamic,
+            opts: PipelineOpts::basic(),
+        }
+    }
+
+    /// Number of whole-lane main-loop iterations `⌊k̄_c⌋`.
+    pub fn kc_vec_floor(&self) -> usize {
+        self.kc / self.sigma_lane
+    }
+
+    /// Epilogue remainder lanes `k_c mod σ_lane`.
+    pub fn kc_remainder(&self) -> usize {
+        self.kc % self.sigma_lane
+    }
+
+    /// Total FLOPs the kernel performs: `2·m_r·n_r·k_c`.
+    pub fn flops(&self) -> usize {
+        2 * self.tile.mr * self.tile.nr * self.kc
+    }
+
+    /// Kernel name used for generated programs.
+    pub fn name(&self) -> String {
+        let opt = match (self.opts.rotate, self.opts.prefetch) {
+            (true, _) => "_rot",
+            (false, true) => "",
+            (false, false) => "_nopf",
+        };
+        format!(
+            "micro_kernel_{}x{}_kc{}{}",
+            self.tile.mr, self.tile.nr, self.kc, opt
+        )
+    }
+
+    /// Validate the spec against the register budget. Returns an error
+    /// string describing the violation, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.tile.feasible(self.sigma_lane) {
+            return Err(format!(
+                "tile {} infeasible under 32 registers with σ_lane={}",
+                self.tile, self.sigma_lane
+            ));
+        }
+        if self.kc == 0 {
+            return Err("k_c must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_paper_examples() {
+        // Fig 3: 5×16 is compute-bound, 2×16 is memory-bound on the
+        // idealized machine (L=8, IPC=1).
+        let ideal = ChipSpec::idealized();
+        assert_eq!(
+            BoundClass::classify(MicroTile::new(5, 16), &ideal),
+            BoundClass::Compute
+        );
+        assert_eq!(
+            BoundClass::classify(MicroTile::new(2, 16), &ideal),
+            BoundClass::Memory
+        );
+    }
+
+    #[test]
+    fn classification_threshold_at_3x16_on_idealized() {
+        // 3×16: 12 FMA cycles vs 4 + 8 = 12 load cycles — exactly covered.
+        let ideal = ChipSpec::idealized();
+        assert_eq!(
+            BoundClass::classify(MicroTile::new(3, 16), &ideal),
+            BoundClass::Compute
+        );
+    }
+
+    #[test]
+    fn kc_decomposition() {
+        let chip = ChipSpec::idealized();
+        let s = MicroKernelSpec::listing1(MicroTile::new(5, 16), 18, &chip);
+        assert_eq!(s.kc_vec_floor(), 4);
+        assert_eq!(s.kc_remainder(), 2);
+        assert_eq!(s.flops(), 2 * 5 * 16 * 18);
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let chip = ChipSpec::idealized();
+        let mut s = MicroKernelSpec::listing1(MicroTile::new(5, 16), 16, &chip);
+        assert!(s.validate().is_ok());
+        s.kc = 0;
+        assert!(s.validate().is_err());
+        let bad = MicroKernelSpec::listing1(MicroTile::new(9, 16), 16, &chip);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        let chip = ChipSpec::idealized();
+        let mut s = MicroKernelSpec::listing1(MicroTile::new(8, 8), 32, &chip);
+        let basic = s.name();
+        s.opts = PipelineOpts::rotated();
+        assert_ne!(basic, s.name());
+    }
+}

@@ -1,0 +1,286 @@
+//! Register-tile enumeration and arithmetic intensity — the paper's
+//! Table II.
+//!
+//! A tile `(m_r, n_r)` keeps the `m_r × n_r` accumulator panel of `C`, one
+//! vector per row of `A`, and one row of `B` in registers:
+//!
+//! ```text
+//! m_r · n̄_r  (C accumulators) + m_r (A) + n̄_r (B)  ≤  32,   n̄_r = n_r / σ_lane
+//! ```
+//!
+//! With `σ_lane = 4` (NEON) this yields exactly the 58 feasible tile sizes
+//! the paper counts in §III-A1. The four shapes with the highest arithmetic
+//! intensity — 8×8, 6×12, 5×16 and 4×20 — are the "first-choice"
+//! micro-kernels (blue in Table II); the rest fill corner cases.
+
+use serde::{Deserialize, Serialize};
+
+/// A register-tile shape `(m_r, n_r)` in elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MicroTile {
+    pub mr: usize,
+    pub nr: usize,
+}
+
+impl MicroTile {
+    pub fn new(mr: usize, nr: usize) -> Self {
+        MicroTile { mr, nr }
+    }
+
+    /// `n̄_r = n_r / σ_lane`: the number of vector registers per `B` row.
+    /// Panics if `n_r` is not a lane multiple.
+    pub fn nr_vec(&self, sigma_lane: usize) -> usize {
+        assert_eq!(
+            self.nr % sigma_lane,
+            0,
+            "n_r={} must be a multiple of σ_lane={}",
+            self.nr,
+            sigma_lane
+        );
+        self.nr / sigma_lane
+    }
+
+    /// Vector registers consumed: accumulators + A rows + one B row.
+    pub fn registers_used(&self, sigma_lane: usize) -> usize {
+        let nrv = self.nr_vec(sigma_lane);
+        self.mr * nrv + self.mr + nrv
+    }
+
+    /// Spare vector registers left for software pipelining (rotation banks).
+    pub fn spare_registers(&self, sigma_lane: usize) -> usize {
+        32 - self.registers_used(sigma_lane)
+    }
+
+    /// Whether the tile fits the 32-register budget.
+    pub fn feasible(&self, sigma_lane: usize) -> bool {
+        self.mr >= 1
+            && self.nr >= sigma_lane
+            && self.nr % sigma_lane == 0
+            && self.registers_used(sigma_lane) <= 32
+    }
+
+    /// Maximum arithmetic intensity of the tile (Eqn 2):
+    /// `AI_max = 2·m_r·n_r / (m_r + n_r)` flop per element moved.
+    pub fn ai_max(&self) -> f64 {
+        2.0 * (self.mr * self.nr) as f64 / (self.mr + self.nr) as f64
+    }
+
+    /// FLOPs per element of `k_c` depth: `2·m_r·n_r`.
+    pub fn flops_per_k(&self) -> usize {
+        2 * self.mr * self.nr
+    }
+}
+
+impl std::fmt::Display for MicroTile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.mr, self.nr)
+    }
+}
+
+/// Enumerate every feasible tile for a given `σ_lane`, ordered by
+/// descending `AI_max` then ascending `m_r` (deterministic).
+pub fn enumerate(sigma_lane: usize) -> Vec<MicroTile> {
+    let mut tiles = Vec::new();
+    for mr in 1..=31 {
+        for nrv in 1..=31 {
+            let t = MicroTile::new(mr, nrv * sigma_lane);
+            if t.feasible(sigma_lane) {
+                tiles.push(t);
+            }
+        }
+    }
+    tiles.sort_by(|a, b| {
+        b.ai_max()
+            .partial_cmp(&a.ai_max())
+            .unwrap()
+            .then(a.mr.cmp(&b.mr))
+    });
+    tiles
+}
+
+/// The tile *menu* of Table II: feasible shapes with `m_r ≤ 8` and
+/// `n̄_r ≤ 7` (the table's row and column ranges). This is the set DMT
+/// (Algorithm 1, line 13: "while (m_r, n_r) in Table II") and the tuner
+/// iterate over — taller or wider tiles trade marginal AI for long pointer
+/// chains and poor corner-filling, so the paper excludes them.
+pub fn table_menu(sigma_lane: usize) -> Vec<MicroTile> {
+    enumerate(sigma_lane)
+        .into_iter()
+        .filter(|t| t.mr <= 8 && t.nr / sigma_lane <= 7)
+        .collect()
+}
+
+/// The paper's four first-choice micro-kernel shapes for NEON
+/// (blue entries of Table II): 8×8, 6×12, 5×16, 4×20.
+pub fn first_choice_neon() -> [MicroTile; 4] {
+    [
+        MicroTile::new(8, 8),
+        MicroTile::new(6, 12),
+        MicroTile::new(5, 16),
+        MicroTile::new(4, 20),
+    ]
+}
+
+/// First-choice shapes for an arbitrary lane width.
+///
+/// The paper selects one main kernel per `n_r` column of Table II — the
+/// tallest tile in that column that still leaves at least two spare vector
+/// registers for software pipelining — and keeps the four columns with the
+/// highest resulting `AI_max`. For `σ_lane = 4` this reproduces exactly the
+/// paper's blue cells (8×8, 6×12, 5×16, 4×20); e.g. 7×12 is skipped because
+/// it leaves only one spare register.
+pub fn first_choice(sigma_lane: usize) -> Vec<MicroTile> {
+    let mut best_per_column: Vec<MicroTile> = Vec::new();
+    for nrv in 1..=31 {
+        // Table II only considers m_r ≤ 8: taller tiles trade marginal AI
+        // for long pointer chains and poor corner-filling flexibility.
+        let column_best = (1..=8)
+            .map(|mr| MicroTile::new(mr, nrv * sigma_lane))
+            .filter(|t| t.feasible(sigma_lane) && t.spare_registers(sigma_lane) >= 2)
+            .max_by(|a, b| a.ai_max().partial_cmp(&b.ai_max()).unwrap());
+        if let Some(t) = column_best {
+            best_per_column.push(t);
+        }
+    }
+    best_per_column.sort_by(|a, b| {
+        b.ai_max()
+            .partial_cmp(&a.ai_max())
+            .unwrap()
+            .then(a.nr.cmp(&b.nr))
+    });
+    best_per_column.truncate(4);
+    best_per_column
+}
+
+/// Render Table II: `AI_max` for `m_r ∈ 2..=8`, `n_r ∈ {4,8,…,28}`, with
+/// infeasible entries as `None`.
+pub fn table_ii() -> Vec<(usize, Vec<Option<f64>>)> {
+    (2..=8)
+        .map(|mr| {
+            let row = (1..=7)
+                .map(|nrv| {
+                    let t = MicroTile::new(mr, nrv * 4);
+                    t.feasible(4).then(|| t.ai_max())
+                })
+                .collect();
+            (mr, row)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_58_feasible_neon_tiles() {
+        // §III-A1: "With 32 vector registers being the common upper limit in
+        // ARM chips, there are only 58 feasible tile sizes."
+        assert_eq!(enumerate(4).len(), 58);
+    }
+
+    #[test]
+    fn table_ii_spot_values() {
+        // Entries quoted from Table II of the paper.
+        let close = |a: f64, b: f64| (a - b).abs() < 0.005;
+        assert!(close(MicroTile::new(2, 4).ai_max(), 2.67));
+        assert!(close(MicroTile::new(3, 12).ai_max(), 4.80));
+        assert!(close(MicroTile::new(4, 20).ai_max(), 6.67));
+        assert!(close(MicroTile::new(5, 16).ai_max(), 7.62));
+        assert!(close(MicroTile::new(6, 12).ai_max(), 8.00));
+        assert!(close(MicroTile::new(8, 8).ai_max(), 8.00));
+        assert!(close(MicroTile::new(2, 28).ai_max(), 3.73));
+    }
+
+    #[test]
+    fn table_ii_infeasible_cells_match_paper_dashes() {
+        // The "-" entries of Table II.
+        assert!(!MicroTile::new(4, 24).feasible(4));
+        assert!(!MicroTile::new(4, 28).feasible(4));
+        assert!(!MicroTile::new(5, 20).feasible(4));
+        assert!(!MicroTile::new(6, 16).feasible(4));
+        assert!(!MicroTile::new(8, 12).feasible(4));
+        // ... and filled cells are feasible.
+        assert!(MicroTile::new(8, 8).feasible(4));
+        assert!(MicroTile::new(2, 28).feasible(4));
+    }
+
+    #[test]
+    fn first_choice_matches_paper_blue_cells() {
+        let fc = first_choice(4);
+        let expected = first_choice_neon();
+        for t in expected {
+            assert!(fc.contains(&t), "missing first-choice tile {t}");
+        }
+        // 8x8 and 6x12 tie at AI 8.0, then 5x16 at 7.62, then 4x20 at 6.67.
+        assert!(fc[0].ai_max() >= fc[1].ai_max());
+        assert!(fc[1].ai_max() >= fc[2].ai_max());
+        assert!(fc[2].ai_max() >= fc[3].ai_max());
+    }
+
+    #[test]
+    fn spare_registers_for_5x16_is_3() {
+        // §III-C1: "3 registers for micro-kernel 5×16".
+        assert_eq!(MicroTile::new(5, 16).spare_registers(4), 3);
+    }
+
+    #[test]
+    fn sve_tiles_use_16_lane_multiples() {
+        let tiles = enumerate(16);
+        assert!(!tiles.is_empty());
+        assert!(tiles.iter().all(|t| t.nr % 16 == 0));
+        assert!(tiles.iter().all(|t| t.registers_used(16) <= 32));
+        // The widest SVE tile family still exists (e.g. 8x16).
+        assert!(tiles.contains(&MicroTile::new(8, 16)));
+    }
+
+    #[test]
+    fn table_ii_rendering_shape() {
+        let t = table_ii();
+        assert_eq!(t.len(), 7); // m_r = 2..=8
+        assert_eq!(t[0].1.len(), 7); // n_r = 4..=28
+        // row m_r=8: only n_r=4 and n_r=8 feasible.
+        let row8 = &t[6].1;
+        assert!(row8[0].is_some() && row8[1].is_some());
+        assert!(row8[2..].iter().all(|c| c.is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of")]
+    fn non_lane_multiple_nr_panics() {
+        MicroTile::new(4, 6).nr_vec(4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn feasible_tiles_fit_budget(mr in 1usize..16, nrv in 1usize..16) {
+            let t = MicroTile::new(mr, nrv * 4);
+            if t.feasible(4) {
+                prop_assert!(t.registers_used(4) <= 32);
+                prop_assert!(t.spare_registers(4) < 32);
+            }
+        }
+
+        #[test]
+        fn ai_max_is_monotone_in_both_dims(mr in 1usize..12, nrv in 1usize..8) {
+            let t = MicroTile::new(mr, nrv * 4);
+            let bigger_m = MicroTile::new(mr + 1, nrv * 4);
+            let bigger_n = MicroTile::new(mr, (nrv + 1) * 4);
+            prop_assert!(bigger_m.ai_max() > t.ai_max());
+            prop_assert!(bigger_n.ai_max() > t.ai_max());
+        }
+
+        #[test]
+        fn ai_max_bounded_by_min_dim(mr in 1usize..16, nrv in 1usize..16) {
+            // 2mn/(m+n) <= 2*min(m,n)
+            let t = MicroTile::new(mr, nrv * 4);
+            prop_assert!(t.ai_max() <= 2.0 * t.mr.min(t.nr) as f64 + 1e-9);
+        }
+    }
+}

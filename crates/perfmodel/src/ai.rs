@@ -1,0 +1,154 @@
+//! Arithmetic-intensity formulas (Eqns 2 and 3, Fig 2).
+//!
+//! For an infinitely deep reduction a tile's AI tends to `AI_max`
+//! ([`autogemm_kernelgen::MicroTile::ai_max`], Eqn 2). Irregular matrices
+//! break the `k_c ≫ m_r` assumption, so the paper derives the finite-`k_c`
+//! intensity (Eqn 3):
+//!
+//! ```text
+//! AI = 2·m_r·n̄_r·k_c / (2·m_r·n̄_r + m_r·k̄_c + k_c·n̄_r)
+//! ```
+//!
+//! which is what Fig 2 plots for the `m_r × 16` tile family. A micro-kernel
+//! can reach close-to-peak on a chip when its AI clears the chip's
+//! empirical threshold `σ_AI`.
+
+use autogemm_arch::ChipSpec;
+use autogemm_kernelgen::MicroTile;
+
+/// Finite-`k_c` arithmetic intensity of a tile (Eqn 3).
+pub fn ai_with_kc(tile: MicroTile, kc: usize, sigma_lane: usize) -> f64 {
+    let mr = tile.mr as f64;
+    let nrv = tile.nr_vec(sigma_lane) as f64;
+    let kc_f = kc as f64;
+    let kcv = kc_f / sigma_lane as f64;
+    2.0 * mr * nrv * kc_f / (2.0 * mr * nrv + mr * kcv + kc_f * nrv)
+}
+
+/// Whether a tile at depth `k_c` clears the chip's `σ_AI` threshold
+/// (i.e. can potentially achieve close-to-peak performance, §III-A1).
+pub fn meets_sigma_ai(tile: MicroTile, kc: usize, chip: &ChipSpec) -> bool {
+    ai_with_kc(tile, kc, chip.sigma_lane()) >= chip.sigma_ai
+}
+
+/// Whether a tile's asymptotic AI clears the threshold (the Fig 5 / Fig 7
+/// "low-AI tile" criterion used by the tiling comparisons).
+pub fn tile_meets_sigma_ai(tile: MicroTile, chip: &ChipSpec) -> bool {
+    tile.ai_max() >= chip.sigma_ai
+}
+
+/// The Fig 2 series: AI of `m_r × 16` tiles as `k_c` grows.
+pub fn fig2_series(mr_values: &[usize], kc_values: &[usize]) -> Vec<(usize, Vec<f64>)> {
+    mr_values
+        .iter()
+        .map(|&mr| {
+            let tile = MicroTile::new(mr, 16);
+            let series = kc_values
+                .iter()
+                .map(|&kc| ai_with_kc(tile, kc, 4))
+                .collect();
+            (mr, series)
+        })
+        .collect()
+}
+
+/// The smallest `AI_max` among tiles that are compute-bound on `chip` — an
+/// analytic stand-in for the micro-benchmarked `σ_AI` (documentation /
+/// sanity checks only; the empirical `ChipSpec::sigma_ai` drives decisions).
+pub fn min_compute_bound_ai(chip: &ChipSpec) -> Option<f64> {
+    autogemm_kernelgen::tiles::enumerate(chip.sigma_lane())
+        .into_iter()
+        .filter(|t| {
+            autogemm_kernelgen::BoundClass::classify(*t, chip)
+                == autogemm_kernelgen::BoundClass::Compute
+        })
+        .map(|t| t.ai_max())
+        .fold(None, |acc: Option<f64>, ai| Some(acc.map_or(ai, |a| a.min(ai))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ai_converges_to_ai_max_for_deep_kc() {
+        for tile in [MicroTile::new(5, 16), MicroTile::new(8, 8), MicroTile::new(2, 16)] {
+            let asymptotic = ai_with_kc(tile, 1 << 20, 4);
+            assert!(
+                (asymptotic - tile.ai_max()).abs() < 0.01,
+                "{tile}: {asymptotic} vs {}",
+                tile.ai_max()
+            );
+        }
+    }
+
+    #[test]
+    fn ai_is_monotone_increasing_in_kc() {
+        let tile = MicroTile::new(5, 16);
+        let mut prev = 0.0;
+        for kc in [4, 8, 16, 32, 64, 128, 256] {
+            let ai = ai_with_kc(tile, kc, 4);
+            assert!(ai > prev);
+            prev = ai;
+        }
+    }
+
+    #[test]
+    fn small_kc_tiles_are_memory_bound_on_high_sigma_chips() {
+        // Fig 2's point: with small k_c even the good tiles fall below
+        // σ_AI on a demanding chip like the KP920.
+        let kp = autogemm_arch::ChipSpec::kp920();
+        let tile = MicroTile::new(5, 16);
+        assert!(!meets_sigma_ai(tile, 4, &kp));
+        assert!(meets_sigma_ai(tile, 256, &kp));
+    }
+
+    #[test]
+    fn sigma_ai_split_on_4x16_matches_fig7_26x64_case() {
+        // 4×16 (AI 6.4) clears σ_AI on Graviton2 and M2 but not on KP920.
+        let t = MicroTile::new(4, 16);
+        assert!(tile_meets_sigma_ai(t, &autogemm_arch::ChipSpec::graviton2()));
+        assert!(tile_meets_sigma_ai(t, &autogemm_arch::ChipSpec::m2()));
+        assert!(!tile_meets_sigma_ai(t, &autogemm_arch::ChipSpec::kp920()));
+        // 5×16 (AI 7.62) clears it everywhere the paper says it does.
+        let t5 = MicroTile::new(5, 16);
+        assert!(tile_meets_sigma_ai(t5, &autogemm_arch::ChipSpec::kp920()));
+    }
+
+    #[test]
+    fn fig2_series_shape() {
+        let s = fig2_series(&[2, 3, 4, 5], &[4, 8, 16, 32, 64]);
+        assert_eq!(s.len(), 4);
+        assert!(s.iter().all(|(_, v)| v.len() == 5));
+        // Larger m_r dominates at every k_c.
+        for i in 0..5 {
+            assert!(s[3].1[i] > s[0].1[i]);
+        }
+    }
+
+    #[test]
+    fn derived_threshold_is_finite_and_positive() {
+        for chip in autogemm_arch::ChipSpec::all_evaluated() {
+            let t = min_compute_bound_ai(&chip).expect("some compute-bound tile");
+            assert!(t > 0.0 && t < 16.0, "{}: {t}", chip.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn finite_ai_never_exceeds_ai_max(mr in 1usize..9, nrv in 1usize..6, kc in 1usize..512) {
+            let tile = MicroTile::new(mr, nrv * 4);
+            if tile.feasible(4) {
+                let ai = ai_with_kc(tile, kc, 4);
+                prop_assert!(ai <= tile.ai_max() + 1e-9);
+                prop_assert!(ai > 0.0);
+            }
+        }
+    }
+}

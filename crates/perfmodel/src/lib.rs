@@ -1,0 +1,28 @@
+//! # autogemm-perfmodel
+//!
+//! The analytic performance model of the autoGEMM paper:
+//!
+//! * [`ai`] — arithmetic-intensity formulas: `AI_max` (Eqn 2, via
+//!   `autogemm-kernelgen`), the finite-`k_c` AI of Eqn 3 (the Fig 2
+//!   curves), and the `σ_AI` threshold comparison;
+//! * [`micro`] — the micro-kernel cycle model: `T_launch + T_prologue +
+//!   T_mainloop + T_epilogue` (Eqns 4–8), the rotating-register-allocation
+//!   updates (Eqns 9, 10), and epilogue/prologue fusion (Eqn 11);
+//! * [`submatrix`] — the cache-block runtime estimate `T_c(m_c, n_c)` of
+//!   Eqn 13 used by the tuner to prune its search space (§IV-B);
+//! * [`roofline`] — the roofline model of §V-D (peak vs `AI × bandwidth`).
+//!
+//! The cycle model is cross-validated against the pipeline simulator in
+//! this crate's test-suite: both derive from the same Table III parameters,
+//! so they must agree within a small tolerance on the paper's worked
+//! examples (5×16 and 2×16 on the idealized machine).
+
+pub mod ai;
+pub mod micro;
+pub mod roofline;
+pub mod submatrix;
+
+pub use ai::{ai_with_kc, meets_sigma_ai};
+pub use micro::{projected_cycles, ModelOpts, Phase, PhaseBreakdown};
+pub use roofline::{attainable_gflops, machine_balance, Roofline};
+pub use submatrix::region_cycles;

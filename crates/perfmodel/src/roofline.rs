@@ -1,0 +1,141 @@
+//! The roofline model of §V-D (after Williams et al.).
+//!
+//! Attainable performance is `min(peak, AI · BW)` where AI is the
+//! operational intensity in flop/byte of DRAM (or last-level-cache)
+//! traffic. Fig 10 places the small-GEMM cases (8..64 cubed) and four
+//! ResNet-50 layers on the rooflines of KP920, Graviton2 and M2, for
+//! single-core and all-core configurations.
+
+use autogemm_arch::ChipSpec;
+
+/// A roofline: compute ceiling and one or more bandwidth slopes.
+#[derive(Debug, Clone)]
+pub struct Roofline {
+    /// Peak GFLOP/s of the configuration (single core or whole chip).
+    pub peak_gflops: f64,
+    /// DRAM bandwidth in GB/s available to the configuration.
+    pub dram_bw_gbs: f64,
+    /// Optional last-level-cache bandwidth ceiling in GB/s.
+    pub llc_bw_gbs: Option<f64>,
+}
+
+impl Roofline {
+    /// Single-core roofline of a chip. A single core cannot typically
+    /// saturate the socket's memory controllers; we cap its DRAM bandwidth
+    /// at an even share plus headroom (×2, clamped to the socket total).
+    pub fn single_core(chip: &ChipSpec) -> Roofline {
+        let total = chip.numa.total_bw_gbs();
+        let share = (total / chip.cores as f64 * 2.0).min(total);
+        Roofline {
+            peak_gflops: chip.peak_gflops_core(),
+            dram_bw_gbs: share,
+            llc_bw_gbs: Some(share * 4.0),
+        }
+    }
+
+    /// All-cores roofline of a chip.
+    pub fn multi_core(chip: &ChipSpec) -> Roofline {
+        let total = chip.numa.total_bw_gbs();
+        Roofline {
+            peak_gflops: chip.peak_gflops(),
+            dram_bw_gbs: total,
+            llc_bw_gbs: Some(total * 4.0),
+        }
+    }
+
+    /// Attainable GFLOP/s at operational intensity `ai` (flop per DRAM
+    /// byte): `min(peak, ai · BW)`.
+    pub fn attainable(&self, ai: f64) -> f64 {
+        self.peak_gflops.min(ai * self.dram_bw_gbs)
+    }
+
+    /// The ridge point: the AI at which the configuration turns
+    /// compute-bound.
+    pub fn ridge_ai(&self) -> f64 {
+        self.peak_gflops / self.dram_bw_gbs
+    }
+}
+
+/// Operational intensity of a full GEMM in flop per byte, assuming each
+/// operand is streamed from memory once: `2MNK / 4(MN + MK + KN)`.
+pub fn gemm_operational_intensity(m: usize, n: usize, k: usize) -> f64 {
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    let bytes = 4.0 * (m * n + m * k + k * n) as f64;
+    flops / bytes
+}
+
+/// Attainable GFLOP/s for a GEMM shape on a roofline.
+pub fn attainable_gflops(roof: &Roofline, m: usize, n: usize, k: usize) -> f64 {
+    roof.attainable(gemm_operational_intensity(m, n, k))
+}
+
+/// Machine balance in flop/byte: the AI a kernel needs to be compute-bound
+/// on the whole chip.
+pub fn machine_balance(chip: &ChipSpec) -> f64 {
+    chip.peak_gflops() / chip.numa.total_bw_gbs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_grows_with_cube_size() {
+        let mut prev = 0.0;
+        for s in [8usize, 16, 32, 64, 128] {
+            let ai = gemm_operational_intensity(s, s, s);
+            assert!(ai > prev);
+            prev = ai;
+        }
+        // Square GEMM: AI = 2s^3 / 12s^2 = s/6 flop/byte.
+        assert!((gemm_operational_intensity(60, 60, 60) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_cubes_are_memory_bound_big_cubes_compute_bound() {
+        let chip = ChipSpec::kp920();
+        let roof = Roofline::multi_core(&chip);
+        assert!(attainable_gflops(&roof, 8, 8, 8) < roof.peak_gflops);
+        assert!((attainable_gflops(&roof, 512, 512, 512) - roof.peak_gflops).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resnet_layers_sit_in_compute_bound_region_single_core() {
+        // §V-D: "The shape extracted from Resnet50 has larger arithmetic
+        // intensity than small matrices and is typically compute bound."
+        let chip = ChipSpec::graviton2();
+        let roof = Roofline::single_core(&chip);
+        for (m, n, k) in [(256, 3136, 64), (512, 784, 128), (128, 784, 512), (512, 49, 1024)] {
+            let ai = gemm_operational_intensity(m, n, k);
+            assert!(
+                ai > roof.ridge_ai(),
+                "L({m},{n},{k}) AI {ai:.1} below ridge {:.1}",
+                roof.ridge_ai()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_core_ridge_is_to_the_right_of_single_core() {
+        for chip in ChipSpec::all_evaluated() {
+            let single = Roofline::single_core(&chip);
+            let multi = Roofline::multi_core(&chip);
+            assert!(
+                multi.ridge_ai() >= single.ridge_ai(),
+                "{}: multi ridge should need more AI",
+                chip.name
+            );
+        }
+    }
+
+    #[test]
+    fn attainable_is_monotone_in_ai() {
+        let roof = Roofline::multi_core(&ChipSpec::m2());
+        let mut prev = 0.0;
+        for ai in [0.1, 1.0, 5.0, 20.0, 100.0] {
+            let g = roof.attainable(ai);
+            assert!(g >= prev);
+            prev = g;
+        }
+    }
+}

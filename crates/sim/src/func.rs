@@ -1,0 +1,235 @@
+//! Functional interpreter for the virtual Arm ISA.
+//!
+//! Executes a generated program in strict program order with real `f32`
+//! arithmetic — this is what the correctness tests compare against a naive
+//! GEMM. Timing is handled separately by [`crate::pipeline`], which co-runs
+//! this interpreter to resolve load/store addresses.
+
+use crate::memory::Memory;
+use autogemm_arch::isa::Instr;
+use autogemm_arch::simd::MAX_LANES;
+use autogemm_arch::{Block, Program};
+
+/// Architectural register state.
+#[derive(Debug, Clone)]
+pub struct FuncState {
+    /// Scalar registers `x0..x30` (byte addresses / strides / counters).
+    pub x: [i64; 31],
+    /// Vector registers; only the first `σ_lane` lanes are meaningful.
+    pub v: [[f32; MAX_LANES]; 32],
+    /// Lanes per vector operation.
+    pub sigma_lane: usize,
+}
+
+impl FuncState {
+    pub fn new(sigma_lane: usize) -> Self {
+        assert!(sigma_lane <= MAX_LANES);
+        FuncState { x: [0; 31], v: [[0.0; MAX_LANES]; 32], sigma_lane }
+    }
+
+    /// Bind the kernel ABI: `x0..x2` = byte addresses of A/B/C,
+    /// `x3..x5` = leading dimensions in elements.
+    pub fn bind_gemm(&mut self, a: usize, b: usize, c: usize, lda: usize, ldb: usize, ldc: usize) {
+        self.x[0] = a as i64;
+        self.x[1] = b as i64;
+        self.x[2] = c as i64;
+        self.x[3] = lda as i64;
+        self.x[4] = ldb as i64;
+        self.x[5] = ldc as i64;
+    }
+
+    /// Execute a single instruction. Returns the byte address touched by a
+    /// load/store/prefetch (used by the timing model), if any.
+    pub fn step(&mut self, instr: &Instr, mem: &mut Memory) -> Option<usize> {
+        match instr {
+            Instr::Ldr { dst, base, offset, post_inc } => {
+                let addr = (self.x[base.0 as usize] + offset) as usize;
+                let vals = mem.read_vec(addr, self.sigma_lane).to_vec();
+                let reg = &mut self.v[dst.0 as usize];
+                reg.fill(0.0);
+                reg[..self.sigma_lane].copy_from_slice(&vals);
+                self.x[base.0 as usize] += post_inc;
+                Some(addr)
+            }
+            Instr::Str { src, base, offset, post_inc } => {
+                let addr = (self.x[base.0 as usize] + offset) as usize;
+                let vals = self.v[src.0 as usize][..self.sigma_lane].to_vec();
+                mem.write_vec(addr, &vals);
+                self.x[base.0 as usize] += post_inc;
+                Some(addr)
+            }
+            Instr::Fmla { acc, mul, lane_src, lane } => {
+                let scalar = self.v[lane_src.0 as usize][*lane as usize];
+                let m = self.v[mul.0 as usize];
+                let a = &mut self.v[acc.0 as usize];
+                for l in 0..self.sigma_lane {
+                    a[l] = m[l].mul_add(scalar, a[l]);
+                }
+                None
+            }
+            Instr::Vzero { dst } => {
+                self.v[dst.0 as usize].fill(0.0);
+                None
+            }
+            Instr::Prfm { base, offset, .. } => {
+                Some((self.x[base.0 as usize] + offset) as usize)
+            }
+            Instr::MovImm { dst, imm } => {
+                self.x[dst.0 as usize] = *imm;
+                None
+            }
+            Instr::MovReg { dst, src } => {
+                self.x[dst.0 as usize] = self.x[src.0 as usize];
+                None
+            }
+            Instr::AddReg { dst, a, b } => {
+                self.x[dst.0 as usize] = self.x[a.0 as usize] + self.x[b.0 as usize];
+                None
+            }
+            Instr::AddImm { dst, a, imm } => {
+                self.x[dst.0 as usize] = self.x[a.0 as usize] + imm;
+                None
+            }
+            Instr::Lsl { dst, src, shift } => {
+                self.x[dst.0 as usize] = self.x[src.0 as usize] << shift;
+                None
+            }
+        }
+    }
+
+    /// Execute a whole program in order.
+    pub fn run(&mut self, prog: &Program, mem: &mut Memory) {
+        for block in &prog.blocks {
+            match block {
+                Block::Straight(instrs) => {
+                    for i in instrs {
+                        self.step(i, mem);
+                    }
+                }
+                Block::Loop { count, body } => {
+                    for _ in 0..*count {
+                        for i in body {
+                            self.step(i, mem);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autogemm_arch::isa::{VReg, XReg};
+
+    #[test]
+    fn load_fma_store_computes_axpy() {
+        // v1 = [1,2,3,4]; v2 = [10,20,30,40]; v0 += v2 * v1[1] => v0 = v2*2.
+        let mut mem = Memory::new();
+        let r = mem.alloc(1, 12, 12);
+        mem.write_vec(r.base, &[1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0, 0.0, 0.0, 0.0, 0.0]);
+        let mut st = FuncState::new(4);
+        st.x[0] = r.base as i64;
+        let prog = [
+            Instr::Ldr { dst: VReg(1), base: XReg(0), offset: 0, post_inc: 16 },
+            Instr::Ldr { dst: VReg(2), base: XReg(0), offset: 0, post_inc: 16 },
+            Instr::Vzero { dst: VReg(0) },
+            Instr::Fmla { acc: VReg(0), mul: VReg(2), lane_src: VReg(1), lane: 1 },
+            Instr::Str { src: VReg(0), base: XReg(0), offset: 0, post_inc: 0 },
+        ];
+        for i in &prog {
+            st.step(i, &mut mem);
+        }
+        assert_eq!(mem.read_vec(r.base + 32, 4), &[20.0, 40.0, 60.0, 80.0]);
+    }
+
+    #[test]
+    fn post_increment_advances_base() {
+        let mut mem = Memory::new();
+        let r = mem.alloc(1, 8, 8);
+        let mut st = FuncState::new(4);
+        st.x[0] = r.base as i64;
+        st.step(&Instr::Ldr { dst: VReg(0), base: XReg(0), offset: 0, post_inc: 16 }, &mut mem);
+        assert_eq!(st.x[0], r.base as i64 + 16);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let mut mem = Memory::new();
+        let mut st = FuncState::new(4);
+        st.step(&Instr::MovImm { dst: XReg(3), imm: 10 }, &mut mem);
+        st.step(&Instr::Lsl { dst: XReg(3), src: XReg(3), shift: 2 }, &mut mem);
+        st.step(&Instr::AddImm { dst: XReg(4), a: XReg(3), imm: 2 }, &mut mem);
+        st.step(&Instr::AddReg { dst: XReg(5), a: XReg(3), b: XReg(4) }, &mut mem);
+        assert_eq!(st.x[3], 40);
+        assert_eq!(st.x[4], 42);
+        assert_eq!(st.x[5], 82);
+    }
+
+    #[test]
+    fn loops_execute_count_times() {
+        let mut mem = Memory::new();
+        let r = mem.alloc(1, 4, 4);
+        let mut prog = Program::new("t");
+        let mut st = FuncState::new(4);
+        st.x[0] = r.base as i64;
+        // x3 += 1, five times.
+        prog.push_loop(5, vec![Instr::AddImm { dst: XReg(3), a: XReg(3), imm: 1 }]);
+        st.run(&prog, &mut mem);
+        assert_eq!(st.x[3], 5);
+    }
+
+    #[test]
+    fn sve_lane_width_respected() {
+        let mut mem = Memory::new();
+        let r = mem.alloc(1, 40, 40);
+        let vals: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        mem.write_vec(r.base, &vals);
+        let mut st = FuncState::new(16);
+        st.x[0] = r.base as i64;
+        st.step(&Instr::Ldr { dst: VReg(0), base: XReg(0), offset: 0, post_inc: 64 }, &mut mem);
+        assert_eq!(st.v[0][15], 15.0);
+        assert_eq!(st.x[0], r.base as i64 + 64);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use autogemm_arch::isa::{VReg, XReg};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Stores then loads round-trip arbitrary values at arbitrary
+        /// aligned offsets.
+        #[test]
+        fn store_load_round_trip(vals in proptest::collection::vec(-1e6f32..1e6, 4), slot in 0usize..32) {
+            let mut mem = Memory::new();
+            let r = mem.alloc(1, 256, 256);
+            let mut st = FuncState::new(4);
+            st.x[0] = (r.base + slot * 16) as i64;
+            st.v[3][..4].copy_from_slice(&vals);
+            st.step(&Instr::Str { src: VReg(3), base: XReg(0), offset: 0, post_inc: 0 }, &mut mem);
+            st.step(&Instr::Ldr { dst: VReg(7), base: XReg(0), offset: 0, post_inc: 0 }, &mut mem);
+            prop_assert_eq!(&st.v[7][..4], &vals[..]);
+        }
+
+        /// FMLA is exact for values where fused and unfused arithmetic
+        /// agree (integers in range).
+        #[test]
+        fn fmla_matches_scalar_math(a in -100i32..100, b in -100i32..100, c0 in -100i32..100, lane in 0usize..4) {
+            let mut mem = Memory::new();
+            mem.alloc(1, 4, 4);
+            let mut st = FuncState::new(4);
+            st.v[0].fill(c0 as f32);
+            st.v[1].fill(b as f32);
+            st.v[2].fill(a as f32);
+            st.step(
+                &Instr::Fmla { acc: VReg(0), mul: VReg(1), lane_src: VReg(2), lane: lane as u8 },
+                &mut mem,
+            );
+            prop_assert_eq!(st.v[0][0], (c0 + a * b) as f32);
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Drivers for simulating micro-kernels and fused chains end-to-end.
+//!
+//! These bind real `f32` matrices into simulated memory, honour the
+//! generated kernels' padding contract, set up the cache residency the
+//! experiment calls for, run the pipeline model, and hand back both the
+//! numerical result and the cycle report.
+
+use crate::cache::CacheHierarchy;
+use crate::func::FuncState;
+use crate::memory::{Memory, Region};
+use crate::pipeline::{simulate, PipelineStats};
+use autogemm_arch::ChipSpec;
+use autogemm_kernelgen::{fuse_chain, generate, MicroKernelSpec, TileInvocation};
+
+/// Initial cache residency of the kernel's operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Warmth {
+    /// Nothing cached; every first touch goes to DRAM.
+    Cold,
+    /// Operands resident in L1 — the paper's micro-kernel assumption
+    /// (`A`, `B`, `C` sub-matrices stored in L1, §III-A).
+    L1,
+    /// Operands resident in L2 only (e.g. the KP920 K=256 case of Fig 6).
+    L2,
+    /// Operands resident in the last cache level only.
+    LastLevel,
+}
+
+/// Simulated buffers for one GEMM problem.
+pub struct KernelBuffers {
+    pub mem: Memory,
+    pub a: Region,
+    pub b: Region,
+    pub c: Region,
+}
+
+impl KernelBuffers {
+    /// Allocate and fill buffers for `C(m×n) += A(m×k)·B(k×n)`, row-major,
+    /// with the padding the generated kernels require.
+    pub fn new(
+        m: usize,
+        n: usize,
+        k: usize,
+        sigma_lane: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &[f32],
+    ) -> Self {
+        assert_eq!(a.len(), m * k, "A must be m*k");
+        assert_eq!(b.len(), k * n, "B must be k*n");
+        assert_eq!(c.len(), m * n, "C must be m*n");
+        let mut mem = Memory::new();
+        // A rows padded by 2·σ_lane trailing elements.
+        let ra = mem.alloc(m, k, k + 2 * sigma_lane);
+        // B padded by two trailing rows (allocated rows = k + 2).
+        let rb = mem.alloc(k + 2, n, n);
+        let rc = mem.alloc(m, n, n);
+        mem.fill(ra, a, k);
+        mem.fill(Region { rows: k, ..rb }, b, n);
+        mem.fill(rc, c, n);
+        KernelBuffers { mem, a: ra, b: rb, c: rc }
+    }
+
+    fn warm(&self, caches: &mut CacheHierarchy, warmth: Warmth, chip: &ChipSpec) {
+        let level = match warmth {
+            Warmth::Cold => return,
+            Warmth::L1 => 0,
+            Warmth::L2 => 1.min(chip.caches.len().saturating_sub(1)),
+            Warmth::LastLevel => chip.caches.len().saturating_sub(1),
+        };
+        for r in [self.a, self.b, self.c] {
+            caches.warm(r.byte_range(), level);
+        }
+    }
+}
+
+/// Result of a simulated kernel run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Pipeline cycles plus the kernel-launch overhead(s).
+    pub cycles: u64,
+    /// Number of kernel launches charged (`T_launch` each).
+    pub launches: u64,
+    pub stats: PipelineStats,
+}
+
+impl SimReport {
+    pub fn gflops(&self, chip: &ChipSpec) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.stats.flops(chip.sigma_lane()) as f64 * chip.freq_ghz / self.cycles as f64
+    }
+
+    pub fn efficiency(&self, chip: &ChipSpec) -> f64 {
+        self.gflops(chip) / chip.peak_gflops_core()
+    }
+}
+
+/// Simulate one micro-kernel `C(m_r×n_r) (+)= A(m_r×k_c)·B(k_c×n_r)`.
+///
+/// `c` is updated in place with the kernel's numerical result.
+pub fn run_micro_kernel(
+    spec: &MicroKernelSpec,
+    chip: &ChipSpec,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    warmth: Warmth,
+) -> SimReport {
+    let (mr, nr, kc) = (spec.tile.mr, spec.tile.nr, spec.kc);
+    let bufs = KernelBuffers::new(mr, nr, kc, spec.sigma_lane, a, b, c);
+    let mut mem = bufs.mem.clone();
+    let mut caches = CacheHierarchy::new(chip);
+    bufs.warm(&mut caches, warmth, chip);
+
+    let prog = generate(spec, chip);
+    let mut state = FuncState::new(spec.sigma_lane);
+    state.bind_gemm(bufs.a.base, bufs.b.base, bufs.c.base, bufs.a.ld, bufs.b.ld, bufs.c.ld);
+    let stats = simulate(&prog, chip, &mut state, &mut mem, &mut caches);
+
+    c.copy_from_slice(&mem.extract(bufs.c));
+    SimReport { cycles: stats.cycles + chip.launch_cycles, launches: 1, stats }
+}
+
+/// Simulate a fused chain of micro-kernels over shared buffers.
+///
+/// The invocations' placements are element offsets into `bufs`' regions
+/// (relative to each region's origin). One launch overhead is charged for
+/// the whole chain — the fusion benefit of §III-C2. Returns the report;
+/// read results back via `bufs.mem.extract(bufs.c)`.
+pub fn run_chain(
+    invocations: &[TileInvocation],
+    chip: &ChipSpec,
+    bufs: &mut KernelBuffers,
+    warmth: Warmth,
+) -> SimReport {
+    let mut caches = CacheHierarchy::new(chip);
+    bufs.warm(&mut caches, warmth, chip);
+
+    // Rebase placements from region-relative to absolute element offsets.
+    let rebase: Vec<TileInvocation> = invocations
+        .iter()
+        .map(|inv| TileInvocation {
+            spec: inv.spec,
+            a_off: bufs.a.base / 4 + inv.a_off,
+            b_off: bufs.b.base / 4 + inv.b_off,
+            c_off: bufs.c.base / 4 + inv.c_off,
+        })
+        .collect();
+    let (prog, _kinds) = fuse_chain(&rebase, chip);
+    let mut state = FuncState::new(chip.sigma_lane());
+    // Chain placements are absolute: bases are zero.
+    state.bind_gemm(0, 0, 0, bufs.a.ld, bufs.b.ld, bufs.c.ld);
+    let stats = simulate(&prog, chip, &mut state, &mut bufs.mem, &mut caches);
+    SimReport { cycles: stats.cycles + chip.launch_cycles, launches: 1, stats }
+}
+
+/// Simulate the same invocations *without* fusion: each kernel runs as its
+/// own program (sharing cache state) and pays its own launch overhead.
+/// This is the baseline the fusion optimization is measured against.
+pub fn run_unfused(
+    invocations: &[TileInvocation],
+    chip: &ChipSpec,
+    bufs: &mut KernelBuffers,
+    warmth: Warmth,
+) -> SimReport {
+    let mut caches = CacheHierarchy::new(chip);
+    bufs.warm(&mut caches, warmth, chip);
+    let mut total = PipelineStats::default();
+    let mut cycles = 0u64;
+    for inv in invocations {
+        let prog = generate(&inv.spec, chip);
+        let mut state = FuncState::new(chip.sigma_lane());
+        state.bind_gemm(
+            bufs.a.base + inv.a_off * 4,
+            bufs.b.base + inv.b_off * 4,
+            bufs.c.base + inv.c_off * 4,
+            bufs.a.ld,
+            bufs.b.ld,
+            bufs.c.ld,
+        );
+        let stats = simulate(&prog, chip, &mut state, &mut bufs.mem, &mut caches);
+        cycles += stats.cycles + chip.launch_cycles;
+        total.instructions += stats.instructions;
+        total.fma_count += stats.fma_count;
+        total.load_count += stats.load_count;
+        total.store_count += stats.store_count;
+        total.fma_stall_cycles += stats.fma_stall_cycles;
+        total.cache = stats.cache.clone();
+    }
+    total.cycles = cycles;
+    SimReport { cycles, launches: invocations.len() as u64, stats: total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autogemm_kernelgen::{MicroTile, PipelineOpts, Strides};
+
+    fn naive_gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = c[i * n + j];
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+
+    fn test_data(m: usize, n: usize, k: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 5 + 1) % 13) as f32 - 6.0).collect();
+        let c: Vec<f32> = (0..m * n).map(|i| ((i * 3 + 2) % 7) as f32 - 3.0).collect();
+        (a, b, c)
+    }
+
+    fn check_kernel(mr: usize, nr: usize, kc: usize, rotate: bool, chip: &ChipSpec) {
+        let spec = MicroKernelSpec {
+            tile: MicroTile::new(mr, nr),
+            kc,
+            sigma_lane: chip.sigma_lane(),
+            accumulate: true,
+            strides: Strides::Dynamic,
+            opts: PipelineOpts { rotate, prefetch: true },
+        };
+        let (a, b, c0) = test_data(mr, nr, kc);
+        let mut c = c0.clone();
+        let report = run_micro_kernel(&spec, chip, &a, &b, &mut c, Warmth::L1);
+        let mut expected = c0;
+        naive_gemm(mr, nr, kc, &a, &b, &mut expected);
+        for (i, (&got, &want)) in c.iter().zip(&expected).enumerate() {
+            assert!(
+                (got - want).abs() <= 1e-3 * want.abs().max(1.0),
+                "{}x{}x{} rotate={rotate}: C[{i}] = {got}, want {want}",
+                mr,
+                nr,
+                kc
+            );
+        }
+        assert!(report.cycles > 0);
+        assert_eq!(report.stats.fma_count as usize, mr * (nr / chip.sigma_lane()) * kc);
+    }
+
+    #[test]
+    fn all_first_choice_tiles_compute_correctly() {
+        let chip = ChipSpec::idealized();
+        for tile in autogemm_kernelgen::tiles::first_choice_neon() {
+            for kc in [4, 16, 18, 37] {
+                check_kernel(tile.mr, tile.nr, kc, false, &chip);
+                check_kernel(tile.mr, tile.nr, kc, true, &chip);
+            }
+        }
+    }
+
+    #[test]
+    fn every_feasible_tile_computes_correctly_at_kc_12() {
+        let chip = ChipSpec::idealized();
+        for tile in autogemm_kernelgen::tiles::enumerate(4) {
+            check_kernel(tile.mr, tile.nr, 12, false, &chip);
+            check_kernel(tile.mr, tile.nr, 12, true, &chip);
+        }
+    }
+
+    #[test]
+    fn remainder_kc_values_compute_correctly() {
+        let chip = ChipSpec::idealized();
+        for kc in 1..=9 {
+            check_kernel(5, 16, kc, false, &chip);
+            check_kernel(2, 16, kc, true, &chip);
+        }
+    }
+
+    #[test]
+    fn sve_kernel_computes_correctly() {
+        let chip = ChipSpec::a64fx();
+        check_kernel(5, 16, 32, false, &chip);
+        check_kernel(5, 16, 19, true, &chip);
+        check_kernel(8, 16, 16, false, &chip);
+    }
+
+    #[test]
+    fn fig3_compute_bound_timing_close_to_paper_model() {
+        // Paper: 5×16 basic kernel on the idealized machine takes
+        // 20·k_c + 13·k̄_c + 65 cycles (§III-B1).
+        let chip = ChipSpec::idealized();
+        let kc = 64;
+        let spec = MicroKernelSpec::listing1(MicroTile::new(5, 16), kc, &chip);
+        let (a, b, c0) = test_data(5, 16, kc);
+        let mut c = c0;
+        let report = run_micro_kernel(&spec, &chip, &a, &b, &mut c, Warmth::L1);
+        let model = 20 * kc as u64 + 13 * (kc as u64 / 4) + 65;
+        let ratio = report.stats.cycles as f64 / model as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "simulated {} vs model {model} (ratio {ratio:.3})",
+            report.stats.cycles
+        );
+    }
+
+    #[test]
+    fn rotation_reduces_cycles_on_war_hazard_chip() {
+        let chip = ChipSpec::idealized();
+        let kc = 64;
+        let mk = |rotate| MicroKernelSpec {
+            tile: MicroTile::new(5, 16),
+            kc,
+            sigma_lane: 4,
+            accumulate: true,
+            strides: Strides::Dynamic,
+            opts: PipelineOpts { rotate, prefetch: true },
+        };
+        let (a, b, c0) = test_data(5, 16, kc);
+        let mut c1 = c0.clone();
+        let basic = run_micro_kernel(&mk(false), &chip, &a, &b, &mut c1, Warmth::L1);
+        let mut c2 = c0;
+        let rot = run_micro_kernel(&mk(true), &chip, &a, &b, &mut c2, Warmth::L1);
+        assert!(
+            rot.stats.cycles < basic.stats.cycles,
+            "rotated {} !< basic {}",
+            rot.stats.cycles,
+            basic.stats.cycles
+        );
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn memory_bound_rotation_removes_bubbles() {
+        // Paper Fig 3(b)/(d): 2×16 improves from 48·k̄_c to 42·k̄_c in the
+        // main loop.
+        let chip = ChipSpec::idealized();
+        let kc = 64;
+        let mk = |rotate| MicroKernelSpec {
+            tile: MicroTile::new(2, 16),
+            kc,
+            sigma_lane: 4,
+            accumulate: true,
+            strides: Strides::Dynamic,
+            opts: PipelineOpts { rotate, prefetch: true },
+        };
+        let (a, b, c0) = test_data(2, 16, kc);
+        let mut c1 = c0.clone();
+        let basic = run_micro_kernel(&mk(false), &chip, &a, &b, &mut c1, Warmth::L1);
+        let mut c2 = c0;
+        let rot = run_micro_kernel(&mk(true), &chip, &a, &b, &mut c2, Warmth::L1);
+        assert!(rot.stats.cycles < basic.stats.cycles);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn fused_chain_matches_unfused_numerics_and_saves_cycles() {
+        let chip = ChipSpec::idealized();
+        let (mr, nr, kc) = (5, 16, 8);
+        let n_tiles = 4;
+        let n_total = nr * n_tiles;
+        let (a, b, c0) = test_data(mr, n_total, kc);
+        let mk_invs = || -> Vec<TileInvocation> {
+            (0..n_tiles)
+                .map(|t| TileInvocation {
+                    spec: MicroKernelSpec {
+                        tile: MicroTile::new(mr, nr),
+                        kc,
+                        sigma_lane: 4,
+                        accumulate: true,
+                        strides: Strides::Static { lda: kc + 8, ldb: n_total, ldc: n_total },
+                        opts: PipelineOpts::basic(),
+                    },
+                    a_off: 0,
+                    b_off: t * nr,
+                    c_off: t * nr,
+                })
+                .collect()
+        };
+        let mut bufs_f = KernelBuffers::new(mr, n_total, kc, 4, &a, &b, &c0);
+        let fused = run_chain(&mk_invs(), &chip, &mut bufs_f, Warmth::L1);
+        let got_fused = bufs_f.mem.extract(bufs_f.c);
+
+        let mut bufs_u = KernelBuffers::new(mr, n_total, kc, 4, &a, &b, &c0);
+        let unfused = run_unfused(&mk_invs(), &chip, &mut bufs_u, Warmth::L1);
+        let got_unfused = bufs_u.mem.extract(bufs_u.c);
+
+        let mut expected = c0;
+        naive_gemm(mr, n_total, kc, &a, &b, &mut expected);
+        for (i, (&got, &want)) in got_fused.iter().zip(&expected).enumerate() {
+            assert!((got - want).abs() <= 1e-3 * want.abs().max(1.0), "fused C[{i}]");
+        }
+        assert_eq!(got_fused, got_unfused);
+        assert!(
+            fused.cycles < unfused.cycles,
+            "fused {} !< unfused {}",
+            fused.cycles,
+            unfused.cycles
+        );
+    }
+
+    #[test]
+    fn l2_resident_operands_cost_more_than_l1() {
+        let chip = ChipSpec::kp920();
+        let spec = MicroKernelSpec::listing1(MicroTile::new(5, 16), 32, &chip);
+        let (a, b, c0) = test_data(5, 16, 32);
+        let mut c1 = c0.clone();
+        let l1 = run_micro_kernel(&spec, &chip, &a, &b, &mut c1, Warmth::L1);
+        let mut c2 = c0;
+        let l2 = run_micro_kernel(&spec, &chip, &a, &b, &mut c2, Warmth::L2);
+        assert!(l2.cycles > l1.cycles);
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,39 @@
+//! # autogemm-sim
+//!
+//! Execution substrate for the autoGEMM reproduction: a functional and
+//! cycle-level simulator for the virtual Arm ISA of `autogemm-arch`.
+//!
+//! The paper evaluates on five physical Arm machines; this crate stands in
+//! for that hardware (see DESIGN.md §2). It provides:
+//!
+//! * [`memory`] — a flat `f32` memory with region bookkeeping that honours
+//!   the generated kernels' padding contract;
+//! * [`func`] — a functional interpreter: executes a generated
+//!   [`autogemm_arch::Program`] with real `f32` arithmetic, giving
+//!   bit-exact GEMM results used by every correctness test;
+//! * [`cache`] — a multi-level, set-associative LRU cache model built from
+//!   a chip's [`autogemm_arch::CacheLevelSpec`]s;
+//! * [`pipeline`] — the cycle-level scheduler: per-class latencies and
+//!   reciprocal throughputs (Table III), a finite out-of-order window,
+//!   optional write-after-read hazards (no renaming), and cache-dependent
+//!   load latencies. This is the machine model whose mechanics the paper's
+//!   Figure 3 walks through;
+//! * [`kernelsim`] — drivers that bind matrices, run a micro-kernel or a
+//!   fused chain, and report cycles + GFLOPS;
+//! * [`multicore`] — the analytic multi-core layer: per-thread makespan
+//!   with memory-bandwidth contention and NUMA/CMG penalties (§V-E).
+
+pub mod cache;
+pub mod func;
+pub mod kernelsim;
+pub mod memory;
+pub mod multicore;
+pub mod pipeline;
+pub mod trace;
+
+pub use func::FuncState;
+pub use kernelsim::{run_chain, run_micro_kernel, run_unfused, KernelBuffers, SimReport, Warmth};
+pub use memory::{Memory, Region};
+pub use multicore::{makespan, makespan_with_placement, MulticoreResult, ThreadWork};
+pub use pipeline::{simulate, PipelineStats};
+pub use trace::{render_timeline, trace, TraceEvent};

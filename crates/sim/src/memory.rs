@@ -1,0 +1,172 @@
+//! Flat simulated memory with region bookkeeping.
+//!
+//! Generated kernels address memory in bytes; element type is always `f32`.
+//! Allocation appends a slack area after every region so that the kernels'
+//! documented over-reads (one trailing `A` vector per row, up to two
+//! trailing `B` rows) stay inside mapped memory.
+
+/// Slack elements appended after every region — generously larger than the
+/// worst-case over-read of any generated kernel (2 B rows × n_r ≤ 2·28, or
+/// 2·σ_lane per A row which is accounted per-row via the leading dimension).
+pub const REGION_SLACK_ELEMS: usize = 128;
+
+/// A matrix region inside a [`Memory`]: `rows × cols` elements with leading
+/// dimension `ld` (in elements), starting at byte offset `base`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    pub base: usize,
+    pub rows: usize,
+    pub cols: usize,
+    pub ld: usize,
+}
+
+impl Region {
+    /// Byte address of element `(row, col)`.
+    pub fn addr(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.base + 4 * (row * self.ld + col)
+    }
+
+    /// Total bytes spanned by the region (without slack).
+    pub fn span_bytes(&self) -> usize {
+        if self.rows == 0 {
+            0
+        } else {
+            4 * ((self.rows - 1) * self.ld + self.cols)
+        }
+    }
+
+    /// Byte range `[start, end)` of the region's data (without slack).
+    pub fn byte_range(&self) -> std::ops::Range<usize> {
+        self.base..self.base + self.span_bytes()
+    }
+}
+
+/// A flat `f32` memory, byte-addressed with 4-byte alignment.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    data: Vec<f32>,
+}
+
+impl Memory {
+    pub fn new() -> Self {
+        Memory { data: Vec::new() }
+    }
+
+    /// Allocate a `rows × cols` region with leading dimension `ld`,
+    /// followed by [`REGION_SLACK_ELEMS`] of zeroed slack.
+    pub fn alloc(&mut self, rows: usize, cols: usize, ld: usize) -> Region {
+        assert!(ld >= cols, "leading dimension {ld} smaller than cols {cols}");
+        let base = self.data.len() * 4;
+        let elems = rows.max(1).saturating_sub(1) * ld + cols.max(1) + REGION_SLACK_ELEMS;
+        self.data.resize(self.data.len() + elems, 0.0);
+        Region { base, rows, cols, ld }
+    }
+
+    /// Copy `src` (row-major `rows × cols`, leading dimension `src_ld`)
+    /// into the region.
+    pub fn fill(&mut self, region: Region, src: &[f32], src_ld: usize) {
+        for r in 0..region.rows {
+            for c in 0..region.cols {
+                let v = src[r * src_ld + c];
+                self.write_f32(region.addr(r, c), v);
+            }
+        }
+    }
+
+    /// Read the region back as a dense row-major `rows × cols` vector.
+    pub fn extract(&self, region: Region) -> Vec<f32> {
+        let mut out = Vec::with_capacity(region.rows * region.cols);
+        for r in 0..region.rows {
+            for c in 0..region.cols {
+                out.push(self.read_f32(region.addr(r, c)));
+            }
+        }
+        out
+    }
+
+    /// Read one `f32` at a byte address.
+    pub fn read_f32(&self, addr: usize) -> f32 {
+        assert_eq!(addr % 4, 0, "unaligned read at byte {addr}");
+        self.data[addr / 4]
+    }
+
+    /// Write one `f32` at a byte address.
+    pub fn write_f32(&mut self, addr: usize, v: f32) {
+        assert_eq!(addr % 4, 0, "unaligned write at byte {addr}");
+        self.data[addr / 4] = v;
+    }
+
+    /// Read `n` consecutive `f32`s starting at a byte address.
+    pub fn read_vec(&self, addr: usize, n: usize) -> &[f32] {
+        assert_eq!(addr % 4, 0, "unaligned vector read at byte {addr}");
+        &self.data[addr / 4..addr / 4 + n]
+    }
+
+    /// Write `n` consecutive `f32`s starting at a byte address.
+    pub fn write_vec(&mut self, addr: usize, src: &[f32]) {
+        assert_eq!(addr % 4, 0, "unaligned vector write at byte {addr}");
+        self.data[addr / 4..addr / 4 + src.len()].copy_from_slice(src);
+    }
+
+    /// Total allocated bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_fills_and_extracts_round_trip() {
+        let mut mem = Memory::new();
+        let r = mem.alloc(3, 4, 6);
+        let src: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        mem.fill(r, &src, 4);
+        assert_eq!(mem.extract(r), src);
+    }
+
+    #[test]
+    fn regions_do_not_overlap_and_include_slack() {
+        let mut mem = Memory::new();
+        let a = mem.alloc(2, 2, 2);
+        let b = mem.alloc(2, 2, 2);
+        assert!(a.byte_range().end + REGION_SLACK_ELEMS * 4 <= b.base + 4);
+        mem.write_f32(a.addr(1, 1), 7.0);
+        assert_eq!(mem.read_f32(b.addr(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn overread_into_slack_is_mapped() {
+        let mut mem = Memory::new();
+        let r = mem.alloc(4, 8, 8);
+        // Two "rows" beyond the region: still mapped, reads zero.
+        let beyond = r.addr(3, 7) + 4 + 8 * 4;
+        assert_eq!(mem.read_f32(beyond), 0.0);
+    }
+
+    #[test]
+    fn addr_respects_leading_dimension() {
+        let mut mem = Memory::new();
+        let r = mem.alloc(2, 3, 10);
+        assert_eq!(r.addr(1, 2) - r.base, 4 * (10 + 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_access_panics() {
+        let mut mem = Memory::new();
+        mem.alloc(1, 1, 1);
+        mem.read_f32(2);
+    }
+
+    #[test]
+    fn vector_ops_round_trip() {
+        let mut mem = Memory::new();
+        let r = mem.alloc(1, 8, 8);
+        mem.write_vec(r.base, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(mem.read_vec(r.base, 4), &[1.0, 2.0, 3.0, 4.0]);
+    }
+}

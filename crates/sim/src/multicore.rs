@@ -1,0 +1,247 @@
+//! Analytic multi-core execution model (§V-C/E).
+//!
+//! Threads execute independent cache blocks (autoGEMM never parallelizes
+//! the K dimension — a limitation inherited from TVM that the paper calls
+//! out). The makespan is the slowest thread's compute time, inflated when
+//! the threads' aggregate DRAM traffic exceeds the machine's bandwidth.
+//! NUMA topologies (Altra's two sockets, the A64FX's four CMGs on a ring)
+//! add a cross-domain penalty to the fraction of traffic that leaves a
+//! thread's domain, which is what collapses the A64FX's strong scaling in
+//! Fig 11.
+
+use autogemm_arch::ChipSpec;
+
+/// Work executed by one thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadWork {
+    /// Pipeline cycles of the thread's kernel sequence.
+    pub cycles: u64,
+    /// Bytes the thread pulls from DRAM.
+    pub dram_bytes: u64,
+}
+
+/// Result of the multi-core model.
+#[derive(Debug, Clone, Copy)]
+pub struct MulticoreResult {
+    /// Wall-clock seconds for the slowest thread including bandwidth and
+    /// NUMA inflation.
+    pub seconds: f64,
+    /// Aggregate DRAM bandwidth demanded at pure-compute speed (GB/s).
+    pub bw_demand_gbs: f64,
+    /// `true` when the run is slowed by bandwidth saturation.
+    pub bw_limited: bool,
+    /// Fraction of traffic charged the cross-domain penalty.
+    pub remote_fraction: f64,
+}
+
+impl MulticoreResult {
+    /// Achieved GFLOP/s for a run of `flops` floating-point operations.
+    pub fn gflops(&self, flops: u64) -> f64 {
+        if self.seconds == 0.0 {
+            return 0.0;
+        }
+        flops as f64 / self.seconds / 1e9
+    }
+}
+
+/// Compute the makespan of `works` threads on `chip`.
+///
+/// Threads are placed round-robin-by-block onto NUMA domains (thread `t`
+/// lands on domain `t / cores_per_domain`). When more than one domain is
+/// populated, shared operand traffic is assumed uniformly distributed over
+/// the populated domains, so a `1 - 1/d` fraction of each thread's bytes is
+/// remote and pays [`autogemm_arch::NumaTopology::cross_domain_penalty`].
+pub fn makespan(chip: &ChipSpec, works: &[ThreadWork]) -> MulticoreResult {
+    makespan_with_placement(chip, works, false)
+}
+
+/// [`makespan`] with optional domain-local operand placement: when
+/// `replicated` is set, every domain holds its own copy of the shared
+/// operands (packed per CMG), so no traffic crosses the interconnect —
+/// the CMG-aware scheduling the paper leaves as future work for the
+/// A64FX (§V-C/E). The replication cost itself (packing × domains) is
+/// charged by the caller.
+pub fn makespan_with_placement(
+    chip: &ChipSpec,
+    works: &[ThreadWork],
+    replicated: bool,
+) -> MulticoreResult {
+    assert!(!works.is_empty(), "makespan of zero threads");
+    assert!(
+        works.len() <= chip.cores,
+        "{} threads exceed {} cores on {}",
+        works.len(),
+        chip.cores,
+        chip.name
+    );
+    let freq_hz = chip.freq_ghz * 1e9;
+    let t_comp = works.iter().map(|w| w.cycles).max().unwrap() as f64 / freq_hz;
+    if t_comp == 0.0 {
+        return MulticoreResult {
+            seconds: 0.0,
+            bw_demand_gbs: 0.0,
+            bw_limited: false,
+            remote_fraction: 0.0,
+        };
+    }
+
+    let per_domain = chip.numa.cores_per_domain.max(1);
+    let domains_used = works.len().div_ceil(per_domain).min(chip.numa.domains.max(1));
+    let remote_fraction = if domains_used > 1 && !replicated {
+        1.0 - 1.0 / domains_used as f64
+    } else {
+        0.0
+    };
+
+    // Effective bytes per domain: local + penalized remote share.
+    let mut domain_bytes = vec![0.0f64; domains_used];
+    for (t, w) in works.iter().enumerate() {
+        let d = (t / per_domain).min(domains_used - 1);
+        let local = w.dram_bytes as f64 * (1.0 - remote_fraction);
+        let remote = w.dram_bytes as f64 * remote_fraction * chip.numa.cross_domain_penalty;
+        domain_bytes[d] += local + remote;
+    }
+
+    let total_bytes: f64 = works.iter().map(|w| w.dram_bytes as f64).sum();
+    let bw_demand_gbs = total_bytes / t_comp / 1e9;
+
+    // Each domain's traffic is served by its own memory controller.
+    let mut scale: f64 = 1.0;
+    for bytes in &domain_bytes {
+        let demand = bytes / t_comp / 1e9;
+        scale = scale.max(demand / chip.numa.bw_per_domain_gbs);
+    }
+    // Cross-domain traffic shares the inter-domain interconnect (the
+    // A64FX's CMG ring / the Altra's socket link).
+    if remote_fraction > 0.0 && chip.numa.interconnect_bw_gbs.is_finite() {
+        let cross_bytes = total_bytes * remote_fraction;
+        let ring_demand = cross_bytes / t_comp / 1e9;
+        scale = scale.max(ring_demand / chip.numa.interconnect_bw_gbs);
+    }
+    let bw_limited = scale > 1.0;
+    MulticoreResult {
+        seconds: t_comp * scale.max(1.0),
+        bw_demand_gbs,
+        bw_limited,
+        remote_fraction,
+    }
+}
+
+/// Strong-scaling helper: parallel efficiency of `t_n` seconds on `n`
+/// threads against `t_1` seconds on one.
+pub fn parallel_efficiency(t_1: f64, t_n: f64, n: usize) -> f64 {
+    t_1 / (t_n * n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(cycles: u64, bytes: u64) -> ThreadWork {
+        ThreadWork { cycles, dram_bytes: bytes }
+    }
+
+    #[test]
+    fn single_thread_time_is_cycles_over_frequency() {
+        let chip = ChipSpec::kp920();
+        let r = makespan(&chip, &[work(2_600_000, 0)]);
+        assert!((r.seconds - 1e-3).abs() < 1e-9);
+        assert!(!r.bw_limited);
+    }
+
+    #[test]
+    fn compute_bound_threads_scale_linearly() {
+        let chip = ChipSpec::graviton2();
+        let one = makespan(&chip, &[work(1_000_000, 1000)]);
+        let works: Vec<_> = (0..8).map(|_| work(1_000_000, 1000)).collect();
+        let eight = makespan(&chip, &works);
+        // Same per-thread work, negligible traffic: same wall time.
+        assert!((eight.seconds / one.seconds - 1.0).abs() < 0.05);
+        let eff = parallel_efficiency(one.seconds * 8.0, eight.seconds, 8);
+        let _ = eff;
+    }
+
+    #[test]
+    fn bandwidth_saturation_inflates_makespan() {
+        let chip = ChipSpec::kp920(); // 85 GB/s
+        // Each thread wants ~40 GB/s at compute speed: 3 threads saturate.
+        let cycles = 2_600_000; // 1 ms
+        let bytes = 40_000_000; // 40 MB in 1 ms = 40 GB/s
+        let one = makespan(&chip, &[work(cycles, bytes)]);
+        assert!(!one.bw_limited);
+        let four = makespan(&chip, &vec![work(cycles, bytes); 4]);
+        assert!(four.bw_limited);
+        assert!(four.seconds > one.seconds * 1.5);
+    }
+
+    #[test]
+    fn makespan_is_slowest_thread() {
+        let chip = ChipSpec::m2();
+        let r = makespan(&chip, &[work(100, 0), work(1_000_000, 0), work(5, 0)]);
+        assert!((r.seconds - 1_000_000.0 / (3.49e9)).abs() / r.seconds < 1e-9);
+    }
+
+    #[test]
+    fn a64fx_cross_cmg_penalty_kicks_in_beyond_one_cmg() {
+        let chip = ChipSpec::a64fx();
+        let cycles = 2_200_000; // 1 ms
+        let bytes = 150_000_000; // 150 GB/s demand per thread
+        let twelve = makespan(&chip, &vec![work(cycles, bytes / 12); 12]);
+        let r12 = twelve.remote_fraction;
+        assert_eq!(r12, 0.0, "single CMG has no remote traffic");
+        let forty_eight = makespan(&chip, &vec![work(cycles, bytes / 12); 48]);
+        assert!(forty_eight.remote_fraction > 0.7);
+        // 4x the threads, but far from 4x... the aggregate throughput:
+        // scaling efficiency collapses, as in Fig 11.
+        assert!(forty_eight.seconds > twelve.seconds);
+    }
+
+    #[test]
+    fn altra_two_socket_remote_fraction_is_half() {
+        let chip = ChipSpec::altra();
+        let works: Vec<_> = (0..70).map(|_| work(1000, 10_000)).collect();
+        let r = makespan(&chip, &works);
+        assert!((r.remote_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn more_threads_than_cores_rejected() {
+        let chip = ChipSpec::m2();
+        makespan(&chip, &vec![work(1, 0); 5]);
+    }
+
+    #[test]
+    fn gflops_accounting() {
+        let chip = ChipSpec::kp920();
+        let r = makespan(&chip, &[work(2_600_000, 0)]); // 1 ms
+        // 20.8 GFLOP in 1 ms => 20800 GFLOP/s.
+        let g = r.gflops(20_800_000);
+        assert!((g - 20.8).abs() < 0.1);
+    }
+}
+
+#[cfg(test)]
+mod placement_tests {
+    use super::*;
+
+    #[test]
+    fn replication_removes_remote_traffic() {
+        let chip = ChipSpec::a64fx();
+        let works: Vec<_> = (0..48).map(|_| ThreadWork { cycles: 2_200_000, dram_bytes: 2_000_000 }).collect();
+        let shared = makespan_with_placement(&chip, &works, false);
+        let replicated = makespan_with_placement(&chip, &works, true);
+        assert!(shared.remote_fraction > 0.7);
+        assert_eq!(replicated.remote_fraction, 0.0);
+        assert!(replicated.seconds <= shared.seconds);
+    }
+
+    #[test]
+    fn replication_is_a_noop_within_one_domain() {
+        let chip = ChipSpec::a64fx();
+        let works: Vec<_> = (0..12).map(|_| ThreadWork { cycles: 1000, dram_bytes: 1000 }).collect();
+        let a = makespan_with_placement(&chip, &works, false);
+        let b = makespan_with_placement(&chip, &works, true);
+        assert_eq!(a.seconds, b.seconds);
+    }
+}

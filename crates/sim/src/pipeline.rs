@@ -1,0 +1,486 @@
+//! Cycle-level pipeline model.
+//!
+//! This is the machine model whose mechanics the paper's Figure 3 walks
+//! through: instructions dispatch in program order; each issues once its
+//! source operands are ready, its class port is free (reciprocal
+//! throughputs `IPC_*` of Table III), and it is within the out-of-order
+//! window of the oldest unretired instruction. Loads resolve their latency
+//! through the cache hierarchy ([`crate::cache`]); FMA and store latencies
+//! come from the chip descriptor.
+//!
+//! Two fidelity knobs reproduce the paper's cross-chip observations:
+//!
+//! * `ChipSpec::ooo_window` — a small window cannot hoist the boundary `A`
+//!   loads over a whole loop iteration, which is why software pipelining
+//!   (rotating register allocation) pays on some chips;
+//! * `ChipSpec::war_hazard` — without rename capacity for the streaming
+//!   banks, a load overwriting a register must wait for the last FMA that
+//!   reads it, producing exactly the `FMA → LOAD → FMA` bubble of §III-B2.
+//!
+//! The functional interpreter co-runs in program order to resolve
+//! addresses, so timing and semantics can never disagree.
+
+use crate::cache::{CacheHierarchy, CacheStats, HitLevel};
+use crate::func::FuncState;
+use crate::memory::Memory;
+use autogemm_arch::isa::{Instr, InstrClass};
+use autogemm_arch::{Block, ChipSpec, Program};
+use std::collections::VecDeque;
+
+/// Outcome of simulating one program.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// In-order retire time of the last instruction.
+    pub cycles: u64,
+    /// Dynamic instructions executed (loop control excluded).
+    pub instructions: u64,
+    pub fma_count: u64,
+    pub load_count: u64,
+    pub store_count: u64,
+    /// Cycles FMA issue waited on unready source operands (a measure of
+    /// pipeline bubbles).
+    pub fma_stall_cycles: u64,
+    /// Cycles load issue waited on operands or hazards.
+    pub load_stall_cycles: u64,
+    /// Portion of all stalls attributable to WAR/WAW hazards (no-rename
+    /// chips only).
+    pub war_stall_cycles: u64,
+    pub cache: CacheStats,
+}
+
+impl PipelineStats {
+    /// FLOPs performed (`σ_lane` element FMAs each count 2 flops/lane).
+    pub fn flops(&self, sigma_lane: usize) -> u64 {
+        self.fma_count * 2 * sigma_lane as u64
+    }
+
+    /// Achieved GFLOP/s at the chip's clock.
+    pub fn gflops(&self, chip: &ChipSpec) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.flops(chip.sigma_lane()) as f64 * chip.freq_ghz / self.cycles as f64
+    }
+
+    /// Fraction of the chip's single-core peak achieved.
+    pub fn efficiency(&self, chip: &ChipSpec) -> f64 {
+        self.gflops(chip) / chip.peak_gflops_core()
+    }
+}
+
+struct Scheduler<'c> {
+    chip: &'c ChipSpec,
+    /// Cycle each vector register's value becomes available.
+    vreg_ready: [u64; 32],
+    /// Latest issue cycle among readers of each vreg since its last write.
+    vreg_last_read: [u64; 32],
+    /// Issue cycle of each vreg's last writer (WAW without renaming).
+    vreg_last_write: [u64; 32],
+    xreg_ready: [u64; 31],
+    port_free: [u64; 5],
+    /// Next cycle each memory level's fill interface is free (index 0 =
+    /// L1, unused; higher levels and DRAM have finite line-fill
+    /// bandwidth that hardware prefetching cannot exceed).
+    fill_free: [u64; 5],
+    /// In-order retire times of the last `ooo_window` instructions.
+    retire_ring: VecDeque<u64>,
+    inorder_retire: u64,
+    stats: PipelineStats,
+}
+
+impl<'c> Scheduler<'c> {
+    fn new(chip: &'c ChipSpec) -> Self {
+        Scheduler {
+            chip,
+            vreg_ready: [0; 32],
+            vreg_last_read: [0; 32],
+            vreg_last_write: [u64::MAX; 32],
+            xreg_ready: [0; 31],
+            port_free: [0; 5],
+            fill_free: [0; 5],
+            retire_ring: VecDeque::with_capacity(chip.ooo_window + 1),
+            inorder_retire: 0,
+            stats: PipelineStats::default(),
+        }
+    }
+
+    fn port_index(class: InstrClass) -> usize {
+        match class {
+            InstrClass::Load => 0,
+            InstrClass::Store => 1,
+            InstrClass::Fma => 2,
+            InstrClass::Prefetch => 3,
+            InstrClass::Scalar => 4,
+        }
+    }
+
+    fn class_rt(&self, class: InstrClass) -> u64 {
+        match class {
+            InstrClass::Load => self.chip.rt_load,
+            InstrClass::Store => self.chip.rt_store,
+            InstrClass::Fma => self.chip.rt_fma,
+            InstrClass::Prefetch => 1,
+            InstrClass::Scalar => 1,
+        }
+    }
+
+    /// Cycles per line fill from a given source (line bytes over the
+    /// level's per-core fill bandwidth: L2 ≈ 32 B/cy, L3 ≈ 16 B/cy,
+    /// DRAM ≈ 8 B/cy).
+    fn fill_rt(&self, source: HitLevel) -> (usize, u64) {
+        let line = self
+            .chip
+            .caches
+            .first()
+            .map(|c| c.line_bytes as u64)
+            .unwrap_or(64);
+        match source {
+            HitLevel::Cache(0) => (0, 0),
+            HitLevel::Cache(i) => (i, line / (32 >> (i - 1).min(2)).max(8)),
+            HitLevel::Dram => (4, line / 8),
+        }
+    }
+
+    /// Schedule one instruction whose memory latency (for loads) is
+    /// already resolved. Returns its (issue, completion) cycles.
+    fn issue(&mut self, instr: &Instr, mem_latency: u64, source: HitLevel) -> (u64, u64) {
+        let class = instr.class();
+        let mut ready = 0u64;
+        for r in instr.vreg_reads() {
+            ready = ready.max(self.vreg_ready[r.0 as usize]);
+        }
+        for r in instr.xreg_reads() {
+            ready = ready.max(self.xreg_ready[r.0 as usize]);
+        }
+        let ready_raw = ready;
+        if self.chip.war_hazard {
+            if let Some(w) = instr.vreg_write() {
+                // No renaming: wait for the last reader and writer to issue
+                // (u64::MAX marks a register never written yet).
+                ready = ready.max(self.vreg_last_read[w.0 as usize]);
+                let lw = self.vreg_last_write[w.0 as usize];
+                if lw != u64::MAX {
+                    ready = ready.max(lw + 1);
+                }
+            }
+        }
+        let war_extra = ready - ready_raw;
+        let port = Self::port_index(class);
+        let window_ready = if self.retire_ring.len() >= self.chip.ooo_window {
+            *self.retire_ring.front().unwrap()
+        } else {
+            0
+        };
+        let mut port_avail = self.port_free[port].max(window_ready);
+        // Loads whose line crossed a lower level also wait on that level's
+        // fill interface.
+        let (fill_idx, fill_rt) = if class == InstrClass::Load {
+            self.fill_rt(source)
+        } else {
+            (0, 0)
+        };
+        if fill_rt > 0 {
+            port_avail = port_avail.max(self.fill_free[fill_idx]);
+        }
+        let issue = ready.max(port_avail);
+        self.port_free[port] = issue + self.class_rt(class);
+        if fill_rt > 0 {
+            self.fill_free[fill_idx] = issue + fill_rt;
+        }
+
+        let latency = match class {
+            InstrClass::Load => mem_latency,
+            InstrClass::Store => self.chip.lat_store,
+            InstrClass::Fma => self.chip.lat_fma,
+            InstrClass::Prefetch | InstrClass::Scalar => 1,
+        };
+        let complete = issue + latency;
+
+        if class == InstrClass::Fma {
+            self.stats.fma_count += 1;
+            // Cycles this FMA waited on operands beyond port availability —
+            // the "bubbles" of the paper's Fig 3 analysis.
+            self.stats.fma_stall_cycles += ready.saturating_sub(port_avail);
+        }
+        if class == InstrClass::Load {
+            self.stats.load_stall_cycles += ready.saturating_sub(port_avail);
+        }
+        if ready > port_avail {
+            self.stats.war_stall_cycles += war_extra.min(ready - port_avail);
+        }
+        match class {
+            InstrClass::Load => self.stats.load_count += 1,
+            InstrClass::Store => self.stats.store_count += 1,
+            _ => {}
+        }
+
+        for r in instr.vreg_reads() {
+            let i = r.0 as usize;
+            self.vreg_last_read[i] = self.vreg_last_read[i].max(issue);
+        }
+        if let Some(w) = instr.vreg_write() {
+            let i = w.0 as usize;
+            self.vreg_ready[i] = complete;
+            self.vreg_last_read[i] = 0;
+            self.vreg_last_write[i] = issue;
+        }
+        if let Some(w) = instr.xreg_write() {
+            // Scalar results (address updates) forward in one cycle.
+            self.xreg_ready[w.0 as usize] = issue + 1;
+        }
+
+        self.inorder_retire = self.inorder_retire.max(complete);
+        self.retire_ring.push_back(self.inorder_retire);
+        if self.retire_ring.len() > self.chip.ooo_window {
+            self.retire_ring.pop_front();
+        }
+        self.stats.instructions += 1;
+        (issue, complete)
+    }
+
+    /// Account one loop-control `subs`/`bne` pair per iteration: a scalar
+    /// port slot (branch itself is predicted).
+    fn loop_overhead(&mut self) {
+        let port = Self::port_index(InstrClass::Scalar);
+        self.port_free[port] += 1;
+    }
+}
+
+/// The production scheduler exposed for instruction-level tracing
+/// ([`crate::trace`]): identical mechanics, but each `issue` call reports
+/// the instruction's (issue, complete) cycle pair.
+pub(crate) struct TracingScheduler<'c>(Scheduler<'c>);
+
+impl<'c> TracingScheduler<'c> {
+    pub(crate) fn new(chip: &'c ChipSpec) -> Self {
+        TracingScheduler(Scheduler::new(chip))
+    }
+
+    pub(crate) fn issue(
+        &mut self,
+        instr: &Instr,
+        mem_latency: u64,
+        source: HitLevel,
+    ) -> (u64, u64) {
+        self.0.issue(instr, mem_latency, source)
+    }
+
+    pub(crate) fn loop_overhead(&mut self) {
+        self.0.loop_overhead();
+    }
+}
+
+/// Simulate `prog` on `chip`, co-running the functional interpreter so
+/// load/store addresses (and therefore cache behaviour) are exact.
+///
+/// `state` must already have the kernel ABI bound; `caches` carries
+/// residency across successive calls (e.g. across the micro-kernels of one
+/// cache block).
+pub fn simulate(
+    prog: &Program,
+    chip: &ChipSpec,
+    state: &mut FuncState,
+    mem: &mut Memory,
+    caches: &mut CacheHierarchy,
+) -> PipelineStats {
+    let mut sched = Scheduler::new(chip);
+    let exec = |instr: &Instr,
+                    state: &mut FuncState,
+                    mem: &mut Memory,
+                    sched: &mut Scheduler,
+                    caches: &mut CacheHierarchy| {
+        let addr = state.step(instr, mem);
+        let (mem_latency, source) = match (instr.class(), addr) {
+            (InstrClass::Load, Some(a)) => caches.access(a),
+            (InstrClass::Store, Some(a)) => {
+                // Write-allocate: stores install the line but their latency
+                // is the store-pipe latency, not the miss latency.
+                caches.prefetch(a);
+                (0, HitLevel::Cache(0))
+            }
+            (InstrClass::Prefetch, Some(a)) => {
+                caches.prefetch(a);
+                (0, HitLevel::Cache(0))
+            }
+            _ => (0, HitLevel::Cache(0)),
+        };
+        sched.issue(instr, mem_latency, source);
+    };
+
+    for block in &prog.blocks {
+        match block {
+            Block::Straight(instrs) => {
+                for i in instrs {
+                    exec(i, state, mem, &mut sched, caches);
+                }
+            }
+            Block::Loop { count, body } => {
+                for _ in 0..*count {
+                    for i in body {
+                        exec(i, state, mem, &mut sched, caches);
+                    }
+                    sched.loop_overhead();
+                }
+            }
+        }
+    }
+
+    sched.stats.cycles = sched.inorder_retire;
+    sched.stats.cache = caches.stats.clone();
+    sched.stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autogemm_arch::isa::{VReg, XReg};
+
+    fn run(prog: &Program, chip: &ChipSpec, warm: bool) -> PipelineStats {
+        let mut mem = Memory::new();
+        let r = mem.alloc(64, 64, 64);
+        let mut caches = CacheHierarchy::new(chip);
+        if warm {
+            caches.warm(r.byte_range(), 0);
+        }
+        let mut state = FuncState::new(chip.sigma_lane());
+        state.x[0] = r.base as i64;
+        simulate(prog, chip, &mut state, &mut mem, &mut caches)
+    }
+
+    #[test]
+    fn independent_fmas_pipeline_at_one_per_cycle() {
+        // 16 independent FMAs on the idealized chip: issue 0..15, last
+        // completes at 15 + 8 = 23.
+        let chip = ChipSpec::idealized();
+        let mut p = Program::new("fmas");
+        p.push_straight(
+            (0..16)
+                .map(|i| Instr::Fmla {
+                    acc: VReg(i),
+                    mul: VReg(20),
+                    lane_src: VReg(21),
+                    lane: 0,
+                })
+                .collect(),
+        );
+        let stats = run(&p, &chip, true);
+        assert_eq!(stats.cycles, 15 + 8);
+        assert_eq!(stats.fma_count, 16);
+    }
+
+    #[test]
+    fn dependent_fmas_serialize_on_latency() {
+        // A chain of 4 FMAs accumulating into the same register:
+        // issue 0, 8, 16, 24 → retire 32.
+        let chip = ChipSpec::idealized();
+        let mut p = Program::new("chain");
+        p.push_straight(
+            (0..4)
+                .map(|_| Instr::Fmla {
+                    acc: VReg(0),
+                    mul: VReg(20),
+                    lane_src: VReg(21),
+                    lane: 0,
+                })
+                .collect(),
+        );
+        let stats = run(&p, &chip, true);
+        assert_eq!(stats.cycles, 3 * 8 + 8);
+    }
+
+    #[test]
+    fn load_latency_comes_from_cache_level() {
+        let chip = ChipSpec::idealized();
+        let mut p = Program::new("load");
+        p.push_straight(vec![Instr::Ldr { dst: VReg(0), base: XReg(0), offset: 0, post_inc: 0 }]);
+        let warm = run(&p, &chip, true);
+        assert_eq!(warm.cycles, 8); // idealized L1 hit = 8 cycles
+        let cold = run(&p, &chip, false);
+        assert_eq!(cold.cycles, chip.dram_latency_cycles);
+    }
+
+    #[test]
+    fn war_hazard_delays_overwriting_load() {
+        // FMA reads v1; a load then overwrites v1; a second FMA reads it.
+        // With war_hazard the load waits for the first FMA's issue; the
+        // second FMA waits the full load latency.
+        let seq = vec![
+            Instr::Fmla { acc: VReg(0), mul: VReg(2), lane_src: VReg(1), lane: 0 },
+            Instr::Ldr { dst: VReg(1), base: XReg(0), offset: 0, post_inc: 0 },
+            Instr::Fmla { acc: VReg(0), mul: VReg(2), lane_src: VReg(1), lane: 0 },
+        ];
+        let mut with = ChipSpec::idealized();
+        with.war_hazard = true;
+        let mut without = ChipSpec::idealized();
+        without.war_hazard = false;
+        let mut p = Program::new("war");
+        p.push_straight(seq);
+        let t_with = run(&p, &with, true).cycles;
+        let t_without = run(&p, &without, true).cycles;
+        // Renaming lets the load issue at cycle 0 alongside the first FMA.
+        assert!(t_without <= t_with);
+    }
+
+    #[test]
+    fn window_limits_hoisting_of_independent_work() {
+        // A long dependent FMA chain followed by an independent load the
+        // hardware would like to hoist: a tiny window forces the load to
+        // wait, a big window hides it completely.
+        let mut chain: Vec<Instr> = (0..32)
+            .map(|_| Instr::Fmla { acc: VReg(0), mul: VReg(2), lane_src: VReg(1), lane: 0 })
+            .collect();
+        chain.push(Instr::Ldr { dst: VReg(3), base: XReg(0), offset: 0, post_inc: 0 });
+        chain.push(Instr::Fmla { acc: VReg(4), mul: VReg(3), lane_src: VReg(1), lane: 0 });
+        let mut p = Program::new("win");
+        p.push_straight(chain);
+        let mut small = ChipSpec::idealized();
+        small.ooo_window = 2;
+        small.war_hazard = false;
+        let mut big = ChipSpec::idealized();
+        big.ooo_window = 512;
+        big.war_hazard = false;
+        let t_small = run(&p, &small, true).cycles;
+        let t_big = run(&p, &big, true).cycles;
+        assert!(t_big < t_small, "big window {t_big} should beat small {t_small}");
+    }
+
+    #[test]
+    fn ports_serialize_same_class() {
+        // Two independent loads share the load port: second issues 1 cycle
+        // later.
+        let chip = ChipSpec::idealized();
+        let mut p = Program::new("ports");
+        p.push_straight(vec![
+            Instr::Ldr { dst: VReg(0), base: XReg(0), offset: 0, post_inc: 0 },
+            Instr::Ldr { dst: VReg(1), base: XReg(0), offset: 0, post_inc: 0 },
+        ]);
+        let stats = run(&p, &chip, true);
+        assert_eq!(stats.cycles, 1 + 8);
+    }
+
+    #[test]
+    fn different_classes_issue_in_parallel() {
+        let chip = ChipSpec::idealized();
+        let mut p = Program::new("par");
+        p.push_straight(vec![
+            Instr::Ldr { dst: VReg(0), base: XReg(0), offset: 0, post_inc: 0 },
+            Instr::Fmla { acc: VReg(1), mul: VReg(2), lane_src: VReg(3), lane: 0 },
+        ]);
+        let stats = run(&p, &chip, true);
+        // Both issue at cycle 0 on separate ports.
+        assert_eq!(stats.cycles, 8);
+    }
+
+    #[test]
+    fn scalar_dependency_chains_cost_one_cycle_each() {
+        let chip = ChipSpec::idealized();
+        let mut p = Program::new("scalar");
+        p.push_straight(vec![
+            Instr::MovImm { dst: XReg(3), imm: 4 },
+            Instr::AddImm { dst: XReg(3), a: XReg(3), imm: 4 },
+            Instr::AddImm { dst: XReg(3), a: XReg(3), imm: 4 },
+        ]);
+        let stats = run(&p, &chip, true);
+        assert_eq!(stats.cycles, 3);
+    }
+}

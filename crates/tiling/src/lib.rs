@@ -1,0 +1,31 @@
+//! # autogemm-tiling
+//!
+//! Micro-tiling of a cache block `C(m_c, n_c)` into register tiles — §IV-A
+//! of the autoGEMM paper.
+//!
+//! Three strategies are implemented, matching Fig 5:
+//!
+//! * [`openblas::plan_openblas`] — one fixed tile shape, edges handled by
+//!   padding (wasted work on the padded fraction);
+//! * [`libxsmm::plan_libxsmm`] — one fixed tile shape for the interior,
+//!   shrunken tiles on the edge strips (possibly very low arithmetic
+//!   intensity);
+//! * [`dmt::plan_dmt`] — the paper's Dynamic Micro-Tiling (Algorithm 1):
+//!   split the block into four quadrants (`n_front`, `m_front_up`,
+//!   `m_back_up`), choose the best-projected micro-kernel for each, and
+//!   keep the split minimizing total projected cycles.
+//!
+//! Every strategy produces a [`plan::TilePlan`], which downstream code can
+//! validate (exact cover), score (tile count, low-AI count, padded work —
+//! the Fig 5 statistics), cost-model (Eqn 13), execute on the simulator, or
+//! run natively.
+
+pub mod dmt;
+pub mod libxsmm;
+pub mod openblas;
+pub mod plan;
+
+pub use dmt::plan_dmt;
+pub use libxsmm::plan_libxsmm;
+pub use openblas::plan_openblas;
+pub use plan::{Strategy, TilePlacement, TilePlan};

@@ -1,0 +1,79 @@
+//! LIBXSMM-style static micro-tiling: a fixed main tile for the interior,
+//! shrunken kernels on the edge strips (Fig 5-(b)).
+//!
+//! No work is wasted on padding, but the edge kernels can have very low
+//! arithmetic intensity (e.g. `1×16` strips), which is the penalty the
+//! paper attributes to this strategy.
+
+use crate::plan::{grid_region, Strategy, TilePlan};
+use autogemm_kernelgen::MicroTile;
+
+/// Tile an `m × n` block with `tile` in the interior and edge-fitted
+/// kernels on the remainder strips. Edge kernel widths are rounded up to a
+/// lane multiple of `sigma_lane` (the generated kernels require it); any
+/// overhang from that rounding stays within the packed buffers.
+pub fn plan_libxsmm(m: usize, n: usize, tile: MicroTile, sigma_lane: usize) -> TilePlan {
+    let mut placements = Vec::new();
+    let m_main = m / tile.mr * tile.mr;
+    let n_main = n / tile.nr * tile.nr;
+    // Interior grid of full tiles.
+    grid_region(0, 0, m_main, n_main, tile, sigma_lane, &mut placements);
+    // Right edge strip: full-height rows of shrunken width.
+    if n > n_main {
+        grid_region(0, n_main, m_main, n - n_main, tile, sigma_lane, &mut placements);
+    }
+    // Bottom edge strip: shrunken height, full width.
+    if m > m_main {
+        grid_region(m_main, 0, m - m_main, n_main, tile, sigma_lane, &mut placements);
+    }
+    // Corner.
+    if m > m_main && n > n_main {
+        grid_region(m_main, n_main, m - m_main, n - n_main, tile, sigma_lane, &mut placements);
+    }
+    TilePlan { m, n, strategy: Strategy::Libxsmm, placements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autogemm_arch::ChipSpec;
+
+    #[test]
+    fn fig5b_26x36_with_5x16_gives_18_tiles_8_low_ai() {
+        // Paper: LIBXSMM produces 18 tiles on C(26,36), 8 of them with low
+        // arithmetic intensity.
+        let plan = plan_libxsmm(26, 36, MicroTile::new(5, 16), 4);
+        assert_eq!(plan.tile_count(), 18);
+        plan.validate(4).expect("exact cover");
+        assert_eq!(plan.padded_elems(), 0, "edge tiles shrink instead of padding");
+        // Low-AI on a σ_AI ≈ 5.5-7 chip: the 5×4 right strip (AI 4.44),
+        // the 1×16 bottom strip (AI 1.88) and the 1×4 corner.
+        let chip = ChipSpec::kp920();
+        assert_eq!(plan.low_ai_count(&chip), 8);
+    }
+
+    #[test]
+    fn exact_fit_equals_openblas_grid() {
+        let tile = MicroTile::new(5, 16);
+        let plan = plan_libxsmm(25, 64, tile, 4);
+        assert_eq!(plan.tile_count(), 5 * 4);
+        assert!(plan.placements.iter().all(|p| p.tile == tile));
+    }
+
+    #[test]
+    fn edge_kernels_shrink_to_fit() {
+        let plan = plan_libxsmm(7, 20, MicroTile::new(5, 16), 4);
+        plan.validate(4).expect("cover");
+        // Bottom strip uses 2-row kernels, right strip 4-wide kernels.
+        assert!(plan.placements.iter().any(|p| p.tile.mr == 2));
+        assert!(plan.placements.iter().any(|p| p.tile.nr == 4));
+    }
+
+    #[test]
+    fn no_padding_ever() {
+        for (m, n) in [(26, 36), (7, 20), (31, 44), (5, 16)] {
+            let plan = plan_libxsmm(m, n, MicroTile::new(5, 16), 4);
+            assert_eq!(plan.padded_elems(), 0, "{m}x{n}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! OpenBLAS-style static micro-tiling: one fixed tile shape everywhere,
+//! with edge tiles padded (Fig 5-(a)).
+//!
+//! The kernel grid is `⌈m/m_r⌉ × ⌈n/n_r⌉`; tiles overhanging the block
+//! still execute the full `m_r × n_r` kernel against zero-padded buffers,
+//! so the overhang is pure wasted work — the performance penalty the paper
+//! attributes to this strategy on irregular shapes.
+
+use crate::plan::{Strategy, TilePlacement, TilePlan};
+use autogemm_kernelgen::MicroTile;
+
+/// Tile an `m × n` block with a single fixed `tile`, padding the edges.
+pub fn plan_openblas(m: usize, n: usize, tile: MicroTile) -> TilePlan {
+    let mut placements = Vec::new();
+    let mut r = 0;
+    while r < m {
+        let eff_rows = tile.mr.min(m - r);
+        let mut c = 0;
+        while c < n {
+            let eff_cols = tile.nr.min(n - c);
+            placements.push(TilePlacement { row: r, col: c, tile, eff_rows, eff_cols });
+            c += tile.nr;
+        }
+        r += tile.mr;
+    }
+    TilePlan { m, n, strategy: Strategy::OpenBlas, placements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5a_26x36_with_5x16_gives_18_tiles_8_padded() {
+        // The paper's worked example: 8 corner micro-tiles are padded.
+        let plan = plan_openblas(26, 36, MicroTile::new(5, 16));
+        assert_eq!(plan.tile_count(), 18);
+        let padded = plan.placements.iter().filter(|p| p.padded_elems() > 0).count();
+        assert_eq!(padded, 8);
+        plan.validate(4).expect("exact cover of the interior");
+    }
+
+    #[test]
+    fn exact_fit_has_no_padding() {
+        let plan = plan_openblas(10, 32, MicroTile::new(5, 16));
+        assert_eq!(plan.tile_count(), 4);
+        assert_eq!(plan.padded_elems(), 0);
+    }
+
+    #[test]
+    fn padding_fraction_grows_for_hostile_shapes() {
+        // 6 x 17 with 5x16: 4 tiles, mostly padding.
+        let plan = plan_openblas(6, 17, MicroTile::new(5, 16));
+        assert_eq!(plan.tile_count(), 4);
+        let work = plan.tile_count() * 5 * 16;
+        assert!(plan.padded_elems() * 2 > work, "padding should dominate");
+    }
+
+    #[test]
+    fn all_kernels_are_the_fixed_tile() {
+        let tile = MicroTile::new(4, 20);
+        let plan = plan_openblas(26, 36, tile);
+        assert!(plan.placements.iter().all(|p| p.tile == tile));
+    }
+}

@@ -1,0 +1,237 @@
+//! GEMM-shape extraction for the four DNNs of Fig 12.
+//!
+//! Convolution layers lower to GEMM by im2col: a `Cout × (Cin·kh·kw)`
+//! filter matrix times a `(Cin·kh·kw) × (H'·W')` patch matrix — so
+//! `M = Cout`, `K = Cin·kh·kw`, `N = H'·W'`. Fully-connected layers map
+//! directly. The layer lists are the standard published architectures
+//! at 224×224 input (227 for SqueezeNet), abbreviated to the distinct
+//! GEMM shapes with their occurrence counts — what matters for `T_GEMM`
+//! is the multiset of shapes, not the graph wiring.
+
+use serde::{Deserialize, Serialize};
+
+/// One GEMM invocation shape with its multiplicity within a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GemmShape {
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+    /// How many layers in the network share this shape.
+    pub count: usize,
+}
+
+impl GemmShape {
+    pub fn flops_once(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    pub fn flops_total(&self) -> u64 {
+        self.flops_once() * self.count as u64
+    }
+}
+
+/// A convolution layer description, lowered to a GEMM shape.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvLayer {
+    pub cin: usize,
+    pub cout: usize,
+    pub kernel: usize,
+    pub out_hw: usize,
+    pub count: usize,
+}
+
+impl ConvLayer {
+    /// im2col lowering: `M = Cout`, `K = Cin·k²`, `N = H'·W'`.
+    ///
+    /// `N` is rounded up to a multiple of 32, as inference frameworks pad
+    /// the patch matrix: odd spatial sizes (`35² = 1225`, `13² = 169`, …)
+    /// would otherwise admit no lane-aligned cache blocking at all.
+    pub fn to_gemm(self) -> GemmShape {
+        let n_raw = self.out_hw * self.out_hw;
+        GemmShape {
+            m: self.cout,
+            n: n_raw.div_ceil(32) * 32,
+            k: self.cin * self.kernel * self.kernel,
+            count: self.count,
+        }
+    }
+}
+
+/// The four evaluated networks (Fig 12's N1..N4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DnnModel {
+    ResNet50,
+    InceptionV3,
+    MobileNetV1,
+    SqueezeNet,
+}
+
+impl DnnModel {
+    pub fn name(&self) -> &'static str {
+        match self {
+            DnnModel::ResNet50 => "ResNet50",
+            DnnModel::InceptionV3 => "Inception-V3",
+            DnnModel::MobileNetV1 => "MobileNet-V1",
+            DnnModel::SqueezeNet => "SqueezeNet",
+        }
+    }
+
+    /// Fig 12's N1..N4 labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DnnModel::ResNet50 => "N1",
+            DnnModel::InceptionV3 => "N2",
+            DnnModel::MobileNetV1 => "N3",
+            DnnModel::SqueezeNet => "N4",
+        }
+    }
+
+    pub fn all() -> [DnnModel; 4] {
+        [
+            DnnModel::ResNet50,
+            DnnModel::InceptionV3,
+            DnnModel::MobileNetV1,
+            DnnModel::SqueezeNet,
+        ]
+    }
+
+    /// The network's CONV/FC GEMM shapes with multiplicities.
+    pub fn gemm_shapes(&self) -> Vec<GemmShape> {
+        match self {
+            // Table V is exactly ResNet-50's distinct conv shapes; add the
+            // final 1000-way FC layer.
+            DnnModel::ResNet50 => {
+                let mut shapes: Vec<GemmShape> = crate::shapes::resnet50_table_v()
+                    .into_iter()
+                    .map(|l| GemmShape { m: l.m, n: l.n, k: l.k, count: layer_multiplicity(l.layer) })
+                    .collect();
+                shapes.push(GemmShape { m: 1000, n: 1, k: 2048, count: 1 });
+                shapes
+            }
+            DnnModel::InceptionV3 => vec![
+                ConvLayer { cin: 3, cout: 32, kernel: 3, out_hw: 149, count: 1 }.to_gemm(),
+                ConvLayer { cin: 32, cout: 32, kernel: 3, out_hw: 147, count: 1 }.to_gemm(),
+                ConvLayer { cin: 32, cout: 64, kernel: 3, out_hw: 147, count: 1 }.to_gemm(),
+                ConvLayer { cin: 64, cout: 80, kernel: 1, out_hw: 73, count: 1 }.to_gemm(),
+                ConvLayer { cin: 80, cout: 192, kernel: 3, out_hw: 71, count: 1 }.to_gemm(),
+                // Inception blocks (35x35, 17x17, 8x8 grids), aggregated.
+                ConvLayer { cin: 192, cout: 64, kernel: 1, out_hw: 35, count: 4 }.to_gemm(),
+                ConvLayer { cin: 64, cout: 96, kernel: 3, out_hw: 35, count: 6 }.to_gemm(),
+                ConvLayer { cin: 48, cout: 64, kernel: 5, out_hw: 35, count: 3 }.to_gemm(),
+                ConvLayer { cin: 288, cout: 384, kernel: 3, out_hw: 17, count: 1 }.to_gemm(),
+                ConvLayer { cin: 768, cout: 192, kernel: 1, out_hw: 17, count: 8 }.to_gemm(),
+                ConvLayer { cin: 192, cout: 192, kernel: 7, out_hw: 17, count: 8 }.to_gemm(),
+                ConvLayer { cin: 1280, cout: 320, kernel: 1, out_hw: 8, count: 2 }.to_gemm(),
+                ConvLayer { cin: 1280, cout: 384, kernel: 1, out_hw: 8, count: 2 }.to_gemm(),
+                ConvLayer { cin: 384, cout: 384, kernel: 3, out_hw: 8, count: 4 }.to_gemm(),
+                GemmShape { m: 1000, n: 1, k: 2048, count: 1 },
+            ],
+            // MobileNet-V1: pointwise (1x1) convolutions dominate; the
+            // depthwise stages are non-GEMM work.
+            DnnModel::MobileNetV1 => vec![
+                ConvLayer { cin: 3, cout: 32, kernel: 3, out_hw: 112, count: 1 }.to_gemm(),
+                ConvLayer { cin: 32, cout: 64, kernel: 1, out_hw: 112, count: 1 }.to_gemm(),
+                ConvLayer { cin: 64, cout: 128, kernel: 1, out_hw: 56, count: 1 }.to_gemm(),
+                ConvLayer { cin: 128, cout: 128, kernel: 1, out_hw: 56, count: 1 }.to_gemm(),
+                ConvLayer { cin: 128, cout: 256, kernel: 1, out_hw: 28, count: 1 }.to_gemm(),
+                ConvLayer { cin: 256, cout: 256, kernel: 1, out_hw: 28, count: 1 }.to_gemm(),
+                ConvLayer { cin: 256, cout: 512, kernel: 1, out_hw: 14, count: 1 }.to_gemm(),
+                ConvLayer { cin: 512, cout: 512, kernel: 1, out_hw: 14, count: 5 }.to_gemm(),
+                ConvLayer { cin: 512, cout: 1024, kernel: 1, out_hw: 7, count: 1 }.to_gemm(),
+                ConvLayer { cin: 1024, cout: 1024, kernel: 1, out_hw: 7, count: 1 }.to_gemm(),
+                GemmShape { m: 1000, n: 1, k: 1024, count: 1 },
+            ],
+            // SqueezeNet v1.1 fire modules: squeeze 1x1 + expand 1x1/3x3.
+            DnnModel::SqueezeNet => vec![
+                ConvLayer { cin: 3, cout: 64, kernel: 3, out_hw: 111, count: 1 }.to_gemm(),
+                ConvLayer { cin: 64, cout: 16, kernel: 1, out_hw: 55, count: 2 }.to_gemm(),
+                ConvLayer { cin: 16, cout: 64, kernel: 1, out_hw: 55, count: 4 }.to_gemm(),
+                ConvLayer { cin: 16, cout: 64, kernel: 3, out_hw: 55, count: 2 }.to_gemm(),
+                ConvLayer { cin: 128, cout: 32, kernel: 1, out_hw: 27, count: 2 }.to_gemm(),
+                ConvLayer { cin: 32, cout: 128, kernel: 1, out_hw: 27, count: 4 }.to_gemm(),
+                ConvLayer { cin: 32, cout: 128, kernel: 3, out_hw: 27, count: 2 }.to_gemm(),
+                ConvLayer { cin: 256, cout: 48, kernel: 1, out_hw: 13, count: 2 }.to_gemm(),
+                ConvLayer { cin: 48, cout: 192, kernel: 1, out_hw: 13, count: 4 }.to_gemm(),
+                ConvLayer { cin: 48, cout: 192, kernel: 3, out_hw: 13, count: 2 }.to_gemm(),
+                ConvLayer { cin: 384, cout: 64, kernel: 1, out_hw: 13, count: 2 }.to_gemm(),
+                ConvLayer { cin: 64, cout: 256, kernel: 1, out_hw: 13, count: 4 }.to_gemm(),
+                ConvLayer { cin: 512, cout: 1000, kernel: 1, out_hw: 13, count: 1 }.to_gemm(),
+            ],
+        }
+    }
+
+    /// Fraction of end-to-end time spent in non-GEMM operators under the
+    /// OpenBLAS configuration (pooling, activation, normalization, and —
+    /// for MobileNet — the depthwise convolutions). Calibrated to Fig 12's
+    /// `T_other` bars.
+    pub fn other_fraction(&self) -> f64 {
+        match self {
+            DnnModel::ResNet50 => 0.25,
+            DnnModel::InceptionV3 => 0.30,
+            DnnModel::MobileNetV1 => 0.45,
+            DnnModel::SqueezeNet => 0.35,
+        }
+    }
+}
+
+/// How many times each Table V shape occurs in ResNet-50 (bottleneck
+/// blocks repeat: conv2_x ×3, conv3_x ×4, conv4_x ×6, conv5_x ×3).
+fn layer_multiplicity(layer: usize) -> usize {
+    match layer {
+        1 => 1,              // stem
+        2..=5 => 3,          // conv2_x
+        6..=10 => 4,         // conv3_x
+        11..=15 => 6,        // conv4_x
+        16..=20 => 3,        // conv5_x
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn im2col_lowering() {
+        let g = ConvLayer { cin: 64, cout: 256, kernel: 1, out_hw: 56, count: 1 }.to_gemm();
+        assert_eq!((g.m, g.n, g.k), (256, 3136, 64)); // Table V L4
+        let g3 = ConvLayer { cin: 64, cout: 64, kernel: 3, out_hw: 56, count: 1 }.to_gemm();
+        assert_eq!((g3.m, g3.n, g3.k), (64, 3136, 576)); // Table V L3
+    }
+
+    #[test]
+    fn resnet_flops_are_in_the_8gflop_ballpark() {
+        // ResNet-50 ≈ 4.1 GMACs ≈ 8.2 GFLOPs at 2 flops/MAC; the Table V
+        // multiset (which treats each stage's blocks as identical) lands a
+        // little above that.
+        let total: u64 = DnnModel::ResNet50.gemm_shapes().iter().map(|s| s.flops_total()).sum();
+        let gflops = total as f64 / 1e9;
+        assert!(
+            (6.0..13.0).contains(&gflops),
+            "ResNet-50 GEMM flops {gflops:.2} GF out of range"
+        );
+    }
+
+    #[test]
+    fn all_models_have_shapes_and_positive_other_fraction() {
+        for m in DnnModel::all() {
+            let shapes = m.gemm_shapes();
+            assert!(shapes.len() >= 10, "{} too few shapes", m.name());
+            assert!(shapes.iter().all(|s| s.m > 0 && s.n > 0 && s.k > 0 && s.count > 0));
+            assert!((0.0..1.0).contains(&m.other_fraction()));
+        }
+    }
+
+    #[test]
+    fn mobilenet_is_dominated_by_pointwise_convs() {
+        let shapes = DnnModel::MobileNetV1.gemm_shapes();
+        let pointwise = shapes.iter().filter(|s| s.k == s.k / 1 && s.k % 9 != 0).count();
+        assert!(pointwise > shapes.len() / 2);
+    }
+
+    #[test]
+    fn labels_match_fig12() {
+        assert_eq!(DnnModel::ResNet50.label(), "N1");
+        assert_eq!(DnnModel::SqueezeNet.label(), "N4");
+    }
+}

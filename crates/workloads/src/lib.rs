@@ -1,0 +1,21 @@
+//! # autogemm-workloads
+//!
+//! The evaluation workloads of the paper's §V:
+//!
+//! * [`shapes`] — the small-matrix sweep of Fig 8 and the 20 ResNet-50
+//!   irregular GEMM shapes of Table V;
+//! * [`dnn`] — GEMM-shape extraction for the four end-to-end networks of
+//!   Fig 12 (ResNet-50, Inception-V3, MobileNet-V1, SqueezeNet), lowering
+//!   CONV layers to im2col GEMMs and FC layers to plain GEMMs;
+//! * [`tnn`] — a minimal TNN-like inference runner: a layer graph whose
+//!   CONV/FC layers dispatch to a pluggable GEMM backend while non-GEMM
+//!   layers carry a fixed cost, reproducing the `T_GEMM` vs `T_other`
+//!   decomposition of Fig 12.
+
+pub mod dnn;
+pub mod shapes;
+pub mod tnn;
+
+pub use dnn::{DnnModel, GemmShape};
+pub use shapes::{resnet50_table_v, small_sweep, ResnetLayer};
+pub use tnn::{run_model, GemmBackend, ModelTiming};

@@ -1,0 +1,146 @@
+//! Matrix-shape workloads: the Fig 8 small-matrix sweep and the Table V
+//! ResNet-50 irregular shapes.
+
+use serde::{Deserialize, Serialize};
+
+/// One irregular GEMM shape from Table V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResnetLayer {
+    /// Layer label (1..=20, printed as "L1".."L20").
+    pub layer: usize,
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+}
+
+impl ResnetLayer {
+    pub fn name(&self) -> String {
+        format!("L{}", self.layer)
+    }
+
+    pub fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+}
+
+/// The 20 ResNet-50 GEMM shapes of Table V, in layer order.
+pub fn resnet50_table_v() -> Vec<ResnetLayer> {
+    let rows = [
+        (1, 64, 12544, 147),
+        (2, 64, 3136, 64),
+        (3, 64, 3136, 576),
+        (4, 256, 3136, 64),
+        (5, 64, 3136, 256),
+        (6, 128, 784, 256),
+        (7, 128, 784, 1152),
+        (8, 512, 784, 128),
+        (9, 512, 784, 256),
+        (10, 128, 784, 512),
+        (11, 256, 196, 512),
+        (12, 256, 196, 2304),
+        (13, 1024, 196, 256),
+        (14, 1024, 196, 512),
+        (15, 256, 196, 1024),
+        (16, 512, 49, 1024),
+        (17, 512, 49, 4608),
+        (18, 2048, 49, 512),
+        (19, 2048, 49, 1024),
+        (20, 512, 49, 2048),
+    ];
+    rows.into_iter()
+        .map(|(layer, m, n, k)| ResnetLayer { layer, m, n, k })
+        .collect()
+}
+
+/// The square sizes evaluated in the Fig 8 small-matrix sweep
+/// (`M = N = K`, from tiny to 128).
+pub fn small_sweep() -> Vec<usize> {
+    vec![4, 8, 12, 16, 24, 32, 48, 64, 80, 96, 112, 128]
+}
+
+/// The four layers Fig 10's roofline places alongside the small cubes.
+pub fn roofline_layers() -> Vec<ResnetLayer> {
+    resnet50_table_v()
+        .into_iter()
+        .filter(|l| [4, 8, 10, 16].contains(&l.layer))
+        .collect()
+}
+
+/// Classification of an irregular shape, following §II-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeClass {
+    /// All dimensions ≤ 80 (paper's small-matrix bound, after LIBXSMM).
+    Small,
+    /// One dimension much larger than the others, output tall: `N ≫ M, K`.
+    LongRectangular,
+    /// `M ≫ N` or deep reduction: tall-skinny output.
+    TallSkinny,
+    Regular,
+}
+
+/// Classify a GEMM shape.
+pub fn classify(m: usize, n: usize, k: usize) -> ShapeClass {
+    let max = m.max(n).max(k);
+    if max <= 80 {
+        return ShapeClass::Small;
+    }
+    let ratio_n = n as f64 / m.min(k) as f64;
+    let ratio_m = m as f64 / n.min(k) as f64;
+    if ratio_n >= 4.0 {
+        ShapeClass::LongRectangular
+    } else if ratio_m >= 4.0 {
+        ShapeClass::TallSkinny
+    } else {
+        ShapeClass::Regular
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_has_20_layers_with_paper_values() {
+        let t = resnet50_table_v();
+        assert_eq!(t.len(), 20);
+        assert_eq!((t[0].m, t[0].n, t[0].k), (64, 12544, 147));
+        assert_eq!((t[6].m, t[6].n, t[6].k), (128, 784, 1152));
+        assert_eq!((t[19].m, t[19].n, t[19].k), (512, 49, 2048));
+        // Layers are labelled 1..=20 in order.
+        for (i, l) in t.iter().enumerate() {
+            assert_eq!(l.layer, i + 1);
+        }
+    }
+
+    #[test]
+    fn large_k_layers_include_l7_l12_l17_l20() {
+        // §V-C: multi-core performance dips on the large-K layers the
+        // paper names (L7, L12, L17, L20).
+        let t = resnet50_table_v();
+        for l in [7usize, 12, 17, 20] {
+            assert!(t[l - 1].k >= 1024, "L{l} should have large K");
+        }
+    }
+
+    #[test]
+    fn shape_classes() {
+        assert_eq!(classify(64, 64, 64), ShapeClass::Small);
+        assert_eq!(classify(64, 12544, 147), ShapeClass::LongRectangular);
+        assert_eq!(classify(2048, 49, 512), ShapeClass::TallSkinny);
+        assert_eq!(classify(256, 256, 256), ShapeClass::Regular);
+    }
+
+    #[test]
+    fn sweep_is_ascending_and_capped_at_128() {
+        let s = small_sweep();
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*s.last().unwrap(), 128);
+        assert!(s.contains(&64));
+    }
+
+    #[test]
+    fn roofline_layers_are_l4_l8_l10_l16() {
+        let layers: Vec<usize> = roofline_layers().iter().map(|l| l.layer).collect();
+        assert_eq!(layers, vec![4, 8, 10, 16]);
+    }
+}

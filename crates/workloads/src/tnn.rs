@@ -1,0 +1,153 @@
+//! A minimal TNN-like inference runner (Fig 12).
+//!
+//! The paper integrates autoGEMM into Tencent's TNN by replacing only the
+//! GEMM routine behind CONV/FC operators; everything else (`T_other`) is
+//! untouched and identical across configurations. This module mirrors that
+//! experiment: a model is a multiset of GEMM shapes plus a fixed
+//! non-GEMM cost; the GEMM backend is pluggable.
+
+use crate::dnn::DnnModel;
+use autogemm_arch::ChipSpec;
+
+/// A pluggable GEMM timing backend: returns seconds for one `M×N×K` GEMM
+/// on `threads` threads of `chip`.
+pub trait GemmBackend {
+    fn name(&self) -> &str;
+    fn gemm_seconds(&self, m: usize, n: usize, k: usize, chip: &ChipSpec, threads: usize)
+        -> Option<f64>;
+}
+
+/// autoGEMM as a backend (simulated on the modelled chip).
+pub struct AutoGemmBackend {
+    engine: autogemm::AutoGemm,
+}
+
+impl AutoGemmBackend {
+    pub fn new(chip: ChipSpec) -> Self {
+        AutoGemmBackend { engine: autogemm::AutoGemm::new(chip) }
+    }
+}
+
+impl GemmBackend for AutoGemmBackend {
+    fn name(&self) -> &str {
+        "autoGEMM"
+    }
+
+    fn gemm_seconds(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        chip: &ChipSpec,
+        threads: usize,
+    ) -> Option<f64> {
+        debug_assert_eq!(chip.id, self.engine.chip().id);
+        Some(self.engine.simulate(m, n, k, threads).seconds)
+    }
+}
+
+/// A comparison library as a backend.
+pub struct BaselineBackend {
+    pub baseline: autogemm_baselines::Baseline,
+}
+
+impl GemmBackend for BaselineBackend {
+    fn name(&self) -> &str {
+        self.baseline.name()
+    }
+
+    fn gemm_seconds(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        chip: &ChipSpec,
+        threads: usize,
+    ) -> Option<f64> {
+        autogemm_baselines::simulate_baseline(self.baseline, m, n, k, chip, threads)
+            .map(|r| r.seconds)
+    }
+}
+
+/// End-to-end timing decomposition (the Fig 12 bars).
+#[derive(Debug, Clone, Copy)]
+pub struct ModelTiming {
+    pub t_gemm: f64,
+    pub t_other: f64,
+}
+
+impl ModelTiming {
+    pub fn total(&self) -> f64 {
+        self.t_gemm + self.t_other
+    }
+}
+
+/// Run a model end-to-end on a backend. `T_other` is derived from the
+/// model's OpenBLAS-relative non-GEMM fraction and a fixed reference GEMM
+/// time, so it is identical across backends — exactly the Fig 12 setup.
+///
+/// Returns `None` if the backend cannot execute one of the model's shapes.
+pub fn run_model(
+    model: DnnModel,
+    backend: &dyn GemmBackend,
+    reference_gemm_seconds: f64,
+    chip: &ChipSpec,
+    threads: usize,
+) -> Option<ModelTiming> {
+    let mut t_gemm = 0.0;
+    for shape in model.gemm_shapes() {
+        let t = backend.gemm_seconds(shape.m, shape.n, shape.k, chip, threads)?;
+        t_gemm += t * shape.count as f64;
+    }
+    // T_other: fixed, derived once from the reference (OpenBLAS) GEMM time.
+    let f = model.other_fraction();
+    let t_other = reference_gemm_seconds * f / (1.0 - f);
+    Some(ModelTiming { t_gemm, t_other })
+}
+
+/// Compute the reference GEMM time of a model under a given backend
+/// (used with OpenBLAS to anchor `T_other`).
+pub fn reference_gemm_seconds(
+    model: DnnModel,
+    backend: &dyn GemmBackend,
+    chip: &ChipSpec,
+    threads: usize,
+) -> Option<f64> {
+    let mut t = 0.0;
+    for shape in model.gemm_shapes() {
+        t += backend.gemm_seconds(shape.m, shape.n, shape.k, chip, threads)? * shape.count as f64;
+    }
+    Some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn autogemm_beats_openblas_end_to_end() {
+        // Fig 12: replacing OpenBLAS with autoGEMM shrinks T_GEMM while
+        // T_other stays identical; KP920 speedup ≈ 1.30x end-to-end.
+        let chip = ChipSpec::graviton2();
+        let ob = BaselineBackend { baseline: autogemm_baselines::Baseline::OpenBlas };
+        let auto = AutoGemmBackend::new(chip.clone());
+        let model = DnnModel::SqueezeNet;
+        let threads = 4;
+        let reference = reference_gemm_seconds(model, &ob, &chip, threads).unwrap();
+        let t_ob = run_model(model, &ob, reference, &chip, threads).unwrap();
+        let t_auto = run_model(model, &auto, reference, &chip, threads).unwrap();
+        assert!((t_ob.t_other - t_auto.t_other).abs() < 1e-12, "T_other must be identical");
+        assert!(t_auto.t_gemm < t_ob.t_gemm);
+        let speedup = t_ob.total() / t_auto.total();
+        assert!(
+            speedup > 1.05 && speedup < 3.0,
+            "end-to-end speedup {speedup:.2} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn timing_totals_add_up() {
+        let t = ModelTiming { t_gemm: 2.0, t_other: 1.0 };
+        assert_eq!(t.total(), 3.0);
+    }
+}

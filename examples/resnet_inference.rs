@@ -1,0 +1,56 @@
+//! Run the 20 irregular ResNet-50 GEMMs (Table V) through autoGEMM and the
+//! comparison baselines, then the end-to-end TNN-style pipeline — the Fig 9
+//! and Fig 12 workloads as a library consumer would drive them.
+//!
+//! ```sh
+//! cargo run --release --example resnet_inference
+//! ```
+
+use autogemm::AutoGemm;
+use autogemm_arch::ChipSpec;
+use autogemm_baselines::{simulate_baseline, Baseline};
+use autogemm_workloads::tnn::{reference_gemm_seconds, run_model, AutoGemmBackend, BaselineBackend};
+use autogemm_workloads::{resnet50_table_v, DnnModel};
+
+fn main() {
+    let chip = ChipSpec::graviton2();
+    let engine = AutoGemm::new(chip.clone()).with_offline_packing();
+
+    println!("ResNet-50 layers on {} (single core, simulated GFLOPS):\n", chip.name);
+    println!("{:<6} {:>16} {:>10} {:>10} {:>9}", "layer", "shape", "autoGEMM", "OpenBLAS", "speedup");
+    let mut speedups = Vec::new();
+    for layer in resnet50_table_v() {
+        let auto = engine.simulate(layer.m, layer.n, layer.k, 1);
+        let ob = simulate_baseline(Baseline::OpenBlas, layer.m, layer.n, layer.k, &chip, 1)
+            .expect("OpenBLAS supports all shapes");
+        let s = auto.gflops / ob.gflops;
+        speedups.push(s);
+        println!(
+            "{:<6} {:>16} {:>10.1} {:>10.1} {:>8.2}x",
+            layer.name(),
+            format!("{}x{}x{}", layer.m, layer.n, layer.k),
+            auto.gflops,
+            ob.gflops,
+            s
+        );
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    let max = speedups.iter().cloned().fold(0.0f64, f64::max);
+    println!("\naverage speedup {avg:.2}x, max {max:.2}x (paper: 1.3x avg, 1.9x max vs OpenBLAS)");
+
+    // End-to-end inference (Fig 12): full ResNet-50, all cores.
+    let threads = chip.cores;
+    let ob_backend = BaselineBackend { baseline: Baseline::OpenBlas };
+    let auto_backend = AutoGemmBackend::new(chip.clone());
+    let reference = reference_gemm_seconds(DnnModel::ResNet50, &ob_backend, &chip, threads)
+        .expect("reference");
+    let t_ob = run_model(DnnModel::ResNet50, &ob_backend, reference, &chip, threads).unwrap();
+    let t_auto = run_model(DnnModel::ResNet50, &auto_backend, reference, &chip, threads).unwrap();
+    println!(
+        "\nend-to-end ResNet-50 on {} threads: OpenBLAS {:.2} ms -> autoGEMM {:.2} ms ({:.2}x)",
+        threads,
+        t_ob.total() * 1e3,
+        t_auto.total() * 1e3,
+        t_ob.total() / t_auto.total()
+    );
+}

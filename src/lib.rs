@@ -1,0 +1,16 @@
+//! Reproduction harness for **autoGEMM** (SC'24): re-exports of every
+//! workspace crate, used by the integration tests in `tests/` and the
+//! runnable examples in `examples/`.
+//!
+//! See the repository README for the map of the system and DESIGN.md for
+//! the paper-to-crate inventory.
+
+pub use autogemm;
+pub use autogemm_arch as arch;
+pub use autogemm_baselines as baselines;
+pub use autogemm_kernelgen as kernelgen;
+pub use autogemm_perfmodel as perfmodel;
+pub use autogemm_sim as sim;
+pub use autogemm_tiling as tiling;
+pub use autogemm_tuner as tuner;
+pub use autogemm_workloads as workloads;

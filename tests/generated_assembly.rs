@@ -1,0 +1,94 @@
+//! Hygiene of the generated AArch64-style assembly across the full tile
+//! menu: every kernel renders, references only architectural registers,
+//! balances its loop scaffolding, and contains the structures Listing 1
+//! promises.
+
+use autogemm_arch::ChipSpec;
+use autogemm_kernelgen::{generate, tiles, MicroKernelSpec, PipelineOpts, Strides};
+
+fn spec(tile: tiles::MicroTile, kc: usize, rotate: bool) -> MicroKernelSpec {
+    MicroKernelSpec {
+        tile,
+        kc,
+        sigma_lane: 4,
+        accumulate: true,
+        strides: Strides::Dynamic,
+        opts: PipelineOpts { rotate, prefetch: true },
+    }
+}
+
+#[test]
+fn every_menu_kernel_renders_valid_scaffolding() {
+    let chip = ChipSpec::idealized();
+    for tile in tiles::table_menu(4) {
+        for rotate in [false, true] {
+            let asm = generate(&spec(tile, 24, rotate), &chip).render();
+            // Loop scaffolding is balanced: one label per loop, one
+            // back-branch per label.
+            let labels = asm.lines().filter(|l| l.trim_end().ends_with(':')).count();
+            let branches = asm.matches("bne ").count();
+            assert_eq!(labels, branches, "{tile} rotate={rotate}:\n{asm}");
+            // Listing 1 structure: prefetches up front, fmla in the body,
+            // stores at the end.
+            assert!(asm.contains("prfm PLDL1KEEP"), "{tile}");
+            assert!(asm.contains("fmla"), "{tile}");
+            assert!(asm.contains("str q"), "{tile}");
+            // Loop counter convention.
+            if asm.contains("1:") {
+                assert!(asm.contains("subs x29, x29, #1"), "{tile}");
+            }
+        }
+    }
+}
+
+#[test]
+fn register_names_stay_architectural() {
+    let chip = ChipSpec::idealized();
+    for tile in tiles::first_choice_neon() {
+        let asm = generate(&spec(tile, 16, true), &chip).render();
+        for token in asm.split(|c: char| !c.is_alphanumeric()) {
+            if let Some(n) = token.strip_prefix('v').and_then(|t| t.parse::<u32>().ok()) {
+                assert!(n < 32, "{tile}: vector register v{n}");
+            }
+            if let Some(n) = token.strip_prefix('q').and_then(|t| t.parse::<u32>().ok()) {
+                assert!(n < 32, "{tile}: q register q{n}");
+            }
+            if let Some(n) = token.strip_prefix('x').and_then(|t| t.parse::<u32>().ok()) {
+                assert!(n < 31, "{tile}: scalar register x{n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn instruction_stream_length_scales_with_kc() {
+    // The loop body is kc-independent; only the trip count grows — the
+    // whole point of the generator's structured loop.
+    let chip = ChipSpec::idealized();
+    let t = tiles::MicroTile::new(5, 16);
+    let small = generate(&spec(t, 16, false), &chip);
+    let large = generate(&spec(t, 160, false), &chip);
+    let static_small: usize = small.blocks.iter().map(|b| match b {
+        autogemm_arch::Block::Straight(v) => v.len(),
+        autogemm_arch::Block::Loop { body, .. } => body.len(),
+    }).sum();
+    let static_large: usize = large.blocks.iter().map(|b| match b {
+        autogemm_arch::Block::Straight(v) => v.len(),
+        autogemm_arch::Block::Loop { body, .. } => body.len(),
+    }).sum();
+    assert_eq!(static_small, static_large, "static code size must not grow with k_c");
+    assert!(large.dynamic_len() > small.dynamic_len() * 8);
+}
+
+#[test]
+fn accumulate_toggles_c_panel_loads() {
+    let chip = ChipSpec::idealized();
+    let t = tiles::MicroTile::new(6, 12);
+    let mut s = spec(t, 8, false);
+    let with_acc = generate(&s, &chip).render();
+    s.accumulate = false;
+    let without = generate(&s, &chip).render();
+    assert!(with_acc.matches("ldr q").count() > without.matches("ldr q").count());
+    assert!(without.contains("movi"), "non-accumulating kernels zero their panel");
+    assert!(!with_acc.contains("movi"));
+}

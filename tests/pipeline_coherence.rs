@@ -1,0 +1,143 @@
+//! Coherence between the three views of a micro-kernel: the generator's
+//! instruction stream, the analytic performance model (Eqns 4–11) and the
+//! cycle-level simulator. They share Table III's parameters, so they must
+//! agree — on instruction counts exactly, on cycles within tolerance.
+
+use autogemm_arch::{ChipSpec, InstrClass};
+use autogemm_kernelgen::{generate, tiles, MicroKernelSpec, PipelineOpts, Strides};
+use autogemm_perfmodel::{projected_cycles, ModelOpts};
+use autogemm_sim::{run_micro_kernel, Warmth};
+
+fn spec(tile: tiles::MicroTile, kc: usize, rotate: bool) -> MicroKernelSpec {
+    MicroKernelSpec {
+        tile,
+        kc,
+        sigma_lane: 4,
+        accumulate: true,
+        strides: Strides::Dynamic,
+        opts: PipelineOpts { rotate, prefetch: true },
+    }
+}
+
+#[test]
+fn fma_counts_equal_flops_for_every_menu_tile() {
+    let chip = ChipSpec::idealized();
+    for tile in tiles::table_menu(4) {
+        for kc in [8usize, 19, 32] {
+            let s = spec(tile, kc, false);
+            let prog = generate(&s, &chip);
+            // One FMLA covers σ_lane lanes; flops = 2 · lanes · fmla count.
+            assert_eq!(
+                prog.count_class(InstrClass::Fma) * 8,
+                s.flops(),
+                "{tile} kc={kc}"
+            );
+        }
+    }
+}
+
+#[test]
+fn simulator_tracks_model_on_l1_resident_kernels() {
+    // Model-vs-simulator agreement on the idealized machine for a spread
+    // of tile shapes and depths — the Fig 3 cross-validation, generalized.
+    let chip = ChipSpec::idealized();
+    for tile in tiles::first_choice_neon() {
+        for kc in [16usize, 64] {
+            for rotate in [false, true] {
+                let s = spec(tile, kc, rotate);
+                let a = vec![1.0f32; tile.mr * kc];
+                let b = vec![1.0f32; kc * tile.nr];
+                let mut c = vec![0.0f32; tile.mr * tile.nr];
+                let sim = run_micro_kernel(&s, &chip, &a, &b, &mut c, Warmth::L1);
+                let model = projected_cycles(tile, kc, &chip, ModelOpts { rotate, fused: false });
+                let ratio = sim.stats.cycles as f64 / model;
+                assert!(
+                    (0.6..1.5).contains(&ratio),
+                    "{tile} kc={kc} rot={rotate}: sim {} model {model:.0} (x{ratio:.2})",
+                    sim.stats.cycles
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rotation_helps_on_war_hazard_chips_only() {
+    // §V-B: rotating register allocation pays on the KP920, not on
+    // Graviton2/M2 (their windows + renaming already hide the loads).
+    let measure = |chip: &ChipSpec, rotate: bool| {
+        let tile = tiles::MicroTile::new(5, 16);
+        let s = MicroKernelSpec { sigma_lane: chip.sigma_lane(), ..spec(tile, 64, rotate) };
+        let a = vec![1.0f32; 5 * 64];
+        let b = vec![1.0f32; 64 * 16];
+        let mut c = vec![0.0f32; 5 * 16];
+        run_micro_kernel(&s, chip, &a, &b, &mut c, Warmth::L1).stats.cycles
+    };
+    let kp = ChipSpec::kp920();
+    assert!(measure(&kp, true) < measure(&kp, false), "rotation must help on KP920");
+    let g2 = ChipSpec::graviton2();
+    let (rot, basic) = (measure(&g2, true), measure(&g2, false));
+    let delta = (basic as f64 - rot as f64) / basic as f64;
+    assert!(delta.abs() < 0.03, "rotation should be neutral on Graviton2, delta {delta:.3}");
+}
+
+#[test]
+fn fusion_saves_cycles_at_small_kc() {
+    // §III-C2: prologue/epilogue dominate at small k_c; fusing a chain of
+    // kernels beats running them separately.
+    use autogemm_kernelgen::TileInvocation;
+    use autogemm_sim::{run_chain, run_unfused, KernelBuffers};
+    let chip = ChipSpec::kp920();
+    let (mr, nr, kc, n_tiles) = (5usize, 16usize, 4usize, 6usize);
+    let mk_invs = || -> Vec<TileInvocation> {
+        (0..n_tiles)
+            .map(|t| TileInvocation {
+                spec: MicroKernelSpec {
+                    tile: tiles::MicroTile::new(mr, nr),
+                    kc,
+                    sigma_lane: 4,
+                    accumulate: true,
+                    strides: Strides::Static { lda: kc + 8, ldb: nr * n_tiles, ldc: nr * n_tiles },
+                    opts: PipelineOpts::rotated(),
+                },
+                a_off: 0,
+                b_off: t * nr,
+                c_off: t * nr,
+            })
+            .collect()
+    };
+    let a = vec![1.0f32; mr * kc];
+    let b = vec![1.0f32; kc * nr * n_tiles];
+    let c = vec![0.0f32; mr * nr * n_tiles];
+    let mut bufs = KernelBuffers::new(mr, nr * n_tiles, kc, 4, &a, &b, &c);
+    let fused = run_chain(&mk_invs(), &chip, &mut bufs, Warmth::L1);
+    let mut bufs2 = KernelBuffers::new(mr, nr * n_tiles, kc, 4, &a, &b, &c);
+    let unfused = run_unfused(&mk_invs(), &chip, &mut bufs2, Warmth::L1);
+    let saving = 1.0 - fused.cycles as f64 / unfused.cycles as f64;
+    assert!(
+        saving > 0.10,
+        "fusion saving {saving:.3} at k_c=4 (paper: ~16%)"
+    );
+}
+
+#[test]
+fn sve_pipeline_works_end_to_end() {
+    let chip = ChipSpec::a64fx();
+    let tile = tiles::MicroTile::new(4, 32);
+    assert!(tile.feasible(16));
+    let s = MicroKernelSpec {
+        tile,
+        kc: 32,
+        sigma_lane: 16,
+        accumulate: true,
+        strides: Strides::Dynamic,
+        opts: PipelineOpts::rotated(),
+    };
+    let a = vec![2.0f32; 4 * 32];
+    let b = vec![0.5f32; 32 * 32];
+    let mut c = vec![0.0f32; 4 * 32];
+    let r = run_micro_kernel(&s, &chip, &a, &b, &mut c, Warmth::L1);
+    // 2.0 * 0.5 * 32 accumulations = 32.0 everywhere.
+    assert!(c.iter().all(|&x| (x - 32.0).abs() < 1e-4));
+    assert!(r.stats.cycles > 0);
+}
