@@ -168,9 +168,24 @@ impl ChipSpec {
             sigma_ai: 6.7,
             launch_cycles: 24,
             caches: vec![
-                CacheLevelSpec { size_bytes: 64 << 10, line_bytes: 64, latency_cycles: 3, shared: false },
-                CacheLevelSpec { size_bytes: 512 << 10, line_bytes: 64, latency_cycles: 22, shared: false },
-                CacheLevelSpec { size_bytes: 32 << 20, line_bytes: 64, latency_cycles: 48, shared: true },
+                CacheLevelSpec {
+                    size_bytes: 64 << 10,
+                    line_bytes: 64,
+                    latency_cycles: 3,
+                    shared: false,
+                },
+                CacheLevelSpec {
+                    size_bytes: 512 << 10,
+                    line_bytes: 64,
+                    latency_cycles: 22,
+                    shared: false,
+                },
+                CacheLevelSpec {
+                    size_bytes: 32 << 20,
+                    line_bytes: 64,
+                    latency_cycles: 48,
+                    shared: true,
+                },
             ],
             dram_latency_cycles: 220,
             numa: NumaTopology::uniform(8, 85.0),
@@ -198,9 +213,24 @@ impl ChipSpec {
             sigma_ai: 4.8,
             launch_cycles: 20,
             caches: vec![
-                CacheLevelSpec { size_bytes: 64 << 10, line_bytes: 64, latency_cycles: 4, shared: false },
-                CacheLevelSpec { size_bytes: 1 << 20, line_bytes: 64, latency_cycles: 11, shared: false },
-                CacheLevelSpec { size_bytes: 32 << 20, line_bytes: 64, latency_cycles: 32, shared: true },
+                CacheLevelSpec {
+                    size_bytes: 64 << 10,
+                    line_bytes: 64,
+                    latency_cycles: 4,
+                    shared: false,
+                },
+                CacheLevelSpec {
+                    size_bytes: 1 << 20,
+                    line_bytes: 64,
+                    latency_cycles: 11,
+                    shared: false,
+                },
+                CacheLevelSpec {
+                    size_bytes: 32 << 20,
+                    line_bytes: 64,
+                    latency_cycles: 32,
+                    shared: true,
+                },
             ],
             dram_latency_cycles: 200,
             numa: NumaTopology::uniform(16, 120.0),
@@ -225,9 +255,24 @@ impl ChipSpec {
             sigma_ai: 5.5,
             launch_cycles: 20,
             caches: vec![
-                CacheLevelSpec { size_bytes: 64 << 10, line_bytes: 64, latency_cycles: 4, shared: false },
-                CacheLevelSpec { size_bytes: 1 << 20, line_bytes: 64, latency_cycles: 13, shared: false },
-                CacheLevelSpec { size_bytes: 32 << 20, line_bytes: 64, latency_cycles: 38, shared: true },
+                CacheLevelSpec {
+                    size_bytes: 64 << 10,
+                    line_bytes: 64,
+                    latency_cycles: 4,
+                    shared: false,
+                },
+                CacheLevelSpec {
+                    size_bytes: 1 << 20,
+                    line_bytes: 64,
+                    latency_cycles: 13,
+                    shared: false,
+                },
+                CacheLevelSpec {
+                    size_bytes: 32 << 20,
+                    line_bytes: 64,
+                    latency_cycles: 38,
+                    shared: true,
+                },
             ],
             dram_latency_cycles: 230,
             numa: NumaTopology {
@@ -260,8 +305,18 @@ impl ChipSpec {
             sigma_ai: 5.2,
             launch_cycles: 16,
             caches: vec![
-                CacheLevelSpec { size_bytes: 128 << 10, line_bytes: 128, latency_cycles: 3, shared: false },
-                CacheLevelSpec { size_bytes: 16 << 20, line_bytes: 128, latency_cycles: 16, shared: true },
+                CacheLevelSpec {
+                    size_bytes: 128 << 10,
+                    line_bytes: 128,
+                    latency_cycles: 3,
+                    shared: false,
+                },
+                CacheLevelSpec {
+                    size_bytes: 16 << 20,
+                    line_bytes: 128,
+                    latency_cycles: 16,
+                    shared: true,
+                },
             ],
             dram_latency_cycles: 180,
             numa: NumaTopology::uniform(4, 100.0),
@@ -290,8 +345,18 @@ impl ChipSpec {
             sigma_ai: 6.0,
             launch_cycles: 28,
             caches: vec![
-                CacheLevelSpec { size_bytes: 64 << 10, line_bytes: 256, latency_cycles: 5, shared: false },
-                CacheLevelSpec { size_bytes: 8 << 20, line_bytes: 256, latency_cycles: 40, shared: true },
+                CacheLevelSpec {
+                    size_bytes: 64 << 10,
+                    line_bytes: 256,
+                    latency_cycles: 5,
+                    shared: false,
+                },
+                CacheLevelSpec {
+                    size_bytes: 8 << 20,
+                    line_bytes: 256,
+                    latency_cycles: 40,
+                    shared: true,
+                },
             ],
             dram_latency_cycles: 260,
             numa: NumaTopology {

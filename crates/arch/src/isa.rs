@@ -77,36 +77,17 @@ pub enum InstrClass {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Instr {
     /// `ldr qD, [xB, #off]` (+ optional post-increment of `xB`).
-    Ldr {
-        dst: VReg,
-        base: XReg,
-        offset: i64,
-        post_inc: i64,
-    },
+    Ldr { dst: VReg, base: XReg, offset: i64, post_inc: i64 },
     /// `str qS, [xB, #off]` (+ optional post-increment of `xB`).
-    Str {
-        src: VReg,
-        base: XReg,
-        offset: i64,
-        post_inc: i64,
-    },
+    Str { src: VReg, base: XReg, offset: i64, post_inc: i64 },
     /// `fmla vA.4s, vM.4s, vL.s[lane]` — `acc += mul * lane_src[lane]`
     /// elementwise over all σ_lane lanes.
-    Fmla {
-        acc: VReg,
-        mul: VReg,
-        lane_src: VReg,
-        lane: u8,
-    },
+    Fmla { acc: VReg, mul: VReg, lane_src: VReg, lane: u8 },
     /// Zero a vector register (`movi vD.4s, #0`); used when the kernel
     /// computes `C = A·B` rather than `C += A·B`.
     Vzero { dst: VReg },
     /// `prfm PLDL{1,2}KEEP, [xB, #off]`.
-    Prfm {
-        base: XReg,
-        offset: i64,
-        level: PrefetchLevel,
-    },
+    Prfm { base: XReg, offset: i64, level: PrefetchLevel },
     /// `mov xD, #imm`.
     MovImm { dst: XReg, imm: i64 },
     /// `mov xD, xS`.
@@ -232,12 +213,7 @@ mod tests {
 
     #[test]
     fn fmla_reads_all_three_vregs_and_writes_acc() {
-        let i = Instr::Fmla {
-            acc: VReg(0),
-            mul: VReg(1),
-            lane_src: VReg(2),
-            lane: 3,
-        };
+        let i = Instr::Fmla { acc: VReg(0), mul: VReg(1), lane_src: VReg(2), lane: 3 };
         assert_eq!(i.class(), InstrClass::Fma);
         assert_eq!(i.vreg_reads(), vec![VReg(0), VReg(1), VReg(2)]);
         assert_eq!(i.vreg_write(), Some(VReg(0)));

@@ -78,7 +78,9 @@ impl Program {
     pub fn unrolled(&self) -> impl Iterator<Item = &Instr> {
         self.blocks.iter().flat_map(|b| match b {
             Block::Straight(v) => UnrollIter::Straight(v.iter()),
-            Block::Loop { count, body } => UnrollIter::Loop { body, rep: *count, inner: body.iter() },
+            Block::Loop { count, body } => {
+                UnrollIter::Loop { body, rep: *count, inner: body.iter() }
+            }
         })
     }
 
@@ -114,11 +116,7 @@ impl Program {
 
 enum UnrollIter<'a> {
     Straight(std::slice::Iter<'a, Instr>),
-    Loop {
-        body: &'a [Instr],
-        rep: usize,
-        inner: std::slice::Iter<'a, Instr>,
-    },
+    Loop { body: &'a [Instr], rep: usize, inner: std::slice::Iter<'a, Instr> },
 }
 
 impl<'a> Iterator for UnrollIter<'a> {

@@ -3,18 +3,22 @@ use autogemm_baselines::*;
 fn main() {
     let chip = ChipSpec::kp920();
     let auto = autogemm::AutoGemm::new(chip.clone());
-    println!("== 64^3 (paper: OB .35, Eigen .50, Shalom .95, FastConv .58, XSMM .68, TVM .78, auto .98)");
+    println!(
+        "== 64^3 (paper: OB .35, Eigen .50, Shalom .95, FastConv .58, XSMM .68, TVM .78, auto .98)"
+    );
     for b in all_baselines() {
         if let Some(r) = simulate_baseline(b, 64, 64, 64, &chip, 1) {
             println!("  {:10} {:.3}", b.name(), r.efficiency);
         }
     }
-    println!("  {:10} {:.3}", "autoGEMM", auto.simulate(64,64,64,1).efficiency);
-    println!("== 256x3136x64 (paper: OB .47, Eigen .49, Shalom .86, FastConv .79, TVM .72, auto .91)");
+    println!("  {:10} {:.3}", "autoGEMM", auto.simulate(64, 64, 64, 1).efficiency);
+    println!(
+        "== 256x3136x64 (paper: OB .47, Eigen .49, Shalom .86, FastConv .79, TVM .72, auto .91)"
+    );
     for b in all_baselines() {
         if let Some(r) = simulate_baseline(b, 256, 3136, 64, &chip, 1) {
             println!("  {:10} {:.3}", b.name(), r.efficiency);
         }
     }
-    println!("  {:10} {:.3}", "autoGEMM", auto.simulate(256,3136,64,1).efficiency);
+    println!("  {:10} {:.3}", "autoGEMM", auto.simulate(256, 3136, 64, 1).efficiency);
 }

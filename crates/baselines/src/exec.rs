@@ -36,8 +36,7 @@ pub fn simulate_baseline(
     let block = simexec::simulate_block(plan, chip, true);
     let (tm, tn, tk) = plan.grid();
     let tiles_total = (tm * tn * tk) as u64 * block.tiles;
-    let overhead =
-        profile.call_overhead_cycles + tiles_total * profile.per_tile_overhead_cycles;
+    let overhead = profile.call_overhead_cycles + tiles_total * profile.per_tile_overhead_cycles;
     let flops = plan.flops();
 
     let (seconds, threads_used) = if threads > 1 {
@@ -61,6 +60,7 @@ pub fn simulate_baseline(
 /// Native (host) execution of a baseline's plan: `C += A·B`, row-major.
 /// Used by the correctness tests — every baseline must agree with the
 /// naive reference to < 1e-6 relative error (§V).
+#[allow(clippy::too_many_arguments)]
 pub fn gemm_baseline(
     baseline: Baseline,
     m: usize,
@@ -90,29 +90,11 @@ pub fn gemm_baseline(
             let c_block = unsafe { c_root.offset(row0, col0) };
             for kb in 0..tk {
                 let krow = kb * s.kc;
-                let pa = pack_block(
-                    a,
-                    k,
-                    row0,
-                    krow,
-                    s.mc,
-                    s.kc,
-                    2 * plan.sigma_lane,
-                    pad_rows_a,
-                );
+                let pa = pack_block(a, k, row0, krow, s.mc, s.kc, 2 * plan.sigma_lane, pad_rows_a);
                 let pb = pack_block(b, n, krow, col0, s.kc, s.nc, pad_cols_b, 2);
                 // Baselines accumulate into C on every slice (C += A·B).
                 for placement in &plan.block_plan.placements {
-                    run_placement(
-                        placement,
-                        s.kc,
-                        &pa.data,
-                        pa.ld,
-                        &pb.data,
-                        pb.ld,
-                        c_block,
-                        true,
-                    );
+                    run_placement(placement, s.kc, &pa.data, pa.ld, &pb.data, pb.ld, c_block, true);
                 }
             }
         }

@@ -22,10 +22,7 @@ pub fn naive_gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f
 /// Maximum relative error between two buffers (the paper's < 1e-6
 /// verification criterion).
 pub fn max_rel_error(got: &[f32], want: &[f32]) -> f32 {
-    got.iter()
-        .zip(want)
-        .map(|(&g, &w)| (g - w).abs() / w.abs().max(1.0))
-        .fold(0.0, f32::max)
+    got.iter().zip(want).map(|(&g, &w)| (g - w).abs() / w.abs().max(1.0)).fold(0.0, f32::max)
 }
 
 #[cfg(test)]

@@ -83,7 +83,7 @@ impl Baseline {
         let _ = m;
         match self {
             Baseline::LibShalom => {
-                n % 8 == 0 && k % 8 == 0 && chip.id != "m2" && chip.id != "a64fx"
+                n.is_multiple_of(8) && k.is_multiple_of(8) && chip.id != "m2" && chip.id != "a64fx"
             }
             Baseline::Ssl2 => chip.id == "a64fx",
             Baseline::Libxsmm => m.max(n).max(k) <= 128,
@@ -100,7 +100,13 @@ impl Baseline {
             Baseline::OpenBlas => scale(5, 4),
             Baseline::Eigen => scale(4, 2),
             Baseline::LibShalom => scale(5, 4),
-            Baseline::FastConv => scale(4, 5).feasible(sigma).then(|| scale(4, 5)).unwrap_or(scale(4, 2)),
+            Baseline::FastConv => {
+                if scale(4, 5).feasible(sigma) {
+                    scale(4, 5)
+                } else {
+                    scale(4, 2)
+                }
+            }
             Baseline::Libxsmm => scale(5, 4),
             Baseline::Tvm => scale(5, 4),
             Baseline::Ssl2 => scale(6, 1),
@@ -116,11 +122,9 @@ impl Baseline {
                 capped_divisor(n, 4096, sigma),
                 capped_divisor(k, 384, 1),
             ),
-            Baseline::Eigen => (
-                capped_divisor(m, 96, 1),
-                capped_divisor(n, 256, sigma),
-                capped_divisor(k, 256, 1),
-            ),
+            Baseline::Eigen => {
+                (capped_divisor(m, 96, 1), capped_divisor(n, 256, sigma), capped_divisor(k, 256, 1))
+            }
             // Small-matrix JIT: one block.
             Baseline::Libxsmm => (m, n, k),
             Baseline::Ssl2 => (

@@ -27,13 +27,7 @@ fn efficiency(plan: &ExecutionPlan, chip: &ChipSpec) -> f64 {
     gflops / chip.peak_gflops_core()
 }
 
-fn variant(
-    chip: &ChipSpec,
-    m: usize,
-    n: usize,
-    k: usize,
-    name: &str,
-) -> ExecutionPlan {
+fn variant(chip: &ChipSpec, m: usize, n: usize, k: usize, name: &str) -> ExecutionPlan {
     let full_opts = ModelOpts { rotate: true, fused: true };
     let sched = tune(m, n, k, chip);
     match name {
@@ -127,5 +121,7 @@ fn main() {
             &rows,
         );
     }
-    println!("\nEach column removes one design decision; parentheses show the delta vs full autoGEMM.");
+    println!(
+        "\nEach column removes one design decision; parentheses show the delta vs full autoGEMM."
+    );
 }

@@ -39,13 +39,18 @@ fn main() {
             print_table(
                 &format!(
                     "Fig 10 — roofline, {} {} (peak {:.1} GFLOPS, ridge AI {:.1} flop/B)",
-                    chip.name, label, roof.peak_gflops, roof.ridge_ai()
+                    chip.name,
+                    label,
+                    roof.peak_gflops,
+                    roof.ridge_ai()
                 ),
                 &["point", "AI (flop/B)", "attainable", "measured", "of roof", "bound"],
                 &rows,
             );
         }
     }
-    println!("\npaper landmarks: small cubes sit below/near the ridge; ResNet layers are compute-bound;");
+    println!(
+        "\npaper landmarks: small cubes sit below/near the ridge; ResNet layers are compute-bound;"
+    );
     println!("single-core autoGEMM tracks the roof closely.");
 }

@@ -5,7 +5,9 @@
 use autogemm_arch::ChipSpec;
 use autogemm_baselines::Baseline;
 use autogemm_bench::print_table;
-use autogemm_workloads::tnn::{reference_gemm_seconds, run_model, AutoGemmBackend, BaselineBackend};
+use autogemm_workloads::tnn::{
+    reference_gemm_seconds, run_model, AutoGemmBackend, BaselineBackend,
+};
 use autogemm_workloads::DnnModel;
 
 fn main() {
@@ -38,5 +40,7 @@ fn main() {
         );
     }
     println!("\npaper landmarks: T_other identical across backends; speedup 1.30x on KP920,");
-    println!("1.08-1.15x on Graviton2, across ResNet50 / Inception-V3 / MobileNet-V1 / SqueezeNet.");
+    println!(
+        "1.08-1.15x on Graviton2, across ResNet50 / Inception-V3 / MobileNet-V1 / SqueezeNet."
+    );
 }

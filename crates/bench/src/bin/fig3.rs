@@ -35,12 +35,32 @@ fn main() {
             5,
             16,
             true,
-            projected_cycles(MicroTile::new(5, 16), kc, &chip, ModelOpts { rotate: true, fused: false }),
+            projected_cycles(
+                MicroTile::new(5, 16),
+                kc,
+                &chip,
+                ModelOpts { rotate: true, fused: false },
+            ),
         ),
-        ("(b) 2x16 basic (mainloop 48*kv)", 2, 16, false,
-            projected_cycles(MicroTile::new(2, 16), kc, &chip, ModelOpts::default())),
-        ("(d) 2x16 + rotating registers (mainloop 42*kv)", 2, 16, true,
-            projected_cycles(MicroTile::new(2, 16), kc, &chip, ModelOpts { rotate: true, fused: false })),
+        (
+            "(b) 2x16 basic (mainloop 48*kv)",
+            2,
+            16,
+            false,
+            projected_cycles(MicroTile::new(2, 16), kc, &chip, ModelOpts::default()),
+        ),
+        (
+            "(d) 2x16 + rotating registers (mainloop 42*kv)",
+            2,
+            16,
+            true,
+            projected_cycles(
+                MicroTile::new(2, 16),
+                kc,
+                &chip,
+                ModelOpts { rotate: true, fused: false },
+            ),
+        ),
     ];
 
     let rows: Vec<Vec<String>> = cases
@@ -48,12 +68,7 @@ fn main() {
         .map(|(name, mr, nr, rotate, model)| {
             let sim = simulate(*mr, *nr, kc, *rotate, &chip);
             let ratio = sim as f64 / model;
-            vec![
-                name.to_string(),
-                format!("{model:.0}"),
-                sim.to_string(),
-                format!("{ratio:.3}"),
-            ]
+            vec![name.to_string(), format!("{model:.0}"), sim.to_string(), format!("{ratio:.3}")]
         })
         .collect();
     print_table(
@@ -61,7 +76,9 @@ fn main() {
         &["kernel", "analytic model", "simulated", "sim/model"],
         &rows,
     );
-    println!("\npaper formulas: 5x16 basic = 20*kc + 13*kv + 65; 2x16 mainloop 48*kv -> 42*kv rotated");
+    println!(
+        "\npaper formulas: 5x16 basic = 20*kc + 13*kv + 65; 2x16 mainloop 48*kv -> 42*kv rotated"
+    );
 
     // The actual pipeline diagram (paper Fig 3-(a), first iterations):
     // trace the 5x16 basic kernel and render its opening window.
@@ -85,6 +102,8 @@ fn main() {
     let mut state = autogemm_sim::FuncState::new(4);
     state.bind_gemm(a.base, b.base, cbuf.base, a.ld, b.ld, cbuf.ld);
     let events = autogemm_sim::trace(&prog, &chip, &mut state, &mut mem, &mut caches);
-    println!("\npipeline timeline, 5x16 basic (prologue + first lanes; F=fmla L=ldr S=str .=scalar):\n");
+    println!(
+        "\npipeline timeline, 5x16 basic (prologue + first lanes; F=fmla L=ldr S=str .=scalar):\n"
+    );
     print!("{}", autogemm_sim::render_timeline(&events, 0, 60));
 }

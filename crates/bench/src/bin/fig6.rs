@@ -11,7 +11,13 @@ fn simulate_with_opts(engine: &AutoGemm, m: usize, n: usize, k: usize, opts: Mod
     let sched = autogemm_tuner::tune(m, n, k, &chip);
     let mut plan = ExecutionPlan::from_schedule(sched, &chip);
     plan.opts = opts;
-    plan.block_plan = autogemm_tiling::plan_dmt(plan.schedule.mc, plan.schedule.nc, plan.schedule.kc, &chip, opts);
+    plan.block_plan = autogemm_tiling::plan_dmt(
+        plan.schedule.mc,
+        plan.schedule.nc,
+        plan.schedule.kc,
+        &chip,
+        opts,
+    );
     let block = autogemm::simexec::simulate_block(&plan, &chip, true);
     let cycles = autogemm::simexec::single_core_cycles(&plan, &chip, block);
     let flops = plan.flops() as f64;
@@ -33,9 +39,12 @@ fn main() {
         let engine = AutoGemm::new(chip.clone());
         let mut rows = Vec::new();
         for (m, n, k) in shapes {
-            let basic = simulate_with_opts(&engine, m, n, k, ModelOpts { rotate: false, fused: false });
-            let rot = simulate_with_opts(&engine, m, n, k, ModelOpts { rotate: true, fused: false });
-            let full = simulate_with_opts(&engine, m, n, k, ModelOpts { rotate: true, fused: true });
+            let basic =
+                simulate_with_opts(&engine, m, n, k, ModelOpts { rotate: false, fused: false });
+            let rot =
+                simulate_with_opts(&engine, m, n, k, ModelOpts { rotate: true, fused: false });
+            let full =
+                simulate_with_opts(&engine, m, n, k, ModelOpts { rotate: true, fused: true });
             rows.push(vec![
                 format!("{m}x{n}x{k}"),
                 pct(basic),

@@ -10,8 +10,24 @@ use autogemm_tuner::space::LoopOrder;
 use autogemm_tuner::{Packing, Schedule};
 
 /// Simulate a whole-block plan as autoGEMM would execute it.
-fn simulate_plan(plan: TilePlan, m: usize, n: usize, kc: usize, chip: &ChipSpec, opts: ModelOpts) -> f64 {
-    let schedule = Schedule { m, n, k: kc, mc: m, nc: n, kc, order: LoopOrder::goto(), packing: Packing::Online };
+fn simulate_plan(
+    plan: TilePlan,
+    m: usize,
+    n: usize,
+    kc: usize,
+    chip: &ChipSpec,
+    opts: ModelOpts,
+) -> f64 {
+    let schedule = Schedule {
+        m,
+        n,
+        k: kc,
+        mc: m,
+        nc: n,
+        kc,
+        order: LoopOrder::goto(),
+        packing: Packing::Online,
+    };
     let exec = autogemm::ExecutionPlan {
         schedule,
         block_plan: plan,
@@ -33,8 +49,22 @@ fn main() {
         let mut rows = Vec::new();
         for (m, n) in shapes {
             let tile = MicroTile::new(5, 16);
-            let ob = simulate_plan(plan_openblas(m, n, tile), m, n, kc, &chip, ModelOpts { rotate: true, fused: false });
-            let xs = simulate_plan(plan_libxsmm(m, n, tile, 4), m, n, kc, &chip, ModelOpts { rotate: true, fused: false });
+            let ob = simulate_plan(
+                plan_openblas(m, n, tile),
+                m,
+                n,
+                kc,
+                &chip,
+                ModelOpts { rotate: true, fused: false },
+            );
+            let xs = simulate_plan(
+                plan_libxsmm(m, n, tile, 4),
+                m,
+                n,
+                kc,
+                &chip,
+                ModelOpts { rotate: true, fused: false },
+            );
             let dmt_plan = plan_dmt(m, n, kc, &chip, opts);
             let tiles = dmt_plan.tile_count();
             let low_ai = dmt_plan.low_ai_count(&chip);
@@ -54,6 +84,8 @@ fn main() {
             &rows,
         );
     }
-    println!("\npaper landmarks: ties at 80x32 and 25x64 (same 5x16 grid); at 26x64 DMT eliminates");
+    println!(
+        "\npaper landmarks: ties at 80x32 and 25x64 (same 5x16 grid); at 26x64 DMT eliminates"
+    );
     println!("low-AI tiles on low-sigma_AI chips (Graviton2/M2) and minimizes them on KP920.");
 }

@@ -37,8 +37,13 @@ fn main() {
             &rows,
         );
         let e64 = engine.simulate(64, 64, 64, 1).efficiency;
-        println!("efficiency at 64^3: {:.1}% (paper: 97.6/98.3/98.4/96.5/93.2% per chip)", e64 * 100.0);
+        println!(
+            "efficiency at 64^3: {:.1}% (paper: 97.6/98.3/98.4/96.5/93.2% per chip)",
+            e64 * 100.0
+        );
     }
-    println!("\nnotes: LibShalom computes only N,K % 8 == 0 and skips M2/A64FX; SSL2 is A64FX-only;");
+    println!(
+        "\nnotes: LibShalom computes only N,K % 8 == 0 and skips M2/A64FX; SSL2 is A64FX-only;"
+    );
     println!("LIBXSMM is small-matrix only. Missing points print as '-'.");
 }

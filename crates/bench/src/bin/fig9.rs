@@ -41,13 +41,19 @@ fn main() {
             let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
             let mx = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
             print_table(
-                &format!("Fig 9 — ResNet-50 layers on {} ({} thread(s)) [GFLOPS]", chip.name, threads),
+                &format!(
+                    "Fig 9 — ResNet-50 layers on {} ({} thread(s)) [GFLOPS]",
+                    chip.name, threads
+                ),
                 &["layer", "shape", "autoGEMM", "OpenBLAS", "Eigen", "LibShalom"],
                 &rows,
             );
             println!(
                 "speedup vs OpenBLAS avg {:.2}x (max {:.2}x); vs Eigen avg {:.2}x (max {:.2}x)",
-                avg(&speedup_ob), mx(&speedup_ob), avg(&speedup_eigen), mx(&speedup_eigen)
+                avg(&speedup_ob),
+                mx(&speedup_ob),
+                avg(&speedup_eigen),
+                mx(&speedup_eigen)
             );
             if threads > 1 {
                 println!("(multi-core runs pin k_c = K — the TVM limitation — large-K layers L7/L12/L17/L20 dip)");

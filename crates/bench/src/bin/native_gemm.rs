@@ -1,0 +1,141 @@
+//! Emit `BENCH_native_gemm.json`: the tracked wall-clock trajectory of
+//! the native block driver on this host.
+//!
+//! For each (shape × threads) point the binary times the panel-cache
+//! driver (operands packed once per GEMM, atomic block queue, pooled
+//! buffers) and the historical per-block repacking path on the same
+//! execution plan, and records medians, GFLOPS and the speedup. Run with
+//!
+//! ```text
+//! cargo run --release -p autogemm-bench --bin native_gemm [OUT.json]
+//! ```
+//!
+//! from the workspace root (default output: `BENCH_native_gemm.json`).
+
+use autogemm::native::{gemm_with_plan_pooled, gemm_with_plan_repack};
+use autogemm::{AutoGemm, PanelPool};
+use autogemm_arch::ChipSpec;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const REPS: usize = 15;
+const WARMUP: usize = 3;
+
+fn data(m: usize, n: usize, k: usize) -> (Vec<f32>, Vec<f32>) {
+    let a = (0..m * k).map(|i| (i % 17) as f32 - 8.0).collect();
+    let b = (0..k * n).map(|i| (i % 13) as f32 - 6.0).collect();
+    (a, b)
+}
+
+fn median_secs(mut f: impl FnMut()) -> f64 {
+    for _ in 0..WARMUP {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+struct Entry {
+    m: usize,
+    n: usize,
+    k: usize,
+    threads: usize,
+    repack_s: f64,
+    cached_s: f64,
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_native_gemm.json".to_string());
+    let engine = AutoGemm::new(ChipSpec::graviton2());
+    // The paper's flagship irregular DNN GEMM (64×3136×64, Table V) at 1
+    // and 8 threads, a small Fig 8 shape, an awkward-prime shape, and a
+    // mid square.
+    let points = [
+        (64, 3136, 64, 8),
+        (64, 3136, 64, 1),
+        (64, 196, 64, 1),
+        (31, 44, 29, 1),
+        (128, 128, 128, 4),
+    ];
+
+    let mut entries = Vec::new();
+    for (m, n, k, threads) in points {
+        let plan = if threads > 1 {
+            engine.plan_multicore(m, n, k, threads)
+        } else {
+            engine.plan(m, n, k)
+        };
+        let (a, b) = data(m, n, k);
+        let mut c = vec![0.0f32; m * n];
+
+        let pool = PanelPool::new();
+        let cached_s =
+            median_secs(|| gemm_with_plan_pooled(black_box(&plan), &a, &b, &mut c, threads, &pool));
+        let repack_s =
+            median_secs(|| gemm_with_plan_repack(black_box(&plan), &a, &b, &mut c, threads));
+
+        // Bit-identity check rides along with every bench run.
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        gemm_with_plan_pooled(&plan, &a, &b, &mut c1, threads, &pool);
+        gemm_with_plan_repack(&plan, &a, &b, &mut c2, threads);
+        assert_eq!(c1, c2, "panel cache diverged from seed path on {m}x{n}x{k}");
+
+        let flops = 2.0 * (m * n * k) as f64;
+        println!(
+            "{m:>4}x{n:>5}x{k:>4} t{threads}: panel_cache {:>9.1} µs ({:>6.2} GFLOPS)  \
+             seed_repack {:>9.1} µs  speedup {:.2}x",
+            cached_s * 1e6,
+            flops / cached_s / 1e9,
+            repack_s * 1e6,
+            repack_s / cached_s,
+        );
+        entries.push(Entry { m, n, k, threads, repack_s, cached_s });
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"native_gemm\",");
+    let _ = writeln!(
+        json,
+        "  \"command\": \"cargo run --release -p autogemm-bench --bin native_gemm\","
+    );
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(
+        json,
+        "  \"host_parallelism\": {},",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    );
+    let _ = writeln!(json, "  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let flops = 2.0 * (e.m * e.n * e.k) as f64;
+        let _ = write!(
+            json,
+            "    {{\"m\": {}, \"n\": {}, \"k\": {}, \"threads\": {}, \
+             \"panel_cache_s\": {:.9}, \"panel_cache_gflops\": {:.3}, \
+             \"seed_repack_s\": {:.9}, \"seed_repack_gflops\": {:.3}, \
+             \"speedup\": {:.4}}}",
+            e.m,
+            e.n,
+            e.k,
+            e.threads,
+            e.cached_s,
+            flops / e.cached_s / 1e9,
+            e.repack_s,
+            flops / e.repack_s / 1e9,
+            e.repack_s / e.cached_s,
+        );
+        let _ = writeln!(json, "{}", if i + 1 < entries.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_native_gemm.json");
+    println!("wrote {out_path}");
+}

@@ -15,7 +15,8 @@ fn main() {
                 let nr = (i + 1) * 4;
                 row.push(match cell {
                     Some(ai) => {
-                        let mark = if fc.iter().any(|t| t.mr == mr && t.nr == nr) { "*" } else { "" };
+                        let mark =
+                            if fc.iter().any(|t| t.mr == mr && t.nr == nr) { "*" } else { "" };
                         format!("{ai:.2}{mark}")
                     }
                     None => "-".into(),

@@ -6,8 +6,7 @@ use autogemm_bench::print_table;
 
 fn main() {
     let chips = ChipSpec::all_evaluated();
-    let headers: Vec<&str> =
-        std::iter::once("").chain(chips.iter().map(|c| c.name)).collect();
+    let headers: Vec<&str> = std::iter::once("").chain(chips.iter().map(|c| c.name)).collect();
     let mut rows = Vec::new();
     let row = |name: &str, f: &dyn Fn(&ChipSpec) -> String| -> Vec<String> {
         std::iter::once(name.to_string()).chain(chips.iter().map(f)).collect()

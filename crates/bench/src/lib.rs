@@ -26,10 +26,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         line
     };
     println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    println!(
-        "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
-    );
+    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -9,7 +9,10 @@
 //! construction.
 
 use crate::native;
+use crate::offline::PackedB;
+use crate::packing::PanelPool;
 use crate::plan::ExecutionPlan;
+use std::collections::HashMap;
 
 /// A batch of same-shape GEMMs: `C[i] (+)= A[i] · B[i]`.
 pub struct GemmBatch<'a> {
@@ -47,9 +50,23 @@ impl<'a> GemmBatch<'a> {
     }
 }
 
+/// Slice identity: same base pointer and length means the same `B` is
+/// bound to several batch items (the weight-reuse pattern: one weight
+/// matrix, many activations).
+fn slice_key(s: &[f32]) -> (usize, usize) {
+    (s.as_ptr() as usize, s.len())
+}
+
 /// Execute a batch natively with a shared tuned plan. `c` holds the
 /// outputs back to back (`len · m · n` elements), either zeroed or
 /// carrying accumulation inputs.
+///
+/// Items that bind the *same* `B` slice (pointer identity) share one
+/// offline-packed copy of it: `B` is packed once for the whole group and
+/// each item runs through the zero-copy prepacked driver, instead of
+/// re-packing `B` per item. Each worker thread also carries its own
+/// [`PanelPool`], so A-panel buffers are recycled across that worker's
+/// items.
 pub fn gemm_batch(plan: &ExecutionPlan, batch: &GemmBatch, c: &mut [f32], threads: usize) {
     let (m, n) = (batch.m, batch.n);
     assert_eq!(c.len(), batch.len() * m * n, "C must hold len*m*n elements");
@@ -61,6 +78,19 @@ pub fn gemm_batch(plan: &ExecutionPlan, batch: &GemmBatch, c: &mut [f32], thread
     }
     let threads = threads.max(1).min(batch.len());
 
+    // Pack each B that appears more than once, exactly once.
+    let mut b_uses: HashMap<(usize, usize), usize> = HashMap::new();
+    for b in &batch.b {
+        *b_uses.entry(slice_key(b)).or_insert(0) += 1;
+    }
+    let mut shared_b: HashMap<(usize, usize), PackedB> = HashMap::new();
+    for b in &batch.b {
+        let key = slice_key(b);
+        if b_uses[&key] > 1 && !shared_b.contains_key(&key) {
+            shared_b.insert(key, PackedB::new(plan, b));
+        }
+    }
+
     // Round-robin ownership transfer of the disjoint output slices.
     let mut per_thread: Vec<Vec<(usize, &mut [f32])>> = (0..threads).map(|_| Vec::new()).collect();
     for (i, chunk) in c.chunks_mut(m * n).enumerate() {
@@ -69,9 +99,18 @@ pub fn gemm_batch(plan: &ExecutionPlan, batch: &GemmBatch, c: &mut [f32], thread
 
     crossbeam::scope(|scope| {
         for work in per_thread {
+            let shared_b = &shared_b;
             scope.spawn(move |_| {
+                let pool = PanelPool::new();
                 for (i, c_item) in work {
-                    native::gemm_with_plan(plan, batch.a[i], batch.b[i], c_item, 1);
+                    match shared_b.get(&slice_key(batch.b[i])) {
+                        Some(packed) => crate::offline::gemm_prepacked_pooled(
+                            plan, batch.a[i], packed, c_item, 1, &pool,
+                        ),
+                        None => native::gemm_with_plan_pooled(
+                            plan, batch.a[i], batch.b[i], c_item, 1, &pool,
+                        ),
+                    }
                 }
             });
         }

@@ -36,6 +36,9 @@ pub struct AutoGemm {
     cmg_replication: bool,
     schedules: Mutex<HashMap<(usize, usize, usize, usize), Schedule>>,
     block_sims: Mutex<HashMap<(usize, usize, usize, bool), BlockCost>>,
+    /// Recycles panel buffers across native GEMM calls: the engine's
+    /// steady state packs into warm allocations instead of fresh `vec!`s.
+    panel_pool: crate::packing::PanelPool,
 }
 
 impl AutoGemm {
@@ -47,6 +50,7 @@ impl AutoGemm {
             cmg_replication: false,
             schedules: Mutex::new(HashMap::new()),
             block_sims: Mutex::new(HashMap::new()),
+            panel_pool: crate::packing::PanelPool::new(),
         }
     }
 
@@ -117,12 +121,16 @@ impl AutoGemm {
     }
 
     /// Native single-threaded GEMM on the host: `C = A·B`, row-major.
+    /// Panel buffers are recycled through the engine's pool.
     pub fn gemm(&self, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
         let plan = self.plan(m, n, k);
-        native::gemm_with_plan(&plan, a, b, c, 1);
+        native::gemm_with_plan_pooled(&plan, a, b, c, 1, &self.panel_pool);
     }
 
-    /// Native multi-threaded GEMM on the host.
+    /// Native multi-threaded GEMM on the host (panel-cache driver: each
+    /// operand panel packed once, blocks drained from the shared work
+    /// queue, buffers recycled through the engine's pool).
+    #[allow(clippy::too_many_arguments)]
     pub fn gemm_threaded(
         &self,
         m: usize,
@@ -135,7 +143,13 @@ impl AutoGemm {
     ) {
         let plan =
             if threads > 1 { self.plan_multicore(m, n, k, threads) } else { self.plan(m, n, k) };
-        native::gemm_with_plan(&plan, a, b, c, threads);
+        native::gemm_with_plan_pooled(&plan, a, b, c, threads, &self.panel_pool);
+    }
+
+    /// Drop the engine's pooled panel buffers (memory release valve after
+    /// a large shape has been through the native path).
+    pub fn clear_panel_pool(&self) {
+        self.panel_pool.clear();
     }
 
     fn block_cost(&self, plan: &ExecutionPlan, multicore: bool) -> BlockCost {

@@ -33,11 +33,14 @@
 //! * [`plan`] — the execution plan: cache blocking + per-block DMT tile
 //!   plans, shared by both backends;
 //! * [`packing`] — operand packing (`none` / `offline` / `online`) with the
-//!   generated kernels' padding contract;
+//!   generated kernels' padding contract, plus the panel buffer pool and
+//!   pack-call counters;
 //! * [`native`] — portable-Rust micro-kernels (monomorphized for every
-//!   Table II shape) and the threaded block driver (crossbeam scoped
-//!   threads; the K dimension is never parallelized, matching the TVM
-//!   limitation the paper reports in §V-C);
+//!   Table II shape) and the panel-cache block driver: every operand
+//!   panel packed exactly once per GEMM, blocks drained from an atomic
+//!   work queue by crossbeam scoped threads (the K dimension is never
+//!   parallelized, matching the TVM limitation the paper reports in
+//!   §V-C);
 //! * [`simexec`] — the simulated backend: executes the generated virtual-ISA
 //!   kernels block-by-block on the pipeline model, memoizing per-block
 //!   cycle counts, and composes multi-core makespans.
@@ -53,6 +56,7 @@ pub mod transpose;
 
 pub use batch::{gemm_batch, GemmBatch};
 pub use engine::{AutoGemm, SimGemmReport};
-pub use offline::{gemm_prepacked, PackedB};
+pub use offline::{gemm_prepacked, gemm_prepacked_pooled, PackedB};
+pub use packing::PanelPool;
 pub use plan::ExecutionPlan;
 pub use transpose::{gemm_op, sgemm, Op};

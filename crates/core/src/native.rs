@@ -15,10 +15,28 @@
 //! through a raw-pointer tile handle ([`CTile`]) whose accessed cells are
 //! provably disjoint across threads, rather than through overlapping
 //! `&mut` slices (which would be UB regardless of write disjointness).
+//!
+//! ## Panel cache (amortized packing)
+//!
+//! The driver packs every operand panel exactly once per GEMM: A panels
+//! `(bi, kb)` are shared across all column blocks and B panels `(kb, bj)`
+//! across all row blocks, so a `tm × tn × tk` grid performs
+//! `(tm + tn)·tk` packs instead of the `2·tm·tn·tk` a per-block repacking
+//! loop would (§IV-C2 makes amortized packing a first-class tuning axis).
+//! Panel buffers come from a [`PanelPool`] and are returned after the
+//! call, so steady-state GEMMs allocate nothing. Blocks are then drained
+//! from a shared atomic cursor over the `σ_order`-sorted block list —
+//! irregular grids whose edge blocks are cheap load-balance dynamically
+//! instead of by static thread striding. Packed panel contents and the
+//! per-block `kb`-ascending accumulation order are identical to the
+//! historical per-block path ([`gemm_with_plan_repack`]), so results are
+//! bit-identical.
 
-use crate::packing::{pack_a, pack_b};
+use crate::offline::PackedB;
+use crate::packing::{pack_a, pack_a_into, pack_b, pack_b_into, PackedBlock, PanelPool};
 use crate::plan::ExecutionPlan;
 use autogemm_tiling::TilePlacement;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A writable view of one `C` micro-tile: base pointer at the tile's
 /// `(0,0)` element plus the row stride.
@@ -200,20 +218,234 @@ pub fn run_placement(
     }
     // The Table II menu (feasible m_r ≤ 8, n̄_r ≤ 7 shapes).
     dispatch!(
-        (1, 1, 4), (1, 2, 8), (1, 3, 12), (1, 4, 16), (1, 5, 20), (1, 6, 24), (1, 7, 28),
-        (2, 1, 4), (2, 2, 8), (2, 3, 12), (2, 4, 16), (2, 5, 20), (2, 6, 24), (2, 7, 28),
-        (3, 1, 4), (3, 2, 8), (3, 3, 12), (3, 4, 16), (3, 5, 20), (3, 6, 24), (3, 7, 28),
-        (4, 1, 4), (4, 2, 8), (4, 3, 12), (4, 4, 16), (4, 5, 20),
-        (5, 1, 4), (5, 2, 8), (5, 3, 12), (5, 4, 16),
-        (6, 1, 4), (6, 2, 8), (6, 3, 12),
-        (7, 1, 4), (7, 2, 8), (7, 3, 12),
-        (8, 1, 4), (8, 2, 8),
+        (1, 1, 4),
+        (1, 2, 8),
+        (1, 3, 12),
+        (1, 4, 16),
+        (1, 5, 20),
+        (1, 6, 24),
+        (1, 7, 28),
+        (2, 1, 4),
+        (2, 2, 8),
+        (2, 3, 12),
+        (2, 4, 16),
+        (2, 5, 20),
+        (2, 6, 24),
+        (2, 7, 28),
+        (3, 1, 4),
+        (3, 2, 8),
+        (3, 3, 12),
+        (3, 4, 16),
+        (3, 5, 20),
+        (3, 6, 24),
+        (3, 7, 28),
+        (4, 1, 4),
+        (4, 2, 8),
+        (4, 3, 12),
+        (4, 4, 16),
+        (4, 5, 20),
+        (5, 1, 4),
+        (5, 2, 8),
+        (5, 3, 12),
+        (5, 4, 16),
+        (6, 1, 4),
+        (6, 2, 8),
+        (6, 3, 12),
+        (7, 1, 4),
+        (7, 2, 8),
+        (7, 3, 12),
+        (8, 1, 4),
+        (8, 2, 8),
     );
+}
+
+/// The B-panel source for the cached block driver: packed in this call,
+/// or borrowed zero-copy from an offline [`PackedB`].
+pub(crate) enum BPanels<'p> {
+    /// Panels indexed `[kb * tn + bj]`, packed by this GEMM call.
+    Owned { panels: Vec<PackedBlock>, tn: usize },
+    /// Offline-packed B (`crate::offline::PackedB`), reused across calls.
+    Prepacked(&'p PackedB),
+}
+
+impl BPanels<'_> {
+    #[inline]
+    fn panel(&self, kb: usize, bj: usize) -> &PackedBlock {
+        match self {
+            BPanels::Owned { panels, tn } => &panels[kb * tn + bj],
+            BPanels::Prepacked(pb) => pb.panel(kb, bj),
+        }
+    }
 }
 
 /// Execute a plan natively: `C (M×N) = A (M×K) · B (K×N)` row-major,
 /// using `threads` worker threads over the cache-block grid.
-pub fn gemm_with_plan(
+///
+/// Uses a transient panel pool; prefer [`gemm_with_plan_pooled`] (or the
+/// engine front door, which holds a persistent pool) when calling
+/// repeatedly.
+pub fn gemm_with_plan(plan: &ExecutionPlan, a: &[f32], b: &[f32], c: &mut [f32], threads: usize) {
+    let pool = PanelPool::new();
+    gemm_with_plan_pooled(plan, a, b, c, threads, &pool);
+}
+
+/// [`gemm_with_plan`] with an explicit panel-buffer pool: panel
+/// allocations made by this call are recycled through `pool`, so repeated
+/// calls through the same pool allocate nothing after warm-up.
+pub fn gemm_with_plan_pooled(
+    plan: &ExecutionPlan,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+    pool: &PanelPool,
+) {
+    let s = &plan.schedule;
+    let (m, n, k) = (s.m, s.n, s.k);
+    assert_eq!(a.len(), m * k, "A must be M*K");
+    assert_eq!(b.len(), k * n, "B must be K*N");
+    assert_eq!(c.len(), m * n, "C must be M*N");
+    let (_, tn, tk) = plan.grid();
+
+    let a_panels = pack_a_panels(plan, a, threads, pool);
+    let b_panels = {
+        let mut panels = pool.acquire_blocks(tk * tn);
+        pack_panels_parallel(&mut panels, threads, |idx, p| {
+            let (kb, bj) = (idx / tn, idx % tn);
+            pack_b_into(p, b, n, kb * s.kc, bj * s.nc, s.kc, s.nc, plan.sigma_lane);
+        });
+        panels
+    };
+
+    let b_src = BPanels::Owned { panels: b_panels, tn };
+    run_blocks_cached(plan, &a_panels, &b_src, c, threads);
+
+    pool.release_blocks(a_panels);
+    if let BPanels::Owned { panels, .. } = b_src {
+        pool.release_blocks(panels);
+    }
+}
+
+/// Pack all A panels of a plan (indexed `[bi * tk + kb]`) from `pool`
+/// buffers, in parallel when the problem is large enough to pay for it.
+pub(crate) fn pack_a_panels(
+    plan: &ExecutionPlan,
+    a: &[f32],
+    threads: usize,
+    pool: &PanelPool,
+) -> Vec<PackedBlock> {
+    let s = &plan.schedule;
+    let (tm, _, tk) = plan.grid();
+    let mut panels = pool.acquire_blocks(tm * tk);
+    pack_panels_parallel(&mut panels, threads, |idx, p| {
+        let (bi, kb) = (idx / tk, idx % tk);
+        pack_a_into(p, a, s.k, bi * s.mc, kb * s.kc, s.mc, s.kc, plan.sigma_lane);
+    });
+    panels
+}
+
+/// Fill `panels[idx]` via `pack(idx, &mut panels[idx])`, splitting the
+/// slots statically over up to `threads` workers (panel costs are
+/// uniform, so a queue buys nothing here — the dynamic queue is for the
+/// kernel blocks, whose edge costs vary). Small jobs stay single-threaded
+/// to skip the spawn overhead.
+fn pack_panels_parallel<F>(panels: &mut [PackedBlock], threads: usize, pack: F)
+where
+    F: Fn(usize, &mut PackedBlock) + Sync,
+{
+    let total = panels.len();
+    let threads = threads.max(1).min(total.max(1));
+    if threads == 1 || total < 2 * threads {
+        for (idx, p) in panels.iter_mut().enumerate() {
+            pack(idx, p);
+        }
+        return;
+    }
+    let chunk = total.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (t, slice) in panels.chunks_mut(chunk).enumerate() {
+            let pack = &pack;
+            scope.spawn(move |_| {
+                for (off, p) in slice.iter_mut().enumerate() {
+                    pack(t * chunk + off, p);
+                }
+            });
+        }
+    })
+    .expect("packing thread panicked");
+}
+
+/// Drain the `σ_order`-sorted block list through a shared atomic cursor:
+/// each worker claims the next unprocessed block, so threads that land on
+/// cheap edge blocks immediately pull more work instead of idling behind
+/// a static stride assignment.
+pub(crate) fn run_blocks_cached(
+    plan: &ExecutionPlan,
+    a_panels: &[PackedBlock],
+    b_panels: &BPanels<'_>,
+    c: &mut [f32],
+    threads: usize,
+) {
+    let s = &plan.schedule;
+    let (tm, tn, tk) = plan.grid();
+    let blocks = block_visit_order(&s.order, tm, tn);
+    let threads = threads.max(1).min(blocks.len().max(1));
+
+    // SAFETY: each (bi, bj) block is claimed by exactly one thread via the
+    // cursor and the blocks partition C; CTile accesses stay within a
+    // block's cells, and K is never split across threads (§V-C).
+    let c_root = unsafe { CTile::new(c.as_mut_ptr(), s.n, c.len()) };
+    if threads == 1 {
+        for &(bi, bj) in &blocks {
+            run_block_cached(plan, a_panels, b_panels, c_root, bi, bj, tk);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            let (blocks, cursor) = (&blocks, &cursor);
+            scope.spawn(move |_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(bi, bj)) = blocks.get(i) else { break };
+                run_block_cached(plan, a_panels, b_panels, c_root, bi, bj, tk);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Execute all K-slices of one `C` block from cached panels
+/// (single-threaded by design; `kb` ascends so the accumulation order
+/// matches the per-block repacking path bit-for-bit).
+fn run_block_cached(
+    plan: &ExecutionPlan,
+    a_panels: &[PackedBlock],
+    b_panels: &BPanels<'_>,
+    c_root: CTile,
+    bi: usize,
+    bj: usize,
+    tk: usize,
+) {
+    let s = &plan.schedule;
+    // SAFETY: this thread exclusively owns the block's cells.
+    let c_block = unsafe { c_root.offset(bi * s.mc, bj * s.nc) };
+    for kb in 0..tk {
+        let pa = &a_panels[bi * tk + kb];
+        let pb = b_panels.panel(kb, bj);
+        let accumulate = kb > 0;
+        for placement in &plan.block_plan.placements {
+            run_placement(placement, s.kc, &pa.data, pa.ld, &pb.data, pb.ld, c_block, accumulate);
+        }
+    }
+}
+
+/// The historical per-block repacking driver, kept as the benchmarking
+/// baseline for the panel cache (and as a cross-check: its results must
+/// be bit-identical to [`gemm_with_plan`]). Every `(bi, bj)` block
+/// re-packs its A and B panels for each K-slice — `2·tm·tn·tk` packs per
+/// GEMM versus the cached driver's `(tm + tn)·tk`.
+pub fn gemm_with_plan_repack(
     plan: &ExecutionPlan,
     a: &[f32],
     b: &[f32],
@@ -223,7 +455,7 @@ pub fn gemm_with_plan(
     let s = &plan.schedule;
     let (m, n, k) = (s.m, s.n, s.k);
     assert_eq!(a.len(), m * k, "A must be M*K");
-    assert_eq!(b.len(), k * n, "A must be K*N");
+    assert_eq!(b.len(), k * n, "B must be K*N");
     assert_eq!(c.len(), m * n, "C must be M*N");
     let (tm, tn, tk) = plan.grid();
     let blocks = block_visit_order(&s.order, tm, tn);
@@ -274,7 +506,9 @@ pub fn block_visit_order(
     blocks
 }
 
-/// Execute all K-slices of one `C` block (single-threaded by design).
+/// Execute all K-slices of one `C` block, re-packing both operand panels
+/// per slice (the [`gemm_with_plan_repack`] baseline; single-threaded by
+/// design).
 fn run_block(
     plan: &ExecutionPlan,
     a: &[f32],
@@ -364,6 +598,59 @@ mod tests {
     fn multithreaded_matches_single() {
         check(64, 128, 64, 4);
         check(52, 72, 32, 3);
+    }
+
+    #[test]
+    fn more_threads_than_blocks_is_safe() {
+        // A grid smaller than the worker count: the queue hands every
+        // block to some thread and the rest exit immediately.
+        check(8, 8, 8, 16);
+        check(5, 16, 8, 7);
+    }
+
+    #[test]
+    fn cached_panels_bit_identical_to_repack_path() {
+        let chip = ChipSpec::graviton2();
+        for (m, n, k, threads) in
+            [(26, 36, 64, 1), (64, 196, 64, 2), (31, 44, 29, 1), (52, 72, 32, 4), (13, 20, 17, 3)]
+        {
+            let sched = tune(m, n, k, &chip);
+            let plan = ExecutionPlan::from_schedule(sched, &chip);
+            let (a, b) = data(m, n, k);
+            let mut c_cached = vec![0.0f32; m * n];
+            gemm_with_plan(&plan, &a, &b, &mut c_cached, threads);
+            let mut c_repack = vec![0.0f32; m * n];
+            gemm_with_plan_repack(&plan, &a, &b, &mut c_repack, threads);
+            assert_eq!(c_cached, c_repack, "{m}x{n}x{k} t{threads} diverged bitwise");
+        }
+    }
+
+    #[test]
+    fn pooled_calls_reuse_buffers_across_gemms() {
+        let chip = ChipSpec::graviton2();
+        let (m, n, k) = (26, 36, 64);
+        let sched = tune(m, n, k, &chip);
+        let plan = ExecutionPlan::from_schedule(sched, &chip);
+        let (a, b) = data(m, n, k);
+        let want = naive(m, n, k, &a, &b);
+        let pool = crate::packing::PanelPool::new();
+        let mut buffered_after_first = 0;
+        for call in 0..3 {
+            let mut c = vec![0.0f32; m * n];
+            gemm_with_plan_pooled(&plan, &a, &b, &mut c, 2, &pool);
+            for (i, (&got, &w)) in c.iter().zip(&want).enumerate() {
+                assert!(
+                    (got - w).abs() <= 1e-3 * w.abs().max(1.0),
+                    "call {call}: C[{i}] = {got} want {w}"
+                );
+            }
+            if call == 0 {
+                buffered_after_first = pool.buffered();
+                assert!(buffered_after_first > 0, "pool retains panel buffers");
+            } else {
+                assert_eq!(pool.buffered(), buffered_after_first, "steady-state pool size");
+            }
+        }
     }
 
     #[test]

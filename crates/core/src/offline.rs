@@ -55,9 +55,13 @@ impl PackedB {
     }
 }
 
-/// `C = A · B` with `B` pre-packed offline. Single-threaded; the packed
-/// panels are shared read-only so the threaded variant distributes blocks
-/// exactly like [`crate::native::gemm_with_plan`].
+/// `C = A · B` with `B` pre-packed offline.
+///
+/// The packed panels feed the shared panel-cache driver **zero-copy**
+/// ([`crate::native`]'s `BPanels::Prepacked` borrows them in place): only
+/// the A panels are packed at call time (once each, `tm·tk` packs), and
+/// blocks are drained from the same atomic work queue as
+/// [`crate::native::gemm_with_plan`].
 pub fn gemm_prepacked(
     plan: &ExecutionPlan,
     a: &[f32],
@@ -65,56 +69,33 @@ pub fn gemm_prepacked(
     c: &mut [f32],
     threads: usize,
 ) {
+    let pool = crate::packing::PanelPool::new();
+    gemm_prepacked_pooled(plan, a, packed_b, c, threads, &pool);
+}
+
+/// [`gemm_prepacked`] recycling A-panel buffers through `pool`.
+pub fn gemm_prepacked_pooled(
+    plan: &ExecutionPlan,
+    a: &[f32],
+    packed_b: &PackedB,
+    c: &mut [f32],
+    threads: usize,
+    pool: &crate::packing::PanelPool,
+) {
     packed_b.check(plan);
     let s = &plan.schedule;
     let (m, n, k) = (s.m, s.n, s.k);
-    assert_eq!(a.len(), m * k);
-    assert_eq!(c.len(), m * n);
-    let (tm, tn, tk) = plan.grid();
-    let blocks: Vec<(usize, usize)> =
-        (0..tm).flat_map(|bi| (0..tn).map(move |bj| (bi, bj))).collect();
-    let threads = threads.max(1).min(blocks.len().max(1));
-
-    // SAFETY: blocks partition C and K is not split (§V-C).
-    let c_root = unsafe { crate::native::CTile::new(c.as_mut_ptr(), n, c.len()) };
-    crossbeam::scope(|scope| {
-        for t in 0..threads {
-            let blocks = &blocks;
-            scope.spawn(move |_| {
-                for (bi, bj) in blocks.iter().skip(t).step_by(threads) {
-                    let row0 = bi * s.mc;
-                    let col0 = bj * s.nc;
-                    // SAFETY: this thread exclusively owns the block.
-                    let c_block = unsafe { c_root.offset(row0, col0) };
-                    for kb in 0..tk {
-                        let pa = crate::packing::pack_a(
-                            a,
-                            k,
-                            row0,
-                            kb * s.kc,
-                            s.mc,
-                            s.kc,
-                            plan.sigma_lane,
-                        );
-                        let pb = packed_b.panel(kb, *bj);
-                        for placement in &plan.block_plan.placements {
-                            crate::native::run_placement(
-                                placement,
-                                s.kc,
-                                &pa.data,
-                                pa.ld,
-                                &pb.data,
-                                pb.ld,
-                                c_block,
-                                kb > 0,
-                            );
-                        }
-                    }
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
+    assert_eq!(a.len(), m * k, "A must be M*K");
+    assert_eq!(c.len(), m * n, "C must be M*N");
+    let a_panels = crate::native::pack_a_panels(plan, a, threads, pool);
+    crate::native::run_blocks_cached(
+        plan,
+        &a_panels,
+        &crate::native::BPanels::Prepacked(packed_b),
+        c,
+        threads,
+    );
+    pool.release_blocks(a_panels);
 }
 
 #[cfg(test)]

@@ -7,8 +7,11 @@
 //! absorb the faithful Listing-1 kernels' trailing stream loads (see
 //! `autogemm-kernelgen`'s module docs).
 
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// A packed operand block plus its layout.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PackedBlock {
     pub data: Vec<f32>,
     /// Leading dimension in elements.
@@ -17,9 +20,49 @@ pub struct PackedBlock {
     pub cols: usize,
 }
 
+impl PackedBlock {
+    /// An empty block ready for [`pack_block_into`] (no allocation yet).
+    pub fn empty() -> Self {
+        PackedBlock::default()
+    }
+}
+
+/// Global pack-call counters — the regression guard for panel-reuse.
+///
+/// The panel-cache driver must pack each A panel `(bi, kb)` and each B
+/// panel `(kb, bj)` exactly once per GEMM, i.e. `tm·tk` A packs and
+/// `tk·tn` B packs — not the `tm·tn·tk` of a per-block repacking loop.
+/// Counters are process-global relaxed atomics (one increment per panel,
+/// noise next to the O(mc·kc) copy it counts); tests that assert on them
+/// must run in their own test binary so concurrent GEMMs from sibling
+/// tests cannot interfere (see `tests/pack_counts.rs`).
+pub mod counters {
+    use super::{AtomicU64, Ordering};
+
+    pub(super) static A_PACKS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static B_PACKS: AtomicU64 = AtomicU64::new(0);
+
+    /// Zero both counters.
+    pub fn reset() {
+        A_PACKS.store(0, Ordering::Relaxed);
+        B_PACKS.store(0, Ordering::Relaxed);
+    }
+
+    /// A-panel packs since the last [`reset`].
+    pub fn a_packs() -> u64 {
+        A_PACKS.load(Ordering::Relaxed)
+    }
+
+    /// B-panel packs since the last [`reset`].
+    pub fn b_packs() -> u64 {
+        B_PACKS.load(Ordering::Relaxed)
+    }
+}
+
 /// Pack an `rows × cols` block of `src` (leading dimension `src_ld`,
 /// starting at `(row0, col0)`) into a fresh buffer with `pad_cols` extra
 /// elements per row and `pad_rows` extra zeroed rows.
+#[allow(clippy::too_many_arguments)]
 pub fn pack_block(
     src: &[f32],
     src_ld: usize,
@@ -30,13 +73,39 @@ pub fn pack_block(
     pad_cols: usize,
     pad_rows: usize,
 ) -> PackedBlock {
+    let mut dst = PackedBlock::empty();
+    pack_block_into(&mut dst, src, src_ld, row0, col0, rows, cols, pad_cols, pad_rows);
+    dst
+}
+
+/// [`pack_block`] into an existing block, reusing its allocation when the
+/// capacity suffices (the buffer-pool fast path: zero allocations per
+/// pack after warm-up).
+#[allow(clippy::too_many_arguments)]
+pub fn pack_block_into(
+    dst: &mut PackedBlock,
+    src: &[f32],
+    src_ld: usize,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+    pad_cols: usize,
+    pad_rows: usize,
+) {
     let ld = cols + pad_cols;
-    let mut data = vec![0.0f32; (rows + pad_rows) * ld];
+    let len = (rows + pad_rows) * ld;
+    // clear + resize zeroes every element (padding included) without
+    // reallocating when capacity is already sufficient.
+    dst.data.clear();
+    dst.data.resize(len, 0.0);
     for r in 0..rows {
         let src_off = (row0 + r) * src_ld + col0;
-        data[r * ld..r * ld + cols].copy_from_slice(&src[src_off..src_off + cols]);
+        dst.data[r * ld..r * ld + cols].copy_from_slice(&src[src_off..src_off + cols]);
     }
-    PackedBlock { data, ld, rows, cols }
+    dst.ld = ld;
+    dst.rows = rows;
+    dst.cols = cols;
 }
 
 /// Pack an A block (`m_c × k_c`): rows padded by `2·σ_lane` columns.
@@ -49,7 +118,25 @@ pub fn pack_a(
     kc: usize,
     sigma_lane: usize,
 ) -> PackedBlock {
-    pack_block(a, lda, row0, col0, mc, kc, 2 * sigma_lane, 0)
+    let mut dst = PackedBlock::empty();
+    pack_a_into(&mut dst, a, lda, row0, col0, mc, kc, sigma_lane);
+    dst
+}
+
+/// [`pack_a`] into a reused buffer.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_a_into(
+    dst: &mut PackedBlock,
+    a: &[f32],
+    lda: usize,
+    row0: usize,
+    col0: usize,
+    mc: usize,
+    kc: usize,
+    sigma_lane: usize,
+) {
+    counters::A_PACKS.fetch_add(1, Ordering::Relaxed);
+    pack_block_into(dst, a, lda, row0, col0, mc, kc, 2 * sigma_lane, 0);
 }
 
 /// Pack a B block (`k_c × n_c`): two zeroed trailing rows plus one lane
@@ -64,7 +151,78 @@ pub fn pack_b(
     nc: usize,
     sigma_lane: usize,
 ) -> PackedBlock {
-    pack_block(b, ldb, row0, col0, kc, nc, sigma_lane, 2)
+    let mut dst = PackedBlock::empty();
+    pack_b_into(&mut dst, b, ldb, row0, col0, kc, nc, sigma_lane);
+    dst
+}
+
+/// [`pack_b`] into a reused buffer.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_b_into(
+    dst: &mut PackedBlock,
+    b: &[f32],
+    ldb: usize,
+    row0: usize,
+    col0: usize,
+    kc: usize,
+    nc: usize,
+    sigma_lane: usize,
+) {
+    counters::B_PACKS.fetch_add(1, Ordering::Relaxed);
+    pack_block_into(dst, b, ldb, row0, col0, kc, nc, sigma_lane, 2);
+}
+
+/// Recycling pool for panel buffers.
+///
+/// Packing allocates one `Vec<f32>` per operand panel; across repeated
+/// GEMM calls (the engine's steady state, and every batched workload)
+/// those allocations are identical in size, so the pool keeps released
+/// buffers and hands them back on the next call — after the first call a
+/// GEMM performs zero panel allocations. The free list is a single
+/// mutex-protected stack: it is touched once per panel at call start/end
+/// (never inside the kernel loops), and [`PanelPool::acquire_blocks`]
+/// batches the whole acquisition into one lock round-trip per caller, so
+/// worker threads do not contend on it.
+#[derive(Debug, Default)]
+pub struct PanelPool {
+    free: Mutex<Vec<Vec<f32>>>,
+}
+
+impl PanelPool {
+    pub fn new() -> Self {
+        PanelPool::default()
+    }
+
+    /// Take `n` blocks, reusing pooled buffers (largest first) and
+    /// topping up with empty ones.
+    pub fn acquire_blocks(&self, n: usize) -> Vec<PackedBlock> {
+        let mut free = self.free.lock();
+        let take = free.len().min(n);
+        let start = free.len() - take;
+        let mut blocks: Vec<PackedBlock> =
+            free.drain(start..).map(|data| PackedBlock { data, ld: 0, rows: 0, cols: 0 }).collect();
+        drop(free);
+        blocks.resize_with(n, PackedBlock::empty);
+        blocks
+    }
+
+    /// Return blocks' buffers to the pool (layout metadata is dropped;
+    /// only the allocations are kept).
+    pub fn release_blocks(&self, blocks: impl IntoIterator<Item = PackedBlock>) {
+        let mut bufs: Vec<Vec<f32>> = blocks.into_iter().map(|b| b.data).collect();
+        self.free.lock().append(&mut bufs);
+    }
+
+    /// Buffers currently pooled.
+    pub fn buffered(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Drop every pooled buffer (memory release valve for long-lived
+    /// engines that have seen a large shape).
+    pub fn clear(&self) {
+        self.free.lock().clear();
+    }
 }
 
 /// Bytes moved by packing one block (read + write), used for traffic
@@ -114,6 +272,57 @@ mod tests {
                 assert_eq!(p.data[r * p.ld + c], src[(r + 2) * 8 + (c + 2)]);
             }
         }
+    }
+
+    #[test]
+    fn pack_into_reuses_capacity_and_rezeroes_padding() {
+        let big: Vec<f32> = vec![5.0; 16 * 16];
+        let small: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let mut p = PackedBlock::empty();
+        // First pack: large block, buffer filled with non-zero values.
+        pack_block_into(&mut p, &big, 16, 0, 0, 16, 16, 2, 1);
+        let cap = p.data.capacity();
+        // Second pack: smaller block into the same buffer must not
+        // reallocate and must present freshly zeroed padding.
+        pack_block_into(&mut p, &small, 4, 0, 0, 4, 4, 2, 1);
+        assert_eq!(p.data.capacity(), cap, "reused allocation");
+        assert_eq!(p.ld, 6);
+        assert_eq!(&p.data[0..4], &[0.0, 1.0, 2.0, 3.0]);
+        assert!(p.data[4..6].iter().all(|&x| x == 0.0), "stale column padding");
+        assert!(p.data[4 * 6..].iter().all(|&x| x == 0.0), "stale row padding");
+    }
+
+    #[test]
+    fn panel_pool_recycles_buffers() {
+        let pool = PanelPool::new();
+        let mut blocks = pool.acquire_blocks(3);
+        assert_eq!(blocks.len(), 3);
+        for b in &mut blocks {
+            b.data.resize(128, 1.0);
+        }
+        let ptrs: Vec<*const f32> = blocks.iter().map(|b| b.data.as_ptr()).collect();
+        pool.release_blocks(blocks);
+        assert_eq!(pool.buffered(), 3);
+        let again = pool.acquire_blocks(4);
+        assert_eq!(again.len(), 4);
+        let reused = again.iter().filter(|b| ptrs.contains(&b.data.as_ptr())).count();
+        assert_eq!(reused, 3, "all pooled buffers handed back");
+        pool.clear();
+        assert_eq!(pool.buffered(), 0);
+    }
+
+    #[test]
+    fn pack_counters_count_a_and_b() {
+        // NOTE: counters are process-global; this test only checks they
+        // move, the exact-count regression guard lives in its own test
+        // binary (tests/pack_counts.rs).
+        let src = vec![1.0f32; 64];
+        let a0 = counters::a_packs();
+        let b0 = counters::b_packs();
+        let _ = pack_a(&src, 8, 0, 0, 4, 4, 4);
+        let _ = pack_b(&src, 8, 0, 0, 4, 4, 4);
+        assert!(counters::a_packs() > a0);
+        assert!(counters::b_packs() > b0);
     }
 }
 

@@ -109,12 +109,7 @@ fn block_warmth(plan: &ExecutionPlan, chip: &ChipSpec) -> Warmth {
     let ws = plan.schedule.block_working_set();
     if ws <= chip.l1d_bytes() {
         Warmth::L1
-    } else if chip
-        .caches
-        .get(1)
-        .map(|c| ws <= c.size_bytes)
-        .unwrap_or(false)
-    {
+    } else if chip.caches.get(1).map(|c| ws <= c.size_bytes).unwrap_or(false) {
         Warmth::L2
     } else {
         Warmth::LastLevel
@@ -241,8 +236,7 @@ pub fn thread_works_even(
     let threads = threads.max(1).min(chip.cores);
     let sched = &plan.schedule;
     let total_cycles = (blocks * block.cycles) as f64 * 1.05 / threads as f64;
-    let total_bytes =
-        autogemm_tuner::cost::traffic_bytes(sched) * no_packing_penalty(sched, chip);
+    let total_bytes = autogemm_tuner::cost::traffic_bytes(sched) * no_packing_penalty(sched, chip);
     let pack = packing_cycles(sched, chip) / threads as f64;
     (0..threads)
         .map(|_| ThreadWork {

@@ -20,6 +20,7 @@ pub enum Op {
     Trans,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn pack_a_op(
     op: Op,
     a: &[f32],
@@ -39,6 +40,7 @@ fn pack_a_op(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn pack_b_op(
     op: Op,
     b: &[f32],
@@ -110,10 +112,8 @@ pub fn gemm_op_acc(
                     let c_block = unsafe { c_root.offset(row0, col0) };
                     for kb in 0..tk {
                         let krow = kb * s.kc;
-                        let pa =
-                            pack_a_op(op_a, a, m, k, row0, krow, s.mc, s.kc, plan.sigma_lane);
-                        let pb =
-                            pack_b_op(op_b, b, k, n, krow, col0, s.kc, s.nc, plan.sigma_lane);
+                        let pa = pack_a_op(op_a, a, m, k, row0, krow, s.mc, s.kc, plan.sigma_lane);
+                        let pb = pack_b_op(op_b, b, k, n, krow, col0, s.kc, s.nc, plan.sigma_lane);
                         for placement in &plan.block_plan.placements {
                             run_placement(
                                 placement,
@@ -255,6 +255,7 @@ mod sgemm_tests {
         (a, b, c)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn naive_sgemm(
         m: usize,
         n: usize,

@@ -91,9 +91,7 @@ fn interleave(
     loop {
         // Prefer alternating; fall back to draining whichever side is legal.
         let b_legal = bi.peek().is_some_and(|i| {
-            i.vreg_write()
-                .map(|w| pending_reads.get(&w).copied().unwrap_or(0) == 0)
-                .unwrap_or(true)
+            i.vreg_write().map(|w| pending_reads.get(&w).copied().unwrap_or(0) == 0).unwrap_or(true)
         });
         match (ai.peek().is_some(), bi.peek().is_some()) {
             (false, false) => break,
@@ -139,21 +137,13 @@ pub fn fuse_chain(invocations: &[TileInvocation], chip: &ChipSpec) -> (Program, 
         inv.spec.validate().expect("invalid spec in chain");
     }
 
-    let emitters: Vec<Emitter> = invocations
-        .iter()
-        .map(|inv| Emitter::new(&inv.spec, chip, inv.placement()))
-        .collect();
+    let emitters: Vec<Emitter> =
+        invocations.iter().map(|inv| Emitter::new(&inv.spec, chip, inv.placement())).collect();
     let parts: Vec<_> = emitters.iter().map(|e| e.parts()).collect();
-    let kinds: Vec<FusionKind> = emitters
-        .windows(2)
-        .map(|w| FusionKind::of(w[0].class(), w[1].class()))
-        .collect();
+    let kinds: Vec<FusionKind> =
+        emitters.windows(2).map(|w| FusionKind::of(w[0].class(), w[1].class())).collect();
 
-    let name = format!(
-        "fused_chain_{}_tiles_{}",
-        invocations.len(),
-        invocations[0].spec.name()
-    );
+    let name = format!("fused_chain_{}_tiles_{}", invocations.len(), invocations[0].spec.name());
     let mut prog = Program::new(name);
 
     let mut parts_iter = parts.into_iter();
@@ -220,31 +210,22 @@ mod tests {
             .collect();
         let (fused, kinds) = fuse_chain(&invs, &chip);
         let single = crate::generator::generate(
-            &MicroKernelSpec { strides: Strides::Static { lda: 64, ldb: 64, ldc: 64 }, ..invs[0].spec },
+            &MicroKernelSpec {
+                strides: Strides::Static { lda: 64, ldb: 64, ldc: 64 },
+                ..invs[0].spec
+            },
             &chip,
         );
-        assert_eq!(
-            fused.count_class(InstrClass::Fma),
-            3 * single.count_class(InstrClass::Fma)
-        );
-        assert_eq!(
-            fused.count_class(InstrClass::Store),
-            3 * single.count_class(InstrClass::Store)
-        );
+        assert_eq!(fused.count_class(InstrClass::Fma), 3 * single.count_class(InstrClass::Fma));
+        assert_eq!(fused.count_class(InstrClass::Store), 3 * single.count_class(InstrClass::Store));
         assert_eq!(kinds.len(), 2);
         assert!(kinds.iter().all(|k| *k == FusionKind::CToC));
     }
 
     #[test]
     fn fusion_kind_classification() {
-        assert_eq!(
-            FusionKind::of(BoundClass::Compute, BoundClass::Memory),
-            FusionKind::CToM
-        );
-        assert_eq!(
-            FusionKind::of(BoundClass::Memory, BoundClass::Compute),
-            FusionKind::MToC
-        );
+        assert_eq!(FusionKind::of(BoundClass::Compute, BoundClass::Memory), FusionKind::CToM);
+        assert_eq!(FusionKind::of(BoundClass::Memory, BoundClass::Compute), FusionKind::MToC);
         assert_eq!(FusionKind::CToC.to_string(), "c_to_c");
         assert_eq!(FusionKind::MToM.to_string(), "m_to_m");
     }

@@ -524,12 +524,7 @@ impl<'a> Emitter<'a> {
 /// `σ_lane` disagrees with the chip's.
 pub fn generate(spec: &MicroKernelSpec, chip: &ChipSpec) -> Program {
     spec.validate().expect("invalid micro-kernel spec");
-    assert_eq!(
-        spec.sigma_lane,
-        chip.sigma_lane(),
-        "spec σ_lane does not match chip {}",
-        chip.name
-    );
+    assert_eq!(spec.sigma_lane, chip.sigma_lane(), "spec σ_lane does not match chip {}", chip.name);
     Emitter::new(spec, chip, Placement::default()).build()
 }
 
@@ -565,10 +560,7 @@ mod tests {
         assert_eq!(p.count_class(InstrClass::Fma), 5 * 4 * 64);
         // Loads: C (20) + A initial (5) + B initial (4) + per-iteration
         // (4 B rows * 4 cols + 5 A) * 16 iterations.
-        assert_eq!(
-            p.count_class(InstrClass::Load),
-            20 + 5 + 4 + 16 * (4 * 4 + 5)
-        );
+        assert_eq!(p.count_class(InstrClass::Load), 20 + 5 + 4 + 16 * (4 * 4 + 5));
         // Stores: the C panel.
         assert_eq!(p.count_class(InstrClass::Store), 20);
         assert_eq!(p.count_class(InstrClass::Prefetch), 3);
@@ -580,10 +572,7 @@ mod tests {
         let p18 = generate(&spec(5, 16, 18, false), &chip);
         let p16 = generate(&spec(5, 16, 16, false), &chip);
         // 18 = 4 iterations + 2 remainder lanes → 2 * 20 extra FMAs.
-        assert_eq!(
-            p18.count_class(InstrClass::Fma) - p16.count_class(InstrClass::Fma),
-            2 * 5 * 4
-        );
+        assert_eq!(p18.count_class(InstrClass::Fma) - p16.count_class(InstrClass::Fma), 2 * 5 * 4);
     }
 
     #[test]
@@ -597,10 +586,7 @@ mod tests {
         // The rotated kernel has the same FMA count as the basic one.
         let rot = generate(&s, &chip);
         let basic = generate(&spec(2, 16, 32, false), &chip);
-        assert_eq!(
-            rot.count_class(InstrClass::Fma),
-            basic.count_class(InstrClass::Fma)
-        );
+        assert_eq!(rot.count_class(InstrClass::Fma), basic.count_class(InstrClass::Fma));
     }
 
     #[test]
@@ -664,17 +650,11 @@ mod tests {
         let mut s = spec(4, 8, 8, false);
         s.accumulate = false;
         let p = generate(&s, &chip);
-        let zeroes = p
-            .unrolled()
-            .filter(|i| matches!(i, Instr::Vzero { .. }))
-            .count();
+        let zeroes = p.unrolled().filter(|i| matches!(i, Instr::Vzero { .. })).count();
         assert_eq!(zeroes, 4 * 2);
         // The accumulating variant instead loads the 4*2 C vectors.
         let acc = generate(&spec(4, 8, 8, false), &chip);
-        assert_eq!(
-            acc.count_class(InstrClass::Load) - p.count_class(InstrClass::Load),
-            4 * 2
-        );
+        assert_eq!(acc.count_class(InstrClass::Load) - p.count_class(InstrClass::Load), 4 * 2);
     }
 
     #[test]
@@ -709,6 +689,6 @@ mod tests {
         };
         let p = generate(&s, &chip);
         // 5 rows x 1 vector col x 32 k-values of FMAs.
-        assert_eq!(p.count_class(InstrClass::Fma), 5 * 1 * 32);
+        assert_eq!(p.count_class(InstrClass::Fma), 5 * 32);
     }
 }

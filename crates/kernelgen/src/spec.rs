@@ -118,10 +118,7 @@ impl MicroKernelSpec {
             (false, true) => "",
             (false, false) => "_nopf",
         };
-        format!(
-            "micro_kernel_{}x{}_kc{}{}",
-            self.tile.mr, self.tile.nr, self.kc, opt
-        )
+        format!("micro_kernel_{}x{}_kc{}{}", self.tile.mr, self.tile.nr, self.kc, opt)
     }
 
     /// Validate the spec against the register budget. Returns an error
@@ -149,24 +146,15 @@ mod tests {
         // Fig 3: 5×16 is compute-bound, 2×16 is memory-bound on the
         // idealized machine (L=8, IPC=1).
         let ideal = ChipSpec::idealized();
-        assert_eq!(
-            BoundClass::classify(MicroTile::new(5, 16), &ideal),
-            BoundClass::Compute
-        );
-        assert_eq!(
-            BoundClass::classify(MicroTile::new(2, 16), &ideal),
-            BoundClass::Memory
-        );
+        assert_eq!(BoundClass::classify(MicroTile::new(5, 16), &ideal), BoundClass::Compute);
+        assert_eq!(BoundClass::classify(MicroTile::new(2, 16), &ideal), BoundClass::Memory);
     }
 
     #[test]
     fn classification_threshold_at_3x16_on_idealized() {
         // 3×16: 12 FMA cycles vs 4 + 8 = 12 load cycles — exactly covered.
         let ideal = ChipSpec::idealized();
-        assert_eq!(
-            BoundClass::classify(MicroTile::new(3, 16), &ideal),
-            BoundClass::Compute
-        );
+        assert_eq!(BoundClass::classify(MicroTile::new(3, 16), &ideal), BoundClass::Compute);
     }
 
     #[test]

@@ -55,7 +55,7 @@ impl MicroTile {
     pub fn feasible(&self, sigma_lane: usize) -> bool {
         self.mr >= 1
             && self.nr >= sigma_lane
-            && self.nr % sigma_lane == 0
+            && self.nr.is_multiple_of(sigma_lane)
             && self.registers_used(sigma_lane) <= 32
     }
 
@@ -89,12 +89,7 @@ pub fn enumerate(sigma_lane: usize) -> Vec<MicroTile> {
             }
         }
     }
-    tiles.sort_by(|a, b| {
-        b.ai_max()
-            .partial_cmp(&a.ai_max())
-            .unwrap()
-            .then(a.mr.cmp(&b.mr))
-    });
+    tiles.sort_by(|a, b| b.ai_max().partial_cmp(&a.ai_max()).unwrap().then(a.mr.cmp(&b.mr)));
     tiles
 }
 
@@ -104,21 +99,13 @@ pub fn enumerate(sigma_lane: usize) -> Vec<MicroTile> {
 /// iterate over — taller or wider tiles trade marginal AI for long pointer
 /// chains and poor corner-filling, so the paper excludes them.
 pub fn table_menu(sigma_lane: usize) -> Vec<MicroTile> {
-    enumerate(sigma_lane)
-        .into_iter()
-        .filter(|t| t.mr <= 8 && t.nr / sigma_lane <= 7)
-        .collect()
+    enumerate(sigma_lane).into_iter().filter(|t| t.mr <= 8 && t.nr / sigma_lane <= 7).collect()
 }
 
 /// The paper's four first-choice micro-kernel shapes for NEON
 /// (blue entries of Table II): 8×8, 6×12, 5×16, 4×20.
 pub fn first_choice_neon() -> [MicroTile; 4] {
-    [
-        MicroTile::new(8, 8),
-        MicroTile::new(6, 12),
-        MicroTile::new(5, 16),
-        MicroTile::new(4, 20),
-    ]
+    [MicroTile::new(8, 8), MicroTile::new(6, 12), MicroTile::new(5, 16), MicroTile::new(4, 20)]
 }
 
 /// First-choice shapes for an arbitrary lane width.
@@ -142,12 +129,8 @@ pub fn first_choice(sigma_lane: usize) -> Vec<MicroTile> {
             best_per_column.push(t);
         }
     }
-    best_per_column.sort_by(|a, b| {
-        b.ai_max()
-            .partial_cmp(&a.ai_max())
-            .unwrap()
-            .then(a.nr.cmp(&b.nr))
-    });
+    best_per_column
+        .sort_by(|a, b| b.ai_max().partial_cmp(&a.ai_max()).unwrap().then(a.nr.cmp(&b.nr)));
     best_per_column.truncate(4);
     best_per_column
 }
@@ -239,7 +222,7 @@ mod tests {
         let t = table_ii();
         assert_eq!(t.len(), 7); // m_r = 2..=8
         assert_eq!(t[0].1.len(), 7); // n_r = 4..=28
-        // row m_r=8: only n_r=4 and n_r=8 feasible.
+                                     // row m_r=8: only n_r=4 and n_r=8 feasible.
         let row8 = &t[6].1;
         assert!(row8[0].is_some() && row8[1].is_some());
         assert!(row8[2..].iter().all(|c| c.is_none()));

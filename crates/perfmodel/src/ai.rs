@@ -43,10 +43,7 @@ pub fn fig2_series(mr_values: &[usize], kc_values: &[usize]) -> Vec<(usize, Vec<
         .iter()
         .map(|&mr| {
             let tile = MicroTile::new(mr, 16);
-            let series = kc_values
-                .iter()
-                .map(|&kc| ai_with_kc(tile, kc, 4))
-                .collect();
+            let series = kc_values.iter().map(|&kc| ai_with_kc(tile, kc, 4)).collect();
             (mr, series)
         })
         .collect()

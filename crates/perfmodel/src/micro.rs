@@ -133,8 +133,7 @@ pub fn projected_phases(
     // FMA-throughput floor: no main loop can beat issuing every FMA.
     let sigma = chip.sigma_lane();
     let kv = (kc / sigma) as f64;
-    let fma_floor =
-        (tile.mr * tile.nr_vec(sigma)) as f64 * chip.rt_fma as f64 * kv * sigma as f64;
+    let fma_floor = (tile.mr * tile.nr_vec(sigma)) as f64 * chip.rt_fma as f64 * kv * sigma as f64;
     let basic = match class {
         BoundClass::Compute => t_mainloop_compute(tile, kc, chip, false),
         BoundClass::Memory => t_mainloop_memory(tile, kc, chip, false),
@@ -174,12 +173,7 @@ pub fn projected_phases(
     };
     if opts.fused {
         let junction = t_fused_junction(tile, kc, chip);
-        PhaseBreakdown {
-            launch: 0.0,
-            prologue: junction / 2.0,
-            mainloop,
-            epilogue: junction / 2.0,
-        }
+        PhaseBreakdown { launch: 0.0, prologue: junction / 2.0, mainloop, epilogue: junction / 2.0 }
     } else {
         PhaseBreakdown {
             launch: chip.launch_cycles as f64,
@@ -333,8 +327,7 @@ mod tests {
                     &mut c,
                     autogemm_sim::Warmth::L1,
                 );
-                let model =
-                    projected_cycles(tile, kc, &chip, ModelOpts { rotate, fused: false });
+                let model = projected_cycles(tile, kc, &chip, ModelOpts { rotate, fused: false });
                 let ratio = sim.cycles as f64 / model;
                 assert!(
                     (0.75..1.35).contains(&ratio),

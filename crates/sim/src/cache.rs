@@ -148,10 +148,8 @@ impl StridePrefetcher {
             .min_by_key(|s| ((addr as isize) - (s.last as isize)).unsigned_abs())
         {
             let delta = addr as isize - s.last as isize;
-            let continuation = s.stride != 0
-                && delta > 0
-                && delta % s.stride == 0
-                && delta / s.stride <= 8;
+            let continuation =
+                s.stride != 0 && delta > 0 && delta % s.stride == 0 && delta / s.stride <= 8;
             if continuation {
                 let hit = s.confirmed;
                 s.confirmed = true;

@@ -71,9 +71,7 @@ impl FuncState {
                 self.v[dst.0 as usize].fill(0.0);
                 None
             }
-            Instr::Prfm { base, offset, .. } => {
-                Some((self.x[base.0 as usize] + offset) as usize)
-            }
+            Instr::Prfm { base, offset, .. } => Some((self.x[base.0 as usize] + offset) as usize),
             Instr::MovImm { dst, imm } => {
                 self.x[dst.0 as usize] = *imm;
                 None

@@ -87,11 +87,8 @@ pub fn makespan_with_placement(
 
     let per_domain = chip.numa.cores_per_domain.max(1);
     let domains_used = works.len().div_ceil(per_domain).min(chip.numa.domains.max(1));
-    let remote_fraction = if domains_used > 1 && !replicated {
-        1.0 - 1.0 / domains_used as f64
-    } else {
-        0.0
-    };
+    let remote_fraction =
+        if domains_used > 1 && !replicated { 1.0 - 1.0 / domains_used as f64 } else { 0.0 };
 
     // Effective bytes per domain: local + penalized remote share.
     let mut domain_bytes = vec![0.0f64; domains_used];
@@ -119,12 +116,7 @@ pub fn makespan_with_placement(
         scale = scale.max(ring_demand / chip.numa.interconnect_bw_gbs);
     }
     let bw_limited = scale > 1.0;
-    MulticoreResult {
-        seconds: t_comp * scale.max(1.0),
-        bw_demand_gbs,
-        bw_limited,
-        remote_fraction,
-    }
+    MulticoreResult { seconds: t_comp * scale.max(1.0), bw_demand_gbs, bw_limited, remote_fraction }
 }
 
 /// Strong-scaling helper: parallel efficiency of `t_n` seconds on `n`
@@ -164,12 +156,12 @@ mod tests {
     #[test]
     fn bandwidth_saturation_inflates_makespan() {
         let chip = ChipSpec::kp920(); // 85 GB/s
-        // Each thread wants ~40 GB/s at compute speed: 3 threads saturate.
+                                      // Each thread wants ~40 GB/s at compute speed: 3 threads saturate.
         let cycles = 2_600_000; // 1 ms
         let bytes = 40_000_000; // 40 MB in 1 ms = 40 GB/s
         let one = makespan(&chip, &[work(cycles, bytes)]);
         assert!(!one.bw_limited);
-        let four = makespan(&chip, &vec![work(cycles, bytes); 4]);
+        let four = makespan(&chip, &[work(cycles, bytes); 4]);
         assert!(four.bw_limited);
         assert!(four.seconds > one.seconds * 1.5);
     }
@@ -186,7 +178,7 @@ mod tests {
         let chip = ChipSpec::a64fx();
         let cycles = 2_200_000; // 1 ms
         let bytes = 150_000_000; // 150 GB/s demand per thread
-        let twelve = makespan(&chip, &vec![work(cycles, bytes / 12); 12]);
+        let twelve = makespan(&chip, &[work(cycles, bytes / 12); 12]);
         let r12 = twelve.remote_fraction;
         assert_eq!(r12, 0.0, "single CMG has no remote traffic");
         let forty_eight = makespan(&chip, &vec![work(cycles, bytes / 12); 48]);
@@ -208,14 +200,14 @@ mod tests {
     #[should_panic(expected = "exceed")]
     fn more_threads_than_cores_rejected() {
         let chip = ChipSpec::m2();
-        makespan(&chip, &vec![work(1, 0); 5]);
+        makespan(&chip, &[work(1, 0); 5]);
     }
 
     #[test]
     fn gflops_accounting() {
         let chip = ChipSpec::kp920();
         let r = makespan(&chip, &[work(2_600_000, 0)]); // 1 ms
-        // 20.8 GFLOP in 1 ms => 20800 GFLOP/s.
+                                                        // 20.8 GFLOP in 1 ms => 20800 GFLOP/s.
         let g = r.gflops(20_800_000);
         assert!((g - 20.8).abs() < 0.1);
     }
@@ -228,7 +220,8 @@ mod placement_tests {
     #[test]
     fn replication_removes_remote_traffic() {
         let chip = ChipSpec::a64fx();
-        let works: Vec<_> = (0..48).map(|_| ThreadWork { cycles: 2_200_000, dram_bytes: 2_000_000 }).collect();
+        let works: Vec<_> =
+            (0..48).map(|_| ThreadWork { cycles: 2_200_000, dram_bytes: 2_000_000 }).collect();
         let shared = makespan_with_placement(&chip, &works, false);
         let replicated = makespan_with_placement(&chip, &works, true);
         assert!(shared.remote_fraction > 0.7);
@@ -239,7 +232,8 @@ mod placement_tests {
     #[test]
     fn replication_is_a_noop_within_one_domain() {
         let chip = ChipSpec::a64fx();
-        let works: Vec<_> = (0..12).map(|_| ThreadWork { cycles: 1000, dram_bytes: 1000 }).collect();
+        let works: Vec<_> =
+            (0..12).map(|_| ThreadWork { cycles: 1000, dram_bytes: 1000 }).collect();
         let a = makespan_with_placement(&chip, &works, false);
         let b = makespan_with_placement(&chip, &works, true);
         assert_eq!(a.seconds, b.seconds);

@@ -128,12 +128,7 @@ impl<'c> Scheduler<'c> {
     /// level's per-core fill bandwidth: L2 ≈ 32 B/cy, L3 ≈ 16 B/cy,
     /// DRAM ≈ 8 B/cy).
     fn fill_rt(&self, source: HitLevel) -> (usize, u64) {
-        let line = self
-            .chip
-            .caches
-            .first()
-            .map(|c| c.line_bytes as u64)
-            .unwrap_or(64);
+        let line = self.chip.caches.first().map(|c| c.line_bytes as u64).unwrap_or(64);
         match source {
             HitLevel::Cache(0) => (0, 0),
             HitLevel::Cache(i) => (i, line / (32 >> (i - 1).min(2)).max(8)),
@@ -174,11 +169,8 @@ impl<'c> Scheduler<'c> {
         let mut port_avail = self.port_free[port].max(window_ready);
         // Loads whose line crossed a lower level also wait on that level's
         // fill interface.
-        let (fill_idx, fill_rt) = if class == InstrClass::Load {
-            self.fill_rt(source)
-        } else {
-            (0, 0)
-        };
+        let (fill_idx, fill_rt) =
+            if class == InstrClass::Load { self.fill_rt(source) } else { (0, 0) };
         if fill_rt > 0 {
             port_avail = port_avail.max(self.fill_free[fill_idx]);
         }
@@ -285,10 +277,10 @@ pub fn simulate(
 ) -> PipelineStats {
     let mut sched = Scheduler::new(chip);
     let exec = |instr: &Instr,
-                    state: &mut FuncState,
-                    mem: &mut Memory,
-                    sched: &mut Scheduler,
-                    caches: &mut CacheHierarchy| {
+                state: &mut FuncState,
+                mem: &mut Memory,
+                sched: &mut Scheduler,
+                caches: &mut CacheHierarchy| {
         let addr = state.step(instr, mem);
         let (mem_latency, source) = match (instr.class(), addr) {
             (InstrClass::Load, Some(a)) => caches.access(a),
@@ -355,12 +347,7 @@ mod tests {
         let mut p = Program::new("fmas");
         p.push_straight(
             (0..16)
-                .map(|i| Instr::Fmla {
-                    acc: VReg(i),
-                    mul: VReg(20),
-                    lane_src: VReg(21),
-                    lane: 0,
-                })
+                .map(|i| Instr::Fmla { acc: VReg(i), mul: VReg(20), lane_src: VReg(21), lane: 0 })
                 .collect(),
         );
         let stats = run(&p, &chip, true);
@@ -376,12 +363,7 @@ mod tests {
         let mut p = Program::new("chain");
         p.push_straight(
             (0..4)
-                .map(|_| Instr::Fmla {
-                    acc: VReg(0),
-                    mul: VReg(20),
-                    lane_src: VReg(21),
-                    lane: 0,
-                })
+                .map(|_| Instr::Fmla { acc: VReg(0), mul: VReg(20), lane_src: VReg(21), lane: 0 })
                 .collect(),
         );
         let stats = run(&p, &chip, true);

@@ -93,10 +93,7 @@ pub fn render_timeline(events: &[TraceEvent], from: usize, to: usize) -> String 
     let width = (t1 - t0 + 1).min(160) as usize;
     let label_w = window.iter().map(|e| e.text.len()).max().unwrap().min(36);
     let mut out = String::new();
-    out.push_str(&format!(
-        "{:>4} {:<label_w$} cycles {t0}..{t1}\n",
-        "#", "instruction",
-    ));
+    out.push_str(&format!("{:>4} {:<label_w$} cycles {t0}..{t1}\n", "#", "instruction",));
     for e in window {
         let mut bar = vec![b' '; width];
         let s = (e.issue - t0) as usize;
@@ -141,10 +138,7 @@ pub fn utilization(events: &[TraceEvent]) -> Vec<(InstrClass, f64)> {
         let n = events.iter().filter(|e| e.class == class).count() as u64;
         counts.push((class, n));
     }
-    counts
-        .into_iter()
-        .map(|(c, n)| (c, n as f64 / span as f64))
-        .collect()
+    counts.into_iter().map(|(c, n)| (c, n as f64 / span as f64)).collect()
 }
 
 #[cfg(test)]
@@ -215,11 +209,7 @@ mod tests {
     fn utilization_sums_are_sane() {
         let events = traced_kernel(64);
         let util = utilization(&events);
-        let fma = util
-            .iter()
-            .find(|(c, _)| *c == InstrClass::Fma)
-            .map(|(_, u)| *u)
-            .unwrap();
+        let fma = util.iter().find(|(c, _)| *c == InstrClass::Fma).map(|(_, u)| *u).unwrap();
         // A compute-bound 5x16 kernel keeps the FMA pipe mostly busy.
         assert!(fma > 0.7, "FMA utilization {fma:.2}");
     }

@@ -46,7 +46,7 @@ fn quadrant_cost(
     }
     let mut best: Option<(f64, QuadrantCover)> = None;
     for &tile in shapes {
-        let cost = if m % tile.mr == 0 && n % tile.nr == 0 {
+        let cost = if m.is_multiple_of(tile.mr) && n.is_multiple_of(tile.nr) {
             let count = (m / tile.mr) * (n / tile.nr);
             Some((
                 count as f64 * effective_cycles(tile, kc, chip, opts),
@@ -59,7 +59,7 @@ fn quadrant_cost(
             ))
         };
         if let Some((c, cover)) = cost {
-            if best.map_or(true, |(b, _)| c < b) {
+            if best.is_none_or(|(b, _)| c < b) {
                 best = Some((c, cover));
             }
         }
@@ -107,7 +107,9 @@ pub fn plan_dmt(m: usize, n: usize, kc: usize, chip: &ChipSpec, opts: ModelOpts)
     let mut memo: std::collections::HashMap<(usize, usize), (f64, QuadrantCover)> =
         std::collections::HashMap::new();
     let cost_of =
-        |mm: usize, nn: usize, memo: &mut std::collections::HashMap<(usize, usize), (f64, QuadrantCover)>| {
+        |mm: usize,
+         nn: usize,
+         memo: &mut std::collections::HashMap<(usize, usize), (f64, QuadrantCover)>| {
             *memo
                 .entry((mm, nn))
                 .or_insert_with(|| quadrant_cost(mm, nn, kc, chip, opts, &shapes).unwrap())
@@ -173,11 +175,7 @@ mod tests {
         let chip = ChipSpec::graviton2();
         let plan = plan_dmt(26, 36, 64, &chip, default_opts());
         plan.validate(4).expect("exact cover");
-        assert!(
-            plan.tile_count() <= 14,
-            "DMT used {} tiles (paper: 13)",
-            plan.tile_count()
-        );
+        assert!(plan.tile_count() <= 14, "DMT used {} tiles (paper: 13)", plan.tile_count());
         assert!(plan.tile_count() < 18);
         assert!(plan.low_ai_count(&chip) <= 2, "low-AI tiles: {}", plan.low_ai_count(&chip));
     }
@@ -189,10 +187,10 @@ mod tests {
             for (m, n) in [(26, 36), (26, 64), (80, 32), (25, 64), (13, 20), (31, 44)] {
                 let kc = 64;
                 let dmt = plan_dmt(m, n, kc, &chip, opts).effective_cycles(kc, &chip, opts);
-                let ob = plan_openblas(m, n, MicroTile::new(5, 16))
-                    .effective_cycles(kc, &chip, opts);
-                let xs = plan_libxsmm(m, n, MicroTile::new(5, 16), 4)
-                    .effective_cycles(kc, &chip, opts);
+                let ob =
+                    plan_openblas(m, n, MicroTile::new(5, 16)).effective_cycles(kc, &chip, opts);
+                let xs =
+                    plan_libxsmm(m, n, MicroTile::new(5, 16), 4).effective_cycles(kc, &chip, opts);
                 assert!(
                     dmt <= ob * 1.001 && dmt <= xs * 1.001,
                     "{} {m}x{n}: dmt {dmt:.0} vs openblas {ob:.0} / libxsmm {xs:.0}",
@@ -258,11 +256,7 @@ mod tests {
         // 5x16/4x20-family tiles rather than 1-wide strips.
         let chip = ChipSpec::m2();
         let plan = plan_dmt(26, 36, 64, &chip, default_opts());
-        let tiny = plan
-            .placements
-            .iter()
-            .filter(|p| p.tile.mr == 1 && p.tile.nr <= 8)
-            .count();
+        let tiny = plan.placements.iter().filter(|p| p.tile.mr == 1 && p.tile.nr <= 8).count();
         assert!(tiny <= 1, "too many tiny tiles:\n{}", plan.ascii_art());
     }
 }

@@ -72,10 +72,7 @@ impl TilePlan {
     /// Tiles whose kernel shape falls below the chip's `σ_AI` threshold
     /// (the "low arithmetic intensity" tiles of Fig 5's analysis).
     pub fn low_ai_count(&self, chip: &ChipSpec) -> usize {
-        self.placements
-            .iter()
-            .filter(|p| p.tile.ai_max() < chip.sigma_ai)
-            .count()
+        self.placements.iter().filter(|p| p.tile.ai_max() < chip.sigma_ai).count()
     }
 
     /// Total padded (wasted) elements across the plan.
@@ -86,19 +83,13 @@ impl TilePlan {
     /// Projected cycles of executing the plan at reduction depth `kc`
     /// (Eqn 13 generalized to arbitrary placements).
     pub fn projected_cycles(&self, kc: usize, chip: &ChipSpec, opts: ModelOpts) -> f64 {
-        self.placements
-            .iter()
-            .map(|p| projected_cycles(p.tile, kc, chip, opts))
-            .sum()
+        self.placements.iter().map(|p| projected_cycles(p.tile, kc, chip, opts)).sum()
     }
 
     /// Projected cycles including the `σ_AI` derating — the metric DMT
     /// optimizes (Algorithm 1 condition 1).
     pub fn effective_cycles(&self, kc: usize, chip: &ChipSpec, opts: ModelOpts) -> f64 {
-        self.placements
-            .iter()
-            .map(|p| effective_cycles(p.tile, kc, chip, opts))
-            .sum()
+        self.placements.iter().map(|p| effective_cycles(p.tile, kc, chip, opts)).sum()
     }
 
     /// Verify the plan covers every cell of the block exactly once with

@@ -73,11 +73,7 @@ pub fn anneal(space: &SearchSpace, chip: &ChipSpec, cfg: &AnnealConfig) -> Sched
         })
         .collect();
 
-    let mut best = measured
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .unwrap()
-        .clone();
+    let mut best = measured.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().clone();
 
     for round in 0..cfg.rounds {
         let model = Surrogate::fit(&measured, 60);
@@ -127,15 +123,11 @@ mod tests {
         let tuned_cost = schedule_cost(&tuned, &chip).total();
 
         let mut rng = StdRng::seed_from_u64(7);
-        let mut random_costs: Vec<f64> = (0..24)
-            .map(|_| schedule_cost(&space.random(&mut rng), &chip).total())
-            .collect();
+        let mut random_costs: Vec<f64> =
+            (0..24).map(|_| schedule_cost(&space.random(&mut rng), &chip).total()).collect();
         random_costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = random_costs[random_costs.len() / 2];
-        assert!(
-            tuned_cost <= median,
-            "tuned {tuned_cost:.0} worse than random median {median:.0}"
-        );
+        assert!(tuned_cost <= median, "tuned {tuned_cost:.0} worse than random median {median:.0}");
     }
 
     #[test]

@@ -24,9 +24,10 @@ use std::sync::OnceLock;
 /// Process-wide memo of per-block DMT costs: DMT planning is by far the
 /// most expensive part of scoring a schedule, and many schedules share the
 /// same `(chip, m_c, n_c, k_c)` block.
-fn block_cost_memo() -> &'static Mutex<HashMap<(&'static str, usize, usize, usize), f64>> {
-    static MEMO: OnceLock<Mutex<HashMap<(&'static str, usize, usize, usize), f64>>> =
-        OnceLock::new();
+type BlockCostMap = HashMap<(&'static str, usize, usize, usize), f64>;
+
+fn block_cost_memo() -> &'static Mutex<BlockCostMap> {
+    static MEMO: OnceLock<Mutex<BlockCostMap>> = OnceLock::new();
     MEMO.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -187,16 +188,7 @@ mod tests {
     use crate::space::LoopOrder;
 
     fn sched(m: usize, n: usize, k: usize, mc: usize, nc: usize, kc: usize) -> Schedule {
-        Schedule {
-            m,
-            n,
-            k,
-            mc,
-            nc,
-            kc,
-            order: LoopOrder::goto(),
-            packing: Packing::Offline,
-        }
+        Schedule { m, n, k, mc, nc, kc, order: LoopOrder::goto(), packing: Packing::Offline }
     }
 
     #[test]

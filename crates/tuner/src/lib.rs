@@ -107,9 +107,8 @@ pub fn tune_multicore(
         // the paper observes).
         let sigma = chip.sigma_lane();
         for &mc in space::divisors(m).iter().filter(|&&mc| mc <= 128) {
-            for &nc in space::divisors(n)
-                .iter()
-                .filter(|&&nc| (nc % sigma == 0 && nc <= 512) || nc == n)
+            for &nc in
+                space::divisors(n).iter().filter(|&&nc| (nc % sigma == 0 && nc <= 512) || nc == n)
             {
                 space.block_candidates.push((mc, nc, k));
             }
@@ -130,11 +129,7 @@ pub fn tune_multicore(
     let mut scored: Vec<(f64, Schedule)> =
         space.pruned_candidates().map(|sched| (score(&sched), sched)).collect();
     scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-    scored
-        .into_iter()
-        .map(|(_, s)| s)
-        .next()
-        .expect("non-empty search space")
+    scored.into_iter().map(|(_, s)| s).next().expect("non-empty search space")
 }
 
 /// The top-`k` multicore schedule candidates by model score, deduplicated
@@ -172,9 +167,8 @@ pub fn tune_multicore_topk(
         space.block_candidates.push((best.mc, best.nc, best.kc));
         let sigma = chip.sigma_lane();
         for &mc in space::divisors(m).iter().filter(|&&mc| mc <= 128) {
-            for &nc in space::divisors(n)
-                .iter()
-                .filter(|&&nc| (nc % sigma == 0 && nc <= 512) || nc == n)
+            for &nc in
+                space::divisors(n).iter().filter(|&&nc| (nc % sigma == 0 && nc <= 512) || nc == n)
             {
                 space.block_candidates.push((mc, nc, k));
             }
@@ -213,10 +207,7 @@ pub fn tune_multicore_topk(
     }
     // Always include the largest parallel-feasible block (often what a
     // latency-sensitive pipeline wants even when the model disagrees).
-    if let Some((_, big)) = scored
-        .iter()
-        .max_by_key(|(_, s)| s.mc * s.nc)
-    {
+    if let Some((_, big)) = scored.iter().max_by_key(|(_, s)| s.mc * s.nc) {
         if !out.iter().any(|o| (o.mc, o.nc, o.kc) == (big.mc, big.nc, big.kc)) {
             out.push(big.clone());
         }

@@ -123,7 +123,7 @@ pub fn divisors(n: usize) -> Vec<usize> {
     let mut out = Vec::new();
     let mut i = 1;
     while i * i <= n {
-        if n % i == 0 {
+        if n.is_multiple_of(i) {
             out.push(i);
             if i != n / i {
                 out.push(n / i);
@@ -139,13 +139,17 @@ pub fn divisors(n: usize) -> Vec<usize> {
 /// triples, pruned to plausible working sets (fits in the last-level
 /// private cache, `n_c` a lane multiple or the whole of N, and blocks at
 /// least one register tile tall/wide where possible).
-pub fn enumerate_blocks(m: usize, n: usize, k: usize, chip: &ChipSpec) -> Vec<(usize, usize, usize)> {
+pub fn enumerate_blocks(
+    m: usize,
+    n: usize,
+    k: usize,
+    chip: &ChipSpec,
+) -> Vec<(usize, usize, usize)> {
     let sigma = chip.sigma_lane();
     let last_private = chip
         .caches
         .iter()
-        .filter(|c| !c.shared)
-        .next_back()
+        .rfind(|c| !c.shared)
         .or(chip.caches.last())
         .map(|c| c.size_bytes)
         .unwrap_or(1 << 20);
@@ -248,8 +252,7 @@ impl SearchSpace {
 
     /// A uniformly random schedule (for annealing moves).
     pub fn random(&self, rng: &mut impl rand::Rng) -> Schedule {
-        let (mc, nc, kc) =
-            self.block_candidates[rng.random_range(0..self.block_candidates.len())];
+        let (mc, nc, kc) = self.block_candidates[rng.random_range(0..self.block_candidates.len())];
         let order = self.orders[rng.random_range(0..self.orders.len())];
         let packings = self.packings();
         let packing = packings[rng.random_range(0..packings.len())];

@@ -87,12 +87,7 @@ impl DnnModel {
     }
 
     pub fn all() -> [DnnModel; 4] {
-        [
-            DnnModel::ResNet50,
-            DnnModel::InceptionV3,
-            DnnModel::MobileNetV1,
-            DnnModel::SqueezeNet,
-        ]
+        [DnnModel::ResNet50, DnnModel::InceptionV3, DnnModel::MobileNetV1, DnnModel::SqueezeNet]
     }
 
     /// The network's CONV/FC GEMM shapes with multiplicities.
@@ -103,7 +98,12 @@ impl DnnModel {
             DnnModel::ResNet50 => {
                 let mut shapes: Vec<GemmShape> = crate::shapes::resnet50_table_v()
                     .into_iter()
-                    .map(|l| GemmShape { m: l.m, n: l.n, k: l.k, count: layer_multiplicity(l.layer) })
+                    .map(|l| GemmShape {
+                        m: l.m,
+                        n: l.n,
+                        k: l.k,
+                        count: layer_multiplicity(l.layer),
+                    })
                     .collect();
                 shapes.push(GemmShape { m: 1000, n: 1, k: 2048, count: 1 });
                 shapes
@@ -178,11 +178,11 @@ impl DnnModel {
 /// blocks repeat: conv2_x ×3, conv3_x ×4, conv4_x ×6, conv5_x ×3).
 fn layer_multiplicity(layer: usize) -> usize {
     match layer {
-        1 => 1,              // stem
-        2..=5 => 3,          // conv2_x
-        6..=10 => 4,         // conv3_x
-        11..=15 => 6,        // conv4_x
-        16..=20 => 3,        // conv5_x
+        1 => 1,       // stem
+        2..=5 => 3,   // conv2_x
+        6..=10 => 4,  // conv3_x
+        11..=15 => 6, // conv4_x
+        16..=20 => 3, // conv5_x
         _ => 1,
     }
 }
@@ -206,10 +206,7 @@ mod tests {
         // little above that.
         let total: u64 = DnnModel::ResNet50.gemm_shapes().iter().map(|s| s.flops_total()).sum();
         let gflops = total as f64 / 1e9;
-        assert!(
-            (6.0..13.0).contains(&gflops),
-            "ResNet-50 GEMM flops {gflops:.2} GF out of range"
-        );
+        assert!((6.0..13.0).contains(&gflops), "ResNet-50 GEMM flops {gflops:.2} GF out of range");
     }
 
     #[test]
@@ -225,7 +222,7 @@ mod tests {
     #[test]
     fn mobilenet_is_dominated_by_pointwise_convs() {
         let shapes = DnnModel::MobileNetV1.gemm_shapes();
-        let pointwise = shapes.iter().filter(|s| s.k == s.k / 1 && s.k % 9 != 0).count();
+        let pointwise = shapes.iter().filter(|s| !s.k.is_multiple_of(9)).count();
         assert!(pointwise > shapes.len() / 2);
     }
 

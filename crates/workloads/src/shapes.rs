@@ -47,9 +47,7 @@ pub fn resnet50_table_v() -> Vec<ResnetLayer> {
         (19, 2048, 49, 1024),
         (20, 512, 49, 2048),
     ];
-    rows.into_iter()
-        .map(|(layer, m, n, k)| ResnetLayer { layer, m, n, k })
-        .collect()
+    rows.into_iter().map(|(layer, m, n, k)| ResnetLayer { layer, m, n, k }).collect()
 }
 
 /// The square sizes evaluated in the Fig 8 small-matrix sweep
@@ -60,10 +58,7 @@ pub fn small_sweep() -> Vec<usize> {
 
 /// The four layers Fig 10's roofline places alongside the small cubes.
 pub fn roofline_layers() -> Vec<ResnetLayer> {
-    resnet50_table_v()
-        .into_iter()
-        .filter(|l| [4, 8, 10, 16].contains(&l.layer))
-        .collect()
+    resnet50_table_v().into_iter().filter(|l| [4, 8, 10, 16].contains(&l.layer)).collect()
 }
 
 /// Classification of an irregular shape, following §II-A.

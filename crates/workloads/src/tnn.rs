@@ -13,8 +13,14 @@ use autogemm_arch::ChipSpec;
 /// on `threads` threads of `chip`.
 pub trait GemmBackend {
     fn name(&self) -> &str;
-    fn gemm_seconds(&self, m: usize, n: usize, k: usize, chip: &ChipSpec, threads: usize)
-        -> Option<f64>;
+    fn gemm_seconds(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        chip: &ChipSpec,
+        threads: usize,
+    ) -> Option<f64>;
 }
 
 /// autoGEMM as a backend (simulated on the modelled chip).

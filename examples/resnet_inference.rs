@@ -9,7 +9,9 @@
 use autogemm::AutoGemm;
 use autogemm_arch::ChipSpec;
 use autogemm_baselines::{simulate_baseline, Baseline};
-use autogemm_workloads::tnn::{reference_gemm_seconds, run_model, AutoGemmBackend, BaselineBackend};
+use autogemm_workloads::tnn::{
+    reference_gemm_seconds, run_model, AutoGemmBackend, BaselineBackend,
+};
 use autogemm_workloads::{resnet50_table_v, DnnModel};
 
 fn main() {
@@ -17,7 +19,10 @@ fn main() {
     let engine = AutoGemm::new(chip.clone()).with_offline_packing();
 
     println!("ResNet-50 layers on {} (single core, simulated GFLOPS):\n", chip.name);
-    println!("{:<6} {:>16} {:>10} {:>10} {:>9}", "layer", "shape", "autoGEMM", "OpenBLAS", "speedup");
+    println!(
+        "{:<6} {:>16} {:>10} {:>10} {:>9}",
+        "layer", "shape", "autoGEMM", "OpenBLAS", "speedup"
+    );
     let mut speedups = Vec::new();
     for layer in resnet50_table_v() {
         let auto = engine.simulate(layer.m, layer.n, layer.k, 1);
@@ -42,8 +47,8 @@ fn main() {
     let threads = chip.cores;
     let ob_backend = BaselineBackend { baseline: Baseline::OpenBlas };
     let auto_backend = AutoGemmBackend::new(chip.clone());
-    let reference = reference_gemm_seconds(DnnModel::ResNet50, &ob_backend, &chip, threads)
-        .expect("reference");
+    let reference =
+        reference_gemm_seconds(DnnModel::ResNet50, &ob_backend, &chip, threads).expect("reference");
     let t_ob = run_model(DnnModel::ResNet50, &ob_backend, reference, &chip, threads).unwrap();
     let t_auto = run_model(DnnModel::ResNet50, &auto_backend, reference, &chip, threads).unwrap();
     println!(

@@ -31,10 +31,7 @@ fn main() {
     );
 
     // Rank the pruned candidates with the Eqn 13 cost model.
-    let mut scored: Vec<_> = pruned
-        .iter()
-        .map(|s| (schedule_cost(s, &chip).total(), s))
-        .collect();
+    let mut scored: Vec<_> = pruned.iter().map(|s| (schedule_cost(s, &chip).total(), s)).collect();
     scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     println!("top 5 candidates by the pruning cost model:");
     for (cost, s) in scored.iter().take(5) {

@@ -1,0 +1,74 @@
+//! Offline stub of the `crossbeam::scope` API, implemented on
+//! `std::thread::scope` (stable since Rust 1.63, so the external crate is
+//! no longer load-bearing for this workspace).
+//!
+//! Semantics note: `crossbeam::scope` returns `Err` when a child thread
+//! panics; `std::thread::scope` re-raises the child panic when the scope
+//! closes. Every call site in this workspace immediately does
+//! `.expect("... panicked")` on the result, so the two behaviours are
+//! equivalent here — a child panic aborts the test/process either way.
+
+use std::thread;
+
+/// Scoped-thread handle mirroring `crossbeam::thread::Scope`. The spawn
+/// closure receives a `&Scope` again (crossbeam's nested-spawn affordance);
+/// all call sites in this workspace ignore it (`|_|`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Drop-in for `crossbeam::scope`: spawned threads are joined before this
+/// returns, and borrows of `'env` data are allowed inside.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod thread_mod {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_share_borrows_and_join() {
+        let data = [1usize, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                let sum = &sum;
+                s.spawn(move |_| {
+                    sum.fetch_add(chunk.iter().sum(), Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let r = scope(|s| {
+            let h = s.spawn(|_| 21usize);
+            h.join().unwrap() * 2
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline stub of the slice of `rand 0.9` this workspace uses: a
+//! deterministic `StdRng` (SplitMix64), `SeedableRng::seed_from_u64`, and
+//! the `Rng::{random, random_range}` methods. The annealer only needs a
+//! reproducible, reasonably well-mixed stream — not cryptographic quality
+//! — so SplitMix64 (the seeding generator of the real `StdRng`) is
+//! sufficient and keeps the stub dependency-free.
+
+use std::ops::Range;
+
+/// Types samplable uniformly from a `u64` draw (stand-in for
+/// `rand::distr::StandardUniform`).
+pub trait FromRandom {
+    fn from_random(v: u64) -> Self;
+}
+
+impl FromRandom for f64 {
+    /// Uniform in `[0, 1)`: top 53 bits scaled by 2^-53.
+    fn from_random(v: u64) -> f64 {
+        (v >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRandom for f32 {
+    fn from_random(v: u64) -> f32 {
+        (v >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl FromRandom for bool {
+    fn from_random(v: u64) -> bool {
+        v & 1 == 1
+    }
+}
+
+impl FromRandom for u64 {
+    fn from_random(v: u64) -> u64 {
+        v
+    }
+}
+
+impl FromRandom for u32 {
+    fn from_random(v: u64) -> u32 {
+        (v >> 32) as u32
+    }
+}
+
+impl FromRandom for usize {
+    fn from_random(v: u64) -> usize {
+        v as usize
+    }
+}
+
+/// Ranges samplable by [`Rng::random_range`].
+pub trait SampleRange {
+    type Output;
+    fn sample(self, v: u64) -> Self::Output;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, v: u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (v % span) as $t
+            }
+        }
+    )*};
+}
+int_range!(usize, u64, u32, u16, u8);
+
+macro_rules! signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, v: u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (v as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+signed_range!(i64, i32, i16, i8, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, v: u64) -> f64 {
+        self.start + f64::from_random(v) * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    fn sample(self, v: u64) -> f32 {
+        self.start + f32::from_random(v) * (self.end - self.start)
+    }
+}
+
+/// The `rand::Rng` stand-in: everything is derived from `next_u64`.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn random<T: FromRandom>(&mut self) -> T {
+        T::from_random(self.next_u64())
+    }
+
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self.next_u64())
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// The `rand::SeedableRng` stand-in (only `seed_from_u64` is needed).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed.wrapping_add(0x9e3779b97f4a7c15) }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+            let x = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn stream_is_reasonably_mixed() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let draws: Vec<u64> = (0..64).map(|_| rng.next_u64()).collect();
+        let mut sorted = draws.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), draws.len(), "no repeats in a short stream");
+        let ones: u32 = draws.iter().map(|v| v.count_ones()).sum();
+        let avg = ones as f64 / draws.len() as f64;
+        assert!((24.0..40.0).contains(&avg), "bit balance off: {avg}");
+    }
+}

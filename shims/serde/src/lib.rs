@@ -1,0 +1,19 @@
+//! Offline stub of `serde`: just enough surface for this workspace.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config/spec types
+//! for forward compatibility but performs no serde-based (de)serialization
+//! anywhere — every artifact is emitted with hand-rolled formatting. This
+//! shim provides the two marker traits plus the no-op derive re-exports so
+//! the crates compile without registry access. If real serialization is
+//! ever needed, replace the `shims/serde*` path dependencies with the real
+//! crates.
+
+/// Marker stand-in for `serde::Serialize` (no methods; the no-op derive
+/// emits no impl, and nothing in the workspace takes `T: Serialize`).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (same caveats as
+/// [`Serialize`]).
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

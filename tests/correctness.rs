@@ -8,7 +8,9 @@ use autogemm_arch::ChipSpec;
 use autogemm_baselines::naive::{max_rel_error, naive_gemm};
 
 fn data(m: usize, n: usize, k: usize, seed: u32) -> (Vec<f32>, Vec<f32>) {
-    let f = |i: usize, s: u32| (((i as u32).wrapping_mul(2654435761).wrapping_add(s) >> 16) % 31) as f32 - 15.0;
+    let f = |i: usize, s: u32| {
+        (((i as u32).wrapping_mul(2654435761).wrapping_add(s) >> 16) % 31) as f32 - 15.0
+    };
     let a = (0..m * k).map(|i| f(i, seed) * 0.125).collect();
     let b = (0..k * n).map(|i| f(i, seed ^ 0xdead) * 0.25).collect();
     (a, b)
@@ -134,6 +136,58 @@ mod property {
             let mut want = vec![0.0f32; m * n];
             naive_gemm(m, n, k, &a, &b, &mut want);
             prop_assert!(max_rel_error(&c, &want) < 1e-4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        /// The threaded panel-cache driver matches the naive reference for
+        /// arbitrary shapes and thread counts — including thread counts
+        /// (up to 8) far exceeding the block grid of small shapes, where
+        /// surplus workers must drain an empty queue and exit.
+        #[test]
+        fn random_threaded_shapes_are_correct(
+            m in 1usize..97,
+            n in 1usize..97,
+            k in 1usize..97,
+            t_idx in 0usize..4,
+        ) {
+            let threads = [1usize, 2, 3, 8][t_idx];
+            let engine = AutoGemm::new(ChipSpec::graviton2());
+            let (a, b) = data(m, n, k, (m * 13 + n * 5 + k * 3 + threads) as u32);
+            let mut c = vec![0.0f32; m * n];
+            engine.gemm_threaded(m, n, k, &a, &b, &mut c, threads);
+            let mut want = vec![0.0f32; m * n];
+            naive_gemm(m, n, k, &a, &b, &mut want);
+            prop_assert!(
+                max_rel_error(&c, &want) < 1e-4,
+                "{m}x{n}x{k} at {threads} threads: rel err {}",
+                max_rel_error(&c, &want)
+            );
+        }
+
+        /// Threaded execution is deterministic and bit-identical to the
+        /// single-threaded result: the work queue changes which thread
+        /// computes a block, never the FP order within one.
+        #[test]
+        fn thread_count_never_changes_bits(
+            m in 1usize..64,
+            n in 1usize..64,
+            k in 1usize..64,
+        ) {
+            let chip = ChipSpec::graviton2();
+            let plan = autogemm::ExecutionPlan::from_schedule(
+                autogemm_tuner::tune(m, n, k, &chip),
+                &chip,
+            );
+            let (a, b) = data(m, n, k, (m + n * 3 + k * 17) as u32);
+            let mut c1 = vec![0.0f32; m * n];
+            autogemm::native::gemm_with_plan(&plan, &a, &b, &mut c1, 1);
+            for threads in [2usize, 3, 8] {
+                let mut ct = vec![0.0f32; m * n];
+                autogemm::native::gemm_with_plan(&plan, &a, &b, &mut ct, threads);
+                prop_assert_eq!(&c1, &ct, "threads={} diverged", threads);
+            }
         }
     }
 }

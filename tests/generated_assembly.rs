@@ -68,14 +68,22 @@ fn instruction_stream_length_scales_with_kc() {
     let t = tiles::MicroTile::new(5, 16);
     let small = generate(&spec(t, 16, false), &chip);
     let large = generate(&spec(t, 160, false), &chip);
-    let static_small: usize = small.blocks.iter().map(|b| match b {
-        autogemm_arch::Block::Straight(v) => v.len(),
-        autogemm_arch::Block::Loop { body, .. } => body.len(),
-    }).sum();
-    let static_large: usize = large.blocks.iter().map(|b| match b {
-        autogemm_arch::Block::Straight(v) => v.len(),
-        autogemm_arch::Block::Loop { body, .. } => body.len(),
-    }).sum();
+    let static_small: usize = small
+        .blocks
+        .iter()
+        .map(|b| match b {
+            autogemm_arch::Block::Straight(v) => v.len(),
+            autogemm_arch::Block::Loop { body, .. } => body.len(),
+        })
+        .sum();
+    let static_large: usize = large
+        .blocks
+        .iter()
+        .map(|b| match b {
+            autogemm_arch::Block::Straight(v) => v.len(),
+            autogemm_arch::Block::Loop { body, .. } => body.len(),
+        })
+        .sum();
     assert_eq!(static_small, static_large, "static code size must not grow with k_c");
     assert!(large.dynamic_len() > small.dynamic_len() * 8);
 }

@@ -1,0 +1,113 @@
+//! Regression guard for the panel cache: packing work must be amortized.
+//!
+//! The cached driver packs each A panel `(bi, kb)` and each B panel
+//! `(kb, bj)` exactly once per GEMM — `tm·tk` + `tk·tn` packs — while the
+//! historical per-block path packs `2·tm·tn·tk` times. These tests pin
+//! both counts via the process-global counters in `autogemm::packing`.
+//!
+//! NOTE: the counters are process-global, so every test in this file runs
+//! in ONE `#[test]` function (integration-test files are separate
+//! processes, but tests within a binary run concurrently). Do not split
+//! these into multiple `#[test]`s.
+
+use autogemm::packing::counters;
+use autogemm::{ExecutionPlan, PackedB, PanelPool};
+use autogemm_arch::ChipSpec;
+use autogemm_tuner::tune;
+
+fn plan_for(m: usize, n: usize, k: usize) -> ExecutionPlan {
+    let chip = ChipSpec::graviton2();
+    ExecutionPlan::from_schedule(tune(m, n, k, &chip), &chip)
+}
+
+fn data(m: usize, n: usize, k: usize) -> (Vec<f32>, Vec<f32>) {
+    let a = (0..m * k).map(|i| ((i * 13 + 5) % 23) as f32 - 11.0).collect();
+    let b = (0..k * n).map(|i| ((i * 7 + 2) % 19) as f32 - 9.0).collect();
+    (a, b)
+}
+
+#[test]
+fn pack_counts_are_amortized() {
+    // --- Cached driver: (tm + tn)·tk packs per GEMM, at any thread count.
+    for (m, n, k, threads) in [(64, 196, 64, 1), (64, 196, 64, 4), (52, 72, 32, 3), (8, 8, 8, 16)] {
+        let plan = plan_for(m, n, k);
+        let (tm, tn, tk) = plan.grid();
+        let (a, b) = data(m, n, k);
+        let mut c = vec![0.0f32; m * n];
+        counters::reset();
+        autogemm::native::gemm_with_plan(&plan, &a, &b, &mut c, threads);
+        assert_eq!(
+            counters::a_packs(),
+            (tm * tk) as u64,
+            "{m}x{n}x{k} t{threads}: A panels must be packed exactly tm*tk = {}*{} times",
+            tm,
+            tk
+        );
+        assert_eq!(
+            counters::b_packs(),
+            (tk * tn) as u64,
+            "{m}x{n}x{k} t{threads}: B panels must be packed exactly tk*tn = {}*{} times",
+            tk,
+            tn
+        );
+    }
+
+    // --- The historical repack path really does O(tm·tn·tk) packs of
+    // each operand (kept as the benchmark baseline; this documents the
+    // contrast the panel cache eliminates).
+    {
+        let (m, n, k) = (64, 196, 64);
+        let plan = plan_for(m, n, k);
+        let (tm, tn, tk) = plan.grid();
+        let (a, b) = data(m, n, k);
+        let mut c = vec![0.0f32; m * n];
+        counters::reset();
+        autogemm::native::gemm_with_plan_repack(&plan, &a, &b, &mut c, 2);
+        assert_eq!(counters::a_packs(), (tm * tn * tk) as u64);
+        assert_eq!(counters::b_packs(), (tm * tn * tk) as u64);
+    }
+
+    // --- Offline mode: PackedB::new pays tk·tn B packs once; each
+    // prepacked GEMM afterwards packs only A (tm·tk), and B never again.
+    {
+        let (m, n, k) = (48, 96, 32);
+        let plan = plan_for(m, n, k);
+        let (tm, tn, tk) = plan.grid();
+        let (a, b) = data(m, n, k);
+        counters::reset();
+        let packed = PackedB::new(&plan, &b);
+        assert_eq!(counters::b_packs(), (tk * tn) as u64, "offline B pack cost");
+        let pool = PanelPool::new();
+        for _ in 0..3 {
+            counters::reset();
+            let mut c = vec![0.0f32; m * n];
+            autogemm::offline::gemm_prepacked_pooled(&plan, &a, &packed, &mut c, 2, &pool);
+            assert_eq!(counters::a_packs(), (tm * tk) as u64);
+            assert_eq!(counters::b_packs(), 0, "prepacked B must never be re-packed");
+        }
+    }
+
+    // --- Batch with a shared B: one offline pack of B for the whole
+    // batch (tk·tn), plus tm·tk A packs per item.
+    {
+        let (m, n, k, items) = (8usize, 12usize, 16usize, 5usize);
+        let plan = plan_for(m, n, k);
+        let (tm, tn, tk) = plan.grid();
+        let a_store: Vec<Vec<f32>> =
+            (0..items).map(|t| (0..m * k).map(|i| ((i + t) % 9) as f32 - 4.0).collect()).collect();
+        let b_shared: Vec<f32> = (0..k * n).map(|i| (i % 11) as f32 - 5.0).collect();
+        let mut batch = autogemm::GemmBatch::new(m, n, k);
+        for a in &a_store {
+            batch.push(a, &b_shared);
+        }
+        let mut c = vec![0.0f32; items * m * n];
+        counters::reset();
+        autogemm::gemm_batch(&plan, &batch, &mut c, 2);
+        assert_eq!(
+            counters::b_packs(),
+            (tk * tn) as u64,
+            "batch sharing one B must pack it exactly once"
+        );
+        assert_eq!(counters::a_packs(), (items * tm * tk) as u64);
+    }
+}

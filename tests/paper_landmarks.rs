@@ -10,13 +10,8 @@ use autogemm_baselines::{simulate_baseline, Baseline};
 #[test]
 fn small_gemm_near_peak_on_every_chip() {
     // Paper: 97.6 / 98.3 / 98.4 / 96.5 / 93.2 %.
-    let floors = [
-        ("kp920", 0.90),
-        ("graviton2", 0.95),
-        ("altra", 0.95),
-        ("m2", 0.95),
-        ("a64fx", 0.85),
-    ];
+    let floors =
+        [("kp920", 0.90), ("graviton2", 0.95), ("altra", 0.95), ("m2", 0.95), ("a64fx", 0.85)];
     for (id, floor) in floors {
         let chip = ChipSpec::by_id(id).unwrap();
         let eff = AutoGemm::new(chip).simulate(64, 64, 64, 1).efficiency;
@@ -42,9 +37,7 @@ fn table1_autogemm_leads_at_64cubed() {
 fn fig8_libshalom_wins_at_128_on_kp920() {
     let chip = ChipSpec::kp920();
     let auto = AutoGemm::new(chip.clone()).simulate(128, 128, 128, 1).gflops;
-    let shalom = simulate_baseline(Baseline::LibShalom, 128, 128, 128, &chip, 1)
-        .unwrap()
-        .gflops;
+    let shalom = simulate_baseline(Baseline::LibShalom, 128, 128, 128, &chip, 1).unwrap().gflops;
     assert!(
         shalom > auto,
         "paper landmark: LibShalom ({shalom:.1}) should beat autoGEMM ({auto:.1}) at 128³ on KP920"
@@ -139,11 +132,7 @@ fn fig12_end_to_end_wins() {
         let t_ob = run_model(model, &ob, reference, &chip, 4).unwrap();
         let t_auto = run_model(model, &auto, reference, &chip, 4).unwrap();
         assert_eq!(t_ob.t_other, t_auto.t_other);
-        assert!(
-            t_auto.t_gemm < t_ob.t_gemm,
-            "{}: autoGEMM T_GEMM should shrink",
-            model.name()
-        );
+        assert!(t_auto.t_gemm < t_ob.t_gemm, "{}: autoGEMM T_GEMM should shrink", model.name());
     }
 }
 

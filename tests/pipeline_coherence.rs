@@ -27,11 +27,7 @@ fn fma_counts_equal_flops_for_every_menu_tile() {
             let s = spec(tile, kc, false);
             let prog = generate(&s, &chip);
             // One FMLA covers σ_lane lanes; flops = 2 · lanes · fmla count.
-            assert_eq!(
-                prog.count_class(InstrClass::Fma) * 8,
-                s.flops(),
-                "{tile} kc={kc}"
-            );
+            assert_eq!(prog.count_class(InstrClass::Fma) * 8, s.flops(), "{tile} kc={kc}");
         }
     }
 }
@@ -114,10 +110,7 @@ fn fusion_saves_cycles_at_small_kc() {
     let mut bufs2 = KernelBuffers::new(mr, nr * n_tiles, kc, 4, &a, &b, &c);
     let unfused = run_unfused(&mk_invs(), &chip, &mut bufs2, Warmth::L1);
     let saving = 1.0 - fused.cycles as f64 / unfused.cycles as f64;
-    assert!(
-        saving > 0.10,
-        "fusion saving {saving:.3} at k_c=4 (paper: ~16%)"
-    );
+    assert!(saving > 0.10, "fusion saving {saving:.3} at k_c=4 (paper: ~16%)");
 }
 
 #[test]
