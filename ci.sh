@@ -23,6 +23,16 @@ if [[ "${1:-}" == "quick" ]]; then
     exit 0
 fi
 
+echo "== scalar-fallback SIMD config =="
+# Exercise the portable array backend of the SIMD lane layer: the same
+# kernels and property tests must pass with the arch intrinsics compiled
+# out (what non-NEON/non-SSE targets get).
+cargo test -q -p autogemm --features force-scalar
+cargo test -q -p autogemm-repro --features autogemm/force-scalar --test simd_kernels
+
+echo "== microkernel bench smoke =="
+cargo run --release -p autogemm-bench --bin microkernel -- --smoke
+
 echo "== rustfmt =="
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --check

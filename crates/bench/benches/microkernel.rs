@@ -1,6 +1,13 @@
-//! Criterion benches of the native monomorphized micro-kernels.
+//! Criterion benches of the native micro-kernels: the runtime-dispatched
+//! SIMD kernel vs the scalar reference, per register-tile shape.
+//!
+//! The `simd/*` vs `scalar/*` pairs are the acceptance check that the
+//! explicit `F32x4` kernels beat the scalar reference on compute-bound
+//! tiles (8×8, 4×16); the full-sweep JSON artifact comes from the
+//! `microkernel` *bin*, this bench is the statistically-rigorous spot
+//! check.
 
-use autogemm::native::{run_placement, CTile};
+use autogemm::native::{run_placement, run_placement_ref, CTile};
 use autogemm_kernelgen::MicroTile;
 use autogemm_tiling::TilePlacement;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -9,17 +16,25 @@ use std::hint::black_box;
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("microkernel");
     let kc = 256usize;
-    for tile in autogemm_kernelgen::tiles::first_choice_neon() {
+    let mut tiles = autogemm_kernelgen::tiles::first_choice_neon().to_vec();
+    tiles.push(MicroTile::new(4, 16));
+    for tile in tiles {
         let lda = kc + 8;
         let a = vec![1.0f32; tile.mr * lda];
         let b = vec![1.0f32; (kc + 2) * tile.nr];
         let mut cbuf = vec![0.0f32; tile.mr * tile.nr];
         let placement = TilePlacement::full(0, 0, MicroTile::new(tile.mr, tile.nr));
         group.throughput(Throughput::Elements((2 * tile.mr * tile.nr * kc) as u64));
-        group.bench_with_input(BenchmarkId::new("tile", tile.to_string()), &tile, |bch, _| {
+        group.bench_with_input(BenchmarkId::new("simd", tile.to_string()), &tile, |bch, _| {
             bch.iter(|| {
                 let ct = unsafe { CTile::new(cbuf.as_mut_ptr(), tile.nr, cbuf.len()) };
                 run_placement(black_box(&placement), kc, &a, lda, &b, tile.nr, ct, true)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", tile.to_string()), &tile, |bch, _| {
+            bch.iter(|| {
+                let ct = unsafe { CTile::new(cbuf.as_mut_ptr(), tile.nr, cbuf.len()) };
+                run_placement_ref(black_box(&placement), kc, &a, lda, &b, tile.nr, ct, true)
             });
         });
     }

@@ -1,0 +1,24 @@
+//! Resolve the SIMD representation cfg for `src/simd.rs`.
+//!
+//! Exactly one of `simd_neon` / `simd_x86` / `simd_scalar` is set:
+//! the `force-scalar` feature wins over the architecture (CI uses it to
+//! keep the portable fallback building and passing on SIMD hosts),
+//! otherwise the target architecture picks its native representation.
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(simd_neon)");
+    println!("cargo::rustc-check-cfg=cfg(simd_x86)");
+    println!("cargo::rustc-check-cfg=cfg(simd_scalar)");
+    let arch = std::env::var("CARGO_CFG_TARGET_ARCH").unwrap_or_default();
+    let force_scalar = std::env::var("CARGO_FEATURE_FORCE_SCALAR").is_ok();
+    let cfg = if force_scalar {
+        "simd_scalar"
+    } else {
+        match arch.as_str() {
+            "aarch64" => "simd_neon",
+            "x86_64" => "simd_x86",
+            _ => "simd_scalar",
+        }
+    };
+    println!("cargo::rustc-cfg={cfg}");
+}

@@ -1,0 +1,322 @@
+//! Explicit-SIMD micro-kernels over the [`crate::simd`] lane layer.
+//!
+//! Each kernel is the paper's generated-kernel main loop (§III-A) made
+//! explicit: an `(m_r, n̄_r)` register tile of [`F32x4`] accumulators —
+//! `NRV = n̄_r` vector columns per row, mirroring Table II — fed by a
+//! broadcast-A / vector-B FMA chain. The structure maps one-to-one onto
+//! the perfmodel's Eqn 6/8 cycle counts: `m_r · n̄_r` FMA issues plus
+//! `m_r` A broadcasts and `n̄_r` B loads per k-step, so achieved-vs-
+//! predicted ratios measured by the `microkernel` bench bin are
+//! apples-to-apples per tile shape.
+//!
+//! Two code paths per kernel:
+//!
+//! * **full tile** (`eff_rows == MR`, `eff_cols == NR`): no bounds
+//!   handling at all; `C` is read and written with vector loads/stores.
+//! * **edge tile**: the same main loop (A/B reads are always in-bounds
+//!   for the *full* tile by the packing contract — see
+//!   [`crate::packing`]), but `C` is gathered/scattered element-wise over
+//!   the effective region only.
+//!
+//! The k-loop is unrolled by 4; instruction-level parallelism comes from
+//! the `MR·NRV` independent accumulator chains (the register tile), so
+//! each `(i, j̄)` accumulator still sums its products in ascending-`k`
+//! order — on fused backends the results are bit-identical to the scalar
+//! reference kernel ([`crate::native::micro_kernel_ref`]).
+//!
+//! Runtime dispatch: [`micro_kernel_simd`] probes [`SimdBackend`] once
+//! and routes to the baseline build (NEON / SSE2 / scalar — whatever the
+//! compile target guarantees) or to the `#[target_feature(enable =
+//! "fma")]` build, which is only reachable after
+//! `is_x86_feature_detected!("fma")` has confirmed the host.
+
+use crate::native::CTile;
+use crate::simd::{F32x4, SimdBackend, LANES};
+
+/// Multiply-accumulate step parameterized by the FMA dispatch decision.
+///
+/// # Safety
+/// With `FMA = true` (x86_64 only) the caller must be inside a
+/// `target_feature(enable = "fma")` region on an FMA-capable host.
+#[inline(always)]
+unsafe fn fmadd<const FMA: bool>(acc: F32x4, a: F32x4, b: F32x4) -> F32x4 {
+    #[cfg(simd_x86)]
+    if FMA {
+        return acc.mul_acc_fma(a, b);
+    }
+    acc.mul_acc(a, b)
+}
+
+/// One k-step: broadcast `a[i * lda + p]` per row, load the `NRV` B
+/// vectors of row `p`, and accumulate the outer product.
+///
+/// # Safety
+/// `a` must be readable at `i * lda + p` for all `i < MR`; `b` must be
+/// readable for `NRV * LANES` elements from `p * ldb`. See `FMA` note on
+/// [`fmadd`].
+#[inline(always)]
+unsafe fn kstep<const MR: usize, const NRV: usize, const FMA: bool>(
+    acc: &mut [[F32x4; NRV]; MR],
+    a: *const f32,
+    lda: usize,
+    b: *const f32,
+    ldb: usize,
+    p: usize,
+) {
+    let brow = b.add(p * ldb);
+    let mut bv = [F32x4::zero(); NRV];
+    for (jv, v) in bv.iter_mut().enumerate() {
+        *v = F32x4::load(brow.add(jv * LANES));
+    }
+    for (i, row) in acc.iter_mut().enumerate() {
+        let ai = F32x4::splat(*a.add(i * lda + p));
+        for (jv, cell) in row.iter_mut().enumerate() {
+            *cell = fmadd::<FMA>(*cell, ai, bv[jv]);
+        }
+    }
+}
+
+/// The generic kernel body, monomorphized per `(MR, NRV, FMA)`.
+///
+/// # Safety
+/// The packing contract of [`crate::packing`] must hold: `a` readable for
+/// `MR` rows of `kc` elements at stride `lda`, `b` readable for `kc` rows
+/// of `NRV * LANES` elements at stride `ldb`, and `c`'s effective cells
+/// owned by this thread. See `FMA` note on [`fmadd`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+unsafe fn kernel_body<const MR: usize, const NRV: usize, const FMA: bool>(
+    kc: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: CTile,
+    accumulate: bool,
+    eff_rows: usize,
+    eff_cols: usize,
+) {
+    debug_assert!(MR == 0 || a.len() >= (MR - 1) * lda + kc, "A panel too short for {MR} rows");
+    debug_assert!(
+        kc == 0 || b.len() >= (kc - 1) * ldb + NRV * LANES,
+        "B panel too short for {NRV} lane columns"
+    );
+    debug_assert!(eff_rows <= MR && eff_cols <= NRV * LANES);
+    let full = eff_rows == MR && eff_cols == NRV * LANES;
+    let mut acc = [[F32x4::zero(); NRV]; MR];
+    if accumulate {
+        if full {
+            for (i, row) in acc.iter_mut().enumerate() {
+                for (jv, cell) in row.iter_mut().enumerate() {
+                    *cell = F32x4::load(c.lanes_ptr(i, jv * LANES));
+                }
+            }
+        } else {
+            let mut stage = [[[0.0f32; LANES]; NRV]; MR];
+            for (i, srow) in stage.iter_mut().enumerate().take(eff_rows) {
+                for j in 0..eff_cols {
+                    srow[j / LANES][j % LANES] = c.get(i, j);
+                }
+            }
+            for (i, row) in acc.iter_mut().enumerate() {
+                for (jv, cell) in row.iter_mut().enumerate() {
+                    *cell = F32x4::from_array(stage[i][jv]);
+                }
+            }
+        }
+    }
+
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut p = 0usize;
+    while p + 4 <= kc {
+        kstep::<MR, NRV, FMA>(&mut acc, ap, lda, bp, ldb, p);
+        kstep::<MR, NRV, FMA>(&mut acc, ap, lda, bp, ldb, p + 1);
+        kstep::<MR, NRV, FMA>(&mut acc, ap, lda, bp, ldb, p + 2);
+        kstep::<MR, NRV, FMA>(&mut acc, ap, lda, bp, ldb, p + 3);
+        p += 4;
+    }
+    while p < kc {
+        kstep::<MR, NRV, FMA>(&mut acc, ap, lda, bp, ldb, p);
+        p += 1;
+    }
+
+    if full {
+        for (i, row) in acc.iter().enumerate() {
+            for (jv, cell) in row.iter().enumerate() {
+                cell.store(c.lanes_ptr(i, jv * LANES));
+            }
+        }
+    } else {
+        for (i, row) in acc.iter().enumerate().take(eff_rows) {
+            for (jv, cell) in row.iter().enumerate() {
+                if jv * LANES >= eff_cols {
+                    break;
+                }
+                let lane = cell.to_array();
+                for (l, &v) in lane.iter().enumerate() {
+                    let j = jv * LANES + l;
+                    if j < eff_cols {
+                        c.set(i, j, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Baseline build: whatever vector ISA the compile target guarantees
+/// (NEON on aarch64, SSE2 on x86_64, the array fallback elsewhere).
+#[allow(clippy::too_many_arguments)]
+fn kernel_base<const MR: usize, const NRV: usize>(
+    kc: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: CTile,
+    accumulate: bool,
+    eff_rows: usize,
+    eff_cols: usize,
+) {
+    // SAFETY: packing contract (see `kernel_body`); FMA=false needs no
+    // extra target features.
+    unsafe { kernel_body::<MR, NRV, false>(kc, a, lda, b, ldb, c, accumulate, eff_rows, eff_cols) }
+}
+
+/// FMA build: the whole body is re-monomorphized under
+/// `target_feature(enable = "fma")` so `_mm_fmadd_ps` inlines into the
+/// main loop.
+///
+/// # Safety
+/// Host must support FMA — only reachable via [`micro_kernel_simd`]'s
+/// [`SimdBackend::X86Fma`] arm, which is gated on runtime detection.
+#[cfg(simd_x86)]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "fma")]
+unsafe fn kernel_x86_fma<const MR: usize, const NRV: usize>(
+    kc: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: CTile,
+    accumulate: bool,
+    eff_rows: usize,
+    eff_cols: usize,
+) {
+    kernel_body::<MR, NRV, true>(kc, a, lda, b, ldb, c, accumulate, eff_rows, eff_cols)
+}
+
+/// The dispatched SIMD micro-kernel:
+/// `C[0..eff_rows][0..eff_cols] (+)= A[0..MR][0..kc] · B[0..kc][0..NRV*4]`.
+///
+/// Drop-in replacement for the scalar reference kernel (same contract as
+/// [`crate::native::micro_kernel_ref`], with `NR` expressed as `NRV`
+/// vector registers). The backend probe is one cached atomic load per
+/// call — noise next to the `2·MR·NRV·4·kc` flops it dispatches.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn micro_kernel_simd<const MR: usize, const NRV: usize>(
+    kc: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: CTile,
+    accumulate: bool,
+    eff_rows: usize,
+    eff_cols: usize,
+) {
+    match SimdBackend::detect() {
+        #[cfg(simd_x86)]
+        // SAFETY: the detect() probe confirmed FMA on this host.
+        SimdBackend::X86Fma => unsafe {
+            kernel_x86_fma::<MR, NRV>(kc, a, lda, b, ldb, c, accumulate, eff_rows, eff_cols)
+        },
+        _ => kernel_base::<MR, NRV>(kc, a, lda, b, ldb, c, accumulate, eff_rows, eff_cols),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::micro_kernel_ref;
+
+    fn data(len: usize, seed: u32) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 16) as f32 / 8192.0 - 4.0
+            })
+            .collect()
+    }
+
+    fn run_pair<const MR: usize, const NRV: usize, const NR: usize>(
+        kc: usize,
+        accumulate: bool,
+        eff_rows: usize,
+        eff_cols: usize,
+    ) {
+        let lda = kc + 8;
+        let a = data(MR * lda, 1);
+        let ldb = NR + 4;
+        let b = data((kc + 2) * ldb, 2);
+        let c0 = data(MR * NR, 3);
+        let mut c_simd = c0.clone();
+        let mut c_ref = c0.clone();
+        let t_simd = unsafe { CTile::new(c_simd.as_mut_ptr(), NR, c_simd.len()) };
+        let t_ref = unsafe { CTile::new(c_ref.as_mut_ptr(), NR, c_ref.len()) };
+        micro_kernel_simd::<MR, NRV>(kc, &a, lda, &b, ldb, t_simd, accumulate, eff_rows, eff_cols);
+        micro_kernel_ref::<MR, NR>(kc, &a, lda, &b, ldb, t_ref, accumulate, eff_rows, eff_cols);
+        for (i, (&got, &want)) in c_simd.iter().zip(&c_ref).enumerate() {
+            let tol = if SimdBackend::detect().fused() { 0.0 } else { 1e-3 * want.abs().max(1.0) };
+            assert!(
+                (got - want).abs() <= tol,
+                "{MR}x{NR} kc={kc} acc={accumulate} eff=({eff_rows},{eff_cols}) \
+                 C[{i}]: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_tiles_match_reference() {
+        for kc in [1, 3, 4, 7, 17, 64] {
+            run_pair::<8, 2, 8>(kc, false, 8, 8);
+            run_pair::<5, 4, 16>(kc, true, 5, 16);
+            run_pair::<4, 5, 20>(kc, true, 4, 20);
+            run_pair::<1, 7, 28>(kc, false, 1, 28);
+        }
+    }
+
+    #[test]
+    fn edge_tiles_match_reference() {
+        for (er, ec) in [(1, 1), (3, 5), (8, 7), (2, 8), (7, 3)] {
+            run_pair::<8, 2, 8>(13, true, er, ec);
+        }
+        run_pair::<6, 3, 12>(9, false, 4, 10);
+        run_pair::<5, 4, 16>(21, true, 5, 13);
+    }
+
+    #[test]
+    fn edge_stores_leave_rest_of_c_untouched() {
+        let kc = 4;
+        let a = vec![1.0f32; 5 * (kc + 8)];
+        let b = vec![1.0f32; (kc + 2) * 16];
+        let mut c = vec![7.0f32; 5 * 16];
+        let tile = unsafe { CTile::new(c.as_mut_ptr(), 16, c.len()) };
+        micro_kernel_simd::<5, 4>(kc, &a, kc + 8, &b, 16, tile, false, 2, 3);
+        assert_eq!(c[0], kc as f32);
+        assert_eq!(c[2], kc as f32);
+        assert_eq!(c[3], 7.0, "col 3 out of eff_cols must be untouched");
+        assert_eq!(c[2 * 16], 7.0, "row 2 out of eff_rows must be untouched");
+    }
+
+    #[test]
+    fn zero_kc_only_handles_accumulate() {
+        let a = vec![0.0f32; 8];
+        let b = vec![0.0f32; 8];
+        let mut c = vec![3.0f32; 2 * 4];
+        let tile = unsafe { CTile::new(c.as_mut_ptr(), 4, c.len()) };
+        micro_kernel_simd::<2, 1>(0, &a, 4, &b, 4, tile, false, 2, 4);
+        assert!(c.iter().all(|&v| v == 0.0), "kc=0 without accumulate zeroes C");
+    }
+}

@@ -35,22 +35,30 @@
 //! * [`packing`] — operand packing (`none` / `offline` / `online`) with the
 //!   generated kernels' padding contract, plus the panel buffer pool and
 //!   pack-call counters;
-//! * [`native`] — portable-Rust micro-kernels (monomorphized for every
-//!   Table II shape) and the panel-cache block driver: every operand
-//!   panel packed exactly once per GEMM, blocks drained from an atomic
-//!   work queue by crossbeam scoped threads (the K dimension is never
-//!   parallelized, matching the TVM limitation the paper reports in
-//!   §V-C);
+//! * [`simd`] — the explicit SIMD lane layer: a 4-lane `f32` vector
+//!   over NEON (aarch64), SSE2/FMA (x86_64, FMA runtime-detected) or a
+//!   portable array fallback, plus the cached backend probe;
+//! * [`kernels`] — the vector micro-kernels built on it: `(m_r, n̄_r)`
+//!   register tiles of `F32x4` accumulators with a 4×-unrolled FMA main
+//!   loop, full-tile fast path and masked edge path;
+//! * [`native`] — the kernel dispatch table (monomorphized for every
+//!   Table II shape, scalar reference retained as oracle/baseline) and
+//!   the panel-cache block driver: every operand panel packed exactly
+//!   once per GEMM, blocks drained from an atomic work queue by
+//!   crossbeam scoped threads (the K dimension is never parallelized,
+//!   matching the TVM limitation the paper reports in §V-C);
 //! * [`simexec`] — the simulated backend: executes the generated virtual-ISA
 //!   kernels block-by-block on the pipeline model, memoizing per-block
 //!   cycle counts, and composes multi-core makespans.
 
 pub mod batch;
 pub mod engine;
+pub mod kernels;
 pub mod native;
 pub mod offline;
 pub mod packing;
 pub mod plan;
+pub mod simd;
 pub mod simexec;
 pub mod transpose;
 

@@ -1,11 +1,16 @@
-//! Native (host) execution backend: portable-Rust micro-kernels and the
+//! Native (host) execution backend: explicit-SIMD micro-kernels and the
 //! threaded block driver.
 //!
-//! The micro-kernels are monomorphized over `(m_r, n_r)` for every shape in
-//! the Table II menu — the compiler keeps the `m_r × n_r` accumulator panel
-//! in registers and auto-vectorizes the inner loop, which is the portable
-//! equivalent of the generated NEON kernels. The block driver walks the
-//! same [`ExecutionPlan`] the simulated backend uses.
+//! The micro-kernels are monomorphized over `(m_r, n̄_r)` for every shape
+//! in the Table II menu and execute as explicit `(m_r, n̄_r)` register
+//! tiles of [`crate::simd::F32x4`] accumulators — NEON on aarch64,
+//! SSE2/FMA (runtime-detected) on x86_64, a portable array fallback
+//! elsewhere; see [`crate::kernels`]. The scalar reference kernel
+//! ([`micro_kernel_ref`]) is kept as the correctness baseline every
+//! vector kernel is tested and benchmarked against
+//! ([`run_placement_ref`] drives it through the same dispatch table).
+//! The block driver walks the same [`ExecutionPlan`] the simulated
+//! backend uses.
 //!
 //! Threading follows the paper's §V-C constraint: cache blocks of `C` are
 //! distributed over crossbeam scoped threads; the K dimension is **never**
@@ -76,8 +81,25 @@ impl CTile {
         CTile { ptr: unsafe { self.ptr.add(off) }, ldc: self.ldc, len: self.len - off }
     }
 
+    /// Pointer to cell `(i, j)` with room for a vector of [`LANES`]
+    /// elements — the vector kernels' load/store access.
+    ///
+    /// # Safety
+    /// The 4 cells starting at `(i, j)` must be inside this handle's
+    /// allocation and owned by the calling thread.
     #[inline(always)]
-    fn get(&self, i: usize, j: usize) -> f32 {
+    pub(crate) unsafe fn lanes_ptr(&self, i: usize, j: usize) -> *mut f32 {
+        debug_assert!(
+            i * self.ldc + j + crate::simd::LANES <= self.len,
+            "CTile vector access ({i},{j}) ldc={} beyond len {}",
+            self.ldc,
+            self.len
+        );
+        self.ptr.add(i * self.ldc + j)
+    }
+
+    #[inline(always)]
+    pub(crate) fn get(&self, i: usize, j: usize) -> f32 {
         debug_assert!(
             i * self.ldc + j < self.len,
             "CTile read ({i},{j}) ldc={} beyond len {}",
@@ -88,7 +110,7 @@ impl CTile {
     }
 
     #[inline(always)]
-    fn set(&self, i: usize, j: usize, v: f32) {
+    pub(crate) fn set(&self, i: usize, j: usize, v: f32) {
         debug_assert!(
             i * self.ldc + j < self.len,
             "CTile write ({i},{j}) ldc={} beyond len {}",
@@ -99,15 +121,21 @@ impl CTile {
     }
 }
 
-/// Generic register-tiled micro-kernel:
+/// The scalar reference micro-kernel:
 /// `C[0..eff_rows][0..eff_cols] (+)= A[0..MR][0..kc] · B[0..kc][0..NR]`.
 ///
 /// `a` is `MR` rows with leading dimension `lda`; `b` is `kc` rows with
 /// leading dimension `ldb` (and at least `NR` readable elements per row,
 /// per the packing contract).
+///
+/// This is the seed's auto-vectorized triple loop, kept verbatim as the
+/// semantics the SIMD kernels ([`crate::kernels`]) are verified against:
+/// per accumulator it sums `a[i][p]·b[p][j]` in ascending-`p` order with
+/// fused multiply-adds, so fused vector backends must match it
+/// **bit-for-bit** and unfused ones within rounding tolerance.
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
-fn micro_kernel<const MR: usize, const NR: usize>(
+pub fn micro_kernel_ref<const MR: usize, const NR: usize>(
     kc: usize,
     a: &[f32],
     lda: usize,
@@ -142,8 +170,19 @@ fn micro_kernel<const MR: usize, const NR: usize>(
     }
 }
 
+/// Largest tile the dynamic fallback computes in one piece — the max
+/// feasible Table II tile (`m_r ≤ 8`, `n̄_r ≤ 7` ⇒ `n_r ≤ 28` lanes).
+const DYN_MAX_MR: usize = 8;
+const DYN_MAX_NR: usize = 28;
+
 /// Fallback kernel for shapes outside the monomorphized menu (e.g. wide
 /// SVE tiles executed natively).
+///
+/// The accumulator is a fixed-size stack buffer bounded by the max
+/// feasible tile (8×28) — no allocation per call. Wider/taller requests
+/// (SVE tiles reach 8×112) are computed in independent 8×28 sub-tiles of
+/// `C`, which is exact: sub-tiles of the register tile share no cells
+/// and each still sums its `k` products in ascending order.
 #[allow(clippy::too_many_arguments)]
 fn micro_kernel_dyn(
     mr: usize,
@@ -158,34 +197,136 @@ fn micro_kernel_dyn(
     eff_rows: usize,
     eff_cols: usize,
 ) {
-    let mut acc = vec![0.0f32; mr * nr];
+    if mr > DYN_MAX_MR || nr > DYN_MAX_NR {
+        for r0 in (0..mr).step_by(DYN_MAX_MR) {
+            let sub_mr = (mr - r0).min(DYN_MAX_MR);
+            let sub_er = eff_rows.saturating_sub(r0).min(sub_mr);
+            for c0 in (0..nr).step_by(DYN_MAX_NR) {
+                let sub_nr = (nr - c0).min(DYN_MAX_NR);
+                let sub_ec = eff_cols.saturating_sub(c0).min(sub_nr);
+                if sub_er == 0 || sub_ec == 0 {
+                    continue;
+                }
+                // SAFETY: the sub-tile stays inside this placement's
+                // effective region, owned by the calling thread.
+                let sub_c = unsafe { c.offset(r0, c0) };
+                micro_kernel_dyn(
+                    sub_mr,
+                    sub_nr,
+                    kc,
+                    &a[r0 * lda..],
+                    lda,
+                    &b[c0..],
+                    ldb,
+                    sub_c,
+                    accumulate,
+                    sub_er,
+                    sub_ec,
+                );
+            }
+        }
+        return;
+    }
+    let mut acc = [[0.0f32; DYN_MAX_NR]; DYN_MAX_MR];
     if accumulate {
-        for i in 0..eff_rows {
-            for j in 0..eff_cols {
-                acc[i * nr + j] = c.get(i, j);
+        for (i, row) in acc.iter_mut().enumerate().take(eff_rows) {
+            for (j, v) in row.iter_mut().enumerate().take(eff_cols) {
+                *v = c.get(i, j);
             }
         }
     }
     for p in 0..kc {
-        for i in 0..mr {
+        let brow = &b[p * ldb..p * ldb + nr];
+        for (i, row) in acc.iter_mut().enumerate().take(mr) {
             let aip = a[i * lda + p];
-            for j in 0..nr {
-                acc[i * nr + j] += aip * b[p * ldb + j];
+            for (j, v) in row.iter_mut().take(nr).enumerate() {
+                *v += aip * brow[j];
             }
         }
     }
-    for i in 0..eff_rows {
-        for j in 0..eff_cols {
-            c.set(i, j, acc[i * nr + j]);
+    for (i, row) in acc.iter().enumerate().take(eff_rows) {
+        for (j, v) in row.iter().enumerate().take(eff_cols) {
+            c.set(i, j, *v);
         }
     }
 }
 
-/// Dispatch a placement to the right monomorphized kernel. `a`/`b` are the
-/// packed block panels; `c` is a handle at the *block's* (0,0) with the
-/// full matrix stride.
+/// The monomorphized `(m_r, n_r)` kernel menu — the feasible Table II
+/// shapes (`m_r ≤ 8`, `n̄_r ≤ 7`). Shapes outside this list fall back to
+/// [`micro_kernel_dyn`]. Exposed so benches and tests can sweep exactly
+/// the dispatched menu.
+pub const KERNEL_MENU: &[(usize, usize)] = &[
+    (1, 4),
+    (1, 8),
+    (1, 12),
+    (1, 16),
+    (1, 20),
+    (1, 24),
+    (1, 28),
+    (2, 4),
+    (2, 8),
+    (2, 12),
+    (2, 16),
+    (2, 20),
+    (2, 24),
+    (2, 28),
+    (3, 4),
+    (3, 8),
+    (3, 12),
+    (3, 16),
+    (3, 20),
+    (3, 24),
+    (3, 28),
+    (4, 4),
+    (4, 8),
+    (4, 12),
+    (4, 16),
+    (4, 20),
+    (5, 4),
+    (5, 8),
+    (5, 12),
+    (5, 16),
+    (6, 4),
+    (6, 8),
+    (6, 12),
+    (7, 4),
+    (7, 8),
+    (7, 12),
+    (8, 4),
+    (8, 8),
+];
+
+/// One menu entry, monomorphized over `(MR, NRV, NR)`: the SIMD kernel
+/// ([`crate::kernels::micro_kernel_simd`]) or the scalar reference
+/// ([`micro_kernel_ref`]), selected by `reference`. Both are reached
+/// through the same table so benches compare like against like.
 #[allow(clippy::too_many_arguments)]
-pub fn run_placement(
+#[inline(always)]
+fn exec_tile<const MR: usize, const NRV: usize, const NR: usize>(
+    reference: bool,
+    kc: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: CTile,
+    accumulate: bool,
+    eff_rows: usize,
+    eff_cols: usize,
+) {
+    if reference {
+        micro_kernel_ref::<MR, NR>(kc, a, lda, b, ldb, c, accumulate, eff_rows, eff_cols);
+    } else {
+        crate::kernels::micro_kernel_simd::<MR, NRV>(
+            kc, a, lda, b, ldb, c, accumulate, eff_rows, eff_cols,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn run_placement_impl(
+    reference: bool,
     p: &TilePlacement,
     kc: usize,
     a_panel: &[f32],
@@ -205,8 +346,8 @@ pub fn run_placement(
         ($(($mr:literal, $nrv:literal, $nr:literal)),* $(,)?) => {
             match (p.tile.mr, nrv) {
                 $(
-                    ($mr, $nrv) => micro_kernel::<$mr, $nr>(
-                        kc, a, lda, b, ldb, c, accumulate, p.eff_rows, p.eff_cols,
+                    ($mr, $nrv) => exec_tile::<$mr, $nrv, $nr>(
+                        reference, kc, a, lda, b, ldb, c, accumulate, p.eff_rows, p.eff_cols,
                     ),
                 )*
                 _ => micro_kernel_dyn(
@@ -216,7 +357,8 @@ pub fn run_placement(
             }
         };
     }
-    // The Table II menu (feasible m_r ≤ 8, n̄_r ≤ 7 shapes).
+    // The Table II menu (feasible m_r ≤ 8, n̄_r ≤ 7 shapes) — keep in
+    // sync with [`KERNEL_MENU`] (pinned by the `dispatch_menu` test).
     dispatch!(
         (1, 1, 4),
         (1, 2, 8),
@@ -257,6 +399,39 @@ pub fn run_placement(
         (8, 1, 4),
         (8, 2, 8),
     );
+}
+
+/// Dispatch a placement to the right monomorphized SIMD kernel. `a`/`b`
+/// are the packed block panels; `c` is a handle at the *block's* (0,0)
+/// with the full matrix stride.
+#[allow(clippy::too_many_arguments)]
+pub fn run_placement(
+    p: &TilePlacement,
+    kc: usize,
+    a_panel: &[f32],
+    lda: usize,
+    b_panel: &[f32],
+    ldb: usize,
+    c_block: CTile,
+    accumulate: bool,
+) {
+    run_placement_impl(false, p, kc, a_panel, lda, b_panel, ldb, c_block, accumulate);
+}
+
+/// [`run_placement`] routed to the scalar reference kernels — the
+/// benchmarking baseline and correctness oracle for the SIMD menu.
+#[allow(clippy::too_many_arguments)]
+pub fn run_placement_ref(
+    p: &TilePlacement,
+    kc: usize,
+    a_panel: &[f32],
+    lda: usize,
+    b_panel: &[f32],
+    ldb: usize,
+    c_block: CTile,
+    accumulate: bool,
+) {
+    run_placement_impl(true, p, kc, a_panel, lda, b_panel, ldb, c_block, accumulate);
 }
 
 /// The B-panel source for the cached block driver: packed in this call,
@@ -654,6 +829,48 @@ mod tests {
     }
 
     #[test]
+    fn kernel_menu_is_the_feasible_table_ii_menu() {
+        // KERNEL_MENU (and the dispatch macro that must mirror it) is
+        // exactly the feasible Table II menu for σ_lane = 4.
+        let want: Vec<(usize, usize)> =
+            autogemm_kernelgen::tiles::table_menu(4).iter().map(|t| (t.mr, t.nr)).collect();
+        let mut menu = KERNEL_MENU.to_vec();
+        let mut want_sorted = want.clone();
+        menu.sort_unstable();
+        want_sorted.sort_unstable();
+        assert_eq!(menu, want_sorted, "KERNEL_MENU diverged from tiles::table_menu(4)");
+    }
+
+    #[test]
+    fn dyn_kernel_chunks_oversized_tiles() {
+        // An SVE-wide 8×112 tile must agree with the naive product even
+        // though it exceeds the 8×28 stack accumulator.
+        let (mr, nr, kc) = (8usize, 112usize, 9usize);
+        let lda = kc + 8;
+        let a: Vec<f32> = (0..mr * lda).map(|i| ((i * 13 + 5) % 23) as f32 - 11.0).collect();
+        let ldb = nr + 4;
+        let b: Vec<f32> = (0..(kc + 2) * ldb).map(|i| ((i * 7 + 2) % 19) as f32 - 9.0).collect();
+        let (eff_rows, eff_cols) = (7, 101);
+        let mut c = vec![1.0f32; mr * nr];
+        let tile = unsafe { CTile::new(c.as_mut_ptr(), nr, c.len()) };
+        micro_kernel_dyn(mr, nr, kc, &a, lda, &b, ldb, tile, true, eff_rows, eff_cols);
+        for i in 0..mr {
+            for j in 0..nr {
+                let want = if i < eff_rows && j < eff_cols {
+                    1.0 + (0..kc).map(|p| a[i * lda + p] * b[p * ldb + j]).sum::<f32>()
+                } else {
+                    1.0
+                };
+                assert!(
+                    (c[i * nr + j] - want).abs() <= 1e-3 * want.abs().max(1.0),
+                    "C[{i}][{j}] = {} want {want}",
+                    c[i * nr + j]
+                );
+            }
+        }
+    }
+
+    #[test]
     fn micro_kernel_edge_stores_respect_bounds() {
         // 2 eff rows / 3 eff cols of a 5x16 kernel must leave the rest of C
         // untouched.
@@ -662,7 +879,7 @@ mod tests {
         let b = vec![1.0f32; (kc + 2) * 16];
         let mut c = vec![7.0f32; 5 * 16];
         let tile = unsafe { CTile::new(c.as_mut_ptr(), 16, c.len()) };
-        micro_kernel::<5, 16>(kc, &a, kc + 8, &b, 16, tile, false, 2, 3);
+        micro_kernel_ref::<5, 16>(kc, &a, kc + 8, &b, 16, tile, false, 2, 3);
         assert_eq!(c[0], kc as f32);
         assert_eq!(c[2], kc as f32);
         assert_eq!(c[3], 7.0, "col 3 out of eff_cols must be untouched");

@@ -6,14 +6,119 @@
 //! row-major `k_c × n_c` with two zeroed trailing rows. These paddings
 //! absorb the faithful Listing-1 kernels' trailing stream loads (see
 //! `autogemm-kernelgen`'s module docs).
+//!
+//! Every panel buffer ([`AlignedVec`]) is 64-byte aligned at its base —
+//! the SIMD kernels' load contract (asserted in debug builds): vector
+//! loads of a panel's first row never split a cache line, and panel rows
+//! stay line-aligned whenever the leading dimension is a multiple of 16
+//! elements.
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Alignment (bytes) of every panel buffer: one cache line, a multiple
+/// of the 16-byte vector width — the SIMD kernels' load contract.
+pub const PANEL_ALIGN: usize = 64;
+
+/// Storage unit of [`AlignedVec`]: 16 `f32`s forced to cache-line
+/// alignment, so a `Vec` of them starts 64-byte aligned.
+#[derive(Debug, Clone, Copy)]
+#[repr(C, align(64))]
+struct AlignedChunk([f32; 16]);
+
+const CHUNK_LANES: usize = 16;
+const ZERO_CHUNK: AlignedChunk = AlignedChunk([0.0; CHUNK_LANES]);
+
+/// A growable `f32` buffer whose base address is always
+/// [`PANEL_ALIGN`]-byte aligned — the backing store of every packed
+/// panel, so vector loads of panel rows never split a cache line at the
+/// panel base. Dereferences to `[f32]`; only the small `Vec`-compatible
+/// surface the packing paths use is implemented.
+#[derive(Debug, Clone, Default)]
+pub struct AlignedVec {
+    chunks: Vec<AlignedChunk>,
+    len: usize,
+}
+
+impl AlignedVec {
+    pub fn new() -> Self {
+        AlignedVec::default()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element capacity of the current allocation.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.chunks.capacity() * CHUNK_LANES
+    }
+
+    /// Drop the elements, keeping the allocation (like `Vec::clear`).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Resize to `new_len`, filling any newly exposed elements with
+    /// `val` (like `Vec::resize`; `clear()` + `resize(n, 0.0)` therefore
+    /// zero-fills without reallocating when capacity suffices).
+    pub fn resize(&mut self, new_len: usize, val: f32) {
+        let chunks = new_len.div_ceil(CHUNK_LANES);
+        if self.chunks.len() < chunks {
+            self.chunks.resize(chunks, ZERO_CHUNK);
+        }
+        if new_len > self.len {
+            let (old_len, ptr) = (self.len, self.as_mut_ptr());
+            // SAFETY: capacity covers new_len; elements are plain f32.
+            unsafe { std::slice::from_raw_parts_mut(ptr.add(old_len), new_len - old_len) }
+                .fill(val);
+        }
+        self.len = new_len;
+    }
+
+    #[inline]
+    pub fn as_ptr(&self) -> *const f32 {
+        self.chunks.as_ptr() as *const f32
+    }
+
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut f32 {
+        self.chunks.as_mut_ptr() as *mut f32
+    }
+}
+
+impl std::ops::Deref for AlignedVec {
+    type Target = [f32];
+
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        // SAFETY: `len` elements are initialized and f32's alignment is
+        // below the chunk alignment.
+        unsafe { std::slice::from_raw_parts(self.as_ptr(), self.len) }
+    }
+}
+
+impl std::ops::DerefMut for AlignedVec {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f32] {
+        let (len, ptr) = (self.len, self.as_mut_ptr());
+        // SAFETY: as for `Deref`.
+        unsafe { std::slice::from_raw_parts_mut(ptr, len) }
+    }
+}
+
 /// A packed operand block plus its layout.
 #[derive(Debug, Clone, Default)]
 pub struct PackedBlock {
-    pub data: Vec<f32>,
+    pub data: AlignedVec,
     /// Leading dimension in elements.
     pub ld: usize,
     pub rows: usize,
@@ -99,6 +204,11 @@ pub fn pack_block_into(
     // reallocating when capacity is already sufficient.
     dst.data.clear();
     dst.data.resize(len, 0.0);
+    debug_assert_eq!(
+        dst.data.as_ptr() as usize % PANEL_ALIGN,
+        0,
+        "packed panel base must be {PANEL_ALIGN}-byte aligned"
+    );
     for r in 0..rows {
         let src_off = (row0 + r) * src_ld + col0;
         dst.data[r * ld..r * ld + cols].copy_from_slice(&src[src_off..src_off + cols]);
@@ -185,7 +295,7 @@ pub fn pack_b_into(
 /// worker threads do not contend on it.
 #[derive(Debug, Default)]
 pub struct PanelPool {
-    free: Mutex<Vec<Vec<f32>>>,
+    free: Mutex<Vec<AlignedVec>>,
 }
 
 impl PanelPool {
@@ -209,7 +319,7 @@ impl PanelPool {
     /// Return blocks' buffers to the pool (layout metadata is dropped;
     /// only the allocations are kept).
     pub fn release_blocks(&self, blocks: impl IntoIterator<Item = PackedBlock>) {
-        let mut bufs: Vec<Vec<f32>> = blocks.into_iter().map(|b| b.data).collect();
+        let mut bufs: Vec<AlignedVec> = blocks.into_iter().map(|b| b.data).collect();
         self.free.lock().append(&mut bufs);
     }
 
@@ -312,6 +422,42 @@ mod tests {
     }
 
     #[test]
+    fn aligned_vec_resize_matches_vec_semantics() {
+        let mut v = AlignedVec::new();
+        v.resize(5, 1.5);
+        assert_eq!(&v[..], &[1.5; 5]);
+        // Shrink then regrow: the region beyond the old len refills.
+        v.resize(2, 0.0);
+        v.resize(6, 2.0);
+        assert_eq!(&v[..], &[1.5, 1.5, 2.0, 2.0, 2.0, 2.0]);
+        // clear + resize zero-fills everything without reallocating.
+        let cap = v.capacity();
+        let ptr = v.as_ptr();
+        v.clear();
+        v.resize(6, 0.0);
+        assert_eq!(&v[..], &[0.0; 6]);
+        assert_eq!(v.capacity(), cap);
+        assert_eq!(v.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn panel_buffers_are_cache_line_aligned() {
+        let src = vec![1.0f32; 64];
+        let p = pack_a(&src, 8, 0, 0, 4, 4, 4);
+        assert_eq!(p.data.as_ptr() as usize % PANEL_ALIGN, 0);
+        let pool = PanelPool::new();
+        let mut blocks = pool.acquire_blocks(3);
+        for b in &mut blocks {
+            b.data.resize(100, 0.0);
+            assert_eq!(b.data.as_ptr() as usize % PANEL_ALIGN, 0);
+        }
+        pool.release_blocks(blocks);
+        for b in &pool.acquire_blocks(3) {
+            assert_eq!(b.data.as_ptr() as usize % PANEL_ALIGN, 0, "pooled buffer stays aligned");
+        }
+    }
+
+    #[test]
     fn pack_counters_count_a_and_b() {
         // NOTE: counters are process-global; this test only checks they
         // move, the exact-count regression guard lives in its own test
@@ -343,7 +489,8 @@ pub fn pack_block_t(
     pad_rows: usize,
 ) -> PackedBlock {
     let ld = cols + pad_cols;
-    let mut data = vec![0.0f32; (rows + pad_rows) * ld];
+    let mut data = AlignedVec::new();
+    data.resize((rows + pad_rows) * ld, 0.0);
     for r in 0..rows {
         for c in 0..cols {
             data[r * ld + c] = src[(col0 + c) * src_ld + (row0 + r)];
