@@ -30,8 +30,21 @@ echo "== scalar-fallback SIMD config =="
 cargo test -q -p autogemm --features force-scalar
 cargo test -q -p autogemm-repro --features autogemm/force-scalar --test simd_kernels
 
+echo "== telemetry config =="
+# Tier-1 runs with the telemetry feature off (timer API compiled to
+# no-ops); this config arms the clocks and session hooks and re-runs the
+# core suite plus the integration guards that assert live timings and
+# traced-vs-untraced bit-identity.
+cargo test -q -p autogemm --features telemetry
+cargo test -q -p autogemm-repro --features telemetry --test telemetry --test pack_counts
+
 echo "== microkernel bench smoke =="
 cargo run --release -p autogemm-bench --bin microkernel -- --smoke
+
+echo "== gemmtrace bench smoke =="
+# Runs the traced shape sweep's cube subset and re-parses every emitted
+# report through the GemmReport schema-version guard.
+cargo run --release -p autogemm-bench --features telemetry --bin gemmtrace -- --smoke
 
 echo "== rustfmt =="
 if cargo fmt --version >/dev/null 2>&1; then

@@ -146,6 +146,28 @@ impl AutoGemm {
         native::gemm_with_plan_pooled(&plan, a, b, c, threads, &self.panel_pool);
     }
 
+    /// [`Self::gemm_threaded`] with per-call telemetry: runs the same
+    /// plan through the traced panel-cache driver and returns the
+    /// [`crate::GemmReport`] — phase breakdown, pack stats, per-thread
+    /// busy profiles and the dispatched kernel-shape histogram. Output
+    /// `C` is bit-identical to the untraced call; without the
+    /// `telemetry` feature the report's timings and counters are zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_traced(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        threads: usize,
+    ) -> crate::GemmReport {
+        let plan =
+            if threads > 1 { self.plan_multicore(m, n, k, threads) } else { self.plan(m, n, k) };
+        native::gemm_with_plan_traced(&plan, a, b, c, threads, &self.panel_pool)
+    }
+
     /// Drop the engine's pooled panel buffers (memory release valve after
     /// a large shape has been through the native path).
     pub fn clear_panel_pool(&self) {
@@ -307,6 +329,23 @@ mod tests {
             multi.seconds,
             single.seconds
         );
+    }
+
+    #[test]
+    fn traced_engine_call_matches_untraced_bitwise() {
+        let engine = AutoGemm::new(ChipSpec::graviton2());
+        let (m, n, k) = (31, 44, 29);
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 - 2.0).collect();
+        for threads in [1usize, 3] {
+            let mut c_plain = vec![0.0f32; m * n];
+            engine.gemm_threaded(m, n, k, &a, &b, &mut c_plain, threads);
+            let mut c_traced = vec![0.0f32; m * n];
+            let report = engine.gemm_traced(m, n, k, &a, &b, &mut c_traced, threads);
+            assert_eq!(c_traced, c_plain, "t{threads}: traced front door diverged");
+            assert_eq!((report.m, report.n, report.k), (m, n, k));
+            assert!(!report.thread_profiles.is_empty());
+        }
     }
 
     #[test]

@@ -49,7 +49,13 @@
 //!   matching the TVM limitation the paper reports in §V-C);
 //! * [`simexec`] — the simulated backend: executes the generated virtual-ISA
 //!   kernels block-by-block on the pipeline model, memoizing per-block
-//!   cycle counts, and composes multi-core makespans.
+//!   cycle counts, and composes multi-core makespans;
+//! * [`telemetry`] — the per-GEMM observability layer: scoped wall/cycle
+//!   timers behind the `telemetry` feature, per-phase and per-thread
+//!   profiles from the traced drivers, the dispatched kernel-shape
+//!   histogram, and versioned-JSON [`telemetry::GemmReport`]s joined
+//!   against the perfmodel projection (the measured-vs-model feedback
+//!   loop every perf PR cites).
 
 pub mod batch;
 pub mod engine;
@@ -60,6 +66,7 @@ pub mod packing;
 pub mod plan;
 pub mod simd;
 pub mod simexec;
+pub mod telemetry;
 pub mod transpose;
 
 pub use batch::{gemm_batch, GemmBatch};
@@ -67,4 +74,5 @@ pub use engine::{AutoGemm, SimGemmReport};
 pub use offline::{gemm_prepacked, gemm_prepacked_pooled, PackedB};
 pub use packing::PanelPool;
 pub use plan::ExecutionPlan;
+pub use telemetry::GemmReport;
 pub use transpose::{gemm_op, sgemm, Op};

@@ -40,8 +40,13 @@
 use crate::offline::PackedB;
 use crate::packing::{pack_a, pack_a_into, pack_b, pack_b_into, PackedBlock, PanelPool};
 use crate::plan::ExecutionPlan;
+use crate::telemetry::clock::Stamp;
+use crate::telemetry::report::{GemmReport, PackStats, PhaseProfile, PhaseTimes, ThreadProfile};
+use crate::telemetry::session::{self, Session};
 use autogemm_tiling::TilePlacement;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A writable view of one `C` micro-tile: base pointer at the tile's
 /// `(0,0)` element plus the row stride.
@@ -227,6 +232,10 @@ fn micro_kernel_dyn(
         }
         return;
     }
+    // Telemetry: count the leaf shape actually executed — oversized
+    // requests above contribute one record per chunked sub-dispatch, so
+    // histograms never under-count dispatched tiles.
+    session::record_tile(mr, nr);
     let mut acc = [[0.0f32; DYN_MAX_NR]; DYN_MAX_MR];
     if accumulate {
         for (i, row) in acc.iter_mut().enumerate().take(eff_rows) {
@@ -314,6 +323,7 @@ fn exec_tile<const MR: usize, const NRV: usize, const NR: usize>(
     eff_rows: usize,
     eff_cols: usize,
 ) {
+    session::record_tile(MR, NR);
     if reference {
         micro_kernel_ref::<MR, NR>(kc, a, lda, b, ldb, c, accumulate, eff_rows, eff_cols);
     } else {
@@ -499,6 +509,168 @@ pub fn gemm_with_plan_pooled(
     if let BPanels::Owned { panels, .. } = b_src {
         pool.release_blocks(panels);
     }
+}
+
+/// [`gemm_with_plan_pooled`] with per-call telemetry: returns a
+/// [`GemmReport`] carrying the phase breakdown (pack-A, pack-B, kernel,
+/// drain), pack counts/bytes, per-thread busy profiles from the work
+/// queue, and the kernel-shape histogram actually dispatched.
+///
+/// The numeric path is the cached driver's, executed in the same pack and
+/// accumulation order — outputs are bit-identical to
+/// [`gemm_with_plan_pooled`] whether or not the `telemetry` feature is
+/// enabled. With the feature disabled the report's timings and counters
+/// are all zero (the clock and session hooks compile to no-ops) but its
+/// structure — shape, grid, thread count — is still filled in.
+pub fn gemm_with_plan_traced(
+    plan: &ExecutionPlan,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+    pool: &PanelPool,
+) -> GemmReport {
+    let s = &plan.schedule;
+    let (m, n, k) = (s.m, s.n, s.k);
+    assert_eq!(a.len(), m * k, "A must be M*K");
+    assert_eq!(b.len(), k * n, "B must be K*N");
+    assert_eq!(c.len(), m * n, "C must be M*N");
+    let (tm, tn, tk) = plan.grid();
+
+    let sess = Arc::new(Session::new());
+    let t0 = Stamp::now();
+
+    let pa0 = Stamp::now();
+    let a_panels = {
+        let mut panels = pool.acquire_blocks(tm * tk);
+        pack_panels_parallel(&mut panels, threads, |idx, p| {
+            session::with_session(&sess, || {
+                let (bi, kb) = (idx / tk, idx % tk);
+                pack_a_into(p, a, s.k, bi * s.mc, kb * s.kc, s.mc, s.kc, plan.sigma_lane);
+            })
+        });
+        panels
+    };
+    let pack_a_t = pa0.elapsed();
+
+    let pb0 = Stamp::now();
+    let b_panels = {
+        let mut panels = pool.acquire_blocks(tk * tn);
+        pack_panels_parallel(&mut panels, threads, |idx, p| {
+            session::with_session(&sess, || {
+                let (kb, bj) = (idx / tn, idx % tn);
+                pack_b_into(p, b, n, kb * s.kc, bj * s.nc, s.kc, s.nc, plan.sigma_lane);
+            })
+        });
+        panels
+    };
+    let pack_b_t = pb0.elapsed();
+
+    let b_src = BPanels::Owned { panels: b_panels, tn };
+    let (thread_profiles, kernel, drain) =
+        run_blocks_traced(plan, &a_panels, &b_src, c, threads, &sess);
+
+    pool.release_blocks(a_panels);
+    if let BPanels::Owned { panels, .. } = b_src {
+        pool.release_blocks(panels);
+    }
+
+    let wall = t0.elapsed();
+    let stats = sess.take();
+    GemmReport {
+        m,
+        n,
+        k,
+        threads: thread_profiles.len(),
+        mc: s.mc,
+        nc: s.nc,
+        kc: s.kc,
+        wall,
+        phases: PhaseProfile { pack_a: pack_a_t, pack_b: pack_b_t, kernel, drain },
+        packs: PackStats {
+            a_packs: stats.a_packs,
+            b_packs: stats.b_packs,
+            a_bytes: stats.a_bytes,
+            b_bytes: stats.b_bytes,
+        },
+        tiles: stats.tile_counts(),
+        thread_profiles,
+        model: None,
+    }
+}
+
+/// The traced twin of [`run_blocks_cached`]: the same atomic-cursor drain
+/// in the same claim order, but each worker accumulates its block count
+/// and busy time into a [`ThreadProfile`] and stamps its finish so the
+/// idle tail (drain) can be charged per thread. Returns the sorted
+/// profiles, the wall/cycle span of the whole parallel section (the
+/// `kernel` phase), and the summed per-thread drain.
+fn run_blocks_traced(
+    plan: &ExecutionPlan,
+    a_panels: &[PackedBlock],
+    b_panels: &BPanels<'_>,
+    c: &mut [f32],
+    threads: usize,
+    sess: &Arc<Session>,
+) -> (Vec<ThreadProfile>, PhaseTimes, PhaseTimes) {
+    let s = &plan.schedule;
+    let (tm, tn, tk) = plan.grid();
+    let blocks = block_visit_order(&s.order, tm, tn);
+    let threads = threads.max(1).min(blocks.len().max(1));
+
+    // SAFETY: identical ownership argument to `run_blocks_cached` — each
+    // (bi, bj) block is claimed by exactly one thread via the cursor.
+    let c_root = unsafe { CTile::new(c.as_mut_ptr(), s.n, c.len()) };
+    let section0 = Stamp::now();
+    let mut finished: Vec<(ThreadProfile, Stamp)> = Vec::with_capacity(threads);
+    if threads == 1 {
+        let mut prof = ThreadProfile { thread: 0, ..ThreadProfile::default() };
+        session::with_session(sess, || {
+            for &(bi, bj) in &blocks {
+                let b0 = Stamp::now();
+                run_block_cached(plan, a_panels, b_panels, c_root, bi, bj, tk);
+                prof.busy += b0.elapsed();
+                prof.blocks += 1;
+            }
+        });
+        finished.push((prof, Stamp::now()));
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(ThreadProfile, Stamp)>> = Mutex::new(Vec::with_capacity(threads));
+        crossbeam::scope(|scope| {
+            for t in 0..threads {
+                let (blocks, cursor, collected) = (&blocks, &cursor, &collected);
+                scope.spawn(move |_| {
+                    let mut prof = ThreadProfile { thread: t, ..ThreadProfile::default() };
+                    session::with_session(sess, || loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(bi, bj)) = blocks.get(i) else { break };
+                        let b0 = Stamp::now();
+                        run_block_cached(plan, a_panels, b_panels, c_root, bi, bj, tk);
+                        prof.busy += b0.elapsed();
+                        prof.blocks += 1;
+                    });
+                    // One lock per worker lifetime — never on the block path.
+                    collected.lock().push((prof, Stamp::now()));
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        finished = collected.into_inner();
+        finished.sort_by_key(|(p, _)| p.thread);
+    }
+    let end = Stamp::now();
+    let kernel = section0.delta_to(end);
+    let mut drain_total = PhaseTimes::default();
+    let profiles = finished
+        .into_iter()
+        .map(|(mut p, f)| {
+            p.drain = f.delta_to(end);
+            drain_total += p.drain;
+            p
+        })
+        .collect();
+    (profiles, kernel, drain_total)
 }
 
 /// Pack all A panels of a plan (indexed `[bi * tk + kb]`) from `pool`
@@ -868,6 +1040,89 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn traced_driver_bit_identical_to_untraced() {
+        // The traced driver must be a pure observer: identical pack and
+        // accumulation order, so outputs match gemm_with_plan bit-for-bit
+        // with telemetry on or off.
+        let chip = ChipSpec::graviton2();
+        for (m, n, k, threads) in [(26, 36, 64, 1), (64, 196, 64, 3), (13, 20, 17, 2)] {
+            let sched = tune(m, n, k, &chip);
+            let plan = ExecutionPlan::from_schedule(sched, &chip);
+            let (a, b) = data(m, n, k);
+            let mut c_plain = vec![0.0f32; m * n];
+            gemm_with_plan(&plan, &a, &b, &mut c_plain, threads);
+            let pool = crate::packing::PanelPool::new();
+            let mut c_traced = vec![0.0f32; m * n];
+            let report = gemm_with_plan_traced(&plan, &a, &b, &mut c_traced, threads, &pool);
+            assert_eq!(c_traced, c_plain, "{m}x{n}x{k} t{threads} traced path diverged bitwise");
+            assert_eq!((report.m, report.n, report.k), (m, n, k));
+            assert!(report.threads >= 1 && report.threads <= threads.max(1));
+            let blocks: u64 = report.thread_profiles.iter().map(|p| p.blocks).sum();
+            let (tm, tn, _) = plan.grid();
+            assert_eq!(blocks as usize, tm * tn, "every grid block drained exactly once");
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn traced_report_counts_packs_and_tiles_exactly() {
+        let chip = ChipSpec::graviton2();
+        let (m, n, k) = (64, 196, 64);
+        let sched = tune(m, n, k, &chip);
+        let plan = ExecutionPlan::from_schedule(sched, &chip);
+        let (tm, tn, tk) = plan.grid();
+        let (a, b) = data(m, n, k);
+        let mut c = vec![0.0f32; m * n];
+        let pool = crate::packing::PanelPool::new();
+        let report = gemm_with_plan_traced(&plan, &a, &b, &mut c, 3, &pool);
+
+        // Panel-cache invariant: each A panel packed once (tm·tk), each B
+        // panel once (tk·tn) — the per-call session sees exactly those.
+        assert_eq!(report.packs.a_packs, (tm * tk) as u64);
+        assert_eq!(report.packs.b_packs, (tk * tn) as u64);
+        assert!(report.packs.a_bytes > 0 && report.packs.b_bytes > 0);
+
+        // Histogram: one record per placement dispatch per block K-slice
+        // (no oversized chunking on the σ_lane = 4 menu).
+        let dispatches = (tm * tn * tk * plan.block_plan.placements.len()) as u64;
+        assert_eq!(report.total_tiles(), dispatches);
+        for t in &report.tiles {
+            assert!(t.mr >= 1 && t.nr >= 1 && t.count > 0);
+        }
+
+        // Phases: with the feature on, the clock is live.
+        assert!(report.wall.wall_ns > 0, "wall clock must tick");
+        assert!(report.phases.kernel.wall_ns > 0, "kernel section must tick");
+        assert!(report.wall.wall_ns >= report.phases.kernel.wall_ns);
+        for p in &report.thread_profiles {
+            assert!(p.busy_fraction(report.phases.kernel) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn dyn_kernel_records_chunked_subdispatches() {
+        // Satellite: the oversized-tile recursive chunking path must
+        // record one histogram entry per *leaf* sub-dispatch, not one for
+        // the oversized request (and not zero). An 8×112 request chunks
+        // into four 8×28 leaves.
+        let (mr, nr, kc) = (8usize, 112usize, 9usize);
+        let lda = kc + 8;
+        let a: Vec<f32> = (0..mr * lda).map(|i| ((i * 13 + 5) % 23) as f32 - 11.0).collect();
+        let ldb = nr + 4;
+        let b: Vec<f32> = (0..(kc + 2) * ldb).map(|i| ((i * 7 + 2) % 19) as f32 - 9.0).collect();
+        let mut c = vec![0.0f32; mr * nr];
+        let tile = unsafe { CTile::new(c.as_mut_ptr(), nr, c.len()) };
+        let sess = Arc::new(Session::new());
+        session::with_session(&sess, || {
+            micro_kernel_dyn(mr, nr, kc, &a, lda, &b, ldb, tile, false, 7, 101);
+        });
+        let tiles = sess.take().tile_counts();
+        assert_eq!(tiles.len(), 1, "all leaves share one shape bucket: {tiles:?}");
+        assert_eq!((tiles[0].mr, tiles[0].nr, tiles[0].count), (8, 28, 4));
     }
 
     #[test]

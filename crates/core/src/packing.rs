@@ -132,15 +132,20 @@ impl PackedBlock {
     }
 }
 
-/// Global pack-call counters — the regression guard for panel-reuse.
+/// Deprecated global pack-call counters — superseded by the per-call
+/// telemetry report.
 ///
 /// The panel-cache driver must pack each A panel `(bi, kb)` and each B
 /// panel `(kb, bj)` exactly once per GEMM, i.e. `tm·tk` A packs and
 /// `tk·tn` B packs — not the `tm·tn·tk` of a per-block repacking loop.
-/// Counters are process-global relaxed atomics (one increment per panel,
-/// noise next to the O(mc·kc) copy it counts); tests that assert on them
-/// must run in their own test binary so concurrent GEMMs from sibling
-/// tests cannot interfere (see `tests/pack_counts.rs`).
+/// That invariant is now pinned per call by
+/// [`crate::native::gemm_with_plan_traced`]'s [`crate::GemmReport`]
+/// (`packs.a_packs` / `packs.b_packs`), which cannot race because the
+/// counters live in the call's own session. These process-global relaxed
+/// atomics remain only as thin shims for older callers (the PR-1
+/// regression test in `tests/pack_counts.rs`): they still count every
+/// pack, and they still require single-GEMM-at-a-time discipline to read
+/// meaningfully.
 pub mod counters {
     use super::{AtomicU64, Ordering};
 
@@ -148,17 +153,23 @@ pub mod counters {
     pub(super) static B_PACKS: AtomicU64 = AtomicU64::new(0);
 
     /// Zero both counters.
+    #[deprecated(note = "process-global counters race across concurrent GEMMs; read the per-call \
+                telemetry report (`native::gemm_with_plan_traced`) instead")]
     pub fn reset() {
         A_PACKS.store(0, Ordering::Relaxed);
         B_PACKS.store(0, Ordering::Relaxed);
     }
 
     /// A-panel packs since the last [`reset`].
+    #[deprecated(note = "process-global counters race across concurrent GEMMs; read the per-call \
+                telemetry report (`native::gemm_with_plan_traced`) instead")]
     pub fn a_packs() -> u64 {
         A_PACKS.load(Ordering::Relaxed)
     }
 
     /// B-panel packs since the last [`reset`].
+    #[deprecated(note = "process-global counters race across concurrent GEMMs; read the per-call \
+                telemetry report (`native::gemm_with_plan_traced`) instead")]
     pub fn b_packs() -> u64 {
         B_PACKS.load(Ordering::Relaxed)
     }
@@ -246,6 +257,7 @@ pub fn pack_a_into(
     sigma_lane: usize,
 ) {
     counters::A_PACKS.fetch_add(1, Ordering::Relaxed);
+    crate::telemetry::session::record_pack_a(pack_traffic_bytes(mc, kc));
     pack_block_into(dst, a, lda, row0, col0, mc, kc, 2 * sigma_lane, 0);
 }
 
@@ -279,6 +291,7 @@ pub fn pack_b_into(
     sigma_lane: usize,
 ) {
     counters::B_PACKS.fetch_add(1, Ordering::Relaxed);
+    crate::telemetry::session::record_pack_b(pack_traffic_bytes(kc, nc));
     pack_block_into(dst, b, ldb, row0, col0, kc, nc, sigma_lane, 2);
 }
 
@@ -457,18 +470,27 @@ mod tests {
         }
     }
 
+    /// Exact per-call pack accounting via the telemetry session — the
+    /// successor of the old process-global counter check, which could
+    /// race with concurrent GEMMs from sibling tests. A session is local
+    /// to this call, so the assertion is exact regardless of what other
+    /// tests run.
+    #[cfg(feature = "telemetry")]
     #[test]
-    fn pack_counters_count_a_and_b() {
-        // NOTE: counters are process-global; this test only checks they
-        // move, the exact-count regression guard lives in its own test
-        // binary (tests/pack_counts.rs).
+    fn session_counts_packs_and_bytes_per_call() {
+        use crate::telemetry::session;
         let src = vec![1.0f32; 64];
-        let a0 = counters::a_packs();
-        let b0 = counters::b_packs();
-        let _ = pack_a(&src, 8, 0, 0, 4, 4, 4);
-        let _ = pack_b(&src, 8, 0, 0, 4, 4, 4);
-        assert!(counters::a_packs() > a0);
-        assert!(counters::b_packs() > b0);
+        let s = std::sync::Arc::new(session::Session::new());
+        session::with_session(&s, || {
+            let _ = pack_a(&src, 8, 0, 0, 4, 4, 4);
+            let _ = pack_a(&src, 8, 0, 0, 4, 4, 4);
+            let _ = pack_b(&src, 8, 0, 0, 4, 4, 4);
+        });
+        let stats = s.take();
+        assert_eq!(stats.a_packs, 2);
+        assert_eq!(stats.b_packs, 1);
+        assert_eq!(stats.a_bytes, 2 * pack_traffic_bytes(4, 4));
+        assert_eq!(stats.b_bytes, pack_traffic_bytes(4, 4));
     }
 }
 

@@ -1,0 +1,59 @@
+//! Per-GEMM telemetry: scoped timers, phase/thread profiles, and
+//! measured-vs-model cycle reports.
+//!
+//! The paper's whole pipeline — the micro-kernel cycle model (Eqns 6/8),
+//! DMT (Algorithm 1) and the tuner's Eqn-13 pruning — runs on *projected*
+//! cycle counts. This module closes the loop: every traced GEMM
+//! ([`crate::native::gemm_with_plan_traced`], or the engine front doors
+//! [`crate::AutoGemm::gemm_traced`] / `gemm_threaded_traced`) produces a
+//! [`GemmReport`] holding
+//!
+//! * per-phase wall/cycle times (pack-A, pack-B, kernel, drain);
+//! * per-call pack counts and traffic bytes (the per-call successor of
+//!   the process-global `packing::counters`, which are kept only as
+//!   deprecated shims);
+//! * per-thread block counts, busy time and drain (idle-at-the-end) time
+//!   from the work-queue driver;
+//! * the kernel-shape histogram actually dispatched — including the
+//!   sub-tiles the dynamic fallback kernel chunks oversized (SVE-wide)
+//!   requests into;
+//! * optionally, a join against the `autogemm-perfmodel` projection for
+//!   the same `(m_r, n_r, k_c)` tiles ([`GemmReport::join_model`]),
+//!   yielding the measured-vs-model cycle ratio every later perf PR is
+//!   expected to cite.
+//!
+//! ## Overhead budget and the `telemetry` feature
+//!
+//! All time sources live behind the `telemetry` cargo feature. With the
+//! feature **off** (the default), [`clock`] stamps return zero and the
+//! recording hooks in the packing/dispatch paths compile to empty
+//! `#[inline(always)]` functions — the hot paths are bit-for-bit the
+//! untraced code, and the traced drivers still run correctly but report
+//! zeroed timings/counters. With the feature **on**, the untraced drivers
+//! remain unchanged (recording hooks check a thread-local session handle
+//! that is only installed by traced calls); a traced call adds one stamp
+//! pair per phase, one per claimed block, and one histogram bump per
+//! dispatched micro-tile — all far below the work they measure (a block
+//! is `O(m_c·n_c·k)` FLOPs, a tile `O(m_r·n_r·k_c)`).
+//!
+//! ## Report schema
+//!
+//! [`GemmReport`] serializes to a versioned JSON object
+//! ([`report::SCHEMA_VERSION`], guarded on read by
+//! [`GemmReport::from_json`]); `BENCH_gemmtrace.json` is an array of such
+//! reports emitted by the `gemmtrace` bench bin. serde is an offline stub
+//! in this workspace, so serialization is hand-rolled over the minimal
+//! [`json`] value model.
+
+pub mod clock;
+pub mod json;
+pub mod report;
+pub mod session;
+
+pub use clock::{ScopedTimer, Stamp, ENABLED};
+pub use json::{Json, JsonError};
+pub use report::{
+    GemmReport, ModelJoin, PackStats, PhaseProfile, PhaseTimes, ThreadProfile, TileCount,
+    SCHEMA_VERSION,
+};
+pub use session::Session;

@@ -1,0 +1,531 @@
+//! The per-GEMM execution report and its versioned JSON schema.
+
+use crate::telemetry::json::{Json, JsonError};
+use autogemm_kernelgen::MicroTile;
+use autogemm_perfmodel::ProjectionTable;
+
+/// Version of the serialized [`GemmReport`] schema. Bump on any breaking
+/// field change; [`GemmReport::from_json`] rejects other versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A (wall-ns, cycle-tick) duration pair. "Cycles" are host counter
+/// ticks — see [`crate::telemetry::clock`] for the per-arch source and
+/// caveats; both fields are zero when the `telemetry` feature is off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    pub wall_ns: u64,
+    pub cycles: u64,
+}
+
+impl std::ops::Add for PhaseTimes {
+    type Output = PhaseTimes;
+
+    fn add(self, rhs: PhaseTimes) -> PhaseTimes {
+        PhaseTimes { wall_ns: self.wall_ns + rhs.wall_ns, cycles: self.cycles + rhs.cycles }
+    }
+}
+
+impl std::ops::AddAssign for PhaseTimes {
+    fn add_assign(&mut self, rhs: PhaseTimes) {
+        *self = *self + rhs;
+    }
+}
+
+/// Per-phase breakdown of one traced GEMM. `pack_a`/`pack_b` cover the
+/// panel-packing stages, `kernel` the whole work-queue drain section
+/// (wall time of the parallel region), and `drain` the summed
+/// end-of-queue idle time of the workers (load imbalance: the gap between
+/// a worker's last block and the slowest worker finishing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    pub pack_a: PhaseTimes,
+    pub pack_b: PhaseTimes,
+    pub kernel: PhaseTimes,
+    pub drain: PhaseTimes,
+}
+
+/// Per-call pack counts and traffic — the per-call successor of the
+/// deprecated process-global `packing::counters`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PackStats {
+    pub a_packs: u64,
+    pub b_packs: u64,
+    /// Bytes moved packing A panels (read + write, as
+    /// [`crate::packing::pack_traffic_bytes`] counts them).
+    pub a_bytes: u64,
+    pub b_bytes: u64,
+}
+
+/// One worker's slice of the work-queue drain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadProfile {
+    pub thread: usize,
+    /// Cache blocks this worker claimed from the queue.
+    pub blocks: u64,
+    /// Time spent inside block execution.
+    pub busy: PhaseTimes,
+    /// Idle tail: from this worker's last block to the end of the
+    /// parallel section.
+    pub drain: PhaseTimes,
+}
+
+impl ThreadProfile {
+    /// Fraction of the kernel section this worker spent busy.
+    pub fn busy_fraction(&self, section: PhaseTimes) -> f64 {
+        if section.wall_ns == 0 {
+            return 0.0;
+        }
+        self.busy.wall_ns as f64 / section.wall_ns as f64
+    }
+}
+
+/// One bucket of the dispatched kernel-shape histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileCount {
+    pub mr: usize,
+    pub nr: usize,
+    /// Micro-kernel dispatches with this register-tile shape, counted at
+    /// the dispatch site — the dynamic fallback records each chunked
+    /// sub-tile it actually executes, so oversized (SVE-wide) placements
+    /// contribute one bucket entry per sub-dispatch.
+    pub count: u64,
+}
+
+/// The measured-vs-perfmodel join ([`GemmReport::join_model`]).
+///
+/// `cycle_ratio = measured_kernel_cycles / projected_kernel_cycles` mixes
+/// host counter ticks (numerator) with modelled-chip cycles
+/// (denominator), so its absolute value is host-specific — a constant
+/// `host_ticks_per_model_cycle`. The model-validation signal is its
+/// *flatness across shapes*: a shape whose ratio sags below the sweep's
+/// norm is one the model over-predicts (and vice versa), exactly the
+/// per-shape achieved-vs-predicted tracking §III-B uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ModelJoin {
+    /// Σ over the tile histogram of `count × projected_cycles(tile, kc)`
+    /// (Eqns 4–11 with the plan's pipeline options).
+    pub projected_kernel_cycles: f64,
+    /// Σ of worker busy cycle ticks.
+    pub measured_kernel_cycles: u64,
+    /// measured / projected; 0 when either side is unavailable (e.g. the
+    /// `telemetry` feature is off).
+    pub cycle_ratio: f64,
+}
+
+/// The per-GEMM telemetry report: what one traced call observed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GemmReport {
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+    /// Worker threads the driver actually used (after clamping to the
+    /// block count).
+    pub threads: usize,
+    /// Cache blocking of the executed plan.
+    pub mc: usize,
+    pub nc: usize,
+    pub kc: usize,
+    /// End-to-end duration of the traced call.
+    pub wall: PhaseTimes,
+    pub phases: PhaseProfile,
+    pub packs: PackStats,
+    pub thread_profiles: Vec<ThreadProfile>,
+    /// Dispatched kernel-shape histogram, sorted by `(mr, nr)`.
+    pub tiles: Vec<TileCount>,
+    pub model: Option<ModelJoin>,
+}
+
+impl GemmReport {
+    /// FLOPs of the traced problem (`2·M·N·K`).
+    pub fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// Achieved GFLOP/s over the call's wall time (0 without timings).
+    pub fn gflops(&self) -> f64 {
+        if self.wall.wall_ns == 0 {
+            return 0.0;
+        }
+        self.flops() as f64 / self.wall.wall_ns as f64
+    }
+
+    /// Total micro-kernel dispatches across the histogram.
+    pub fn total_tiles(&self) -> u64 {
+        self.tiles.iter().map(|t| t.count).sum()
+    }
+
+    /// Join the report against the performance model: projected cycles
+    /// for every histogram tile at this report's `k_c`, the measured
+    /// worker busy cycles, and their ratio (see [`ModelJoin`]).
+    pub fn join_model(&mut self, table: &mut ProjectionTable<'_>) {
+        let projected: f64 = self
+            .tiles
+            .iter()
+            .map(|t| t.count as f64 * table.cycles(MicroTile::new(t.mr, t.nr), self.kc))
+            .sum();
+        let measured: u64 = self.thread_profiles.iter().map(|p| p.busy.cycles).sum();
+        let cycle_ratio =
+            if projected > 0.0 && measured > 0 { measured as f64 / projected } else { 0.0 };
+        self.model = Some(ModelJoin {
+            projected_kernel_cycles: projected,
+            measured_kernel_cycles: measured,
+            cycle_ratio,
+        });
+    }
+
+    /// The report as a JSON value (schema [`SCHEMA_VERSION`]).
+    pub fn to_json_value(&self) -> Json {
+        let times = |t: PhaseTimes| {
+            Json::Obj(vec![
+                ("wall_ns".into(), Json::Num(t.wall_ns as f64)),
+                ("cycles".into(), Json::Num(t.cycles as f64)),
+            ])
+        };
+        let mut fields = vec![
+            ("schema_version".into(), Json::Num(SCHEMA_VERSION as f64)),
+            ("m".into(), Json::Num(self.m as f64)),
+            ("n".into(), Json::Num(self.n as f64)),
+            ("k".into(), Json::Num(self.k as f64)),
+            ("threads".into(), Json::Num(self.threads as f64)),
+            ("mc".into(), Json::Num(self.mc as f64)),
+            ("nc".into(), Json::Num(self.nc as f64)),
+            ("kc".into(), Json::Num(self.kc as f64)),
+            ("wall".into(), times(self.wall)),
+            ("gflops".into(), Json::Num(self.gflops())),
+            (
+                "phases".into(),
+                Json::Obj(vec![
+                    ("pack_a".into(), times(self.phases.pack_a)),
+                    ("pack_b".into(), times(self.phases.pack_b)),
+                    ("kernel".into(), times(self.phases.kernel)),
+                    ("drain".into(), times(self.phases.drain)),
+                ]),
+            ),
+            (
+                "packs".into(),
+                Json::Obj(vec![
+                    ("a_packs".into(), Json::Num(self.packs.a_packs as f64)),
+                    ("b_packs".into(), Json::Num(self.packs.b_packs as f64)),
+                    ("a_bytes".into(), Json::Num(self.packs.a_bytes as f64)),
+                    ("b_bytes".into(), Json::Num(self.packs.b_bytes as f64)),
+                ]),
+            ),
+            (
+                "thread_profiles".into(),
+                Json::Arr(
+                    self.thread_profiles
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("thread".into(), Json::Num(p.thread as f64)),
+                                ("blocks".into(), Json::Num(p.blocks as f64)),
+                                ("busy".into(), times(p.busy)),
+                                ("drain".into(), times(p.drain)),
+                                (
+                                    "busy_fraction".into(),
+                                    Json::Num(p.busy_fraction(self.phases.kernel)),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "tiles".into(),
+                Json::Arr(
+                    self.tiles
+                        .iter()
+                        .map(|t| {
+                            Json::Obj(vec![
+                                ("mr".into(), Json::Num(t.mr as f64)),
+                                ("nr".into(), Json::Num(t.nr as f64)),
+                                ("count".into(), Json::Num(t.count as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        fields.push((
+            "model".into(),
+            match &self.model {
+                None => Json::Null,
+                Some(mj) => Json::Obj(vec![
+                    ("projected_kernel_cycles".into(), Json::Num(mj.projected_kernel_cycles)),
+                    ("measured_kernel_cycles".into(), Json::Num(mj.measured_kernel_cycles as f64)),
+                    ("cycle_ratio".into(), Json::Num(mj.cycle_ratio)),
+                ]),
+            },
+        ));
+        Json::Obj(fields)
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// Parse a serialized report, enforcing the schema-version guard.
+    pub fn from_json(text: &str) -> Result<GemmReport, JsonError> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    /// [`GemmReport::from_json`] over an already-parsed value.
+    pub fn from_json_value(v: &Json) -> Result<GemmReport, JsonError> {
+        let field = |key: &str| {
+            v.get(key).ok_or_else(|| JsonError { pos: 0, msg: format!("missing field '{key}'") })
+        };
+        let version = field("schema_version")?
+            .as_u64()
+            .ok_or_else(|| JsonError { pos: 0, msg: "schema_version must be an integer".into() })?;
+        if version != SCHEMA_VERSION {
+            return Err(JsonError {
+                pos: 0,
+                msg: format!(
+                    "unsupported schema_version {version} (this build reads {SCHEMA_VERSION})"
+                ),
+            });
+        }
+        let usize_field = |key: &str| {
+            field(key)?.as_usize().ok_or_else(|| JsonError {
+                pos: 0,
+                msg: format!("field '{key}' must be a non-negative integer"),
+            })
+        };
+        let times = |v: &Json, ctx: &str| -> Result<PhaseTimes, JsonError> {
+            let part = |key: &str| {
+                v.get(key).and_then(Json::as_u64).ok_or_else(|| JsonError {
+                    pos: 0,
+                    msg: format!("{ctx}.{key} must be an integer"),
+                })
+            };
+            Ok(PhaseTimes { wall_ns: part("wall_ns")?, cycles: part("cycles")? })
+        };
+
+        let phases_v = field("phases")?;
+        let phase = |key: &str| -> Result<PhaseTimes, JsonError> {
+            times(
+                phases_v
+                    .get(key)
+                    .ok_or_else(|| JsonError { pos: 0, msg: format!("missing phase '{key}'") })?,
+                key,
+            )
+        };
+        let packs_v = field("packs")?;
+        let pack = |key: &str| {
+            packs_v
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| JsonError { pos: 0, msg: format!("packs.{key} must be an integer") })
+        };
+
+        let mut thread_profiles = Vec::new();
+        for p in field("thread_profiles")?
+            .as_arr()
+            .ok_or_else(|| JsonError { pos: 0, msg: "thread_profiles must be an array".into() })?
+        {
+            let num = |key: &str| {
+                p.get(key).and_then(Json::as_u64).ok_or_else(|| JsonError {
+                    pos: 0,
+                    msg: format!("thread_profiles.{key} invalid"),
+                })
+            };
+            thread_profiles.push(ThreadProfile {
+                thread: num("thread")? as usize,
+                blocks: num("blocks")?,
+                busy: times(
+                    p.get("busy")
+                        .ok_or_else(|| JsonError { pos: 0, msg: "missing busy".into() })?,
+                    "busy",
+                )?,
+                drain: times(
+                    p.get("drain")
+                        .ok_or_else(|| JsonError { pos: 0, msg: "missing drain".into() })?,
+                    "drain",
+                )?,
+            });
+        }
+
+        let mut tiles = Vec::new();
+        for t in field("tiles")?
+            .as_arr()
+            .ok_or_else(|| JsonError { pos: 0, msg: "tiles must be an array".into() })?
+        {
+            let num = |key: &str| {
+                t.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| JsonError { pos: 0, msg: format!("tiles.{key} invalid") })
+            };
+            tiles.push(TileCount {
+                mr: num("mr")? as usize,
+                nr: num("nr")? as usize,
+                count: num("count")?,
+            });
+        }
+
+        let model = match field("model")? {
+            Json::Null => None,
+            mj => Some(ModelJoin {
+                projected_kernel_cycles: mj
+                    .get("projected_kernel_cycles")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| JsonError {
+                    pos: 0,
+                    msg: "model.projected_kernel_cycles invalid".into(),
+                })?,
+                measured_kernel_cycles: mj
+                    .get("measured_kernel_cycles")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| JsonError {
+                        pos: 0,
+                        msg: "model.measured_kernel_cycles invalid".into(),
+                    })?,
+                cycle_ratio: mj
+                    .get("cycle_ratio")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| JsonError { pos: 0, msg: "model.cycle_ratio invalid".into() })?,
+            }),
+        };
+
+        Ok(GemmReport {
+            m: usize_field("m")?,
+            n: usize_field("n")?,
+            k: usize_field("k")?,
+            threads: usize_field("threads")?,
+            mc: usize_field("mc")?,
+            nc: usize_field("nc")?,
+            kc: usize_field("kc")?,
+            wall: times(field("wall")?, "wall")?,
+            phases: PhaseProfile {
+                pack_a: phase("pack_a")?,
+                pack_b: phase("pack_b")?,
+                kernel: phase("kernel")?,
+                drain: phase("drain")?,
+            },
+            packs: PackStats {
+                a_packs: pack("a_packs")?,
+                b_packs: pack("b_packs")?,
+                a_bytes: pack("a_bytes")?,
+                b_bytes: pack("b_bytes")?,
+            },
+            thread_profiles,
+            tiles,
+            model,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> GemmReport {
+        GemmReport {
+            m: 64,
+            n: 196,
+            k: 64,
+            threads: 4,
+            mc: 32,
+            nc: 49,
+            kc: 64,
+            wall: PhaseTimes { wall_ns: 123_456, cycles: 456_789 },
+            phases: PhaseProfile {
+                pack_a: PhaseTimes { wall_ns: 1000, cycles: 3000 },
+                pack_b: PhaseTimes { wall_ns: 2000, cycles: 6000 },
+                kernel: PhaseTimes { wall_ns: 100_000, cycles: 400_000 },
+                drain: PhaseTimes { wall_ns: 5000, cycles: 15_000 },
+            },
+            packs: PackStats { a_packs: 2, b_packs: 4, a_bytes: 16_384, b_bytes: 100_352 },
+            thread_profiles: vec![
+                ThreadProfile {
+                    thread: 0,
+                    blocks: 5,
+                    busy: PhaseTimes { wall_ns: 90_000, cycles: 350_000 },
+                    drain: PhaseTimes { wall_ns: 1000, cycles: 4000 },
+                },
+                ThreadProfile {
+                    thread: 1,
+                    blocks: 3,
+                    busy: PhaseTimes { wall_ns: 70_000, cycles: 280_000 },
+                    drain: PhaseTimes { wall_ns: 21_000, cycles: 84_000 },
+                },
+            ],
+            tiles: vec![
+                TileCount { mr: 5, nr: 16, count: 96 },
+                TileCount { mr: 8, nr: 4, count: 12 },
+            ],
+            model: Some(ModelJoin {
+                projected_kernel_cycles: 1.25e6,
+                measured_kernel_cycles: 630_000,
+                cycle_ratio: 0.504,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let r = sample_report();
+        let text = r.to_json();
+        let back = GemmReport::from_json(&text).expect("round trip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn round_trip_without_model_join() {
+        let mut r = sample_report();
+        r.model = None;
+        assert_eq!(GemmReport::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn schema_version_guard_rejects_other_versions() {
+        let text = sample_report()
+            .to_json()
+            .replace(&format!("\"schema_version\":{SCHEMA_VERSION}"), "\"schema_version\":999");
+        let err = GemmReport::from_json(&text).unwrap_err();
+        assert!(err.msg.contains("unsupported schema_version 999"), "{err}");
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        let text = sample_report().to_json().replace("\"packs\"", "\"packs_renamed\"");
+        assert!(GemmReport::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let r = sample_report();
+        assert_eq!(r.flops(), 2 * 64 * 196 * 64);
+        assert_eq!(r.total_tiles(), 108);
+        assert!((r.gflops() - r.flops() as f64 / 123_456.0).abs() < 1e-12);
+        let f = r.thread_profiles[0].busy_fraction(r.phases.kernel);
+        assert!((f - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_model_computes_ratio_from_histogram() {
+        use autogemm_arch::ChipSpec;
+        use autogemm_perfmodel::{ModelOpts, ProjectionTable};
+        let chip = ChipSpec::graviton2();
+        let mut table = ProjectionTable::new(&chip, ModelOpts::default());
+        let mut r = sample_report();
+        r.join_model(&mut table);
+        let mj = r.model.unwrap();
+        let want: f64 =
+            96.0 * autogemm_perfmodel::projected_cycles(
+                MicroTile::new(5, 16),
+                64,
+                &chip,
+                ModelOpts::default(),
+            ) + 12.0
+                * autogemm_perfmodel::projected_cycles(
+                    MicroTile::new(8, 4),
+                    64,
+                    &chip,
+                    ModelOpts::default(),
+                );
+        assert!((mj.projected_kernel_cycles - want).abs() < 1e-9);
+        assert_eq!(mj.measured_kernel_cycles, 630_000);
+        assert!((mj.cycle_ratio - 630_000.0 / want).abs() < 1e-12);
+    }
+}

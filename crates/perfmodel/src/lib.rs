@@ -10,7 +10,10 @@
 //!   updates (Eqns 9, 10), and epilogue/prologue fusion (Eqn 11);
 //! * [`submatrix`] — the cache-block runtime estimate `T_c(m_c, n_c)` of
 //!   Eqn 13 used by the tuner to prune its search space (§IV-B);
-//! * [`roofline`] — the roofline model of §V-D (peak vs `AI × bandwidth`).
+//! * [`roofline`] — the roofline model of §V-D (peak vs `AI × bandwidth`);
+//! * [`projection`] — memoized projection lookups ([`ProjectionTable`])
+//!   for joining measured telemetry (`autogemm::telemetry`) against the
+//!   model's per-tile cycle counts.
 //!
 //! The cycle model is cross-validated against the pipeline simulator in
 //! this crate's test-suite: both derive from the same Table III parameters,
@@ -19,10 +22,12 @@
 
 pub mod ai;
 pub mod micro;
+pub mod projection;
 pub mod roofline;
 pub mod submatrix;
 
 pub use ai::{ai_with_kc, meets_sigma_ai};
 pub use micro::{projected_cycles, ModelOpts, Phase, PhaseBreakdown};
+pub use projection::ProjectionTable;
 pub use roofline::{attainable_gflops, machine_balance, Roofline};
 pub use submatrix::region_cycles;

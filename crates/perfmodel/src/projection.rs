@@ -1,0 +1,75 @@
+//! Projection lookup: memoized per-tile cycle projections for joining
+//! measured telemetry against the model.
+//!
+//! The telemetry layer (see `autogemm::telemetry`) records which
+//! `(m_r, n_r)` register tiles a GEMM actually dispatched; joining that
+//! histogram against the paper's cycle model (Eqns 4–11) requires one
+//! [`projected_cycles`] evaluation per distinct `(m_r, n_r, k_c)`. A
+//! [`ProjectionTable`] caches those evaluations so a report join — or a
+//! whole `gemmtrace` sweep sharing one table — prices each tile shape
+//! exactly once.
+
+use crate::micro::{projected_cycles, ModelOpts};
+use autogemm_arch::ChipSpec;
+use autogemm_kernelgen::MicroTile;
+use std::collections::HashMap;
+
+/// Memoized `projected_cycles` lookups for one `(chip, ModelOpts)` pair.
+#[derive(Debug)]
+pub struct ProjectionTable<'c> {
+    chip: &'c ChipSpec,
+    opts: ModelOpts,
+    cache: HashMap<(usize, usize, usize), f64>,
+}
+
+impl<'c> ProjectionTable<'c> {
+    /// A table projecting with `opts` on `chip` (use the executed plan's
+    /// `ModelOpts` so the projection prices what actually ran).
+    pub fn new(chip: &'c ChipSpec, opts: ModelOpts) -> Self {
+        ProjectionTable { chip, opts, cache: HashMap::new() }
+    }
+
+    /// Projected cycles of one `(tile, k_c)` micro-kernel invocation
+    /// (`T_r` of Algorithm 1 / Eqn 13), memoized.
+    pub fn cycles(&mut self, tile: MicroTile, kc: usize) -> f64 {
+        let key = (tile.mr, tile.nr, kc);
+        *self.cache.entry(key).or_insert_with(|| projected_cycles(tile, kc, self.chip, self.opts))
+    }
+
+    pub fn chip(&self) -> &ChipSpec {
+        self.chip
+    }
+
+    pub fn opts(&self) -> ModelOpts {
+        self.opts
+    }
+
+    /// Distinct `(m_r, n_r, k_c)` shapes priced so far.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_matches_direct_projection_and_memoizes() {
+        let chip = ChipSpec::graviton2();
+        let opts = ModelOpts { rotate: true, fused: true };
+        let mut table = ProjectionTable::new(&chip, opts);
+        let tile = MicroTile::new(5, 16);
+        let direct = projected_cycles(tile, 64, &chip, opts);
+        assert_eq!(table.cycles(tile, 64), direct);
+        assert_eq!(table.cycles(tile, 64), direct);
+        assert_eq!(table.len(), 1, "repeat lookups hit the cache");
+        table.cycles(MicroTile::new(2, 16), 64);
+        table.cycles(tile, 32);
+        assert_eq!(table.len(), 3);
+    }
+}

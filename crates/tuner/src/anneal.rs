@@ -59,9 +59,39 @@ fn neighbour(space: &SearchSpace, cur: &Schedule, rng: &mut StdRng) -> Schedule 
     next
 }
 
+/// One measure-and-retrain round's log: how far the surrogate's
+/// predictions sat from the true cost model on the candidates it was
+/// verified against — the tuner-side twin of the telemetry layer's
+/// measured-vs-model cycle ratio. A surrogate whose error stays high
+/// across rounds is proposing blind; a shrinking error means the
+/// retraining loop is converging on the true cost surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundLog {
+    /// Measure-and-retrain round index (0-based).
+    pub round: usize,
+    /// Shortlist candidates verified with the true cost model.
+    pub verified: usize,
+    /// Mean relative error `|predicted − true| / true` over the
+    /// verified shortlist (0 when nothing was verified).
+    pub mean_model_error: f64,
+    /// Best true cost known after this round.
+    pub best_cost: f64,
+}
+
 /// Surrogate-guided simulated annealing. Returns the best schedule found
 /// by *true-cost* evaluation (the surrogate only proposes).
 pub fn anneal(space: &SearchSpace, chip: &ChipSpec, cfg: &AnnealConfig) -> Schedule {
+    anneal_logged(space, chip, cfg).0
+}
+
+/// [`anneal`] with the per-round search log: every measure-and-retrain
+/// round reports the surrogate's model error against the true costs it
+/// was verified with (see [`RoundLog`]).
+pub fn anneal_logged(
+    space: &SearchSpace,
+    chip: &ChipSpec,
+    cfg: &AnnealConfig,
+) -> (Schedule, Vec<RoundLog>) {
     let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
 
     // Seed batch: random configs, truly measured.
@@ -74,6 +104,7 @@ pub fn anneal(space: &SearchSpace, chip: &ChipSpec, cfg: &AnnealConfig) -> Sched
         .collect();
 
     let mut best = measured.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().clone();
+    let mut log = Vec::with_capacity(cfg.rounds);
 
     for round in 0..cfg.rounds {
         let model = Surrogate::fit(&measured, 60);
@@ -95,19 +126,31 @@ pub fn anneal(space: &SearchSpace, chip: &ChipSpec, cfg: &AnnealConfig) -> Sched
             temp *= 0.985;
         }
 
-        // Verify the most promising distinct proposals with the true model.
+        // Verify the most promising distinct proposals with the true model,
+        // logging how far the surrogate's predictions sat from the truth.
         proposals.sort_by(|a, b| model.predict(a).partial_cmp(&model.predict(b)).unwrap());
         proposals.dedup();
+        let mut verified = 0usize;
+        let mut error_sum = 0.0f64;
         for cand in proposals.into_iter().take(8) {
             let c = schedule_cost(&cand, chip).total();
+            if c > 0.0 {
+                error_sum += (model.predict(&cand) - c).abs() / c;
+                verified += 1;
+            }
             if c < best.1 {
                 best = (cand.clone(), c);
             }
             measured.push((cand, c));
         }
-        let _ = round;
+        log.push(RoundLog {
+            round,
+            verified,
+            mean_model_error: if verified > 0 { error_sum / verified as f64 } else { 0.0 },
+            best_cost: best.1,
+        });
     }
-    best.0
+    (best.0, log)
 }
 
 #[cfg(test)]
@@ -138,6 +181,27 @@ mod tests {
         let a = anneal(&space, &chip, &cfg);
         let b = anneal(&space, &chip, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn logged_search_reports_every_round() {
+        let chip = ChipSpec::graviton2();
+        let space = SearchSpace::new(128, 784, 128, &chip);
+        let cfg = AnnealConfig { rounds: 3, steps_per_round: 80, ..Default::default() };
+        let (tuned, log) = anneal_logged(&space, &chip, &cfg);
+        assert_eq!(log.len(), cfg.rounds);
+        for (i, r) in log.iter().enumerate() {
+            assert_eq!(r.round, i);
+            assert!(r.mean_model_error >= 0.0 && r.mean_model_error.is_finite());
+            assert!(r.best_cost > 0.0 && r.best_cost.is_finite());
+        }
+        // best_cost is monotone non-increasing: rounds only improve it.
+        for w in log.windows(2) {
+            assert!(w[1].best_cost <= w[0].best_cost);
+        }
+        assert_eq!(log.last().unwrap().best_cost, schedule_cost(&tuned, &chip).total());
+        // The wrapper must agree with the logged variant's winner.
+        assert_eq!(anneal(&space, &chip, &cfg), tuned);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod cost;
 pub mod space;
 pub mod surrogate;
 
-pub use anneal::{anneal, AnnealConfig};
+pub use anneal::{anneal, anneal_logged, AnnealConfig, RoundLog};
 pub use cost::{schedule_cost, CostBreakdown};
 pub use space::{enumerate_blocks, LoopOrder, Packing, Schedule, SearchSpace};
 

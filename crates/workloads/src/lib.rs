@@ -17,5 +17,5 @@ pub mod shapes;
 pub mod tnn;
 
 pub use dnn::{DnnModel, GemmShape};
-pub use shapes::{resnet50_table_v, small_sweep, ResnetLayer};
+pub use shapes::{gemmtrace_sweep, resnet50_table_v, small_sweep, ResnetLayer};
 pub use tnn::{run_model, GemmBackend, ModelTiming};

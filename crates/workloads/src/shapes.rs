@@ -61,6 +61,23 @@ pub fn roofline_layers() -> Vec<ResnetLayer> {
     resnet50_table_v().into_iter().filter(|l| [4, 8, 10, 16].contains(&l.layer)).collect()
 }
 
+/// The `gemmtrace` telemetry sweep: named `(m, n, k)` shapes spanning
+/// every irregularity class — square cubes from the Fig 8 sweep plus a
+/// Table V layer per class (long-rectangular, tall-skinny, regular and
+/// the large-K L17 the multi-core analysis in §V-C singles out). Small
+/// enough for a smoke run, shaped enough that the per-shape
+/// measured-vs-model cycle ratio has something to disagree about.
+pub fn gemmtrace_sweep() -> Vec<(String, usize, usize, usize)> {
+    let mut shapes: Vec<(String, usize, usize, usize)> =
+        [16usize, 64, 128].iter().map(|&s| (format!("cube{s}"), s, s, s)).collect();
+    for l in resnet50_table_v() {
+        if [2usize, 11, 17, 18].contains(&l.layer) {
+            shapes.push((l.name(), l.m, l.n, l.k));
+        }
+    }
+    shapes
+}
+
 /// Classification of an irregular shape, following §II-A.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShapeClass {
@@ -131,6 +148,27 @@ mod tests {
         assert!(s.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(*s.last().unwrap(), 128);
         assert!(s.contains(&64));
+    }
+
+    #[test]
+    fn gemmtrace_sweep_covers_every_shape_class() {
+        let sweep = gemmtrace_sweep();
+        assert!(sweep.len() >= 6, "sweep too thin: {sweep:?}");
+        let classes: Vec<ShapeClass> =
+            sweep.iter().map(|&(_, m, n, k)| classify(m, n, k)).collect();
+        for want in [
+            ShapeClass::Small,
+            ShapeClass::LongRectangular,
+            ShapeClass::TallSkinny,
+            ShapeClass::Regular,
+        ] {
+            assert!(classes.contains(&want), "sweep misses {want:?}");
+        }
+        // Names are unique (they key the JSON artifact's entries).
+        let mut names: Vec<&str> = sweep.iter().map(|(n, ..)| n.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), sweep.len());
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Integration guards for the per-GEMM telemetry layer:
+//!
+//! * the traced driver is a pure observer — its `C` output is
+//!   bit-identical to the untraced panel-cache driver on random shapes
+//!   and thread counts (ci.sh runs this file with the `telemetry`
+//!   feature both off and on, so the property pins both paths);
+//! * reports survive a JSON round trip through the public API and the
+//!   schema-version guard rejects foreign versions;
+//! * with the feature off, every timing and counter in a traced report
+//!   is zero (the clock and session hooks compile to no-ops); with it
+//!   on, the phase clocks tick and the model join is populated.
+
+use autogemm::native::{gemm_with_plan, gemm_with_plan_traced};
+use autogemm::telemetry::SCHEMA_VERSION;
+use autogemm::{ExecutionPlan, GemmReport, PanelPool};
+use autogemm_arch::ChipSpec;
+use autogemm_perfmodel::{ModelOpts, ProjectionTable};
+use autogemm_tuner::tune;
+use proptest::prelude::*;
+
+fn data(len: usize, seed: u32) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 16) % 61) as f32 / 4.0 - 7.5
+        })
+        .collect()
+}
+
+fn traced_pair(
+    m: usize,
+    n: usize,
+    k: usize,
+    threads: usize,
+    seed: u32,
+) -> (Vec<f32>, Vec<f32>, GemmReport) {
+    let chip = ChipSpec::graviton2();
+    let plan = ExecutionPlan::from_schedule(tune(m, n, k, &chip), &chip);
+    let a = data(m * k, seed);
+    let b = data(k * n, seed ^ 0x9e37);
+    let mut c_plain = vec![0.0f32; m * n];
+    gemm_with_plan(&plan, &a, &b, &mut c_plain, threads);
+    let pool = PanelPool::new();
+    let mut c_traced = vec![0.0f32; m * n];
+    let report = gemm_with_plan_traced(&plan, &a, &b, &mut c_traced, threads, &pool);
+    (c_plain, c_traced, report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Telemetry must never perturb numerics: same packs, same
+    /// accumulation order, bit-identical C — whether the feature is on
+    /// (hooks live) or off (hooks are no-ops).
+    #[test]
+    fn traced_output_bit_identical_to_untraced(
+        m in 1usize..48,
+        n in 1usize..56,
+        k in 1usize..40,
+        threads in 1usize..5,
+        seed in 0u32..1_000_000,
+    ) {
+        let (c_plain, c_traced, report) = traced_pair(m, n, k, threads, seed);
+        prop_assert_eq!(c_traced, c_plain);
+        prop_assert_eq!((report.m, report.n, report.k), (m, n, k));
+        let blocks: u64 = report.thread_profiles.iter().map(|p| p.blocks).sum();
+        prop_assert!(blocks > 0, "every GEMM drains at least one block");
+    }
+
+    /// Every report that comes out of the traced driver (model join
+    /// attached or not) must survive serialization unchanged.
+    #[test]
+    fn live_reports_round_trip_through_json(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..32,
+        threads in 1usize..4,
+        join in proptest::bool::ANY,
+    ) {
+        let (_, _, mut report) = traced_pair(m, n, k, threads, 7);
+        if join {
+            let chip = ChipSpec::graviton2();
+            let mut table = ProjectionTable::new(&chip, ModelOpts::default());
+            report.join_model(&mut table);
+        }
+        let back = GemmReport::from_json(&report.to_json()).expect("round trip");
+        prop_assert_eq!(back, report);
+    }
+}
+
+#[test]
+fn schema_version_guard_rejects_foreign_reports() {
+    let (_, _, report) = traced_pair(16, 24, 16, 1, 3);
+    let text = report.to_json();
+    assert!(text.contains(&format!("\"schema_version\":{SCHEMA_VERSION}")));
+    let tampered =
+        text.replace(&format!("\"schema_version\":{SCHEMA_VERSION}"), "\"schema_version\":9999");
+    let err = GemmReport::from_json(&tampered).unwrap_err();
+    assert!(err.to_string().contains("unsupported schema_version"), "{err}");
+}
+
+#[cfg(not(feature = "telemetry"))]
+#[test]
+fn feature_off_reports_are_structurally_filled_but_zeroed() {
+    let (_, _, report) = traced_pair(26, 36, 24, 2, 11);
+    assert_eq!((report.m, report.n, report.k), (26, 36, 24));
+    assert!(report.threads >= 1, "structure still filled in");
+    assert_eq!(report.wall, Default::default(), "no clock without the feature");
+    assert_eq!(report.phases, Default::default());
+    assert_eq!(report.packs, Default::default());
+    assert!(report.tiles.is_empty(), "no histogram without the feature");
+    assert_eq!(report.gflops(), 0.0);
+}
+
+#[cfg(feature = "telemetry")]
+#[test]
+fn feature_on_reports_carry_live_timings_and_model_join() {
+    let (_, _, mut report) = traced_pair(64, 96, 64, 2, 11);
+    assert!(report.wall.wall_ns > 0);
+    assert!(report.phases.kernel.wall_ns > 0);
+    assert!(report.packs.a_packs > 0 && report.packs.b_packs > 0);
+    assert!(report.total_tiles() > 0);
+    assert!(report.gflops() > 0.0);
+
+    let chip = ChipSpec::graviton2();
+    let mut table = ProjectionTable::new(&chip, ModelOpts::default());
+    report.join_model(&mut table);
+    let mj = report.model.expect("join populated");
+    assert!(mj.projected_kernel_cycles > 0.0);
+    // Host cycle counters may be unavailable on exotic platforms (the
+    // clock falls back to wall time there) but must be monotone here.
+    if mj.measured_kernel_cycles > 0 {
+        assert!(mj.cycle_ratio > 0.0);
+    }
+}
