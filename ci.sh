@@ -38,6 +38,31 @@ echo "== telemetry config =="
 cargo test -q -p autogemm --features telemetry
 cargo test -q -p autogemm-repro --features telemetry --test telemetry --test pack_counts
 
+echo "== faultinject config =="
+# Arm the deterministic fault-injection probes and run the chaos suite:
+# every injection site × action × thread count must come back as a
+# structured GemmError or recover bit-identical to the oracle. The core
+# suite re-runs under the feature to prove the probes are behaviorally
+# inert while disarmed.
+cargo test -q -p autogemm --features faultinject
+cargo test -q -p autogemm --features faultinject,telemetry
+cargo test -q -p autogemm-repro --features faultinject --test chaos --test fallible_api
+
+echo "== panic policy (library code) =="
+# The fallible API contract: no unwrap/expect in autogemm library code —
+# internal invariants must carry a scoped #[allow] with a justification.
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --no-deps -p autogemm --lib -- \
+        -D warnings -D clippy::unwrap_used -D clippy::expect_used
+else
+    echo "clippy not installed; skipping (non-fatal)"
+fi
+
+echo "== native bench smoke (fallible-path overhead) =="
+# Asserts try_* is bit-identical to and not measurably slower than the
+# classic drivers, and loosely cross-checks BENCH_native_gemm.json.
+cargo run --release -p autogemm-bench --bin native_gemm -- --smoke
+
 echo "== microkernel bench smoke =="
 cargo run --release -p autogemm-bench --bin microkernel -- --smoke
 

@@ -11,8 +11,13 @@
 //! ```
 //!
 //! from the workspace root (default output: `BENCH_native_gemm.json`).
+//!
+//! `--smoke` instead runs the fast CI guard: it asserts the fallible
+//! (`try_*`) driver is bit-identical to and not measurably slower than
+//! the classic path, and loosely cross-checks the panel-cache timings
+//! against the tracked `BENCH_native_gemm.json` trajectory.
 
-use autogemm::native::{gemm_with_plan_pooled, gemm_with_plan_repack};
+use autogemm::native::{gemm_with_plan_pooled, gemm_with_plan_repack, try_gemm_with_plan_pooled};
 use autogemm::{AutoGemm, PanelPool};
 use autogemm_arch::ChipSpec;
 use std::fmt::Write as _;
@@ -52,7 +57,96 @@ struct Entry {
     cached_s: f64,
 }
 
+/// Fast CI guard for the fallible API: the `Result` plumbing through the
+/// pooled driver must stay bit-identical to the classic path and add no
+/// measurable overhead (the wrappers are `if let Err(e) = try_...` thin).
+fn smoke() {
+    let engine = AutoGemm::new(ChipSpec::graviton2());
+    let points = [(64usize, 196usize, 64usize, 1usize), (128, 128, 128, 4)];
+    for (m, n, k, threads) in points {
+        let plan = if threads > 1 {
+            engine.plan_multicore(m, n, k, threads)
+        } else {
+            engine.plan(m, n, k)
+        };
+        let (a, b) = data(m, n, k);
+        let pool = PanelPool::new();
+
+        let mut c_plain = vec![0.0f32; m * n];
+        let plain_s = median_secs(|| {
+            gemm_with_plan_pooled(black_box(&plan), &a, &b, &mut c_plain, threads, &pool)
+        });
+        let mut c_try = vec![0.0f32; m * n];
+        let try_s = median_secs(|| {
+            try_gemm_with_plan_pooled(black_box(&plan), &a, &b, &mut c_try, threads, &pool)
+                .expect("smoke gemm failed")
+        });
+        assert_eq!(c_try, c_plain, "{m}x{n}x{k} t{threads}: try path diverged");
+        let ratio = try_s / plain_s;
+        println!(
+            "{m:>4}x{n:>4}x{k:>4} t{threads}: plain {:>9.1} µs  try {:>9.1} µs  ratio {ratio:.3}",
+            plain_s * 1e6,
+            try_s * 1e6,
+        );
+        // Generous bound: medians over {REPS} reps keep noise down, and
+        // the plumbing itself is branch-on-Err only.
+        assert!(
+            ratio < 1.35,
+            "{m}x{n}x{k} t{threads}: fallible path {ratio:.3}x slower than classic"
+        );
+    }
+
+    // Loose trajectory check against the tracked baseline: catch only
+    // catastrophic regressions (order-of-magnitude), not host noise.
+    match std::fs::read_to_string("BENCH_native_gemm.json") {
+        Err(_) => println!("BENCH_native_gemm.json not found; skipping trajectory check"),
+        Ok(text) => {
+            let doc = autogemm::telemetry::json::Json::parse(&text)
+                .expect("BENCH_native_gemm.json must parse");
+            let entries = doc
+                .get("entries")
+                .and_then(|e| e.as_arr())
+                .expect("BENCH_native_gemm.json missing entries");
+            for e in entries {
+                let get = |key: &str| e.get(key).and_then(|v| v.as_usize()).unwrap_or(0);
+                let (m, n, k, threads) = (get("m"), get("n"), get("k"), get("threads"));
+                let baseline_s =
+                    e.get("panel_cache_s").and_then(|v| v.as_f64()).unwrap_or(f64::INFINITY);
+                if m * n * k == 0 || threads == 0 {
+                    continue;
+                }
+                let plan = if threads > 1 {
+                    engine.plan_multicore(m, n, k, threads)
+                } else {
+                    engine.plan(m, n, k)
+                };
+                let (a, b) = data(m, n, k);
+                let pool = PanelPool::new();
+                let mut c = vec![0.0f32; m * n];
+                let now_s = median_secs(|| {
+                    gemm_with_plan_pooled(black_box(&plan), &a, &b, &mut c, threads, &pool)
+                });
+                println!(
+                    "{m:>4}x{n:>5}x{k:>4} t{threads}: now {:>9.1} µs  baseline {:>9.1} µs",
+                    now_s * 1e6,
+                    baseline_s * 1e6,
+                );
+                assert!(
+                    now_s < baseline_s * 8.0,
+                    "{m}x{n}x{k} t{threads}: {now_s}s vs baseline {baseline_s}s — \
+                     panel-cache driver regressed past the loose 8x guard"
+                );
+            }
+        }
+    }
+    println!("native_gemm smoke passed.");
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("--smoke") {
+        smoke();
+        return;
+    }
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_native_gemm.json".to_string());
     let engine = AutoGemm::new(ChipSpec::graviton2());
     // The paper's flagship irregular DNN GEMM (64×3136×64, Table V) at 1

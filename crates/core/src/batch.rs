@@ -8,11 +8,13 @@
 //! disjoint `m·n` slice of the output, so the parallelism is safe by
 //! construction.
 
+use crate::error::{self, GemmError, Operand};
 use crate::native;
 use crate::offline::PackedB;
 use crate::packing::PanelPool;
 use crate::plan::ExecutionPlan;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A batch of same-shape GEMMs: `C[i] (+)= A[i] · B[i]`.
 pub struct GemmBatch<'a> {
@@ -68,13 +70,44 @@ fn slice_key(s: &[f32]) -> (usize, usize) {
 /// [`PanelPool`], so A-panel buffers are recycled across that worker's
 /// items.
 pub fn gemm_batch(plan: &ExecutionPlan, batch: &GemmBatch, c: &mut [f32], threads: usize) {
+    if let Err(e) = try_gemm_batch(plan, batch, c, threads) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible [`gemm_batch`]: output-length and plan-shape mismatches come
+/// back as `Err`, and a panicking batch worker poisons the run — the
+/// survivors finish their current item, stop, and the caller gets
+/// [`GemmError::WorkerPanicked`] (completed items keep their results;
+/// the poisoned worker's in-flight item follows the per-item
+/// untouched-/partial-`C` rules of [`crate::error`]).
+pub fn try_gemm_batch(
+    plan: &ExecutionPlan,
+    batch: &GemmBatch,
+    c: &mut [f32],
+    threads: usize,
+) -> Result<(), GemmError> {
     let (m, n) = (batch.m, batch.n);
-    assert_eq!(c.len(), batch.len() * m * n, "C must hold len*m*n elements");
-    assert_eq!(plan.schedule.m, m, "plan shape mismatch");
-    assert_eq!(plan.schedule.n, n, "plan shape mismatch");
-    assert_eq!(plan.schedule.k, batch.k, "plan shape mismatch");
-    if batch.is_empty() {
-        return;
+    let item = error::checked_size("m*n", m, n)?;
+    let expected = item.checked_mul(batch.len()).ok_or(GemmError::SizeOverflow {
+        what: "len*m*n",
+        lhs: batch.len(),
+        rhs: item,
+    })?;
+    if c.len() != expected {
+        return Err(GemmError::SliceLen {
+            operand: Operand::C,
+            expected,
+            got: c.len(),
+            dims: "len*m*n",
+        });
+    }
+    let s = &plan.schedule;
+    if (s.m, s.n, s.k) != (m, n, batch.k) {
+        return Err(GemmError::PlanMismatch { expected: (m, n, batch.k), got: (s.m, s.n, s.k) });
+    }
+    if batch.is_empty() || item == 0 {
+        return Ok(());
     }
     let threads = threads.max(1).min(batch.len());
 
@@ -93,29 +126,65 @@ pub fn gemm_batch(plan: &ExecutionPlan, batch: &GemmBatch, c: &mut [f32], thread
 
     // Round-robin ownership transfer of the disjoint output slices.
     let mut per_thread: Vec<Vec<(usize, &mut [f32])>> = (0..threads).map(|_| Vec::new()).collect();
-    for (i, chunk) in c.chunks_mut(m * n).enumerate() {
+    for (i, chunk) in c.chunks_mut(item).enumerate() {
         per_thread[i % threads].push((i, chunk));
     }
 
-    crossbeam::scope(|scope| {
-        for work in per_thread {
-            let shared_b = &shared_b;
+    // First failure across the batch (item errors and contained panics
+    // share the slot; worker index breaks ties by arrival).
+    let first_err: parking_lot::Mutex<Option<GemmError>> = parking_lot::Mutex::new(None);
+    let poisoned = std::sync::atomic::AtomicBool::new(false);
+    let scope_ok = crossbeam::scope(|scope| {
+        for (t, work) in per_thread.into_iter().enumerate() {
+            let (shared_b, first_err, poisoned) = (&shared_b, &first_err, &poisoned);
             scope.spawn(move |_| {
-                let pool = PanelPool::new();
-                for (i, c_item) in work {
-                    match shared_b.get(&slice_key(batch.b[i])) {
-                        Some(packed) => crate::offline::gemm_prepacked_pooled(
-                            plan, batch.a[i], packed, c_item, 1, &pool,
-                        ),
-                        None => native::gemm_with_plan_pooled(
-                            plan, batch.a[i], batch.b[i], c_item, 1, &pool,
-                        ),
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    let pool = PanelPool::new();
+                    for (i, c_item) in work {
+                        if poisoned.load(std::sync::atomic::Ordering::Relaxed) {
+                            break;
+                        }
+                        let r = match shared_b.get(&slice_key(batch.b[i])) {
+                            Some(packed) => crate::offline::try_gemm_prepacked_pooled(
+                                plan, batch.a[i], packed, c_item, 1, &pool,
+                            ),
+                            None => native::try_gemm_with_plan_pooled(
+                                plan, batch.a[i], batch.b[i], c_item, 1, &pool,
+                            ),
+                        };
+                        if let Err(e) = r {
+                            let mut slot = first_err.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            poisoned.store(true, std::sync::atomic::Ordering::SeqCst);
+                            break;
+                        }
                     }
+                }));
+                if let Err(payload) = run {
+                    let mut slot = first_err.lock();
+                    if slot.is_none() {
+                        *slot = Some(GemmError::WorkerPanicked {
+                            thread: t,
+                            detail: error::panic_detail(payload.as_ref()),
+                        });
+                    }
+                    poisoned.store(true, std::sync::atomic::Ordering::SeqCst);
                 }
             });
         }
-    })
-    .expect("batch worker panicked");
+    });
+    if scope_ok.is_err() {
+        return Err(GemmError::WorkerPanicked {
+            thread: 0,
+            detail: "batch worker scope failed".to_string(),
+        });
+    }
+    match first_err.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,7 @@
 //! The [`AutoGemm`] engine: the library's front door.
 
+use crate::batch::GemmBatch;
+use crate::error::{self, GemmError};
 use crate::native;
 use crate::plan::ExecutionPlan;
 use crate::simexec::{self, BlockCost};
@@ -75,6 +77,18 @@ impl AutoGemm {
     }
 
     fn schedule(&self, m: usize, n: usize, k: usize, threads: usize) -> Schedule {
+        if m == 0 || n == 0 || k == 0 {
+            // The tuner's cost model divides by block trip counts, so a
+            // degenerate dim cannot be tuned directly. Tune the clamped
+            // shape and restore the true dims: such a plan is only ever
+            // used for validation (every driver early-returns on a zero
+            // dim before touching the block grid).
+            let mut s = self.schedule(m.max(1), n.max(1), k.max(1), threads);
+            s.m = m;
+            s.n = n;
+            s.k = k;
+            return s;
+        }
         let key = (m, n, k, threads);
         if let Some(s) = self.schedules.lock().get(&key) {
             return s.clone();
@@ -101,7 +115,13 @@ impl AutoGemm {
                     best = Some((seconds, cand));
                 }
             }
-            best.expect("candidate list non-empty").1
+            match best {
+                Some((_, cand)) => cand,
+                // An empty shortlist (degenerate shape, pathological
+                // model output) falls back to the single-core tuner
+                // instead of panicking.
+                None => tune_with(m, n, k, &self.chip, self.allow_offline),
+            }
         } else {
             tune_with(m, n, k, &self.chip, self.allow_offline)
         };
@@ -122,14 +142,47 @@ impl AutoGemm {
 
     /// Native single-threaded GEMM on the host: `C = A·B`, row-major.
     /// Panel buffers are recycled through the engine's pool.
+    ///
+    /// Panics with the structured [`GemmError`] message on invalid
+    /// operands or a contained worker panic; [`Self::try_gemm`] is the
+    /// non-panicking form.
     pub fn gemm(&self, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        if let Err(e) = self.try_gemm(m, n, k, a, b, c) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`Self::gemm`]: operand mismatches come back as `Err`
+    /// before any plan is tuned, degenerate shapes (`m`, `n` or `k`
+    /// zero) early-return, and worker panics are contained per the
+    /// [`crate::error`] policy.
+    pub fn try_gemm(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+    ) -> Result<(), GemmError> {
+        error::check_operands(m, n, k, a, b, c)?;
+        if m == 0 || n == 0 {
+            return Ok(());
+        }
+        if k == 0 {
+            c.fill(0.0);
+            return Ok(());
+        }
         let plan = self.plan(m, n, k);
-        native::gemm_with_plan_pooled(&plan, a, b, c, 1, &self.panel_pool);
+        native::try_gemm_with_plan_pooled(&plan, a, b, c, 1, &self.panel_pool)
     }
 
     /// Native multi-threaded GEMM on the host (panel-cache driver: each
     /// operand panel packed once, blocks drained from the shared work
     /// queue, buffers recycled through the engine's pool).
+    ///
+    /// Panics with the structured [`GemmError`] message;
+    /// [`Self::try_gemm_threaded`] is the non-panicking form.
     #[allow(clippy::too_many_arguments)]
     pub fn gemm_threaded(
         &self,
@@ -141,9 +194,36 @@ impl AutoGemm {
         c: &mut [f32],
         threads: usize,
     ) {
+        if let Err(e) = self.try_gemm_threaded(m, n, k, a, b, c, threads) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`Self::gemm_threaded`]. A panicking worker poisons the
+    /// run: survivors drain the queue cursor and exit cleanly, and the
+    /// first panic comes back as [`GemmError::WorkerPanicked`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_gemm_threaded(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        threads: usize,
+    ) -> Result<(), GemmError> {
+        error::check_operands(m, n, k, a, b, c)?;
+        if m == 0 || n == 0 {
+            return Ok(());
+        }
+        if k == 0 {
+            c.fill(0.0);
+            return Ok(());
+        }
         let plan =
             if threads > 1 { self.plan_multicore(m, n, k, threads) } else { self.plan(m, n, k) };
-        native::gemm_with_plan_pooled(&plan, a, b, c, threads, &self.panel_pool);
+        native::try_gemm_with_plan_pooled(&plan, a, b, c, threads, &self.panel_pool)
     }
 
     /// [`Self::gemm_threaded`] with per-call telemetry: runs the same
@@ -152,6 +232,9 @@ impl AutoGemm {
     /// busy profiles and the dispatched kernel-shape histogram. Output
     /// `C` is bit-identical to the untraced call; without the
     /// `telemetry` feature the report's timings and counters are zero.
+    ///
+    /// Panics with the structured [`GemmError`] message;
+    /// [`Self::try_gemm_traced`] is the non-panicking form.
     #[allow(clippy::too_many_arguments)]
     pub fn gemm_traced(
         &self,
@@ -163,9 +246,88 @@ impl AutoGemm {
         c: &mut [f32],
         threads: usize,
     ) -> crate::GemmReport {
+        match self.try_gemm_traced(m, n, k, a, b, c, threads) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Self::gemm_traced`]. The report's
+    /// [`crate::telemetry::FallbackStats`] records any graceful
+    /// degradation (unpooled packing, scalar-kernel reroute) the run took.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_gemm_traced(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        threads: usize,
+    ) -> Result<crate::GemmReport, GemmError> {
+        error::check_operands(m, n, k, a, b, c)?;
+        if m == 0 || n == 0 || k == 0 {
+            // Degenerate shapes never reach the tuner; report the shape
+            // with an otherwise-empty profile.
+            if k == 0 && m > 0 && n > 0 {
+                c.fill(0.0);
+            }
+            return Ok(crate::GemmReport { m, n, k, ..crate::GemmReport::default() });
+        }
         let plan =
             if threads > 1 { self.plan_multicore(m, n, k, threads) } else { self.plan(m, n, k) };
-        native::gemm_with_plan_traced(&plan, a, b, c, threads, &self.panel_pool)
+        native::try_gemm_with_plan_traced(&plan, a, b, c, threads, &self.panel_pool)
+    }
+
+    /// Batched same-shape GEMM through the engine: tunes the shape once
+    /// and spreads items over `threads` workers (each item runs
+    /// single-threaded on its own disjoint output slice).
+    ///
+    /// Panics with the structured [`GemmError`] message;
+    /// [`Self::try_gemm_batch`] is the non-panicking form.
+    pub fn gemm_batch(&self, batch: &GemmBatch, c: &mut [f32], threads: usize) {
+        if let Err(e) = self.try_gemm_batch(batch, c, threads) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`Self::gemm_batch`]: output-length mismatches and size
+    /// overflows come back as `Err` before any plan is tuned; a
+    /// panicking batch worker poisons the run per
+    /// [`crate::batch::try_gemm_batch`].
+    pub fn try_gemm_batch(
+        &self,
+        batch: &GemmBatch,
+        c: &mut [f32],
+        threads: usize,
+    ) -> Result<(), GemmError> {
+        let (m, n, k) = (batch.m, batch.n, batch.k);
+        let item = error::checked_size("m*n", m, n)?;
+        let expected = item.checked_mul(batch.len()).ok_or(GemmError::SizeOverflow {
+            what: "len*m*n",
+            lhs: batch.len(),
+            rhs: item,
+        })?;
+        if c.len() != expected {
+            return Err(GemmError::SliceLen {
+                operand: error::Operand::C,
+                expected,
+                got: c.len(),
+                dims: "len*m*n",
+            });
+        }
+        if batch.is_empty() || item == 0 {
+            return Ok(());
+        }
+        if k == 0 {
+            c.fill(0.0);
+            return Ok(());
+        }
+        // Items run single-threaded (parallelism is across items), so
+        // the per-item plan is the single-thread plan.
+        let plan = self.plan(m, n, k);
+        crate::batch::try_gemm_batch(&plan, batch, c, threads)
     }
 
     /// Drop the engine's pooled panel buffers (memory release valve after

@@ -1,0 +1,210 @@
+//! The structured error model of the fallible GEMM front door.
+//!
+//! Every native entry point has a `try_*` form returning
+//! `Result<_, GemmError>`; the historical infallible names are thin
+//! wrappers that panic with the *same* structured message
+//! ([`GemmError`]'s `Display`), so a caller that prefers aborting loses
+//! nothing, and a caller serving traffic can degrade gracefully the way
+//! the production BLAS libraries the paper benchmarks against do (§V).
+//!
+//! ## Panic policy
+//!
+//! * **Boundary conditions are `Err`, never `panic!`.** Slice-length
+//!   mismatches, size-computation overflow and plan mismatches are
+//!   reported with expected-vs-got detail before any work starts.
+//! * **Degenerate shapes are `Ok`.** `m == 0 || n == 0` is an empty
+//!   problem (nothing to write); `k == 0` writes `C = 0` (the empty sum),
+//!   both without planning.
+//! * **Worker panics are contained.** A panic inside a worker thread
+//!   poisons the run: surviving workers drain the work queue without
+//!   executing further blocks and exit cleanly, and the caller gets
+//!   [`GemmError::WorkerPanicked`] with the panicking worker's index and
+//!   payload — no deadlock, no abort, no unsoundness.
+//! * **Internal invariants may still `debug_assert!`.** Those guard
+//!   library bugs, not caller mistakes, and compile out of release
+//!   builds.
+//!
+//! ## The untouched-`C` guarantee
+//!
+//! On every error *except* [`GemmError::WorkerPanicked`], `C` has not
+//! been written at all: validation runs before the first store. On
+//! `WorkerPanicked`, `C` may hold a mix of original and partially
+//! updated blocks — every element is a value some complete micro-kernel
+//! store produced or the original contents (tiles are written whole, so
+//! no torn element is observable) — and the buffer is safe to reuse
+//! after re-running the GEMM.
+
+/// Which operand a length/shape complaint refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    A,
+    B,
+    C,
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::A => f.write_str("A"),
+            Operand::B => f.write_str("B"),
+            Operand::C => f.write_str("C"),
+        }
+    }
+}
+
+/// A structured GEMM failure. See the module docs for the panic policy
+/// and the untouched-`C` guarantee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GemmError {
+    /// An operand slice's length does not match the problem shape.
+    SliceLen {
+        operand: Operand,
+        /// `rows × cols` the shape implies.
+        expected: usize,
+        got: usize,
+        /// The dimension product as written, e.g. `"M*K"`.
+        dims: &'static str,
+    },
+    /// A size computation overflowed `usize` (e.g. `m * k` on a
+    /// pathological shape); no buffer of that size can exist, so the
+    /// operands cannot match it either.
+    SizeOverflow { what: &'static str, lhs: usize, rhs: usize },
+    /// A worker thread panicked and the run was poisoned. `thread` is
+    /// the worker's index in the pool (the caller thread is worker 0 on
+    /// single-threaded runs); `detail` carries the panic payload when it
+    /// was a string.
+    WorkerPanicked { thread: usize, detail: String },
+    /// Panel-buffer allocation failed in the named phase (pool and
+    /// unpooled fallback both unavailable — in practice only reachable
+    /// through the `faultinject` feature, since Rust aborts on true OOM).
+    AllocFailed { phase: &'static str },
+    /// A prepacked operand was built for a different plan.
+    PlanMismatch {
+        /// `(m, n, k)` the packed operand was built for.
+        expected: (usize, usize, usize),
+        got: (usize, usize, usize),
+    },
+}
+
+impl std::fmt::Display for GemmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GemmError::SliceLen { operand, expected, got, dims } => {
+                write!(f, "autogemm: {operand} must hold {dims} = {expected} elements, got {got}")
+            }
+            GemmError::SizeOverflow { what, lhs, rhs } => {
+                write!(f, "autogemm: size computation {what} = {lhs} * {rhs} overflows usize")
+            }
+            GemmError::WorkerPanicked { thread, detail } => {
+                write!(f, "autogemm: worker thread {thread} panicked: {detail}")
+            }
+            GemmError::AllocFailed { phase } => {
+                write!(f, "autogemm: panel allocation failed during {phase}")
+            }
+            GemmError::PlanMismatch { expected, got } => write!(
+                f,
+                "autogemm: packed operand was built for a different plan \
+                 (packed for {}x{}x{}, plan is {}x{}x{})",
+                expected.0, expected.1, expected.2, got.0, got.1, got.2
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GemmError {}
+
+/// `rows * cols`, or [`GemmError::SizeOverflow`] naming the computation.
+pub(crate) fn checked_size(
+    what: &'static str,
+    rows: usize,
+    cols: usize,
+) -> Result<usize, GemmError> {
+    rows.checked_mul(cols).ok_or(GemmError::SizeOverflow { what, lhs: rows, rhs: cols })
+}
+
+/// Validate one operand slice against its `rows × cols` shape.
+pub(crate) fn check_len(
+    operand: Operand,
+    dims: &'static str,
+    len: usize,
+    rows: usize,
+    cols: usize,
+) -> Result<(), GemmError> {
+    let expected = checked_size(dims, rows, cols)?;
+    if len != expected {
+        return Err(GemmError::SliceLen { operand, expected, got: len, dims });
+    }
+    Ok(())
+}
+
+/// Validate the three `C (M×N) = A (M×K) · B (K×N)` operands at once.
+pub(crate) fn check_operands(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &[f32],
+) -> Result<(), GemmError> {
+    check_len(Operand::A, "M*K", a.len(), m, k)?;
+    check_len(Operand::B, "K*N", b.len(), k, n)?;
+    check_len(Operand::C, "M*N", c.len(), m, n)
+}
+
+/// Render a panic payload for [`GemmError::WorkerPanicked`].
+pub(crate) fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_expected_vs_got() {
+        let e = GemmError::SliceLen { operand: Operand::A, expected: 12, got: 7, dims: "M*K" };
+        let msg = e.to_string();
+        assert!(msg.contains("A must hold M*K = 12 elements, got 7"), "{msg}");
+    }
+
+    #[test]
+    fn overflow_is_reported_not_panicked() {
+        let e = checked_size("M*K", usize::MAX, 2).unwrap_err();
+        assert!(matches!(e, GemmError::SizeOverflow { what: "M*K", .. }));
+        assert!(e.to_string().contains("overflows usize"));
+    }
+
+    #[test]
+    fn check_operands_names_the_offender() {
+        let a = vec![0.0f32; 6];
+        let b = vec![0.0f32; 6];
+        let c = vec![0.0f32; 3];
+        let e = check_operands(2, 2, 3, &a, &b, &c).unwrap_err();
+        assert_eq!(
+            e,
+            GemmError::SliceLen { operand: Operand::C, expected: 4, got: 3, dims: "M*N" }
+        );
+    }
+
+    #[test]
+    fn panic_detail_downcasts_strings() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(panic_detail(s.as_ref()), "boom");
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_detail(s.as_ref()), "owned");
+        let s: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_detail(s.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn plan_mismatch_mentions_different_plan() {
+        let e = GemmError::PlanMismatch { expected: (1, 2, 3), got: (4, 5, 6) };
+        assert!(e.to_string().contains("different plan"));
+    }
+}

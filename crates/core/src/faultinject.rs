@@ -1,0 +1,312 @@
+//! Seeded, deterministic fault injection for the native backend.
+//!
+//! Behind the `faultinject` cargo feature (a no-op when off, like
+//! `telemetry`): probes compiled into the hot paths consult a globally
+//! armed [`FaultPlan`] and, at the chosen call, either *degrade* (force
+//! the graceful-degradation path), *fail* (surface a structured
+//! [`GemmError`](crate::error::GemmError)) or *panic* (exercise the
+//! worker-panic containment). With the feature off every probe is an
+//! `#[inline(always)]` constant `Ok`, so the release hot loops are
+//! untouched.
+//!
+//! Injection sites:
+//!
+//! * [`FaultSite::PackAlloc`] — panel-buffer acquisition. `Degrade`
+//!   forces the unpooled packing path, `Fail` simulates allocation
+//!   failure, `Panic` panics mid-setup.
+//! * [`FaultSite::KernelDispatch`] — SIMD backend selection per run.
+//!   `Degrade` simulates a failed backend probe and routes the run to
+//!   the scalar reference kernels; `Panic` panics at dispatch.
+//! * [`FaultSite::WorkerStartup`] — entry of each worker's block loop.
+//!   Only `Panic` is meaningful here (a worker cannot "degrade" without
+//!   silently dropping its share of the work).
+//!
+//! Triggers are counted per site with atomic counters, so a plan like
+//! `Nth(3)` at `WorkerStartup` deterministically kills the third worker
+//! to reach its loop regardless of scheduling. Arm a plan with
+//! [`arm`]; the returned guard disarms on drop, and
+//! [`ArmGuard::fired`] reports how many injections actually triggered
+//! (chaos tests assert it is non-zero so a probe that moved or vanished
+//! fails loudly instead of silently passing).
+
+/// A place in the native backend where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Panel-buffer acquisition (pool or fresh allocation).
+    PackAlloc,
+    /// SIMD backend selection at the start of a run.
+    KernelDispatch,
+    /// Entry of a worker's block loop.
+    WorkerStartup,
+}
+
+impl FaultSite {
+    #[cfg_attr(not(feature = "faultinject"), allow(dead_code))]
+    pub(crate) fn index(self) -> usize {
+        match self {
+            FaultSite::PackAlloc => 0,
+            FaultSite::KernelDispatch => 1,
+            FaultSite::WorkerStartup => 2,
+        }
+    }
+
+    /// All sites, in counter order.
+    pub const ALL: [FaultSite; 3] =
+        [FaultSite::PackAlloc, FaultSite::KernelDispatch, FaultSite::WorkerStartup];
+}
+
+/// What the injected fault does at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Force the graceful-degradation path (unpooled packing, scalar
+    /// kernels). The GEMM must still complete with a correct result.
+    Degrade,
+    /// Report failure: the probe's caller surfaces a structured
+    /// `GemmError` instead of computing.
+    Fail,
+    /// Panic at the probe, exercising containment. The panic message
+    /// always contains `"injected fault"`.
+    Panic,
+}
+
+/// When the fault fires, counted per site across the armed plan's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fire exactly once, on the `n`-th probe call at the site (1-based).
+    Nth(u64),
+    /// Fire on every `k`-th probe call at the site.
+    EveryKth(u64),
+}
+
+impl Trigger {
+    #[cfg_attr(not(feature = "faultinject"), allow(dead_code))]
+    fn matches(self, call: u64) -> bool {
+        match self {
+            Trigger::Nth(n) => call == n.max(1),
+            Trigger::EveryKth(k) => call.is_multiple_of(k.max(1)),
+        }
+    }
+}
+
+/// One injection: a site, what to do there, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    pub site: FaultSite,
+    pub action: FaultAction,
+    pub trigger: Trigger,
+}
+
+/// A deterministic set of injections to arm for one test scenario.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// A plan with a single injection.
+    pub fn single(site: FaultSite, action: FaultAction, trigger: Trigger) -> Self {
+        FaultPlan { specs: vec![FaultSpec { site, action, trigger }] }
+    }
+
+    /// Derive a 1–3 injection plan deterministically from `seed`
+    /// (xorshift64), restricted to site/action combinations that are
+    /// meaningful (see the module docs).
+    pub fn seeded(seed: u64) -> Self {
+        let mut state = seed | 1; // xorshift must not start at 0
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let count = 1 + (next() % 3) as usize;
+        let mut specs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let site = FaultSite::ALL[(next() % 3) as usize];
+            let action = match site {
+                FaultSite::PackAlloc => match next() % 3 {
+                    0 => FaultAction::Degrade,
+                    1 => FaultAction::Fail,
+                    _ => FaultAction::Panic,
+                },
+                FaultSite::KernelDispatch => {
+                    if next() % 2 == 0 {
+                        FaultAction::Degrade
+                    } else {
+                        FaultAction::Panic
+                    }
+                }
+                FaultSite::WorkerStartup => FaultAction::Panic,
+            };
+            let trigger = if next() % 2 == 0 {
+                Trigger::Nth(1 + next() % 3)
+            } else {
+                Trigger::EveryKth(2 + next() % 3)
+            };
+            specs.push(FaultSpec { site, action, trigger });
+        }
+        FaultPlan { specs }
+    }
+}
+
+/// What a probe told its caller to do. `Panic` never reaches the
+/// caller — it is raised inside the probe itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// No fault: proceed normally.
+    Ok,
+    /// Take the degradation path.
+    Degrade,
+    /// Surface a structured error.
+    Fail,
+}
+
+#[cfg(feature = "faultinject")]
+mod armed {
+    use super::{FaultAction, FaultPlan, FaultSite, Probe};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    pub(super) struct ArmedState {
+        plan: FaultPlan,
+        calls: [AtomicU64; 3],
+        fired: AtomicU64,
+    }
+
+    static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+    static STATE: Mutex<Option<Arc<ArmedState>>> = Mutex::new(None);
+
+    /// Disarms the global plan on drop; reports how many faults fired.
+    pub struct ArmGuard {
+        state: Arc<ArmedState>,
+    }
+
+    impl ArmGuard {
+        /// How many injections have actually triggered so far.
+        pub fn fired(&self) -> u64 {
+            self.state.fired.load(Ordering::Relaxed)
+        }
+    }
+
+    impl Drop for ArmGuard {
+        fn drop(&mut self) {
+            let mut slot = STATE.lock().unwrap_or_else(|e| e.into_inner());
+            ANY_ARMED.store(false, Ordering::SeqCst);
+            *slot = None;
+        }
+    }
+
+    /// Arm `plan` globally. Only one plan can be armed at a time; the
+    /// guard disarms on drop. Tests arming faults must serialize (the
+    /// chaos suite holds a static mutex for this).
+    pub fn arm(plan: FaultPlan) -> ArmGuard {
+        let state = Arc::new(ArmedState {
+            plan,
+            calls: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            fired: AtomicU64::new(0),
+        });
+        let mut slot = STATE.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(slot.is_none(), "a FaultPlan is already armed");
+        *slot = Some(Arc::clone(&state));
+        ANY_ARMED.store(true, Ordering::SeqCst);
+        ArmGuard { state }
+    }
+
+    #[inline]
+    pub(crate) fn probe(site: FaultSite) -> Probe {
+        if !ANY_ARMED.load(Ordering::Relaxed) {
+            return Probe::Ok;
+        }
+        probe_armed(site)
+    }
+
+    #[cold]
+    fn probe_armed(site: FaultSite) -> Probe {
+        let state = {
+            let slot = STATE.lock().unwrap_or_else(|e| e.into_inner());
+            match slot.as_ref() {
+                Some(s) => Arc::clone(s),
+                None => return Probe::Ok,
+            }
+        };
+        let call = state.calls[site.index()].fetch_add(1, Ordering::SeqCst) + 1;
+        for spec in &state.plan.specs {
+            if spec.site == site && spec.trigger.matches(call) {
+                state.fired.fetch_add(1, Ordering::SeqCst);
+                match spec.action {
+                    FaultAction::Degrade => return Probe::Degrade,
+                    FaultAction::Fail => return Probe::Fail,
+                    FaultAction::Panic => {
+                        panic!("injected fault at {site:?} (call {call})")
+                    }
+                }
+            }
+        }
+        Probe::Ok
+    }
+}
+
+#[cfg(feature = "faultinject")]
+pub use armed::{arm, ArmGuard};
+
+/// Consult the armed plan at `site`. With the `faultinject` feature off
+/// this is a constant `Probe::Ok` the optimizer erases.
+#[inline(always)]
+pub(crate) fn probe(site: FaultSite) -> Probe {
+    #[cfg(feature = "faultinject")]
+    {
+        armed::probe(site)
+    }
+    #[cfg(not(feature = "faultinject"))]
+    {
+        let _ = site;
+        Probe::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_valid() {
+        for seed in 0..64u64 {
+            let p1 = FaultPlan::seeded(seed);
+            let p2 = FaultPlan::seeded(seed);
+            assert_eq!(p1, p2, "seed {seed} not deterministic");
+            assert!(!p1.specs.is_empty() && p1.specs.len() <= 3);
+            for spec in &p1.specs {
+                if spec.site == FaultSite::WorkerStartup {
+                    assert_eq!(spec.action, FaultAction::Panic);
+                }
+                if spec.site == FaultSite::KernelDispatch {
+                    assert_ne!(spec.action, FaultAction::Fail);
+                }
+                match spec.trigger {
+                    Trigger::Nth(n) => assert!(n >= 1),
+                    Trigger::EveryKth(k) => assert!(k >= 2),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trigger_matching() {
+        assert!(Trigger::Nth(3).matches(3));
+        assert!(!Trigger::Nth(3).matches(2));
+        assert!(!Trigger::Nth(3).matches(4));
+        assert!(Trigger::EveryKth(2).matches(2));
+        assert!(Trigger::EveryKth(2).matches(4));
+        assert!(!Trigger::EveryKth(2).matches(3));
+        // Degenerate parameters clamp instead of panicking.
+        assert!(Trigger::Nth(0).matches(1));
+        assert!(Trigger::EveryKth(0).matches(5));
+    }
+
+    #[test]
+    fn probe_is_ok_when_disarmed() {
+        assert_eq!(probe(FaultSite::PackAlloc), Probe::Ok);
+        assert_eq!(probe(FaultSite::KernelDispatch), Probe::Ok);
+        assert_eq!(probe(FaultSite::WorkerStartup), Probe::Ok);
+    }
+}

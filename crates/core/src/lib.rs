@@ -55,10 +55,41 @@
 //!   profiles from the traced drivers, the dispatched kernel-shape
 //!   histogram, and versioned-JSON [`telemetry::GemmReport`]s joined
 //!   against the perfmodel projection (the measured-vs-model feedback
-//!   loop every perf PR cites).
+//!   loop every perf PR cites);
+//! * [`error`] — the structured error model behind the `try_*` API
+//!   surface: [`GemmError`], the panic policy, the untouched-`C`
+//!   guarantee and worker-panic containment;
+//! * [`faultinject`] — the seeded deterministic fault-injection harness
+//!   (behind the `faultinject` feature, a no-op otherwise) that drives
+//!   the chaos test suite.
+//!
+//! ## Fallible API
+//!
+//! Every execution entry point has a `try_*` twin returning
+//! `Result<_, GemmError>`; the classic names are thin wrappers that
+//! panic with the same structured message. See [`error`] for the
+//! contract.
+//!
+//! ```
+//! use autogemm::{AutoGemm, GemmError};
+//! use autogemm_arch::ChipSpec;
+//!
+//! let engine = AutoGemm::new(ChipSpec::graviton2());
+//! let a = vec![0.0f32; 4 * 8];
+//! let b = vec![0.0f32; 8 * 4];
+//! let mut c = vec![0.0f32; 3]; // wrong: needs 4*4 = 16
+//! match engine.try_gemm(4, 4, 8, &a, &b, &mut c) {
+//!     Err(GemmError::SliceLen { expected, got, .. }) => {
+//!         assert_eq!((expected, got), (16, 3));
+//!     }
+//!     other => panic!("expected SliceLen, got {other:?}"),
+//! }
+//! ```
 
 pub mod batch;
 pub mod engine;
+pub mod error;
+pub mod faultinject;
 pub mod kernels;
 pub mod native;
 pub mod offline;
@@ -69,10 +100,13 @@ pub mod simexec;
 pub mod telemetry;
 pub mod transpose;
 
-pub use batch::{gemm_batch, GemmBatch};
+pub use batch::{gemm_batch, try_gemm_batch, GemmBatch};
 pub use engine::{AutoGemm, SimGemmReport};
-pub use offline::{gemm_prepacked, gemm_prepacked_pooled, PackedB};
+pub use error::GemmError;
+pub use offline::{
+    gemm_prepacked, gemm_prepacked_pooled, try_gemm_prepacked, try_gemm_prepacked_pooled, PackedB,
+};
 pub use packing::PanelPool;
 pub use plan::ExecutionPlan;
 pub use telemetry::GemmReport;
-pub use transpose::{gemm_op, sgemm, Op};
+pub use transpose::{gemm_op, sgemm, try_gemm_op, try_sgemm, Op};

@@ -37,16 +37,131 @@
 //! historical per-block path ([`gemm_with_plan_repack`]), so results are
 //! bit-identical.
 
+use crate::error::{self, GemmError};
+use crate::faultinject::{self, FaultSite, Probe};
 use crate::offline::PackedB;
 use crate::packing::{pack_a, pack_a_into, pack_b, pack_b_into, PackedBlock, PanelPool};
 use crate::plan::ExecutionPlan;
 use crate::telemetry::clock::Stamp;
-use crate::telemetry::report::{GemmReport, PackStats, PhaseProfile, PhaseTimes, ThreadProfile};
+use crate::telemetry::report::{
+    FallbackStats, GemmReport, PackStats, PhaseProfile, PhaseTimes, ThreadProfile,
+};
 use crate::telemetry::session::{self, Session};
 use autogemm_tiling::TilePlacement;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Shared poison flag for one parallel section. The first panicking
+/// worker records its index and payload here; survivors poll
+/// [`Poison::is_poisoned`] between blocks and stop claiming work, so the
+/// section always joins cleanly (no deadlock) and the caller gets a
+/// structured [`GemmError::WorkerPanicked`] instead of an abort.
+struct Poison {
+    hit: AtomicBool,
+    first: Mutex<Option<(usize, String)>>,
+}
+
+impl Poison {
+    fn new() -> Self {
+        Poison { hit: AtomicBool::new(false), first: Mutex::new(None) }
+    }
+
+    #[inline]
+    fn is_poisoned(&self) -> bool {
+        self.hit.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, thread: usize, payload: Box<dyn std::any::Any + Send>) {
+        {
+            let mut first = self.first.lock();
+            if first.is_none() {
+                *first = Some((thread, error::panic_detail(payload.as_ref())));
+            }
+        }
+        self.hit.store(true, Ordering::SeqCst);
+    }
+
+    fn into_result(self) -> Result<(), GemmError> {
+        match self.first.into_inner() {
+            Some((thread, detail)) => Err(GemmError::WorkerPanicked { thread, detail }),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Run `f` on the caller thread with panic containment. The caller
+/// thread acts as worker 0 (setup phases and single-threaded runs), so a
+/// caught panic reports `thread: 0`.
+fn contain<R>(f: impl FnOnce() -> R) -> Result<R, GemmError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| GemmError::WorkerPanicked {
+        thread: 0,
+        detail: error::panic_detail(payload.as_ref()),
+    })
+}
+
+/// Consult the fault-injection plan at `site` from the caller thread,
+/// containing an injected panic as a worker-0 panic. Compiles to
+/// `Ok(Probe::Ok)` without the `faultinject` feature.
+#[inline(always)]
+fn probe_contained(site: FaultSite) -> Result<Probe, GemmError> {
+    #[cfg(feature = "faultinject")]
+    {
+        contain(|| faultinject::probe(site))
+    }
+    #[cfg(not(feature = "faultinject"))]
+    {
+        let _ = site;
+        Ok(Probe::Ok)
+    }
+}
+
+/// Setup-phase degradation decisions for one run, made (and contained)
+/// on the caller thread before any panel is packed.
+struct RunConfig {
+    /// Route every placement to the scalar reference kernels — the
+    /// degradation path for a failed SIMD backend probe (only reachable
+    /// through `faultinject`; the real [`crate::simd::SimdBackend`]
+    /// probe always has the portable fallback).
+    reference: bool,
+    /// Degradations taken, for the traced driver's report.
+    fallbacks: FallbackStats,
+}
+
+impl RunConfig {
+    fn probe() -> Result<RunConfig, GemmError> {
+        let mut cfg = RunConfig { reference: false, fallbacks: FallbackStats::default() };
+        if probe_contained(FaultSite::KernelDispatch)? != Probe::Ok {
+            // Degrade *and* Fail both land on the scalar path: a kernel
+            // backend that cannot be selected still has a correct
+            // reference implementation, so dispatch never needs to fail
+            // the whole GEMM.
+            cfg.reference = true;
+            cfg.fallbacks.scalar_kernels += 1;
+        }
+        Ok(cfg)
+    }
+
+    /// Choose the packing pool for one pack phase: the caller's pool, or
+    /// a transient one when the pool allocation is poisoned (`Degrade`).
+    /// `Fail` simulates an unrecoverable allocation failure.
+    fn pack_pool<'a>(
+        &mut self,
+        caller: &'a PanelPool,
+        transient: &'a PanelPool,
+        phase: &'static str,
+    ) -> Result<&'a PanelPool, GemmError> {
+        match probe_contained(FaultSite::PackAlloc)? {
+            Probe::Ok => Ok(caller),
+            Probe::Degrade => {
+                self.fallbacks.pool_packs += 1;
+                Ok(transient)
+            }
+            Probe::Fail => Err(GemmError::AllocFailed { phase }),
+        }
+    }
+}
 
 /// A writable view of one `C` micro-tile: base pointer at the tile's
 /// `(0,0)` element plus the row stride.
@@ -469,14 +584,38 @@ impl BPanels<'_> {
 /// Uses a transient panel pool; prefer [`gemm_with_plan_pooled`] (or the
 /// engine front door, which holds a persistent pool) when calling
 /// repeatedly.
+///
+/// Panics with the structured [`GemmError`] message on invalid operands
+/// or a contained worker panic; [`try_gemm_with_plan`] is the fallible
+/// form.
 pub fn gemm_with_plan(plan: &ExecutionPlan, a: &[f32], b: &[f32], c: &mut [f32], threads: usize) {
+    if let Err(e) = try_gemm_with_plan(plan, a, b, c, threads) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible [`gemm_with_plan`]: validates operands against the plan's
+/// shape, handles degenerate dimensions, and contains worker panics —
+/// see [`crate::error`] for the panic policy and the untouched-`C`
+/// guarantee.
+pub fn try_gemm_with_plan(
+    plan: &ExecutionPlan,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+) -> Result<(), GemmError> {
     let pool = PanelPool::new();
-    gemm_with_plan_pooled(plan, a, b, c, threads, &pool);
+    try_gemm_with_plan_pooled(plan, a, b, c, threads, &pool)
 }
 
 /// [`gemm_with_plan`] with an explicit panel-buffer pool: panel
 /// allocations made by this call are recycled through `pool`, so repeated
 /// calls through the same pool allocate nothing after warm-up.
+///
+/// Panics with the structured [`GemmError`] message on invalid operands
+/// or a contained worker panic; [`try_gemm_with_plan_pooled`] is the
+/// fallible form.
 pub fn gemm_with_plan_pooled(
     plan: &ExecutionPlan,
     a: &[f32],
@@ -485,30 +624,72 @@ pub fn gemm_with_plan_pooled(
     threads: usize,
     pool: &PanelPool,
 ) {
+    if let Err(e) = try_gemm_with_plan_pooled(plan, a, b, c, threads, pool) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible [`gemm_with_plan_pooled`]. Operands are validated against
+/// the plan's shape before any work (length mismatches and size
+/// overflows leave `C` untouched); `m == 0 || n == 0` returns with `C`
+/// untouched, `k == 0` writes the empty sum (`C = 0`); worker panics are
+/// contained and reported as [`GemmError::WorkerPanicked`].
+pub fn try_gemm_with_plan_pooled(
+    plan: &ExecutionPlan,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+    pool: &PanelPool,
+) -> Result<(), GemmError> {
     let s = &plan.schedule;
     let (m, n, k) = (s.m, s.n, s.k);
-    assert_eq!(a.len(), m * k, "A must be M*K");
-    assert_eq!(b.len(), k * n, "B must be K*N");
-    assert_eq!(c.len(), m * n, "C must be M*N");
+    error::check_operands(m, n, k, a, b, c)?;
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return Ok(());
+    }
     let (_, tn, tk) = plan.grid();
+    let mut cfg = RunConfig::probe()?;
+    let transient = PanelPool::new();
 
-    let a_panels = pack_a_panels(plan, a, threads, pool);
+    let a_pool = cfg.pack_pool(pool, &transient, "pack A")?;
+    let a_panels = try_pack_a_panels(plan, a, threads, a_pool)?;
+    let b_pool = match cfg.pack_pool(pool, &transient, "pack B") {
+        Ok(p) => p,
+        Err(e) => {
+            a_pool.release_blocks(a_panels);
+            return Err(e);
+        }
+    };
     let b_panels = {
-        let mut panels = pool.acquire_blocks(tk * tn);
-        pack_panels_parallel(&mut panels, threads, |idx, p| {
+        let mut panels = b_pool.acquire_blocks(tk * tn);
+        let packed = try_pack_panels_parallel(&mut panels, threads, |idx, p| {
             let (kb, bj) = (idx / tn, idx % tn);
             pack_b_into(p, b, n, kb * s.kc, bj * s.nc, s.kc, s.nc, plan.sigma_lane);
         });
+        if let Err(e) = packed {
+            a_pool.release_blocks(a_panels);
+            b_pool.release_blocks(panels);
+            return Err(e);
+        }
         panels
     };
 
     let b_src = BPanels::Owned { panels: b_panels, tn };
-    run_blocks_cached(plan, &a_panels, &b_src, c, threads);
+    let run = try_run_blocks_cached(plan, &a_panels, &b_src, c, threads, cfg.reference);
 
-    pool.release_blocks(a_panels);
+    // Buffers go back even when the run was poisoned: a contained panic
+    // never corrupts a panel buffer (they hold plain `f32`s), so the
+    // pool stays usable for the caller's next attempt.
+    a_pool.release_blocks(a_panels);
     if let BPanels::Owned { panels, .. } = b_src {
-        pool.release_blocks(panels);
+        b_pool.release_blocks(panels);
     }
+    run
 }
 
 /// [`gemm_with_plan_pooled`] with per-call telemetry: returns a
@@ -530,54 +711,105 @@ pub fn gemm_with_plan_traced(
     threads: usize,
     pool: &PanelPool,
 ) -> GemmReport {
+    match try_gemm_with_plan_traced(plan, a, b, c, threads, pool) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`gemm_with_plan_traced`]: the same validation, degenerate
+/// shapes and containment as [`try_gemm_with_plan_pooled`]. Degenerate
+/// shapes return a structurally filled report with no thread profiles
+/// (there is no parallel section to profile); degradations taken during
+/// the run land in [`GemmReport::fallbacks`].
+pub fn try_gemm_with_plan_traced(
+    plan: &ExecutionPlan,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+    pool: &PanelPool,
+) -> Result<GemmReport, GemmError> {
     let s = &plan.schedule;
     let (m, n, k) = (s.m, s.n, s.k);
-    assert_eq!(a.len(), m * k, "A must be M*K");
-    assert_eq!(b.len(), k * n, "B must be K*N");
-    assert_eq!(c.len(), m * n, "C must be M*N");
+    error::check_operands(m, n, k, a, b, c)?;
+    if m == 0 || n == 0 || k == 0 {
+        if k == 0 {
+            c.fill(0.0);
+        }
+        return Ok(GemmReport {
+            m,
+            n,
+            k,
+            threads: 0,
+            mc: s.mc,
+            nc: s.nc,
+            kc: s.kc,
+            ..GemmReport::default()
+        });
+    }
     let (tm, tn, tk) = plan.grid();
+    let mut cfg = RunConfig::probe()?;
+    let transient = PanelPool::new();
 
     let sess = Arc::new(Session::new());
     let t0 = Stamp::now();
 
     let pa0 = Stamp::now();
+    let a_pool = cfg.pack_pool(pool, &transient, "pack A")?;
     let a_panels = {
-        let mut panels = pool.acquire_blocks(tm * tk);
-        pack_panels_parallel(&mut panels, threads, |idx, p| {
+        let mut panels = a_pool.acquire_blocks(tm * tk);
+        let packed = try_pack_panels_parallel(&mut panels, threads, |idx, p| {
             session::with_session(&sess, || {
                 let (bi, kb) = (idx / tk, idx % tk);
                 pack_a_into(p, a, s.k, bi * s.mc, kb * s.kc, s.mc, s.kc, plan.sigma_lane);
             })
         });
+        if let Err(e) = packed {
+            a_pool.release_blocks(panels);
+            return Err(e);
+        }
         panels
     };
     let pack_a_t = pa0.elapsed();
 
     let pb0 = Stamp::now();
+    let b_pool = match cfg.pack_pool(pool, &transient, "pack B") {
+        Ok(p) => p,
+        Err(e) => {
+            a_pool.release_blocks(a_panels);
+            return Err(e);
+        }
+    };
     let b_panels = {
-        let mut panels = pool.acquire_blocks(tk * tn);
-        pack_panels_parallel(&mut panels, threads, |idx, p| {
+        let mut panels = b_pool.acquire_blocks(tk * tn);
+        let packed = try_pack_panels_parallel(&mut panels, threads, |idx, p| {
             session::with_session(&sess, || {
                 let (kb, bj) = (idx / tn, idx % tn);
                 pack_b_into(p, b, n, kb * s.kc, bj * s.nc, s.kc, s.nc, plan.sigma_lane);
             })
         });
+        if let Err(e) = packed {
+            a_pool.release_blocks(a_panels);
+            b_pool.release_blocks(panels);
+            return Err(e);
+        }
         panels
     };
     let pack_b_t = pb0.elapsed();
 
     let b_src = BPanels::Owned { panels: b_panels, tn };
-    let (thread_profiles, kernel, drain) =
-        run_blocks_traced(plan, &a_panels, &b_src, c, threads, &sess);
+    let run = try_run_blocks_traced(plan, &a_panels, &b_src, c, threads, &sess, cfg.reference);
 
-    pool.release_blocks(a_panels);
+    a_pool.release_blocks(a_panels);
     if let BPanels::Owned { panels, .. } = b_src {
-        pool.release_blocks(panels);
+        b_pool.release_blocks(panels);
     }
+    let (thread_profiles, kernel, drain) = run?;
 
     let wall = t0.elapsed();
     let stats = sess.take();
-    GemmReport {
+    Ok(GemmReport {
         m,
         n,
         k,
@@ -595,8 +827,9 @@ pub fn gemm_with_plan_traced(
         },
         tiles: stats.tile_counts(),
         thread_profiles,
+        fallbacks: cfg.fallbacks,
         model: None,
-    }
+    })
 }
 
 /// The traced twin of [`run_blocks_cached`]: the same atomic-cursor drain
@@ -605,57 +838,84 @@ pub fn gemm_with_plan_traced(
 /// idle tail (drain) can be charged per thread. Returns the sorted
 /// profiles, the wall/cycle span of the whole parallel section (the
 /// `kernel` phase), and the summed per-thread drain.
-fn run_blocks_traced(
+#[allow(clippy::type_complexity)]
+fn try_run_blocks_traced(
     plan: &ExecutionPlan,
     a_panels: &[PackedBlock],
     b_panels: &BPanels<'_>,
     c: &mut [f32],
     threads: usize,
     sess: &Arc<Session>,
-) -> (Vec<ThreadProfile>, PhaseTimes, PhaseTimes) {
+    reference: bool,
+) -> Result<(Vec<ThreadProfile>, PhaseTimes, PhaseTimes), GemmError> {
     let s = &plan.schedule;
     let (tm, tn, tk) = plan.grid();
     let blocks = block_visit_order(&s.order, tm, tn);
     let threads = threads.max(1).min(blocks.len().max(1));
 
-    // SAFETY: identical ownership argument to `run_blocks_cached` — each
-    // (bi, bj) block is claimed by exactly one thread via the cursor.
+    // SAFETY: identical ownership argument to `try_run_blocks_cached` —
+    // each (bi, bj) block is claimed by exactly one thread via the cursor.
     let c_root = unsafe { CTile::new(c.as_mut_ptr(), s.n, c.len()) };
     let section0 = Stamp::now();
     let mut finished: Vec<(ThreadProfile, Stamp)> = Vec::with_capacity(threads);
     if threads == 1 {
         let mut prof = ThreadProfile { thread: 0, ..ThreadProfile::default() };
-        session::with_session(sess, || {
-            for &(bi, bj) in &blocks {
-                let b0 = Stamp::now();
-                run_block_cached(plan, a_panels, b_panels, c_root, bi, bj, tk);
-                prof.busy += b0.elapsed();
-                prof.blocks += 1;
-            }
-        });
+        contain(|| {
+            session::with_session(sess, || {
+                faultinject::probe(FaultSite::WorkerStartup);
+                for &(bi, bj) in &blocks {
+                    let b0 = Stamp::now();
+                    run_block_cached(plan, a_panels, b_panels, c_root, bi, bj, tk, reference);
+                    prof.busy += b0.elapsed();
+                    prof.blocks += 1;
+                }
+            })
+        })?;
         finished.push((prof, Stamp::now()));
     } else {
         let cursor = AtomicUsize::new(0);
+        let poison = Poison::new();
         let collected: Mutex<Vec<(ThreadProfile, Stamp)>> = Mutex::new(Vec::with_capacity(threads));
-        crossbeam::scope(|scope| {
+        let scope_ok = crossbeam::scope(|scope| {
             for t in 0..threads {
-                let (blocks, cursor, collected) = (&blocks, &cursor, &collected);
+                let (blocks, cursor, collected, poison) = (&blocks, &cursor, &collected, &poison);
                 scope.spawn(move |_| {
                     let mut prof = ThreadProfile { thread: t, ..ThreadProfile::default() };
-                    session::with_session(sess, || loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(bi, bj)) = blocks.get(i) else { break };
-                        let b0 = Stamp::now();
-                        run_block_cached(plan, a_panels, b_panels, c_root, bi, bj, tk);
-                        prof.busy += b0.elapsed();
-                        prof.blocks += 1;
-                    });
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        session::with_session(sess, || {
+                            faultinject::probe(FaultSite::WorkerStartup);
+                            loop {
+                                if poison.is_poisoned() {
+                                    break;
+                                }
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(&(bi, bj)) = blocks.get(i) else { break };
+                                let b0 = Stamp::now();
+                                run_block_cached(
+                                    plan, a_panels, b_panels, c_root, bi, bj, tk, reference,
+                                );
+                                prof.busy += b0.elapsed();
+                                prof.blocks += 1;
+                            }
+                        })
+                    }));
+                    if let Err(payload) = run {
+                        poison.record(t, payload);
+                    }
                     // One lock per worker lifetime — never on the block path.
                     collected.lock().push((prof, Stamp::now()));
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
+        if scope_ok.is_err() {
+            // Defensive: workers contain their own panics, so the scope
+            // itself should never report one.
+            return Err(GemmError::WorkerPanicked {
+                thread: 0,
+                detail: "worker scope failed".to_string(),
+            });
+        }
+        poison.into_result()?;
         finished = collected.into_inner();
         finished.sort_by_key(|(p, _)| p.thread);
     }
@@ -670,25 +930,32 @@ fn run_blocks_traced(
             p
         })
         .collect();
-    (profiles, kernel, drain_total)
+    Ok((profiles, kernel, drain_total))
 }
 
 /// Pack all A panels of a plan (indexed `[bi * tk + kb]`) from `pool`
 /// buffers, in parallel when the problem is large enough to pay for it.
-pub(crate) fn pack_a_panels(
+/// On error the acquired buffers are returned to `pool` first.
+pub(crate) fn try_pack_a_panels(
     plan: &ExecutionPlan,
     a: &[f32],
     threads: usize,
     pool: &PanelPool,
-) -> Vec<PackedBlock> {
+) -> Result<Vec<PackedBlock>, GemmError> {
     let s = &plan.schedule;
     let (tm, _, tk) = plan.grid();
     let mut panels = pool.acquire_blocks(tm * tk);
-    pack_panels_parallel(&mut panels, threads, |idx, p| {
+    let packed = try_pack_panels_parallel(&mut panels, threads, |idx, p| {
         let (bi, kb) = (idx / tk, idx % tk);
         pack_a_into(p, a, s.k, bi * s.mc, kb * s.kc, s.mc, s.kc, plan.sigma_lane);
     });
-    panels
+    match packed {
+        Ok(()) => Ok(panels),
+        Err(e) => {
+            pool.release_blocks(panels);
+            Err(e)
+        }
+    }
 }
 
 /// Fill `panels[idx]` via `pack(idx, &mut panels[idx])`, splitting the
@@ -696,43 +963,75 @@ pub(crate) fn pack_a_panels(
 /// uniform, so a queue buys nothing here — the dynamic queue is for the
 /// kernel blocks, whose edge costs vary). Small jobs stay single-threaded
 /// to skip the spawn overhead.
-fn pack_panels_parallel<F>(panels: &mut [PackedBlock], threads: usize, pack: F)
+///
+/// A panicking pack worker poisons the phase: the other workers stop at
+/// their next slot boundary and the first panic comes back as
+/// [`GemmError::WorkerPanicked`] (`C` is untouched — nothing has run
+/// yet).
+fn try_pack_panels_parallel<F>(
+    panels: &mut [PackedBlock],
+    threads: usize,
+    pack: F,
+) -> Result<(), GemmError>
 where
     F: Fn(usize, &mut PackedBlock) + Sync,
 {
     let total = panels.len();
     let threads = threads.max(1).min(total.max(1));
     if threads == 1 || total < 2 * threads {
-        for (idx, p) in panels.iter_mut().enumerate() {
-            pack(idx, p);
-        }
-        return;
+        return contain(|| {
+            for (idx, p) in panels.iter_mut().enumerate() {
+                pack(idx, p);
+            }
+        });
     }
     let chunk = total.div_ceil(threads);
-    crossbeam::scope(|scope| {
+    let poison = Poison::new();
+    let scope_ok = crossbeam::scope(|scope| {
         for (t, slice) in panels.chunks_mut(chunk).enumerate() {
-            let pack = &pack;
+            let (pack, poison) = (&pack, &poison);
             scope.spawn(move |_| {
-                for (off, p) in slice.iter_mut().enumerate() {
-                    pack(t * chunk + off, p);
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    for (off, p) in slice.iter_mut().enumerate() {
+                        if poison.is_poisoned() {
+                            break;
+                        }
+                        pack(t * chunk + off, p);
+                    }
+                }));
+                if let Err(payload) = run {
+                    poison.record(t, payload);
                 }
             });
         }
-    })
-    .expect("packing thread panicked");
+    });
+    if scope_ok.is_err() {
+        return Err(GemmError::WorkerPanicked {
+            thread: 0,
+            detail: "packing scope failed".to_string(),
+        });
+    }
+    poison.into_result()
 }
 
 /// Drain the `σ_order`-sorted block list through a shared atomic cursor:
 /// each worker claims the next unprocessed block, so threads that land on
 /// cheap edge blocks immediately pull more work instead of idling behind
 /// a static stride assignment.
-pub(crate) fn run_blocks_cached(
+///
+/// Every worker runs under `catch_unwind`: a panic poisons the run, the
+/// survivors stop claiming blocks and join cleanly, and the first panic
+/// is reported as [`GemmError::WorkerPanicked`]. On that error `C` may
+/// hold a mix of original and fully computed blocks (tiles are written
+/// whole — see [`crate::error`]).
+pub(crate) fn try_run_blocks_cached(
     plan: &ExecutionPlan,
     a_panels: &[PackedBlock],
     b_panels: &BPanels<'_>,
     c: &mut [f32],
     threads: usize,
-) {
+    reference: bool,
+) -> Result<(), GemmError> {
     let s = &plan.schedule;
     let (tm, tn, tk) = plan.grid();
     let blocks = block_visit_order(&s.order, tm, tn);
@@ -743,28 +1042,52 @@ pub(crate) fn run_blocks_cached(
     // block's cells, and K is never split across threads (§V-C).
     let c_root = unsafe { CTile::new(c.as_mut_ptr(), s.n, c.len()) };
     if threads == 1 {
-        for &(bi, bj) in &blocks {
-            run_block_cached(plan, a_panels, b_panels, c_root, bi, bj, tk);
-        }
-        return;
+        // The caller thread is worker 0; its panics are contained too.
+        return contain(|| {
+            faultinject::probe(FaultSite::WorkerStartup);
+            for &(bi, bj) in &blocks {
+                run_block_cached(plan, a_panels, b_panels, c_root, bi, bj, tk, reference);
+            }
+        });
     }
     let cursor = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            let (blocks, cursor) = (&blocks, &cursor);
-            scope.spawn(move |_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&(bi, bj)) = blocks.get(i) else { break };
-                run_block_cached(plan, a_panels, b_panels, c_root, bi, bj, tk);
+    let poison = Poison::new();
+    let scope_ok = crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let (blocks, cursor, poison) = (&blocks, &cursor, &poison);
+            scope.spawn(move |_| {
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    faultinject::probe(FaultSite::WorkerStartup);
+                    loop {
+                        if poison.is_poisoned() {
+                            break;
+                        }
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(bi, bj)) = blocks.get(i) else { break };
+                        run_block_cached(plan, a_panels, b_panels, c_root, bi, bj, tk, reference);
+                    }
+                }));
+                if let Err(payload) = run {
+                    poison.record(t, payload);
+                }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
+    if scope_ok.is_err() {
+        return Err(GemmError::WorkerPanicked {
+            thread: 0,
+            detail: "worker scope failed".to_string(),
+        });
+    }
+    poison.into_result()
 }
 
 /// Execute all K-slices of one `C` block from cached panels
 /// (single-threaded by design; `kb` ascends so the accumulation order
-/// matches the per-block repacking path bit-for-bit).
+/// matches the per-block repacking path bit-for-bit). `reference` routes
+/// every placement to the scalar reference kernels (the degraded-dispatch
+/// path).
+#[allow(clippy::too_many_arguments)]
 fn run_block_cached(
     plan: &ExecutionPlan,
     a_panels: &[PackedBlock],
@@ -773,6 +1096,7 @@ fn run_block_cached(
     bi: usize,
     bj: usize,
     tk: usize,
+    reference: bool,
 ) {
     let s = &plan.schedule;
     // SAFETY: this thread exclusively owns the block's cells.
@@ -782,7 +1106,9 @@ fn run_block_cached(
         let pb = b_panels.panel(kb, bj);
         let accumulate = kb > 0;
         for placement in &plan.block_plan.placements {
-            run_placement(placement, s.kc, &pa.data, pa.ld, &pb.data, pb.ld, c_block, accumulate);
+            run_placement_impl(
+                reference, placement, s.kc, &pa.data, pa.ld, &pb.data, pb.ld, c_block, accumulate,
+            );
         }
     }
 }
@@ -799,11 +1125,32 @@ pub fn gemm_with_plan_repack(
     c: &mut [f32],
     threads: usize,
 ) {
+    if let Err(e) = try_gemm_with_plan_repack(plan, a, b, c, threads) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible [`gemm_with_plan_repack`]: the same validation, degenerate
+/// shapes and worker-panic containment as [`try_gemm_with_plan_pooled`]
+/// (static block striding instead of the cursor, so a poisoned run stops
+/// each worker at its next block boundary).
+pub fn try_gemm_with_plan_repack(
+    plan: &ExecutionPlan,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+) -> Result<(), GemmError> {
     let s = &plan.schedule;
     let (m, n, k) = (s.m, s.n, s.k);
-    assert_eq!(a.len(), m * k, "A must be M*K");
-    assert_eq!(b.len(), k * n, "B must be K*N");
-    assert_eq!(c.len(), m * n, "C must be M*N");
+    error::check_operands(m, n, k, a, b, c)?;
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return Ok(());
+    }
     let (tm, tn, tk) = plan.grid();
     let blocks = block_visit_order(&s.order, tm, tn);
     let threads = threads.max(1).min(blocks.len().max(1));
@@ -811,17 +1158,39 @@ pub fn gemm_with_plan_repack(
     // SAFETY: each (bi, bj) block is handled by exactly one thread and the
     // blocks partition C; CTile accesses stay within a block's cells.
     let c_root = unsafe { CTile::new(c.as_mut_ptr(), n, c.len()) };
-    crossbeam::scope(|scope| {
+    if threads == 1 {
+        return contain(|| {
+            for &(bi, bj) in &blocks {
+                run_block(plan, a, b, c_root, bi, bj, tk);
+            }
+        });
+    }
+    let poison = Poison::new();
+    let scope_ok = crossbeam::scope(|scope| {
         for t in 0..threads {
-            let blocks = &blocks;
+            let (blocks, poison) = (&blocks, &poison);
             scope.spawn(move |_| {
-                for (bi, bj) in blocks.iter().skip(t).step_by(threads) {
-                    run_block(plan, a, b, c_root, *bi, *bj, tk);
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    for (bi, bj) in blocks.iter().skip(t).step_by(threads) {
+                        if poison.is_poisoned() {
+                            break;
+                        }
+                        run_block(plan, a, b, c_root, *bi, *bj, tk);
+                    }
+                }));
+                if let Err(payload) = run {
+                    poison.record(t, payload);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
+    if scope_ok.is_err() {
+        return Err(GemmError::WorkerPanicked {
+            thread: 0,
+            detail: "worker scope failed".to_string(),
+        });
+    }
+    poison.into_result()
 }
 
 /// Visit order of the `(M_c, N_c)` block grid, following the tuned

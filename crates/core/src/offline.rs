@@ -6,6 +6,7 @@
 //! The packed form stores one padded `(k_c+2) × n_c` panel per cache
 //! block of `B`, in block order, so the run-time loop does zero copies.
 
+use crate::error::{self, GemmError, Operand};
 use crate::packing::{pack_b, PackedBlock};
 use crate::plan::ExecutionPlan;
 
@@ -45,13 +46,15 @@ impl PackedB {
         self.panels.iter().map(|p| p.data.len() * 4).sum()
     }
 
-    pub(crate) fn check(&self, plan: &ExecutionPlan) {
+    pub(crate) fn check(&self, plan: &ExecutionPlan) -> Result<(), GemmError> {
         let s = &plan.schedule;
-        assert_eq!(
-            self.shape,
-            (s.m, s.n, s.k, s.nc, s.kc),
-            "PackedB was built for a different plan"
-        );
+        if self.shape != (s.m, s.n, s.k, s.nc, s.kc) {
+            return Err(GemmError::PlanMismatch {
+                expected: (self.shape.0, self.shape.1, self.shape.2),
+                got: (s.m, s.n, s.k),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -69,8 +72,23 @@ pub fn gemm_prepacked(
     c: &mut [f32],
     threads: usize,
 ) {
+    if let Err(e) = try_gemm_prepacked(plan, a, packed_b, c, threads) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible [`gemm_prepacked`]: plan-mismatch and operand validation as
+/// `Err` instead of panics, worker panics contained (see
+/// [`crate::error`]).
+pub fn try_gemm_prepacked(
+    plan: &ExecutionPlan,
+    a: &[f32],
+    packed_b: &PackedB,
+    c: &mut [f32],
+    threads: usize,
+) -> Result<(), GemmError> {
     let pool = crate::packing::PanelPool::new();
-    gemm_prepacked_pooled(plan, a, packed_b, c, threads, &pool);
+    try_gemm_prepacked_pooled(plan, a, packed_b, c, threads, &pool)
 }
 
 /// [`gemm_prepacked`] recycling A-panel buffers through `pool`.
@@ -82,20 +100,43 @@ pub fn gemm_prepacked_pooled(
     threads: usize,
     pool: &crate::packing::PanelPool,
 ) {
-    packed_b.check(plan);
+    if let Err(e) = try_gemm_prepacked_pooled(plan, a, packed_b, c, threads, pool) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible [`gemm_prepacked_pooled`].
+pub fn try_gemm_prepacked_pooled(
+    plan: &ExecutionPlan,
+    a: &[f32],
+    packed_b: &PackedB,
+    c: &mut [f32],
+    threads: usize,
+    pool: &crate::packing::PanelPool,
+) -> Result<(), GemmError> {
+    packed_b.check(plan)?;
     let s = &plan.schedule;
     let (m, n, k) = (s.m, s.n, s.k);
-    assert_eq!(a.len(), m * k, "A must be M*K");
-    assert_eq!(c.len(), m * n, "C must be M*N");
-    let a_panels = crate::native::pack_a_panels(plan, a, threads, pool);
-    crate::native::run_blocks_cached(
+    error::check_len(Operand::A, "M*K", a.len(), m, k)?;
+    error::check_len(Operand::C, "M*N", c.len(), m, n)?;
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return Ok(());
+    }
+    let a_panels = crate::native::try_pack_a_panels(plan, a, threads, pool)?;
+    let run = crate::native::try_run_blocks_cached(
         plan,
         &a_panels,
         &crate::native::BPanels::Prepacked(packed_b),
         c,
         threads,
+        false,
     );
     pool.release_blocks(a_panels);
+    run
 }
 
 #[cfg(test)]

@@ -226,7 +226,10 @@ impl Parser<'_> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        // The matched bytes are all ASCII, but a parse error beats a
+        // panic if that invariant ever breaks.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError { pos: start, msg: "invalid number bytes".to_string() })?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| JsonError { pos: start, msg: format!("invalid number '{text}'") })
@@ -276,7 +279,7 @@ impl Parser<'_> {
                     // boundaries are valid).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let ch = rest.chars().next().expect("non-empty");
+                    let ch = rest.chars().next().ok_or_else(|| self.err("unterminated string"))?;
                     s.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -370,6 +373,23 @@ mod tests {
         for doc in ["{", "[1,]", "{\"a\" 1}", "01a", "\"unterminated", "{} trailing"] {
             assert!(Json::parse(doc).is_err(), "{doc:?} must not parse");
         }
+    }
+
+    #[test]
+    fn hostile_documents_error_instead_of_panicking() {
+        // Inputs a user-provided report string could contain: malformed
+        // numbers, truncated escapes, lone surrogates, deep nesting.
+        for doc in
+            ["1e+", "-", "--1", "{\"a\":\"\\u12\"}", "\"\\u", "{\"a\":1ee3}", "[[[[", "\"\\q\""]
+        {
+            assert!(Json::parse(doc).is_err(), "{doc:?} must not parse");
+        }
+        // Lone surrogates degrade to U+FFFD rather than erroring.
+        let v = Json::parse("\"\\ud800\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{fffd}"));
+        // Non-ASCII passes through untouched.
+        let v = Json::parse("\"héllo → wörld\"").unwrap();
+        assert_eq!(v.as_str(), Some("héllo → wörld"));
     }
 
     #[test]

@@ -79,6 +79,28 @@ impl ThreadProfile {
     }
 }
 
+/// Graceful degradations taken during one run (see `crate::error` for
+/// the degradation policy). Unlike the timing counters these are live
+/// regardless of the `telemetry` feature — the traced driver records its
+/// own setup decisions, no clock or session hook involved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FallbackStats {
+    /// Pack phases that bypassed the caller's panel pool (degraded to
+    /// transient unpooled buffers).
+    pub pool_packs: u64,
+    /// Whole-run degradations to the scalar reference kernels (a failed
+    /// kernel-dispatch probe routes every placement to the reference
+    /// path).
+    pub scalar_kernels: u64,
+}
+
+impl FallbackStats {
+    /// Whether any degradation path was taken.
+    pub fn any(&self) -> bool {
+        self.pool_packs > 0 || self.scalar_kernels > 0
+    }
+}
+
 /// One bucket of the dispatched kernel-shape histogram.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileCount {
@@ -132,6 +154,8 @@ pub struct GemmReport {
     pub thread_profiles: Vec<ThreadProfile>,
     /// Dispatched kernel-shape histogram, sorted by `(mr, nr)`.
     pub tiles: Vec<TileCount>,
+    /// Degradation paths taken during the run.
+    pub fallbacks: FallbackStats,
     pub model: Option<ModelJoin>,
 }
 
@@ -246,6 +270,13 @@ impl GemmReport {
                 ),
             ),
         ];
+        fields.push((
+            "fallbacks".into(),
+            Json::Obj(vec![
+                ("pool_packs".into(), Json::Num(self.fallbacks.pool_packs as f64)),
+                ("scalar_kernels".into(), Json::Num(self.fallbacks.scalar_kernels as f64)),
+            ]),
+        ));
         fields.push((
             "model".into(),
             match &self.model {
@@ -363,6 +394,17 @@ impl GemmReport {
             });
         }
 
+        // Added within schema v1: reports serialized before the
+        // degradation counters existed simply have none, so a missing
+        // object parses as all-zero instead of failing.
+        let fallbacks = match v.get("fallbacks") {
+            None | Some(Json::Null) => FallbackStats::default(),
+            Some(fb) => FallbackStats {
+                pool_packs: fb.get("pool_packs").and_then(Json::as_u64).unwrap_or(0),
+                scalar_kernels: fb.get("scalar_kernels").and_then(Json::as_u64).unwrap_or(0),
+            },
+        };
+
         let model = match field("model")? {
             Json::Null => None,
             mj => Some(ModelJoin {
@@ -410,6 +452,7 @@ impl GemmReport {
             },
             thread_profiles,
             tiles,
+            fallbacks,
             model,
         })
     }
@@ -454,6 +497,7 @@ mod tests {
                 TileCount { mr: 5, nr: 16, count: 96 },
                 TileCount { mr: 8, nr: 4, count: 12 },
             ],
+            fallbacks: FallbackStats { pool_packs: 1, scalar_kernels: 0 },
             model: Some(ModelJoin {
                 projected_kernel_cycles: 1.25e6,
                 measured_kernel_cycles: 630_000,
@@ -490,6 +534,21 @@ mod tests {
     fn missing_fields_are_rejected() {
         let text = sample_report().to_json().replace("\"packs\"", "\"packs_renamed\"");
         assert!(GemmReport::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn missing_fallbacks_parse_as_zero() {
+        // Reports serialized before the degradation counters existed are
+        // still schema v1 and must keep parsing.
+        let text = sample_report()
+            .to_json()
+            .replace("\"fallbacks\":{\"pool_packs\":1,\"scalar_kernels\":0},", "");
+        let back = GemmReport::from_json(&text).expect("legacy v1 report must parse");
+        assert_eq!(back.fallbacks, FallbackStats::default());
+        assert!(!back.fallbacks.any());
+        let mut want = sample_report();
+        want.fallbacks = FallbackStats::default();
+        assert_eq!(back, want);
     }
 
     #[test]

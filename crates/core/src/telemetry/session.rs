@@ -89,20 +89,31 @@ mod imp {
     /// Run `f` with a tally for `session` installed in this thread,
     /// merging it into the session afterwards. Scopes do not nest: the
     /// traced drivers install exactly one scope per thread per phase.
+    ///
+    /// The merge runs from a drop guard, so it happens even when `f`
+    /// unwinds — required by the worker-panic containment in
+    /// `crate::native`, where a caught panic on the caller thread must
+    /// not leave a stale tally behind (the next traced call on that
+    /// thread would trip the nesting check above).
     pub fn with_session<R>(session: &Arc<Session>, f: impl FnOnce() -> R) -> R {
+        struct MergeGuard;
+        impl Drop for MergeGuard {
+            fn drop(&mut self) {
+                TALLY.with(|t| {
+                    if let Some(tally) = t.borrow_mut().take() {
+                        tally.session.stats.lock().merge(&tally.local);
+                    }
+                });
+            }
+        }
         TALLY.with(|t| {
             let prev = t
                 .borrow_mut()
                 .replace(Tally { session: session.clone(), local: SessionStats::default() });
             debug_assert!(prev.is_none(), "telemetry session scopes must not nest");
         });
-        let r = f();
-        TALLY.with(|t| {
-            if let Some(tally) = t.borrow_mut().take() {
-                tally.session.stats.lock().merge(&tally.local);
-            }
-        });
-        r
+        let _guard = MergeGuard;
+        f()
     }
 
     #[inline]

@@ -7,9 +7,11 @@
 //! kernels are untouched — which is exactly how packing-based BLAS
 //! libraries implement `sgemm`'s `transa`/`transb`.
 
+use crate::error::{self, GemmError};
 use crate::native::{block_visit_order, run_placement, CTile};
 use crate::packing::{pack_block, pack_block_t, PackedBlock};
 use crate::plan::ExecutionPlan;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Whether an operand is used as stored or transposed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +75,22 @@ pub fn gemm_op(
     c: &mut [f32],
     threads: usize,
 ) {
-    gemm_op_acc(plan, op_a, op_b, a, b, c, threads, false)
+    if let Err(e) = try_gemm_op(plan, op_a, op_b, a, b, c, threads) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible [`gemm_op`].
+pub fn try_gemm_op(
+    plan: &ExecutionPlan,
+    op_a: Op,
+    op_b: Op,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+) -> Result<(), GemmError> {
+    try_gemm_op_acc(plan, op_a, op_b, a, b, c, threads, false)
 }
 
 /// [`gemm_op`] with an explicit accumulate flag: when set, the existing
@@ -90,48 +107,103 @@ pub fn gemm_op_acc(
     threads: usize,
     accumulate: bool,
 ) {
+    if let Err(e) = try_gemm_op_acc(plan, op_a, op_b, a, b, c, threads, accumulate) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible [`gemm_op_acc`]: operand validation, degenerate shapes and
+/// worker-panic containment per [`crate::error`]. A transposed operand
+/// has the same element count as the plain one, so the length checks are
+/// op-independent.
+#[allow(clippy::too_many_arguments)]
+pub fn try_gemm_op_acc(
+    plan: &ExecutionPlan,
+    op_a: Op,
+    op_b: Op,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+    accumulate: bool,
+) -> Result<(), GemmError> {
     let s = &plan.schedule;
     let (m, n, k) = (s.m, s.n, s.k);
-    assert_eq!(a.len(), m * k, "A must hold M*K elements");
-    assert_eq!(b.len(), k * n, "B must hold K*N elements");
-    assert_eq!(c.len(), m * n, "C must be M*N");
+    error::check_operands(m, n, k, a, b, c)?;
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    if k == 0 {
+        // op(A)·op(B) is the zero matrix; accumulation leaves C as is.
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return Ok(());
+    }
     let (tm, tn, tk) = plan.grid();
     let blocks = block_visit_order(&s.order, tm, tn);
     let threads = threads.max(1).min(blocks.len().max(1));
 
     // SAFETY: blocks partition C; K is never split across threads (§V-C).
     let c_root = unsafe { CTile::new(c.as_mut_ptr(), n, c.len()) };
-    crossbeam::scope(|scope| {
+    // `c_root` is passed by value (CTile is Copy + Send, not Sync) so the
+    // shared closure itself stays Sync.
+    let run_stride = |c_root: CTile, t: usize, stride: usize| {
+        for (bi, bj) in blocks.iter().skip(t).step_by(stride) {
+            let row0 = bi * s.mc;
+            let col0 = bj * s.nc;
+            // SAFETY: exclusive block ownership.
+            let c_block = unsafe { c_root.offset(row0, col0) };
+            for kb in 0..tk {
+                let krow = kb * s.kc;
+                let pa = pack_a_op(op_a, a, m, k, row0, krow, s.mc, s.kc, plan.sigma_lane);
+                let pb = pack_b_op(op_b, b, k, n, krow, col0, s.kc, s.nc, plan.sigma_lane);
+                for placement in &plan.block_plan.placements {
+                    run_placement(
+                        placement,
+                        s.kc,
+                        &pa.data,
+                        pa.ld,
+                        &pb.data,
+                        pb.ld,
+                        c_block,
+                        accumulate || kb > 0,
+                    );
+                }
+            }
+        }
+    };
+    if threads == 1 {
+        return catch_unwind(AssertUnwindSafe(|| run_stride(c_root, 0, 1))).map_err(|payload| {
+            GemmError::WorkerPanicked { thread: 0, detail: error::panic_detail(payload.as_ref()) }
+        });
+    }
+    let first_panic: parking_lot::Mutex<Option<(usize, String)>> = parking_lot::Mutex::new(None);
+    let scope_ok = crossbeam::scope(|scope| {
         for t in 0..threads {
-            let blocks = &blocks;
+            let (run_stride, first_panic) = (&run_stride, &first_panic);
             scope.spawn(move |_| {
-                for (bi, bj) in blocks.iter().skip(t).step_by(threads) {
-                    let row0 = bi * s.mc;
-                    let col0 = bj * s.nc;
-                    // SAFETY: exclusive block ownership.
-                    let c_block = unsafe { c_root.offset(row0, col0) };
-                    for kb in 0..tk {
-                        let krow = kb * s.kc;
-                        let pa = pack_a_op(op_a, a, m, k, row0, krow, s.mc, s.kc, plan.sigma_lane);
-                        let pb = pack_b_op(op_b, b, k, n, krow, col0, s.kc, s.nc, plan.sigma_lane);
-                        for placement in &plan.block_plan.placements {
-                            run_placement(
-                                placement,
-                                s.kc,
-                                &pa.data,
-                                pa.ld,
-                                &pb.data,
-                                pb.ld,
-                                c_block,
-                                accumulate || kb > 0,
-                            );
-                        }
+                if let Err(payload) =
+                    catch_unwind(AssertUnwindSafe(|| run_stride(c_root, t, threads)))
+                {
+                    let mut slot = first_panic.lock();
+                    if slot.is_none() {
+                        *slot = Some((t, error::panic_detail(payload.as_ref())));
                     }
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
+    if scope_ok.is_err() {
+        return Err(GemmError::WorkerPanicked {
+            thread: 0,
+            detail: "worker scope failed".to_string(),
+        });
+    }
+    match first_panic.into_inner() {
+        Some((thread, detail)) => Err(GemmError::WorkerPanicked { thread, detail }),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]
@@ -219,8 +291,27 @@ pub fn sgemm(
     c: &mut [f32],
     threads: usize,
 ) {
+    if let Err(e) = try_sgemm(plan, alpha, op_a, a, op_b, b, beta, c, threads) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible [`sgemm`]. All operands are validated **before** the `β`
+/// pass, so on `Err` the caller's `C` is untouched — not even scaled.
+#[allow(clippy::too_many_arguments)]
+pub fn try_sgemm(
+    plan: &ExecutionPlan,
+    alpha: f32,
+    op_a: Op,
+    a: &[f32],
+    op_b: Op,
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    threads: usize,
+) -> Result<(), GemmError> {
     let s = &plan.schedule;
-    assert_eq!(c.len(), s.m * s.n, "C must be M*N");
+    error::check_operands(s.m, s.n, s.k, a, b, c)?;
     // β pass.
     if beta == 0.0 {
         c.fill(0.0);
@@ -230,16 +321,15 @@ pub fn sgemm(
         }
     }
     if alpha == 0.0 {
-        return;
+        return Ok(());
     }
     let accumulate = beta != 0.0;
     if alpha == 1.0 {
-        gemm_op_acc(plan, op_a, op_b, a, b, c, threads, accumulate);
-        return;
+        return try_gemm_op_acc(plan, op_a, op_b, a, b, c, threads, accumulate);
     }
     // Fold α into A once (the packed copies inherit it).
     let scaled_a: Vec<f32> = a.iter().map(|&x| x * alpha).collect();
-    gemm_op_acc(plan, op_a, op_b, &scaled_a, b, c, threads, accumulate);
+    try_gemm_op_acc(plan, op_a, op_b, &scaled_a, b, c, threads, accumulate)
 }
 
 #[cfg(test)]
