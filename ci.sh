@@ -46,7 +46,14 @@ echo "== faultinject config =="
 # inert while disarmed.
 cargo test -q -p autogemm --features faultinject
 cargo test -q -p autogemm --features faultinject,telemetry
-cargo test -q -p autogemm-repro --features faultinject --test chaos --test fallible_api
+cargo test -q -p autogemm-repro --features faultinject --test chaos --test fallible_api --test supervisor
+
+echo "== supervision soak (smoke length) =="
+# Randomized watchdog-supervised calls under seeded fault plans: every
+# call structured-error-or-correct, zero pool-buffer leaks, and the
+# circuit breaker never stuck Open once the probes disarm. The full run
+# (2000 iters) is the default when invoked without a count.
+cargo run --release -p autogemm-bench --features faultinject --bin native_gemm -- --soak 400
 
 echo "== panic policy (library code) =="
 # The fallible API contract: no unwrap/expect in autogemm library code —

@@ -13,6 +13,7 @@ use crate::native;
 use crate::offline::PackedB;
 use crate::packing::PanelPool;
 use crate::plan::ExecutionPlan;
+use crate::supervisor::{BreakerPath, RunMonitor, Supervision};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -77,15 +78,38 @@ pub fn gemm_batch(plan: &ExecutionPlan, batch: &GemmBatch, c: &mut [f32], thread
 
 /// Fallible [`gemm_batch`]: output-length and plan-shape mismatches come
 /// back as `Err`, and a panicking batch worker poisons the run — the
-/// survivors finish their current item, stop, and the caller gets
-/// [`GemmError::WorkerPanicked`] (completed items keep their results;
-/// the poisoned worker's in-flight item follows the per-item
-/// untouched-/partial-`C` rules of [`crate::error`]).
+/// survivors finish their current item, stop, and the caller gets the
+/// first failure. Item-level failures (including contained worker
+/// panics inside an item) come back wrapped as
+/// [`GemmError::InBatch`]`{ index, source }` so the caller knows which
+/// item failed; completed items keep their results and the failing
+/// item's slice follows the per-item untouched-/partial-`C` rules of
+/// [`crate::error`].
 pub fn try_gemm_batch(
     plan: &ExecutionPlan,
     batch: &GemmBatch,
     c: &mut [f32],
     threads: usize,
+) -> Result<(), GemmError> {
+    try_gemm_batch_supervised(plan, batch, c, threads, &Supervision::none())
+}
+
+/// [`try_gemm_batch`] under a [`Supervision`] bundle.
+///
+/// The batch is itself a work queue of items, so supervision applies at
+/// *item* granularity: the deadline and watchdog are checked between
+/// items (the batch run reports [`GemmError::Cancelled`] /
+/// [`GemmError::Stalled`] with `phase: "batch"` and item counts as the
+/// block counts), while a [`CancelToken`](crate::supervisor::CancelToken)
+/// additionally interrupts *inside* the in-flight items at their own
+/// pack/kernel boundaries. Breaker reroutes (`force_reference`,
+/// `force_transient`) are forwarded into every item call.
+pub fn try_gemm_batch_supervised(
+    plan: &ExecutionPlan,
+    batch: &GemmBatch,
+    c: &mut [f32],
+    threads: usize,
+    sup: &Supervision,
 ) -> Result<(), GemmError> {
     let (m, n) = (batch.m, batch.n);
     let item = error::checked_size("m*n", m, n)?;
@@ -130,6 +154,23 @@ pub fn try_gemm_batch(
         per_thread[i % threads].push((i, chunk));
     }
 
+    // The item calls share one watchdog-free supervision: the cancel
+    // token interrupts mid-item, breaker reroutes are forwarded, and
+    // observed faults aggregate here (propagated to `sup` below). The
+    // batch monitor owns the deadline/watchdog at item granularity —
+    // one watchdog thread per batch, not per item.
+    let mut item_sup = Supervision::none();
+    if let Some(tok) = &sup.cancel {
+        item_sup = item_sup.with_cancel(tok.clone());
+    }
+    item_sup.set_force_reference(sup.force_reference);
+    item_sup.set_force_transient(sup.force_transient);
+    let item_sup = item_sup;
+
+    let monitor = RunMonitor::new(sup, threads);
+    let watchdog = monitor.spawn_watchdog();
+    monitor.begin_phase();
+
     // First failure across the batch (item errors and contained panics
     // share the slot; worker index breaks ties by arrival).
     let first_err: parking_lot::Mutex<Option<GemmError>> = parking_lot::Mutex::new(None);
@@ -137,28 +178,42 @@ pub fn try_gemm_batch(
     let scope_ok = crossbeam::scope(|scope| {
         for (t, work) in per_thread.into_iter().enumerate() {
             let (shared_b, first_err, poisoned) = (&shared_b, &first_err, &poisoned);
+            let (item_sup, monitor) = (&item_sup, &monitor);
             scope.spawn(move |_| {
                 let run = catch_unwind(AssertUnwindSafe(|| {
                     let pool = PanelPool::new();
                     for (i, c_item) in work {
-                        if poisoned.load(std::sync::atomic::Ordering::Relaxed) {
+                        if poisoned.load(std::sync::atomic::Ordering::Relaxed)
+                            || monitor.should_stop()
+                        {
                             break;
                         }
                         let r = match shared_b.get(&slice_key(batch.b[i])) {
-                            Some(packed) => crate::offline::try_gemm_prepacked_pooled(
-                                plan, batch.a[i], packed, c_item, 1, &pool,
+                            Some(packed) => crate::offline::try_gemm_prepacked_supervised(
+                                plan, batch.a[i], packed, c_item, 1, &pool, item_sup,
                             ),
-                            None => native::try_gemm_with_plan_pooled(
-                                plan, batch.a[i], batch.b[i], c_item, 1, &pool,
+                            None => native::try_gemm_with_plan_supervised(
+                                plan, batch.a[i], batch.b[i], c_item, 1, &pool, item_sup,
                             ),
                         };
-                        if let Err(e) = r {
-                            let mut slot = first_err.lock();
-                            if slot.is_none() {
-                                *slot = Some(e);
+                        match r {
+                            Ok(()) => {
+                                monitor.beat(t);
+                                monitor.note_done();
                             }
-                            poisoned.store(true, std::sync::atomic::Ordering::SeqCst);
-                            break;
+                            // A cancelled item is the batch being
+                            // cancelled, not an item fault: stop and let
+                            // the batch monitor report the progress.
+                            Err(GemmError::Cancelled { .. }) => break,
+                            Err(e) => {
+                                let mut slot = first_err.lock();
+                                if slot.is_none() {
+                                    *slot =
+                                        Some(GemmError::InBatch { index: i, source: Box::new(e) });
+                                }
+                                poisoned.store(true, std::sync::atomic::Ordering::SeqCst);
+                                break;
+                            }
                         }
                     }
                 }));
@@ -175,6 +230,12 @@ pub fn try_gemm_batch(
             });
         }
     });
+    monitor.finish(watchdog);
+    for path in BreakerPath::ALL {
+        if item_sup.observed_fault(path) {
+            sup.observe_fault(path);
+        }
+    }
     if scope_ok.is_err() {
         return Err(GemmError::WorkerPanicked {
             thread: 0,
@@ -183,7 +244,7 @@ pub fn try_gemm_batch(
     }
     match first_err.into_inner() {
         Some(e) => Err(e),
-        None => Ok(()),
+        None => monitor.outcome("batch", batch.len()),
     }
 }
 

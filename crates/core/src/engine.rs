@@ -5,11 +5,17 @@ use crate::error::{self, GemmError};
 use crate::native;
 use crate::plan::ExecutionPlan;
 use crate::simexec::{self, BlockCost};
+use crate::supervisor::{
+    is_retryable, Breaker, BreakerConfig, BreakerPath, GemmOptions, ResilientMode, ResilientReport,
+    Supervision,
+};
+use crate::telemetry::HealthReport;
 use autogemm_arch::ChipSpec;
 use autogemm_sim::Warmth;
 use autogemm_tuner::{tune_with, Packing, Schedule};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Result of a simulated GEMM run on the modelled chip.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +47,9 @@ pub struct AutoGemm {
     /// Recycles panel buffers across native GEMM calls: the engine's
     /// steady state packs into warm allocations instead of fresh `vec!`s.
     panel_pool: crate::packing::PanelPool,
+    /// Backend-quarantine circuit breaker shared by every native call
+    /// through this engine (see [`crate::supervisor`]).
+    breaker: Breaker,
 }
 
 impl AutoGemm {
@@ -53,7 +62,16 @@ impl AutoGemm {
             schedules: Mutex::new(HashMap::new()),
             block_sims: Mutex::new(HashMap::new()),
             panel_pool: crate::packing::PanelPool::new(),
+            breaker: Breaker::default(),
         }
+    }
+
+    /// Replace the circuit breaker's count thresholds (chaos tests and
+    /// services with unusual call rates; the defaults suit steady
+    /// request streams).
+    pub fn with_breaker_config(mut self, cfg: BreakerConfig) -> Self {
+        self.breaker = Breaker::new(cfg);
+        self
     }
 
     /// Enable CMG-aware operand placement: shared panels are packed once
@@ -165,16 +183,7 @@ impl AutoGemm {
         b: &[f32],
         c: &mut [f32],
     ) -> Result<(), GemmError> {
-        error::check_operands(m, n, k, a, b, c)?;
-        if m == 0 || n == 0 {
-            return Ok(());
-        }
-        if k == 0 {
-            c.fill(0.0);
-            return Ok(());
-        }
-        let plan = self.plan(m, n, k);
-        native::try_gemm_with_plan_pooled(&plan, a, b, c, 1, &self.panel_pool)
+        self.try_gemm_opts(m, n, k, a, b, c, &GemmOptions::new().threads(1))
     }
 
     /// Native multi-threaded GEMM on the host (panel-cache driver: each
@@ -213,6 +222,124 @@ impl AutoGemm {
         c: &mut [f32],
         threads: usize,
     ) -> Result<(), GemmError> {
+        self.try_gemm_opts(m, n, k, a, b, c, &GemmOptions::new().threads(threads))
+    }
+
+    /// [`Self::try_gemm_threaded`] with a relative deadline: the run
+    /// stops cooperatively at the next panel/block boundary once
+    /// `deadline` has elapsed and reports
+    /// [`GemmError::Cancelled`] with its progress. A deadline that never
+    /// fires costs one clock read per claimed block; see
+    /// [`crate::supervisor`] for the overhead contract.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_gemm_deadline(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        threads: usize,
+        deadline: Duration,
+    ) -> Result<(), GemmError> {
+        self.try_gemm_opts(
+            m,
+            n,
+            k,
+            a,
+            b,
+            c,
+            &GemmOptions::new().threads(threads).deadline(deadline),
+        )
+    }
+
+    /// The supervised front door: execute with per-call [`GemmOptions`]
+    /// (threads, deadline, cancel token, watchdog). All plain `try_gemm*`
+    /// entry points funnel through here, so every native call consults
+    /// the engine's circuit breaker: quarantined paths are rerouted
+    /// (scalar kernels / transient buffers / single thread) and call
+    /// outcomes advance the breaker state machine. Cancelled calls are
+    /// neutral — they never move the breaker.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_gemm_opts(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        opts: &GemmOptions,
+    ) -> Result<(), GemmError> {
+        self.run_supervised(m, n, k, a, b, c, opts, false, false, false)
+    }
+
+    /// [`Self::try_gemm_opts`] with one bounded retry-with-degradation
+    /// ladder for *retryable* failures (worker panic, allocation
+    /// failure, stall): as requested → single thread → single thread
+    /// with scalar kernels and transient buffers. Deliberate stops
+    /// (`Cancelled`) and caller mistakes (shape/plan errors) are never
+    /// retried. Returns which rung succeeded; the terminal error of the
+    /// last rung otherwise.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_gemm_resilient(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        opts: &GemmOptions,
+    ) -> Result<ResilientReport, GemmError> {
+        let err = match self.run_supervised(m, n, k, a, b, c, opts, false, false, false) {
+            Ok(()) => return Ok(ResilientReport { attempts: 1, mode: ResilientMode::AsRequested }),
+            Err(e) => e,
+        };
+        if !is_retryable(&err) {
+            return Err(err);
+        }
+        match self.run_supervised(m, n, k, a, b, c, opts, false, false, true) {
+            Ok(()) => {
+                return Ok(ResilientReport { attempts: 2, mode: ResilientMode::SingleThread })
+            }
+            Err(e) if !is_retryable(&e) => return Err(e),
+            Err(_) => {}
+        }
+        self.run_supervised(m, n, k, a, b, c, opts, true, true, true)
+            .map(|()| ResilientReport { attempts: 3, mode: ResilientMode::ScalarTransient })
+    }
+
+    /// Current circuit-breaker health snapshot (empty transition list —
+    /// per-call transitions ride on traced reports).
+    pub fn health(&self) -> HealthReport {
+        self.breaker.health_report(Vec::new())
+    }
+
+    /// The engine's circuit breaker, for state inspection.
+    pub fn breaker(&self) -> &Breaker {
+        &self.breaker
+    }
+
+    /// Shared implementation of every supervised native call: breaker
+    /// admission → supervision bundle → plan → driver → breaker record.
+    /// `force_*` flags are the resilient ladder's degradations, OR-ed
+    /// with whatever the breaker quarantines.
+    #[allow(clippy::too_many_arguments)]
+    fn run_supervised(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        opts: &GemmOptions,
+        force_reference: bool,
+        force_transient: bool,
+        force_single_thread: bool,
+    ) -> Result<(), GemmError> {
         error::check_operands(m, n, k, a, b, c)?;
         if m == 0 || n == 0 {
             return Ok(());
@@ -221,9 +348,48 @@ impl AutoGemm {
             c.fill(0.0);
             return Ok(());
         }
+        // Admission happens before plan selection: a ThreadedDriver
+        // quarantine changes the plan (single-thread k_c), not just the
+        // worker count.
+        let adm = self.breaker.admit();
+        let reroute = adm.reroute;
+        let mut sup = Supervision::from_options(opts);
+        sup.set_force_reference(force_reference || reroute[BreakerPath::SimdDispatch.index()]);
+        sup.set_force_transient(force_transient || reroute[BreakerPath::PoolAlloc.index()]);
+        let mut threads = opts.threads.max(1);
+        if force_single_thread || reroute[BreakerPath::ThreadedDriver.index()] {
+            threads = 1;
+        }
         let plan =
             if threads > 1 { self.plan_multicore(m, n, k, threads) } else { self.plan(m, n, k) };
-        native::try_gemm_with_plan_pooled(&plan, a, b, c, threads, &self.panel_pool)
+        let result =
+            native::try_gemm_with_plan_supervised(&plan, a, b, c, threads, &self.panel_pool, &sup);
+        self.breaker_record(&sup, reroute, threads, &result);
+        result
+    }
+
+    /// Feed one call's outcome to the breaker. Paths the call did not
+    /// exercise (rerouted, forced degraded, or single-threaded for the
+    /// threaded-driver path) are neither successes nor faults;
+    /// `Cancelled` calls are neutral.
+    fn breaker_record<T>(
+        &self,
+        sup: &Supervision,
+        mut reroute: [bool; 3],
+        threads: usize,
+        result: &Result<T, GemmError>,
+    ) -> Vec<String> {
+        if sup.force_reference {
+            reroute[BreakerPath::SimdDispatch.index()] = true;
+        }
+        if sup.force_transient {
+            reroute[BreakerPath::PoolAlloc.index()] = true;
+        }
+        if threads <= 1 {
+            reroute[BreakerPath::ThreadedDriver.index()] = true;
+        }
+        let neutral = matches!(result, Err(GemmError::Cancelled { .. }));
+        self.breaker.record(&sup.observed, reroute, neutral)
     }
 
     /// [`Self::gemm_threaded`] with per-call telemetry: runs the same
@@ -254,7 +420,9 @@ impl AutoGemm {
 
     /// Fallible [`Self::gemm_traced`]. The report's
     /// [`crate::telemetry::FallbackStats`] records any graceful
-    /// degradation (unpooled packing, scalar-kernel reroute) the run took.
+    /// degradation (unpooled packing, scalar-kernel reroute) the run
+    /// took, and [`crate::telemetry::GemmReport::health`] carries the
+    /// breaker snapshot with this call's transitions.
     #[allow(clippy::too_many_arguments)]
     pub fn try_gemm_traced(
         &self,
@@ -266,18 +434,61 @@ impl AutoGemm {
         c: &mut [f32],
         threads: usize,
     ) -> Result<crate::GemmReport, GemmError> {
+        self.try_gemm_traced_opts(m, n, k, a, b, c, &GemmOptions::new().threads(threads))
+    }
+
+    /// [`Self::try_gemm_traced`] with per-call [`GemmOptions`]: the
+    /// traced twin of [`Self::try_gemm_opts`], with identical breaker
+    /// and supervision semantics. The returned report's `health` section
+    /// holds the post-call breaker snapshot plus every transition this
+    /// call performed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_gemm_traced_opts(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        opts: &GemmOptions,
+    ) -> Result<crate::GemmReport, GemmError> {
         error::check_operands(m, n, k, a, b, c)?;
         if m == 0 || n == 0 || k == 0 {
-            // Degenerate shapes never reach the tuner; report the shape
-            // with an otherwise-empty profile.
+            // Degenerate shapes never reach the tuner (and are neutral
+            // for the breaker); report the shape with an otherwise-empty
+            // profile.
             if k == 0 && m > 0 && n > 0 {
                 c.fill(0.0);
             }
             return Ok(crate::GemmReport { m, n, k, ..crate::GemmReport::default() });
         }
+        let adm = self.breaker.admit();
+        let reroute = adm.reroute;
+        let mut events = adm.events;
+        let mut sup = Supervision::from_options(opts);
+        sup.set_force_reference(reroute[BreakerPath::SimdDispatch.index()]);
+        sup.set_force_transient(reroute[BreakerPath::PoolAlloc.index()]);
+        let mut threads = opts.threads.max(1);
+        if reroute[BreakerPath::ThreadedDriver.index()] {
+            threads = 1;
+        }
         let plan =
             if threads > 1 { self.plan_multicore(m, n, k, threads) } else { self.plan(m, n, k) };
-        native::try_gemm_with_plan_traced(&plan, a, b, c, threads, &self.panel_pool)
+        let result = native::try_gemm_with_plan_traced_supervised(
+            &plan,
+            a,
+            b,
+            c,
+            threads,
+            &self.panel_pool,
+            &sup,
+        );
+        events.extend(self.breaker_record(&sup, reroute, threads, &result));
+        result.map(|mut report| {
+            report.health = self.breaker.health_report(events);
+            report
+        })
     }
 
     /// Batched same-shape GEMM through the engine: tunes the shape once
@@ -293,14 +504,27 @@ impl AutoGemm {
     }
 
     /// Fallible [`Self::gemm_batch`]: output-length mismatches and size
-    /// overflows come back as `Err` before any plan is tuned; a
-    /// panicking batch worker poisons the run per
-    /// [`crate::batch::try_gemm_batch`].
+    /// overflows come back as `Err` before any plan is tuned; item
+    /// failures come back as [`GemmError::InBatch`] naming the failing
+    /// index, per [`crate::batch::try_gemm_batch`].
     pub fn try_gemm_batch(
         &self,
         batch: &GemmBatch,
         c: &mut [f32],
         threads: usize,
+    ) -> Result<(), GemmError> {
+        self.try_gemm_batch_opts(batch, c, &GemmOptions::new().threads(threads))
+    }
+
+    /// [`Self::try_gemm_batch`] with per-call [`GemmOptions`]: the batch
+    /// honours the deadline/watchdog at item boundaries (reporting
+    /// `phase: "batch"` with item counts) and a cancel token inside the
+    /// in-flight items too; breaker reroutes apply to every item.
+    pub fn try_gemm_batch_opts(
+        &self,
+        batch: &GemmBatch,
+        c: &mut [f32],
+        opts: &GemmOptions,
     ) -> Result<(), GemmError> {
         let (m, n, k) = (batch.m, batch.n, batch.k);
         let item = error::checked_size("m*n", m, n)?;
@@ -324,16 +548,37 @@ impl AutoGemm {
             c.fill(0.0);
             return Ok(());
         }
+        let adm = self.breaker.admit();
+        let reroute = adm.reroute;
+        let mut sup = Supervision::from_options(opts);
+        sup.set_force_reference(reroute[BreakerPath::SimdDispatch.index()]);
+        sup.set_force_transient(reroute[BreakerPath::PoolAlloc.index()]);
+        let mut threads = opts.threads.max(1);
+        if reroute[BreakerPath::ThreadedDriver.index()] {
+            threads = 1;
+        }
         // Items run single-threaded (parallelism is across items), so
         // the per-item plan is the single-thread plan.
         let plan = self.plan(m, n, k);
-        crate::batch::try_gemm_batch(&plan, batch, c, threads)
+        let result = crate::batch::try_gemm_batch_supervised(&plan, batch, c, threads, &sup);
+        if matches!(result, Err(GemmError::WorkerPanicked { .. }) | Err(GemmError::Stalled { .. }))
+        {
+            sup.observe_fault(BreakerPath::ThreadedDriver);
+        }
+        self.breaker_record(&sup, reroute, threads, &result);
+        result
     }
 
     /// Drop the engine's pooled panel buffers (memory release valve after
     /// a large shape has been through the native path).
     pub fn clear_panel_pool(&self) {
         self.panel_pool.clear();
+    }
+
+    /// The engine's panel pool — exposes the outstanding/high-water leak
+    /// gauges that soak runs assert on.
+    pub fn panel_pool(&self) -> &crate::packing::PanelPool {
+        &self.panel_pool
     }
 
     fn block_cost(&self, plan: &ExecutionPlan, multicore: bool) -> BlockCost {

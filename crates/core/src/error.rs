@@ -84,6 +84,39 @@ pub enum GemmError {
         expected: (usize, usize, usize),
         got: (usize, usize, usize),
     },
+    /// The run was cancelled cooperatively (explicit
+    /// [`CancelToken`](crate::supervisor::CancelToken) or an expired
+    /// deadline) before the named phase finished. Buffers are released
+    /// and the engine is immediately reusable; `C` follows the same
+    /// partial-write contract as [`GemmError::WorkerPanicked`] when the
+    /// kernel phase had started, and is untouched otherwise.
+    Cancelled {
+        /// Phase that was interrupted: `"pack A"`, `"pack B"`,
+        /// `"kernel"` or `"batch"`.
+        phase: &'static str,
+        /// Work units (panels, blocks or batch items) completed in that
+        /// phase before the stop.
+        blocks_done: usize,
+        /// Work units the phase had in total.
+        blocks_total: usize,
+    },
+    /// The stuck-worker watchdog observed no heartbeat progress for its
+    /// quiescence window and stopped the run. Same buffer/`C` contract
+    /// as [`GemmError::Cancelled`].
+    Stalled {
+        /// Phase in which the stall was detected.
+        phase: &'static str,
+        /// The configured quiescence window, in milliseconds.
+        quiescence_ms: u64,
+        /// Per-worker heartbeat counters at the moment of the verdict.
+        heartbeats: Vec<u64>,
+    },
+    /// An item of a [`gemm_batch`](crate::batch::try_gemm_batch) call
+    /// failed; `index` is its position in the batch and `source` the
+    /// underlying error. Other items may have completed (their `C`
+    /// chunks are valid); the failed item's chunk follows `source`'s
+    /// own contract.
+    InBatch { index: usize, source: Box<GemmError> },
 }
 
 impl std::fmt::Display for GemmError {
@@ -107,11 +140,30 @@ impl std::fmt::Display for GemmError {
                  (packed for {}x{}x{}, plan is {}x{}x{})",
                 expected.0, expected.1, expected.2, got.0, got.1, got.2
             ),
+            GemmError::Cancelled { phase, blocks_done, blocks_total } => write!(
+                f,
+                "autogemm: cancelled during {phase} ({blocks_done}/{blocks_total} blocks done)"
+            ),
+            GemmError::Stalled { phase, quiescence_ms, heartbeats } => write!(
+                f,
+                "autogemm: stalled during {phase}: no worker heartbeat for {quiescence_ms} ms \
+                 (heartbeats {heartbeats:?})"
+            ),
+            GemmError::InBatch { index, source } => {
+                write!(f, "autogemm: batch item {index} failed: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for GemmError {}
+impl std::error::Error for GemmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GemmError::InBatch { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 /// `rows * cols`, or [`GemmError::SizeOverflow`] naming the computation.
 pub(crate) fn checked_size(
@@ -206,5 +258,28 @@ mod tests {
     fn plan_mismatch_mentions_different_plan() {
         let e = GemmError::PlanMismatch { expected: (1, 2, 3), got: (4, 5, 6) };
         assert!(e.to_string().contains("different plan"));
+    }
+
+    #[test]
+    fn cancelled_and_stalled_carry_progress_detail() {
+        let e = GemmError::Cancelled { phase: "kernel", blocks_done: 3, blocks_total: 12 };
+        assert!(e.to_string().contains("cancelled during kernel (3/12 blocks done)"));
+        let e = GemmError::Stalled { phase: "kernel", quiescence_ms: 250, heartbeats: vec![4, 0] };
+        let msg = e.to_string();
+        assert!(msg.contains("stalled during kernel"), "{msg}");
+        assert!(msg.contains("250 ms"), "{msg}");
+        assert!(msg.contains("[4, 0]"), "{msg}");
+    }
+
+    #[test]
+    fn in_batch_names_the_index_and_chains_the_source() {
+        use std::error::Error as _;
+        let inner = GemmError::AllocFailed { phase: "pack B" };
+        let e = GemmError::InBatch { index: 7, source: Box::new(inner.clone()) };
+        let msg = e.to_string();
+        assert!(msg.contains("batch item 7 failed"), "{msg}");
+        assert!(msg.contains("pack B"), "{msg}");
+        let chained = e.source().and_then(|s| s.downcast_ref::<GemmError>());
+        assert_eq!(chained, Some(&inner));
     }
 }

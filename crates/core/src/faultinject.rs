@@ -20,6 +20,11 @@
 //! * [`FaultSite::WorkerStartup`] — entry of each worker's block loop.
 //!   Only `Panic` is meaningful here (a worker cannot "degrade" without
 //!   silently dropping its share of the work).
+//! * [`FaultSite::WorkerHeartbeat`] — a worker's block-boundary
+//!   heartbeat. `Stall` wedges the worker there (bounded by the action's
+//!   cap and broken early by supervision), exercising the stuck-worker
+//!   watchdog; `Panic` kills the worker mid-drain. `Degrade`/`Fail` are
+//!   ignored at this site (a heartbeat has no degraded twin).
 //!
 //! Triggers are counted per site with atomic counters, so a plan like
 //! `Nth(3)` at `WorkerStartup` deterministically kills the third worker
@@ -28,6 +33,23 @@
 //! [`ArmGuard::fired`] reports how many injections actually triggered
 //! (chaos tests assert it is non-zero so a probe that moved or vanished
 //! fails loudly instead of silently passing).
+//!
+//! ## Concurrency rule for `#[test]`s
+//!
+//! The armed plan is process-global, so two concurrently-running tests
+//! must never both arm one. [`arm`] enforces this itself: it blocks on a
+//! private serialization mutex that the returned [`ArmGuard`] holds
+//! until drop, so a second `arm` simply waits for the first guard to be
+//! dropped instead of observing (or clobbering) a foreign plan. Tests
+//! need no external lock of their own for *arming*; a suite-level lock
+//! is still useful when a test wants to assert global side effects (the
+//! chaos suite keeps one to scope its panic-hook silencer).
+//!
+//! Note `FaultPlan::seeded` deliberately draws only from the three
+//! original sites — never `WorkerHeartbeat` — so seeded chaos sweeps
+//! keep their historical determinism and can never wedge a run on a
+//! `Stall`; stalls are exercised by dedicated watchdog tests and the
+//! soak driver.
 
 /// A place in the native backend where a fault can be injected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +60,9 @@ pub enum FaultSite {
     KernelDispatch,
     /// Entry of a worker's block loop.
     WorkerStartup,
+    /// A worker's block-boundary heartbeat (see the module docs; the
+    /// `Stall` action is only meaningful here).
+    WorkerHeartbeat,
 }
 
 impl FaultSite {
@@ -47,12 +72,17 @@ impl FaultSite {
             FaultSite::PackAlloc => 0,
             FaultSite::KernelDispatch => 1,
             FaultSite::WorkerStartup => 2,
+            FaultSite::WorkerHeartbeat => 3,
         }
     }
 
     /// All sites, in counter order.
-    pub const ALL: [FaultSite; 3] =
-        [FaultSite::PackAlloc, FaultSite::KernelDispatch, FaultSite::WorkerStartup];
+    pub const ALL: [FaultSite; 4] = [
+        FaultSite::PackAlloc,
+        FaultSite::KernelDispatch,
+        FaultSite::WorkerStartup,
+        FaultSite::WorkerHeartbeat,
+    ];
 }
 
 /// What the injected fault does at its site.
@@ -67,6 +97,11 @@ pub enum FaultAction {
     /// Panic at the probe, exercising containment. The panic message
     /// always contains `"injected fault"`.
     Panic,
+    /// Wedge the probing worker for up to the given number of
+    /// milliseconds (it resumes early if the run is cancelled, e.g. by
+    /// the watchdog). Only meaningful at [`FaultSite::WorkerHeartbeat`];
+    /// other sites ignore it.
+    Stall(u64),
 }
 
 /// When the fault fires, counted per site across the armed plan's life.
@@ -110,7 +145,10 @@ impl FaultPlan {
 
     /// Derive a 1–3 injection plan deterministically from `seed`
     /// (xorshift64), restricted to site/action combinations that are
-    /// meaningful (see the module docs).
+    /// meaningful. Seeded plans draw only from the three original sites
+    /// (never `WorkerHeartbeat`/`Stall`) so historical seeds stay
+    /// deterministic and a seeded sweep can never wedge — see the
+    /// module docs.
     pub fn seeded(seed: u64) -> Self {
         let mut state = seed | 1; // xorshift must not start at 0
         let mut next = move || {
@@ -122,6 +160,7 @@ impl FaultPlan {
         let count = 1 + (next() % 3) as usize;
         let mut specs = Vec::with_capacity(count);
         for _ in 0..count {
+            // `% 3`, not `% ALL.len()`: WorkerHeartbeat is excluded by design.
             let site = FaultSite::ALL[(next() % 3) as usize];
             let action = match site {
                 FaultSite::PackAlloc => match next() % 3 {
@@ -137,6 +176,8 @@ impl FaultPlan {
                     }
                 }
                 FaultSite::WorkerStartup => FaultAction::Panic,
+                // Unreachable: seeded sites are drawn `% 3` above.
+                FaultSite::WorkerHeartbeat => FaultAction::Panic,
             };
             let trigger = if next() % 2 == 0 {
                 Trigger::Nth(1 + next() % 3)
@@ -159,6 +200,9 @@ pub enum Probe {
     Degrade,
     /// Surface a structured error.
     Fail,
+    /// Wedge here for up to the given milliseconds (heartbeat site only;
+    /// other sites treat it as `Ok`).
+    Stall(u64),
 }
 
 #[cfg(feature = "faultinject")]
@@ -169,16 +213,27 @@ mod armed {
 
     pub(super) struct ArmedState {
         plan: FaultPlan,
-        calls: [AtomicU64; 3],
+        calls: [AtomicU64; 4],
         fired: AtomicU64,
     }
 
     static ANY_ARMED: AtomicBool = AtomicBool::new(false);
     static STATE: Mutex<Option<Arc<ArmedState>>> = Mutex::new(None);
+    /// Serializes armed plans across threads: held (via the `ArmGuard`)
+    /// from `arm` until the guard drops, so concurrently-running tests
+    /// queue up instead of observing each other's plans.
+    static ARM_SERIAL: Mutex<()> = Mutex::new(());
 
     /// Disarms the global plan on drop; reports how many faults fired.
+    ///
+    /// Holds the arming serialization lock for its whole lifetime (see
+    /// the module-docs concurrency rule), so at most one plan is ever
+    /// visible to the probes and a second `arm` blocks rather than
+    /// clobbering it. Consequence: never call `arm` twice on the same
+    /// thread while a guard is alive — that self-deadlocks by design.
     pub struct ArmGuard {
         state: Arc<ArmedState>,
+        _serial: std::sync::MutexGuard<'static, ()>,
     }
 
     impl ArmGuard {
@@ -193,23 +248,27 @@ mod armed {
             let mut slot = STATE.lock().unwrap_or_else(|e| e.into_inner());
             ANY_ARMED.store(false, Ordering::SeqCst);
             *slot = None;
+            // `_serial` is released after this, once the plan is gone.
         }
     }
 
-    /// Arm `plan` globally. Only one plan can be armed at a time; the
-    /// guard disarms on drop. Tests arming faults must serialize (the
-    /// chaos suite holds a static mutex for this).
+    /// Arm `plan` globally. The returned guard disarms on drop. Arming
+    /// is serialized: if another guard is alive (on any thread), this
+    /// call blocks until it drops — concurrent `#[test]`s can therefore
+    /// arm freely without observing each other's plans.
     pub fn arm(plan: FaultPlan) -> ArmGuard {
+        let serial = ARM_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
         let state = Arc::new(ArmedState {
             plan,
-            calls: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            calls: std::array::from_fn(|_| AtomicU64::new(0)),
             fired: AtomicU64::new(0),
         });
         let mut slot = STATE.lock().unwrap_or_else(|e| e.into_inner());
-        assert!(slot.is_none(), "a FaultPlan is already armed");
+        debug_assert!(slot.is_none(), "serialization lock held but a plan is armed");
         *slot = Some(Arc::clone(&state));
         ANY_ARMED.store(true, Ordering::SeqCst);
-        ArmGuard { state }
+        drop(slot);
+        ArmGuard { state, _serial: serial }
     }
 
     #[inline]
@@ -239,6 +298,7 @@ mod armed {
                     FaultAction::Panic => {
                         panic!("injected fault at {site:?} (call {call})")
                     }
+                    FaultAction::Stall(ms) => return Probe::Stall(ms),
                 }
             }
         }
@@ -308,5 +368,51 @@ mod tests {
         assert_eq!(probe(FaultSite::PackAlloc), Probe::Ok);
         assert_eq!(probe(FaultSite::KernelDispatch), Probe::Ok);
         assert_eq!(probe(FaultSite::WorkerStartup), Probe::Ok);
+        assert_eq!(probe(FaultSite::WorkerHeartbeat), Probe::Ok);
+    }
+
+    #[test]
+    fn seeded_plans_never_use_the_heartbeat_site() {
+        for seed in 0..256u64 {
+            for spec in &FaultPlan::seeded(seed).specs {
+                assert_ne!(spec.site, FaultSite::WorkerHeartbeat, "seed {seed}");
+            }
+        }
+    }
+
+    /// The satellite fix for ISSUE 5: two threads arming concurrently
+    /// serialize — neither ever observes (or clobbers) the other's plan.
+    #[cfg(feature = "faultinject")]
+    #[test]
+    fn concurrent_arming_serializes_instead_of_clobbering() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            let live = Arc::clone(&live);
+            let peak = Arc::clone(&peak);
+            handles.push(std::thread::spawn(move || {
+                let plan = FaultPlan::single(
+                    FaultSite::PackAlloc,
+                    FaultAction::Degrade,
+                    Trigger::Nth(1 + i),
+                );
+                let guard = arm(plan);
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                live.fetch_sub(1, Ordering::SeqCst);
+                drop(guard);
+            }));
+        }
+        for h in handles {
+            h.join().expect("arming thread panicked");
+        }
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "two plans were armed at once");
+        // Everything disarmed afterwards.
+        assert_eq!(probe(FaultSite::PackAlloc), Probe::Ok);
     }
 }

@@ -61,7 +61,13 @@
 //!   guarantee and worker-panic containment;
 //! * [`faultinject`] — the seeded deterministic fault-injection harness
 //!   (behind the `faultinject` feature, a no-op otherwise) that drives
-//!   the chaos test suite.
+//!   the chaos test suite;
+//! * [`supervisor`] — the execution-supervision layer: deadlines and
+//!   cooperative cancellation ([`CancelToken`] / [`GemmOptions`]), the
+//!   opt-in stuck-worker watchdog, the per-engine backend-quarantine
+//!   circuit breaker surfaced in the schema-v2 `health` report section,
+//!   and the bounded retry-with-degradation ladder behind
+//!   [`AutoGemm::try_gemm_resilient`].
 //!
 //! ## Fallible API
 //!
@@ -97,16 +103,22 @@ pub mod packing;
 pub mod plan;
 pub mod simd;
 pub mod simexec;
+pub mod supervisor;
 pub mod telemetry;
 pub mod transpose;
 
-pub use batch::{gemm_batch, try_gemm_batch, GemmBatch};
+pub use batch::{gemm_batch, try_gemm_batch, try_gemm_batch_supervised, GemmBatch};
 pub use engine::{AutoGemm, SimGemmReport};
 pub use error::GemmError;
 pub use offline::{
-    gemm_prepacked, gemm_prepacked_pooled, try_gemm_prepacked, try_gemm_prepacked_pooled, PackedB,
+    gemm_prepacked, gemm_prepacked_pooled, try_gemm_prepacked, try_gemm_prepacked_pooled,
+    try_gemm_prepacked_supervised, PackedB,
 };
 pub use packing::PanelPool;
 pub use plan::ExecutionPlan;
+pub use supervisor::{
+    BreakerConfig, BreakerPath, BreakerState, CancelToken, GemmOptions, ResilientMode,
+    ResilientReport, Supervision, WatchdogConfig,
+};
 pub use telemetry::GemmReport;
 pub use transpose::{gemm_op, sgemm, try_gemm_op, try_sgemm, Op};

@@ -42,9 +42,10 @@ use crate::faultinject::{self, FaultSite, Probe};
 use crate::offline::PackedB;
 use crate::packing::{pack_a, pack_a_into, pack_b, pack_b_into, PackedBlock, PanelPool};
 use crate::plan::ExecutionPlan;
+use crate::supervisor::{BreakerPath, RunMonitor, Supervision};
 use crate::telemetry::clock::Stamp;
 use crate::telemetry::report::{
-    FallbackStats, GemmReport, PackStats, PhaseProfile, PhaseTimes, ThreadProfile,
+    FallbackStats, GemmReport, HealthReport, PackStats, PhaseProfile, PhaseTimes, ThreadProfile,
 };
 use crate::telemetry::session::{self, Session};
 use autogemm_tiling::TilePlacement;
@@ -123,44 +124,107 @@ struct RunConfig {
     /// Route every placement to the scalar reference kernels — the
     /// degradation path for a failed SIMD backend probe (only reachable
     /// through `faultinject`; the real [`crate::simd::SimdBackend`]
-    /// probe always has the portable fallback).
+    /// probe always has the portable fallback), or a circuit-breaker
+    /// reroute imposed via [`Supervision`].
     reference: bool,
+    /// Circuit-breaker reroute: skip the caller's pool entirely and pack
+    /// into transient buffers.
+    force_transient: bool,
     /// Degradations taken, for the traced driver's report.
     fallbacks: FallbackStats,
 }
 
 impl RunConfig {
-    fn probe() -> Result<RunConfig, GemmError> {
-        let mut cfg = RunConfig { reference: false, fallbacks: FallbackStats::default() };
-        if probe_contained(FaultSite::KernelDispatch)? != Probe::Ok {
-            // Degrade *and* Fail both land on the scalar path: a kernel
-            // backend that cannot be selected still has a correct
-            // reference implementation, so dispatch never needs to fail
-            // the whole GEMM.
+    /// Probe the dispatch path, honouring any breaker reroutes carried
+    /// by `sup` (a quarantined path is bypassed, not probed — the whole
+    /// point of the quarantine is not to touch it). Faults observed here
+    /// are reported into `sup` for the engine's breaker accounting.
+    fn probe(sup: &Supervision) -> Result<RunConfig, GemmError> {
+        let mut cfg = RunConfig {
+            reference: false,
+            force_transient: sup.force_transient,
+            fallbacks: FallbackStats::default(),
+        };
+        if sup.force_reference {
             cfg.reference = true;
-            cfg.fallbacks.scalar_kernels += 1;
+            cfg.fallbacks.breaker_reroutes += 1;
+        } else {
+            match probe_contained(FaultSite::KernelDispatch) {
+                // `Stall` is only meaningful at the heartbeat site.
+                Ok(Probe::Ok) | Ok(Probe::Stall(_)) => {}
+                Ok(Probe::Degrade) | Ok(Probe::Fail) => {
+                    // Degrade *and* Fail both land on the scalar path: a
+                    // kernel backend that cannot be selected still has a
+                    // correct reference implementation, so dispatch never
+                    // needs to fail the whole GEMM.
+                    sup.observe_fault(BreakerPath::SimdDispatch);
+                    cfg.reference = true;
+                    cfg.fallbacks.scalar_kernels += 1;
+                }
+                Err(e) => {
+                    sup.observe_fault(BreakerPath::SimdDispatch);
+                    return Err(e);
+                }
+            }
+        }
+        if sup.force_transient {
+            cfg.fallbacks.breaker_reroutes += 1;
         }
         Ok(cfg)
     }
 
     /// Choose the packing pool for one pack phase: the caller's pool, or
-    /// a transient one when the pool allocation is poisoned (`Degrade`).
-    /// `Fail` simulates an unrecoverable allocation failure.
+    /// a transient one when the pool allocation is poisoned (`Degrade`)
+    /// or quarantined by the breaker. `Fail` simulates an unrecoverable
+    /// allocation failure.
     fn pack_pool<'a>(
         &mut self,
         caller: &'a PanelPool,
         transient: &'a PanelPool,
         phase: &'static str,
+        sup: &Supervision,
     ) -> Result<&'a PanelPool, GemmError> {
-        match probe_contained(FaultSite::PackAlloc)? {
-            Probe::Ok => Ok(caller),
-            Probe::Degrade => {
+        if self.force_transient {
+            return Ok(transient);
+        }
+        match probe_contained(FaultSite::PackAlloc) {
+            Ok(Probe::Ok) | Ok(Probe::Stall(_)) => Ok(caller),
+            Ok(Probe::Degrade) => {
+                sup.observe_fault(BreakerPath::PoolAlloc);
                 self.fallbacks.pool_packs += 1;
                 Ok(transient)
             }
-            Probe::Fail => Err(GemmError::AllocFailed { phase }),
+            Ok(Probe::Fail) => {
+                sup.observe_fault(BreakerPath::PoolAlloc);
+                Err(GemmError::AllocFailed { phase })
+            }
+            Err(e) => {
+                sup.observe_fault(BreakerPath::PoolAlloc);
+                Err(e)
+            }
         }
     }
+}
+
+/// One worker's block-claim checkpoint: consult the heartbeat fault site
+/// (a `Stall` wedges here — a worker stuck *before* finishing its
+/// claimed block, which is exactly what the watchdog exists to catch —
+/// bounded by the stall's cap and broken early by supervision), then
+/// bump the worker's heartbeat counter. Returns `false` when the run
+/// was cancelled while wedged: the caller must skip the claimed block
+/// and stop (the block was never executed, per the partial-`C`
+/// contract).
+#[inline]
+fn heartbeat(monitor: &RunMonitor, t: usize) -> bool {
+    if let Probe::Stall(cap_ms) = faultinject::probe(FaultSite::WorkerHeartbeat) {
+        let t0 = std::time::Instant::now();
+        let cap = std::time::Duration::from_millis(cap_ms);
+        while t0.elapsed() < cap && !monitor.should_stop() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    monitor.beat(t);
+    !monitor.should_stop()
 }
 
 /// A writable view of one `C` micro-tile: base pointer at the tile's
@@ -642,6 +706,29 @@ pub fn try_gemm_with_plan_pooled(
     threads: usize,
     pool: &PanelPool,
 ) -> Result<(), GemmError> {
+    try_gemm_with_plan_supervised(plan, a, b, c, threads, pool, &Supervision::none())
+}
+
+/// [`try_gemm_with_plan_pooled`] under a [`Supervision`] bundle:
+/// deadline/cancel checks at panel and block boundaries, per-worker
+/// heartbeats for the opt-in watchdog, and any circuit-breaker reroutes
+/// the bundle carries. With `Supervision::none()` the monitor is passive
+/// (one predictable branch per checkpoint, no clock reads) and behavior
+/// is identical to the unsupervised call.
+///
+/// On [`GemmError::Cancelled`]/[`GemmError::Stalled`] every panel buffer
+/// has been released back to its pool and the plan/pool/engine are
+/// immediately reusable; `C` follows the [`crate::error`] partial-write
+/// contract (untouched unless the kernel phase had started).
+pub fn try_gemm_with_plan_supervised(
+    plan: &ExecutionPlan,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+    pool: &PanelPool,
+    sup: &Supervision,
+) -> Result<(), GemmError> {
     let s = &plan.schedule;
     let (m, n, k) = (s.m, s.n, s.k);
     error::check_operands(m, n, k, a, b, c)?;
@@ -653,43 +740,60 @@ pub fn try_gemm_with_plan_pooled(
         return Ok(());
     }
     let (_, tn, tk) = plan.grid();
-    let mut cfg = RunConfig::probe()?;
+    let mut cfg = RunConfig::probe(sup)?;
     let transient = PanelPool::new();
 
-    let a_pool = cfg.pack_pool(pool, &transient, "pack A")?;
-    let a_panels = try_pack_a_panels(plan, a, threads, a_pool)?;
-    let b_pool = match cfg.pack_pool(pool, &transient, "pack B") {
-        Ok(p) => p,
-        Err(e) => {
-            a_pool.release_blocks(a_panels);
-            return Err(e);
-        }
-    };
-    let b_panels = {
-        let mut panels = b_pool.acquire_blocks(tk * tn);
-        let packed = try_pack_panels_parallel(&mut panels, threads, |idx, p| {
-            let (kb, bj) = (idx / tn, idx % tn);
-            pack_b_into(p, b, n, kb * s.kc, bj * s.nc, s.kc, s.nc, plan.sigma_lane);
-        });
-        if let Err(e) = packed {
-            a_pool.release_blocks(a_panels);
+    let monitor = RunMonitor::new(sup, threads.max(1));
+    let watchdog = monitor.spawn_watchdog();
+    // All phases run inside this closure so every early return still
+    // flows through `monitor.finish` (the watchdog thread is always
+    // joined before the caller sees the result).
+    let result = (|| {
+        monitor.begin_phase();
+        let a_pool = cfg.pack_pool(pool, &transient, "pack A", sup)?;
+        let a_panels = try_pack_a_panels_supervised(plan, a, threads, a_pool, &monitor)?;
+        let b_pool = match cfg.pack_pool(pool, &transient, "pack B", sup) {
+            Ok(p) => p,
+            Err(e) => {
+                a_pool.release_blocks(a_panels);
+                return Err(e);
+            }
+        };
+        monitor.begin_phase();
+        let b_panels = {
+            let mut panels = b_pool.acquire_blocks(tk * tn);
+            let packed =
+                try_pack_panels_parallel(&mut panels, threads, &monitor, "pack B", |idx, p| {
+                    let (kb, bj) = (idx / tn, idx % tn);
+                    pack_b_into(p, b, n, kb * s.kc, bj * s.nc, s.kc, s.nc, plan.sigma_lane);
+                });
+            if let Err(e) = packed {
+                a_pool.release_blocks(a_panels);
+                b_pool.release_blocks(panels);
+                return Err(e);
+            }
+            panels
+        };
+
+        let b_src = BPanels::Owned { panels: b_panels, tn };
+        monitor.begin_phase();
+        let run =
+            try_run_blocks_cached(plan, &a_panels, &b_src, c, threads, cfg.reference, &monitor);
+
+        // Buffers go back even when the run was poisoned or cancelled: a
+        // contained panic never corrupts a panel buffer (they hold plain
+        // `f32`s), so the pool stays usable for the caller's next attempt.
+        a_pool.release_blocks(a_panels);
+        if let BPanels::Owned { panels, .. } = b_src {
             b_pool.release_blocks(panels);
-            return Err(e);
         }
-        panels
-    };
-
-    let b_src = BPanels::Owned { panels: b_panels, tn };
-    let run = try_run_blocks_cached(plan, &a_panels, &b_src, c, threads, cfg.reference);
-
-    // Buffers go back even when the run was poisoned: a contained panic
-    // never corrupts a panel buffer (they hold plain `f32`s), so the
-    // pool stays usable for the caller's next attempt.
-    a_pool.release_blocks(a_panels);
-    if let BPanels::Owned { panels, .. } = b_src {
-        b_pool.release_blocks(panels);
+        run
+    })();
+    monitor.finish(watchdog);
+    if matches!(result, Err(GemmError::WorkerPanicked { .. }) | Err(GemmError::Stalled { .. })) {
+        sup.observe_fault(BreakerPath::ThreadedDriver);
     }
-    run
+    result
 }
 
 /// [`gemm_with_plan_pooled`] with per-call telemetry: returns a
@@ -730,6 +834,23 @@ pub fn try_gemm_with_plan_traced(
     threads: usize,
     pool: &PanelPool,
 ) -> Result<GemmReport, GemmError> {
+    try_gemm_with_plan_traced_supervised(plan, a, b, c, threads, pool, &Supervision::none())
+}
+
+/// [`try_gemm_with_plan_traced`] under a [`Supervision`] bundle — the
+/// traced twin of [`try_gemm_with_plan_supervised`], with the same
+/// cancellation points, buffer-release guarantees and breaker-fault
+/// attribution. The engine stamps the report's `health` section after the
+/// call (the driver leaves it default).
+pub fn try_gemm_with_plan_traced_supervised(
+    plan: &ExecutionPlan,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+    pool: &PanelPool,
+    sup: &Supervision,
+) -> Result<GemmReport, GemmError> {
     let s = &plan.schedule;
     let (m, n, k) = (s.m, s.n, s.k);
     error::check_operands(m, n, k, a, b, c)?;
@@ -749,63 +870,87 @@ pub fn try_gemm_with_plan_traced(
         });
     }
     let (tm, tn, tk) = plan.grid();
-    let mut cfg = RunConfig::probe()?;
+    let mut cfg = RunConfig::probe(sup)?;
     let transient = PanelPool::new();
 
     let sess = Arc::new(Session::new());
     let t0 = Stamp::now();
 
-    let pa0 = Stamp::now();
-    let a_pool = cfg.pack_pool(pool, &transient, "pack A")?;
-    let a_panels = {
-        let mut panels = a_pool.acquire_blocks(tm * tk);
-        let packed = try_pack_panels_parallel(&mut panels, threads, |idx, p| {
-            session::with_session(&sess, || {
-                let (bi, kb) = (idx / tk, idx % tk);
-                pack_a_into(p, a, s.k, bi * s.mc, kb * s.kc, s.mc, s.kc, plan.sigma_lane);
-            })
-        });
-        if let Err(e) = packed {
-            a_pool.release_blocks(panels);
-            return Err(e);
-        }
-        panels
-    };
-    let pack_a_t = pa0.elapsed();
+    let monitor = RunMonitor::new(sup, threads.max(1));
+    let watchdog = monitor.spawn_watchdog();
+    let result = (|| {
+        let pa0 = Stamp::now();
+        let a_pool = cfg.pack_pool(pool, &transient, "pack A", sup)?;
+        monitor.begin_phase();
+        let a_panels = {
+            let mut panels = a_pool.acquire_blocks(tm * tk);
+            let packed =
+                try_pack_panels_parallel(&mut panels, threads, &monitor, "pack A", |idx, p| {
+                    session::with_session(&sess, || {
+                        let (bi, kb) = (idx / tk, idx % tk);
+                        pack_a_into(p, a, s.k, bi * s.mc, kb * s.kc, s.mc, s.kc, plan.sigma_lane);
+                    })
+                });
+            if let Err(e) = packed {
+                a_pool.release_blocks(panels);
+                return Err(e);
+            }
+            panels
+        };
+        let pack_a_t = pa0.elapsed();
 
-    let pb0 = Stamp::now();
-    let b_pool = match cfg.pack_pool(pool, &transient, "pack B") {
-        Ok(p) => p,
-        Err(e) => {
-            a_pool.release_blocks(a_panels);
-            return Err(e);
-        }
-    };
-    let b_panels = {
-        let mut panels = b_pool.acquire_blocks(tk * tn);
-        let packed = try_pack_panels_parallel(&mut panels, threads, |idx, p| {
-            session::with_session(&sess, || {
-                let (kb, bj) = (idx / tn, idx % tn);
-                pack_b_into(p, b, n, kb * s.kc, bj * s.nc, s.kc, s.nc, plan.sigma_lane);
-            })
-        });
-        if let Err(e) = packed {
-            a_pool.release_blocks(a_panels);
+        let pb0 = Stamp::now();
+        let b_pool = match cfg.pack_pool(pool, &transient, "pack B", sup) {
+            Ok(p) => p,
+            Err(e) => {
+                a_pool.release_blocks(a_panels);
+                return Err(e);
+            }
+        };
+        monitor.begin_phase();
+        let b_panels = {
+            let mut panels = b_pool.acquire_blocks(tk * tn);
+            let packed =
+                try_pack_panels_parallel(&mut panels, threads, &monitor, "pack B", |idx, p| {
+                    session::with_session(&sess, || {
+                        let (kb, bj) = (idx / tn, idx % tn);
+                        pack_b_into(p, b, n, kb * s.kc, bj * s.nc, s.kc, s.nc, plan.sigma_lane);
+                    })
+                });
+            if let Err(e) = packed {
+                a_pool.release_blocks(a_panels);
+                b_pool.release_blocks(panels);
+                return Err(e);
+            }
+            panels
+        };
+        let pack_b_t = pb0.elapsed();
+
+        let b_src = BPanels::Owned { panels: b_panels, tn };
+        monitor.begin_phase();
+        let run = try_run_blocks_traced(
+            plan,
+            &a_panels,
+            &b_src,
+            c,
+            threads,
+            &sess,
+            cfg.reference,
+            &monitor,
+        );
+
+        a_pool.release_blocks(a_panels);
+        if let BPanels::Owned { panels, .. } = b_src {
             b_pool.release_blocks(panels);
-            return Err(e);
         }
-        panels
-    };
-    let pack_b_t = pb0.elapsed();
-
-    let b_src = BPanels::Owned { panels: b_panels, tn };
-    let run = try_run_blocks_traced(plan, &a_panels, &b_src, c, threads, &sess, cfg.reference);
-
-    a_pool.release_blocks(a_panels);
-    if let BPanels::Owned { panels, .. } = b_src {
-        b_pool.release_blocks(panels);
+        let (thread_profiles, kernel, drain) = run?;
+        Ok((thread_profiles, kernel, drain, pack_a_t, pack_b_t))
+    })();
+    monitor.finish(watchdog);
+    if matches!(result, Err(GemmError::WorkerPanicked { .. }) | Err(GemmError::Stalled { .. })) {
+        sup.observe_fault(BreakerPath::ThreadedDriver);
     }
-    let (thread_profiles, kernel, drain) = run?;
+    let (thread_profiles, kernel, drain, pack_a_t, pack_b_t) = result?;
 
     let wall = t0.elapsed();
     let stats = sess.take();
@@ -828,6 +973,7 @@ pub fn try_gemm_with_plan_traced(
         tiles: stats.tile_counts(),
         thread_profiles,
         fallbacks: cfg.fallbacks,
+        health: HealthReport::default(),
         model: None,
     })
 }
@@ -838,7 +984,7 @@ pub fn try_gemm_with_plan_traced(
 /// idle tail (drain) can be charged per thread. Returns the sorted
 /// profiles, the wall/cycle span of the whole parallel section (the
 /// `kernel` phase), and the summed per-thread drain.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn try_run_blocks_traced(
     plan: &ExecutionPlan,
     a_panels: &[PackedBlock],
@@ -847,6 +993,7 @@ fn try_run_blocks_traced(
     threads: usize,
     sess: &Arc<Session>,
     reference: bool,
+    monitor: &RunMonitor,
 ) -> Result<(Vec<ThreadProfile>, PhaseTimes, PhaseTimes), GemmError> {
     let s = &plan.schedule;
     let (tm, tn, tk) = plan.grid();
@@ -864,10 +1011,14 @@ fn try_run_blocks_traced(
             session::with_session(sess, || {
                 faultinject::probe(FaultSite::WorkerStartup);
                 for &(bi, bj) in &blocks {
+                    if monitor.should_stop() || !heartbeat(monitor, 0) {
+                        break;
+                    }
                     let b0 = Stamp::now();
                     run_block_cached(plan, a_panels, b_panels, c_root, bi, bj, tk, reference);
                     prof.busy += b0.elapsed();
                     prof.blocks += 1;
+                    monitor.note_done();
                 }
             })
         })?;
@@ -885,17 +1036,21 @@ fn try_run_blocks_traced(
                         session::with_session(sess, || {
                             faultinject::probe(FaultSite::WorkerStartup);
                             loop {
-                                if poison.is_poisoned() {
+                                if poison.is_poisoned() || monitor.should_stop() {
                                     break;
                                 }
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                                 let Some(&(bi, bj)) = blocks.get(i) else { break };
+                                if !heartbeat(monitor, t) {
+                                    break;
+                                }
                                 let b0 = Stamp::now();
                                 run_block_cached(
                                     plan, a_panels, b_panels, c_root, bi, bj, tk, reference,
                                 );
                                 prof.busy += b0.elapsed();
                                 prof.blocks += 1;
+                                monitor.note_done();
                             }
                         })
                     }));
@@ -919,6 +1074,7 @@ fn try_run_blocks_traced(
         finished = collected.into_inner();
         finished.sort_by_key(|(p, _)| p.thread);
     }
+    monitor.outcome("kernel", blocks.len())?;
     let end = Stamp::now();
     let kernel = section0.delta_to(end);
     let mut drain_total = PhaseTimes::default();
@@ -935,17 +1091,19 @@ fn try_run_blocks_traced(
 
 /// Pack all A panels of a plan (indexed `[bi * tk + kb]`) from `pool`
 /// buffers, in parallel when the problem is large enough to pay for it.
-/// On error the acquired buffers are returned to `pool` first.
-pub(crate) fn try_pack_a_panels(
+/// On error (including cancellation) the acquired buffers are returned
+/// to `pool` first. The caller must have called `monitor.begin_phase()`.
+pub(crate) fn try_pack_a_panels_supervised(
     plan: &ExecutionPlan,
     a: &[f32],
     threads: usize,
     pool: &PanelPool,
+    monitor: &RunMonitor,
 ) -> Result<Vec<PackedBlock>, GemmError> {
     let s = &plan.schedule;
     let (tm, _, tk) = plan.grid();
     let mut panels = pool.acquire_blocks(tm * tk);
-    let packed = try_pack_panels_parallel(&mut panels, threads, |idx, p| {
+    let packed = try_pack_panels_parallel(&mut panels, threads, monitor, "pack A", |idx, p| {
         let (bi, kb) = (idx / tk, idx % tk);
         pack_a_into(p, a, s.k, bi * s.mc, kb * s.kc, s.mc, s.kc, plan.sigma_lane);
     });
@@ -967,10 +1125,14 @@ pub(crate) fn try_pack_a_panels(
 /// A panicking pack worker poisons the phase: the other workers stop at
 /// their next slot boundary and the first panic comes back as
 /// [`GemmError::WorkerPanicked`] (`C` is untouched — nothing has run
-/// yet).
+/// yet). Supervision (deadline/cancel/watchdog heartbeats) is checked at
+/// the same slot boundaries; an interrupted phase reports
+/// [`GemmError::Cancelled`]/[`GemmError::Stalled`] with `phase`.
 fn try_pack_panels_parallel<F>(
     panels: &mut [PackedBlock],
     threads: usize,
+    monitor: &RunMonitor,
+    phase: &'static str,
     pack: F,
 ) -> Result<(), GemmError>
 where
@@ -979,11 +1141,17 @@ where
     let total = panels.len();
     let threads = threads.max(1).min(total.max(1));
     if threads == 1 || total < 2 * threads {
-        return contain(|| {
+        contain(|| {
             for (idx, p) in panels.iter_mut().enumerate() {
+                if monitor.should_stop() {
+                    break;
+                }
                 pack(idx, p);
+                monitor.beat(0);
+                monitor.note_done();
             }
-        });
+        })?;
+        return monitor.outcome(phase, total);
     }
     let chunk = total.div_ceil(threads);
     let poison = Poison::new();
@@ -993,10 +1161,12 @@ where
             scope.spawn(move |_| {
                 let run = catch_unwind(AssertUnwindSafe(|| {
                     for (off, p) in slice.iter_mut().enumerate() {
-                        if poison.is_poisoned() {
+                        if poison.is_poisoned() || monitor.should_stop() {
                             break;
                         }
                         pack(t * chunk + off, p);
+                        monitor.beat(t);
+                        monitor.note_done();
                     }
                 }));
                 if let Err(payload) = run {
@@ -1011,7 +1181,8 @@ where
             detail: "packing scope failed".to_string(),
         });
     }
-    poison.into_result()
+    poison.into_result()?;
+    monitor.outcome(phase, total)
 }
 
 /// Drain the `σ_order`-sorted block list through a shared atomic cursor:
@@ -1023,7 +1194,10 @@ where
 /// survivors stop claiming blocks and join cleanly, and the first panic
 /// is reported as [`GemmError::WorkerPanicked`]. On that error `C` may
 /// hold a mix of original and fully computed blocks (tiles are written
-/// whole — see [`crate::error`]).
+/// whole — see [`crate::error`]). Supervision is checked before each
+/// block claim: an interrupted run reports
+/// [`GemmError::Cancelled`]/[`GemmError::Stalled`] with `phase: "kernel"`
+/// under the same partial-write contract.
 pub(crate) fn try_run_blocks_cached(
     plan: &ExecutionPlan,
     a_panels: &[PackedBlock],
@@ -1031,6 +1205,7 @@ pub(crate) fn try_run_blocks_cached(
     c: &mut [f32],
     threads: usize,
     reference: bool,
+    monitor: &RunMonitor,
 ) -> Result<(), GemmError> {
     let s = &plan.schedule;
     let (tm, tn, tk) = plan.grid();
@@ -1043,12 +1218,17 @@ pub(crate) fn try_run_blocks_cached(
     let c_root = unsafe { CTile::new(c.as_mut_ptr(), s.n, c.len()) };
     if threads == 1 {
         // The caller thread is worker 0; its panics are contained too.
-        return contain(|| {
+        contain(|| {
             faultinject::probe(FaultSite::WorkerStartup);
             for &(bi, bj) in &blocks {
+                if monitor.should_stop() || !heartbeat(monitor, 0) {
+                    break;
+                }
                 run_block_cached(plan, a_panels, b_panels, c_root, bi, bj, tk, reference);
+                monitor.note_done();
             }
-        });
+        })?;
+        return monitor.outcome("kernel", blocks.len());
     }
     let cursor = AtomicUsize::new(0);
     let poison = Poison::new();
@@ -1059,12 +1239,16 @@ pub(crate) fn try_run_blocks_cached(
                 let run = catch_unwind(AssertUnwindSafe(|| {
                     faultinject::probe(FaultSite::WorkerStartup);
                     loop {
-                        if poison.is_poisoned() {
+                        if poison.is_poisoned() || monitor.should_stop() {
                             break;
                         }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&(bi, bj)) = blocks.get(i) else { break };
+                        if !heartbeat(monitor, t) {
+                            break;
+                        }
                         run_block_cached(plan, a_panels, b_panels, c_root, bi, bj, tk, reference);
+                        monitor.note_done();
                     }
                 }));
                 if let Err(payload) = run {
@@ -1079,7 +1263,8 @@ pub(crate) fn try_run_blocks_cached(
             detail: "worker scope failed".to_string(),
         });
     }
-    poison.into_result()
+    poison.into_result()?;
+    monitor.outcome("kernel", blocks.len())
 }
 
 /// Execute all K-slices of one `C` block from cached panels

@@ -9,6 +9,7 @@
 use crate::error::{self, GemmError, Operand};
 use crate::packing::{pack_b, PackedBlock};
 use crate::plan::ExecutionPlan;
+use crate::supervisor::{BreakerPath, RunMonitor, Supervision};
 
 /// `B`, packed offline for a specific execution plan.
 pub struct PackedB {
@@ -114,6 +115,23 @@ pub fn try_gemm_prepacked_pooled(
     threads: usize,
     pool: &crate::packing::PanelPool,
 ) -> Result<(), GemmError> {
+    try_gemm_prepacked_supervised(plan, a, packed_b, c, threads, pool, &Supervision::none())
+}
+
+/// [`try_gemm_prepacked_pooled`] under a [`Supervision`] bundle: the
+/// offline path gets the same cancellation points (pack-A slots, kernel
+/// block claims), watchdog heartbeats and error attribution as the
+/// online driver. The pre-packed `B` panels are caller-owned and never
+/// touched on the error paths.
+pub fn try_gemm_prepacked_supervised(
+    plan: &ExecutionPlan,
+    a: &[f32],
+    packed_b: &PackedB,
+    c: &mut [f32],
+    threads: usize,
+    pool: &crate::packing::PanelPool,
+    sup: &Supervision,
+) -> Result<(), GemmError> {
     packed_b.check(plan)?;
     let s = &plan.schedule;
     let (m, n, k) = (s.m, s.n, s.k);
@@ -126,17 +144,30 @@ pub fn try_gemm_prepacked_pooled(
         c.fill(0.0);
         return Ok(());
     }
-    let a_panels = crate::native::try_pack_a_panels(plan, a, threads, pool)?;
-    let run = crate::native::try_run_blocks_cached(
-        plan,
-        &a_panels,
-        &crate::native::BPanels::Prepacked(packed_b),
-        c,
-        threads,
-        false,
-    );
-    pool.release_blocks(a_panels);
-    run
+    let monitor = RunMonitor::new(sup, threads.max(1));
+    let watchdog = monitor.spawn_watchdog();
+    let result = (|| {
+        monitor.begin_phase();
+        let a_panels =
+            crate::native::try_pack_a_panels_supervised(plan, a, threads, pool, &monitor)?;
+        monitor.begin_phase();
+        let run = crate::native::try_run_blocks_cached(
+            plan,
+            &a_panels,
+            &crate::native::BPanels::Prepacked(packed_b),
+            c,
+            threads,
+            false,
+            &monitor,
+        );
+        pool.release_blocks(a_panels);
+        run
+    })();
+    monitor.finish(watchdog);
+    if matches!(result, Err(GemmError::WorkerPanicked { .. }) | Err(GemmError::Stalled { .. })) {
+        sup.observe_fault(BreakerPath::ThreadedDriver);
+    }
+    result
 }
 
 #[cfg(test)]

@@ -309,6 +309,13 @@ pub fn pack_b_into(
 #[derive(Debug, Default)]
 pub struct PanelPool {
     free: Mutex<Vec<AlignedVec>>,
+    /// Blocks handed out and not yet returned — the pool's leak
+    /// indicator (must settle at 0 between calls; see
+    /// [`PanelPool::outstanding`]).
+    outstanding: std::sync::atomic::AtomicUsize,
+    /// Highest `outstanding` ever observed (bounded-memory check for
+    /// soak runs).
+    high_water: std::sync::atomic::AtomicUsize,
 }
 
 impl PanelPool {
@@ -319,6 +326,8 @@ impl PanelPool {
     /// Take `n` blocks, reusing pooled buffers (largest first) and
     /// topping up with empty ones.
     pub fn acquire_blocks(&self, n: usize) -> Vec<PackedBlock> {
+        let now = self.outstanding.fetch_add(n, Ordering::Relaxed) + n;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
         let mut free = self.free.lock();
         let take = free.len().min(n);
         let start = free.len() - take;
@@ -333,12 +342,31 @@ impl PanelPool {
     /// only the allocations are kept).
     pub fn release_blocks(&self, blocks: impl IntoIterator<Item = PackedBlock>) {
         let mut bufs: Vec<AlignedVec> = blocks.into_iter().map(|b| b.data).collect();
+        // Saturating: releasing blocks acquired elsewhere (or plain
+        // `PackedBlock`s never acquired) must not underflow the gauge.
+        let n = bufs.len();
+        let _ = self
+            .outstanding
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| Some(cur.saturating_sub(n)));
         self.free.lock().append(&mut bufs);
     }
 
     /// Buffers currently pooled.
     pub fn buffered(&self) -> usize {
         self.free.lock().len()
+    }
+
+    /// Blocks currently acquired and not yet released. Zero whenever no
+    /// call is in flight — every driver path (success, error,
+    /// cancellation) releases its panels; soak runs assert this.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// Highest simultaneous [`PanelPool::outstanding`] observed over the
+    /// pool's lifetime — the bounded-memory witness for soak runs.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
     }
 
     /// Drop every pooled buffer (memory release valve for long-lived

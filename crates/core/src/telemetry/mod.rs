@@ -53,7 +53,7 @@ pub mod session;
 pub use clock::{ScopedTimer, Stamp, ENABLED};
 pub use json::{Json, JsonError};
 pub use report::{
-    GemmReport, ModelJoin, PackStats, PhaseProfile, PhaseTimes, ThreadProfile, TileCount,
-    SCHEMA_VERSION,
+    FallbackStats, GemmReport, HealthReport, ModelJoin, PackStats, PathHealth, PhaseProfile,
+    PhaseTimes, ThreadProfile, TileCount, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 pub use session::Session;

@@ -5,8 +5,14 @@ use autogemm_kernelgen::MicroTile;
 use autogemm_perfmodel::ProjectionTable;
 
 /// Version of the serialized [`GemmReport`] schema. Bump on any breaking
-/// field change; [`GemmReport::from_json`] rejects other versions.
-pub const SCHEMA_VERSION: u64 = 1;
+/// field change; [`GemmReport::from_json`] rejects versions it cannot
+/// read. v2 added the `health` section (circuit-breaker state and
+/// transitions) and `fallbacks.breaker_reroutes`; v1 reports are still
+/// accepted and parse with an empty health section.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest serialized schema version [`GemmReport::from_json`] accepts.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// A (wall-ns, cycle-tick) duration pair. "Cycles" are host counter
 /// ticks — see [`crate::telemetry::clock`] for the per-arch source and
@@ -92,12 +98,56 @@ pub struct FallbackStats {
     /// kernel-dispatch probe routes every placement to the reference
     /// path).
     pub scalar_kernels: u64,
+    /// Degradations imposed by the engine's circuit breaker (quarantined
+    /// paths rerouted before the run started), counted per rerouted
+    /// path. Schema v2.
+    pub breaker_reroutes: u64,
 }
 
 impl FallbackStats {
     /// Whether any degradation path was taken.
     pub fn any(&self) -> bool {
-        self.pool_packs > 0 || self.scalar_kernels > 0
+        self.pool_packs > 0 || self.scalar_kernels > 0 || self.breaker_reroutes > 0
+    }
+}
+
+/// Health of one circuit-breaker path
+/// ([`BreakerPath`](crate::supervisor::BreakerPath)) at report time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathHealth {
+    /// Stable path name: `"simd_dispatch"`, `"pool_alloc"` or
+    /// `"threaded_driver"`.
+    pub path: String,
+    /// Breaker state name: `"closed"`, `"open"` or `"half_open"`.
+    pub state: String,
+    /// Consecutive faulting calls counted toward the trip threshold.
+    pub consecutive_faults: u64,
+    /// Faults observed on this path over the engine's lifetime.
+    pub total_faults: u64,
+    /// Times this path has tripped Open.
+    pub trips: u64,
+}
+
+/// The `health` section of a schema-v2 report: the engine's
+/// circuit-breaker snapshot plus the transitions this call performed.
+/// Empty (no paths, no transitions) when parsed from a v1 report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    pub paths: Vec<PathHealth>,
+    /// Transition strings of this call, e.g.
+    /// `"simd_dispatch: closed -> open"`.
+    pub transitions: Vec<String>,
+}
+
+impl HealthReport {
+    /// Look up one path's health by its stable name.
+    pub fn path(&self, name: &str) -> Option<&PathHealth> {
+        self.paths.iter().find(|p| p.path == name)
+    }
+
+    /// True when every known path is Closed (or the section is empty).
+    pub fn all_closed(&self) -> bool {
+        self.paths.iter().all(|p| p.state == "closed")
     }
 }
 
@@ -156,6 +206,9 @@ pub struct GemmReport {
     pub tiles: Vec<TileCount>,
     /// Degradation paths taken during the run.
     pub fallbacks: FallbackStats,
+    /// Circuit-breaker snapshot and this call's transitions (schema v2;
+    /// empty when parsed from a v1 report).
+    pub health: HealthReport,
     pub model: Option<ModelJoin>,
 }
 
@@ -275,6 +328,39 @@ impl GemmReport {
             Json::Obj(vec![
                 ("pool_packs".into(), Json::Num(self.fallbacks.pool_packs as f64)),
                 ("scalar_kernels".into(), Json::Num(self.fallbacks.scalar_kernels as f64)),
+                ("breaker_reroutes".into(), Json::Num(self.fallbacks.breaker_reroutes as f64)),
+            ]),
+        ));
+        fields.push((
+            "health".into(),
+            Json::Obj(vec![
+                (
+                    "paths".into(),
+                    Json::Arr(
+                        self.health
+                            .paths
+                            .iter()
+                            .map(|p| {
+                                Json::Obj(vec![
+                                    ("path".into(), Json::Str(p.path.clone())),
+                                    ("state".into(), Json::Str(p.state.clone())),
+                                    (
+                                        "consecutive_faults".into(),
+                                        Json::Num(p.consecutive_faults as f64),
+                                    ),
+                                    ("total_faults".into(), Json::Num(p.total_faults as f64)),
+                                    ("trips".into(), Json::Num(p.trips as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "transitions".into(),
+                    Json::Arr(
+                        self.health.transitions.iter().map(|t| Json::Str(t.clone())).collect(),
+                    ),
+                ),
             ]),
         ));
         fields.push((
@@ -309,11 +395,12 @@ impl GemmReport {
         let version = field("schema_version")?
             .as_u64()
             .ok_or_else(|| JsonError { pos: 0, msg: "schema_version must be an integer".into() })?;
-        if version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
             return Err(JsonError {
                 pos: 0,
                 msg: format!(
-                    "unsupported schema_version {version} (this build reads {SCHEMA_VERSION})"
+                    "unsupported schema_version {version} \
+                     (this build reads {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
                 ),
             });
         }
@@ -402,6 +489,53 @@ impl GemmReport {
             Some(fb) => FallbackStats {
                 pool_packs: fb.get("pool_packs").and_then(Json::as_u64).unwrap_or(0),
                 scalar_kernels: fb.get("scalar_kernels").and_then(Json::as_u64).unwrap_or(0),
+                // Schema v2; absent in v1 reports.
+                breaker_reroutes: fb.get("breaker_reroutes").and_then(Json::as_u64).unwrap_or(0),
+            },
+        };
+
+        // Schema v2. A v1 report has no `health` section; it parses as
+        // empty so downstream joins see "no breaker data" rather than an
+        // error. Within the section, unknown/missing numeric fields
+        // default to zero the same way `fallbacks` always has.
+        let health = match v.get("health") {
+            None | Some(Json::Null) => HealthReport::default(),
+            Some(h) => HealthReport {
+                paths: h
+                    .get("paths")
+                    .and_then(Json::as_arr)
+                    .map(|paths| {
+                        paths
+                            .iter()
+                            .map(|p| PathHealth {
+                                path: p
+                                    .get("path")
+                                    .and_then(Json::as_str)
+                                    .unwrap_or_default()
+                                    .to_string(),
+                                state: p
+                                    .get("state")
+                                    .and_then(Json::as_str)
+                                    .unwrap_or_default()
+                                    .to_string(),
+                                consecutive_faults: p
+                                    .get("consecutive_faults")
+                                    .and_then(Json::as_u64)
+                                    .unwrap_or(0),
+                                total_faults: p
+                                    .get("total_faults")
+                                    .and_then(Json::as_u64)
+                                    .unwrap_or(0),
+                                trips: p.get("trips").and_then(Json::as_u64).unwrap_or(0),
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+                transitions: h
+                    .get("transitions")
+                    .and_then(Json::as_arr)
+                    .map(|ts| ts.iter().filter_map(|t| t.as_str().map(str::to_string)).collect())
+                    .unwrap_or_default(),
             },
         };
 
@@ -453,6 +587,7 @@ impl GemmReport {
             thread_profiles,
             tiles,
             fallbacks,
+            health,
             model,
         })
     }
@@ -497,7 +632,26 @@ mod tests {
                 TileCount { mr: 5, nr: 16, count: 96 },
                 TileCount { mr: 8, nr: 4, count: 12 },
             ],
-            fallbacks: FallbackStats { pool_packs: 1, scalar_kernels: 0 },
+            fallbacks: FallbackStats { pool_packs: 1, scalar_kernels: 0, breaker_reroutes: 2 },
+            health: HealthReport {
+                paths: vec![
+                    PathHealth {
+                        path: "simd_dispatch".into(),
+                        state: "half_open".into(),
+                        consecutive_faults: 0,
+                        total_faults: 3,
+                        trips: 1,
+                    },
+                    PathHealth {
+                        path: "pool_alloc".into(),
+                        state: "closed".into(),
+                        consecutive_faults: 1,
+                        total_faults: 1,
+                        trips: 0,
+                    },
+                ],
+                transitions: vec!["simd_dispatch: open -> half_open".into()],
+            },
             model: Some(ModelJoin {
                 projected_kernel_cycles: 1.25e6,
                 measured_kernel_cycles: 630_000,
@@ -538,17 +692,45 @@ mod tests {
 
     #[test]
     fn missing_fallbacks_parse_as_zero() {
-        // Reports serialized before the degradation counters existed are
-        // still schema v1 and must keep parsing.
-        let text = sample_report()
-            .to_json()
-            .replace("\"fallbacks\":{\"pool_packs\":1,\"scalar_kernels\":0},", "");
-        let back = GemmReport::from_json(&text).expect("legacy v1 report must parse");
+        // Reports serialized before the degradation counters existed
+        // have no `fallbacks` object and must keep parsing.
+        let text = sample_report().to_json().replace(
+            "\"fallbacks\":{\"pool_packs\":1,\"scalar_kernels\":0,\"breaker_reroutes\":2},",
+            "",
+        );
+        let back = GemmReport::from_json(&text).expect("report without fallbacks must parse");
         assert_eq!(back.fallbacks, FallbackStats::default());
         assert!(!back.fallbacks.any());
         let mut want = sample_report();
         want.fallbacks = FallbackStats::default();
         assert_eq!(back, want);
+    }
+
+    #[test]
+    fn v1_report_parses_with_empty_health() {
+        // A schema-v1 report: version 1, no `health` section, and a
+        // fallbacks object without `breaker_reroutes`.
+        let mut r = sample_report();
+        r.health = HealthReport::default();
+        r.fallbacks.breaker_reroutes = 0;
+        let text = r
+            .to_json()
+            .replace(&format!("\"schema_version\":{SCHEMA_VERSION}"), "\"schema_version\":1")
+            .replace(",\"breaker_reroutes\":0", "")
+            .replace("\"health\":{\"paths\":[],\"transitions\":[]},", "");
+        assert!(!text.contains("health"), "v1 fixture must not carry a health section");
+        let back = GemmReport::from_json(&text).expect("v1 report must parse leniently");
+        assert_eq!(back.health, HealthReport::default());
+        assert!(back.health.all_closed(), "empty health section counts as all-closed");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn health_lookup_helpers() {
+        let r = sample_report();
+        assert_eq!(r.health.path("simd_dispatch").map(|p| p.trips), Some(1));
+        assert!(r.health.path("nonexistent").is_none());
+        assert!(!r.health.all_closed());
     }
 
     #[test]

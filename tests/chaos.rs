@@ -9,10 +9,25 @@
 #![cfg(feature = "faultinject")]
 
 use autogemm::faultinject::{arm, FaultAction, FaultPlan, FaultSite, Trigger};
+use autogemm::supervisor::{
+    BreakerConfig, BreakerPath, BreakerState, CancelToken, GemmOptions, WatchdogConfig,
+};
 use autogemm::{AutoGemm, GemmError};
 use autogemm_arch::ChipSpec;
 use autogemm_baselines::naive::{max_rel_error, naive_gemm};
 use std::sync::{Mutex, MutexGuard, Once, OnceLock};
+use std::time::Duration;
+
+/// An engine whose circuit breaker never opens: tests that deliberately
+/// fault the same path many times in a row use this to observe the raw
+/// (pre-quarantine) fault behavior.
+fn engine_unbroken() -> AutoGemm {
+    AutoGemm::new(ChipSpec::graviton2()).with_breaker_config(BreakerConfig {
+        fail_threshold: u32::MAX,
+        open_cooldown: 1,
+        close_after: 1,
+    })
+}
 
 /// Serializes tests that arm the global fault plan; also silences the
 /// default panic hook for the intentional "injected fault" panics so the
@@ -99,7 +114,8 @@ fn pack_alloc_degrade_is_recorded_in_the_report() {
 #[test]
 fn pack_alloc_fail_is_a_structured_error_with_c_untouched() {
     let _g = chaos_lock();
-    let engine = AutoGemm::new(ChipSpec::graviton2());
+    // Six consecutive faulting calls: quarantine must not kick in.
+    let engine = engine_unbroken();
     let (m, n, k) = SHAPE;
     let (a, b) = data(m, n, k, 3);
     // Nth(1) hits the pack-A phase, Nth(2) the pack-B phase.
@@ -127,7 +143,7 @@ fn pack_alloc_fail_is_a_structured_error_with_c_untouched() {
 #[test]
 fn pack_alloc_panic_is_contained() {
     let _g = chaos_lock();
-    let engine = AutoGemm::new(ChipSpec::graviton2());
+    let engine = engine_unbroken();
     let (m, n, k) = SHAPE;
     let (a, b) = data(m, n, k, 4);
     for threads in THREADS {
@@ -301,7 +317,13 @@ fn batch_and_prepacked_paths_contain_worker_panics() {
         arm(FaultPlan::single(FaultSite::WorkerStartup, FaultAction::Panic, Trigger::Nth(1)));
     let mut c = vec![0.0f32; 6 * m * n];
     let e = engine.try_gemm_batch(&batch, &mut c, 3).unwrap_err();
-    assert!(matches!(e, GemmError::WorkerPanicked { .. }), "{e:?}");
+    match &e {
+        GemmError::InBatch { index, source } => {
+            assert!(*index < 6, "index {index} out of range");
+            assert!(matches!(**source, GemmError::WorkerPanicked { .. }), "{source:?}");
+        }
+        other => panic!("expected InBatch(WorkerPanicked), got {other:?}"),
+    }
     drop(guard);
 
     // Prepacked offline path.
@@ -313,4 +335,241 @@ fn batch_and_prepacked_paths_contain_worker_panics() {
     let e = autogemm::try_gemm_prepacked(&plan, &a, &packed, &mut c, 2).unwrap_err();
     assert!(matches!(e, GemmError::WorkerPanicked { .. }), "{e:?}");
     assert!(guard.fired() >= 1);
+}
+
+// ---------------------------------------------------------------------------
+// ISSUE 5: cancellation × fault sites × threads, watchdog, circuit breaker
+// ---------------------------------------------------------------------------
+
+/// Clean follow-up call: the engine must be fully reusable (and correct)
+/// after any supervised stop, with no pool buffers leaked.
+fn assert_recovered(engine: &AutoGemm, threads: usize, ctx: &str) {
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k, 99);
+    let want = oracle(m, n, k, &a, &b);
+    assert_eq!(engine.panel_pool().outstanding(), 0, "{ctx}: pool buffers leaked");
+    let mut c = vec![0.0f32; m * n];
+    engine.try_gemm_threaded(m, n, k, &a, &b, &mut c, threads).unwrap();
+    assert!(max_rel_error(&c, &want) < 1e-5, "{ctx}: engine not reusable");
+}
+
+#[test]
+fn cancellation_sweep_across_fault_sites_and_threads() {
+    let _g = chaos_lock();
+    let engine = AutoGemm::new(ChipSpec::graviton2());
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k, 10);
+    // A pre-cancelled token stops the run at the very first checkpoint
+    // ("pack A", zero units done, C untouched) no matter which fault is
+    // armed alongside it — a cancelled run never counts toward the
+    // breaker, and its buffers always come back to the pool.
+    let faults: [Option<(FaultSite, FaultAction)>; 3] = [
+        None,
+        Some((FaultSite::PackAlloc, FaultAction::Degrade)),
+        Some((FaultSite::KernelDispatch, FaultAction::Degrade)),
+    ];
+    for threads in THREADS {
+        for fault in faults {
+            let ctx = format!("t{threads} {fault:?}");
+            let guard =
+                fault.map(|(site, act)| arm(FaultPlan::single(site, act, Trigger::EveryKth(1))));
+            let tok = CancelToken::new();
+            tok.cancel();
+            let sentinel: Vec<f32> = vec![4.5; m * n];
+            let mut c = sentinel.clone();
+            let opts = GemmOptions::new().threads(threads).cancel(tok.clone());
+            let e = engine.try_gemm_opts(m, n, k, &a, &b, &mut c, &opts).unwrap_err();
+            match &e {
+                GemmError::Cancelled { phase, blocks_done, blocks_total } => {
+                    assert_eq!(*phase, "pack A", "{ctx}");
+                    assert_eq!(*blocks_done, 0, "{ctx}");
+                    assert!(*blocks_total > 0, "{ctx}");
+                }
+                other => panic!("{ctx}: expected Cancelled, got {other:?}"),
+            }
+            assert_eq!(c, sentinel, "{ctx}: cancelled before kernel, C must be untouched");
+            drop(guard);
+            // Reset makes the same token reusable for the recovery call.
+            tok.reset();
+            let mut c2 = vec![0.0f32; m * n];
+            engine.try_gemm_opts(m, n, k, &a, &b, &mut c2, &opts).unwrap();
+            assert!(max_rel_error(&c2, &oracle(m, n, k, &a, &b)) < 1e-5, "{ctx}");
+            assert_recovered(&engine, threads, &ctx);
+        }
+    }
+}
+
+#[test]
+fn deadline_and_token_interrupt_a_wedged_kernel_mid_run() {
+    let _g = chaos_lock();
+    let engine = AutoGemm::new(ChipSpec::graviton2());
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k, 11);
+    // A Stall wedge pins every worker at its first kernel-block claim
+    // (cap 10 s — only supervision can break it early); both cancel
+    // sources must cut through the wedge within the block budget.
+    for threads in THREADS {
+        // (1) Deadline.
+        let guard = arm(FaultPlan::single(
+            FaultSite::WorkerHeartbeat,
+            FaultAction::Stall(10_000),
+            Trigger::EveryKth(1),
+        ));
+        let mut c = vec![0.0f32; m * n];
+        let t0 = std::time::Instant::now();
+        let e = engine
+            .try_gemm_deadline(m, n, k, &a, &b, &mut c, threads, Duration::from_millis(150))
+            .unwrap_err();
+        assert!(t0.elapsed() < Duration::from_secs(8), "t{threads}: deadline did not break wedge");
+        match &e {
+            GemmError::Cancelled { phase, blocks_done, blocks_total } => {
+                assert_eq!(*phase, "kernel", "t{threads}");
+                assert!(blocks_done < blocks_total, "t{threads}: {blocks_done}/{blocks_total}");
+            }
+            other => panic!("t{threads}: expected Cancelled(kernel), got {other:?}"),
+        }
+        drop(guard);
+        assert_recovered(&engine, threads, &format!("deadline t{threads}"));
+
+        // (2) External token, cancelled from another thread mid-wedge.
+        let guard = arm(FaultPlan::single(
+            FaultSite::WorkerHeartbeat,
+            FaultAction::Stall(10_000),
+            Trigger::EveryKth(1),
+        ));
+        let tok = CancelToken::new();
+        let canceller = {
+            let tok = tok.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(40));
+                tok.cancel();
+            })
+        };
+        let mut c = vec![0.0f32; m * n];
+        let t0 = std::time::Instant::now();
+        let opts = GemmOptions::new().threads(threads).cancel(tok);
+        let e = engine.try_gemm_opts(m, n, k, &a, &b, &mut c, &opts).unwrap_err();
+        canceller.join().unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(8), "t{threads}: token did not break wedge");
+        assert!(
+            matches!(e, GemmError::Cancelled { phase: "kernel", .. }),
+            "t{threads}: expected Cancelled(kernel), got {e:?}"
+        );
+        drop(guard);
+        assert_recovered(&engine, threads, &format!("token t{threads}"));
+    }
+}
+
+#[test]
+fn watchdog_detects_a_stalled_worker_and_reports_heartbeats() {
+    let _g = chaos_lock();
+    // The watchdog verdict itself must not be masked by quarantine.
+    let engine = engine_unbroken();
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k, 12);
+    let watchdog =
+        WatchdogConfig { quiescence: Duration::from_millis(80), poll: Duration::from_millis(5) };
+    for threads in THREADS {
+        // No deadline and no token: only the watchdog can stop this run.
+        let guard = arm(FaultPlan::single(
+            FaultSite::WorkerHeartbeat,
+            FaultAction::Stall(10_000),
+            Trigger::EveryKth(1),
+        ));
+        let mut c = vec![0.0f32; m * n];
+        let t0 = std::time::Instant::now();
+        let opts = GemmOptions::new().threads(threads).watchdog(watchdog);
+        let e = engine.try_gemm_opts(m, n, k, &a, &b, &mut c, &opts).unwrap_err();
+        assert!(
+            t0.elapsed() < Duration::from_secs(8),
+            "t{threads}: watchdog verdict took {:?}",
+            t0.elapsed()
+        );
+        match &e {
+            GemmError::Stalled { phase, quiescence_ms, heartbeats } => {
+                assert_eq!(*phase, "kernel", "t{threads}");
+                assert_eq!(*quiescence_ms, 80, "t{threads}");
+                assert_eq!(heartbeats.len(), threads, "t{threads}: one counter per worker");
+            }
+            other => panic!("t{threads}: expected Stalled, got {other:?}"),
+        }
+        assert!(guard.fired() >= 1, "t{threads}");
+        drop(guard);
+        assert_recovered(&engine, threads, &format!("watchdog t{threads}"));
+    }
+}
+
+#[test]
+fn breaker_trips_reroutes_half_opens_and_recovers_deterministically() {
+    let _g = chaos_lock();
+    let engine = AutoGemm::new(ChipSpec::graviton2()).with_breaker_config(BreakerConfig {
+        fail_threshold: 2,
+        open_cooldown: 2,
+        close_after: 1,
+    });
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k, 13);
+    let want = oracle(m, n, k, &a, &b);
+    let threads = 2;
+    let path = BreakerPath::SimdDispatch;
+    let run = |c: &mut Vec<f32>| {
+        c.iter_mut().for_each(|x| *x = 0.0);
+        engine.try_gemm_traced(m, n, k, &a, &b, c, threads).unwrap()
+    };
+    let mut c = vec![0.0f32; m * n];
+
+    // Pre-fault reference run (bit-compare target for the recovery).
+    let r0 = run(&mut c);
+    assert!(r0.health.all_closed(), "fresh engine must be healthy");
+    let c_ref = c.clone();
+
+    let guard = arm(FaultPlan::single(
+        FaultSite::KernelDispatch,
+        FaultAction::Degrade,
+        Trigger::EveryKth(1),
+    ));
+    // Call 1: fault → per-call scalar reroute, breaker still Closed.
+    let r1 = run(&mut c);
+    assert!(r1.fallbacks.scalar_kernels >= 1);
+    assert!(r1.health.transitions.is_empty(), "{:?}", r1.health.transitions);
+    assert_eq!(engine.breaker().state(path), BreakerState::Closed);
+    assert!(max_rel_error(&c, &want) < 1e-5, "faulting call 1 must still be correct");
+
+    // Call 2: second consecutive fault → trip.
+    let r2 = run(&mut c);
+    assert_eq!(r2.health.transitions, vec!["simd_dispatch: closed -> open".to_string()]);
+    assert_eq!(engine.breaker().state(path), BreakerState::Open);
+    assert_eq!(r2.health.path("simd_dispatch").unwrap().trips, 1);
+    assert!(max_rel_error(&c, &want) < 1e-5);
+
+    // Call 3: Open → quarantined. The SIMD probe is skipped entirely
+    // (the armed fault cannot fire) and the run is rerouted to scalar.
+    let fired_before = guard.fired();
+    let r3 = run(&mut c);
+    assert_eq!(guard.fired(), fired_before, "probe must be skipped while Open");
+    assert!(r3.fallbacks.breaker_reroutes >= 1);
+    assert_eq!(engine.breaker().state(path), BreakerState::Open);
+    assert!(max_rel_error(&c, &want) < 1e-5, "rerouted call must be correct");
+    drop(guard);
+
+    // Call 4: cooldown served → HalfOpen probe; the fault is disarmed,
+    // the probe is clean, and one clean probe closes the breaker.
+    let r4 = run(&mut c);
+    assert_eq!(
+        r4.health.transitions,
+        vec![
+            "simd_dispatch: open -> half_open".to_string(),
+            "simd_dispatch: half_open -> closed".to_string(),
+        ]
+    );
+    assert_eq!(engine.breaker().state(path), BreakerState::Closed);
+    assert!(max_rel_error(&c, &want) < 1e-5);
+
+    // Call 5: fast path restored — no scalar fallback, no reroute, and
+    // bit-identical to the pre-fault reference run.
+    let r5 = run(&mut c);
+    assert_eq!(r5.fallbacks.scalar_kernels, 0, "SIMD must be restored after close");
+    assert_eq!(r5.fallbacks.breaker_reroutes, 0);
+    assert!(r5.health.all_closed());
+    assert_eq!(c, c_ref, "restored fast path must match the pre-fault run");
 }

@@ -11,8 +11,8 @@
 //!   on, the phase clocks tick and the model join is populated.
 
 use autogemm::native::{gemm_with_plan, gemm_with_plan_traced};
-use autogemm::telemetry::SCHEMA_VERSION;
-use autogemm::{ExecutionPlan, GemmReport, PanelPool};
+use autogemm::telemetry::{HealthReport, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
+use autogemm::{AutoGemm, ExecutionPlan, GemmReport, PanelPool};
 use autogemm_arch::ChipSpec;
 use autogemm_perfmodel::{ModelOpts, ProjectionTable};
 use autogemm_tuner::tune;
@@ -96,6 +96,45 @@ fn schema_version_guard_rejects_foreign_reports() {
         text.replace(&format!("\"schema_version\":{SCHEMA_VERSION}"), "\"schema_version\":9999");
     let err = GemmReport::from_json(&tampered).unwrap_err();
     assert!(err.to_string().contains("unsupported schema_version"), "{err}");
+}
+
+/// Schema v2: engine reports carry the circuit-breaker health section
+/// (all three dispatch paths, closed on a healthy engine) and survive
+/// the JSON round trip with it populated.
+#[test]
+fn engine_reports_carry_a_health_section_that_round_trips() {
+    let engine = AutoGemm::new(ChipSpec::graviton2());
+    let (m, n, k) = (26, 36, 24);
+    let a = data(m * k, 21);
+    let b = data(k * n, 22);
+    let mut c = vec![0.0f32; m * n];
+    let report = engine.try_gemm_traced(m, n, k, &a, &b, &mut c, 2).unwrap();
+    assert_eq!(report.health.paths.len(), 3, "engine reports name every breaker path");
+    assert!(report.health.all_closed());
+    let text = report.to_json();
+    assert!(text.contains("\"health\""), "{text}");
+    assert!(text.contains("\"simd_dispatch\""), "{text}");
+    let back = GemmReport::from_json(&text).expect("round trip");
+    assert_eq!(back, report);
+}
+
+/// Forward compatibility: a schema-v1 report (no `health` section) must
+/// still parse, coming back with the default (empty, all-closed) health.
+#[test]
+fn v1_reports_without_health_parse_leniently() {
+    assert_eq!(MIN_SCHEMA_VERSION, 1);
+    // Plan-level traced reports carry default health, so the serialized
+    // section is the literal empty object — strip it and drop to v1.
+    let (_, _, report) = traced_pair(16, 24, 16, 2, 17);
+    assert_eq!(report.health, HealthReport::default());
+    let v1 = report
+        .to_json()
+        .replace(&format!("\"schema_version\":{SCHEMA_VERSION}"), "\"schema_version\":1")
+        .replace("\"health\":{\"paths\":[],\"transitions\":[]},", "");
+    assert!(!v1.contains("health"), "v1 fixture must not carry a health section");
+    let back = GemmReport::from_json(&v1).expect("v1 reports must stay readable");
+    assert_eq!(back.health, HealthReport::default());
+    assert!(back.health.all_closed());
 }
 
 #[cfg(not(feature = "telemetry"))]
