@@ -65,9 +65,13 @@ else
     echo "clippy not installed; skipping (non-fatal)"
 fi
 
-echo "== native bench smoke (fallible-path overhead) =="
+echo "== native bench smoke (fallible-path overhead + input-aware dispatch) =="
 # Asserts try_* is bit-identical to and not measurably slower than the
-# classic drivers, and loosely cross-checks BENCH_native_gemm.json.
+# classic drivers, loosely cross-checks BENCH_native_gemm.json, gates
+# the input-aware engine path on Table V ResNet shapes (bit-identical
+# to and never slower than the always-packed panel-cache driver beyond
+# noise), and checks plan-cache determinism (repeat shape → cache hit,
+# identical output).
 cargo run --release -p autogemm-bench --bin native_gemm -- --smoke
 
 echo "== microkernel bench smoke =="

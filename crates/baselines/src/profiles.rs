@@ -250,6 +250,7 @@ impl Baseline {
                 opts: self.opts(),
                 sigma_lane: chip.sigma_lane(),
                 warmth: self.warmth(),
+                routing: autogemm::OperandRouting::packed(),
             },
             call_overhead_cycles: call,
             per_tile_overhead_cycles: tile,

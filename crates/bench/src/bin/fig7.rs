@@ -34,6 +34,7 @@ fn simulate_plan(
         opts,
         sigma_lane: chip.sigma_lane(),
         warmth: None,
+        routing: autogemm::OperandRouting::packed(),
     };
     let block = autogemm::simexec::simulate_block(&exec, chip, true);
     let flops = (2 * m * n * kc) as f64;

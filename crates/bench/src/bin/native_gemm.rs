@@ -4,7 +4,13 @@
 //! For each (shape × threads) point the binary times the panel-cache
 //! driver (operands packed once per GEMM, atomic block queue, pooled
 //! buffers) and the historical per-block repacking path on the same
-//! execution plan, and records medians, GFLOPS and the speedup. Run with
+//! execution plan, and records medians, GFLOPS and the speedup. A
+//! `small_irregular` section times the engine's input-aware dispatch
+//! (GEMV/small-k fast paths, packing elision, plan cache) against the
+//! always-packed panel-cache driver on pack-dominated shapes — Table V
+//! ResNet layers, `m = 1` / `n = 1` GEMV calls and tiny-k shapes — and a
+//! `plan_cache` section demonstrates that a repeated shape skips the
+//! tuner. Run with
 //!
 //! ```text
 //! cargo run --release -p autogemm-bench --bin native_gemm [OUT.json]
@@ -15,7 +21,10 @@
 //! `--smoke` instead runs the fast CI guard: it asserts the fallible
 //! (`try_*`) driver is bit-identical to and not measurably slower than
 //! the classic path, that a far-future deadline adds no measurable
-//! overhead over `try_gemm` (the passive-monitor fast path), and loosely
+//! overhead over `try_gemm` (the passive-monitor fast path), that the
+//! input-aware dispatch is bit-identical to and never slower (beyond
+//! noise) than the panel-cache path on Table V ResNet shapes, that a
+//! repeated shape deterministically hits the plan cache, and loosely
 //! cross-checks the panel-cache timings against the tracked
 //! `BENCH_native_gemm.json` trajectory.
 //!
@@ -143,6 +152,64 @@ fn smoke() {
             println!("  note: deadline ratio {ratio:.3} above the 2% design target (host noise?)");
         }
         assert!(ratio < 1.35, "far-future deadline {ratio:.3}x slower than try_gemm");
+    }
+
+    // Input-aware dispatch gate over Table V ResNet shapes: the engine's
+    // routed path (packing elision, GEMV/small-k fast paths) must be
+    // bit-identical to the always-packed panel-cache driver and never
+    // slower beyond noise tolerance. The shapes span the elision classes:
+    // L2 long-rectangular (B-pack elided at tm = 1), L16-class n = 49
+    // (A-pack elided at tn = 1, scaled to smoke budget) and a GEMV row.
+    {
+        let table_v =
+            [("L2", 64usize, 3136usize, 64usize), ("L16c", 128, 49, 256), ("gemv", 1, 3136, 64)];
+        for (label, m, n, k) in table_v {
+            let (a, b) = data(m, n, k);
+            let plan = engine.plan(m, n, k);
+            let pool = PanelPool::new();
+            let mut c_panel = vec![0.0f32; m * n];
+            let panel_s = median_secs(|| {
+                gemm_with_plan_pooled(black_box(&plan), &a, &b, &mut c_panel, 1, &pool)
+            });
+            let mut c_aware = vec![0.0f32; m * n];
+            let aware_s = median_secs(|| {
+                engine
+                    .try_gemm(m, n, k, black_box(&a), &b, &mut c_aware)
+                    .expect("smoke input-aware gemm failed")
+            });
+            assert_eq!(c_aware, c_panel, "{label}: input-aware path diverged from panel cache");
+            let ratio = aware_s / panel_s;
+            println!(
+                "{label:>5} {m:>4}x{n:>4}x{k:>4}: panel {:>9.1} µs  input-aware {:>9.1} µs  \
+                 ratio {ratio:.3}",
+                panel_s * 1e6,
+                aware_s * 1e6,
+            );
+            assert!(
+                ratio < 1.25,
+                "{label} ({m}x{n}x{k}): input-aware path {ratio:.3}x slower than panel cache"
+            );
+        }
+    }
+
+    // Plan-cache determinism: the second identical call must be a cache
+    // hit and reproduce the first call's bits.
+    {
+        let (m, n, k) = (52usize, 40usize, 48usize);
+        let (a, b) = data(m, n, k);
+        let fresh = AutoGemm::new(ChipSpec::graviton2());
+        let mut c1 = vec![0.0f32; m * n];
+        let r1 = fresh.try_gemm_traced(m, n, k, &a, &b, &mut c1, 1).expect("traced call failed");
+        let mut c2 = vec![0.0f32; m * n];
+        let r2 = fresh.try_gemm_traced(m, n, k, &a, &b, &mut c2, 1).expect("traced call failed");
+        assert!(!r1.dispatch.plan_cache_hit, "first call must tune (cache miss)");
+        assert!(r2.dispatch.plan_cache_hit, "second identical call must be a plan-cache hit");
+        assert_eq!(c2, c1, "cached plan must reproduce the miss call's bits");
+        let stats = fresh.plan_cache_stats();
+        println!(
+            "plan cache: {m}x{n}x{k} second call hit (engine lifetime: {} hits / {} misses)",
+            stats.hits, stats.misses
+        );
     }
 
     // Loose trajectory check against the tracked baseline: catch only
@@ -367,6 +434,80 @@ fn main() {
         entries.push(Entry { m, n, k, threads, repack_s, cached_s });
     }
 
+    // Small/irregular section: the engine's input-aware dispatch (GEMV
+    // and small-k fast paths, packing elision, plan cache) against the
+    // always-packed panel-cache driver on the shapes the paper's Table V
+    // says DNN inference actually serves. `speedup` is
+    // panel_cache_s / input_aware_s.
+    let small_points: [(&str, usize, usize, usize, usize); 8] = [
+        ("L16c_n49", 128, 49, 256, 1), // Table V L16 class (n = 49, A-pack elided), scaled
+        ("L20c_n49", 64, 49, 64, 1),   // Table V L20 class, small
+        ("fig8_irr", 31, 44, 29, 1),   // awkward-prime small shape
+        ("gemv_row", 1, 3136, 64, 1),  // m = 1 over the L2 panel
+        ("gemv_row_t4", 1, 3136, 576, 4),
+        ("gemv_col", 3136, 1, 64, 1), // n = 1, tall
+        ("small_k", 64, 49, 8, 1),    // k ≤ 8 fast path
+        ("small_k2", 31, 44, 6, 1),
+    ];
+    let mut small_entries = Vec::new();
+    for (label, m, n, k, threads) in small_points {
+        let (a, b) = data(m, n, k);
+        let plan = if threads > 1 {
+            engine.plan_multicore(m, n, k, threads)
+        } else {
+            engine.plan(m, n, k)
+        };
+        let pool = PanelPool::new();
+        let mut c_panel = vec![0.0f32; m * n];
+        let panel_s = median_secs(|| {
+            gemm_with_plan_pooled(black_box(&plan), &a, &b, &mut c_panel, threads, &pool)
+        });
+        let mut c_aware = vec![0.0f32; m * n];
+        let aware_s = median_secs(|| {
+            engine
+                .try_gemm_threaded(m, n, k, black_box(&a), &b, &mut c_aware, threads)
+                .expect("input-aware bench call failed")
+        });
+        assert_eq!(c_aware, c_panel, "{label}: input-aware path diverged from panel cache");
+        let mut c_r = vec![0.0f32; m * n];
+        let report = engine
+            .try_gemm_traced(m, n, k, &a, &b, &mut c_r, threads)
+            .expect("traced bench call failed");
+        let flops = 2.0 * (m * n * k) as f64;
+        println!(
+            "{label:>12} {m:>4}x{n:>5}x{k:>4} t{threads} [{}]: panel_cache {:>9.1} µs  \
+             input_aware {:>9.1} µs ({:>6.2} GFLOPS)  speedup {:.2}x",
+            report.dispatch.route,
+            panel_s * 1e6,
+            aware_s * 1e6,
+            flops / aware_s / 1e9,
+            panel_s / aware_s,
+        );
+        small_entries.push((label, m, n, k, threads, report.dispatch, panel_s, aware_s));
+    }
+
+    // Plan-cache repeat benchmark: a fresh engine pays the tuner once;
+    // the second lookup of the same shape must come back from the cache
+    // in ~0 time.
+    let (pc_m, pc_n, pc_k) = (52usize, 40usize, 48usize);
+    let fresh = AutoGemm::new(ChipSpec::graviton2());
+    let t0 = Instant::now();
+    let _ = fresh.plan(pc_m, pc_n, pc_k);
+    let first_plan_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let _ = fresh.plan(pc_m, pc_n, pc_k);
+    let cached_plan_s = t1.elapsed().as_secs_f64();
+    let pc_stats = fresh.plan_cache_stats();
+    println!(
+        "plan cache {pc_m}x{pc_n}x{pc_k}: first (tuned) {:.1} µs, repeat (hit) {:.1} µs, \
+         {} hits / {} misses",
+        first_plan_s * 1e6,
+        cached_plan_s * 1e6,
+        pc_stats.hits,
+        pc_stats.misses
+    );
+    assert!(pc_stats.hits >= 1, "repeated plan lookup must hit the cache");
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"native_gemm\",");
     let _ = writeln!(
@@ -400,7 +541,33 @@ fn main() {
         );
         let _ = writeln!(json, "{}", if i + 1 < entries.len() { "," } else { "" });
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"small_irregular\": [");
+    for (i, (label, m, n, k, threads, dispatch, panel_s, aware_s)) in
+        small_entries.iter().enumerate()
+    {
+        let flops = 2.0 * (m * n * k) as f64;
+        let _ = write!(
+            json,
+            "    {{\"label\": \"{label}\", \"m\": {m}, \"n\": {n}, \"k\": {k}, \
+             \"threads\": {threads}, \"route\": \"{}\", \"packed_a\": {}, \"packed_b\": {}, \
+             \"panel_cache_s\": {panel_s:.9}, \"input_aware_s\": {aware_s:.9}, \
+             \"input_aware_gflops\": {:.3}, \"speedup\": {:.4}}}",
+            dispatch.route,
+            dispatch.packed_a,
+            dispatch.packed_b,
+            flops / aware_s / 1e9,
+            panel_s / aware_s,
+        );
+        let _ = writeln!(json, "{}", if i + 1 < small_entries.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"plan_cache\": {{");
+    let _ = writeln!(json, "    \"m\": {pc_m}, \"n\": {pc_n}, \"k\": {pc_k},");
+    let _ = writeln!(json, "    \"first_plan_s\": {first_plan_s:.9},");
+    let _ = writeln!(json, "    \"cached_plan_s\": {cached_plan_s:.9},");
+    let _ = writeln!(json, "    \"hits\": {}, \"misses\": {}", pc_stats.hits, pc_stats.misses);
+    let _ = writeln!(json, "  }}");
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_native_gemm.json");
     println!("wrote {out_path}");

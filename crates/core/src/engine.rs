@@ -3,18 +3,20 @@
 use crate::batch::GemmBatch;
 use crate::error::{self, GemmError};
 use crate::native;
-use crate::plan::ExecutionPlan;
+use crate::plan::{ExecutionPlan, OperandRouting};
+use crate::plancache::{PlanCache, PlanCacheStats, PlanKey};
 use crate::simexec::{self, BlockCost};
 use crate::supervisor::{
     is_retryable, Breaker, BreakerConfig, BreakerPath, GemmOptions, ResilientMode, ResilientReport,
     Supervision,
 };
-use crate::telemetry::HealthReport;
+use crate::telemetry::{DispatchStats, HealthReport};
 use autogemm_arch::ChipSpec;
 use autogemm_sim::Warmth;
 use autogemm_tuner::{tune_with, Packing, Schedule};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Result of a simulated GEMM run on the modelled chip.
@@ -42,7 +44,10 @@ pub struct AutoGemm {
     chip: ChipSpec,
     allow_offline: bool,
     cmg_replication: bool,
-    schedules: Mutex<HashMap<(usize, usize, usize, usize), Schedule>>,
+    /// Shape-keyed plan cache in front of the tuner: a repeated
+    /// `(m, n, k, threads, backend)` skips tuning, DMT planning and the
+    /// elision heuristic entirely (see [`crate::plancache`]).
+    plans: PlanCache,
     block_sims: Mutex<HashMap<(usize, usize, usize, bool), BlockCost>>,
     /// Recycles panel buffers across native GEMM calls: the engine's
     /// steady state packs into warm allocations instead of fresh `vec!`s.
@@ -59,7 +64,7 @@ impl AutoGemm {
             chip,
             allow_offline: false,
             cmg_replication: false,
-            schedules: Mutex::new(HashMap::new()),
+            plans: PlanCache::new(),
             block_sims: Mutex::new(HashMap::new()),
             panel_pool: crate::packing::PanelPool::new(),
             breaker: Breaker::default(),
@@ -94,24 +99,23 @@ impl AutoGemm {
         &self.chip
     }
 
-    fn schedule(&self, m: usize, n: usize, k: usize, threads: usize) -> Schedule {
+    /// Tune a schedule for one shape and thread budget. Memoization
+    /// lives one layer up, in the shape-keyed plan cache consulted by
+    /// [`Self::plan_dispatch`] — this function always runs the tuner.
+    fn tuned_schedule(&self, m: usize, n: usize, k: usize, threads: usize) -> Schedule {
         if m == 0 || n == 0 || k == 0 {
             // The tuner's cost model divides by block trip counts, so a
             // degenerate dim cannot be tuned directly. Tune the clamped
             // shape and restore the true dims: such a plan is only ever
             // used for validation (every driver early-returns on a zero
             // dim before touching the block grid).
-            let mut s = self.schedule(m.max(1), n.max(1), k.max(1), threads);
+            let mut s = self.tuned_schedule(m.max(1), n.max(1), k.max(1), threads);
             s.m = m;
             s.n = n;
             s.k = k;
             return s;
         }
-        let key = (m, n, k, threads);
-        if let Some(s) = self.schedules.lock().get(&key) {
-            return s.clone();
-        }
-        let s = if threads > 1 {
+        if threads > 1 {
             // Model-ranked shortlist, verified on the simulator — the
             // AutoTVM measure-the-shortlist workflow (§IV-C).
             let candidates = autogemm_tuner::tune_multicore_topk(
@@ -142,20 +146,62 @@ impl AutoGemm {
             }
         } else {
             tune_with(m, n, k, &self.chip, self.allow_offline)
+        }
+    }
+
+    /// The dispatch-facing plan lookup: consult the shape-keyed plan
+    /// cache, tuning + DMT-planning + applying the packing-elision
+    /// routing ([`autogemm_perfmodel::route_packing`]) only on a miss.
+    /// Returns the shared plan and whether this call hit the cache.
+    fn plan_dispatch(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        tuner_threads: usize,
+    ) -> (Arc<ExecutionPlan>, bool) {
+        let key = PlanKey {
+            m,
+            n,
+            k,
+            threads: tuner_threads,
+            backend: crate::simd::SimdBackend::detect().name(),
         };
-        self.schedules.lock().insert(key, s.clone());
-        s
+        self.plans.get_or_build(key, || {
+            let plan = ExecutionPlan::from_schedule(
+                self.tuned_schedule(m, n, k, tuner_threads),
+                &self.chip,
+            );
+            let (tm, tn, _) = plan.grid();
+            let r = autogemm_perfmodel::route_packing(m, n, k, tm, tn);
+            plan.with_routing(OperandRouting { pack_a: r.pack_a, pack_b: r.pack_b })
+        })
+    }
+
+    /// Cumulative hit/miss counters of the engine's shape-keyed plan
+    /// cache (also stamped on every traced report's `dispatch` section).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
     }
 
     /// The execution plan the engine would use for a problem.
+    ///
+    /// Returned plans always carry fully *packed* operand routing: the
+    /// plan-level public drivers ([`crate::offline`] prepacked entry
+    /// points, `gemm_with_plan*`) and the batch path require packed
+    /// panels (offline `B` reuse, shared-`B` reuse across batch items).
+    /// Packing elision is an engine-internal dispatch decision.
     pub fn plan(&self, m: usize, n: usize, k: usize) -> ExecutionPlan {
-        ExecutionPlan::from_schedule(self.schedule(m, n, k, 1), &self.chip)
+        let (plan, _) = self.plan_dispatch(m, n, k, 1);
+        (*plan).clone().with_routing(OperandRouting::packed())
     }
 
     /// Plan under the multi-core `k_c = K` constraint (§V-C), with enough
-    /// parallel blocks for `threads` workers.
+    /// parallel blocks for `threads` workers. Packed routing, as
+    /// [`Self::plan`].
     pub fn plan_multicore(&self, m: usize, n: usize, k: usize, threads: usize) -> ExecutionPlan {
-        ExecutionPlan::from_schedule(self.schedule(m, n, k, threads.max(2)), &self.chip)
+        let (plan, _) = self.plan_dispatch(m, n, k, threads.max(2));
+        (*plan).clone().with_routing(OperandRouting::packed())
     }
 
     /// Native single-threaded GEMM on the host: `C = A·B`, row-major.
@@ -360,8 +406,16 @@ impl AutoGemm {
         if force_single_thread || reroute[BreakerPath::ThreadedDriver.index()] {
             threads = 1;
         }
-        let plan =
-            if threads > 1 { self.plan_multicore(m, n, k, threads) } else { self.plan(m, n, k) };
+        // Degenerate shapes (m = 1, n = 1, tiny k) skip the tuner and the
+        // block driver entirely: the GEMV/small-k fast paths produce
+        // bit-identical output with none of the planning or packing cost.
+        if let Some(route) = crate::gemv::fast_route(m, n, k) {
+            let result = crate::gemv::try_fast_supervised(route, m, n, k, a, b, c, threads, &sup);
+            self.breaker_record(&sup, reroute, threads, &result);
+            return result;
+        }
+        let tuner_threads = if threads > 1 { threads.max(2) } else { 1 };
+        let (plan, _) = self.plan_dispatch(m, n, k, tuner_threads);
         let result =
             native::try_gemm_with_plan_supervised(&plan, a, b, c, threads, &self.panel_pool, &sup);
         self.breaker_record(&sup, reroute, threads, &result);
@@ -473,8 +527,26 @@ impl AutoGemm {
         if reroute[BreakerPath::ThreadedDriver.index()] {
             threads = 1;
         }
-        let plan =
-            if threads > 1 { self.plan_multicore(m, n, k, threads) } else { self.plan(m, n, k) };
+        if let Some(route) = crate::gemv::fast_route(m, n, k) {
+            let result =
+                crate::gemv::try_fast_traced_supervised(route, m, n, k, a, b, c, threads, &sup);
+            events.extend(self.breaker_record(&sup, reroute, threads, &result));
+            let stats = self.plans.stats();
+            return result.map(|mut report| {
+                report.health = self.breaker.health_report(events);
+                report.dispatch = DispatchStats {
+                    route: route.name().to_string(),
+                    packed_a: false,
+                    packed_b: false,
+                    plan_cache_hit: false,
+                    plan_cache_hits: stats.hits,
+                    plan_cache_misses: stats.misses,
+                };
+                report
+            });
+        }
+        let tuner_threads = if threads > 1 { threads.max(2) } else { 1 };
+        let (plan, cache_hit) = self.plan_dispatch(m, n, k, tuner_threads);
         let result = native::try_gemm_with_plan_traced_supervised(
             &plan,
             a,
@@ -485,8 +557,17 @@ impl AutoGemm {
             &sup,
         );
         events.extend(self.breaker_record(&sup, reroute, threads, &result));
+        let stats = self.plans.stats();
         result.map(|mut report| {
             report.health = self.breaker.health_report(events);
+            report.dispatch = DispatchStats {
+                route: "block".to_string(),
+                packed_a: plan.routing.pack_a,
+                packed_b: plan.routing.pack_b,
+                plan_cache_hit: cache_hit,
+                plan_cache_hits: stats.hits,
+                plan_cache_misses: stats.misses,
+            };
             report
         })
     }

@@ -1,0 +1,635 @@
+//! Degenerate-shape fast paths: GEMV and small-`k` GEMM without the
+//! block driver.
+//!
+//! The Table V workloads include shapes where the GotoBLAS machinery is
+//! pure overhead: `m = 1` (a row GEMV), `n = 1` (a column GEMV) and
+//! very small `k`, where cache-blocking buys nothing (the whole K
+//! extent fits a handful of registers) and packing both operands costs
+//! more traffic than the kernel reads. These routes skip planning,
+//! packing and the block grid entirely and stream the operands from the
+//! caller's row-major memory.
+//!
+//! ## Bit-identity with the block driver
+//!
+//! Every stored `C` cell still accumulates its `k` products in
+//! ascending order with fused multiply-adds, exactly like the menu SIMD
+//! kernels and the scalar reference ([`micro_kernel_ref`]):
+//!
+//! * the row route computes `C`'s single row in menu-width column
+//!   chunks of [`micro_kernel_simd`]`::<1, N̄R>` plus a zero-padded
+//!   `(1, 4)` tile for a lane tail — per-cell chains are independent of
+//!   the chunking;
+//! * the column route is the lane-0 chain of the `(m_r, 4)` tiles the
+//!   block driver would run against a zero-padded `B` panel;
+//! * the small-`k` route is the row route applied per row.
+//!
+//! So on fused backends the fast paths match the block driver
+//! bit-for-bit; on the unfused SSE2 fallback they match within rounding
+//! (the same contract the packed edge kernels already carry).
+//!
+//! ## Supervision
+//!
+//! The routes run under the same machinery as the block driver: the
+//! dispatch probe ([`RunConfig::probe`], honouring breaker reroutes and
+//! `faultinject` degradation to the scalar reference), per-worker
+//! startup probes, heartbeat checkpoints for the watchdog, cancellation
+//! checks between work units, and panic containment with the
+//! partial-`C` write contract (units are written whole).
+
+use crate::error::GemmError;
+use crate::faultinject::{self, FaultSite};
+use crate::kernels::micro_kernel_simd;
+use crate::native::{contain, heartbeat, micro_kernel_ref, CTile, Poison, RunConfig};
+use crate::supervisor::{BreakerPath, RunMonitor, Supervision};
+use crate::telemetry::clock::Stamp;
+use crate::telemetry::report::{GemmReport, PhaseProfile, PhaseTimes, ThreadProfile};
+use crate::telemetry::session::{self, Session};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Largest `k` the small-`k` route takes over from the block driver: at
+/// or below this the whole K extent fits the kernel's accumulator pass
+/// and a packed panel can never amortize (`t_k = 1` for every feasible
+/// `k_c`).
+pub(crate) const SMALL_K_MAX: usize = 8;
+
+/// Columns claimed per work unit by the row-GEMV route.
+const COL_CHUNK: usize = 512;
+/// Rows claimed per work unit by the column-GEMV route.
+const ROW_CHUNK: usize = 64;
+/// Rows claimed per work unit by the small-`k` route.
+const SMALLK_ROWS: usize = 32;
+
+/// Which degenerate-shape fast path a problem takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FastRoute {
+    /// `m == 1`: one row of `C`, computed in menu-width column chunks.
+    RowGemv,
+    /// `n == 1`: one column of `C`, computed in `(m_r, 4)` tiles
+    /// against the lane-padded column (one fused dot chain per row).
+    ColGemv,
+    /// `k <= SMALL_K_MAX`: the row route applied per row of `C`.
+    SmallK,
+}
+
+impl FastRoute {
+    /// Stable name for telemetry (`GemmReport::dispatch`).
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            FastRoute::RowGemv => "gemv_row",
+            FastRoute::ColGemv => "gemv_col",
+            FastRoute::SmallK => "small_k",
+        }
+    }
+}
+
+/// Classify a (non-degenerate) problem shape. `None` means the block
+/// driver is the right tool; zero-sized dimensions are the engine's
+/// degenerate path, not a fast route.
+pub(crate) fn fast_route(m: usize, n: usize, k: usize) -> Option<FastRoute> {
+    if m == 0 || n == 0 || k == 0 {
+        return None;
+    }
+    if m == 1 {
+        return Some(FastRoute::RowGemv);
+    }
+    if n == 1 {
+        return Some(FastRoute::ColGemv);
+    }
+    if k <= SMALL_K_MAX {
+        return Some(FastRoute::SmallK);
+    }
+    None
+}
+
+/// One menu-width chunk of a row GEMV, dispatched to the SIMD kernel or
+/// the scalar reference (the degraded-dispatch path) — the `MR = 1`
+/// column of the block driver's dispatch table.
+fn row_chunk<const NRV: usize, const NR: usize>(
+    reference: bool,
+    k: usize,
+    a_row: &[f32],
+    b: &[f32],
+    n: usize,
+    c: CTile,
+) {
+    session::record_tile(1, NR);
+    if reference {
+        micro_kernel_ref::<1, NR>(k, a_row, k, b, n, c, false, 1, NR);
+    } else {
+        micro_kernel_simd::<1, NRV>(k, a_row, k, b, n, c, false, 1, NR);
+    }
+}
+
+/// Compute columns `[j0, j1)` of one `C` row: `c_row = a_row · B`.
+/// Greedy menu-width chunks (multiples of σ_lane), then a zero-padded
+/// `(1, 4)` tile for the last `< 4` columns — the same per-cell chains
+/// as the block driver's lane-rounded edge tiles.
+#[allow(clippy::too_many_arguments)]
+fn row_gemv_range(
+    reference: bool,
+    k: usize,
+    a_row: &[f32],
+    b: &[f32],
+    n: usize,
+    c_row: CTile,
+    j0: usize,
+    j1: usize,
+    tail_pad: Option<&[f32]>,
+) {
+    let mut j = j0;
+    while j1 - j >= 4 {
+        let rem = j1 - j;
+        // SAFETY: this worker owns columns [j0, j1) of the row.
+        let c = unsafe { c_row.offset(0, j) };
+        let bj = &b[j..];
+        let taken = match rem {
+            r if r >= 28 => {
+                row_chunk::<7, 28>(reference, k, a_row, bj, n, c);
+                28
+            }
+            r if r >= 24 => {
+                row_chunk::<6, 24>(reference, k, a_row, bj, n, c);
+                24
+            }
+            r if r >= 20 => {
+                row_chunk::<5, 20>(reference, k, a_row, bj, n, c);
+                20
+            }
+            r if r >= 16 => {
+                row_chunk::<4, 16>(reference, k, a_row, bj, n, c);
+                16
+            }
+            r if r >= 12 => {
+                row_chunk::<3, 12>(reference, k, a_row, bj, n, c);
+                12
+            }
+            r if r >= 8 => {
+                row_chunk::<2, 8>(reference, k, a_row, bj, n, c);
+                8
+            }
+            _ => {
+                row_chunk::<1, 4>(reference, k, a_row, bj, n, c);
+                4
+            }
+        };
+        j += taken;
+    }
+    let rem = j1 - j;
+    if rem > 0 {
+        // Fewer than σ_lane columns remain — only possible at the
+        // matrix edge, since chunks advance in lane multiples. Widen
+        // the tail into a zero-padded panel and run the (1, 4) tile:
+        // the same fused ascending-k chain per stored cell as the wide
+        // chunks, without the libm `fmaf` a scalar loop would pay.
+        // Callers looping over many rows build the pad once and pass it
+        // in; one-shot callers let this call build its own.
+        let owned;
+        let pad = match tail_pad {
+            Some(p) => p,
+            None => {
+                owned = pad_lane_tail(k, b, n, j, rem);
+                &owned[..]
+            }
+        };
+        session::record_tile(1, 4);
+        // SAFETY: this worker owns columns [j0, j1) of the row.
+        let c = unsafe { c_row.offset(0, j) };
+        if reference {
+            micro_kernel_ref::<1, 4>(k, a_row, k, pad, 4, c, false, 1, rem);
+        } else {
+            micro_kernel_simd::<1, 1>(k, a_row, k, pad, 4, c, false, 1, rem);
+        }
+    }
+}
+
+/// Rows per `(m_r, 4)` tile on the column route — the widest menu tile
+/// height, keeping eight independent accumulator chains in flight.
+const COL_MR: usize = 8;
+
+/// Widen `w < σ_lane` columns `[j, j + w)` of row-major `B` (`k × n`)
+/// into a zero-padded `k × σ_lane` panel — exactly the padding a packed
+/// B panel carries, which is what makes the vector kernels' full-width
+/// loads legal at the matrix edge. The zero lanes are computed and
+/// discarded by the `eff_cols` store mask, so no stored cell's
+/// accumulation chain sees them.
+fn pad_lane_tail(k: usize, b: &[f32], n: usize, j: usize, w: usize) -> Vec<f32> {
+    let mut pad = vec![0.0f32; k * 4];
+    for p in 0..k {
+        pad[p * 4..p * 4 + w].copy_from_slice(&b[p * n + j..p * n + j + w]);
+    }
+    pad
+}
+
+/// One `(MR, 4)` tile of the column route: `MR` real rows of A against
+/// the lane-padded column, storing lane 0 only.
+fn col_tile<const MR: usize>(reference: bool, k: usize, a: &[f32], b_pad: &[f32], c: CTile) {
+    session::record_tile(MR, 4);
+    if reference {
+        micro_kernel_ref::<MR, 4>(k, a, k, b_pad, 4, c, false, MR, 1);
+    } else {
+        micro_kernel_simd::<MR, 1>(k, a, k, b_pad, 4, c, false, MR, 1);
+    }
+}
+
+/// Compute rows `[i0, i1)` of the single `C` column with the `(m_r, 4)`
+/// vector tiles the block driver would use, run against the `k × 1`
+/// column widened to a zero-padded lane-width panel
+/// ([`pad_lane_tail`]). Each stored cell is the tile's lane-0 chain —
+/// its `k` products accumulated in ascending order with fused
+/// multiply-adds, identical to a row-at-a-time fused dot product. (A
+/// scalar dot per row bottlenecks on the FMA *call*: without a
+/// compile-time FMA target `f32::mul_add` lowers to libm `fmaf`, which
+/// no amount of interleaving hides; the tile's intrinsics dispatch on
+/// the runtime-detected backend like every other kernel.)
+///
+/// The SIMD kernels read all `MR` rows (only stores are masked), so the
+/// row count descends 8 → 4 → 2 → 1 full tiles rather than masking a
+/// partial last group — every tile's rows are real rows of A.
+fn col_gemv_rows(
+    reference: bool,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c_root: CTile,
+    i0: usize,
+    i1: usize,
+) {
+    let b_pad = pad_lane_tail(k, b, 1, 0, 1);
+    let mut i = i0;
+    while i < i1 {
+        let rem = i1 - i;
+        let a_sl = &a[i * k..];
+        // SAFETY: this worker owns rows [i0, i1) of the column.
+        let c = unsafe { c_root.offset(i, 0) };
+        i += match rem {
+            r if r >= COL_MR => {
+                col_tile::<COL_MR>(reference, k, a_sl, &b_pad, c);
+                COL_MR
+            }
+            r if r >= 4 => {
+                col_tile::<4>(reference, k, a_sl, &b_pad, c);
+                4
+            }
+            r if r >= 2 => {
+                col_tile::<2>(reference, k, a_sl, &b_pad, c);
+                2
+            }
+            _ => {
+                col_tile::<1>(reference, k, a_sl, &b_pad, c);
+                1
+            }
+        };
+    }
+}
+
+/// Number of claimable work units for a route over an `m × n` problem.
+fn unit_count(route: FastRoute, m: usize, n: usize) -> usize {
+    match route {
+        FastRoute::RowGemv => n.div_ceil(COL_CHUNK).max(1),
+        FastRoute::ColGemv => m.div_ceil(ROW_CHUNK).max(1),
+        FastRoute::SmallK => m.div_ceil(SMALLK_ROWS).max(1),
+    }
+}
+
+/// Execute one claimed unit. Units partition `C` (column ranges of the
+/// single row, or disjoint row ranges), so the [`CTile`] ownership
+/// contract holds per unit.
+#[allow(clippy::too_many_arguments)]
+fn run_unit(
+    route: FastRoute,
+    u: usize,
+    reference: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c_root: CTile,
+) {
+    match route {
+        FastRoute::RowGemv => {
+            let j0 = u * COL_CHUNK;
+            let j1 = (j0 + COL_CHUNK).min(n);
+            row_gemv_range(reference, k, &a[..k], b, n, c_root, j0, j1, None);
+        }
+        FastRoute::ColGemv => {
+            let i0 = u * ROW_CHUNK;
+            let i1 = (i0 + ROW_CHUNK).min(m);
+            col_gemv_rows(reference, k, a, b, c_root, i0, i1);
+        }
+        FastRoute::SmallK => {
+            let i0 = u * SMALLK_ROWS;
+            let i1 = (i0 + SMALLK_ROWS).min(m);
+            // Every row shares the same lane tail of B — pad it once
+            // for the whole unit, not once per row.
+            let tail = n % 4;
+            let pad = (tail != 0).then(|| pad_lane_tail(k, b, n, n - tail, tail));
+            for i in i0..i1 {
+                // SAFETY: rows [i0, i1) are owned by this unit.
+                let c_row = unsafe { c_root.offset(i, 0) };
+                row_gemv_range(
+                    reference,
+                    k,
+                    &a[i * k..i * k + k],
+                    b,
+                    n,
+                    c_row,
+                    0,
+                    n,
+                    pad.as_deref(),
+                );
+            }
+        }
+    }
+}
+
+/// Run `f` inside `sess` when tracing, bare otherwise.
+fn with_optional_session(sess: Option<&Arc<Session>>, f: impl FnOnce()) {
+    match sess {
+        Some(s) => session::with_session(s, f),
+        None => f(),
+    }
+}
+
+/// Drain the unit list through a shared atomic cursor with the block
+/// driver's worker discipline: startup probe, heartbeat per claim,
+/// cancellation polls, panic containment via [`Poison`], and per-worker
+/// busy/drain profiles for the traced twin. Ends with the phase
+/// resolution (`monitor.outcome("kernel", units)`).
+#[allow(clippy::too_many_arguments)]
+fn try_run_units(
+    route: FastRoute,
+    reference: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c_root: CTile,
+    threads: usize,
+    sess: Option<&Arc<Session>>,
+    monitor: &RunMonitor,
+) -> Result<(Vec<ThreadProfile>, PhaseTimes, PhaseTimes), GemmError> {
+    let units = unit_count(route, m, n);
+    let threads = threads.max(1).min(units);
+    let section0 = Stamp::now();
+    let mut finished: Vec<(ThreadProfile, Stamp)> = Vec::with_capacity(threads);
+    if threads == 1 {
+        let mut prof = ThreadProfile { thread: 0, ..ThreadProfile::default() };
+        contain(|| {
+            with_optional_session(sess, || {
+                faultinject::probe(FaultSite::WorkerStartup);
+                for u in 0..units {
+                    if monitor.should_stop() || !heartbeat(monitor, 0) {
+                        break;
+                    }
+                    let u0 = Stamp::now();
+                    run_unit(route, u, reference, m, n, k, a, b, c_root);
+                    prof.busy += u0.elapsed();
+                    prof.blocks += 1;
+                    monitor.note_done();
+                }
+            })
+        })?;
+        finished.push((prof, Stamp::now()));
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let poison = Poison::new();
+        let collected: Mutex<Vec<(ThreadProfile, Stamp)>> = Mutex::new(Vec::with_capacity(threads));
+        let scope_ok = crossbeam::scope(|scope| {
+            for t in 0..threads {
+                let (cursor, collected, poison) = (&cursor, &collected, &poison);
+                scope.spawn(move |_| {
+                    let mut prof = ThreadProfile { thread: t, ..ThreadProfile::default() };
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        with_optional_session(sess, || {
+                            faultinject::probe(FaultSite::WorkerStartup);
+                            loop {
+                                if poison.is_poisoned() || monitor.should_stop() {
+                                    break;
+                                }
+                                let u = cursor.fetch_add(1, Ordering::Relaxed);
+                                if u >= units {
+                                    break;
+                                }
+                                if !heartbeat(monitor, t) {
+                                    break;
+                                }
+                                let u0 = Stamp::now();
+                                run_unit(route, u, reference, m, n, k, a, b, c_root);
+                                prof.busy += u0.elapsed();
+                                prof.blocks += 1;
+                                monitor.note_done();
+                            }
+                        })
+                    }));
+                    if let Err(payload) = run {
+                        poison.record(t, payload);
+                    }
+                    collected.lock().push((prof, Stamp::now()));
+                });
+            }
+        });
+        if scope_ok.is_err() {
+            return Err(GemmError::WorkerPanicked {
+                thread: 0,
+                detail: "worker scope failed".to_string(),
+            });
+        }
+        poison.into_result()?;
+        finished = collected.into_inner();
+        finished.sort_by_key(|(p, _)| p.thread);
+    }
+    monitor.outcome("kernel", units)?;
+    let end = Stamp::now();
+    let kernel = section0.delta_to(end);
+    let mut drain_total = PhaseTimes::default();
+    let profiles = finished
+        .into_iter()
+        .map(|(mut p, f)| {
+            p.drain = f.delta_to(end);
+            drain_total += p.drain;
+            p
+        })
+        .collect();
+    Ok((profiles, kernel, drain_total))
+}
+
+/// Execute a fast route under a [`Supervision`] bundle. The caller (the
+/// engine front door) has already validated the operands and handled
+/// zero-sized dimensions.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_fast_supervised(
+    route: FastRoute,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+    sup: &Supervision,
+) -> Result<(), GemmError> {
+    let cfg = RunConfig::probe(sup)?;
+    // SAFETY: units partition C's cells; each is claimed by one worker.
+    let c_root = unsafe { CTile::new(c.as_mut_ptr(), n, c.len()) };
+    let monitor = RunMonitor::new(sup, threads.max(1));
+    let watchdog = monitor.spawn_watchdog();
+    monitor.begin_phase();
+    let result =
+        try_run_units(route, cfg.reference, m, n, k, a, b, c_root, threads, None, &monitor)
+            .map(|_| ());
+    monitor.finish(watchdog);
+    if matches!(result, Err(GemmError::WorkerPanicked { .. }) | Err(GemmError::Stalled { .. })) {
+        sup.observe_fault(BreakerPath::ThreadedDriver);
+    }
+    result
+}
+
+/// The traced twin of [`try_fast_supervised`]: the same numeric path
+/// and supervision checkpoints, returning a [`GemmReport`]. The fast
+/// routes have no cache blocking, so the report's `mc/nc/kc` echo the
+/// problem shape, and no packing, so the pack phase times and counters
+/// stay zero. The engine stamps `dispatch` and `health` after the call.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_fast_traced_supervised(
+    route: FastRoute,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+    sup: &Supervision,
+) -> Result<GemmReport, GemmError> {
+    let cfg = RunConfig::probe(sup)?;
+    let sess = Arc::new(Session::new());
+    let t0 = Stamp::now();
+    // SAFETY: units partition C's cells; each is claimed by one worker.
+    let c_root = unsafe { CTile::new(c.as_mut_ptr(), n, c.len()) };
+    let monitor = RunMonitor::new(sup, threads.max(1));
+    let watchdog = monitor.spawn_watchdog();
+    monitor.begin_phase();
+    let result =
+        try_run_units(route, cfg.reference, m, n, k, a, b, c_root, threads, Some(&sess), &monitor);
+    monitor.finish(watchdog);
+    if matches!(result, Err(GemmError::WorkerPanicked { .. }) | Err(GemmError::Stalled { .. })) {
+        sup.observe_fault(BreakerPath::ThreadedDriver);
+    }
+    let (thread_profiles, kernel, drain) = result?;
+    let wall = t0.elapsed();
+    let stats = sess.take();
+    Ok(GemmReport {
+        m,
+        n,
+        k,
+        threads: thread_profiles.len(),
+        mc: m,
+        nc: n,
+        kc: k,
+        wall,
+        phases: PhaseProfile { kernel, drain, ..PhaseProfile::default() },
+        tiles: stats.tile_counts(),
+        thread_profiles,
+        fallbacks: cfg.fallbacks,
+        ..GemmReport::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_classify_degenerate_shapes() {
+        assert_eq!(fast_route(1, 64, 128), Some(FastRoute::RowGemv));
+        assert_eq!(fast_route(64, 1, 128), Some(FastRoute::ColGemv));
+        // m == n == 1 is still a (1-element) row GEMV.
+        assert_eq!(fast_route(1, 1, 128), Some(FastRoute::RowGemv));
+        assert_eq!(fast_route(40, 36, SMALL_K_MAX), Some(FastRoute::SmallK));
+        assert_eq!(fast_route(40, 36, SMALL_K_MAX + 1), None);
+        assert_eq!(fast_route(0, 36, 24), None);
+        assert_eq!(fast_route(40, 0, 24), None);
+        assert_eq!(fast_route(40, 36, 0), None);
+    }
+
+    fn naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn fill(v: &mut [f32], seed: u32) {
+        // Exactly representable values: small integers scaled by powers
+        // of two, so fused and unfused accumulation agree bit-for-bit.
+        let mut s = seed;
+        for x in v.iter_mut() {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            *x = ((s >> 24) as i32 - 128) as f32 * 0.25;
+        }
+    }
+
+    #[test]
+    fn fast_routes_match_the_naive_oracle() {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (1, 97, 64),
+            (1, 513, 8),
+            (97, 1, 64),
+            (129, 1, 3),
+            (40, 36, 8),
+            (33, 517, 1),
+            (65, 5, 7),
+        ] {
+            let route = fast_route(m, n, k).expect("fast shape");
+            let (mut a, mut b) = (vec![0.0f32; m * k], vec![0.0f32; k * n]);
+            fill(&mut a, 1 + m as u32);
+            fill(&mut b, 7 + n as u32);
+            for threads in [1usize, 3] {
+                let mut c = vec![f32::NAN; m * n];
+                try_fast_supervised(route, m, n, k, &a, &b, &mut c, threads, &Supervision::none())
+                    .expect("fast route runs");
+                assert_eq!(c, naive(m, n, k, &a, &b), "({m},{n},{k}) t{threads} {route:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_fast_route_is_bit_identical_and_structured() {
+        let (m, n, k) = (1usize, 200usize, 48usize);
+        let (mut a, mut b) = (vec![0.0f32; m * k], vec![0.0f32; k * n]);
+        fill(&mut a, 3);
+        fill(&mut b, 11);
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        try_fast_supervised(FastRoute::RowGemv, m, n, k, &a, &b, &mut c1, 2, &Supervision::none())
+            .expect("plain");
+        let report = try_fast_traced_supervised(
+            FastRoute::RowGemv,
+            m,
+            n,
+            k,
+            &a,
+            &b,
+            &mut c2,
+            2,
+            &Supervision::none(),
+        )
+        .expect("traced");
+        assert_eq!(c1, c2, "tracing must not change bits");
+        assert_eq!((report.m, report.n, report.k), (m, n, k));
+        assert_eq!((report.mc, report.nc, report.kc), (m, n, k), "no cache blocking");
+        assert_eq!(report.packs.a_packs + report.packs.b_packs, 0, "no packing");
+        assert!(report.threads >= 1);
+    }
+}

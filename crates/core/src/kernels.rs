@@ -33,6 +33,63 @@
 use crate::native::CTile;
 use crate::simd::{F32x4, SimdBackend, LANES};
 
+/// One input operand as the kernel layer sees it: a packed panel, or a
+/// strided row-major window of the caller's matrix (packing elided by
+/// the input-aware dispatch layer).
+///
+/// The micro-kernels themselves are stride-generic — they always read
+/// `a[i·lda + p]` and `b[p·ldb + j]` — so the two forms differ only in
+/// their *bounds contract*:
+///
+/// * **Packed** panels are padded by [`crate::packing`] so a full
+///   `(m_r, n_r)` tile's reads are in bounds even on edge tiles; any
+///   menu kernel may run against them unconditionally.
+/// * **Unpacked** windows expose exactly `avail` valid rows (for A) or
+///   columns (for B) from their origin. A vector kernel whose full tile
+///   would read past `avail` must be rerouted to a bounds-exact edge
+///   kernel by the dispatcher ([`crate::native`] does this per
+///   placement).
+#[derive(Clone, Copy)]
+pub enum Operand<'a> {
+    /// Packed panel (leading dimension `ld`), padded per the packing
+    /// contract: full-tile reads never go out of bounds.
+    Packed { data: &'a [f32], ld: usize },
+    /// Strided row-major window with `avail` valid rows (A operand) or
+    /// columns (B operand) from its origin.
+    Unpacked { data: &'a [f32], ld: usize, avail: usize },
+}
+
+impl<'a> Operand<'a> {
+    #[inline(always)]
+    pub fn data(&self) -> &'a [f32] {
+        match self {
+            Operand::Packed { data, .. } | Operand::Unpacked { data, .. } => data,
+        }
+    }
+
+    #[inline(always)]
+    pub fn ld(&self) -> usize {
+        match self {
+            Operand::Packed { ld, .. } | Operand::Unpacked { ld, .. } => *ld,
+        }
+    }
+
+    /// Rows (A) or columns (B) a kernel may read from the origin without
+    /// leaving the operand. Packed panels are padded for any menu tile,
+    /// so their extent is unbounded for dispatch purposes.
+    #[inline(always)]
+    pub fn avail(&self) -> usize {
+        match self {
+            Operand::Packed { .. } => usize::MAX,
+            Operand::Unpacked { avail, .. } => *avail,
+        }
+    }
+
+    pub fn is_packed(&self) -> bool {
+        matches!(self, Operand::Packed { .. })
+    }
+}
+
 /// Multiply-accumulate step parameterized by the FMA dispatch decision.
 ///
 /// # Safety

@@ -28,13 +28,15 @@
 //!
 //! ## Architecture
 //!
-//! * [`engine`] — [`AutoGemm`]: tuned schedule cache → execution plan →
-//!   native or simulated backends;
+//! * [`engine`] — [`AutoGemm`]: shape-keyed plan cache → execution plan
+//!   (with input-aware operand routing) → native or simulated backends,
+//!   with GEMV/small-k fast paths dispatched before the tuner for
+//!   degenerate shapes (`m = 1`, `n = 1`, tiny `k`);
 //! * [`plan`] — the execution plan: cache blocking + per-block DMT tile
 //!   plans, shared by both backends;
 //! * [`packing`] — operand packing (`none` / `offline` / `online`) with the
-//!   generated kernels' padding contract, plus the panel buffer pool and
-//!   pack-call counters;
+//!   generated kernels' padding contract plus the panel buffer pool
+//!   (pack-call accounting lives in the telemetry session);
 //! * [`simd`] — the explicit SIMD lane layer: a 4-lane `f32` vector
 //!   over NEON (aarch64), SSE2/FMA (x86_64, FMA runtime-detected) or a
 //!   portable array fallback, plus the cached backend probe;
@@ -44,7 +46,10 @@
 //! * [`native`] — the kernel dispatch table (monomorphized for every
 //!   Table II shape, scalar reference retained as oracle/baseline) and
 //!   the panel-cache block driver: every operand panel packed exactly
-//!   once per GEMM, blocks drained from an atomic work queue by
+//!   once per GEMM — or streamed unpacked straight from the caller's
+//!   row-major matrix when the engine's elision heuristic decides a
+//!   panel cannot amortize its pack copy — blocks drained from an
+//!   atomic work queue by
 //!   crossbeam scoped threads (the K dimension is never parallelized,
 //!   matching the TVM limitation the paper reports in §V-C);
 //! * [`simexec`] — the simulated backend: executes the generated virtual-ISA
@@ -96,11 +101,13 @@ pub mod batch;
 pub mod engine;
 pub mod error;
 pub mod faultinject;
+pub(crate) mod gemv;
 pub mod kernels;
 pub mod native;
 pub mod offline;
 pub mod packing;
 pub mod plan;
+pub(crate) mod plancache;
 pub mod simd;
 pub mod simexec;
 pub mod supervisor;
@@ -115,7 +122,8 @@ pub use offline::{
     try_gemm_prepacked_supervised, PackedB,
 };
 pub use packing::PanelPool;
-pub use plan::ExecutionPlan;
+pub use plan::{ExecutionPlan, OperandRouting};
+pub use plancache::PlanCacheStats;
 pub use supervisor::{
     BreakerConfig, BreakerPath, BreakerState, CancelToken, GemmOptions, ResilientMode,
     ResilientReport, Supervision, WatchdogConfig,

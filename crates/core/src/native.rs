@@ -39,13 +39,14 @@
 
 use crate::error::{self, GemmError};
 use crate::faultinject::{self, FaultSite, Probe};
+use crate::kernels::Operand;
 use crate::offline::PackedB;
 use crate::packing::{pack_a, pack_a_into, pack_b, pack_b_into, PackedBlock, PanelPool};
 use crate::plan::ExecutionPlan;
 use crate::supervisor::{BreakerPath, RunMonitor, Supervision};
 use crate::telemetry::clock::Stamp;
 use crate::telemetry::report::{
-    FallbackStats, GemmReport, HealthReport, PackStats, PhaseProfile, PhaseTimes, ThreadProfile,
+    FallbackStats, GemmReport, PackStats, PhaseProfile, PhaseTimes, ThreadProfile,
 };
 use crate::telemetry::session::{self, Session};
 use autogemm_tiling::TilePlacement;
@@ -59,22 +60,22 @@ use std::sync::Arc;
 /// [`Poison::is_poisoned`] between blocks and stop claiming work, so the
 /// section always joins cleanly (no deadlock) and the caller gets a
 /// structured [`GemmError::WorkerPanicked`] instead of an abort.
-struct Poison {
+pub(crate) struct Poison {
     hit: AtomicBool,
     first: Mutex<Option<(usize, String)>>,
 }
 
 impl Poison {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Poison { hit: AtomicBool::new(false), first: Mutex::new(None) }
     }
 
     #[inline]
-    fn is_poisoned(&self) -> bool {
+    pub(crate) fn is_poisoned(&self) -> bool {
         self.hit.load(Ordering::Relaxed)
     }
 
-    fn record(&self, thread: usize, payload: Box<dyn std::any::Any + Send>) {
+    pub(crate) fn record(&self, thread: usize, payload: Box<dyn std::any::Any + Send>) {
         {
             let mut first = self.first.lock();
             if first.is_none() {
@@ -84,7 +85,7 @@ impl Poison {
         self.hit.store(true, Ordering::SeqCst);
     }
 
-    fn into_result(self) -> Result<(), GemmError> {
+    pub(crate) fn into_result(self) -> Result<(), GemmError> {
         match self.first.into_inner() {
             Some((thread, detail)) => Err(GemmError::WorkerPanicked { thread, detail }),
             None => Ok(()),
@@ -95,7 +96,7 @@ impl Poison {
 /// Run `f` on the caller thread with panic containment. The caller
 /// thread acts as worker 0 (setup phases and single-threaded runs), so a
 /// caught panic reports `thread: 0`.
-fn contain<R>(f: impl FnOnce() -> R) -> Result<R, GemmError> {
+pub(crate) fn contain<R>(f: impl FnOnce() -> R) -> Result<R, GemmError> {
     catch_unwind(AssertUnwindSafe(f)).map_err(|payload| GemmError::WorkerPanicked {
         thread: 0,
         detail: error::panic_detail(payload.as_ref()),
@@ -119,19 +120,21 @@ fn probe_contained(site: FaultSite) -> Result<Probe, GemmError> {
 }
 
 /// Setup-phase degradation decisions for one run, made (and contained)
-/// on the caller thread before any panel is packed.
-struct RunConfig {
+/// on the caller thread before any panel is packed. Shared with the
+/// degenerate-shape fast paths ([`crate::gemv`]), which probe the same
+/// dispatch site so fault injection and breaker reroutes cover them.
+pub(crate) struct RunConfig {
     /// Route every placement to the scalar reference kernels — the
     /// degradation path for a failed SIMD backend probe (only reachable
     /// through `faultinject`; the real [`crate::simd::SimdBackend`]
     /// probe always has the portable fallback), or a circuit-breaker
     /// reroute imposed via [`Supervision`].
-    reference: bool,
+    pub(crate) reference: bool,
     /// Circuit-breaker reroute: skip the caller's pool entirely and pack
     /// into transient buffers.
     force_transient: bool,
     /// Degradations taken, for the traced driver's report.
-    fallbacks: FallbackStats,
+    pub(crate) fallbacks: FallbackStats,
 }
 
 impl RunConfig {
@@ -139,7 +142,7 @@ impl RunConfig {
     /// by `sup` (a quarantined path is bypassed, not probed — the whole
     /// point of the quarantine is not to touch it). Faults observed here
     /// are reported into `sup` for the engine's breaker accounting.
-    fn probe(sup: &Supervision) -> Result<RunConfig, GemmError> {
+    pub(crate) fn probe(sup: &Supervision) -> Result<RunConfig, GemmError> {
         let mut cfg = RunConfig {
             reference: false,
             force_transient: sup.force_transient,
@@ -215,7 +218,7 @@ impl RunConfig {
 /// and stop (the block was never executed, per the partial-`C`
 /// contract).
 #[inline]
-fn heartbeat(monitor: &RunMonitor, t: usize) -> bool {
+pub(crate) fn heartbeat(monitor: &RunMonitor, t: usize) -> bool {
     if let Probe::Stall(cap_ms) = faultinject::probe(FaultSite::WorkerHeartbeat) {
         let t0 = std::time::Instant::now();
         let cap = std::time::Duration::from_millis(cap_ms);
@@ -623,6 +626,179 @@ pub fn run_placement_ref(
     run_placement_impl(true, p, kc, a_panel, lda, b_panel, ldb, c_block, accumulate);
 }
 
+/// Is `(mr, nr)` one of the monomorphized menu shapes (executed by the
+/// fused SIMD kernels / the fused scalar reference)? Off-menu shapes run
+/// on the unfused [`micro_kernel_dyn`] in both the packed and unpacked
+/// paths, so accumulation chains stay consistent per routing.
+#[inline]
+fn is_menu_tile(mr: usize, nr: usize) -> bool {
+    KERNEL_MENU.contains(&(mr, nr))
+}
+
+/// Bounds-exact fused scalar kernel for *unpacked* edge tiles: reads only
+/// the `eff_rows × eff_cols` cells that actually exist (a packed panel
+/// would be padded here), accumulating each stored `C` cell in
+/// ascending-`k` order with fused multiply-adds — the same chains as
+/// [`micro_kernel_ref`] and the fused SIMD kernels, so on fused backends
+/// an unpacked edge tile is bit-identical to its packed counterpart.
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel_edge(
+    kc: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: CTile,
+    accumulate: bool,
+    eff_rows: usize,
+    eff_cols: usize,
+) {
+    debug_assert!(eff_rows <= DYN_MAX_MR && eff_cols <= DYN_MAX_NR);
+    let mut acc = [[0.0f32; DYN_MAX_NR]; DYN_MAX_MR];
+    if accumulate {
+        for (i, row) in acc.iter_mut().enumerate().take(eff_rows) {
+            for (j, v) in row.iter_mut().enumerate().take(eff_cols) {
+                *v = c.get(i, j);
+            }
+        }
+    }
+    for p in 0..kc {
+        let brow = &b[p * ldb..p * ldb + eff_cols];
+        for (i, row) in acc.iter_mut().enumerate().take(eff_rows) {
+            let aip = a[i * lda + p];
+            for (j, v) in row.iter_mut().enumerate().take(eff_cols) {
+                *v = brow[j].mul_add(aip, *v);
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate().take(eff_rows) {
+        for (j, v) in row.iter().enumerate().take(eff_cols) {
+            c.set(i, j, *v);
+        }
+    }
+}
+
+/// Dispatch one placement against [`Operand`] views of A and B — the
+/// operand-aware twin of [`run_placement_impl`].
+///
+/// A placement whose *full* tile stays inside both operands' valid
+/// extents runs on the ordinary menu dispatch (packed panels always do:
+/// padding makes every full-tile read legal; unpacked operands do
+/// whenever the tile does not overhang the matrix edge — for A that is
+/// every placement, since DMT tiles never overhang M, and for B every
+/// placement except the lane-rounded right edge when `n_c` is not a
+/// multiple of σ_lane). An overhanging placement is rerouted to a
+/// bounds-exact kernel over its effective region: the fused scalar edge
+/// kernel for menu tiles, [`micro_kernel_dyn`] clipped to
+/// `eff_rows × eff_cols` for off-menu tiles — preserving each path's
+/// accumulation chains, so stored `C` cells match the packed routing
+/// bit-for-bit on fused backends.
+pub(crate) fn run_placement_operands(
+    reference: bool,
+    p: &TilePlacement,
+    kc: usize,
+    a: &Operand<'_>,
+    b: &Operand<'_>,
+    c_block: CTile,
+    accumulate: bool,
+) {
+    let full_tile_safe = p.row + p.tile.mr <= a.avail() && p.col + p.tile.nr <= b.avail();
+    if full_tile_safe {
+        run_placement_impl(
+            reference,
+            p,
+            kc,
+            a.data(),
+            a.ld(),
+            b.data(),
+            b.ld(),
+            c_block,
+            accumulate,
+        );
+        return;
+    }
+    let a_sl = &a.data()[p.row * a.ld()..];
+    let b_sl = &b.data()[p.col..];
+    // SAFETY: the tile handle narrows the block handle; tiles within a
+    // validated plan are disjoint.
+    let c = unsafe { c_block.offset(p.row, p.col) };
+    if is_menu_tile(p.tile.mr, p.tile.nr) {
+        session::record_tile(p.tile.mr, p.tile.nr);
+        micro_kernel_edge(
+            kc,
+            a_sl,
+            a.ld(),
+            b_sl,
+            b.ld(),
+            c,
+            accumulate,
+            p.eff_rows.min(a.avail().saturating_sub(p.row)),
+            p.eff_cols.min(b.avail().saturating_sub(p.col)),
+        );
+    } else {
+        let er = p.eff_rows.min(a.avail().saturating_sub(p.row));
+        let ec = p.eff_cols.min(b.avail().saturating_sub(p.col));
+        micro_kernel_dyn(er, ec, kc, a_sl, a.ld(), b_sl, b.ld(), c, accumulate, er, ec);
+    }
+}
+
+/// The A-operand source for the cached block driver: packed per-`(bi,
+/// kb)` panels, or the caller's row-major matrix streamed directly
+/// (packing elided by the input-aware dispatch layer).
+pub(crate) enum ASource<'x> {
+    Packed(&'x [PackedBlock]),
+    Unpacked(&'x [f32]),
+}
+
+impl ASource<'_> {
+    /// The operand view for K-slice `kb` of row block `bi`.
+    #[inline]
+    fn operand(
+        &self,
+        s: &autogemm_tuner::Schedule,
+        bi: usize,
+        kb: usize,
+        tk: usize,
+    ) -> Operand<'_> {
+        match self {
+            ASource::Packed(panels) => {
+                let pa = &panels[bi * tk + kb];
+                Operand::Packed { data: &pa.data, ld: pa.ld }
+            }
+            ASource::Unpacked(a) => Operand::Unpacked {
+                data: &a[bi * s.mc * s.k + kb * s.kc..],
+                ld: s.k,
+                avail: s.m - bi * s.mc,
+            },
+        }
+    }
+}
+
+/// The B-operand source for the cached block driver: packed panels
+/// (owned or offline), or the caller's matrix streamed strided.
+pub(crate) enum BSource<'x> {
+    Packed(&'x BPanels<'x>),
+    Unpacked(&'x [f32]),
+}
+
+impl BSource<'_> {
+    /// The operand view for K-slice `kb` of column block `bj`.
+    #[inline]
+    fn operand(&self, s: &autogemm_tuner::Schedule, kb: usize, bj: usize) -> Operand<'_> {
+        match self {
+            BSource::Packed(bp) => {
+                let pb = bp.panel(kb, bj);
+                Operand::Packed { data: &pb.data, ld: pb.ld }
+            }
+            BSource::Unpacked(b) => Operand::Unpacked {
+                data: &b[kb * s.kc * s.n + bj * s.nc..],
+                ld: s.n,
+                avail: s.n - bj * s.nc,
+            },
+        }
+    }
+}
+
 /// The B-panel source for the cached block driver: packed in this call,
 /// or borrowed zero-copy from an offline [`PackedB`].
 pub(crate) enum BPanels<'p> {
@@ -739,7 +915,8 @@ pub fn try_gemm_with_plan_supervised(
         c.fill(0.0);
         return Ok(());
     }
-    let (_, tn, tk) = plan.grid();
+    let (tm, tn, tk) = plan.grid();
+    let routing = plan.routing;
     let mut cfg = RunConfig::probe(sup)?;
     let transient = PanelPool::new();
 
@@ -748,19 +925,39 @@ pub fn try_gemm_with_plan_supervised(
     // All phases run inside this closure so every early return still
     // flows through `monitor.finish` (the watchdog thread is always
     // joined before the caller sees the result).
+    //
+    // When a pack phase is elided by the plan's operand routing, the
+    // phase still runs its pool probe (so fault-injection and degrade
+    // accounting see the same sites either way) and its cancellation
+    // checkpoint (so a cancelled call reports the same `phase` it would
+    // with packing on) — it just packs nothing.
     let result = (|| {
         monitor.begin_phase();
         let a_pool = cfg.pack_pool(pool, &transient, "pack A", sup)?;
-        let a_panels = try_pack_a_panels_supervised(plan, a, threads, a_pool, &monitor)?;
+        let a_panels = if routing.pack_a {
+            Some(try_pack_a_panels_supervised(plan, a, threads, a_pool, &monitor)?)
+        } else {
+            // Poll before resolving: `outcome` reports a cancellation
+            // only once `should_stop` has latched it (the packed path
+            // polls inside its slot loop).
+            let _ = monitor.should_stop();
+            monitor.outcome("pack A", tm * tk)?;
+            None
+        };
+        let release_a = |panels: Option<Vec<PackedBlock>>| {
+            if let Some(panels) = panels {
+                a_pool.release_blocks(panels);
+            }
+        };
         let b_pool = match cfg.pack_pool(pool, &transient, "pack B", sup) {
             Ok(p) => p,
             Err(e) => {
-                a_pool.release_blocks(a_panels);
+                release_a(a_panels);
                 return Err(e);
             }
         };
         monitor.begin_phase();
-        let b_panels = {
+        let b_panels = if routing.pack_b {
             let mut panels = b_pool.acquire_blocks(tk * tn);
             let packed =
                 try_pack_panels_parallel(&mut panels, threads, &monitor, "pack B", |idx, p| {
@@ -768,23 +965,37 @@ pub fn try_gemm_with_plan_supervised(
                     pack_b_into(p, b, n, kb * s.kc, bj * s.nc, s.kc, s.nc, plan.sigma_lane);
                 });
             if let Err(e) = packed {
-                a_pool.release_blocks(a_panels);
+                release_a(a_panels);
                 b_pool.release_blocks(panels);
                 return Err(e);
             }
-            panels
+            Some(panels)
+        } else {
+            let _ = monitor.should_stop();
+            if let Err(e) = monitor.outcome("pack B", tk * tn) {
+                release_a(a_panels);
+                return Err(e);
+            }
+            None
         };
 
-        let b_src = BPanels::Owned { panels: b_panels, tn };
+        let owned_b = b_panels.map(|panels| BPanels::Owned { panels, tn });
+        let a_src = match &a_panels {
+            Some(panels) => ASource::Packed(panels),
+            None => ASource::Unpacked(a),
+        };
+        let b_src = match &owned_b {
+            Some(bp) => BSource::Packed(bp),
+            None => BSource::Unpacked(b),
+        };
         monitor.begin_phase();
-        let run =
-            try_run_blocks_cached(plan, &a_panels, &b_src, c, threads, cfg.reference, &monitor);
+        let run = try_run_blocks_cached(plan, &a_src, &b_src, c, threads, cfg.reference, &monitor);
 
         // Buffers go back even when the run was poisoned or cancelled: a
         // contained panic never corrupts a panel buffer (they hold plain
         // `f32`s), so the pool stays usable for the caller's next attempt.
-        a_pool.release_blocks(a_panels);
-        if let BPanels::Owned { panels, .. } = b_src {
+        release_a(a_panels);
+        if let Some(BPanels::Owned { panels, .. }) = owned_b {
             b_pool.release_blocks(panels);
         }
         run
@@ -870,6 +1081,7 @@ pub fn try_gemm_with_plan_traced_supervised(
         });
     }
     let (tm, tn, tk) = plan.grid();
+    let routing = plan.routing;
     let mut cfg = RunConfig::probe(sup)?;
     let transient = PanelPool::new();
 
@@ -882,7 +1094,7 @@ pub fn try_gemm_with_plan_traced_supervised(
         let pa0 = Stamp::now();
         let a_pool = cfg.pack_pool(pool, &transient, "pack A", sup)?;
         monitor.begin_phase();
-        let a_panels = {
+        let a_panels = if routing.pack_a {
             let mut panels = a_pool.acquire_blocks(tm * tk);
             let packed =
                 try_pack_panels_parallel(&mut panels, threads, &monitor, "pack A", |idx, p| {
@@ -895,20 +1107,29 @@ pub fn try_gemm_with_plan_traced_supervised(
                 a_pool.release_blocks(panels);
                 return Err(e);
             }
-            panels
+            Some(panels)
+        } else {
+            let _ = monitor.should_stop();
+            monitor.outcome("pack A", tm * tk)?;
+            None
         };
         let pack_a_t = pa0.elapsed();
+        let release_a = |panels: Option<Vec<PackedBlock>>| {
+            if let Some(panels) = panels {
+                a_pool.release_blocks(panels);
+            }
+        };
 
         let pb0 = Stamp::now();
         let b_pool = match cfg.pack_pool(pool, &transient, "pack B", sup) {
             Ok(p) => p,
             Err(e) => {
-                a_pool.release_blocks(a_panels);
+                release_a(a_panels);
                 return Err(e);
             }
         };
         monitor.begin_phase();
-        let b_panels = {
+        let b_panels = if routing.pack_b {
             let mut panels = b_pool.acquire_blocks(tk * tn);
             let packed =
                 try_pack_panels_parallel(&mut panels, threads, &monitor, "pack B", |idx, p| {
@@ -918,29 +1139,36 @@ pub fn try_gemm_with_plan_traced_supervised(
                     })
                 });
             if let Err(e) = packed {
-                a_pool.release_blocks(a_panels);
+                release_a(a_panels);
                 b_pool.release_blocks(panels);
                 return Err(e);
             }
-            panels
+            Some(panels)
+        } else {
+            let _ = monitor.should_stop();
+            if let Err(e) = monitor.outcome("pack B", tk * tn) {
+                release_a(a_panels);
+                return Err(e);
+            }
+            None
         };
         let pack_b_t = pb0.elapsed();
 
-        let b_src = BPanels::Owned { panels: b_panels, tn };
+        let owned_b = b_panels.map(|panels| BPanels::Owned { panels, tn });
+        let a_src = match &a_panels {
+            Some(panels) => ASource::Packed(panels),
+            None => ASource::Unpacked(a),
+        };
+        let b_src = match &owned_b {
+            Some(bp) => BSource::Packed(bp),
+            None => BSource::Unpacked(b),
+        };
         monitor.begin_phase();
-        let run = try_run_blocks_traced(
-            plan,
-            &a_panels,
-            &b_src,
-            c,
-            threads,
-            &sess,
-            cfg.reference,
-            &monitor,
-        );
+        let run =
+            try_run_blocks_traced(plan, &a_src, &b_src, c, threads, &sess, cfg.reference, &monitor);
 
-        a_pool.release_blocks(a_panels);
-        if let BPanels::Owned { panels, .. } = b_src {
+        release_a(a_panels);
+        if let Some(BPanels::Owned { panels, .. }) = owned_b {
             b_pool.release_blocks(panels);
         }
         let (thread_profiles, kernel, drain) = run?;
@@ -973,8 +1201,7 @@ pub fn try_gemm_with_plan_traced_supervised(
         tiles: stats.tile_counts(),
         thread_profiles,
         fallbacks: cfg.fallbacks,
-        health: HealthReport::default(),
-        model: None,
+        ..GemmReport::default()
     })
 }
 
@@ -987,8 +1214,8 @@ pub fn try_gemm_with_plan_traced_supervised(
 #[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn try_run_blocks_traced(
     plan: &ExecutionPlan,
-    a_panels: &[PackedBlock],
-    b_panels: &BPanels<'_>,
+    a_src: &ASource<'_>,
+    b_src: &BSource<'_>,
     c: &mut [f32],
     threads: usize,
     sess: &Arc<Session>,
@@ -1015,7 +1242,7 @@ fn try_run_blocks_traced(
                         break;
                     }
                     let b0 = Stamp::now();
-                    run_block_cached(plan, a_panels, b_panels, c_root, bi, bj, tk, reference);
+                    run_block_cached(plan, a_src, b_src, c_root, bi, bj, tk, reference);
                     prof.busy += b0.elapsed();
                     prof.blocks += 1;
                     monitor.note_done();
@@ -1045,9 +1272,7 @@ fn try_run_blocks_traced(
                                     break;
                                 }
                                 let b0 = Stamp::now();
-                                run_block_cached(
-                                    plan, a_panels, b_panels, c_root, bi, bj, tk, reference,
-                                );
+                                run_block_cached(plan, a_src, b_src, c_root, bi, bj, tk, reference);
                                 prof.busy += b0.elapsed();
                                 prof.blocks += 1;
                                 monitor.note_done();
@@ -1200,8 +1425,8 @@ where
 /// under the same partial-write contract.
 pub(crate) fn try_run_blocks_cached(
     plan: &ExecutionPlan,
-    a_panels: &[PackedBlock],
-    b_panels: &BPanels<'_>,
+    a_src: &ASource<'_>,
+    b_src: &BSource<'_>,
     c: &mut [f32],
     threads: usize,
     reference: bool,
@@ -1224,7 +1449,7 @@ pub(crate) fn try_run_blocks_cached(
                 if monitor.should_stop() || !heartbeat(monitor, 0) {
                     break;
                 }
-                run_block_cached(plan, a_panels, b_panels, c_root, bi, bj, tk, reference);
+                run_block_cached(plan, a_src, b_src, c_root, bi, bj, tk, reference);
                 monitor.note_done();
             }
         })?;
@@ -1247,7 +1472,7 @@ pub(crate) fn try_run_blocks_cached(
                         if !heartbeat(monitor, t) {
                             break;
                         }
-                        run_block_cached(plan, a_panels, b_panels, c_root, bi, bj, tk, reference);
+                        run_block_cached(plan, a_src, b_src, c_root, bi, bj, tk, reference);
                         monitor.note_done();
                     }
                 }));
@@ -1275,8 +1500,8 @@ pub(crate) fn try_run_blocks_cached(
 #[allow(clippy::too_many_arguments)]
 fn run_block_cached(
     plan: &ExecutionPlan,
-    a_panels: &[PackedBlock],
-    b_panels: &BPanels<'_>,
+    a_src: &ASource<'_>,
+    b_src: &BSource<'_>,
     c_root: CTile,
     bi: usize,
     bj: usize,
@@ -1287,13 +1512,11 @@ fn run_block_cached(
     // SAFETY: this thread exclusively owns the block's cells.
     let c_block = unsafe { c_root.offset(bi * s.mc, bj * s.nc) };
     for kb in 0..tk {
-        let pa = &a_panels[bi * tk + kb];
-        let pb = b_panels.panel(kb, bj);
+        let a_op = a_src.operand(s, bi, kb, tk);
+        let b_op = b_src.operand(s, kb, bj);
         let accumulate = kb > 0;
         for placement in &plan.block_plan.placements {
-            run_placement_impl(
-                reference, placement, s.kc, &pa.data, pa.ld, &pb.data, pb.ld, c_block, accumulate,
-            );
+            run_placement_operands(reference, placement, s.kc, &a_op, &b_op, c_block, accumulate);
         }
     }
 }

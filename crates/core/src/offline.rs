@@ -151,10 +151,11 @@ pub fn try_gemm_prepacked_supervised(
         let a_panels =
             crate::native::try_pack_a_panels_supervised(plan, a, threads, pool, &monitor)?;
         monitor.begin_phase();
+        let b_panels = crate::native::BPanels::Prepacked(packed_b);
         let run = crate::native::try_run_blocks_cached(
             plan,
-            &a_panels,
-            &crate::native::BPanels::Prepacked(packed_b),
+            &crate::native::ASource::Packed(&a_panels),
+            &crate::native::BSource::Packed(&b_panels),
             c,
             threads,
             false,

@@ -14,7 +14,7 @@
 //! elements.
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
 /// Alignment (bytes) of every panel buffer: one cache line, a multiple
 /// of the 16-byte vector width — the SIMD kernels' load contract.
@@ -132,48 +132,15 @@ impl PackedBlock {
     }
 }
 
-/// Deprecated global pack-call counters — superseded by the per-call
-/// telemetry report.
-///
-/// The panel-cache driver must pack each A panel `(bi, kb)` and each B
-/// panel `(kb, bj)` exactly once per GEMM, i.e. `tm·tk` A packs and
-/// `tk·tn` B packs — not the `tm·tn·tk` of a per-block repacking loop.
-/// That invariant is now pinned per call by
-/// [`crate::native::gemm_with_plan_traced`]'s [`crate::GemmReport`]
-/// (`packs.a_packs` / `packs.b_packs`), which cannot race because the
-/// counters live in the call's own session. These process-global relaxed
-/// atomics remain only as thin shims for older callers (the PR-1
-/// regression test in `tests/pack_counts.rs`): they still count every
-/// pack, and they still require single-GEMM-at-a-time discipline to read
-/// meaningfully.
-pub mod counters {
-    use super::{AtomicU64, Ordering};
-
-    pub(super) static A_PACKS: AtomicU64 = AtomicU64::new(0);
-    pub(super) static B_PACKS: AtomicU64 = AtomicU64::new(0);
-
-    /// Zero both counters.
-    #[deprecated(note = "process-global counters race across concurrent GEMMs; read the per-call \
-                telemetry report (`native::gemm_with_plan_traced`) instead")]
-    pub fn reset() {
-        A_PACKS.store(0, Ordering::Relaxed);
-        B_PACKS.store(0, Ordering::Relaxed);
-    }
-
-    /// A-panel packs since the last [`reset`].
-    #[deprecated(note = "process-global counters race across concurrent GEMMs; read the per-call \
-                telemetry report (`native::gemm_with_plan_traced`) instead")]
-    pub fn a_packs() -> u64 {
-        A_PACKS.load(Ordering::Relaxed)
-    }
-
-    /// B-panel packs since the last [`reset`].
-    #[deprecated(note = "process-global counters race across concurrent GEMMs; read the per-call \
-                telemetry report (`native::gemm_with_plan_traced`) instead")]
-    pub fn b_packs() -> u64 {
-        B_PACKS.load(Ordering::Relaxed)
-    }
-}
+// Pack-call accounting lives in the per-call telemetry session
+// ([`crate::telemetry::session::record_pack_a`] / `record_pack_b`): the
+// panel-cache driver must pack each A panel `(bi, kb)` and each B panel
+// `(kb, bj)` exactly once per GEMM — `tm·tk` + `tk·tn` packs, not the
+// `tm·tn·tk` of a per-block repacking loop — and that invariant is
+// pinned per call by the traced drivers' [`crate::GemmReport`]
+// (`packs.a_packs` / `packs.b_packs`), race-free across concurrent
+// GEMMs. (The process-global `counters` shims that predated the session
+// API have been removed.)
 
 /// Pack an `rows × cols` block of `src` (leading dimension `src_ld`,
 /// starting at `(row0, col0)`) into a fresh buffer with `pad_cols` extra
@@ -256,7 +223,6 @@ pub fn pack_a_into(
     kc: usize,
     sigma_lane: usize,
 ) {
-    counters::A_PACKS.fetch_add(1, Ordering::Relaxed);
     crate::telemetry::session::record_pack_a(pack_traffic_bytes(mc, kc));
     pack_block_into(dst, a, lda, row0, col0, mc, kc, 2 * sigma_lane, 0);
 }
@@ -290,7 +256,6 @@ pub fn pack_b_into(
     nc: usize,
     sigma_lane: usize,
 ) {
-    counters::B_PACKS.fetch_add(1, Ordering::Relaxed);
     crate::telemetry::session::record_pack_b(pack_traffic_bytes(kc, nc));
     pack_block_into(dst, b, ldb, row0, col0, kc, nc, sigma_lane, 2);
 }

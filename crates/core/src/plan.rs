@@ -10,6 +10,36 @@ use autogemm_perfmodel::ModelOpts;
 use autogemm_tiling::{plan_dmt, TilePlan};
 use autogemm_tuner::{Packing, Schedule};
 
+/// Per-operand packed/unpacked routing for the native driver.
+///
+/// The default packs both operands (the historical panel-cache
+/// behaviour, and what every plan built via
+/// [`ExecutionPlan::from_schedule`] carries). The engine's input-aware
+/// dispatch layer replaces it with the packing-elision decision from
+/// `autogemm_perfmodel::elision` when a panel cannot amortize its pack
+/// copy (see DESIGN.md, "Input-aware dispatch").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperandRouting {
+    /// Pack A into per-`(bi, kb)` panels; `false` streams A from the
+    /// caller's row-major matrix.
+    pub pack_a: bool,
+    /// Pack B into per-`(kb, bj)` panels; `false` streams B strided.
+    pub pack_b: bool,
+}
+
+impl Default for OperandRouting {
+    fn default() -> Self {
+        OperandRouting { pack_a: true, pack_b: true }
+    }
+}
+
+impl OperandRouting {
+    /// The historical behaviour: both operands packed.
+    pub fn packed() -> Self {
+        OperandRouting::default()
+    }
+}
+
 /// A fully resolved execution plan for one GEMM problem.
 #[derive(Debug, Clone)]
 pub struct ExecutionPlan {
@@ -25,14 +55,30 @@ pub struct ExecutionPlan {
     /// LibShalom's hand-written L1 prefetch which wins at 128³ on the
     /// KP920, §V-C). `None` derives warmth from the working-set size.
     pub warmth: Option<autogemm_sim::Warmth>,
+    /// Packed/unpacked routing per operand for the native driver.
+    pub routing: OperandRouting,
 }
 
 impl ExecutionPlan {
-    /// Build the plan for a tuned schedule on a chip.
+    /// Build the plan for a tuned schedule on a chip. The plan packs
+    /// both operands; the engine applies input-aware elision on top.
     pub fn from_schedule(schedule: Schedule, chip: &ChipSpec) -> Self {
         let opts = ModelOpts { rotate: true, fused: true };
         let block_plan = plan_dmt(schedule.mc, schedule.nc, schedule.kc, chip, opts);
-        ExecutionPlan { schedule, block_plan, opts, sigma_lane: chip.sigma_lane(), warmth: None }
+        ExecutionPlan {
+            schedule,
+            block_plan,
+            opts,
+            sigma_lane: chip.sigma_lane(),
+            warmth: None,
+            routing: OperandRouting::default(),
+        }
+    }
+
+    /// The same plan with a different operand routing.
+    pub fn with_routing(mut self, routing: OperandRouting) -> Self {
+        self.routing = routing;
+        self
     }
 
     /// Number of cache blocks along (M, N, K).

@@ -1,0 +1,133 @@
+//! Shape-keyed plan cache: memoize fully resolved [`ExecutionPlan`]s in
+//! front of the tuner.
+//!
+//! The engine historically memoized tuned `Schedule`s per
+//! `(m, n, k, threads)`; the cache here sits one layer later and stores
+//! the *plan* — schedule, DMT block plan and the input-aware operand
+//! routing — behind an `Arc`, so a repeated shape skips the tuner, the
+//! DMT planner and the elision heuristic entirely and shares one
+//! allocation across concurrent callers. The key adds the detected SIMD
+//! backend name: a cached plan encodes lane-width decisions, so a
+//! (hypothetical) backend change must miss rather than replay a plan
+//! tuned for another ISA. Hit/miss counters feed
+//! `GemmReport::dispatch` and the engine's `plan_cache_stats()`.
+
+use crate::plan::ExecutionPlan;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Everything a cached plan depends on. `threads` is the tuner's thread
+/// budget (multicore schedules differ structurally from single-core
+/// ones), `backend` the detected SIMD backend name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct PlanKey {
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+    pub threads: usize,
+    pub backend: &'static str,
+}
+
+/// Cumulative hit/miss counters of one engine's plan cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// The cache itself: one per [`crate::AutoGemm`] engine.
+pub(crate) struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, Arc<ExecutionPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    pub(crate) fn new() -> Self {
+        PlanCache {
+            plans: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, building (outside the lock — tuning is expensive
+    /// and must not serialize unrelated shapes) on a miss. Returns the
+    /// shared plan and whether this call hit. Two threads racing the
+    /// same cold key may both tune; the first insert wins and both get
+    /// the same `Arc` back, so callers never observe divergent plans.
+    pub(crate) fn get_or_build(
+        &self,
+        key: PlanKey,
+        build: impl FnOnce() -> ExecutionPlan,
+    ) -> (Arc<ExecutionPlan>, bool) {
+        if let Some(plan) = self.plans.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(plan), true);
+        }
+        let built = Arc::new(build());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.plans.lock();
+        let entry = map.entry(key).or_insert(built);
+        (Arc::clone(entry), false)
+    }
+
+    pub(crate) fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autogemm_arch::ChipSpec;
+    use autogemm_tuner::tune;
+
+    fn key(m: usize, n: usize, k: usize, threads: usize) -> PlanKey {
+        PlanKey { m, n, k, threads, backend: "test" }
+    }
+
+    fn build(m: usize, n: usize, k: usize) -> ExecutionPlan {
+        let chip = ChipSpec::graviton2();
+        ExecutionPlan::from_schedule(tune(m, n, k, &chip), &chip)
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_plan() {
+        let cache = PlanCache::new();
+        let (p1, hit1) = cache.get_or_build(key(26, 36, 24, 1), || build(26, 36, 24));
+        let (p2, hit2) = cache.get_or_build(key(26, 36, 24, 1), || build(26, 36, 24));
+        assert!(!hit1 && hit2);
+        assert!(Arc::ptr_eq(&p1, &p2), "hit must share the cached allocation");
+        assert_eq!(cache.stats(), PlanCacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn key_distinguishes_shape_threads_and_backend() {
+        let cache = PlanCache::new();
+        cache.get_or_build(key(26, 36, 24, 1), || build(26, 36, 24));
+        let (_, hit_threads) = cache.get_or_build(key(26, 36, 24, 2), || build(26, 36, 24));
+        let (_, hit_shape) = cache.get_or_build(key(36, 26, 24, 1), || build(36, 26, 24));
+        let mut other = key(26, 36, 24, 1);
+        other.backend = "other";
+        let (_, hit_backend) = cache.get_or_build(other, || build(26, 36, 24));
+        assert!(!hit_threads && !hit_shape && !hit_backend);
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn miss_does_not_rebuild_on_insert_race_loser() {
+        // Single-threaded approximation: the entry API returns the
+        // first-inserted plan even if a second build completed.
+        let cache = PlanCache::new();
+        let (p1, _) = cache.get_or_build(key(8, 12, 16, 1), || build(8, 12, 16));
+        let (p2, hit) = cache.get_or_build(key(8, 12, 16, 1), || build(8, 12, 16));
+        assert!(hit);
+        assert!(Arc::ptr_eq(&p1, &p2));
+    }
+}

@@ -9,9 +9,10 @@
 //! [`GemmReport`] holding
 //!
 //! * per-phase wall/cycle times (pack-A, pack-B, kernel, drain);
-//! * per-call pack counts and traffic bytes (the per-call successor of
-//!   the process-global `packing::counters`, which are kept only as
-//!   deprecated shims);
+//! * per-call pack counts and traffic bytes, accumulated race-free in
+//!   the call's own session (the long-removed process-global
+//!   `packing::counters` predecessor required one-GEMM-at-a-time
+//!   discipline);
 //! * per-thread block counts, busy time and drain (idle-at-the-end) time
 //!   from the work-queue driver;
 //! * the kernel-shape histogram actually dispatched — including the
@@ -53,7 +54,7 @@ pub mod session;
 pub use clock::{ScopedTimer, Stamp, ENABLED};
 pub use json::{Json, JsonError};
 pub use report::{
-    FallbackStats, GemmReport, HealthReport, ModelJoin, PackStats, PathHealth, PhaseProfile,
-    PhaseTimes, ThreadProfile, TileCount, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+    DispatchStats, FallbackStats, GemmReport, HealthReport, ModelJoin, PackStats, PathHealth,
+    PhaseProfile, PhaseTimes, ThreadProfile, TileCount, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 pub use session::Session;

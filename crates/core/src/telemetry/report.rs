@@ -7,9 +7,11 @@ use autogemm_perfmodel::ProjectionTable;
 /// Version of the serialized [`GemmReport`] schema. Bump on any breaking
 /// field change; [`GemmReport::from_json`] rejects versions it cannot
 /// read. v2 added the `health` section (circuit-breaker state and
-/// transitions) and `fallbacks.breaker_reroutes`; v1 reports are still
-/// accepted and parse with an empty health section.
-pub const SCHEMA_VERSION: u64 = 2;
+/// transitions) and `fallbacks.breaker_reroutes`; v3 added the
+/// `dispatch` section (input-aware route, packing elision and
+/// plan-cache counters). Older reports are still accepted: v1 parses
+/// with an empty health section, v1/v2 with a default dispatch section.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Oldest serialized schema version [`GemmReport::from_json`] accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -50,8 +52,8 @@ pub struct PhaseProfile {
     pub drain: PhaseTimes,
 }
 
-/// Per-call pack counts and traffic — the per-call successor of the
-/// deprecated process-global `packing::counters`.
+/// Per-call pack counts and traffic, accumulated in the call's own
+/// telemetry session (race-free across concurrent GEMMs).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PackStats {
     pub a_packs: u64,
@@ -151,6 +153,42 @@ impl HealthReport {
     }
 }
 
+/// The `dispatch` section of a schema-v3 report: which input-aware
+/// route the engine took and what the plan cache / packing-elision
+/// heuristic decided for this call. Defaults (`"block"` route, both
+/// operands packed, no cache hit) describe exactly what every pre-v3
+/// report did, so older reports parse into honest values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Route name: `"block"` (the cache-blocked driver),
+    /// `"gemv_row"`, `"gemv_col"` or `"small_k"`.
+    pub route: String,
+    /// Whether A was packed into panels (`false` = elided, streamed
+    /// from the caller's row-major memory). Always `true` off the block
+    /// route only in the trivial sense that no panels exist at all.
+    pub packed_a: bool,
+    pub packed_b: bool,
+    /// Whether this call's plan came from the engine's shape-keyed plan
+    /// cache (always `false` on the fast routes, which have no plan).
+    pub plan_cache_hit: bool,
+    /// Engine-lifetime plan-cache counters at report time.
+    pub plan_cache_hits: u64,
+    pub plan_cache_misses: u64,
+}
+
+impl Default for DispatchStats {
+    fn default() -> Self {
+        DispatchStats {
+            route: "block".to_string(),
+            packed_a: true,
+            packed_b: true,
+            plan_cache_hit: false,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+        }
+    }
+}
+
 /// One bucket of the dispatched kernel-shape histogram.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileCount {
@@ -209,6 +247,9 @@ pub struct GemmReport {
     /// Circuit-breaker snapshot and this call's transitions (schema v2;
     /// empty when parsed from a v1 report).
     pub health: HealthReport,
+    /// Input-aware dispatch decisions (schema v3; defaults — block
+    /// route, both operands packed — when parsed from older reports).
+    pub dispatch: DispatchStats,
     pub model: Option<ModelJoin>,
 }
 
@@ -361,6 +402,17 @@ impl GemmReport {
                         self.health.transitions.iter().map(|t| Json::Str(t.clone())).collect(),
                     ),
                 ),
+            ]),
+        ));
+        fields.push((
+            "dispatch".into(),
+            Json::Obj(vec![
+                ("route".into(), Json::Str(self.dispatch.route.clone())),
+                ("packed_a".into(), Json::Bool(self.dispatch.packed_a)),
+                ("packed_b".into(), Json::Bool(self.dispatch.packed_b)),
+                ("plan_cache_hit".into(), Json::Bool(self.dispatch.plan_cache_hit)),
+                ("plan_cache_hits".into(), Json::Num(self.dispatch.plan_cache_hits as f64)),
+                ("plan_cache_misses".into(), Json::Num(self.dispatch.plan_cache_misses as f64)),
             ]),
         ));
         fields.push((
@@ -539,6 +591,34 @@ impl GemmReport {
             },
         };
 
+        // Schema v3. Pre-v3 reports have no `dispatch` section; the
+        // defaults (block route, both operands packed) are what those
+        // builds actually did, so the parse is lenient *and* honest.
+        let dispatch = match v.get("dispatch") {
+            None | Some(Json::Null) => DispatchStats::default(),
+            Some(d) => {
+                let defaults = DispatchStats::default();
+                DispatchStats {
+                    route: d
+                        .get("route")
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .unwrap_or(defaults.route),
+                    packed_a: d.get("packed_a").and_then(Json::as_bool).unwrap_or(true),
+                    packed_b: d.get("packed_b").and_then(Json::as_bool).unwrap_or(true),
+                    plan_cache_hit: d
+                        .get("plan_cache_hit")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
+                    plan_cache_hits: d.get("plan_cache_hits").and_then(Json::as_u64).unwrap_or(0),
+                    plan_cache_misses: d
+                        .get("plan_cache_misses")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0),
+                }
+            }
+        };
+
         let model = match field("model")? {
             Json::Null => None,
             mj => Some(ModelJoin {
@@ -588,6 +668,7 @@ impl GemmReport {
             tiles,
             fallbacks,
             health,
+            dispatch,
             model,
         })
     }
@@ -651,6 +732,14 @@ mod tests {
                     },
                 ],
                 transitions: vec!["simd_dispatch: open -> half_open".into()],
+            },
+            dispatch: DispatchStats {
+                route: "block".into(),
+                packed_a: false,
+                packed_b: true,
+                plan_cache_hit: true,
+                plan_cache_hits: 7,
+                plan_cache_misses: 3,
             },
             model: Some(ModelJoin {
                 projected_kernel_cycles: 1.25e6,
@@ -722,6 +811,47 @@ mod tests {
         let back = GemmReport::from_json(&text).expect("v1 report must parse leniently");
         assert_eq!(back.health, HealthReport::default());
         assert!(back.health.all_closed(), "empty health section counts as all-closed");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn v2_report_parses_with_default_dispatch() {
+        // A schema-v2 report: version 2, no `dispatch` section. It must
+        // parse with the pre-v3 behaviour spelled out: block route,
+        // both operands packed, no plan-cache data.
+        let mut r = sample_report();
+        r.dispatch = DispatchStats::default();
+        let text = r
+            .to_json()
+            .replace(&format!("\"schema_version\":{SCHEMA_VERSION}"), "\"schema_version\":2")
+            .replace(
+                "\"dispatch\":{\"route\":\"block\",\"packed_a\":true,\"packed_b\":true,\
+                 \"plan_cache_hit\":false,\"plan_cache_hits\":0,\"plan_cache_misses\":0},",
+                "",
+            );
+        // Note: "simd_dispatch" in the health section also contains the
+        // substring, so check for the key specifically.
+        assert!(!text.contains("\"dispatch\""), "v2 fixture must not carry a dispatch section");
+        let back = GemmReport::from_json(&text).expect("v2 report must parse leniently");
+        assert_eq!(back.dispatch, DispatchStats::default());
+        assert!(back.dispatch.packed_a && back.dispatch.packed_b);
+        assert_eq!(back.dispatch.route, "block");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn dispatch_section_round_trips() {
+        let mut r = sample_report();
+        r.dispatch = DispatchStats {
+            route: "gemv_row".into(),
+            packed_a: false,
+            packed_b: false,
+            plan_cache_hit: false,
+            plan_cache_hits: 41,
+            plan_cache_misses: 2,
+        };
+        let back = GemmReport::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(back.dispatch, r.dispatch);
         assert_eq!(back, r);
     }
 

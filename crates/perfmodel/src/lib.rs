@@ -11,6 +11,8 @@
 //! * [`submatrix`] — the cache-block runtime estimate `T_c(m_c, n_c)` of
 //!   Eqn 13 used by the tuner to prune its search space (§IV-B);
 //! * [`roofline`] — the roofline model of §V-D (peak vs `AI × bandwidth`);
+//! * [`elision`] — the packing-elision heuristic of the input-aware
+//!   dispatch layer: projected pack traffic vs panel reuse, per operand;
 //! * [`projection`] — memoized projection lookups ([`ProjectionTable`])
 //!   for joining measured telemetry (`autogemm::telemetry`) against the
 //!   model's per-tile cycle counts.
@@ -21,12 +23,14 @@
 //! examples (5×16 and 2×16 on the idealized machine).
 
 pub mod ai;
+pub mod elision;
 pub mod micro;
 pub mod projection;
 pub mod roofline;
 pub mod submatrix;
 
 pub use ai::{ai_with_kc, meets_sigma_ai};
+pub use elision::{route_packing, PackRouting};
 pub use micro::{projected_cycles, ModelOpts, Phase, PhaseBreakdown};
 pub use projection::ProjectionTable;
 pub use roofline::{attainable_gflops, machine_balance, Roofline};

@@ -54,6 +54,7 @@ fn derated_metric_ranks_plans_like_the_simulator() {
         opts,
         sigma_lane: 4,
         warmth: None,
+        routing: autogemm::OperandRouting::packed(),
     };
     let dmt = mk_plan(plan_dmt(m, n, kc, &chip, opts));
     let xsmm = mk_plan(plan_libxsmm(m, n, MicroTile::new(5, 16), 4));
