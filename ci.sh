@@ -51,8 +51,10 @@ cargo test -q -p autogemm-repro --features faultinject --test chaos --test falli
 echo "== supervision soak (smoke length) =="
 # Randomized watchdog-supervised calls under seeded fault plans: every
 # call structured-error-or-correct, zero pool-buffer leaks, and the
-# circuit breaker never stuck Open once the probes disarm. The full run
-# (2000 iters) is the default when invoked without a count.
+# circuit breaker never stuck Open once the probes disarm. Every
+# threaded call routes through the persistent worker pool, so this
+# doubles as the pool soak. The full run (2000 iters) is the default
+# when invoked without a count.
 cargo run --release -p autogemm-bench --features faultinject --bin native_gemm -- --soak 400
 
 echo "== panic policy (library code) =="
@@ -73,6 +75,13 @@ echo "== native bench smoke (fallible-path overhead + input-aware dispatch) =="
 # noise), and checks plan-cache determinism (repeat shape → cache hit,
 # identical output).
 cargo run --release -p autogemm-bench --bin native_gemm -- --smoke
+
+echo "== worker-pool dispatch smoke =="
+# Streams a Table V small shape through the persistent pool and the
+# scoped-spawn baseline on the same plan: bit-identical results, pooled
+# p50 never slower than scoped beyond noise, zero per-call OS thread
+# creation and zero leaked pool workers.
+cargo run --release -p autogemm-bench --bin pool_overhead -- --smoke
 
 echo "== microkernel bench smoke =="
 cargo run --release -p autogemm-bench --bin microkernel -- --smoke

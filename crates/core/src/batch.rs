@@ -4,7 +4,8 @@
 //! of one small shape.
 //!
 //! The batch API tunes the shape once (one [`ExecutionPlan`] shared by
-//! every item) and spreads items over crossbeam workers; each item owns a
+//! every item) and drains items through the persistent worker-pool
+//! runtime ([`crate::runtime`]) from a shared cursor; each item owns a
 //! disjoint `m·n` slice of the output, so the parallelism is safe by
 //! construction.
 
@@ -13,9 +14,11 @@ use crate::native;
 use crate::offline::PackedB;
 use crate::packing::PanelPool;
 use crate::plan::ExecutionPlan;
+use crate::runtime::Exec;
 use crate::supervisor::{BreakerPath, RunMonitor, Supervision};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// A batch of same-shape GEMMs: `C[i] (+)= A[i] · B[i]`.
 pub struct GemmBatch<'a> {
@@ -148,99 +151,113 @@ pub fn try_gemm_batch_supervised(
         }
     }
 
-    // Round-robin ownership transfer of the disjoint output slices.
-    let mut per_thread: Vec<Vec<(usize, &mut [f32])>> = (0..threads).map(|_| Vec::new()).collect();
-    for (i, chunk) in c.chunks_mut(item).enumerate() {
-        per_thread[i % threads].push((i, chunk));
-    }
-
     // The item calls share one watchdog-free supervision: the cancel
     // token interrupts mid-item, breaker reroutes are forwarded, and
     // observed faults aggregate here (propagated to `sup` below). The
     // batch monitor owns the deadline/watchdog at item granularity —
-    // one watchdog thread per batch, not per item.
+    // one hub registration per batch, not per item.
     let mut item_sup = Supervision::none();
     if let Some(tok) = &sup.cancel {
         item_sup = item_sup.with_cancel(tok.clone());
     }
+    if let Some(rt) = &sup.runtime {
+        item_sup = item_sup.with_runtime(rt.clone());
+    }
     item_sup.set_force_reference(sup.force_reference);
     item_sup.set_force_transient(sup.force_transient);
+    item_sup.set_force_inline(sup.force_inline);
     let item_sup = item_sup;
 
+    let exec = Exec::new(sup, false);
     let monitor = RunMonitor::new(sup, threads);
-    let watchdog = monitor.spawn_watchdog();
+    let watchdog = exec.runtime().watch(&monitor);
     monitor.begin_phase();
+
+    /// Shared view of the disjoint per-item output slices: item `i`
+    /// occupies `base[i*len .. (i+1)*len]` and is claimed by exactly one
+    /// runner via the cursor.
+    struct ItemSlices {
+        base: *mut f32,
+        len: usize,
+    }
+    // SAFETY: cursor-claimed indices give exclusive per-item access.
+    unsafe impl Sync for ItemSlices {}
+    let slices = ItemSlices { base: c.as_mut_ptr(), len: item };
+    // Capture the wrapper by reference: edition-2021 closures would
+    // otherwise capture the raw-pointer field directly, sidestepping the
+    // `Sync` impl.
+    let slices = &slices;
 
     // First failure across the batch (item errors and contained panics
     // share the slot; worker index breaks ties by arrival).
     let first_err: parking_lot::Mutex<Option<GemmError>> = parking_lot::Mutex::new(None);
-    let poisoned = std::sync::atomic::AtomicBool::new(false);
-    let scope_ok = crossbeam::scope(|scope| {
-        for (t, work) in per_thread.into_iter().enumerate() {
-            let (shared_b, first_err, poisoned) = (&shared_b, &first_err, &poisoned);
-            let (item_sup, monitor) = (&item_sup, &monitor);
-            scope.spawn(move |_| {
-                let run = catch_unwind(AssertUnwindSafe(|| {
-                    let pool = PanelPool::new();
-                    for (i, c_item) in work {
-                        if poisoned.load(std::sync::atomic::Ordering::Relaxed)
-                            || monitor.should_stop()
-                        {
-                            break;
-                        }
-                        let r = match shared_b.get(&slice_key(batch.b[i])) {
-                            Some(packed) => crate::offline::try_gemm_prepacked_supervised(
-                                plan, batch.a[i], packed, c_item, 1, &pool, item_sup,
-                            ),
-                            None => native::try_gemm_with_plan_supervised(
-                                plan, batch.a[i], batch.b[i], c_item, 1, &pool, item_sup,
-                            ),
-                        };
-                        match r {
-                            Ok(()) => {
-                                monitor.beat(t);
-                                monitor.note_done();
-                            }
-                            // A cancelled item is the batch being
-                            // cancelled, not an item fault: stop and let
-                            // the batch monitor report the progress.
-                            Err(GemmError::Cancelled { .. }) => break,
-                            Err(e) => {
-                                let mut slot = first_err.lock();
-                                if slot.is_none() {
-                                    *slot =
-                                        Some(GemmError::InBatch { index: i, source: Box::new(e) });
-                                }
-                                poisoned.store(true, std::sync::atomic::Ordering::SeqCst);
-                                break;
-                            }
-                        }
-                    }
-                }));
-                if let Err(payload) = run {
-                    let mut slot = first_err.lock();
-                    if slot.is_none() {
-                        *slot = Some(GemmError::WorkerPanicked {
-                            thread: t,
-                            detail: error::panic_detail(payload.as_ref()),
-                        });
-                    }
-                    poisoned.store(true, std::sync::atomic::Ordering::SeqCst);
+    let poisoned = AtomicBool::new(false);
+    let cursor = AtomicUsize::new(0);
+    let body = |t: usize| {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            // One panel pool per engaged runner: A-panel buffers are
+            // recycled across every item this runner claims.
+            let pool = PanelPool::new();
+            loop {
+                if poisoned.load(Ordering::Relaxed) || monitor.should_stop() {
+                    break;
                 }
-            });
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= batch.len() {
+                    break;
+                }
+                // SAFETY: items are disjoint `m·n` windows of `c`; the
+                // cursor hands index `i` to exactly one runner and the
+                // borrow ends before the section joins.
+                let c_item = unsafe {
+                    std::slice::from_raw_parts_mut(slices.base.add(i * slices.len), slices.len)
+                };
+                let r = match shared_b.get(&slice_key(batch.b[i])) {
+                    Some(packed) => crate::offline::try_gemm_prepacked_supervised(
+                        plan, batch.a[i], packed, c_item, 1, &pool, &item_sup,
+                    ),
+                    None => native::try_gemm_with_plan_supervised(
+                        plan, batch.a[i], batch.b[i], c_item, 1, &pool, &item_sup,
+                    ),
+                };
+                match r {
+                    Ok(()) => {
+                        monitor.beat(t);
+                        monitor.note_done();
+                    }
+                    // A cancelled item is the batch being cancelled, not
+                    // an item fault: stop and let the batch monitor
+                    // report the progress.
+                    Err(GemmError::Cancelled { .. }) => break,
+                    Err(e) => {
+                        let mut slot = first_err.lock();
+                        if slot.is_none() {
+                            *slot = Some(GemmError::InBatch { index: i, source: Box::new(e) });
+                        }
+                        poisoned.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                }
+            }
+        }));
+        if let Err(payload) = run {
+            let mut slot = first_err.lock();
+            if slot.is_none() {
+                *slot = Some(GemmError::WorkerPanicked {
+                    thread: t,
+                    detail: error::panic_detail(payload.as_ref()),
+                });
+            }
+            poisoned.store(true, Ordering::SeqCst);
         }
-    });
-    monitor.finish(watchdog);
+    };
+    exec.run_section(threads, &body);
+    monitor.finish();
+    drop(watchdog);
     for path in BreakerPath::ALL {
         if item_sup.observed_fault(path) {
             sup.observe_fault(path);
         }
-    }
-    if scope_ok.is_err() {
-        return Err(GemmError::WorkerPanicked {
-            thread: 0,
-            detail: "batch worker scope failed".to_string(),
-        });
     }
     match first_err.into_inner() {
         Some(e) => Err(e),

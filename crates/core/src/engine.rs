@@ -5,6 +5,7 @@ use crate::error::{self, GemmError};
 use crate::native;
 use crate::plan::{ExecutionPlan, OperandRouting};
 use crate::plancache::{PlanCache, PlanCacheStats, PlanKey};
+use crate::runtime::{PoolStats, Runtime};
 use crate::simexec::{self, BlockCost};
 use crate::supervisor::{
     is_retryable, Breaker, BreakerConfig, BreakerPath, GemmOptions, ResilientMode, ResilientReport,
@@ -55,6 +56,11 @@ pub struct AutoGemm {
     /// Backend-quarantine circuit breaker shared by every native call
     /// through this engine (see [`crate::supervisor`]).
     breaker: Breaker,
+    /// The persistent worker-pool runtime every threaded call through
+    /// this engine submits to (the process-wide pool by default; see
+    /// [`crate::runtime`]). Requested thread counts are clamped to its
+    /// capacity.
+    runtime: Arc<Runtime>,
 }
 
 impl AutoGemm {
@@ -68,7 +74,41 @@ impl AutoGemm {
             block_sims: Mutex::new(HashMap::new()),
             panel_pool: crate::packing::PanelPool::new(),
             breaker: Breaker::default(),
+            runtime: Runtime::global(),
         }
+    }
+
+    /// Submit this engine's threaded sections to `rt` instead of the
+    /// process-wide pool — isolation for services that want per-tenant
+    /// worker budgets, or tests that need a private pool to observe.
+    pub fn with_runtime(mut self, rt: Arc<Runtime>) -> Self {
+        self.runtime = rt;
+        self
+    }
+
+    /// The worker-pool runtime this engine submits to.
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.runtime
+    }
+
+    /// Lifetime counters of the engine's worker-pool runtime
+    /// (submissions, wake latency, busy/park time, clamp events); also
+    /// stamped on every traced report's schema-v4 `pool` section.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.runtime.stats()
+    }
+
+    /// Clamp a requested worker count to what the runtime can actually
+    /// engage (pool workers + the calling thread), recording the
+    /// fallback in the pool counters when it bites.
+    fn clamp_threads(&self, requested: usize) -> usize {
+        let threads = requested.max(1);
+        let cap = self.runtime.capacity();
+        if threads > cap {
+            self.runtime.note_clamped();
+            return cap;
+        }
+        threads
     }
 
     /// Replace the circuit breaker's count thresholds (chaos tests and
@@ -178,8 +218,10 @@ impl AutoGemm {
         })
     }
 
-    /// Cumulative hit/miss counters of the engine's shape-keyed plan
-    /// cache (also stamped on every traced report's `dispatch` section).
+    /// Cumulative hit/miss/eviction counters of the engine's shape-keyed
+    /// plan cache (hits and misses are also stamped on every traced
+    /// report's `dispatch` section). The cache is bounded at
+    /// [`crate::PLAN_CACHE_CAPACITY`] entries with LRU eviction.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.plans.stats()
     }
@@ -399,10 +441,11 @@ impl AutoGemm {
         // worker count.
         let adm = self.breaker.admit();
         let reroute = adm.reroute;
-        let mut sup = Supervision::from_options(opts);
+        let mut sup = Supervision::from_options(opts).with_runtime(self.runtime.clone());
         sup.set_force_reference(force_reference || reroute[BreakerPath::SimdDispatch.index()]);
         sup.set_force_transient(force_transient || reroute[BreakerPath::PoolAlloc.index()]);
-        let mut threads = opts.threads.max(1);
+        sup.set_force_inline(reroute[BreakerPath::PoolSubmit.index()]);
+        let mut threads = self.clamp_threads(opts.threads);
         if force_single_thread || reroute[BreakerPath::ThreadedDriver.index()] {
             threads = 1;
         }
@@ -429,7 +472,7 @@ impl AutoGemm {
     fn breaker_record<T>(
         &self,
         sup: &Supervision,
-        mut reroute: [bool; 3],
+        mut reroute: [bool; 4],
         threads: usize,
         result: &Result<T, GemmError>,
     ) -> Vec<String> {
@@ -439,8 +482,14 @@ impl AutoGemm {
         if sup.force_transient {
             reroute[BreakerPath::PoolAlloc.index()] = true;
         }
+        if sup.force_inline {
+            reroute[BreakerPath::PoolSubmit.index()] = true;
+        }
         if threads <= 1 {
+            // A single-threaded call exercises neither the threaded
+            // driver nor the pool-submit path.
             reroute[BreakerPath::ThreadedDriver.index()] = true;
+            reroute[BreakerPath::PoolSubmit.index()] = true;
         }
         let neutral = matches!(result, Err(GemmError::Cancelled { .. }));
         self.breaker.record(&sup.observed, reroute, neutral)
@@ -520,10 +569,11 @@ impl AutoGemm {
         let adm = self.breaker.admit();
         let reroute = adm.reroute;
         let mut events = adm.events;
-        let mut sup = Supervision::from_options(opts);
+        let mut sup = Supervision::from_options(opts).with_runtime(self.runtime.clone());
         sup.set_force_reference(reroute[BreakerPath::SimdDispatch.index()]);
         sup.set_force_transient(reroute[BreakerPath::PoolAlloc.index()]);
-        let mut threads = opts.threads.max(1);
+        sup.set_force_inline(reroute[BreakerPath::PoolSubmit.index()]);
+        let mut threads = self.clamp_threads(opts.threads);
         if reroute[BreakerPath::ThreadedDriver.index()] {
             threads = 1;
         }
@@ -534,6 +584,7 @@ impl AutoGemm {
             let stats = self.plans.stats();
             return result.map(|mut report| {
                 report.health = self.breaker.health_report(events);
+                report.pool = self.runtime.stats();
                 report.dispatch = DispatchStats {
                     route: route.name().to_string(),
                     packed_a: false,
@@ -560,6 +611,7 @@ impl AutoGemm {
         let stats = self.plans.stats();
         result.map(|mut report| {
             report.health = self.breaker.health_report(events);
+            report.pool = self.runtime.stats();
             report.dispatch = DispatchStats {
                 route: "block".to_string(),
                 packed_a: plan.routing.pack_a,
@@ -631,10 +683,11 @@ impl AutoGemm {
         }
         let adm = self.breaker.admit();
         let reroute = adm.reroute;
-        let mut sup = Supervision::from_options(opts);
+        let mut sup = Supervision::from_options(opts).with_runtime(self.runtime.clone());
         sup.set_force_reference(reroute[BreakerPath::SimdDispatch.index()]);
         sup.set_force_transient(reroute[BreakerPath::PoolAlloc.index()]);
-        let mut threads = opts.threads.max(1);
+        sup.set_force_inline(reroute[BreakerPath::PoolSubmit.index()]);
+        let mut threads = self.clamp_threads(opts.threads);
         if reroute[BreakerPath::ThreadedDriver.index()] {
             threads = 1;
         }

@@ -25,6 +25,11 @@
 //!   cap and broken early by supervision), exercising the stuck-worker
 //!   watchdog; `Panic` kills the worker mid-drain. `Degrade`/`Fail` are
 //!   ignored at this site (a heartbeat has no degraded twin).
+//! * [`FaultSite::PoolSubmit`] — handing a threaded section to the
+//!   persistent worker pool. `Degrade` forces the caller to drain the
+//!   section inline on its own thread (the single-thread twin of the
+//!   submission), `Fail` simulates submission failure, `Panic` panics at
+//!   the submit probe and is contained like any setup panic.
 //!
 //! Triggers are counted per site with atomic counters, so a plan like
 //! `Nth(3)` at `WorkerStartup` deterministically kills the third worker
@@ -46,10 +51,10 @@
 //! chaos suite keeps one to scope its panic-hook silencer).
 //!
 //! Note `FaultPlan::seeded` deliberately draws only from the three
-//! original sites — never `WorkerHeartbeat` — so seeded chaos sweeps
-//! keep their historical determinism and can never wedge a run on a
-//! `Stall`; stalls are exercised by dedicated watchdog tests and the
-//! soak driver.
+//! original sites — never `WorkerHeartbeat` or `PoolSubmit` — so seeded
+//! chaos sweeps keep their historical determinism and can never wedge a
+//! run on a `Stall`; stalls and pool-submission faults are exercised by
+//! dedicated watchdog/pool tests and the soak driver.
 
 /// A place in the native backend where a fault can be injected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +68,9 @@ pub enum FaultSite {
     /// A worker's block-boundary heartbeat (see the module docs; the
     /// `Stall` action is only meaningful here).
     WorkerHeartbeat,
+    /// Handing a threaded section to the persistent worker pool.
+    /// `Degrade` reroutes the caller to an inline drain.
+    PoolSubmit,
 }
 
 impl FaultSite {
@@ -73,15 +81,17 @@ impl FaultSite {
             FaultSite::KernelDispatch => 1,
             FaultSite::WorkerStartup => 2,
             FaultSite::WorkerHeartbeat => 3,
+            FaultSite::PoolSubmit => 4,
         }
     }
 
     /// All sites, in counter order.
-    pub const ALL: [FaultSite; 4] = [
+    pub const ALL: [FaultSite; 5] = [
         FaultSite::PackAlloc,
         FaultSite::KernelDispatch,
         FaultSite::WorkerStartup,
         FaultSite::WorkerHeartbeat,
+        FaultSite::PoolSubmit,
     ];
 }
 
@@ -146,9 +156,9 @@ impl FaultPlan {
     /// Derive a 1–3 injection plan deterministically from `seed`
     /// (xorshift64), restricted to site/action combinations that are
     /// meaningful. Seeded plans draw only from the three original sites
-    /// (never `WorkerHeartbeat`/`Stall`) so historical seeds stay
-    /// deterministic and a seeded sweep can never wedge — see the
-    /// module docs.
+    /// (never `WorkerHeartbeat`/`Stall`, never `PoolSubmit`) so
+    /// historical seeds stay deterministic and a seeded sweep can never
+    /// wedge — see the module docs.
     pub fn seeded(seed: u64) -> Self {
         let mut state = seed | 1; // xorshift must not start at 0
         let mut next = move || {
@@ -160,7 +170,8 @@ impl FaultPlan {
         let count = 1 + (next() % 3) as usize;
         let mut specs = Vec::with_capacity(count);
         for _ in 0..count {
-            // `% 3`, not `% ALL.len()`: WorkerHeartbeat is excluded by design.
+            // `% 3`, not `% ALL.len()`: WorkerHeartbeat and PoolSubmit
+            // are excluded by design.
             let site = FaultSite::ALL[(next() % 3) as usize];
             let action = match site {
                 FaultSite::PackAlloc => match next() % 3 {
@@ -177,7 +188,7 @@ impl FaultPlan {
                 }
                 FaultSite::WorkerStartup => FaultAction::Panic,
                 // Unreachable: seeded sites are drawn `% 3` above.
-                FaultSite::WorkerHeartbeat => FaultAction::Panic,
+                FaultSite::WorkerHeartbeat | FaultSite::PoolSubmit => FaultAction::Panic,
             };
             let trigger = if next() % 2 == 0 {
                 Trigger::Nth(1 + next() % 3)
@@ -213,7 +224,7 @@ mod armed {
 
     pub(super) struct ArmedState {
         plan: FaultPlan,
-        calls: [AtomicU64; 4],
+        calls: [AtomicU64; 5],
         fired: AtomicU64,
     }
 
@@ -369,13 +380,15 @@ mod tests {
         assert_eq!(probe(FaultSite::KernelDispatch), Probe::Ok);
         assert_eq!(probe(FaultSite::WorkerStartup), Probe::Ok);
         assert_eq!(probe(FaultSite::WorkerHeartbeat), Probe::Ok);
+        assert_eq!(probe(FaultSite::PoolSubmit), Probe::Ok);
     }
 
     #[test]
-    fn seeded_plans_never_use_the_heartbeat_site() {
+    fn seeded_plans_never_use_the_heartbeat_or_pool_submit_sites() {
         for seed in 0..256u64 {
             for spec in &FaultPlan::seeded(seed).specs {
                 assert_ne!(spec.site, FaultSite::WorkerHeartbeat, "seed {seed}");
+                assert_ne!(spec.site, FaultSite::PoolSubmit, "seed {seed}");
             }
         }
     }

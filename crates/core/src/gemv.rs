@@ -40,6 +40,7 @@ use crate::error::GemmError;
 use crate::faultinject::{self, FaultSite};
 use crate::kernels::micro_kernel_simd;
 use crate::native::{contain, heartbeat, micro_kernel_ref, CTile, Poison, RunConfig};
+use crate::runtime::Exec;
 use crate::supervisor::{BreakerPath, RunMonitor, Supervision};
 use crate::telemetry::clock::Stamp;
 use crate::telemetry::report::{GemmReport, PhaseProfile, PhaseTimes, ThreadProfile};
@@ -371,6 +372,7 @@ fn try_run_units(
     c_root: CTile,
     threads: usize,
     sess: Option<&Arc<Session>>,
+    exec: &Exec,
     monitor: &RunMonitor,
 ) -> Result<(Vec<ThreadProfile>, PhaseTimes, PhaseTimes), GemmError> {
     let units = unit_count(route, m, n);
@@ -399,46 +401,36 @@ fn try_run_units(
         let cursor = AtomicUsize::new(0);
         let poison = Poison::new();
         let collected: Mutex<Vec<(ThreadProfile, Stamp)>> = Mutex::new(Vec::with_capacity(threads));
-        let scope_ok = crossbeam::scope(|scope| {
-            for t in 0..threads {
-                let (cursor, collected, poison) = (&cursor, &collected, &poison);
-                scope.spawn(move |_| {
-                    let mut prof = ThreadProfile { thread: t, ..ThreadProfile::default() };
-                    let run = catch_unwind(AssertUnwindSafe(|| {
-                        with_optional_session(sess, || {
-                            faultinject::probe(FaultSite::WorkerStartup);
-                            loop {
-                                if poison.is_poisoned() || monitor.should_stop() {
-                                    break;
-                                }
-                                let u = cursor.fetch_add(1, Ordering::Relaxed);
-                                if u >= units {
-                                    break;
-                                }
-                                if !heartbeat(monitor, t) {
-                                    break;
-                                }
-                                let u0 = Stamp::now();
-                                run_unit(route, u, reference, m, n, k, a, b, c_root);
-                                prof.busy += u0.elapsed();
-                                prof.blocks += 1;
-                                monitor.note_done();
-                            }
-                        })
-                    }));
-                    if let Err(payload) = run {
-                        poison.record(t, payload);
+        let body = |t: usize| {
+            let mut prof = ThreadProfile { thread: t, ..ThreadProfile::default() };
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                with_optional_session(sess, || {
+                    faultinject::probe(FaultSite::WorkerStartup);
+                    loop {
+                        if poison.is_poisoned() || monitor.should_stop() {
+                            break;
+                        }
+                        let u = cursor.fetch_add(1, Ordering::Relaxed);
+                        if u >= units {
+                            break;
+                        }
+                        if !heartbeat(monitor, t) {
+                            break;
+                        }
+                        let u0 = Stamp::now();
+                        run_unit(route, u, reference, m, n, k, a, b, c_root);
+                        prof.busy += u0.elapsed();
+                        prof.blocks += 1;
+                        monitor.note_done();
                     }
-                    collected.lock().push((prof, Stamp::now()));
-                });
+                })
+            }));
+            if let Err(payload) = run {
+                poison.record(t, payload);
             }
-        });
-        if scope_ok.is_err() {
-            return Err(GemmError::WorkerPanicked {
-                thread: 0,
-                detail: "worker scope failed".to_string(),
-            });
-        }
+            collected.lock().push((prof, Stamp::now()));
+        };
+        exec.run_section(threads, &body);
         poison.into_result()?;
         finished = collected.into_inner();
         finished.sort_by_key(|(p, _)| p.thread);
@@ -473,16 +465,18 @@ pub(crate) fn try_fast_supervised(
     threads: usize,
     sup: &Supervision,
 ) -> Result<(), GemmError> {
-    let cfg = RunConfig::probe(sup)?;
+    let cfg = RunConfig::probe(sup, threads)?;
+    let exec = Exec::new(sup, cfg.pool_inline);
     // SAFETY: units partition C's cells; each is claimed by one worker.
     let c_root = unsafe { CTile::new(c.as_mut_ptr(), n, c.len()) };
     let monitor = RunMonitor::new(sup, threads.max(1));
-    let watchdog = monitor.spawn_watchdog();
+    let watchdog = exec.runtime().watch(&monitor);
     monitor.begin_phase();
     let result =
-        try_run_units(route, cfg.reference, m, n, k, a, b, c_root, threads, None, &monitor)
+        try_run_units(route, cfg.reference, m, n, k, a, b, c_root, threads, None, &exec, &monitor)
             .map(|_| ());
-    monitor.finish(watchdog);
+    monitor.finish();
+    drop(watchdog);
     if matches!(result, Err(GemmError::WorkerPanicked { .. }) | Err(GemmError::Stalled { .. })) {
         sup.observe_fault(BreakerPath::ThreadedDriver);
     }
@@ -506,17 +500,31 @@ pub(crate) fn try_fast_traced_supervised(
     threads: usize,
     sup: &Supervision,
 ) -> Result<GemmReport, GemmError> {
-    let cfg = RunConfig::probe(sup)?;
+    let cfg = RunConfig::probe(sup, threads)?;
+    let exec = Exec::new(sup, cfg.pool_inline);
     let sess = Arc::new(Session::new());
     let t0 = Stamp::now();
     // SAFETY: units partition C's cells; each is claimed by one worker.
     let c_root = unsafe { CTile::new(c.as_mut_ptr(), n, c.len()) };
     let monitor = RunMonitor::new(sup, threads.max(1));
-    let watchdog = monitor.spawn_watchdog();
+    let watchdog = exec.runtime().watch(&monitor);
     monitor.begin_phase();
-    let result =
-        try_run_units(route, cfg.reference, m, n, k, a, b, c_root, threads, Some(&sess), &monitor);
-    monitor.finish(watchdog);
+    let result = try_run_units(
+        route,
+        cfg.reference,
+        m,
+        n,
+        k,
+        a,
+        b,
+        c_root,
+        threads,
+        Some(&sess),
+        &exec,
+        &monitor,
+    );
+    monitor.finish();
+    drop(watchdog);
     if matches!(result, Err(GemmError::WorkerPanicked { .. }) | Err(GemmError::Stalled { .. })) {
         sup.observe_fault(BreakerPath::ThreadedDriver);
     }

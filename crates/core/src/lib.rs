@@ -49,9 +49,15 @@
 //!   once per GEMM — or streamed unpacked straight from the caller's
 //!   row-major matrix when the engine's elision heuristic decides a
 //!   panel cannot amortize its pack copy — blocks drained from an
-//!   atomic work queue by
-//!   crossbeam scoped threads (the K dimension is never parallelized,
-//!   matching the TVM limitation the paper reports in §V-C);
+//!   atomic work queue by the persistent worker-pool runtime (the K
+//!   dimension is never parallelized, matching the TVM limitation the
+//!   paper reports in §V-C);
+//! * [`runtime`] — the persistent execution runtime: a process-wide (or
+//!   per-engine) pool of long-lived workers parked between submissions —
+//!   no per-call thread spawn on the threaded hot path — plus the shared
+//!   watchdog-hub monitor thread serving per-run heartbeat
+//!   registrations; pool counters surface in the schema-v4 `pool`
+//!   report section and [`AutoGemm::pool_stats`];
 //! * [`simexec`] — the simulated backend: executes the generated virtual-ISA
 //!   kernels block-by-block on the pipeline model, memoizing per-block
 //!   cycle counts, and composes multi-core makespans;
@@ -108,6 +114,7 @@ pub mod offline;
 pub mod packing;
 pub mod plan;
 pub(crate) mod plancache;
+pub mod runtime;
 pub mod simd;
 pub mod simexec;
 pub mod supervisor;
@@ -123,7 +130,8 @@ pub use offline::{
 };
 pub use packing::PanelPool;
 pub use plan::{ExecutionPlan, OperandRouting};
-pub use plancache::PlanCacheStats;
+pub use plancache::{PlanCacheStats, PLAN_CACHE_CAPACITY};
+pub use runtime::{host_parallelism, PoolStats, Runtime};
 pub use supervisor::{
     BreakerConfig, BreakerPath, BreakerState, CancelToken, GemmOptions, ResilientMode,
     ResilientReport, Supervision, WatchdogConfig,

@@ -13,7 +13,9 @@
 //! backend uses.
 //!
 //! Threading follows the paper's §V-C constraint: cache blocks of `C` are
-//! distributed over crossbeam scoped threads; the K dimension is **never**
+//! distributed over the persistent worker-pool runtime
+//! ([`crate::runtime`] — long-lived workers woken per section, no
+//! per-call thread spawn); the K dimension is **never**
 //! split across threads (the TVM limitation autoGEMM inherits), so each
 //! `C` block is owned by exactly one thread and no reduction races exist.
 //! Because a strided `C` window overlaps other blocks' bytes, writes go
@@ -43,6 +45,7 @@ use crate::kernels::Operand;
 use crate::offline::PackedB;
 use crate::packing::{pack_a, pack_a_into, pack_b, pack_b_into, PackedBlock, PanelPool};
 use crate::plan::ExecutionPlan;
+use crate::runtime::Exec;
 use crate::supervisor::{BreakerPath, RunMonitor, Supervision};
 use crate::telemetry::clock::Stamp;
 use crate::telemetry::report::{
@@ -133,19 +136,26 @@ pub(crate) struct RunConfig {
     /// Circuit-breaker reroute: skip the caller's pool entirely and pack
     /// into transient buffers.
     force_transient: bool,
+    /// Degraded pool submission (fault injection or an open
+    /// `pool_submit` breaker): the caller drains every threaded section
+    /// inline instead of submitting it to the worker pool. Correct —
+    /// section bodies are slot-agnostic cursor drains — just slower.
+    pub(crate) pool_inline: bool,
     /// Degradations taken, for the traced driver's report.
     pub(crate) fallbacks: FallbackStats,
 }
 
 impl RunConfig {
-    /// Probe the dispatch path, honouring any breaker reroutes carried
-    /// by `sup` (a quarantined path is bypassed, not probed — the whole
-    /// point of the quarantine is not to touch it). Faults observed here
-    /// are reported into `sup` for the engine's breaker accounting.
-    pub(crate) fn probe(sup: &Supervision) -> Result<RunConfig, GemmError> {
+    /// Probe the dispatch path and (for `threads > 1`) the pool-submit
+    /// path, honouring any breaker reroutes carried by `sup` (a
+    /// quarantined path is bypassed, not probed — the whole point of the
+    /// quarantine is not to touch it). Faults observed here are reported
+    /// into `sup` for the engine's breaker accounting.
+    pub(crate) fn probe(sup: &Supervision, threads: usize) -> Result<RunConfig, GemmError> {
         let mut cfg = RunConfig {
             reference: false,
             force_transient: sup.force_transient,
+            pool_inline: false,
             fallbacks: FallbackStats::default(),
         };
         if sup.force_reference {
@@ -172,6 +182,31 @@ impl RunConfig {
         }
         if sup.force_transient {
             cfg.fallbacks.breaker_reroutes += 1;
+        }
+        // The pool-submit gate only exists on calls that would actually
+        // submit: single-threaded runs drain inline by construction.
+        if threads > 1 {
+            if sup.force_inline {
+                cfg.pool_inline = true;
+                cfg.fallbacks.breaker_reroutes += 1;
+            } else {
+                match probe_contained(FaultSite::PoolSubmit) {
+                    Ok(Probe::Ok) | Ok(Probe::Stall(_)) => {}
+                    Ok(Probe::Degrade) => {
+                        sup.observe_fault(BreakerPath::PoolSubmit);
+                        cfg.pool_inline = true;
+                        cfg.fallbacks.inline_drains += 1;
+                    }
+                    Ok(Probe::Fail) => {
+                        sup.observe_fault(BreakerPath::PoolSubmit);
+                        return Err(GemmError::AllocFailed { phase: "pool submit" });
+                    }
+                    Err(e) => {
+                        sup.observe_fault(BreakerPath::PoolSubmit);
+                        return Err(e);
+                    }
+                }
+            }
         }
         Ok(cfg)
     }
@@ -248,6 +283,10 @@ pub struct CTile {
 }
 
 unsafe impl Send for CTile {}
+// SAFETY: a shared `&CTile` (captured by a pool-section body) only hands
+// out cells under the type-level disjointness contract above — the same
+// argument that justifies `Send`; the handle itself is immutable.
+unsafe impl Sync for CTile {}
 
 impl CTile {
     /// # Safety
@@ -917,14 +956,15 @@ pub fn try_gemm_with_plan_supervised(
     }
     let (tm, tn, tk) = plan.grid();
     let routing = plan.routing;
-    let mut cfg = RunConfig::probe(sup)?;
+    let mut cfg = RunConfig::probe(sup, threads)?;
+    let exec = Exec::new(sup, cfg.pool_inline);
     let transient = PanelPool::new();
 
     let monitor = RunMonitor::new(sup, threads.max(1));
-    let watchdog = monitor.spawn_watchdog();
+    let watchdog = exec.runtime().watch(&monitor);
     // All phases run inside this closure so every early return still
-    // flows through `monitor.finish` (the watchdog thread is always
-    // joined before the caller sees the result).
+    // flows through `monitor.finish()` before the watch registration is
+    // dropped (the hub never samples a finished run).
     //
     // When a pack phase is elided by the plan's operand routing, the
     // phase still runs its pool probe (so fault-injection and degrade
@@ -935,7 +975,7 @@ pub fn try_gemm_with_plan_supervised(
         monitor.begin_phase();
         let a_pool = cfg.pack_pool(pool, &transient, "pack A", sup)?;
         let a_panels = if routing.pack_a {
-            Some(try_pack_a_panels_supervised(plan, a, threads, a_pool, &monitor)?)
+            Some(try_pack_a_panels_supervised(plan, a, threads, a_pool, &exec, &monitor)?)
         } else {
             // Poll before resolving: `outcome` reports a cancellation
             // only once `should_stop` has latched it (the packed path
@@ -959,11 +999,17 @@ pub fn try_gemm_with_plan_supervised(
         monitor.begin_phase();
         let b_panels = if routing.pack_b {
             let mut panels = b_pool.acquire_blocks(tk * tn);
-            let packed =
-                try_pack_panels_parallel(&mut panels, threads, &monitor, "pack B", |idx, p| {
+            let packed = try_pack_panels_parallel(
+                &mut panels,
+                threads,
+                &exec,
+                &monitor,
+                "pack B",
+                |idx, p| {
                     let (kb, bj) = (idx / tn, idx % tn);
                     pack_b_into(p, b, n, kb * s.kc, bj * s.nc, s.kc, s.nc, plan.sigma_lane);
-                });
+                },
+            );
             if let Err(e) = packed {
                 release_a(a_panels);
                 b_pool.release_blocks(panels);
@@ -989,7 +1035,8 @@ pub fn try_gemm_with_plan_supervised(
             None => BSource::Unpacked(b),
         };
         monitor.begin_phase();
-        let run = try_run_blocks_cached(plan, &a_src, &b_src, c, threads, cfg.reference, &monitor);
+        let run =
+            try_run_blocks_cached(plan, &a_src, &b_src, c, threads, cfg.reference, &exec, &monitor);
 
         // Buffers go back even when the run was poisoned or cancelled: a
         // contained panic never corrupts a panel buffer (they hold plain
@@ -1000,7 +1047,8 @@ pub fn try_gemm_with_plan_supervised(
         }
         run
     })();
-    monitor.finish(watchdog);
+    monitor.finish();
+    drop(watchdog);
     if matches!(result, Err(GemmError::WorkerPanicked { .. }) | Err(GemmError::Stalled { .. })) {
         sup.observe_fault(BreakerPath::ThreadedDriver);
     }
@@ -1082,27 +1130,34 @@ pub fn try_gemm_with_plan_traced_supervised(
     }
     let (tm, tn, tk) = plan.grid();
     let routing = plan.routing;
-    let mut cfg = RunConfig::probe(sup)?;
+    let mut cfg = RunConfig::probe(sup, threads)?;
+    let exec = Exec::new(sup, cfg.pool_inline);
     let transient = PanelPool::new();
 
     let sess = Arc::new(Session::new());
     let t0 = Stamp::now();
 
     let monitor = RunMonitor::new(sup, threads.max(1));
-    let watchdog = monitor.spawn_watchdog();
+    let watchdog = exec.runtime().watch(&monitor);
     let result = (|| {
         let pa0 = Stamp::now();
         let a_pool = cfg.pack_pool(pool, &transient, "pack A", sup)?;
         monitor.begin_phase();
         let a_panels = if routing.pack_a {
             let mut panels = a_pool.acquire_blocks(tm * tk);
-            let packed =
-                try_pack_panels_parallel(&mut panels, threads, &monitor, "pack A", |idx, p| {
+            let packed = try_pack_panels_parallel(
+                &mut panels,
+                threads,
+                &exec,
+                &monitor,
+                "pack A",
+                |idx, p| {
                     session::with_session(&sess, || {
                         let (bi, kb) = (idx / tk, idx % tk);
                         pack_a_into(p, a, s.k, bi * s.mc, kb * s.kc, s.mc, s.kc, plan.sigma_lane);
                     })
-                });
+                },
+            );
             if let Err(e) = packed {
                 a_pool.release_blocks(panels);
                 return Err(e);
@@ -1131,13 +1186,19 @@ pub fn try_gemm_with_plan_traced_supervised(
         monitor.begin_phase();
         let b_panels = if routing.pack_b {
             let mut panels = b_pool.acquire_blocks(tk * tn);
-            let packed =
-                try_pack_panels_parallel(&mut panels, threads, &monitor, "pack B", |idx, p| {
+            let packed = try_pack_panels_parallel(
+                &mut panels,
+                threads,
+                &exec,
+                &monitor,
+                "pack B",
+                |idx, p| {
                     session::with_session(&sess, || {
                         let (kb, bj) = (idx / tn, idx % tn);
                         pack_b_into(p, b, n, kb * s.kc, bj * s.nc, s.kc, s.nc, plan.sigma_lane);
                     })
-                });
+                },
+            );
             if let Err(e) = packed {
                 release_a(a_panels);
                 b_pool.release_blocks(panels);
@@ -1164,8 +1225,17 @@ pub fn try_gemm_with_plan_traced_supervised(
             None => BSource::Unpacked(b),
         };
         monitor.begin_phase();
-        let run =
-            try_run_blocks_traced(plan, &a_src, &b_src, c, threads, &sess, cfg.reference, &monitor);
+        let run = try_run_blocks_traced(
+            plan,
+            &a_src,
+            &b_src,
+            c,
+            threads,
+            &sess,
+            cfg.reference,
+            &exec,
+            &monitor,
+        );
 
         release_a(a_panels);
         if let Some(BPanels::Owned { panels, .. }) = owned_b {
@@ -1174,7 +1244,8 @@ pub fn try_gemm_with_plan_traced_supervised(
         let (thread_profiles, kernel, drain) = run?;
         Ok((thread_profiles, kernel, drain, pack_a_t, pack_b_t))
     })();
-    monitor.finish(watchdog);
+    monitor.finish();
+    drop(watchdog);
     if matches!(result, Err(GemmError::WorkerPanicked { .. }) | Err(GemmError::Stalled { .. })) {
         sup.observe_fault(BreakerPath::ThreadedDriver);
     }
@@ -1220,6 +1291,7 @@ fn try_run_blocks_traced(
     threads: usize,
     sess: &Arc<Session>,
     reference: bool,
+    exec: &Exec,
     monitor: &RunMonitor,
 ) -> Result<(Vec<ThreadProfile>, PhaseTimes, PhaseTimes), GemmError> {
     let s = &plan.schedule;
@@ -1254,47 +1326,38 @@ fn try_run_blocks_traced(
         let cursor = AtomicUsize::new(0);
         let poison = Poison::new();
         let collected: Mutex<Vec<(ThreadProfile, Stamp)>> = Mutex::new(Vec::with_capacity(threads));
-        let scope_ok = crossbeam::scope(|scope| {
-            for t in 0..threads {
-                let (blocks, cursor, collected, poison) = (&blocks, &cursor, &collected, &poison);
-                scope.spawn(move |_| {
-                    let mut prof = ThreadProfile { thread: t, ..ThreadProfile::default() };
-                    let run = catch_unwind(AssertUnwindSafe(|| {
-                        session::with_session(sess, || {
-                            faultinject::probe(FaultSite::WorkerStartup);
-                            loop {
-                                if poison.is_poisoned() || monitor.should_stop() {
-                                    break;
-                                }
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(&(bi, bj)) = blocks.get(i) else { break };
-                                if !heartbeat(monitor, t) {
-                                    break;
-                                }
-                                let b0 = Stamp::now();
-                                run_block_cached(plan, a_src, b_src, c_root, bi, bj, tk, reference);
-                                prof.busy += b0.elapsed();
-                                prof.blocks += 1;
-                                monitor.note_done();
-                            }
-                        })
-                    }));
-                    if let Err(payload) = run {
-                        poison.record(t, payload);
+        // Slot-agnostic body: a slot never reached by a pool worker (the
+        // pool was busy and slot 0 drained the cursor first) simply
+        // contributes no profile — `report.threads` counts engaged slots.
+        let body = |t: usize| {
+            let mut prof = ThreadProfile { thread: t, ..ThreadProfile::default() };
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                session::with_session(sess, || {
+                    faultinject::probe(FaultSite::WorkerStartup);
+                    loop {
+                        if poison.is_poisoned() || monitor.should_stop() {
+                            break;
+                        }
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(bi, bj)) = blocks.get(i) else { break };
+                        if !heartbeat(monitor, t) {
+                            break;
+                        }
+                        let b0 = Stamp::now();
+                        run_block_cached(plan, a_src, b_src, c_root, bi, bj, tk, reference);
+                        prof.busy += b0.elapsed();
+                        prof.blocks += 1;
+                        monitor.note_done();
                     }
-                    // One lock per worker lifetime — never on the block path.
-                    collected.lock().push((prof, Stamp::now()));
-                });
+                })
+            }));
+            if let Err(payload) = run {
+                poison.record(t, payload);
             }
-        });
-        if scope_ok.is_err() {
-            // Defensive: workers contain their own panics, so the scope
-            // itself should never report one.
-            return Err(GemmError::WorkerPanicked {
-                thread: 0,
-                detail: "worker scope failed".to_string(),
-            });
-        }
+            // One lock per slot lifetime — never on the block path.
+            collected.lock().push((prof, Stamp::now()));
+        };
+        exec.run_section(threads, &body);
         poison.into_result()?;
         finished = collected.into_inner();
         finished.sort_by_key(|(p, _)| p.thread);
@@ -1323,15 +1386,17 @@ pub(crate) fn try_pack_a_panels_supervised(
     a: &[f32],
     threads: usize,
     pool: &PanelPool,
+    exec: &Exec,
     monitor: &RunMonitor,
 ) -> Result<Vec<PackedBlock>, GemmError> {
     let s = &plan.schedule;
     let (tm, _, tk) = plan.grid();
     let mut panels = pool.acquire_blocks(tm * tk);
-    let packed = try_pack_panels_parallel(&mut panels, threads, monitor, "pack A", |idx, p| {
-        let (bi, kb) = (idx / tk, idx % tk);
-        pack_a_into(p, a, s.k, bi * s.mc, kb * s.kc, s.mc, s.kc, plan.sigma_lane);
-    });
+    let packed =
+        try_pack_panels_parallel(&mut panels, threads, exec, monitor, "pack A", |idx, p| {
+            let (bi, kb) = (idx / tk, idx % tk);
+            pack_a_into(p, a, s.k, bi * s.mc, kb * s.kc, s.mc, s.kc, plan.sigma_lane);
+        });
     match packed {
         Ok(()) => Ok(panels),
         Err(e) => {
@@ -1341,11 +1406,11 @@ pub(crate) fn try_pack_a_panels_supervised(
     }
 }
 
-/// Fill `panels[idx]` via `pack(idx, &mut panels[idx])`, splitting the
-/// slots statically over up to `threads` workers (panel costs are
-/// uniform, so a queue buys nothing here — the dynamic queue is for the
-/// kernel blocks, whose edge costs vary). Small jobs stay single-threaded
-/// to skip the spawn overhead.
+/// Fill `panels[idx]` via `pack(idx, &mut panels[idx])`, draining the
+/// slot indices from a shared atomic cursor over up to `threads` pool
+/// runners (slot-agnostic, like every pool-section body: whichever
+/// runners arrive complete the phase). Small jobs stay single-threaded
+/// to skip the submission overhead.
 ///
 /// A panicking pack worker poisons the phase: the other workers stop at
 /// their next slot boundary and the first panic comes back as
@@ -1356,6 +1421,7 @@ pub(crate) fn try_pack_a_panels_supervised(
 fn try_pack_panels_parallel<F>(
     panels: &mut [PackedBlock],
     threads: usize,
+    exec: &Exec,
     monitor: &RunMonitor,
     phase: &'static str,
     pack: F,
@@ -1378,34 +1444,42 @@ where
         })?;
         return monitor.outcome(phase, total);
     }
-    let chunk = total.div_ceil(threads);
-    let poison = Poison::new();
-    let scope_ok = crossbeam::scope(|scope| {
-        for (t, slice) in panels.chunks_mut(chunk).enumerate() {
-            let (pack, poison) = (&pack, &poison);
-            scope.spawn(move |_| {
-                let run = catch_unwind(AssertUnwindSafe(|| {
-                    for (off, p) in slice.iter_mut().enumerate() {
-                        if poison.is_poisoned() || monitor.should_stop() {
-                            break;
-                        }
-                        pack(t * chunk + off, p);
-                        monitor.beat(t);
-                        monitor.note_done();
-                    }
-                }));
-                if let Err(payload) = run {
-                    poison.record(t, payload);
-                }
-            });
-        }
-    });
-    if scope_ok.is_err() {
-        return Err(GemmError::WorkerPanicked {
-            thread: 0,
-            detail: "packing scope failed".to_string(),
-        });
+    /// Shared view of the panel slots for the cursor drain; an index is
+    /// only touched by the runner that claimed it.
+    struct PanelSlots {
+        ptr: *mut PackedBlock,
     }
+    // SAFETY: exclusive per-index access is enforced by the cursor.
+    unsafe impl Sync for PanelSlots {}
+    let slots = PanelSlots { ptr: panels.as_mut_ptr() };
+    // Capture the wrapper by reference: edition-2021 closures would
+    // otherwise capture the raw-pointer field directly, sidestepping the
+    // `Sync` impl.
+    let slots = &slots;
+    let cursor = AtomicUsize::new(0);
+    let poison = Poison::new();
+    let body = |t: usize| {
+        let run = catch_unwind(AssertUnwindSafe(|| loop {
+            if poison.is_poisoned() || monitor.should_stop() {
+                break;
+            }
+            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+            if idx >= total {
+                break;
+            }
+            // SAFETY: the cursor hands each index to exactly one runner,
+            // so this `&mut` is exclusive; the borrow ends before
+            // `run_section` returns (join-before-return).
+            let p = unsafe { &mut *slots.ptr.add(idx) };
+            pack(idx, p);
+            monitor.beat(t);
+            monitor.note_done();
+        }));
+        if let Err(payload) = run {
+            poison.record(t, payload);
+        }
+    };
+    exec.run_section(threads, &body);
     poison.into_result()?;
     monitor.outcome(phase, total)
 }
@@ -1423,6 +1497,7 @@ where
 /// block claim: an interrupted run reports
 /// [`GemmError::Cancelled`]/[`GemmError::Stalled`] with `phase: "kernel"`
 /// under the same partial-write contract.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn try_run_blocks_cached(
     plan: &ExecutionPlan,
     a_src: &ASource<'_>,
@@ -1430,6 +1505,7 @@ pub(crate) fn try_run_blocks_cached(
     c: &mut [f32],
     threads: usize,
     reference: bool,
+    exec: &Exec,
     monitor: &RunMonitor,
 ) -> Result<(), GemmError> {
     let s = &plan.schedule;
@@ -1457,37 +1533,27 @@ pub(crate) fn try_run_blocks_cached(
     }
     let cursor = AtomicUsize::new(0);
     let poison = Poison::new();
-    let scope_ok = crossbeam::scope(|scope| {
-        for t in 0..threads {
-            let (blocks, cursor, poison) = (&blocks, &cursor, &poison);
-            scope.spawn(move |_| {
-                let run = catch_unwind(AssertUnwindSafe(|| {
-                    faultinject::probe(FaultSite::WorkerStartup);
-                    loop {
-                        if poison.is_poisoned() || monitor.should_stop() {
-                            break;
-                        }
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(bi, bj)) = blocks.get(i) else { break };
-                        if !heartbeat(monitor, t) {
-                            break;
-                        }
-                        run_block_cached(plan, a_src, b_src, c_root, bi, bj, tk, reference);
-                        monitor.note_done();
-                    }
-                }));
-                if let Err(payload) = run {
-                    poison.record(t, payload);
+    let body = |t: usize| {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            faultinject::probe(FaultSite::WorkerStartup);
+            loop {
+                if poison.is_poisoned() || monitor.should_stop() {
+                    break;
                 }
-            });
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(bi, bj)) = blocks.get(i) else { break };
+                if !heartbeat(monitor, t) {
+                    break;
+                }
+                run_block_cached(plan, a_src, b_src, c_root, bi, bj, tk, reference);
+                monitor.note_done();
+            }
+        }));
+        if let Err(payload) = run {
+            poison.record(t, payload);
         }
-    });
-    if scope_ok.is_err() {
-        return Err(GemmError::WorkerPanicked {
-            thread: 0,
-            detail: "worker scope failed".to_string(),
-        });
-    }
+    };
+    exec.run_section(threads, &body);
     poison.into_result()?;
     monitor.outcome("kernel", blocks.len())
 }
@@ -1540,8 +1606,7 @@ pub fn gemm_with_plan_repack(
 
 /// Fallible [`gemm_with_plan_repack`]: the same validation, degenerate
 /// shapes and worker-panic containment as [`try_gemm_with_plan_pooled`]
-/// (static block striding instead of the cursor, so a poisoned run stops
-/// each worker at its next block boundary).
+/// (a poisoned run stops each worker at its next block boundary).
 pub fn try_gemm_with_plan_repack(
     plan: &ExecutionPlan,
     a: &[f32],
@@ -1573,31 +1638,23 @@ pub fn try_gemm_with_plan_repack(
             }
         });
     }
+    let exec = Exec::unsupervised();
+    let cursor = AtomicUsize::new(0);
     let poison = Poison::new();
-    let scope_ok = crossbeam::scope(|scope| {
-        for t in 0..threads {
-            let (blocks, poison) = (&blocks, &poison);
-            scope.spawn(move |_| {
-                let run = catch_unwind(AssertUnwindSafe(|| {
-                    for (bi, bj) in blocks.iter().skip(t).step_by(threads) {
-                        if poison.is_poisoned() {
-                            break;
-                        }
-                        run_block(plan, a, b, c_root, *bi, *bj, tk);
-                    }
-                }));
-                if let Err(payload) = run {
-                    poison.record(t, payload);
-                }
-            });
+    let body = |t: usize| {
+        let run = catch_unwind(AssertUnwindSafe(|| loop {
+            if poison.is_poisoned() {
+                break;
+            }
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(&(bi, bj)) = blocks.get(i) else { break };
+            run_block(plan, a, b, c_root, bi, bj, tk);
+        }));
+        if let Err(payload) = run {
+            poison.record(t, payload);
         }
-    });
-    if scope_ok.is_err() {
-        return Err(GemmError::WorkerPanicked {
-            thread: 0,
-            detail: "worker scope failed".to_string(),
-        });
-    }
+    };
+    exec.run_section(threads, &body);
     poison.into_result()
 }
 

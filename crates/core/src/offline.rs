@@ -144,12 +144,13 @@ pub fn try_gemm_prepacked_supervised(
         c.fill(0.0);
         return Ok(());
     }
+    let exec = crate::runtime::Exec::new(sup, false);
     let monitor = RunMonitor::new(sup, threads.max(1));
-    let watchdog = monitor.spawn_watchdog();
+    let watchdog = exec.runtime().watch(&monitor);
     let result = (|| {
         monitor.begin_phase();
         let a_panels =
-            crate::native::try_pack_a_panels_supervised(plan, a, threads, pool, &monitor)?;
+            crate::native::try_pack_a_panels_supervised(plan, a, threads, pool, &exec, &monitor)?;
         monitor.begin_phase();
         let b_panels = crate::native::BPanels::Prepacked(packed_b);
         let run = crate::native::try_run_blocks_cached(
@@ -159,12 +160,14 @@ pub fn try_gemm_prepacked_supervised(
             c,
             threads,
             false,
+            &exec,
             &monitor,
         );
         pool.release_blocks(a_panels);
         run
     })();
-    monitor.finish(watchdog);
+    monitor.finish();
+    drop(watchdog);
     if matches!(result, Err(GemmError::WorkerPanicked { .. }) | Err(GemmError::Stalled { .. })) {
         sup.observe_fault(BreakerPath::ThreadedDriver);
     }

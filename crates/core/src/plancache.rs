@@ -11,6 +11,13 @@
 //! (hypothetical) backend change must miss rather than replay a plan
 //! tuned for another ISA. Hit/miss counters feed
 //! `GemmReport::dispatch` and the engine's `plan_cache_stats()`.
+//!
+//! The cache is **bounded**: at [`PLAN_CACHE_CAPACITY`] entries the
+//! least-recently-used entry is evicted (deterministic — a monotonic
+//! touch stamp per entry, min-stamp victim), so a service streaming
+//! unbounded distinct shapes holds at most `capacity` plans, not a
+//! monotonically growing map. Evictions surface in
+//! [`PlanCacheStats::evictions`].
 
 use crate::plan::ExecutionPlan;
 use parking_lot::Mutex;
@@ -30,26 +37,53 @@ pub(crate) struct PlanKey {
     pub backend: &'static str,
 }
 
-/// Cumulative hit/miss counters of one engine's plan cache.
+/// Most plans one engine's cache holds before evicting. Plans are a few
+/// hundred bytes each, so this bounds the cache well under a megabyte
+/// while comfortably covering a workload's live shape set (a full
+/// Table II/V sweep is under 40 keys).
+pub const PLAN_CACHE_CAPACITY: usize = 128;
+
+/// Cumulative hit/miss/eviction counters of one engine's plan cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
     pub hits: u64,
     pub misses: u64,
+    /// Entries evicted to respect the capacity bound — a nonzero value
+    /// on a steady workload means its live shape set exceeds
+    /// [`PLAN_CACHE_CAPACITY`] and calls are re-tuning.
+    pub evictions: u64,
+}
+
+/// One cached plan plus its last-touch stamp (monotonic per cache).
+struct CacheEntry {
+    plan: Arc<ExecutionPlan>,
+    stamp: u64,
 }
 
 /// The cache itself: one per [`crate::AutoGemm`] engine.
 pub(crate) struct PlanCache {
-    plans: Mutex<HashMap<PlanKey, Arc<ExecutionPlan>>>,
+    plans: Mutex<HashMap<PlanKey, CacheEntry>>,
+    capacity: usize,
+    /// Monotonic touch counter driving LRU stamps.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl PlanCache {
     pub(crate) fn new() -> Self {
+        Self::with_capacity(PLAN_CACHE_CAPACITY)
+    }
+
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
         PlanCache {
             plans: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -58,26 +92,41 @@ impl PlanCache {
     /// shared plan and whether this call hit. Two threads racing the
     /// same cold key may both tune; the first insert wins and both get
     /// the same `Arc` back, so callers never observe divergent plans.
+    /// Inserting at capacity evicts the least-recently-touched entry.
     pub(crate) fn get_or_build(
         &self,
         key: PlanKey,
         build: impl FnOnce() -> ExecutionPlan,
     ) -> (Arc<ExecutionPlan>, bool) {
-        if let Some(plan) = self.plans.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(plan), true);
+        {
+            let mut map = self.plans.lock();
+            if let Some(entry) = map.get_mut(&key) {
+                entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (Arc::clone(&entry.plan), true);
+            }
         }
         let built = Arc::new(build());
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut map = self.plans.lock();
-        let entry = map.entry(key).or_insert(built);
-        (Arc::clone(entry), false)
+        if !map.contains_key(&key) && map.len() >= self.capacity {
+            // Deterministic LRU: the minimum stamp is unique (stamps are
+            // handed out by one monotonic counter).
+            if let Some(victim) = map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k.clone()) {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let entry = map.entry(key).or_insert(CacheEntry { plan: built, stamp });
+        (Arc::clone(&entry.plan), false)
     }
 
     pub(crate) fn stats(&self) -> PlanCacheStats {
         PlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -104,7 +153,33 @@ mod tests {
         let (p2, hit2) = cache.get_or_build(key(26, 36, 24, 1), || build(26, 36, 24));
         assert!(!hit1 && hit2);
         assert!(Arc::ptr_eq(&p1, &p2), "hit must share the cached allocation");
-        assert_eq!(cache.stats(), PlanCacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.stats(), PlanCacheStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let cache = PlanCache::with_capacity(2);
+        cache.get_or_build(key(8, 12, 16, 1), || build(8, 12, 16));
+        cache.get_or_build(key(16, 12, 16, 1), || build(16, 12, 16));
+        // Touch the first entry so the second becomes the LRU victim.
+        let (_, hit) = cache.get_or_build(key(8, 12, 16, 1), || build(8, 12, 16));
+        assert!(hit);
+        cache.get_or_build(key(24, 12, 16, 1), || build(24, 12, 16));
+        assert_eq!(cache.stats().evictions, 1);
+        let (_, survived) = cache.get_or_build(key(8, 12, 16, 1), || build(8, 12, 16));
+        assert!(survived, "recently touched entry must survive the eviction");
+        let (_, evicted) = cache.get_or_build(key(16, 12, 16, 1), || build(16, 12, 16));
+        assert!(!evicted, "LRU entry must have been evicted");
+        // The re-insert of the evicted key pushed the map back to
+        // capacity and evicted again: the bound holds at all times.
+        assert!(cache.plans.lock().len() <= 2);
+    }
+
+    #[test]
+    fn default_capacity_is_documented_bound() {
+        let cache = PlanCache::new();
+        assert_eq!(cache.capacity, PLAN_CACHE_CAPACITY);
+        assert_eq!(cache.stats(), PlanCacheStats::default());
     }
 
     #[test]

@@ -1,0 +1,713 @@
+//! Persistent worker-pool runtime: the threaded hot path without
+//! per-call thread spawn.
+//!
+//! The paper's battleground is irregular/small GEMM, where fixed
+//! per-call overhead dominates (§V). Until this module existed every
+//! threaded section — pack panels, kernel block drain, batch items —
+//! paid a full scoped spawn/join of N OS threads *per GEMM call*, plus
+//! one watchdog thread per supervised call. A service draining millions
+//! of small requests (the ROADMAP north-star) pays that constant cost on
+//! every one of them.
+//!
+//! [`Runtime`] replaces both spawn classes with long-lived threads:
+//!
+//! * **Worker pool** — `(host_parallelism - 1).max(1)` workers are
+//!   created once (lazily, on first use) and then *parked* on a
+//!   [`Condvar`]. A threaded section submits a *job*: a borrowed
+//!   `Fn(usize)` body plus a slot count. The submitting caller always
+//!   runs slot 0 itself; parked workers wake, claim the remaining slots
+//!   and run the same body. Job bodies are **slot-agnostic** — every
+//!   driver section drains a shared atomic cursor, so any subset of
+//!   slots (down to the caller alone, when all workers are busy serving
+//!   other submissions) completes the section. That property is what
+//!   makes the pool deadlock-free under concurrent submissions: no job
+//!   ever *requires* a worker to arrive.
+//! * **Watchdog hub** — one monitor thread per runtime (so one
+//!   process-wide by default, or one per engine with a dedicated
+//!   runtime) serving per-submission heartbeat registrations, replacing
+//!   the watchdog thread the supervised drivers used to spawn per call.
+//!
+//! ## Lifecycle and memory safety
+//!
+//! A submitted job borrows its body from the caller's stack, so the pool
+//! stores a lifetime-erased raw pointer. Soundness rests on
+//! *join-before-return*: [`WorkerPool::run`] closes the job (no further
+//! slot claims) and blocks until every active runner has left the body
+//! before it returns — including on unwind, via a drop guard — so no
+//! worker can observe the pointer after the borrow ends. All claim and
+//! completion bookkeeping lives under one pool mutex; workers only park
+//! when the queue holds no claimable slot.
+//!
+//! ## Panic containment
+//!
+//! Driver job bodies contain their own panics (poison-flag + first-panic
+//! capture, see [`crate::native::Poison`]); the pool adds a
+//! `catch_unwind` backstop so even a body that leaks a panic cannot kill
+//! a pool worker. A poisoned submission therefore drains, joins, reports
+//! its structured error — and the pool stays reusable for the next call.
+//!
+//! Uses `std::sync::{Mutex, Condvar}` directly (the vendored
+//! `parking_lot` facade deliberately carries no `Condvar`); lock
+//! poisoning is forgiven everywhere — pool state is a claim ledger of
+//! plain integers, always valid.
+
+use crate::supervisor::{RunMonitor, Supervision, WatchdogConfig};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Host hardware parallelism (1 when the probe fails).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Workers the default (global) pool spawns: the caller thread
+/// participates in every submission as slot 0, so `host - 1` workers
+/// saturate the host without oversubscribing — floored at 1 so threaded
+/// sections stay genuinely concurrent even on a single-core host.
+pub(crate) fn default_pool_workers() -> usize {
+    host_parallelism().saturating_sub(1).max(1)
+}
+
+#[inline]
+fn forgive<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+/// One submitted section: a lifetime-erased body plus the slot ledger.
+/// Only ever touched under the pool mutex.
+struct ActiveJob {
+    id: u64,
+    /// Borrowed from the submitting stack; valid until [`WorkerPool::run`]
+    /// returns (join-before-return, see module docs).
+    body: *const (dyn Fn(usize) + Sync),
+    slots: usize,
+    /// Next slot to hand out; `slots` means closed.
+    next_slot: usize,
+    /// Runners currently inside the body.
+    active: usize,
+    submitted: Instant,
+    /// First worker claim recorded (wake-latency sample taken).
+    woken: bool,
+}
+
+// SAFETY: the body pointer is only dereferenced between submission and
+// the submitter's join-before-return barrier, while the borrow it was
+// erased from is still live; the pointee is `Sync` so shared calls from
+// several workers are sound.
+unsafe impl Send for ActiveJob {}
+
+struct PoolState {
+    jobs: Vec<ActiveJob>,
+    next_job_id: u64,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here while no job has a claimable slot.
+    work_cv: Condvar,
+    /// Submitters park here until their job's last runner leaves.
+    done_cv: Condvar,
+    submissions: AtomicU64,
+    jobs_completed: AtomicU64,
+    wake_count: AtomicU64,
+    wake_ns: AtomicU64,
+    busy_ns: AtomicU64,
+    park_ns: AtomicU64,
+    threads_clamped: AtomicU64,
+    workers_alive: AtomicUsize,
+}
+
+impl PoolShared {
+    fn lock_state(&self) -> MutexGuard<'_, PoolState> {
+        forgive(self.state.lock())
+    }
+}
+
+/// Cumulative counters of one [`Runtime`]'s worker pool. Nanosecond
+/// totals rather than averages so readers can difference two snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Workers the pool was configured with.
+    pub workers: u64,
+    /// Worker threads currently alive — the leak gauge: equals `workers`
+    /// from first use for the life of the runtime.
+    pub alive_workers: u64,
+    /// Sections submitted to the pool (each wakes parked workers once).
+    pub submissions: u64,
+    /// Submissions fully retired (closed, drained and joined).
+    pub jobs_completed: u64,
+    /// Submissions a worker actually reached (on a loaded pool the
+    /// caller may drain a whole section alone; those never count here).
+    pub wake_count: u64,
+    /// Total submit→first-worker-claim latency, in nanoseconds.
+    pub wake_ns_total: u64,
+    /// Total time workers spent inside job bodies, in nanoseconds.
+    pub busy_ns_total: u64,
+    /// Total time workers spent parked, in nanoseconds.
+    pub park_ns_total: u64,
+    /// Engine calls whose requested thread count was clamped to the
+    /// pool's capacity (the recorded oversubscription fallback).
+    pub threads_clamped: u64,
+}
+
+/// The long-lived worker set. Created once per [`Runtime`]; workers are
+/// parked between submissions and joined on drop.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState { jobs: Vec::new(), next_job_id: 0, shutdown: false }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            submissions: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            wake_count: AtomicU64::new(0),
+            wake_ns: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            park_ns: AtomicU64::new(0),
+            threads_clamped: AtomicU64::new(0),
+            workers_alive: AtomicUsize::new(0),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let sh = Arc::clone(&shared);
+            sh.workers_alive.fetch_add(1, Ordering::Relaxed);
+            let spawned = std::thread::Builder::new()
+                .name(format!("autogemm-pool-{i}"))
+                .spawn(move || worker_loop(&sh));
+            match spawned {
+                Ok(h) => handles.push(h),
+                // A host that cannot spawn gets a smaller pool; the
+                // caller-runs-slot-0 rule keeps every submission live.
+                Err(_) => {
+                    shared.workers_alive.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+        WorkerPool { shared, handles: Mutex::new(handles), workers }
+    }
+
+    /// Run `body(t)` for slots `0..slots`: slot 0 on the calling thread,
+    /// the rest on woken pool workers. Returns only once no runner
+    /// remains inside `body` (join-before-return), even on unwind.
+    fn run(&self, slots: usize, body: &(dyn Fn(usize) + Sync)) {
+        debug_assert!(slots >= 2, "single-slot sections run inline");
+        self.shared.submissions.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: lifetime erasure only — the fat pointer layout is
+        // identical, and the `Completion` guard below joins every runner
+        // before `run` returns, so the erased pointer never outlives the
+        // borrow it came from.
+        let erased: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute(body as *const (dyn Fn(usize) + Sync)) };
+        let id;
+        {
+            let mut st = self.shared.lock_state();
+            id = st.next_job_id;
+            st.next_job_id += 1;
+            st.jobs.push(ActiveJob {
+                id,
+                body: erased,
+                slots,
+                next_slot: 1,
+                active: 0,
+                submitted: Instant::now(),
+                woken: false,
+            });
+        }
+        if slots == 2 {
+            self.shared.work_cv.notify_one();
+        } else {
+            self.shared.work_cv.notify_all();
+        }
+
+        /// Close-and-join barrier; runs on normal return *and* unwind,
+        /// so the erased body pointer never outlives its borrow.
+        struct Completion<'p> {
+            shared: &'p PoolShared,
+            id: u64,
+        }
+        impl Drop for Completion<'_> {
+            fn drop(&mut self) {
+                let mut st = self.shared.lock_state();
+                while let Some(pos) = st.jobs.iter().position(|j| j.id == self.id) {
+                    // Close: unclaimed slots are abandoned — job bodies
+                    // drain a shared cursor, so the finished slot-0 run
+                    // proves there is no work left for them.
+                    st.jobs[pos].next_slot = st.jobs[pos].slots;
+                    if st.jobs[pos].active == 0 {
+                        st.jobs.remove(pos);
+                        break;
+                    }
+                    st = forgive(self.shared.done_cv.wait(st));
+                }
+                self.shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let _completion = Completion { shared: &self.shared, id };
+        body(0);
+    }
+
+    fn stats(&self) -> PoolStats {
+        let sh = &self.shared;
+        PoolStats {
+            workers: self.workers as u64,
+            alive_workers: sh.workers_alive.load(Ordering::Relaxed) as u64,
+            submissions: sh.submissions.load(Ordering::Relaxed),
+            jobs_completed: sh.jobs_completed.load(Ordering::Relaxed),
+            wake_count: sh.wake_count.load(Ordering::Relaxed),
+            wake_ns_total: sh.wake_ns.load(Ordering::Relaxed),
+            busy_ns_total: sh.busy_ns.load(Ordering::Relaxed),
+            park_ns_total: sh.park_ns.load(Ordering::Relaxed),
+            threads_clamped: sh.threads_clamped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.lock_state().shutdown = true;
+        self.shared.work_cv.notify_all();
+        let handles = std::mem::take(&mut *forgive(self.handles.lock()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// What a claiming worker receives: the erased job body, the slot index
+/// it will run as, and the job id to retire against.
+type ClaimedSlot = (*const (dyn Fn(usize) + Sync), usize, u64);
+
+/// Claim the next open slot across queued jobs (FIFO), recording the
+/// job's wake latency on its first worker claim.
+fn claim_slot(st: &mut PoolState, shared: &PoolShared) -> Option<ClaimedSlot> {
+    let job = st.jobs.iter_mut().find(|j| j.next_slot < j.slots)?;
+    let slot = job.next_slot;
+    job.next_slot += 1;
+    job.active += 1;
+    if !job.woken {
+        job.woken = true;
+        shared.wake_count.fetch_add(1, Ordering::Relaxed);
+        shared.wake_ns.fetch_add(job.submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+    Some((job.body, slot, job.id))
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut st = shared.lock_state();
+    loop {
+        if st.shutdown {
+            break;
+        }
+        if let Some((body, slot, job_id)) = claim_slot(&mut st, shared) {
+            drop(st);
+            let t0 = Instant::now();
+            // SAFETY: join-before-return — the submitter cannot return
+            // (and thus end the borrow) while this job's `active` count
+            // includes us.
+            let body_ref: &(dyn Fn(usize) + Sync) = unsafe { &*body };
+            // Backstop only: driver bodies contain their own panics via
+            // the section poison flag; this keeps a leaked panic from
+            // killing a pool worker.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body_ref(slot)));
+            shared.busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            st = shared.lock_state();
+            if let Some(job) = st.jobs.iter_mut().find(|j| j.id == job_id) {
+                job.active -= 1;
+                if job.active == 0 && job.next_slot >= job.slots {
+                    shared.done_cv.notify_all();
+                }
+            }
+        } else {
+            let p0 = Instant::now();
+            st = forgive(shared.work_cv.wait(st));
+            shared.park_ns.fetch_add(p0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+    shared.workers_alive.fetch_sub(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog hub — one monitor thread per runtime
+// ---------------------------------------------------------------------------
+
+struct WatchEntry {
+    id: u64,
+    mon: Arc<RunMonitor>,
+    cfg: WatchdogConfig,
+    last: Vec<u64>,
+    last_change: Instant,
+    next_sample: Instant,
+}
+
+struct HubState {
+    entries: Vec<WatchEntry>,
+    shutdown: bool,
+}
+
+struct HubShared {
+    state: Mutex<HubState>,
+    cv: Condvar,
+    registrations: AtomicU64,
+}
+
+impl HubShared {
+    fn lock_state(&self) -> MutexGuard<'_, HubState> {
+        forgive(self.state.lock())
+    }
+}
+
+/// The shared stuck-worker monitor: per-submission heartbeat
+/// registrations served by one long-lived thread (spawned lazily on the
+/// first watched run, parked while nothing is registered).
+struct WatchdogHub {
+    shared: Arc<HubShared>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    next_id: AtomicU64,
+}
+
+impl WatchdogHub {
+    fn new() -> WatchdogHub {
+        WatchdogHub {
+            shared: Arc::new(HubShared {
+                state: Mutex::new(HubState { entries: Vec::new(), shutdown: false }),
+                cv: Condvar::new(),
+                registrations: AtomicU64::new(0),
+            }),
+            thread: Mutex::new(None),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    fn watch(&self, mon: &Arc<RunMonitor>) -> Option<WatchGuard> {
+        let cfg = mon.watchdog_config()?;
+        {
+            let mut slot = forgive(self.thread.lock());
+            if slot.is_none() {
+                let sh = Arc::clone(&self.shared);
+                *slot = std::thread::Builder::new()
+                    .name("autogemm-watchdog".into())
+                    .spawn(move || hub_loop(&sh))
+                    .ok();
+                // Spawn failure leaves the run unwatched — same
+                // best-effort contract as the historical per-call
+                // `spawn_watchdog().ok()`.
+                slot.as_ref()?;
+            }
+        }
+        self.shared.registrations.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let mut st = self.shared.lock_state();
+        st.entries.push(WatchEntry {
+            id,
+            mon: Arc::clone(mon),
+            cfg,
+            last: mon.sample_beats(),
+            last_change: now,
+            next_sample: now + cfg.poll.max(Duration::from_millis(1)),
+        });
+        drop(st);
+        self.shared.cv.notify_all();
+        Some(WatchGuard { shared: Arc::clone(&self.shared), id })
+    }
+}
+
+impl Drop for WatchdogHub {
+    fn drop(&mut self) {
+        self.shared.lock_state().shutdown = true;
+        self.shared.cv.notify_all();
+        if let Some(h) = forgive(self.thread.lock()).take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Deregistration handle for one watched run. Dropping it removes the
+/// run from the hub; the caller still marks the monitor finished (via
+/// [`RunMonitor::finish`]) first, so a concurrent sample sees a finished
+/// run, never a dangling one.
+pub(crate) struct WatchGuard {
+    shared: Arc<HubShared>,
+    id: u64,
+}
+
+impl Drop for WatchGuard {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock_state();
+        st.entries.retain(|e| e.id != self.id);
+    }
+}
+
+fn hub_loop(shared: &HubShared) {
+    let mut st = shared.lock_state();
+    loop {
+        if st.shutdown {
+            return;
+        }
+        st.entries.retain(|e| !e.mon.is_finished());
+        if st.entries.is_empty() {
+            st = forgive(shared.cv.wait(st));
+            continue;
+        }
+        let now = Instant::now();
+        let mut tripped: Vec<u64> = Vec::new();
+        for e in st.entries.iter_mut() {
+            if now < e.next_sample {
+                continue;
+            }
+            e.next_sample = now + e.cfg.poll.max(Duration::from_millis(1));
+            let beats = e.mon.sample_beats();
+            if beats != e.last {
+                e.last = beats;
+                e.last_change = now;
+                continue;
+            }
+            if now.duration_since(e.last_change) >= e.cfg.quiescence {
+                e.mon.trip_stall(e.last.clone(), e.cfg.quiescence.as_millis() as u64);
+                tripped.push(e.id);
+            }
+        }
+        if !tripped.is_empty() {
+            st.entries.retain(|e| !tripped.contains(&e.id));
+        }
+        let next = st.entries.iter().map(|e| e.next_sample).min();
+        match next {
+            Some(at) => {
+                let dur = at.saturating_duration_since(Instant::now());
+                let (guard, _) =
+                    forgive(shared.cv.wait_timeout(st, dur.max(Duration::from_micros(200))));
+                st = guard;
+            }
+            None => st = forgive(shared.cv.wait(st)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime — pool + watchdog hub
+// ---------------------------------------------------------------------------
+
+/// The shared execution runtime: a persistent worker pool plus the
+/// watchdog hub. One process-wide instance ([`Runtime::global`]) serves
+/// every engine by default; [`Runtime::with_workers`] builds a dedicated
+/// instance (isolation for tests or multi-tenant embedders).
+pub struct Runtime {
+    pool: WorkerPool,
+    hub: WatchdogHub,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime").field("workers", &self.pool.workers).finish()
+    }
+}
+
+impl Runtime {
+    /// A dedicated runtime with `workers` pool workers, clamped to host
+    /// parallelism (floored at 1 — the submission capacity is
+    /// `workers + 1` because the caller always runs slot 0).
+    pub fn with_workers(workers: usize) -> Arc<Runtime> {
+        let workers = workers.clamp(1, host_parallelism().max(1));
+        Arc::new(Runtime { pool: WorkerPool::new(workers), hub: WatchdogHub::new() })
+    }
+
+    /// The process-wide shared runtime, created on first use with
+    /// `(host_parallelism - 1).max(1)` workers.
+    pub fn global() -> Arc<Runtime> {
+        static GLOBAL: OnceLock<Arc<Runtime>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| {
+            Arc::new(Runtime {
+                pool: WorkerPool::new(default_pool_workers()),
+                hub: WatchdogHub::new(),
+            })
+        }))
+    }
+
+    /// Max useful per-call thread count: every pool worker plus the
+    /// calling thread. [`GemmOptions::threads`](crate::GemmOptions)
+    /// beyond this is clamped by the engine (recorded in
+    /// [`PoolStats::threads_clamped`]); floored at 2 so threaded
+    /// execution stays exercisable even on a single-core host.
+    pub fn capacity(&self) -> usize {
+        (self.pool.workers + 1).max(2)
+    }
+
+    /// Cumulative pool counters (see [`PoolStats`]).
+    pub fn stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Worker threads currently alive — the leak gauge used by the CI
+    /// soak (must equal the configured worker count).
+    pub fn alive_workers(&self) -> usize {
+        self.pool.shared.workers_alive.load(Ordering::Relaxed)
+    }
+
+    /// Record one engine call whose thread request exceeded
+    /// [`Runtime::capacity`] and was clamped.
+    pub(crate) fn note_clamped(&self) {
+        self.pool.shared.threads_clamped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Register `mon` with the watchdog hub (no-op without a watchdog
+    /// config). The returned guard deregisters on drop.
+    pub(crate) fn watch(&self, mon: &Arc<RunMonitor>) -> Option<WatchGuard> {
+        self.hub.watch(mon)
+    }
+}
+
+/// Spawn-per-call twin of [`WorkerPool::run`], kept ONLY as the
+/// measurement baseline for the pool benchmark (`BENCH_pool.json`): one
+/// fresh scoped OS thread per slot, joined before return — exactly what
+/// the drivers did before the pool existed. Never on the production
+/// path.
+fn scoped_spawn(slots: usize, body: &(dyn Fn(usize) + Sync)) {
+    std::thread::scope(|scope| {
+        for t in 0..slots {
+            scope.spawn(move || body(t));
+        }
+    });
+}
+
+/// How one driver call executes its threaded sections. Built once per
+/// call from the [`Supervision`] bundle and the run-config's pool gate,
+/// then shared by every section of that call.
+pub(crate) struct Exec {
+    rt: Arc<Runtime>,
+    /// Degraded submission path (fault injection or an open
+    /// `pool_submit` breaker): the caller drains every section alone.
+    /// Correct because bodies are slot-agnostic cursor drains.
+    inline: bool,
+    /// Bench baseline: scoped spawn-per-call (see [`scoped_spawn`]).
+    scoped: bool,
+}
+
+impl Exec {
+    pub(crate) fn new(sup: &Supervision, inline: bool) -> Exec {
+        Exec {
+            rt: sup.runtime_handle(),
+            inline: inline || sup.force_inline,
+            scoped: sup.spawn_baseline,
+        }
+    }
+
+    /// Unsupervised plan-level sections (repack baseline, transpose):
+    /// global pool, no degradation gates.
+    pub(crate) fn unsupervised() -> Exec {
+        Exec { rt: Runtime::global(), inline: false, scoped: false }
+    }
+
+    pub(crate) fn runtime(&self) -> &Arc<Runtime> {
+        &self.rt
+    }
+
+    /// Run a slot-agnostic section body on `threads` slots.
+    pub(crate) fn run_section(&self, threads: usize, body: &(dyn Fn(usize) + Sync)) {
+        if threads <= 1 || self.inline {
+            body(0);
+        } else if self.scoped {
+            scoped_spawn(threads, body);
+        } else {
+            self.rt.pool.run(threads, body);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_runs_every_cursor_unit_exactly_once() {
+        let rt = Runtime::with_workers(2);
+        for round in 0..50 {
+            let units = 64 + round;
+            let cursor = AtomicUsize::new(0);
+            let hits: Vec<AtomicUsize> = (0..units).map(|_| AtomicUsize::new(0)).collect();
+            let body = |_t: usize| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(h) = hits.get(i) else { break };
+                h.fetch_add(1, Ordering::Relaxed);
+            };
+            rt.pool.run(3, &body);
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "round {round} unit {i}");
+            }
+        }
+        assert_eq!(rt.alive_workers(), rt.stats().workers as usize);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_body_and_stays_reusable() {
+        let rt = Runtime::with_workers(1);
+        let before = rt.alive_workers();
+        // A body that panics on a worker slot; the backstop must contain
+        // it even though no driver poison flag is involved here.
+        let body = |t: usize| {
+            if t > 0 {
+                panic!("runtime test panic");
+            }
+        };
+        rt.pool.run(2, &body);
+        assert_eq!(rt.alive_workers(), before, "worker died on a contained panic");
+        // Next submission still completes all units.
+        let cursor = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let body2 = |_t: usize| loop {
+            if cursor.fetch_add(1, Ordering::Relaxed) >= 10 {
+                break;
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+        };
+        rt.pool.run(2, &body2);
+        assert_eq!(done.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn concurrent_submissions_share_one_pool_without_deadlock() {
+        let rt = Runtime::with_workers(1);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rt = &rt;
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        let cursor = AtomicUsize::new(0);
+                        let done = AtomicUsize::new(0);
+                        let body = |_t: usize| loop {
+                            if cursor.fetch_add(1, Ordering::Relaxed) >= 16 {
+                                break;
+                            }
+                            done.fetch_add(1, Ordering::Relaxed);
+                        };
+                        rt.pool.run(3, &body);
+                        assert_eq!(done.load(Ordering::Relaxed), 16);
+                    }
+                });
+            }
+        });
+        let stats = rt.stats();
+        assert_eq!(stats.jobs_completed, 100);
+        assert_eq!(rt.alive_workers(), stats.workers as usize);
+    }
+
+    #[test]
+    fn capacity_floors_at_two_and_clamps_to_host() {
+        let rt = Runtime::with_workers(1);
+        assert_eq!(rt.capacity(), 2);
+        let big = Runtime::with_workers(1 << 20);
+        assert!(big.stats().workers as usize <= host_parallelism().max(1));
+    }
+}

@@ -12,17 +12,20 @@
 //!   [`GemmError::Cancelled`](crate::error::GemmError::Cancelled) with
 //!   the phase and block progress; all panel buffers are released and
 //!   the engine is immediately reusable.
-//! * **Stuck-worker watchdog** — an opt-in monitor thread
-//!   ([`WatchdogConfig`]) observes per-worker heartbeat counters written
-//!   lock-free at block boundaries. If *no* counter advances for the
-//!   quiescence window, it trips the run's cancel signal and the call
-//!   reports [`GemmError::Stalled`](crate::error::GemmError::Stalled)
+//! * **Stuck-worker watchdog** — opt-in ([`WatchdogConfig`]): the
+//!   runtime's shared monitor thread (one per [`Runtime`], not one per
+//!   call — see [`crate::runtime`]) samples per-worker heartbeat
+//!   counters written lock-free at block boundaries. If *no* counter
+//!   advances for the quiescence window, it trips the run's cancel
+//!   signal and the call reports
+//!   [`GemmError::Stalled`](crate::error::GemmError::Stalled)
 //!   with the heartbeat snapshot.
 //! * **Circuit breaker** — a per-engine [`Breaker`] keyed by dispatch
 //!   path ([`BreakerPath`]: SIMD dispatch, pool allocation, threaded
-//!   driver). Repeated faults on a path trip it Closed → Open; while
-//!   Open, calls are rerouted to the degraded twin (scalar kernels,
-//!   transient buffers, single thread). After a cooldown the breaker
+//!   driver, worker-pool submission). Repeated faults on a path trip it
+//!   Closed → Open; while Open, calls are rerouted to the degraded twin
+//!   (scalar kernels, transient buffers, single thread, inline section
+//!   drains). After a cooldown the breaker
 //!   goes HalfOpen and lets probe calls through; clean probes restore
 //!   the fast path. Every transition is visible in
 //!   [`GemmReport::health`](crate::telemetry::GemmReport) (schema v2).
@@ -42,6 +45,7 @@
 //! `try_gemm`.
 
 use crate::error::GemmError;
+use crate::runtime::Runtime;
 use crate::telemetry::{HealthReport, PathHealth};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -172,6 +176,7 @@ pub(crate) struct ObservedFaults {
     pub(crate) simd_dispatch: AtomicBool,
     pub(crate) pool_alloc: AtomicBool,
     pub(crate) threaded_driver: AtomicBool,
+    pub(crate) pool_submit: AtomicBool,
 }
 
 impl ObservedFaults {
@@ -180,6 +185,7 @@ impl ObservedFaults {
             BreakerPath::SimdDispatch => self.simd_dispatch.store(true, Ordering::Relaxed),
             BreakerPath::PoolAlloc => self.pool_alloc.store(true, Ordering::Relaxed),
             BreakerPath::ThreadedDriver => self.threaded_driver.store(true, Ordering::Relaxed),
+            BreakerPath::PoolSubmit => self.pool_submit.store(true, Ordering::Relaxed),
         }
     }
 
@@ -188,6 +194,7 @@ impl ObservedFaults {
             BreakerPath::SimdDispatch => self.simd_dispatch.load(Ordering::Relaxed),
             BreakerPath::PoolAlloc => self.pool_alloc.load(Ordering::Relaxed),
             BreakerPath::ThreadedDriver => self.threaded_driver.load(Ordering::Relaxed),
+            BreakerPath::PoolSubmit => self.pool_submit.load(Ordering::Relaxed),
         }
     }
 }
@@ -204,6 +211,15 @@ pub struct Supervision {
     pub(crate) force_reference: bool,
     /// Breaker reroute: skip the pool, pack into transient buffers.
     pub(crate) force_transient: bool,
+    /// Breaker reroute: don't submit sections to the worker pool — the
+    /// caller drains them alone (no per-call threads either way).
+    pub(crate) force_inline: bool,
+    /// Bench-only baseline: execute threaded sections by spawning scoped
+    /// OS threads per call instead of submitting to the pool.
+    pub(crate) spawn_baseline: bool,
+    /// Runtime override (the engine pins its own); `None` falls back to
+    /// [`Runtime::global`].
+    pub(crate) runtime: Option<Arc<Runtime>>,
     pub(crate) observed: ObservedFaults,
 }
 
@@ -238,12 +254,37 @@ impl Supervision {
         self
     }
 
+    /// Pin the worker-pool runtime this call submits to (the engine sets
+    /// its own; plan-level callers default to [`Runtime::global`]).
+    pub fn with_runtime(mut self, rt: Arc<Runtime>) -> Self {
+        self.runtime = Some(rt);
+        self
+    }
+
+    /// Benchmark baseline only: execute threaded sections by spawning
+    /// scoped OS threads per call — the dispatch path the worker pool
+    /// replaced. Numerically identical to pooled execution.
+    #[doc(hidden)]
+    pub fn with_spawn_baseline(mut self) -> Self {
+        self.spawn_baseline = true;
+        self
+    }
+
     pub(crate) fn set_force_reference(&mut self, on: bool) {
         self.force_reference = on;
     }
 
     pub(crate) fn set_force_transient(&mut self, on: bool) {
         self.force_transient = on;
+    }
+
+    pub(crate) fn set_force_inline(&mut self, on: bool) {
+        self.force_inline = on;
+    }
+
+    /// The runtime this call's sections submit to.
+    pub(crate) fn runtime_handle(&self) -> Arc<Runtime> {
+        self.runtime.clone().unwrap_or_else(Runtime::global)
     }
 
     /// Record an observed fault on `path` (called from the drivers'
@@ -405,56 +446,39 @@ impl RunMonitor {
         Ok(())
     }
 
-    /// Spawn the watchdog thread if configured. The caller must invoke
-    /// [`RunMonitor::finish`] with the returned handle before resolving
-    /// the run outcome.
-    pub(crate) fn spawn_watchdog(self: &Arc<Self>) -> Option<std::thread::JoinHandle<()>> {
-        let cfg = self.watchdog?;
-        let mon = Arc::clone(self);
-        std::thread::Builder::new()
-            .name("autogemm-watchdog".into())
-            .spawn(move || mon.watchdog_loop(cfg))
-            .ok()
+    /// The watchdog configuration this run was created with, if any —
+    /// consumed by the runtime's watchdog hub at registration.
+    pub(crate) fn watchdog_config(&self) -> Option<WatchdogConfig> {
+        self.watchdog
     }
 
-    fn watchdog_loop(&self, cfg: WatchdogConfig) {
-        let mut last: Vec<u64> = self.beats.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let mut last_change = Instant::now();
-        loop {
-            if self.finished.load(Ordering::Relaxed) {
-                return;
-            }
-            std::thread::sleep(cfg.poll.max(Duration::from_millis(1)));
-            if self.finished.load(Ordering::Relaxed) {
-                return;
-            }
-            let now: Vec<u64> = self.beats.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-            if now != last {
-                last = now;
-                last_change = Instant::now();
-                continue;
-            }
-            if last_change.elapsed() >= cfg.quiescence {
-                *self.stall.lock() = Some(StallSnapshot {
-                    heartbeats: last,
-                    quiescence_ms: cfg.quiescence.as_millis() as u64,
-                });
-                self.stalled.store(true, Ordering::Relaxed);
-                // Release publishes the snapshot and `stalled` to every
-                // worker (and, transitively, the caller) that observes
-                // the cancel flag.
-                self.internal_cancel.store(true, Ordering::Release);
-                return;
-            }
-        }
+    /// Has the driver marked this run finished? The hub drops finished
+    /// registrations instead of sampling them.
+    pub(crate) fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::Relaxed)
     }
 
-    /// Signal run completion and join the watchdog.
-    pub(crate) fn finish(&self, watchdog: Option<std::thread::JoinHandle<()>>) {
+    /// Snapshot all per-worker heartbeat counters (hub sampling).
+    pub(crate) fn sample_beats(&self) -> Vec<u64> {
+        self.beats.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Declare the run stalled: store the snapshot and trip the run's
+    /// cancel signal. Called by the watchdog hub when no heartbeat
+    /// advanced for the configured quiescence window.
+    pub(crate) fn trip_stall(&self, heartbeats: Vec<u64>, quiescence_ms: u64) {
+        *self.stall.lock() = Some(StallSnapshot { heartbeats, quiescence_ms });
+        self.stalled.store(true, Ordering::Relaxed);
+        // Release publishes the snapshot and `stalled` to every worker
+        // (and, transitively, the caller) that observes the cancel flag.
+        self.internal_cancel.store(true, Ordering::Release);
+    }
+
+    /// Signal run completion. The caller drops its hub registration
+    /// guard right after, so the shared watchdog thread stops sampling
+    /// this run (no thread join — the hub thread is long-lived).
+    pub(crate) fn finish(&self) {
         self.finished.store(true, Ordering::Relaxed);
-        if let Some(h) = watchdog {
-            let _ = h.join();
-        }
     }
 }
 
@@ -472,17 +496,25 @@ pub enum BreakerPath {
     PoolAlloc,
     /// Threaded work-queue driver; reroute = single-thread execution.
     ThreadedDriver,
+    /// Worker-pool submission; reroute = the caller drains the sections
+    /// inline (no pool engagement, still no per-call threads).
+    PoolSubmit,
 }
 
 impl BreakerPath {
-    pub const ALL: [BreakerPath; 3] =
-        [BreakerPath::SimdDispatch, BreakerPath::PoolAlloc, BreakerPath::ThreadedDriver];
+    pub const ALL: [BreakerPath; 4] = [
+        BreakerPath::SimdDispatch,
+        BreakerPath::PoolAlloc,
+        BreakerPath::ThreadedDriver,
+        BreakerPath::PoolSubmit,
+    ];
 
     pub(crate) fn index(self) -> usize {
         match self {
             BreakerPath::SimdDispatch => 0,
             BreakerPath::PoolAlloc => 1,
             BreakerPath::ThreadedDriver => 2,
+            BreakerPath::PoolSubmit => 3,
         }
     }
 
@@ -492,6 +524,7 @@ impl BreakerPath {
             BreakerPath::SimdDispatch => "simd_dispatch",
             BreakerPath::PoolAlloc => "pool_alloc",
             BreakerPath::ThreadedDriver => "threaded_driver",
+            BreakerPath::PoolSubmit => "pool_submit",
         }
     }
 }
@@ -567,7 +600,7 @@ impl PathInner {
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Admission {
     /// `reroute[path.index()]`: serve this call on the degraded twin.
-    pub(crate) reroute: [bool; 3],
+    pub(crate) reroute: [bool; 4],
     /// Transitions performed while admitting (Open → HalfOpen).
     pub(crate) events: Vec<String>,
 }
@@ -578,7 +611,7 @@ pub(crate) struct Admission {
 #[derive(Debug)]
 pub struct Breaker {
     cfg: BreakerConfig,
-    paths: Mutex<[PathInner; 3]>,
+    paths: Mutex<[PathInner; 4]>,
 }
 
 impl Default for Breaker {
@@ -589,7 +622,7 @@ impl Default for Breaker {
 
 impl Breaker {
     pub fn new(cfg: BreakerConfig) -> Self {
-        Breaker { cfg, paths: Mutex::new([PathInner::default(); 3]) }
+        Breaker { cfg, paths: Mutex::new([PathInner::default(); 4]) }
     }
 
     pub fn config(&self) -> BreakerConfig {
@@ -633,7 +666,7 @@ impl Breaker {
     pub(crate) fn record(
         &self,
         observed: &ObservedFaults,
-        rerouted: [bool; 3],
+        rerouted: [bool; 4],
         neutral: bool,
     ) -> Vec<String> {
         let mut events = Vec::new();
@@ -840,15 +873,17 @@ mod tests {
         mon.beat(0);
         mon.beat(0);
         mon.beat(1);
-        let wd = mon.spawn_watchdog();
-        assert!(wd.is_some());
-        // No further beats: the watchdog must declare a stall.
+        let rt = Runtime::global();
+        let watch = rt.watch(&mon);
+        assert!(watch.is_some());
+        // No further beats: the watchdog hub must declare a stall.
         let t0 = Instant::now();
         while !mon.should_stop() && t0.elapsed() < Duration::from_secs(5) {
             std::thread::sleep(Duration::from_millis(2));
         }
         assert!(mon.should_stop(), "watchdog never tripped");
-        mon.finish(wd);
+        mon.finish();
+        drop(watch);
         match mon.outcome("kernel", 7) {
             Err(GemmError::Stalled { phase, quiescence_ms, heartbeats }) => {
                 assert_eq!(phase, "kernel");
@@ -865,10 +900,11 @@ mod tests {
             WatchdogConfig { quiescence: Duration::from_secs(30), poll: Duration::from_millis(5) };
         let sup = Supervision::none().with_watchdog(cfg);
         let mon = RunMonitor::new(&sup, 1);
-        let wd = mon.spawn_watchdog();
+        let watch = Runtime::global().watch(&mon);
         mon.begin_phase();
         mon.note_done();
-        mon.finish(wd); // must join promptly, well before quiescence
+        mon.finish(); // hub drops the registration; no thread join
+        drop(watch);
         assert!(mon.outcome("kernel", 1).is_ok());
     }
 

@@ -1,5 +1,6 @@
 //! The per-GEMM execution report and its versioned JSON schema.
 
+use crate::runtime::PoolStats;
 use crate::telemetry::json::{Json, JsonError};
 use autogemm_kernelgen::MicroTile;
 use autogemm_perfmodel::ProjectionTable;
@@ -9,9 +10,11 @@ use autogemm_perfmodel::ProjectionTable;
 /// read. v2 added the `health` section (circuit-breaker state and
 /// transitions) and `fallbacks.breaker_reroutes`; v3 added the
 /// `dispatch` section (input-aware route, packing elision and
-/// plan-cache counters). Older reports are still accepted: v1 parses
-/// with an empty health section, v1/v2 with a default dispatch section.
-pub const SCHEMA_VERSION: u64 = 3;
+/// plan-cache counters); v4 added the `pool` section (worker-pool
+/// runtime counters) and `fallbacks.inline_drains`. Older reports are
+/// still accepted: v1 parses with an empty health section, v1/v2 with a
+/// default dispatch section, v1–v3 with a default pool section.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Oldest serialized schema version [`GemmReport::from_json`] accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -104,12 +107,19 @@ pub struct FallbackStats {
     /// paths rerouted before the run started), counted per rerouted
     /// path. Schema v2.
     pub breaker_reroutes: u64,
+    /// Threaded sections drained inline on the calling thread instead of
+    /// the worker pool (a degraded or quarantined pool-submit path).
+    /// Schema v4.
+    pub inline_drains: u64,
 }
 
 impl FallbackStats {
     /// Whether any degradation path was taken.
     pub fn any(&self) -> bool {
-        self.pool_packs > 0 || self.scalar_kernels > 0 || self.breaker_reroutes > 0
+        self.pool_packs > 0
+            || self.scalar_kernels > 0
+            || self.breaker_reroutes > 0
+            || self.inline_drains > 0
     }
 }
 
@@ -250,6 +260,9 @@ pub struct GemmReport {
     /// Input-aware dispatch decisions (schema v3; defaults — block
     /// route, both operands packed — when parsed from older reports).
     pub dispatch: DispatchStats,
+    /// Worker-pool runtime counters at report time (schema v4; all-zero
+    /// defaults when parsed from older reports).
+    pub pool: PoolStats,
     pub model: Option<ModelJoin>,
 }
 
@@ -370,6 +383,7 @@ impl GemmReport {
                 ("pool_packs".into(), Json::Num(self.fallbacks.pool_packs as f64)),
                 ("scalar_kernels".into(), Json::Num(self.fallbacks.scalar_kernels as f64)),
                 ("breaker_reroutes".into(), Json::Num(self.fallbacks.breaker_reroutes as f64)),
+                ("inline_drains".into(), Json::Num(self.fallbacks.inline_drains as f64)),
             ]),
         ));
         fields.push((
@@ -413,6 +427,20 @@ impl GemmReport {
                 ("plan_cache_hit".into(), Json::Bool(self.dispatch.plan_cache_hit)),
                 ("plan_cache_hits".into(), Json::Num(self.dispatch.plan_cache_hits as f64)),
                 ("plan_cache_misses".into(), Json::Num(self.dispatch.plan_cache_misses as f64)),
+            ]),
+        ));
+        fields.push((
+            "pool".into(),
+            Json::Obj(vec![
+                ("workers".into(), Json::Num(self.pool.workers as f64)),
+                ("alive_workers".into(), Json::Num(self.pool.alive_workers as f64)),
+                ("submissions".into(), Json::Num(self.pool.submissions as f64)),
+                ("jobs_completed".into(), Json::Num(self.pool.jobs_completed as f64)),
+                ("wake_count".into(), Json::Num(self.pool.wake_count as f64)),
+                ("wake_ns_total".into(), Json::Num(self.pool.wake_ns_total as f64)),
+                ("busy_ns_total".into(), Json::Num(self.pool.busy_ns_total as f64)),
+                ("park_ns_total".into(), Json::Num(self.pool.park_ns_total as f64)),
+                ("threads_clamped".into(), Json::Num(self.pool.threads_clamped as f64)),
             ]),
         ));
         fields.push((
@@ -543,6 +571,8 @@ impl GemmReport {
                 scalar_kernels: fb.get("scalar_kernels").and_then(Json::as_u64).unwrap_or(0),
                 // Schema v2; absent in v1 reports.
                 breaker_reroutes: fb.get("breaker_reroutes").and_then(Json::as_u64).unwrap_or(0),
+                // Schema v4; absent in v1–v3 reports.
+                inline_drains: fb.get("inline_drains").and_then(Json::as_u64).unwrap_or(0),
             },
         };
 
@@ -619,6 +649,26 @@ impl GemmReport {
             }
         };
 
+        // Schema v4. Pre-v4 reports have no `pool` section: no pool
+        // existed, so all-zero counters are the honest default.
+        let pool = match v.get("pool") {
+            None | Some(Json::Null) => PoolStats::default(),
+            Some(p) => {
+                let num = |key: &str| p.get(key).and_then(Json::as_u64).unwrap_or(0);
+                PoolStats {
+                    workers: num("workers"),
+                    alive_workers: num("alive_workers"),
+                    submissions: num("submissions"),
+                    jobs_completed: num("jobs_completed"),
+                    wake_count: num("wake_count"),
+                    wake_ns_total: num("wake_ns_total"),
+                    busy_ns_total: num("busy_ns_total"),
+                    park_ns_total: num("park_ns_total"),
+                    threads_clamped: num("threads_clamped"),
+                }
+            }
+        };
+
         let model = match field("model")? {
             Json::Null => None,
             mj => Some(ModelJoin {
@@ -669,6 +719,7 @@ impl GemmReport {
             fallbacks,
             health,
             dispatch,
+            pool,
             model,
         })
     }
@@ -713,7 +764,12 @@ mod tests {
                 TileCount { mr: 5, nr: 16, count: 96 },
                 TileCount { mr: 8, nr: 4, count: 12 },
             ],
-            fallbacks: FallbackStats { pool_packs: 1, scalar_kernels: 0, breaker_reroutes: 2 },
+            fallbacks: FallbackStats {
+                pool_packs: 1,
+                scalar_kernels: 0,
+                breaker_reroutes: 2,
+                inline_drains: 0,
+            },
             health: HealthReport {
                 paths: vec![
                     PathHealth {
@@ -741,6 +797,17 @@ mod tests {
                 plan_cache_hits: 7,
                 plan_cache_misses: 3,
             },
+            pool: PoolStats {
+                workers: 3,
+                alive_workers: 3,
+                submissions: 42,
+                jobs_completed: 42,
+                wake_count: 120,
+                wake_ns_total: 84_000,
+                busy_ns_total: 9_000_000,
+                park_ns_total: 2_000_000,
+                threads_clamped: 1,
+            },
             model: Some(ModelJoin {
                 projected_kernel_cycles: 1.25e6,
                 measured_kernel_cycles: 630_000,
@@ -748,6 +815,12 @@ mod tests {
             }),
         }
     }
+
+    /// The exact serialization of an all-zero `pool` section, as the v3
+    /// and older fixtures need to strip it.
+    const DEFAULT_POOL_JSON: &str = "\"pool\":{\"workers\":0,\"alive_workers\":0,\
+         \"submissions\":0,\"jobs_completed\":0,\"wake_count\":0,\"wake_ns_total\":0,\
+         \"busy_ns_total\":0,\"park_ns_total\":0,\"threads_clamped\":0},";
 
     #[test]
     fn json_round_trip_is_lossless() {
@@ -784,9 +857,11 @@ mod tests {
         // Reports serialized before the degradation counters existed
         // have no `fallbacks` object and must keep parsing.
         let text = sample_report().to_json().replace(
-            "\"fallbacks\":{\"pool_packs\":1,\"scalar_kernels\":0,\"breaker_reroutes\":2},",
+            "\"fallbacks\":{\"pool_packs\":1,\"scalar_kernels\":0,\"breaker_reroutes\":2,\
+             \"inline_drains\":0},",
             "",
         );
+        assert!(!text.contains("\"fallbacks\""), "fixture must not carry a fallbacks section");
         let back = GemmReport::from_json(&text).expect("report without fallbacks must parse");
         assert_eq!(back.fallbacks, FallbackStats::default());
         assert!(!back.fallbacks.any());
@@ -802,11 +877,13 @@ mod tests {
         let mut r = sample_report();
         r.health = HealthReport::default();
         r.fallbacks.breaker_reroutes = 0;
+        r.pool = PoolStats::default();
         let text = r
             .to_json()
             .replace(&format!("\"schema_version\":{SCHEMA_VERSION}"), "\"schema_version\":1")
-            .replace(",\"breaker_reroutes\":0", "")
-            .replace("\"health\":{\"paths\":[],\"transitions\":[]},", "");
+            .replace(",\"breaker_reroutes\":0,\"inline_drains\":0", "")
+            .replace("\"health\":{\"paths\":[],\"transitions\":[]},", "")
+            .replace(DEFAULT_POOL_JSON, "");
         assert!(!text.contains("health"), "v1 fixture must not carry a health section");
         let back = GemmReport::from_json(&text).expect("v1 report must parse leniently");
         assert_eq!(back.health, HealthReport::default());
@@ -821,6 +898,7 @@ mod tests {
         // both operands packed, no plan-cache data.
         let mut r = sample_report();
         r.dispatch = DispatchStats::default();
+        r.pool = PoolStats::default();
         let text = r
             .to_json()
             .replace(&format!("\"schema_version\":{SCHEMA_VERSION}"), "\"schema_version\":2")
@@ -828,7 +906,8 @@ mod tests {
                 "\"dispatch\":{\"route\":\"block\",\"packed_a\":true,\"packed_b\":true,\
                  \"plan_cache_hit\":false,\"plan_cache_hits\":0,\"plan_cache_misses\":0},",
                 "",
-            );
+            )
+            .replace(DEFAULT_POOL_JSON, "");
         // Note: "simd_dispatch" in the health section also contains the
         // substring, so check for the key specifically.
         assert!(!text.contains("\"dispatch\""), "v2 fixture must not carry a dispatch section");
@@ -837,6 +916,36 @@ mod tests {
         assert!(back.dispatch.packed_a && back.dispatch.packed_b);
         assert_eq!(back.dispatch.route, "block");
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn v3_report_parses_with_default_pool() {
+        // A schema-v3 report: version 3, no `pool` section and no
+        // `fallbacks.inline_drains` counter — no worker pool existed, so
+        // all-zero counters are the honest parse.
+        let mut r = sample_report();
+        r.pool = PoolStats::default();
+        let text = r
+            .to_json()
+            .replace(&format!("\"schema_version\":{SCHEMA_VERSION}"), "\"schema_version\":3")
+            .replace(",\"inline_drains\":0", "")
+            .replace(DEFAULT_POOL_JSON, "");
+        // "pool_packs"/"pool_alloc" also contain the substring, so check
+        // for the section key specifically.
+        assert!(!text.contains("\"pool\":"), "v3 fixture must not carry a pool section");
+        assert!(!text.contains("inline_drains"), "v3 fixture must not carry inline_drains");
+        let back = GemmReport::from_json(&text).expect("v3 report must parse leniently");
+        assert_eq!(back.pool, PoolStats::default());
+        assert_eq!(back.fallbacks.inline_drains, 0);
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn pool_section_round_trips() {
+        let r = sample_report();
+        let back = GemmReport::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(back.pool, r.pool);
+        assert_eq!(back.pool.submissions, 42);
     }
 
     #[test]

@@ -213,18 +213,17 @@ mod tests {
     #[test]
     fn scopes_merge_across_threads() {
         let s = Arc::new(Session::new());
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..4 {
                 let s = &s;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     with_session(s, || {
                         record_pack_b(32);
                         record_tile(4, 16);
                     });
                 });
             }
-        })
-        .unwrap();
+        });
         let stats = s.take();
         assert_eq!(stats.b_packs, 4);
         assert_eq!(stats.tile_counts()[0].count, 4);

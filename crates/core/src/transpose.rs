@@ -8,10 +8,12 @@
 //! libraries implement `sgemm`'s `transa`/`transb`.
 
 use crate::error::{self, GemmError};
-use crate::native::{block_visit_order, run_placement, CTile};
+use crate::native::{block_visit_order, run_placement, CTile, Poison};
 use crate::packing::{pack_block, pack_block_t, PackedBlock};
 use crate::plan::ExecutionPlan;
+use crate::runtime::Exec;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Whether an operand is used as stored or transposed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,64 +148,58 @@ pub fn try_gemm_op_acc(
 
     // SAFETY: blocks partition C; K is never split across threads (§V-C).
     let c_root = unsafe { CTile::new(c.as_mut_ptr(), n, c.len()) };
-    // `c_root` is passed by value (CTile is Copy + Send, not Sync) so the
-    // shared closure itself stays Sync.
-    let run_stride = |c_root: CTile, t: usize, stride: usize| {
-        for (bi, bj) in blocks.iter().skip(t).step_by(stride) {
-            let row0 = bi * s.mc;
-            let col0 = bj * s.nc;
-            // SAFETY: exclusive block ownership.
-            let c_block = unsafe { c_root.offset(row0, col0) };
-            for kb in 0..tk {
-                let krow = kb * s.kc;
-                let pa = pack_a_op(op_a, a, m, k, row0, krow, s.mc, s.kc, plan.sigma_lane);
-                let pb = pack_b_op(op_b, b, k, n, krow, col0, s.kc, s.nc, plan.sigma_lane);
-                for placement in &plan.block_plan.placements {
-                    run_placement(
-                        placement,
-                        s.kc,
-                        &pa.data,
-                        pa.ld,
-                        &pb.data,
-                        pb.ld,
-                        c_block,
-                        accumulate || kb > 0,
-                    );
-                }
+    let run_block = |bi: usize, bj: usize| {
+        let row0 = bi * s.mc;
+        let col0 = bj * s.nc;
+        // SAFETY: exclusive block ownership.
+        let c_block = unsafe { c_root.offset(row0, col0) };
+        for kb in 0..tk {
+            let krow = kb * s.kc;
+            let pa = pack_a_op(op_a, a, m, k, row0, krow, s.mc, s.kc, plan.sigma_lane);
+            let pb = pack_b_op(op_b, b, k, n, krow, col0, s.kc, s.nc, plan.sigma_lane);
+            for placement in &plan.block_plan.placements {
+                run_placement(
+                    placement,
+                    s.kc,
+                    &pa.data,
+                    pa.ld,
+                    &pb.data,
+                    pb.ld,
+                    c_block,
+                    accumulate || kb > 0,
+                );
             }
         }
     };
     if threads == 1 {
-        return catch_unwind(AssertUnwindSafe(|| run_stride(c_root, 0, 1))).map_err(|payload| {
-            GemmError::WorkerPanicked { thread: 0, detail: error::panic_detail(payload.as_ref()) }
-        });
-    }
-    let first_panic: parking_lot::Mutex<Option<(usize, String)>> = parking_lot::Mutex::new(None);
-    let scope_ok = crossbeam::scope(|scope| {
-        for t in 0..threads {
-            let (run_stride, first_panic) = (&run_stride, &first_panic);
-            scope.spawn(move |_| {
-                if let Err(payload) =
-                    catch_unwind(AssertUnwindSafe(|| run_stride(c_root, t, threads)))
-                {
-                    let mut slot = first_panic.lock();
-                    if slot.is_none() {
-                        *slot = Some((t, error::panic_detail(payload.as_ref())));
-                    }
-                }
-            });
-        }
-    });
-    if scope_ok.is_err() {
-        return Err(GemmError::WorkerPanicked {
+        return catch_unwind(AssertUnwindSafe(|| {
+            for &(bi, bj) in &blocks {
+                run_block(bi, bj);
+            }
+        }))
+        .map_err(|payload| GemmError::WorkerPanicked {
             thread: 0,
-            detail: "worker scope failed".to_string(),
+            detail: error::panic_detail(payload.as_ref()),
         });
     }
-    match first_panic.into_inner() {
-        Some((thread, detail)) => Err(GemmError::WorkerPanicked { thread, detail }),
-        None => Ok(()),
-    }
+    let exec = Exec::unsupervised();
+    let cursor = AtomicUsize::new(0);
+    let poison = Poison::new();
+    let body = |t: usize| {
+        let run = catch_unwind(AssertUnwindSafe(|| loop {
+            if poison.is_poisoned() {
+                break;
+            }
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(&(bi, bj)) = blocks.get(i) else { break };
+            run_block(bi, bj);
+        }));
+        if let Err(payload) = run {
+            poison.record(t, payload);
+        }
+    };
+    exec.run_section(threads, &body);
+    poison.into_result()
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use autogemm::faultinject::{arm, FaultAction, FaultPlan, FaultSite, Trigger};
 use autogemm::supervisor::{
     BreakerConfig, BreakerPath, BreakerState, CancelToken, GemmOptions, WatchdogConfig,
 };
-use autogemm::{AutoGemm, GemmError};
+use autogemm::{AutoGemm, GemmError, Runtime};
 use autogemm_arch::ChipSpec;
 use autogemm_baselines::naive::{max_rel_error, naive_gemm};
 use std::sync::{Mutex, MutexGuard, Once, OnceLock};
@@ -489,7 +489,10 @@ fn watchdog_detects_a_stalled_worker_and_reports_heartbeats() {
             GemmError::Stalled { phase, quiescence_ms, heartbeats } => {
                 assert_eq!(*phase, "kernel", "t{threads}");
                 assert_eq!(*quiescence_ms, 80, "t{threads}");
-                assert_eq!(heartbeats.len(), threads, "t{threads}: one counter per worker");
+                // One counter per engaged worker; oversubscribed requests
+                // are clamped to the runtime's capacity.
+                let engaged = threads.min(engine.runtime().capacity());
+                assert_eq!(heartbeats.len(), engaged, "t{threads}: one counter per worker");
             }
             other => panic!("t{threads}: expected Stalled, got {other:?}"),
         }
@@ -497,6 +500,173 @@ fn watchdog_detects_a_stalled_worker_and_reports_heartbeats() {
         drop(guard);
         assert_recovered(&engine, threads, &format!("watchdog t{threads}"));
     }
+}
+
+// ---------------------------------------------------------------------------
+// ISSUE 7: the worker-pool submission site (FaultSite::PoolSubmit)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pool_submit_degrade_drains_inline_bit_identical() {
+    let _g = chaos_lock();
+    let engine = engine_unbroken();
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k, 14);
+    for threads in [2, 8] {
+        // Fault-free reference run (pooled submission).
+        let mut c_ref = vec![0.0f32; m * n];
+        engine.try_gemm_threaded(m, n, k, &a, &b, &mut c_ref, threads).unwrap();
+
+        let guard =
+            arm(FaultPlan::single(FaultSite::PoolSubmit, FaultAction::Degrade, Trigger::Nth(1)));
+        let mut c = vec![0.0f32; m * n];
+        let report = engine.try_gemm_traced(m, n, k, &a, &b, &mut c, threads).unwrap();
+        assert!(guard.fired() >= 1, "t{threads}: degrade never fired");
+        drop(guard);
+        // The caller drained every section alone; section bodies are
+        // slot-agnostic cursor drains, so the result is bit-identical.
+        assert_eq!(c, c_ref, "t{threads}: inline drain diverged");
+        assert!(
+            report.fallbacks.inline_drains >= 1,
+            "t{threads}: inline_drains = {} not recorded",
+            report.fallbacks.inline_drains
+        );
+    }
+}
+
+#[test]
+fn pool_submit_fail_is_a_structured_error_with_c_untouched() {
+    let _g = chaos_lock();
+    let engine = engine_unbroken();
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k, 15);
+    for threads in [2, 8] {
+        let guard =
+            arm(FaultPlan::single(FaultSite::PoolSubmit, FaultAction::Fail, Trigger::Nth(1)));
+        let sentinel: Vec<f32> = (0..m * n).map(|i| i as f32 + 0.5).collect();
+        let mut c = sentinel.clone();
+        let e = engine.try_gemm_threaded(m, n, k, &a, &b, &mut c, threads).unwrap_err();
+        assert!(guard.fired() >= 1, "t{threads}");
+        drop(guard);
+        match &e {
+            GemmError::AllocFailed { phase } => assert_eq!(*phase, "pool submit", "t{threads}"),
+            other => panic!("t{threads}: expected AllocFailed(pool submit), got {other:?}"),
+        }
+        // The submit probe precedes every C write.
+        assert_eq!(c, sentinel, "t{threads}: C was touched");
+        assert_recovered(&engine, threads, &format!("pool_submit fail t{threads}"));
+    }
+}
+
+#[test]
+fn pool_submit_panic_is_contained_and_the_pool_survives() {
+    let _g = chaos_lock();
+    let engine = engine_unbroken();
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k, 16);
+    let rt = engine.runtime().clone();
+    let workers = rt.stats().workers as usize;
+    for threads in [2, 8] {
+        let guard =
+            arm(FaultPlan::single(FaultSite::PoolSubmit, FaultAction::Panic, Trigger::Nth(1)));
+        let mut c = vec![0.0f32; m * n];
+        let e = engine.try_gemm_threaded(m, n, k, &a, &b, &mut c, threads).unwrap_err();
+        assert!(guard.fired() >= 1, "t{threads}");
+        drop(guard);
+        match &e {
+            GemmError::WorkerPanicked { detail, .. } => {
+                assert!(detail.contains("injected fault"), "t{threads}: {detail}")
+            }
+            other => panic!("t{threads}: expected WorkerPanicked, got {other:?}"),
+        }
+        // A poisoned submission never costs a pool worker.
+        assert_eq!(rt.alive_workers(), workers, "t{threads}: pool worker leaked");
+        assert_recovered(&engine, threads, &format!("pool_submit panic t{threads}"));
+    }
+}
+
+#[test]
+fn pool_submit_probe_never_fires_single_threaded() {
+    let _g = chaos_lock();
+    let engine = engine_unbroken();
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k, 17);
+    let guard =
+        arm(FaultPlan::single(FaultSite::PoolSubmit, FaultAction::Fail, Trigger::EveryKth(1)));
+    let mut c = vec![0.0f32; m * n];
+    engine.try_gemm_threaded(m, n, k, &a, &b, &mut c, 1).unwrap();
+    assert_eq!(guard.fired(), 0, "single-threaded calls must not consult the pool gate");
+    drop(guard);
+    assert!(max_rel_error(&c, &oracle(m, n, k, &a, &b)) < 1e-5);
+}
+
+#[test]
+fn dedicated_pool_survives_poisoned_submissions_and_stays_reusable() {
+    let _g = chaos_lock();
+    let rt = Runtime::with_workers(1);
+    let engine = engine_unbroken().with_runtime(rt.clone());
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k, 19);
+    let workers = rt.stats().workers as usize;
+
+    // Every worker (caller included) panics at its block-loop entry.
+    let guard =
+        arm(FaultPlan::single(FaultSite::WorkerStartup, FaultAction::Panic, Trigger::EveryKth(1)));
+    let mut c = vec![0.0f32; m * n];
+    let e = engine.try_gemm_threaded(m, n, k, &a, &b, &mut c, 2).unwrap_err();
+    assert!(matches!(e, GemmError::WorkerPanicked { .. }), "{e:?}");
+    drop(guard);
+
+    // The panic was contained per-submission: the long-lived pool worker
+    // is still parked and the next call reuses it cleanly.
+    assert_eq!(rt.alive_workers(), workers, "poisoned submission killed a pool worker");
+    let submissions_before = rt.stats().submissions;
+    let mut c = vec![0.0f32; m * n];
+    engine.try_gemm_threaded(m, n, k, &a, &b, &mut c, 2).unwrap();
+    assert!(max_rel_error(&c, &oracle(m, n, k, &a, &b)) < 1e-5);
+    assert!(rt.stats().submissions > submissions_before, "reuse call must go through the pool");
+    assert_eq!(rt.alive_workers(), workers);
+}
+
+#[test]
+fn pool_submit_breaker_trips_and_reroutes_to_inline_drains() {
+    let _g = chaos_lock();
+    let engine = AutoGemm::new(ChipSpec::graviton2()).with_breaker_config(BreakerConfig {
+        fail_threshold: 2,
+        open_cooldown: 2,
+        close_after: 1,
+    });
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k, 18);
+    let want = oracle(m, n, k, &a, &b);
+    let path = BreakerPath::PoolSubmit;
+    let threads = 2;
+
+    let guard =
+        arm(FaultPlan::single(FaultSite::PoolSubmit, FaultAction::Degrade, Trigger::EveryKth(1)));
+    // Two consecutive degraded submissions trip the path.
+    for call in 0..2 {
+        let mut c = vec![0.0f32; m * n];
+        engine.try_gemm_threaded(m, n, k, &a, &b, &mut c, threads).unwrap();
+        assert!(max_rel_error(&c, &want) < 1e-5, "call {call}");
+    }
+    assert_eq!(engine.breaker().state(path), BreakerState::Open);
+
+    // Open: the probe is skipped, the reroute is recorded, and the call
+    // still completes correctly on inline drains.
+    let fired_before = guard.fired();
+    let mut c = vec![0.0f32; m * n];
+    let report = engine.try_gemm_traced(m, n, k, &a, &b, &mut c, threads).unwrap();
+    assert_eq!(guard.fired(), fired_before, "probe must be skipped while Open");
+    assert!(report.fallbacks.breaker_reroutes >= 1);
+    assert!(max_rel_error(&c, &want) < 1e-5);
+    drop(guard);
+
+    // Disarmed: the half-open probe is clean and the pool path closes.
+    let mut c = vec![0.0f32; m * n];
+    engine.try_gemm_threaded(m, n, k, &a, &b, &mut c, threads).unwrap();
+    assert_eq!(engine.breaker().state(path), BreakerState::Closed);
+    assert!(max_rel_error(&c, &want) < 1e-5);
 }
 
 #[test]

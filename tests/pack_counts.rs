@@ -108,13 +108,13 @@ fn offline_prepacked_b_is_never_repacked() {
 #[test]
 fn batch_with_shared_b_packs_it_once() {
     // One offline pack of B for the whole batch (tk·tn), done upfront on
-    // the calling thread. The per-item A packs happen inside the batch's
-    // scoped workers (outside this thread's session scope; the per-item
-    // tm·tk count is pinned by `offline_prepacked_b_is_never_repacked`),
-    // so on the calling thread the B prepack must be the *only* pack.
+    // the calling thread. A single-threaded batch drains every item on
+    // the caller too (the pool runtime hands nothing off at threads=1),
+    // so each item's A panels are packed exactly once — items·tm·tk in
+    // this thread's session scope — and the shared B never re-packs.
     let (m, n, k, items) = (8usize, 12usize, 16usize, 5usize);
     let plan = plan_for(m, n, k);
-    let (_tm, tn, tk) = plan.grid();
+    let (tm, tn, tk) = plan.grid();
     let a_store: Vec<Vec<f32>> =
         (0..items).map(|t| (0..m * k).map(|i| ((i + t) % 9) as f32 - 4.0).collect()).collect();
     let b_shared: Vec<f32> = (0..k * n).map(|i| (i % 11) as f32 - 5.0).collect();
@@ -125,7 +125,11 @@ fn batch_with_shared_b_packs_it_once() {
     let mut c = vec![0.0f32; items * m * n];
     let ((), a_packs, b_packs) = counted(|| autogemm::gemm_batch(&plan, &batch, &mut c, 1));
     assert_eq!(b_packs, (tk * tn) as u64, "batch sharing one B must pack it exactly once");
-    assert_eq!(a_packs, 0, "A panels are packed by the item workers, never by the caller");
+    assert_eq!(
+        a_packs,
+        (items * tm * tk) as u64,
+        "single-threaded batch drains items on the caller, packing each item's A once"
+    );
     // The batch output must still match item-by-item plan-level runs.
     for (i, a) in a_store.iter().enumerate() {
         let mut c_ref = vec![0.0f32; m * n];

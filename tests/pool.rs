@@ -1,0 +1,189 @@
+//! Worker-pool runtime integration suite (ISSUE 7).
+//!
+//! The threaded hot path must submit sections to the persistent pool —
+//! never spawn OS threads per call — while staying bit-identical to the
+//! scoped-spawn baseline it replaced. These tests run without features:
+//! the pool is the default execution path.
+
+use autogemm::native::try_gemm_with_plan_supervised;
+use autogemm::supervisor::Supervision;
+use autogemm::{AutoGemm, PanelPool, Runtime};
+use autogemm_arch::ChipSpec;
+use autogemm_baselines::naive::{max_rel_error, naive_gemm};
+use proptest::prelude::*;
+
+fn data(m: usize, n: usize, k: usize, seed: u32) -> (Vec<f32>, Vec<f32>) {
+    let f = |i: usize, s: u32| {
+        (((i as u32).wrapping_mul(2654435761).wrapping_add(s) >> 16) % 31) as f32 - 15.0
+    };
+    let a = (0..m * k).map(|i| f(i, seed) * 0.125).collect();
+    let b = (0..k * n).map(|i| f(i, seed ^ 0x9001) * 0.25).collect();
+    (a, b)
+}
+
+fn oracle(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut want = vec![0.0f32; m * n];
+    naive_gemm(m, n, k, a, b, &mut want);
+    want
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Pooled execution is bit-identical to the scoped-spawn baseline:
+    /// both drain the same atomic block cursor with slot-agnostic
+    /// bodies, so only the dispatch mechanism differs.
+    #[test]
+    fn pooled_matches_scoped_spawn_bit_for_bit(
+        m in 1usize..48,
+        n in 1usize..48,
+        k in 1usize..40,
+        threads in 2usize..5,
+        seed in 0u32..1000,
+    ) {
+        let engine = AutoGemm::new(ChipSpec::graviton2());
+        let plan = engine.plan_multicore(m, n, k, threads);
+        let (a, b) = data(m, n, k, seed);
+
+        let pool = PanelPool::new();
+        let mut c_pooled = vec![0.0f32; m * n];
+        try_gemm_with_plan_supervised(
+            &plan, &a, &b, &mut c_pooled, threads, &pool, &Supervision::none(),
+        ).unwrap();
+
+        let pool = PanelPool::new();
+        let mut c_scoped = vec![0.0f32; m * n];
+        try_gemm_with_plan_supervised(
+            &plan, &a, &b, &mut c_scoped, threads, &pool,
+            &Supervision::none().with_spawn_baseline(),
+        ).unwrap();
+
+        prop_assert_eq!(&c_pooled, &c_scoped, "pool vs scoped diverged");
+        prop_assert!(max_rel_error(&c_pooled, &oracle(m, n, k, &a, &b)) < 1e-4);
+    }
+}
+
+/// Several OS threads hammer one shared engine concurrently; every
+/// submission serializes through the same pool and every result must
+/// match the oracle.
+#[test]
+fn concurrent_submissions_to_one_engine_are_all_correct() {
+    let engine = AutoGemm::new(ChipSpec::graviton2());
+    let shapes = [(26usize, 36usize, 64usize), (40, 12, 24), (7, 33, 16), (64, 64, 8)];
+    std::thread::scope(|scope| {
+        for (caller, &(m, n, k)) in shapes.iter().enumerate() {
+            let engine = &engine;
+            scope.spawn(move || {
+                let (a, b) = data(m, n, k, caller as u32 + 100);
+                let want = oracle(m, n, k, &a, &b);
+                for rep in 0..8 {
+                    let mut c = vec![0.0f32; m * n];
+                    engine.try_gemm_threaded(m, n, k, &a, &b, &mut c, 2).unwrap();
+                    assert!(max_rel_error(&c, &want) < 1e-4, "caller {caller} rep {rep} diverged");
+                }
+            });
+        }
+    });
+    let stats = engine.pool_stats();
+    assert_eq!(engine.runtime().alive_workers(), stats.workers as usize);
+}
+
+/// Reads this process's thread count from /proc (Linux CI hosts). Falls
+/// back to 0 where /proc is absent, which disables the stability assert.
+fn os_thread_count() -> u64 {
+    std::fs::read_to_string("/proc/self/stat")
+        .ok()
+        .and_then(|s| {
+            // Field 20 (1-indexed) after the comm field, which may hold
+            // spaces — skip past the closing paren first.
+            let rest = &s[s.rfind(')')? + 2..];
+            rest.split_whitespace().nth(17)?.parse::<u64>().ok()
+        })
+        .unwrap_or(0)
+}
+
+/// The tentpole's core claim: a burst of threaded calls on a warmed-up
+/// dedicated runtime creates zero new OS threads and leaks zero pool
+/// workers — dispatch is wake/park, not spawn/join.
+#[test]
+fn threaded_burst_spawns_no_os_threads_and_leaks_no_workers() {
+    let rt = Runtime::with_workers(1);
+    let engine = AutoGemm::new(ChipSpec::graviton2()).with_runtime(rt.clone());
+    let (m, n, k) = (26, 36, 64);
+    let (a, b) = data(m, n, k, 7);
+    let want = oracle(m, n, k, &a, &b);
+
+    // Warm up: first submission lazily spawns the pool workers (and the
+    // plan cache tunes the shape).
+    let mut c = vec![0.0f32; m * n];
+    engine.try_gemm_threaded(m, n, k, &a, &b, &mut c, 2).unwrap();
+    let workers = rt.stats().workers as usize;
+    assert_eq!(rt.alive_workers(), workers, "pool failed to spawn");
+
+    let threads_before = os_thread_count();
+    let submissions_before = rt.stats().submissions;
+    for _ in 0..32 {
+        let mut c = vec![0.0f32; m * n];
+        engine.try_gemm_threaded(m, n, k, &a, &b, &mut c, 2).unwrap();
+        assert!(max_rel_error(&c, &want) < 1e-4);
+    }
+    let stats = rt.stats();
+    assert!(
+        stats.submissions >= submissions_before + 32,
+        "burst must route through the pool: {} -> {}",
+        submissions_before,
+        stats.submissions
+    );
+    assert_eq!(rt.alive_workers(), workers, "pool leaked or lost a worker");
+    if threads_before > 0 {
+        assert_eq!(os_thread_count(), threads_before, "threaded calls must not create OS threads");
+    }
+}
+
+/// Oversubscribed requests are clamped to the runtime's capacity and the
+/// clamp is recorded — never an error, never an oversubscribed spawn.
+#[test]
+fn oversubscribed_thread_requests_clamp_and_record() {
+    let rt = Runtime::with_workers(1);
+    let engine = AutoGemm::new(ChipSpec::graviton2()).with_runtime(rt.clone());
+    let (m, n, k) = (40, 36, 24);
+    let (a, b) = data(m, n, k, 8);
+    let clamped_before = rt.stats().threads_clamped;
+
+    let mut c = vec![0.0f32; m * n];
+    engine.try_gemm_threaded(m, n, k, &a, &b, &mut c, 16).unwrap();
+    assert!(max_rel_error(&c, &oracle(m, n, k, &a, &b)) < 1e-4);
+    assert!(
+        rt.stats().threads_clamped > clamped_before,
+        "a 16-thread request on a capacity-{} runtime must record a clamp",
+        rt.capacity()
+    );
+    assert!(16 > rt.capacity(), "test premise: the host cannot grant 16 workers");
+}
+
+/// Traced reports carry the pool section (schema v4) and it survives a
+/// JSON round trip.
+#[test]
+fn traced_report_carries_pool_stats() {
+    let rt = Runtime::with_workers(1);
+    let engine = AutoGemm::new(ChipSpec::graviton2()).with_runtime(rt);
+    let (m, n, k) = (26, 36, 64);
+    let (a, b) = data(m, n, k, 9);
+    let mut c = vec![0.0f32; m * n];
+    let report = engine.try_gemm_traced(m, n, k, &a, &b, &mut c, 2).unwrap();
+    assert!(report.pool.submissions >= 1, "threaded traced call must submit to the pool");
+    assert_eq!(report.pool.workers as usize + 1, engine.runtime().capacity());
+
+    let text = report.to_json();
+    assert!(text.contains("\"pool\":"), "v4 report must serialize the pool section");
+    let back = autogemm::GemmReport::from_json(&text).unwrap();
+    assert_eq!(back.pool, report.pool);
+}
+
+/// The process-wide default runtime is shared: two default engines
+/// observe the same pool.
+#[test]
+fn default_engines_share_the_global_runtime() {
+    let e1 = AutoGemm::new(ChipSpec::graviton2());
+    let e2 = AutoGemm::new(ChipSpec::graviton2());
+    assert!(std::sync::Arc::ptr_eq(e1.runtime(), e2.runtime()));
+}
