@@ -87,9 +87,19 @@ echo "== microkernel bench smoke =="
 cargo run --release -p autogemm-bench --bin microkernel -- --smoke
 
 echo "== gemmtrace bench smoke =="
-# Runs the traced shape sweep's cube subset and re-parses every emitted
-# report through the GemmReport schema-version guard.
+# Runs the traced shape sweep's cube subset through the engine front
+# door, re-parses every emitted report through the GemmReport
+# schema-version guard, and gates that metrics-off try_gemm latency
+# stays within noise of metrics-on.
 cargo run --release -p autogemm-bench --features telemetry --bin gemmtrace -- --smoke
+
+echo "== bench artifact schema guard =="
+# Re-parse every committed BENCH_*.json through the versioned-schema
+# parser: embedded GemmReports must pass the lenient version guard,
+# timeline artifacts must be well-formed Chrome trace events, and every
+# artifact (including ones with no reports, e.g. BENCH_pool.json) must
+# be valid JSON.
+cargo run --release -p autogemm-bench --bin schema_guard
 
 echo "== rustfmt =="
 if cargo fmt --version >/dev/null 2>&1; then

@@ -3,14 +3,15 @@
 //!
 //! For every shape in [`autogemm_workloads::gemmtrace_sweep`] (Fig 8
 //! cubes plus one Table V ResNet-50 layer per irregularity class) the
-//! binary runs the traced panel-cache driver
-//! ([`autogemm::native::gemm_with_plan_traced`]), keeps the best-wall
+//! binary runs the engine's traced front door
+//! ([`autogemm::AutoGemm::try_gemm_traced`]), keeps the best-wall
 //! report of a few repetitions, joins it against the perfmodel's
 //! projected cycles ([`autogemm::GemmReport::join_model`]) and records
 //! the full versioned-JSON report: per-phase wall/cycle breakdown
 //! (pack-A, pack-B, kernel, drain), pack counts/bytes, per-thread block
-//! counts and busy fractions, the dispatched kernel-shape histogram and
-//! the measured-vs-model `cycle_ratio`.
+//! counts and busy fractions, the dispatched kernel-shape histogram,
+//! the measured-vs-model `cycle_ratio`, plus the schema-v4 `pool` and
+//! `dispatch` sections and the schema-v5 engine `metrics` snapshot.
 //!
 //! The ratio mixes host counter ticks with modelled-chip cycles, so its
 //! absolute value is host-specific; its *flatness across shapes* is the
@@ -20,23 +21,28 @@
 //! ```text
 //! cargo run --release -p autogemm-bench --features telemetry --bin gemmtrace [OUT.json]
 //! cargo run --release -p autogemm-bench --features telemetry --bin gemmtrace -- --smoke
+//! cargo run --release -p autogemm-bench --features telemetry --bin gemmtrace -- --timeline
 //! ```
 //!
 //! `--smoke` (the CI mode) runs only the small cube shapes with one
 //! repetition and writes no artifact unless a path is also given — but
-//! still serializes every report and re-parses it through the
-//! schema-version guard, so CI validates the emitted JSON either way.
-//! Without the `telemetry` feature the binary still runs (and the smoke
-//! validation still holds) but all timings are zero.
+//! still serializes every report, re-parses it through the
+//! schema-version guard, and gates that the registry's metrics-off path
+//! adds no measurable overhead to `try_gemm`. `--timeline` runs a short
+//! multi-threaded burst on a tracing engine and writes
+//! `BENCH_timeline.json`, a Chrome trace-event timeline (open it in
+//! Perfetto or `chrome://tracing`) with pack/kernel spans on every
+//! engaged worker track. Without the `telemetry` feature the binary
+//! still runs (and the smoke validation still holds) but all report
+//! timings are zero.
 
-use autogemm::native::gemm_with_plan_traced;
 use autogemm::telemetry::{Json, ENABLED, SCHEMA_VERSION};
-use autogemm::{ExecutionPlan, GemmReport, PanelPool};
+use autogemm::{AutoGemm, GemmReport};
 use autogemm_arch::ChipSpec;
 use autogemm_bench::print_table;
 use autogemm_perfmodel::{ModelOpts, ProjectionTable};
-use autogemm_tuner::tune;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 const THREADS: usize = 4;
 
@@ -55,10 +61,110 @@ fn pct(part: u64, whole: u64) -> String {
     format!("{:.1}%", 100.0 * part as f64 / whole as f64)
 }
 
+fn median_secs(mut run: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        run();
+    }
+    let mut times: Vec<f64> = (0..15)
+        .map(|_| {
+            let t0 = Instant::now();
+            run();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// `--timeline`: run a short multi-threaded burst on a tracing engine
+/// and write the span timeline as Chrome trace-event JSON.
+fn run_timeline(out_path: &str) {
+    let chip = ChipSpec::graviton2();
+    let engine = AutoGemm::new(chip).with_tracing(4096);
+    for (m, n, k) in [(64, 64, 64), (256, 256, 256), (64, 3136, 64)] {
+        let a = data(m * k, 0x5eed);
+        let b = data(k * n, 0x9e37);
+        let mut c = vec![0.0f32; m * n];
+        for _ in 0..3 {
+            engine
+                .try_gemm_threaded(m, n, k, &a, &b, &mut c, THREADS)
+                .unwrap_or_else(|e| panic!("{m}x{n}x{k}: {e}"));
+        }
+    }
+    let trace = engine.trace_export().expect("engine was built with_tracing");
+    let parsed = Json::parse(&trace).expect("timeline must be valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("timeline must carry a traceEvents array");
+    // The acceptance contract: phase spans (pack/kernel) on at least two
+    // distinct tracks — the caller slot plus at least one pool worker.
+    let mut phase_tracks: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("cat").and_then(Json::as_str) == Some("phase"))
+        .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+        .collect();
+    let phase_spans = phase_tracks.len();
+    phase_tracks.sort_unstable();
+    phase_tracks.dedup();
+    assert!(
+        phase_tracks.len() >= 2,
+        "timeline must show phase spans on >= 2 tracks, got {phase_tracks:?}"
+    );
+    assert!(
+        events.iter().any(|e| e.get("ph").and_then(Json::as_str) == Some("M")),
+        "timeline must carry thread_name metadata events"
+    );
+    std::fs::write(out_path, &trace).expect("write timeline artifact");
+    println!(
+        "wrote {out_path}: {} events, {phase_spans} phase spans across {} tracks",
+        events.len(),
+        phase_tracks.len()
+    );
+}
+
+/// `--smoke` gate: a registry that is switched off must not slow down
+/// `try_gemm` — the disabled path is one relaxed atomic load per call.
+fn gate_metrics_overhead() {
+    let chip = ChipSpec::graviton2();
+    let on = AutoGemm::new(chip.clone());
+    let off = AutoGemm::new(chip);
+    off.set_metrics_enabled(false);
+    let (m, n, k) = (96, 96, 96);
+    let a = data(m * k, 0x5eed);
+    let b = data(k * n, 0x9e37);
+    let mut c = vec![0.0f32; m * n];
+    let t_on = median_secs(|| {
+        on.try_gemm(m, n, k, &a, &b, &mut c).expect("gemm");
+        std::hint::black_box(&c);
+    });
+    let t_off = median_secs(|| {
+        off.try_gemm(m, n, k, &a, &b, &mut c).expect("gemm");
+        std::hint::black_box(&c);
+    });
+    let ratio = t_on / t_off;
+    println!(
+        "metrics overhead gate: enabled {:.3}ms, disabled {:.3}ms, ratio {ratio:.3}",
+        t_on * 1e3,
+        t_off * 1e3
+    );
+    // Both directions: the registry must be noise either way (generous
+    // bound — shared-CI hosts jitter).
+    assert!(
+        ratio < 1.35 && ratio > 1.0 / 1.35,
+        "metrics on/off ratio {ratio:.3} outside noise bound"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let timeline = args.iter().any(|a| a == "--timeline");
     let out_path = args.iter().find(|a| !a.starts_with("--")).cloned();
+    if timeline {
+        run_timeline(out_path.as_deref().unwrap_or("BENCH_timeline.json"));
+        return;
+    }
     let out_path = match (smoke, out_path) {
         (_, Some(p)) => Some(p),
         (true, None) => None,
@@ -77,19 +183,23 @@ fn main() {
         sweep.retain(|(name, ..)| name.starts_with("cube"));
     }
 
-    let pool = PanelPool::new();
+    let engine = AutoGemm::new(chip.clone());
     let mut entries: Vec<(String, GemmReport)> = Vec::new();
     for (name, m, n, k) in sweep {
-        let plan = ExecutionPlan::from_schedule(tune(m, n, k, &chip), &chip);
         let a = data(m * k, 0x5eed);
         let b = data(k * n, 0x9e37);
         let mut c = vec![0.0f32; m * n];
         // Warm the pool (and caches) once, then keep the best-wall rep:
         // steady-state behaviour, not first-touch page faults.
-        gemm_with_plan_traced(&plan, &a, &b, &mut c, THREADS, &pool);
+        let run = |c: &mut Vec<f32>| {
+            engine
+                .try_gemm_traced(m, n, k, &a, &b, c, THREADS)
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+        };
+        run(&mut c);
         let mut best: Option<GemmReport> = None;
         for _ in 0..reps {
-            let r = gemm_with_plan_traced(&plan, &a, &b, &mut c, THREADS, &pool);
+            let r = run(&mut c);
             if best.as_ref().is_none_or(|b| r.wall.wall_ns < b.wall.wall_ns) {
                 best = Some(r);
             }
@@ -116,6 +226,13 @@ fn main() {
             let (lo, hi) =
                 busy.iter().fold((f64::MAX, 0.0f64), |(lo, hi), &f| (lo.min(f), hi.max(f)));
             let mj = r.model.as_ref().expect("joined above");
+            let d = &r.dispatch;
+            let packed = match (d.packed_a, d.packed_b) {
+                (true, true) => "AB",
+                (true, false) => "A",
+                (false, true) => "B",
+                (false, false) => "-",
+            };
             vec![
                 name.clone(),
                 format!("{}x{}x{}", r.m, r.n, r.k),
@@ -128,11 +245,14 @@ fn main() {
                 if busy.is_empty() { "-".into() } else { format!("{lo:.2}/{hi:.2}") },
                 format!("{}", r.total_tiles()),
                 format!("{:.3}", mj.cycle_ratio),
+                format!("{}{}", d.route, if d.plan_cache_hit { "*" } else { "" }),
+                packed.to_string(),
+                format!("{}/{}", r.pool.submissions, r.pool.wake_count),
             ]
         })
         .collect();
     print_table(
-        "gemmtrace: per-GEMM phase profile (threads = 4, best of reps)",
+        "gemmtrace: per-GEMM phase profile (threads = 4, best of reps; route * = plan-cache hit)",
         &[
             "shape",
             "MxNxK",
@@ -145,9 +265,30 @@ fn main() {
             "busy lo/hi",
             "tiles",
             "cyc ratio",
+            "route",
+            "packed",
+            "pool sub/wake",
         ],
         &rows,
     );
+
+    // Engine-lifetime metrics accumulated over the whole sweep — the
+    // registry view the schema-v5 `metrics` section snapshots.
+    let m = engine.metrics();
+    println!(
+        "engine metrics: {} calls, latency p50 {:.3}ms p99 {:.3}ms, \
+         plan cache {} hit / {} miss, breaker transitions {}",
+        m.counter(autogemm::telemetry::Counter::Calls),
+        m.call_latency_ns.p50() as f64 / 1e6,
+        m.call_latency_ns.p99() as f64 / 1e6,
+        m.counter(autogemm::telemetry::Counter::PlanCacheHits),
+        m.counter(autogemm::telemetry::Counter::PlanCacheMisses),
+        m.counter(autogemm::telemetry::Counter::BreakerTransitions),
+    );
+
+    if smoke {
+        gate_metrics_overhead();
+    }
 
     let Some(out_path) = out_path else {
         println!("smoke mode: no artifact written");

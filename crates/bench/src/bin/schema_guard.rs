@@ -1,0 +1,103 @@
+//! Re-parse every committed `BENCH_*.json` artifact through the
+//! versioned-schema parser — the CI sweep that keeps old artifacts
+//! loadable as the schema evolves.
+//!
+//! Every artifact must be valid JSON. On top of that, any object found
+//! anywhere inside one that carries a `schema_version` key is treated
+//! as an embedded [`autogemm::GemmReport`] and must survive
+//! [`GemmReport::from_json_value`] (the guard accepts every version
+//! back to `MIN_SCHEMA_VERSION`, so `BENCH_gemmtrace.json` regenerated
+//! under any schema still passes). A timeline artifact (one with a
+//! top-level `traceEvents` array) is checked for well-formed Chrome
+//! trace events instead: every event needs `ph`/`pid`/`tid`, and every
+//! duration event (`ph: "X"`) needs numeric `ts`/`dur`.
+//!
+//! ```text
+//! cargo run --release -p autogemm-bench --bin schema_guard [DIR]
+//! ```
+//!
+//! Scans `DIR` (default `.`, the repo root in CI) non-recursively and
+//! panics on the first violation — artifacts with no embedded reports
+//! (e.g. `BENCH_pool.json`, previously unguarded entirely) still get
+//! the full JSON validation.
+
+use autogemm::telemetry::Json;
+use autogemm::GemmReport;
+
+/// Recursively count and validate embedded schema-versioned reports.
+fn check_reports(path: &str, v: &Json) -> usize {
+    let mut found = 0;
+    match v {
+        Json::Obj(fields) => {
+            // Artifact envelopes also stamp a top-level `schema_version`;
+            // an embedded GemmReport is distinguished by the mandatory
+            // `phases` section (present in every schema version).
+            if v.get("schema_version").is_some() && v.get("phases").is_some() {
+                GemmReport::from_json_value(v).unwrap_or_else(|e| {
+                    panic!("{path}: embedded report failed the schema guard: {e}")
+                });
+                found += 1;
+            }
+            for (_, inner) in fields {
+                found += check_reports(path, inner);
+            }
+        }
+        Json::Arr(items) => {
+            for inner in items {
+                found += check_reports(path, inner);
+            }
+        }
+        _ => {}
+    }
+    found
+}
+
+/// Validate a Chrome trace-event timeline artifact; returns the event
+/// count.
+fn check_timeline(path: &str, events: &[Json]) -> usize {
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{path}: event {i} missing ph"));
+        for key in ["pid", "tid"] {
+            if e.get(key).and_then(Json::as_u64).is_none() {
+                panic!("{path}: event {i} missing numeric {key}");
+            }
+        }
+        if ph == "X" {
+            for key in ["ts", "dur"] {
+                if e.get(key).and_then(Json::as_f64).is_none() {
+                    panic!("{path}: duration event {i} missing numeric {key}");
+                }
+            }
+        }
+    }
+    events.len()
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("schema_guard: cannot read {dir}: {e}"))
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "schema_guard: no BENCH_*.json artifacts found in {dir}");
+    for name in &names {
+        let path = format!("{dir}/{name}");
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: unreadable: {e}"));
+        let parsed = Json::parse(&text).unwrap_or_else(|e| panic!("{path}: invalid JSON: {e}"));
+        if let Some(events) = parsed.get("traceEvents").and_then(Json::as_arr) {
+            let n = check_timeline(&path, events);
+            println!("{name}: timeline OK ({n} trace events)");
+        } else {
+            let reports = check_reports(&path, &parsed);
+            println!("{name}: OK ({reports} embedded schema-versioned reports)");
+        }
+    }
+    println!("schema_guard: {} artifacts validated", names.len());
+}

@@ -251,7 +251,7 @@ pub fn try_gemm_batch_supervised(
             poisoned.store(true, Ordering::SeqCst);
         }
     };
-    exec.run_section(threads, &body);
+    exec.run_section_traced(threads, "batch", &body);
     monitor.finish();
     drop(watchdog);
     for path in BreakerPath::ALL {

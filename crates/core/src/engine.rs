@@ -11,7 +11,8 @@ use crate::supervisor::{
     is_retryable, Breaker, BreakerConfig, BreakerPath, GemmOptions, ResilientMode, ResilientReport,
     Supervision,
 };
-use crate::telemetry::{DispatchStats, HealthReport};
+use crate::telemetry::metrics::{CallOutcome, Counter, MetricsRegistry, MetricsSnapshot};
+use crate::telemetry::{DispatchStats, HealthReport, TraceBuf};
 use autogemm_arch::ChipSpec;
 use autogemm_sim::Warmth;
 use autogemm_tuner::{tune_with, Packing, Schedule};
@@ -61,20 +62,36 @@ pub struct AutoGemm {
     /// [`crate::runtime`]). Requested thread counts are clamped to its
     /// capacity.
     runtime: Arc<Runtime>,
+    /// Engine-lifetime metrics registry: call latency/throughput
+    /// histograms and outcome/breaker/plan-cache counters, accumulated
+    /// across every front-door call (see [`crate::telemetry::metrics`]).
+    /// Shared with the plan cache and breaker via one-time hooks.
+    metrics: Arc<MetricsRegistry>,
+    /// Optional cross-worker span recorder ([`Self::with_tracing`]):
+    /// pack/kernel/submit/wake/drain spans land here, exported as a
+    /// Chrome trace-event timeline by [`Self::trace_export`].
+    tracer: Option<Arc<TraceBuf>>,
 }
 
 impl AutoGemm {
     /// Create an engine targeting `chip`.
     pub fn new(chip: ChipSpec) -> Self {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let plans = PlanCache::new();
+        plans.attach_metrics(Arc::clone(&metrics));
+        let breaker = Breaker::default();
+        breaker.attach_metrics(Arc::clone(&metrics));
         AutoGemm {
             chip,
             allow_offline: false,
             cmg_replication: false,
-            plans: PlanCache::new(),
+            plans,
             block_sims: Mutex::new(HashMap::new()),
             panel_pool: crate::packing::PanelPool::new(),
-            breaker: Breaker::default(),
+            breaker,
             runtime: Runtime::global(),
+            metrics,
+            tracer: None,
         }
     }
 
@@ -98,6 +115,60 @@ impl AutoGemm {
         self.runtime.stats()
     }
 
+    /// Engine-lifetime metrics snapshot: call-latency and throughput
+    /// quantiles (p50/p95/p99), outcome counters, breaker transitions,
+    /// plan-cache hit/miss/eviction counts, and the runtime's pool
+    /// wake/busy/park histograms — everything accumulated since the
+    /// engine (and its runtime) were created. The snapshot serializes to
+    /// the schema-v5 `metrics` report section and to Prometheus text
+    /// exposition via [`MetricsSnapshot::to_prometheus`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        // Pool instrumentation lives in the runtime's registry (workers
+        // outlive any one engine); merge its histograms into the view.
+        let pool = self.runtime.metrics().snapshot();
+        snap.pool_wake_ns = pool.pool_wake_ns;
+        snap.pool_busy_ns = pool.pool_busy_ns;
+        snap.pool_park_ns = pool.pool_park_ns;
+        snap
+    }
+
+    /// Toggle metrics recording at runtime. Disabled, every front-door
+    /// call pays exactly one relaxed atomic load (the `RunMonitor`
+    /// passive-path contract); counters and histograms freeze at their
+    /// current values and [`Self::metrics`] still snapshots them.
+    pub fn set_metrics_enabled(&self, enabled: bool) {
+        self.metrics.set_enabled(enabled);
+        self.runtime.metrics().set_enabled(enabled);
+    }
+
+    /// Whether the engine registry is currently recording.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_enabled()
+    }
+
+    /// Attach a cross-worker span recorder holding up to
+    /// `spans_per_track` recent spans for each of the runtime's worker
+    /// tracks (plus the caller track). Supervised calls then emit
+    /// pack/kernel phase spans and submit/wake/drain pool spans;
+    /// [`Self::trace_export`] renders them as a Chrome trace-event
+    /// timeline loadable in Perfetto or `chrome://tracing`.
+    pub fn with_tracing(mut self, spans_per_track: usize) -> Self {
+        self.tracer = Some(Arc::new(TraceBuf::new(self.runtime.capacity(), spans_per_track)));
+        self
+    }
+
+    /// The attached span recorder, if tracing was enabled.
+    pub fn tracer(&self) -> Option<&Arc<TraceBuf>> {
+        self.tracer.as_ref()
+    }
+
+    /// Export the recorded span timeline as Chrome trace-event JSON
+    /// (`None` unless built [`Self::with_tracing`]).
+    pub fn trace_export(&self) -> Option<String> {
+        self.tracer.as_ref().map(|t| t.export_chrome_json())
+    }
+
     /// Clamp a requested worker count to what the runtime can actually
     /// engage (pool workers + the calling thread), recording the
     /// fallback in the pool counters when it bites.
@@ -116,6 +187,8 @@ impl AutoGemm {
     /// request streams).
     pub fn with_breaker_config(mut self, cfg: BreakerConfig) -> Self {
         self.breaker = Breaker::new(cfg);
+        // The replacement breaker must keep feeding the engine registry.
+        self.breaker.attach_metrics(Arc::clone(&self.metrics));
         self
     }
 
@@ -388,6 +461,7 @@ impl AutoGemm {
         if !is_retryable(&err) {
             return Err(err);
         }
+        self.metrics.add(Counter::RetryAttempts, 1);
         match self.run_supervised(m, n, k, a, b, c, opts, false, false, true) {
             Ok(()) => {
                 return Ok(ResilientReport { attempts: 2, mode: ResilientMode::SingleThread })
@@ -395,6 +469,7 @@ impl AutoGemm {
             Err(e) if !is_retryable(&e) => return Err(e),
             Err(_) => {}
         }
+        self.metrics.add(Counter::RetryAttempts, 1);
         self.run_supervised(m, n, k, a, b, c, opts, true, true, true)
             .map(|()| ResilientReport { attempts: 3, mode: ResilientMode::ScalarTransient })
     }
@@ -410,12 +485,61 @@ impl AutoGemm {
         &self.breaker
     }
 
+    /// Classify a call result for the metrics registry: cancellation is
+    /// its own outcome (deliberate, not a fault), everything else `Err`
+    /// counts as an error.
+    fn call_outcome<T>(result: &Result<T, GemmError>) -> CallOutcome {
+        match result {
+            Ok(_) => CallOutcome::Ok,
+            Err(GemmError::Cancelled { .. }) => CallOutcome::Cancelled,
+            Err(_) => CallOutcome::Error,
+        }
+    }
+
+    /// `2·m·n·k` saturated to `u64` — the FLOP count the throughput
+    /// histogram divides by call latency.
+    fn call_flops(m: usize, n: usize, k: usize) -> u64 {
+        2u64.saturating_mul(m as u64).saturating_mul(n as u64).saturating_mul(k as u64)
+    }
+
     /// Shared implementation of every supervised native call: breaker
     /// admission → supervision bundle → plan → driver → breaker record.
     /// `force_*` flags are the resilient ladder's degradations, OR-ed
-    /// with whatever the breaker quarantines.
+    /// with whatever the breaker quarantines. Wraps the whole call in
+    /// the registry's latency/throughput measurement.
     #[allow(clippy::too_many_arguments)]
     fn run_supervised(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        opts: &GemmOptions,
+        force_reference: bool,
+        force_transient: bool,
+        force_single_thread: bool,
+    ) -> Result<(), GemmError> {
+        let t0 = self.metrics.call_begin();
+        let result = self.run_supervised_inner(
+            m,
+            n,
+            k,
+            a,
+            b,
+            c,
+            opts,
+            force_reference,
+            force_transient,
+            force_single_thread,
+        );
+        self.metrics.call_end(t0, Self::call_flops(m, n, k), Self::call_outcome(&result));
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_supervised_inner(
         &self,
         m: usize,
         n: usize,
@@ -442,6 +566,9 @@ impl AutoGemm {
         let adm = self.breaker.admit();
         let reroute = adm.reroute;
         let mut sup = Supervision::from_options(opts).with_runtime(self.runtime.clone());
+        if let Some(t) = &self.tracer {
+            sup = sup.with_tracer(Arc::clone(t));
+        }
         sup.set_force_reference(force_reference || reroute[BreakerPath::SimdDispatch.index()]);
         sup.set_force_transient(force_transient || reroute[BreakerPath::PoolAlloc.index()]);
         sup.set_force_inline(reroute[BreakerPath::PoolSubmit.index()]);
@@ -556,6 +683,28 @@ impl AutoGemm {
         c: &mut [f32],
         opts: &GemmOptions,
     ) -> Result<crate::GemmReport, GemmError> {
+        let t0 = self.metrics.call_begin();
+        let result = self.try_gemm_traced_inner(m, n, k, a, b, c, opts);
+        self.metrics.call_end(t0, Self::call_flops(m, n, k), Self::call_outcome(&result));
+        // Stamp the post-call registry view on the report (schema-v5
+        // `metrics` section) so committed artifacts carry it.
+        result.map(|mut report| {
+            report.metrics = Some(self.metrics());
+            report
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_gemm_traced_inner(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        opts: &GemmOptions,
+    ) -> Result<crate::GemmReport, GemmError> {
         error::check_operands(m, n, k, a, b, c)?;
         if m == 0 || n == 0 || k == 0 {
             // Degenerate shapes never reach the tuner (and are neutral
@@ -570,6 +719,9 @@ impl AutoGemm {
         let reroute = adm.reroute;
         let mut events = adm.events;
         let mut sup = Supervision::from_options(opts).with_runtime(self.runtime.clone());
+        if let Some(t) = &self.tracer {
+            sup = sup.with_tracer(Arc::clone(t));
+        }
         sup.set_force_reference(reroute[BreakerPath::SimdDispatch.index()]);
         sup.set_force_transient(reroute[BreakerPath::PoolAlloc.index()]);
         sup.set_force_inline(reroute[BreakerPath::PoolSubmit.index()]);
@@ -659,6 +811,19 @@ impl AutoGemm {
         c: &mut [f32],
         opts: &GemmOptions,
     ) -> Result<(), GemmError> {
+        let t0 = self.metrics.call_begin();
+        let result = self.try_gemm_batch_inner(batch, c, opts);
+        let flops = Self::call_flops(batch.m, batch.n, batch.k).saturating_mul(batch.len() as u64);
+        self.metrics.call_end(t0, flops, Self::call_outcome(&result));
+        result
+    }
+
+    fn try_gemm_batch_inner(
+        &self,
+        batch: &GemmBatch,
+        c: &mut [f32],
+        opts: &GemmOptions,
+    ) -> Result<(), GemmError> {
         let (m, n, k) = (batch.m, batch.n, batch.k);
         let item = error::checked_size("m*n", m, n)?;
         let expected = item.checked_mul(batch.len()).ok_or(GemmError::SizeOverflow {
@@ -684,6 +849,9 @@ impl AutoGemm {
         let adm = self.breaker.admit();
         let reroute = adm.reroute;
         let mut sup = Supervision::from_options(opts).with_runtime(self.runtime.clone());
+        if let Some(t) = &self.tracer {
+            sup = sup.with_tracer(Arc::clone(t));
+        }
         sup.set_force_reference(reroute[BreakerPath::SimdDispatch.index()]);
         sup.set_force_transient(reroute[BreakerPath::PoolAlloc.index()]);
         sup.set_force_inline(reroute[BreakerPath::PoolSubmit.index()]);

@@ -381,6 +381,7 @@ fn try_run_units(
     let mut finished: Vec<(ThreadProfile, Stamp)> = Vec::with_capacity(threads);
     if threads == 1 {
         let mut prof = ThreadProfile { thread: 0, ..ThreadProfile::default() };
+        let s0 = exec.trace_begin();
         contain(|| {
             with_optional_session(sess, || {
                 faultinject::probe(FaultSite::WorkerStartup);
@@ -396,6 +397,7 @@ fn try_run_units(
                 }
             })
         })?;
+        exec.trace_phase(0, "kernel", s0);
         finished.push((prof, Stamp::now()));
     } else {
         let cursor = AtomicUsize::new(0);
@@ -430,7 +432,7 @@ fn try_run_units(
             }
             collected.lock().push((prof, Stamp::now()));
         };
-        exec.run_section(threads, &body);
+        exec.run_section_traced(threads, "kernel", &body);
         poison.into_result()?;
         finished = collected.into_inner();
         finished.sort_by_key(|(p, _)| p.thread);

@@ -66,7 +66,12 @@
 //!   profiles from the traced drivers, the dispatched kernel-shape
 //!   histogram, and versioned-JSON [`telemetry::GemmReport`]s joined
 //!   against the perfmodel projection (the measured-vs-model feedback
-//!   loop every perf PR cites);
+//!   loop every perf PR cites) — plus the always-available engine-
+//!   lifetime layer: the [`telemetry::MetricsRegistry`] (counters +
+//!   sharded latency/GFLOP-s histograms with p50/p95/p99, Prometheus
+//!   export) and the [`telemetry::TraceBuf`] per-worker span timeline
+//!   (Chrome trace-event / Perfetto export via
+//!   [`AutoGemm::trace_export`]);
 //! * [`error`] — the structured error model behind the `try_*` API
 //!   surface: [`GemmError`], the panic policy, the untouched-`C`
 //!   guarantee and worker-panic containment;
@@ -136,5 +141,5 @@ pub use supervisor::{
     BreakerConfig, BreakerPath, BreakerState, CancelToken, GemmOptions, ResilientMode,
     ResilientReport, Supervision, WatchdogConfig,
 };
-pub use telemetry::GemmReport;
+pub use telemetry::{GemmReport, MetricsRegistry, MetricsSnapshot, TraceBuf, TraceSpan};
 pub use transpose::{gemm_op, sgemm, try_gemm_op, try_sgemm, Op};

@@ -1306,6 +1306,7 @@ fn try_run_blocks_traced(
     let mut finished: Vec<(ThreadProfile, Stamp)> = Vec::with_capacity(threads);
     if threads == 1 {
         let mut prof = ThreadProfile { thread: 0, ..ThreadProfile::default() };
+        let s0 = exec.trace_begin();
         contain(|| {
             session::with_session(sess, || {
                 faultinject::probe(FaultSite::WorkerStartup);
@@ -1321,6 +1322,7 @@ fn try_run_blocks_traced(
                 }
             })
         })?;
+        exec.trace_phase(0, "kernel", s0);
         finished.push((prof, Stamp::now()));
     } else {
         let cursor = AtomicUsize::new(0);
@@ -1357,7 +1359,7 @@ fn try_run_blocks_traced(
             // One lock per slot lifetime — never on the block path.
             collected.lock().push((prof, Stamp::now()));
         };
-        exec.run_section(threads, &body);
+        exec.run_section_traced(threads, "kernel", &body);
         poison.into_result()?;
         finished = collected.into_inner();
         finished.sort_by_key(|(p, _)| p.thread);
@@ -1432,6 +1434,7 @@ where
     let total = panels.len();
     let threads = threads.max(1).min(total.max(1));
     if threads == 1 || total < 2 * threads {
+        let s0 = exec.trace_begin();
         contain(|| {
             for (idx, p) in panels.iter_mut().enumerate() {
                 if monitor.should_stop() {
@@ -1442,6 +1445,7 @@ where
                 monitor.note_done();
             }
         })?;
+        exec.trace_phase(0, phase, s0);
         return monitor.outcome(phase, total);
     }
     /// Shared view of the panel slots for the cursor drain; an index is
@@ -1479,7 +1483,7 @@ where
             poison.record(t, payload);
         }
     };
-    exec.run_section(threads, &body);
+    exec.run_section_traced(threads, phase, &body);
     poison.into_result()?;
     monitor.outcome(phase, total)
 }
@@ -1519,6 +1523,7 @@ pub(crate) fn try_run_blocks_cached(
     let c_root = unsafe { CTile::new(c.as_mut_ptr(), s.n, c.len()) };
     if threads == 1 {
         // The caller thread is worker 0; its panics are contained too.
+        let s0 = exec.trace_begin();
         contain(|| {
             faultinject::probe(FaultSite::WorkerStartup);
             for &(bi, bj) in &blocks {
@@ -1529,6 +1534,7 @@ pub(crate) fn try_run_blocks_cached(
                 monitor.note_done();
             }
         })?;
+        exec.trace_phase(0, "kernel", s0);
         return monitor.outcome("kernel", blocks.len());
     }
     let cursor = AtomicUsize::new(0);
@@ -1553,7 +1559,7 @@ pub(crate) fn try_run_blocks_cached(
             poison.record(t, payload);
         }
     };
-    exec.run_section(threads, &body);
+    exec.run_section_traced(threads, "kernel", &body);
     poison.into_result()?;
     monitor.outcome("kernel", blocks.len())
 }

@@ -20,10 +20,11 @@
 //! [`PlanCacheStats::evictions`].
 
 use crate::plan::ExecutionPlan;
+use crate::telemetry::metrics::{Counter, MetricsRegistry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Everything a cached plan depends on. `threads` is the tuner's thread
 /// budget (multicore schedules differ structurally from single-core
@@ -69,6 +70,10 @@ pub(crate) struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Engine-lifetime registry mirroring the counters above as
+    /// [`Counter::PlanCacheHits`]/`Misses`/`Evictions` (set once by the
+    /// owning engine; detached caches count only locally).
+    metrics: OnceLock<Arc<MetricsRegistry>>,
 }
 
 impl PlanCache {
@@ -84,6 +89,19 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            metrics: OnceLock::new(),
+        }
+    }
+
+    /// Attach the engine's metrics registry; hit/miss/eviction events
+    /// from now on also bump its counters. First attach wins.
+    pub(crate) fn attach_metrics(&self, registry: Arc<MetricsRegistry>) {
+        let _ = self.metrics.set(registry);
+    }
+
+    fn count(&self, c: Counter) {
+        if let Some(m) = self.metrics.get() {
+            m.add(c, 1);
         }
     }
 
@@ -103,11 +121,15 @@ impl PlanCache {
             if let Some(entry) = map.get_mut(&key) {
                 entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return (Arc::clone(&entry.plan), true);
+                let plan = Arc::clone(&entry.plan);
+                drop(map);
+                self.count(Counter::PlanCacheHits);
+                return (plan, true);
             }
         }
         let built = Arc::new(build());
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.count(Counter::PlanCacheMisses);
         let mut map = self.plans.lock();
         if !map.contains_key(&key) && map.len() >= self.capacity {
             // Deterministic LRU: the minimum stamp is unique (stamps are
@@ -115,6 +137,7 @@ impl PlanCache {
             if let Some(victim) = map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k.clone()) {
                 map.remove(&victim);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.count(Counter::PlanCacheEvictions);
             }
         }
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
@@ -193,6 +216,25 @@ mod tests {
         let (_, hit_backend) = cache.get_or_build(other, || build(26, 36, 24));
         assert!(!hit_threads && !hit_shape && !hit_backend);
         assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn attached_registry_mirrors_hit_miss_eviction_counters() {
+        let cache = PlanCache::with_capacity(1);
+        let reg = Arc::new(MetricsRegistry::new());
+        cache.attach_metrics(Arc::clone(&reg));
+        cache.get_or_build(key(8, 12, 16, 1), || build(8, 12, 16)); // miss
+        cache.get_or_build(key(8, 12, 16, 1), || build(8, 12, 16)); // hit
+        cache.get_or_build(key(16, 12, 16, 1), || build(16, 12, 16)); // miss + evict
+        assert_eq!(reg.counter(Counter::PlanCacheHits), 1);
+        assert_eq!(reg.counter(Counter::PlanCacheMisses), 2);
+        assert_eq!(reg.counter(Counter::PlanCacheEvictions), 1);
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.evictions),
+            (1, 2, 1),
+            "registry and local counters must agree"
+        );
     }
 
     #[test]

@@ -52,6 +52,7 @@
 //! plain integers, always valid.
 
 use crate::supervisor::{RunMonitor, Supervision, WatchdogConfig};
+use crate::telemetry::{MetricsRegistry, TraceBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
@@ -121,6 +122,10 @@ struct PoolShared {
     park_ns: AtomicU64,
     threads_clamped: AtomicU64,
     workers_alive: AtomicUsize,
+    /// Runtime-lifetime wake/busy/park *distributions* (the `PoolStats`
+    /// totals above stay for the schema-v4 report section; the registry
+    /// adds percentiles on top).
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl PoolShared {
@@ -178,6 +183,7 @@ impl WorkerPool {
             park_ns: AtomicU64::new(0),
             threads_clamped: AtomicU64::new(0),
             workers_alive: AtomicUsize::new(0),
+            metrics: Arc::new(MetricsRegistry::new()),
         });
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
@@ -298,8 +304,10 @@ fn claim_slot(st: &mut PoolState, shared: &PoolShared) -> Option<ClaimedSlot> {
     job.active += 1;
     if !job.woken {
         job.woken = true;
+        let wake_ns = job.submitted.elapsed().as_nanos() as u64;
         shared.wake_count.fetch_add(1, Ordering::Relaxed);
-        shared.wake_ns.fetch_add(job.submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        shared.wake_ns.fetch_add(wake_ns, Ordering::Relaxed);
+        shared.metrics.record(&shared.metrics.pool_wake_ns, wake_ns);
     }
     Some((job.body, slot, job.id))
 }
@@ -321,7 +329,9 @@ fn worker_loop(shared: &PoolShared) {
             // the section poison flag; this keeps a leaked panic from
             // killing a pool worker.
             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body_ref(slot)));
-            shared.busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let busy_ns = t0.elapsed().as_nanos() as u64;
+            shared.busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+            shared.metrics.record(&shared.metrics.pool_busy_ns, busy_ns);
             st = shared.lock_state();
             if let Some(job) = st.jobs.iter_mut().find(|j| j.id == job_id) {
                 job.active -= 1;
@@ -332,7 +342,9 @@ fn worker_loop(shared: &PoolShared) {
         } else {
             let p0 = Instant::now();
             st = forgive(shared.work_cv.wait(st));
-            shared.park_ns.fetch_add(p0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let park_ns = p0.elapsed().as_nanos() as u64;
+            shared.park_ns.fetch_add(park_ns, Ordering::Relaxed);
+            shared.metrics.record(&shared.metrics.pool_park_ns, park_ns);
         }
     }
     shared.workers_alive.fetch_sub(1, Ordering::Relaxed);
@@ -549,6 +561,15 @@ impl Runtime {
         self.pool.stats()
     }
 
+    /// This runtime's metrics registry: wake/busy/park latency
+    /// *distributions* over the runtime's lifetime (the [`PoolStats`]
+    /// totals stay for the schema-v4 report section; the registry adds
+    /// percentiles). Engines merge it into
+    /// [`AutoGemm::metrics`](crate::AutoGemm::metrics).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.pool.shared.metrics
+    }
+
     /// Worker threads currently alive — the leak gauge used by the CI
     /// soak (must equal the configured worker count).
     pub fn alive_workers(&self) -> usize {
@@ -592,6 +613,9 @@ pub(crate) struct Exec {
     inline: bool,
     /// Bench baseline: scoped spawn-per-call (see [`scoped_spawn`]).
     scoped: bool,
+    /// Span timeline from the call's [`Supervision`] (`None` =
+    /// untraced; every hook below is then a single branch).
+    tracer: Option<Arc<TraceBuf>>,
 }
 
 impl Exec {
@@ -600,13 +624,14 @@ impl Exec {
             rt: sup.runtime_handle(),
             inline: inline || sup.force_inline,
             scoped: sup.spawn_baseline,
+            tracer: sup.tracer.clone(),
         }
     }
 
     /// Unsupervised plan-level sections (repack baseline, transpose):
     /// global pool, no degradation gates.
     pub(crate) fn unsupervised() -> Exec {
-        Exec { rt: Runtime::global(), inline: false, scoped: false }
+        Exec { rt: Runtime::global(), inline: false, scoped: false, tracer: None }
     }
 
     pub(crate) fn runtime(&self) -> &Arc<Runtime> {
@@ -621,6 +646,70 @@ impl Exec {
             scoped_spawn(threads, body);
         } else {
             self.rt.pool.run(threads, body);
+        }
+    }
+
+    /// Timestamp for a manually-emitted span; 0 when untraced (the
+    /// matching [`Exec::trace_phase`] is then a no-op too).
+    pub(crate) fn trace_begin(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, |t| t.now_ns())
+    }
+
+    /// Close a span opened with [`Exec::trace_begin`] on `track`. Used
+    /// by the drivers' single-threaded paths, which run their phase
+    /// bodies inline rather than through [`Exec::run_section_traced`].
+    pub(crate) fn trace_phase(&self, track: usize, name: &'static str, start_ns: u64) {
+        if let Some(t) = &self.tracer {
+            t.push(track, name, "phase", start_ns, t.now_ns());
+        }
+    }
+
+    /// [`Exec::run_section`] plus timeline emission: one `name` phase
+    /// span per active slot, a caller-lane `submit` lead-in, per-worker
+    /// `wake` lead-ins (submit → body start), and per-slot `drain` tails
+    /// (body end → section close, the load-imbalance gap). Identical to
+    /// `run_section` when no tracer is attached.
+    pub(crate) fn run_section_traced(
+        &self,
+        threads: usize,
+        name: &'static str,
+        body: &(dyn Fn(usize) + Sync),
+    ) {
+        let Some(tb) = self.tracer.as_deref() else {
+            self.run_section(threads, body);
+            return;
+        };
+        if threads <= 1 || self.inline {
+            let s0 = tb.now_ns();
+            body(0);
+            tb.push(0, name, "phase", s0, tb.now_ns());
+            return;
+        }
+        let t0 = tb.now_ns();
+        let ends: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+        let ends_ref = &ends;
+        let wrapped = move |t: usize| {
+            let s0 = tb.now_ns();
+            if t == 0 {
+                tb.push(0, "submit", "pool", t0, s0);
+            } else {
+                tb.push(t, "wake", "pool", t0, s0);
+            }
+            body(t);
+            let s1 = tb.now_ns();
+            tb.push(t, name, "phase", s0, s1);
+            if let Some(e) = ends_ref.get(t) {
+                e.store(s1.max(1), Ordering::Relaxed);
+            }
+        };
+        self.run_section(threads, &wrapped);
+        let end = tb.now_ns();
+        for (t, e) in ends.iter().enumerate() {
+            let done = e.load(Ordering::Relaxed);
+            // Slots never claimed by a worker left their cell at 0.
+            if done != 0 && done < end {
+                tb.push(t, "drain", "pool", done, end);
+            }
         }
     }
 }

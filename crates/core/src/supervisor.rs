@@ -46,10 +46,11 @@
 
 use crate::error::GemmError;
 use crate::runtime::Runtime;
-use crate::telemetry::{HealthReport, PathHealth};
+use crate::telemetry::metrics::{Counter, MetricsRegistry};
+use crate::telemetry::{HealthReport, PathHealth, TraceBuf};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -221,6 +222,9 @@ pub struct Supervision {
     /// [`Runtime::global`].
     pub(crate) runtime: Option<Arc<Runtime>>,
     pub(crate) observed: ObservedFaults,
+    /// Span timeline to record this call's per-worker sections into
+    /// (`None` = untraced, every hook is a single branch).
+    pub(crate) tracer: Option<Arc<TraceBuf>>,
 }
 
 impl Supervision {
@@ -267,6 +271,14 @@ impl Supervision {
     #[doc(hidden)]
     pub fn with_spawn_baseline(mut self) -> Self {
         self.spawn_baseline = true;
+        self
+    }
+
+    /// Record this call's pack/kernel/pool spans into `tracer` (see
+    /// [`TraceBuf`]; the engine attaches its own via
+    /// [`AutoGemm::with_tracing`](crate::AutoGemm::with_tracing)).
+    pub fn with_tracer(mut self, tracer: Arc<TraceBuf>) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -612,6 +624,9 @@ pub(crate) struct Admission {
 pub struct Breaker {
     cfg: BreakerConfig,
     paths: Mutex<[PathInner; 4]>,
+    /// Engine-lifetime registry to count transitions into (set once by
+    /// the owning engine; standalone breakers count nothing).
+    metrics: OnceLock<Arc<MetricsRegistry>>,
 }
 
 impl Default for Breaker {
@@ -622,7 +637,20 @@ impl Default for Breaker {
 
 impl Breaker {
     pub fn new(cfg: BreakerConfig) -> Self {
-        Breaker { cfg, paths: Mutex::new([PathInner::default(); 4]) }
+        Breaker { cfg, paths: Mutex::new([PathInner::default(); 4]), metrics: OnceLock::new() }
+    }
+
+    /// Attach the engine's metrics registry; every state transition this
+    /// breaker performs from now on bumps
+    /// [`Counter::BreakerTransitions`]. First attach wins.
+    pub(crate) fn attach_metrics(&self, registry: Arc<MetricsRegistry>) {
+        let _ = self.metrics.set(registry);
+    }
+
+    fn count_transitions(&self, events: &[String]) {
+        if let Some(m) = self.metrics.get() {
+            m.add(Counter::BreakerTransitions, events.len() as u64);
+        }
     }
 
     pub fn config(&self) -> BreakerConfig {
@@ -656,6 +684,8 @@ impl Breaker {
                 BreakerState::HalfOpen => {}
             }
         }
+        drop(paths);
+        self.count_transitions(&adm.events);
         adm
     }
 
@@ -713,6 +743,8 @@ impl Breaker {
                 (BreakerState::Open, _) => {}
             }
         }
+        drop(paths);
+        self.count_transitions(&events);
         events
     }
 

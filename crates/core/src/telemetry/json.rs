@@ -127,11 +127,19 @@ impl Json {
     }
 }
 
-/// Integers print without a fractional part so counts stay greppable;
-/// non-finite values (which no report should produce) degrade to null.
+/// Integers print without a fractional part so counts stay greppable.
+///
+/// JSON has no spelling for non-finite floats, and a `null` where a
+/// number is expected fails the schema-guard re-parse (`as_f64` on
+/// `Json::Null` is `None`). No report field should ever produce one,
+/// but a hostile or buggy producer must not be able to poison an
+/// artifact: NaN degrades to 0 and ±inf clamps to ±`f64::MAX`, so the
+/// output always re-parses as `Json::Num`.
 fn write_num(x: f64, out: &mut String) {
-    if !x.is_finite() {
-        out.push_str("null");
+    if x.is_nan() {
+        out.push('0');
+    } else if x.is_infinite() {
+        let _ = write!(out, "{}", if x > 0.0 { f64::MAX } else { f64::MIN });
     } else if x.fract() == 0.0 && x.abs() < 9.0e15 {
         let _ = write!(out, "{}", x as i64);
     } else {
@@ -397,6 +405,32 @@ mod tests {
         // Non-ASCII passes through untouched.
         let v = Json::parse("\"héllo → wörld\"").unwrap();
         assert_eq!(v.as_str(), Some("héllo → wörld"));
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_to_reparsable_finite_values() {
+        // A hostile or buggy producer can smuggle NaN/inf into a Num;
+        // the writer must emit something the schema-guard re-parse
+        // still reads back as a number, never `null` or `inf`.
+        let v = Json::Obj(vec![
+            ("not_a_number".into(), Json::Num(f64::NAN)),
+            ("pos".into(), Json::Num(f64::INFINITY)),
+            ("neg".into(), Json::Num(f64::NEG_INFINITY)),
+            ("deep".into(), Json::Arr(vec![Json::Num(-f64::NAN), Json::Num(f64::MAX * 2.0)])),
+        ]);
+        let text = v.to_string();
+        assert!(!text.contains("null"), "non-finite must not degrade to null: {text}");
+        assert!(!text.contains("inf"), "raw inf is not JSON: {text}");
+        assert!(!text.contains("NaN"), "raw NaN is not JSON: {text}");
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("not_a_number").unwrap().as_f64(), Some(0.0));
+        assert_eq!(back.get("pos").unwrap().as_f64(), Some(f64::MAX));
+        assert_eq!(back.get("neg").unwrap().as_f64(), Some(f64::MIN));
+        let deep = back.get("deep").unwrap().as_arr().unwrap();
+        assert_eq!(deep[0].as_f64(), Some(0.0));
+        assert_eq!(deep[1].as_f64(), Some(f64::MAX));
+        // And the rewritten document is stable (idempotent round trip).
+        assert_eq!(back.to_string(), text);
     }
 
     #[test]

@@ -46,15 +46,39 @@
 //! in this workspace, so serialization is hand-rolled over the minimal
 //! [`json`] value model.
 
+//! ## Engine-lifetime observability
+//!
+//! Two sibling layers are **not** behind the `telemetry` feature — they
+//! are always compiled and toggled/attached at runtime, because a
+//! release-build service must still be able to read them:
+//!
+//! * [`metrics`] — the engine/runtime [`MetricsRegistry`]: monotonic
+//!   counters (calls, errors, breaker transitions, retry rungs,
+//!   plan-cache hits/misses/evictions), an in-flight gauge, and sharded
+//!   log-bucket histograms (call latency, achieved GFLOP-s, pool
+//!   wake/busy/park) merged on read into a [`MetricsSnapshot`] with
+//!   p50/p95/p99, a schema-v5 JSON section, and a Prometheus
+//!   text-exposition dump;
+//! * [`tracebuf`] — the bounded per-worker span ring ([`TraceBuf`])
+//!   behind `AutoGemm::with_tracing`, exported as Chrome trace-event
+//!   JSON for Perfetto / `chrome://tracing` (the `gemmtrace --timeline`
+//!   artifact).
+
 pub mod clock;
 pub mod json;
+pub mod metrics;
 pub mod report;
 pub mod session;
+pub mod tracebuf;
 
 pub use clock::{ScopedTimer, Stamp, ENABLED};
 pub use json::{Json, JsonError};
+pub use metrics::{
+    Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, HIST_BUCKETS,
+};
 pub use report::{
     DispatchStats, FallbackStats, GemmReport, HealthReport, ModelJoin, PackStats, PathHealth,
     PhaseProfile, PhaseTimes, ThreadProfile, TileCount, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 pub use session::Session;
+pub use tracebuf::{TraceBuf, TraceSpan};

@@ -2,6 +2,7 @@
 
 use crate::runtime::PoolStats;
 use crate::telemetry::json::{Json, JsonError};
+use crate::telemetry::metrics::MetricsSnapshot;
 use autogemm_kernelgen::MicroTile;
 use autogemm_perfmodel::ProjectionTable;
 
@@ -11,10 +12,12 @@ use autogemm_perfmodel::ProjectionTable;
 /// transitions) and `fallbacks.breaker_reroutes`; v3 added the
 /// `dispatch` section (input-aware route, packing elision and
 /// plan-cache counters); v4 added the `pool` section (worker-pool
-/// runtime counters) and `fallbacks.inline_drains`. Older reports are
-/// still accepted: v1 parses with an empty health section, v1/v2 with a
-/// default dispatch section, v1–v3 with a default pool section.
-pub const SCHEMA_VERSION: u64 = 4;
+/// runtime counters) and `fallbacks.inline_drains`; v5 added the
+/// `metrics` section (the engine-lifetime [`MetricsSnapshot`] at report
+/// time). Older reports are still accepted: v1 parses with an empty
+/// health section, v1/v2 with a default dispatch section, v1–v3 with a
+/// default pool section, v1–v4 with no metrics snapshot.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Oldest serialized schema version [`GemmReport::from_json`] accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -263,6 +266,10 @@ pub struct GemmReport {
     /// Worker-pool runtime counters at report time (schema v4; all-zero
     /// defaults when parsed from older reports).
     pub pool: PoolStats,
+    /// The owning engine's lifetime metrics snapshot at report time
+    /// (schema v5; `None` when parsed from older reports or produced by
+    /// the engine-less plan-level drivers).
+    pub metrics: Option<MetricsSnapshot>,
     pub model: Option<ModelJoin>,
 }
 
@@ -442,6 +449,13 @@ impl GemmReport {
                 ("park_ns_total".into(), Json::Num(self.pool.park_ns_total as f64)),
                 ("threads_clamped".into(), Json::Num(self.pool.threads_clamped as f64)),
             ]),
+        ));
+        fields.push((
+            "metrics".into(),
+            match &self.metrics {
+                None => Json::Null,
+                Some(m) => m.to_json_value(),
+            },
         ));
         fields.push((
             "model".into(),
@@ -669,6 +683,13 @@ impl GemmReport {
             }
         };
 
+        // Schema v5. Pre-v5 reports carried no engine-lifetime metrics;
+        // `None` says "no snapshot" rather than inventing zeros.
+        let metrics = match v.get("metrics") {
+            None | Some(Json::Null) => None,
+            Some(m) => Some(MetricsSnapshot::from_json_value(m)),
+        };
+
         let model = match field("model")? {
             Json::Null => None,
             mj => Some(ModelJoin {
@@ -720,6 +741,7 @@ impl GemmReport {
             health,
             dispatch,
             pool,
+            metrics,
             model,
         })
     }
@@ -808,6 +830,7 @@ mod tests {
                 park_ns_total: 2_000_000,
                 threads_clamped: 1,
             },
+            metrics: None,
             model: Some(ModelJoin {
                 projected_kernel_cycles: 1.25e6,
                 measured_kernel_cycles: 630_000,
@@ -938,6 +961,41 @@ mod tests {
         assert_eq!(back.pool, PoolStats::default());
         assert_eq!(back.fallbacks.inline_drains, 0);
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn v4_report_parses_with_default_metrics() {
+        // A schema-v4 report: version 4, no `metrics` section — no
+        // engine-lifetime registry existed, so `None` is the honest
+        // parse (not invented zeros).
+        let r = sample_report();
+        let text = r
+            .to_json()
+            .replace(&format!("\"schema_version\":{SCHEMA_VERSION}"), "\"schema_version\":4")
+            .replace("\"metrics\":null,", "");
+        assert!(!text.contains("\"metrics\""), "v4 fixture must not carry a metrics section");
+        let back = GemmReport::from_json(&text).expect("v4 report must parse leniently");
+        assert_eq!(back.metrics, None);
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn metrics_section_round_trips() {
+        use crate::telemetry::metrics::{CallOutcome, Counter, MetricsRegistry};
+        let reg = MetricsRegistry::new();
+        for i in 0..25u64 {
+            let t0 = reg.call_begin();
+            reg.call_end(t0, 2 * 64 * 64 * (i + 1), CallOutcome::Ok);
+            reg.add(Counter::PlanCacheHits, 1);
+        }
+        reg.add(Counter::BreakerTransitions, 2);
+        let mut r = sample_report();
+        r.metrics = Some(reg.snapshot());
+        let back = GemmReport::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(back.metrics, r.metrics);
+        assert_eq!(back, r);
+        let snap = back.metrics.as_ref().map(|m| m.counter(Counter::Calls));
+        assert_eq!(snap, Some(25));
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Bounded cross-worker span timeline, exported as Chrome trace-event
+//! JSON (loadable in Perfetto / `chrome://tracing`).
+//!
+//! The per-call phase stamps in [`clock`](crate::telemetry::clock) say
+//! *how long* packing or the kernel took; they cannot say *when* each
+//! pool worker was doing what. [`TraceBuf`] records one lane of spans
+//! per execution slot (lane 0 = the submitting caller, lanes 1.. = pool
+//! workers): `pack A` / `pack B` / `kernel` phase spans plus the pool
+//! mechanics around them (`submit` = caller entering its own slot,
+//! `wake` = submit → worker body start, `drain` = worker body end →
+//! section close).
+//!
+//! Each lane is an independent fixed-capacity ring guarded by its own
+//! mutex: recording is one short uncontended lock per *section per
+//! slot* (never per block or per tile), and when the ring is full the
+//! oldest spans are overwritten — the buffer keeps the most recent
+//! window and counts what it dropped. Like the metrics registry this is
+//! always compiled in and costs nothing unless a `TraceBuf` is attached
+//! (`AutoGemm::with_tracing`): untraced engines carry a `None` and every
+//! hook is a single branch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::telemetry::json::Json;
+
+/// One recorded span on a worker lane. Times are nanoseconds since the
+/// owning [`TraceBuf`]'s epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Execution slot (0 = caller, 1.. = pool workers).
+    pub track: usize,
+    /// Span name (`"pack A"`, `"kernel"`, `"submit"`, ...).
+    pub name: &'static str,
+    /// Category (`"phase"` or `"pool"`), the Chrome `cat` field.
+    pub cat: &'static str,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+/// A fixed-capacity overwrite-oldest ring of spans.
+struct Lane {
+    spans: Mutex<LaneRing>,
+}
+
+struct LaneRing {
+    buf: Vec<TraceSpan>,
+    /// Next overwrite position once `buf` has reached capacity.
+    head: usize,
+}
+
+/// The bounded span timeline (see the module docs).
+pub struct TraceBuf {
+    epoch: Instant,
+    lanes: Vec<Lane>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuf")
+            .field("tracks", &self.lanes.len())
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl TraceBuf {
+    /// A buffer with `tracks` lanes of `capacity` spans each. Both are
+    /// clamped to at least 1.
+    pub fn new(tracks: usize, capacity: usize) -> TraceBuf {
+        let tracks = tracks.max(1);
+        let capacity = capacity.max(1);
+        TraceBuf {
+            epoch: Instant::now(),
+            lanes: (0..tracks)
+                .map(|_| Lane {
+                    spans: Mutex::new(LaneRing { buf: Vec::with_capacity(capacity), head: 0 }),
+                })
+                .collect(),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn tracks(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Spans overwritten because their lane's ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since this buffer's epoch — the timestamp source for
+    /// every span recorded into it.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record a span on `track`. Out-of-range tracks are dropped (a
+    /// clamped thread count can shrink the active slot range; losing a
+    /// span beats indexing out of bounds).
+    pub fn push(
+        &self,
+        track: usize,
+        name: &'static str,
+        cat: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
+        let Some(lane) = self.lanes.get(track) else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let span = TraceSpan { track, name, cat, start_ns, end_ns: end_ns.max(start_ns) };
+        let Ok(mut ring) = lane.spans.lock() else { return };
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(span);
+        } else {
+            let head = ring.head;
+            ring.buf[head] = span;
+            ring.head = (head + 1) % self.capacity;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// All retained spans, ordered by (track, start time) — the stable
+    /// order the exporter and tests consume.
+    pub fn snapshot(&self) -> Vec<TraceSpan> {
+        let mut out = Vec::new();
+        for lane in &self.lanes {
+            let Ok(ring) = lane.spans.lock() else { continue };
+            out.extend(ring.buf.iter().cloned());
+        }
+        out.sort_by_key(|s| (s.track, s.start_ns, s.end_ns));
+        out
+    }
+
+    /// Export as a Chrome trace-event document: one complete (`ph:"X"`)
+    /// event per span with microsecond timestamps, plus `thread_name`
+    /// metadata per lane so Perfetto labels the tracks. Extra top-level
+    /// keys (`dropped_spans`, `tracks`) are metadata both viewers
+    /// ignore.
+    pub fn export_chrome_json(&self) -> String {
+        let mut events: Vec<Json> = Vec::new();
+        for track in 0..self.lanes.len() {
+            let label = if track == 0 { "caller".to_string() } else { format!("worker-{track}") };
+            events.push(Json::Obj(vec![
+                ("name".into(), Json::Str("thread_name".into())),
+                ("ph".into(), Json::Str("M".into())),
+                ("pid".into(), Json::Num(1.0)),
+                ("tid".into(), Json::Num(track as f64)),
+                ("args".into(), Json::Obj(vec![("name".into(), Json::Str(label))])),
+            ]));
+        }
+        for s in self.snapshot() {
+            events.push(Json::Obj(vec![
+                ("name".into(), Json::Str(s.name.into())),
+                ("cat".into(), Json::Str(s.cat.into())),
+                ("ph".into(), Json::Str("X".into())),
+                ("ts".into(), Json::Num(s.start_ns as f64 / 1000.0)),
+                ("dur".into(), Json::Num((s.end_ns - s.start_ns) as f64 / 1000.0)),
+                ("pid".into(), Json::Num(1.0)),
+                ("tid".into(), Json::Num(s.track as f64)),
+            ]));
+        }
+        Json::Obj(vec![
+            ("traceEvents".into(), Json::Arr(events)),
+            ("displayTimeUnit".into(), Json::Str("ns".into())),
+            ("tracks".into(), Json::Num(self.lanes.len() as f64)),
+            ("dropped_spans".into(), Json::Num(self.dropped() as f64)),
+        ])
+        .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_orders_spans_per_track() {
+        let tb = TraceBuf::new(2, 8);
+        tb.push(1, "kernel", "phase", 200, 300);
+        tb.push(0, "submit", "pool", 0, 10);
+        tb.push(0, "kernel", "phase", 10, 150);
+        let spans = tb.snapshot();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "submit");
+        assert_eq!(spans[1].name, "kernel");
+        assert_eq!(spans[2].track, 1);
+        assert_eq!(tb.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let tb = TraceBuf::new(1, 2);
+        tb.push(0, "a", "phase", 0, 1);
+        tb.push(0, "b", "phase", 1, 2);
+        tb.push(0, "c", "phase", 2, 3);
+        let spans = tb.snapshot();
+        assert_eq!(spans.len(), 2, "capacity bounds the ring");
+        assert!(spans.iter().any(|s| s.name == "c"), "newest span retained");
+        assert!(spans.iter().all(|s| s.name != "a"), "oldest span overwritten");
+        assert_eq!(tb.dropped(), 1);
+    }
+
+    #[test]
+    fn out_of_range_track_is_dropped_not_panicking() {
+        let tb = TraceBuf::new(1, 4);
+        tb.push(7, "kernel", "phase", 0, 1);
+        assert!(tb.snapshot().is_empty());
+        assert_eq!(tb.dropped(), 1);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_metadata_and_events() {
+        let tb = TraceBuf::new(2, 8);
+        tb.push(0, "pack A", "phase", 1000, 2500);
+        tb.push(1, "kernel", "phase", 2000, 9000);
+        let text = tb.export_chrome_json();
+        let doc = Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // 2 thread_name metadata events + 2 spans.
+        assert_eq!(events.len(), 4);
+        let meta: Vec<_> =
+            events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("M")).collect();
+        assert_eq!(meta.len(), 2);
+        let spans: Vec<_> =
+            events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X")).collect();
+        assert_eq!(spans.len(), 2);
+        // Microsecond conversion: 1000ns -> 1µs, 1500ns dur -> 1.5µs.
+        assert_eq!(spans[0].get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(spans[0].get("dur").unwrap().as_f64(), Some(1.5));
+        assert_eq!(spans[1].get("tid").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn inverted_span_clamps_instead_of_underflowing() {
+        let tb = TraceBuf::new(1, 4);
+        tb.push(0, "x", "phase", 10, 5);
+        let spans = tb.snapshot();
+        assert_eq!(spans[0].end_ns, 10, "end clamps to start");
+    }
+}

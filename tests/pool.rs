@@ -179,6 +179,53 @@ fn traced_report_carries_pool_stats() {
     assert_eq!(back.pool, report.pool);
 }
 
+/// Histogram shards merge deterministically under genuinely concurrent
+/// pool submissions: several OS threads hammer one engine, each call
+/// landing latency samples from a different thread-local shard hint —
+/// the merged snapshot must account for every call exactly once, and
+/// its quantiles must be consistent (monotone, bounded by the recorded
+/// extremes' buckets).
+#[test]
+fn concurrent_submissions_merge_into_one_consistent_histogram() {
+    use autogemm::telemetry::Counter;
+    let rt = Runtime::with_workers(1);
+    let engine = AutoGemm::new(ChipSpec::graviton2()).with_runtime(rt);
+    let shapes = [(26usize, 36usize, 64usize), (40, 12, 24), (64, 64, 16)];
+    let reps = 12u64;
+    std::thread::scope(|scope| {
+        for (caller, &(m, n, k)) in shapes.iter().enumerate() {
+            let engine = &engine;
+            scope.spawn(move || {
+                let (a, b) = data(m, n, k, caller as u32 + 500);
+                let want = oracle(m, n, k, &a, &b);
+                for _ in 0..reps {
+                    let mut c = vec![0.0f32; m * n];
+                    engine.try_gemm_threaded(m, n, k, &a, &b, &mut c, 2).unwrap();
+                    assert!(max_rel_error(&c, &want) < 1e-4);
+                }
+            });
+        }
+    });
+    let calls = shapes.len() as u64 * reps;
+    let snap = engine.metrics();
+    assert_eq!(snap.counter(Counter::Calls), calls, "every concurrent call counted once");
+    assert_eq!(snap.call_latency_ns.count, calls, "every call left one latency sample");
+    assert_eq!(
+        snap.call_latency_ns.buckets.iter().sum::<u64>(),
+        calls,
+        "shard merge preserves the total bucket mass"
+    );
+    let (p50, p95, p99) =
+        (snap.call_latency_ns.p50(), snap.call_latency_ns.p95(), snap.call_latency_ns.p99());
+    assert!(p50 > 0, "latencies are nonzero");
+    assert!(p50 <= p95 && p95 <= p99, "quantiles must be monotone: {p50}/{p95}/{p99}");
+    assert!(p99 <= snap.call_latency_ns.quantile(1.0), "p99 bounded by the max bucket");
+    assert_eq!(snap.in_flight, 0, "all calls retired");
+    // The merge is stable: two snapshots with no traffic in between are
+    // identical (the read path has no side effects).
+    assert_eq!(engine.metrics(), snap);
+}
+
 /// The process-wide default runtime is shared: two default engines
 /// observe the same pool.
 #[test]

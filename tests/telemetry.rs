@@ -11,7 +11,8 @@
 //!   on, the phase clocks tick and the model join is populated.
 
 use autogemm::native::{gemm_with_plan, gemm_with_plan_traced};
-use autogemm::telemetry::{HealthReport, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
+use autogemm::telemetry::metrics::{bucket_index, HIST_BOUNDS};
+use autogemm::telemetry::{Counter, HealthReport, Histogram, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 use autogemm::{AutoGemm, ExecutionPlan, GemmReport, PanelPool};
 use autogemm_arch::ChipSpec;
 use autogemm_perfmodel::{ModelOpts, ProjectionTable};
@@ -85,6 +86,157 @@ proptest! {
         let back = GemmReport::from_json(&report.to_json()).expect("round trip");
         prop_assert_eq!(back, report);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shard-merge determinism: however the writers' shard hints scatter
+    /// the samples, the merged snapshot is identical to recording the
+    /// same values into a single shard — the merge is an exact
+    /// bucket-wise sum, not an approximation.
+    #[test]
+    fn histogram_shard_merge_is_deterministic(
+        samples in proptest::collection::vec((0u64..50_000_000, 0usize..1024), 1..300),
+    ) {
+        let sharded = Histogram::new();
+        let single = Histogram::new();
+        for &(v, hint) in &samples {
+            sharded.record(v, hint);
+            single.record(v, 0);
+        }
+        prop_assert_eq!(sharded.snapshot(), single.snapshot());
+        // Reversed recording order must merge to the same snapshot too.
+        let reversed = Histogram::new();
+        for &(v, hint) in samples.iter().rev() {
+            reversed.record(v, hint.wrapping_mul(31));
+        }
+        prop_assert_eq!(reversed.snapshot(), sharded.snapshot());
+    }
+
+    /// Percentile correctness at bucket resolution: the reported
+    /// quantile is the inclusive upper bound of the bucket holding the
+    /// true rank-order statistic of the recorded values.
+    #[test]
+    fn quantiles_bound_the_true_order_statistic(
+        values in proptest::collection::vec(0u64..100_000_000, 1..200),
+        q in 0.01f64..1.0,
+    ) {
+        let hist = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            hist.record(v, i);
+        }
+        let got = hist.snapshot().quantile(q);
+        let mut values = values;
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let truth = values[rank - 1];
+        prop_assert_eq!(
+            got,
+            HIST_BOUNDS[bucket_index(truth)],
+            "q={} of {} values: true order statistic {}",
+            q,
+            values.len(),
+            truth
+        );
+        prop_assert!(got >= truth, "quantile is an upper bound of its bucket");
+    }
+}
+
+/// The acceptance-criteria accumulation contract: after 100+ engine
+/// calls, [`AutoGemm::metrics`] reports call-latency quantiles, the
+/// plan-cache counter split and the breaker-transition count — and the
+/// same snapshot serializes to a Prometheus dump carrying the series.
+#[test]
+fn engine_metrics_accumulate_over_a_hundred_calls() {
+    let engine = AutoGemm::new(ChipSpec::graviton2());
+    let shapes = [(16usize, 16usize, 16usize), (24, 20, 12), (8, 40, 16)];
+    let mut calls = 0u64;
+    for rep in 0..40 {
+        for &(m, n, k) in &shapes {
+            let a = data(m * k, rep);
+            let b = data(k * n, rep ^ 0x5eed);
+            let mut c = vec![0.0f32; m * n];
+            engine.try_gemm(m, n, k, &a, &b, &mut c).expect("gemm");
+            calls += 1;
+        }
+    }
+    assert!(calls >= 100);
+    let snap = engine.metrics();
+    assert!(snap.enabled, "registry records by default");
+    assert_eq!(snap.counter(Counter::Calls), calls);
+    assert_eq!(snap.counter(Counter::Errors), 0);
+    assert_eq!(snap.call_latency_ns.count, calls);
+    let (p50, p99) = (snap.call_latency_ns.p50(), snap.call_latency_ns.p99());
+    assert!(p50 > 0 && p99 >= p50, "latency quantiles populated: p50={p50} p99={p99}");
+    // Three distinct shapes tuned once each, every later call a hit.
+    assert_eq!(snap.counter(Counter::PlanCacheMisses), shapes.len() as u64);
+    assert_eq!(snap.counter(Counter::PlanCacheHits), calls - shapes.len() as u64);
+    assert_eq!(
+        snap.counter(Counter::BreakerTransitions),
+        0,
+        "healthy engine never moves the breaker"
+    );
+    let prom = snap.to_prometheus();
+    for series in [
+        "autogemm_calls_total",
+        "autogemm_call_latency_ns_bucket",
+        "autogemm_call_latency_ns_count",
+    ] {
+        assert!(prom.contains(series), "Prometheus dump missing {series}:\n{prom}");
+    }
+}
+
+/// Switching metrics off freezes the registry: no counters move, no
+/// samples land, and the engine call path still works.
+#[test]
+fn metrics_can_be_disabled_at_runtime() {
+    let engine = AutoGemm::new(ChipSpec::graviton2());
+    let (m, n, k) = (16, 16, 16);
+    let a = data(m * k, 1);
+    let b = data(k * n, 2);
+    let mut c = vec![0.0f32; m * n];
+    engine.try_gemm(m, n, k, &a, &b, &mut c).expect("gemm");
+    engine.set_metrics_enabled(false);
+    assert!(!engine.metrics_enabled());
+    let frozen = engine.metrics();
+    for _ in 0..5 {
+        engine.try_gemm(m, n, k, &a, &b, &mut c).expect("gemm");
+    }
+    let after = engine.metrics();
+    assert_eq!(after.counter(Counter::Calls), frozen.counter(Counter::Calls));
+    assert_eq!(after.call_latency_ns.count, frozen.call_latency_ns.count);
+    engine.set_metrics_enabled(true);
+    engine.try_gemm(m, n, k, &a, &b, &mut c).expect("gemm");
+    assert_eq!(engine.metrics().counter(Counter::Calls), frozen.counter(Counter::Calls) + 1);
+}
+
+/// A tracing engine records pack/kernel spans and exports a Chrome
+/// trace-event timeline with named tracks.
+#[test]
+fn tracing_engine_exports_a_chrome_timeline() {
+    let engine = AutoGemm::new(ChipSpec::graviton2()).with_tracing(256);
+    let (m, n, k) = (64, 64, 64);
+    let a = data(m * k, 3);
+    let b = data(k * n, 4);
+    let mut c = vec![0.0f32; m * n];
+    for _ in 0..2 {
+        engine.try_gemm_threaded(m, n, k, &a, &b, &mut c, 2).expect("gemm");
+    }
+    let tracer = engine.tracer().expect("built with tracing");
+    let spans = tracer.snapshot();
+    assert!(
+        spans.iter().any(|s| s.cat == "phase" && s.name == "kernel"),
+        "kernel spans recorded: {spans:?}"
+    );
+    let json = engine.trace_export().expect("tracer attached");
+    let parsed = autogemm::telemetry::Json::parse(&json).expect("valid trace JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(autogemm::telemetry::Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    assert!(json.contains("thread_name"), "tracks are named for Perfetto");
 }
 
 #[test]
