@@ -83,6 +83,14 @@ echo "== worker-pool dispatch smoke =="
 # creation and zero leaked pool workers.
 cargo run --release -p autogemm-bench --bin pool_overhead -- --smoke
 
+echo "== service overload smoke =="
+# Paced offered-load sweep (0.5x/1x/2x of measured saturation) through
+# the admission-controlled service: at 2x the overflow must come back as
+# deterministic structured rejections with bounded p99 for admitted
+# calls, and every load level must drain the queue, the in-flight gauge
+# and the pool back to idle.
+cargo run --release -p autogemm-bench --bin service_soak -- --smoke
+
 echo "== microkernel bench smoke =="
 cargo run --release -p autogemm-bench --bin microkernel -- --smoke
 

@@ -76,6 +76,55 @@ fn check_timeline(path: &str, events: &[Json]) -> usize {
     events.len()
 }
 
+/// Explicit envelope checks for `BENCH_service.json` (the service_soak
+/// artifact): the overload sweep must carry its load matrix with the
+/// admission accounting, and its embedded report must actually have the
+/// schema-v6 `service` section (the generic report sweep would accept a
+/// report without one, since v1–v5 artifacts legitimately lack it).
+fn check_service_envelope(path: &str, v: &Json) {
+    if v.get("saturation_qps").and_then(Json::as_f64).is_none() {
+        panic!("{path}: service_soak artifact missing numeric saturation_qps");
+    }
+    let loads = v
+        .get("loads")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("{path}: service_soak artifact missing loads array"));
+    assert!(!loads.is_empty(), "{path}: empty loads array");
+    for (i, load) in loads.iter().enumerate() {
+        for key in [
+            "multiplier",
+            "offered_qps",
+            "achieved_qps",
+            "admitted",
+            "rejected",
+            "shed",
+            "expired_in_queue",
+            "p50_s",
+            "p99_s",
+            "queued_after",
+            "in_flight_after",
+        ] {
+            if load.get(key).and_then(Json::as_f64).is_none() {
+                panic!("{path}: load {i} missing numeric {key}");
+            }
+        }
+    }
+    let report = v
+        .get("report")
+        .unwrap_or_else(|| panic!("{path}: service_soak artifact missing embedded report"));
+    let service = report
+        .get("service")
+        .unwrap_or_else(|| panic!("{path}: embedded report has no service section at all"));
+    for key in ["queue_depth", "max_in_flight", "offered", "admitted", "shed_ratio"] {
+        if service.get(key).and_then(Json::as_f64).is_none() {
+            panic!("{path}: service section missing numeric {key}");
+        }
+    }
+    if service.get("queue_wait_ns").is_none() {
+        panic!("{path}: service section missing queue_wait_ns histogram");
+    }
+}
+
 fn main() {
     let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
     let mut names: Vec<String> = std::fs::read_dir(&dir)
@@ -96,7 +145,13 @@ fn main() {
             println!("{name}: timeline OK ({n} trace events)");
         } else {
             let reports = check_reports(&path, &parsed);
-            println!("{name}: OK ({reports} embedded schema-versioned reports)");
+            if parsed.get("bench").and_then(Json::as_str) == Some("service_soak") {
+                check_service_envelope(&path, &parsed);
+                assert!(reports > 0, "{path}: service artifact carries no embedded report");
+                println!("{name}: service envelope OK ({reports} embedded reports)");
+            } else {
+                println!("{name}: OK ({reports} embedded schema-versioned reports)");
+            }
         }
     }
     println!("schema_guard: {} artifacts validated", names.len());

@@ -1,0 +1,335 @@
+//! Emit `BENCH_service.json`: overload behavior of the admission-
+//! controlled service layer (ISSUE 9).
+//!
+//! The binary first measures the service's *saturation throughput* with a
+//! closed loop (one caller per execution slot, no deadlines, no
+//! shedding), then replays paced open-loop traffic at 0.5x / 1x / 2x that
+//! rate with a per-call deadline. The artifact records, per offered load:
+//! offered vs achieved QPS, the admission outcome counts
+//! (admitted / rejected / shed / expired-in-queue), and the p50/p99
+//! end-to-end latency of the calls that completed. The overload story the
+//! numbers must tell: below saturation everything is admitted and fast;
+//! at 2x the queue bounds latency for the admitted fraction and the
+//! overflow is converted into deterministic structured rejections rather
+//! than unbounded queue growth.
+//!
+//! Run with
+//!
+//! ```text
+//! cargo run --release -p autogemm-bench --bin service_soak [OUT.json]
+//! ```
+//!
+//! from the workspace root (default output: `BENCH_service.json`).
+//!
+//! `--smoke` runs a shortened sweep as a CI guard and asserts the
+//! contract instead of writing the artifact: >0 rejections at 2x offered
+//! load, bounded p99 for admitted calls, the queue and the in-flight
+//! gauge drained to zero, and no leaked pool workers.
+
+use autogemm::supervisor::GemmOptions;
+use autogemm::telemetry::metrics::Counter;
+use autogemm::{GemmError, GemmService, ServiceConfig, ShedPolicy, TenantId, TenantQuota};
+use autogemm_arch::ChipSpec;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One irregular Table V-class shape: small enough that admission
+/// overhead matters, big enough that execution dominates a queue hop.
+const SHAPE: (usize, usize, usize) = (64, 49, 64);
+
+/// Per-call deadline during the paced phases.
+const DEADLINE: Duration = Duration::from_millis(25);
+
+const QUEUE_DEPTH: usize = 8;
+const MAX_IN_FLIGHT: usize = 2;
+const TENANT_THREADS: usize = 2;
+
+const LOADS: [f64; 3] = [0.5, 1.0, 2.0];
+
+fn data(m: usize, n: usize, k: usize) -> (Vec<f32>, Vec<f32>) {
+    let a = (0..m * k).map(|i| (i % 17) as f32 - 8.0).collect();
+    let b = (0..k * n).map(|i| (i % 13) as f32 - 6.0).collect();
+    (a, b)
+}
+
+fn service(default_deadline: Option<Duration>, shed: bool) -> GemmService {
+    GemmService::new(
+        ChipSpec::graviton2(),
+        ServiceConfig {
+            queue_depth: QUEUE_DEPTH,
+            max_in_flight: MAX_IN_FLIGHT,
+            default_deadline,
+            shed: ShedPolicy { enabled: shed, ..ShedPolicy::default() },
+            default_quota: TenantQuota { threads: TENANT_THREADS, ..TenantQuota::default() },
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// Closed-loop saturation probe: `MAX_IN_FLIGHT` callers back-to-back for
+/// `window`, no deadlines. Returns calls/second.
+fn measure_saturation(window: Duration) -> f64 {
+    let svc = service(None, false);
+    let tenant = TenantId::new("probe");
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k);
+    let done = std::sync::atomic::AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..MAX_IN_FLIGHT {
+            s.spawn(|| {
+                let mut c = vec![0.0f32; m * n];
+                while t0.elapsed() < window {
+                    svc.submit(&tenant, m, n, k, &a, &b, &mut c, &GemmOptions::new())
+                        .expect("unloaded closed-loop call failed");
+                    done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let calls = done.load(std::sync::atomic::Ordering::Relaxed);
+    calls as f64 / t0.elapsed().as_secs_f64()
+}
+
+struct LoadResult {
+    multiplier: f64,
+    offered_qps: f64,
+    achieved_qps: f64,
+    admitted: u64,
+    rejected: u64,
+    shed: u64,
+    expired_in_queue: u64,
+    ok: u64,
+    exec_errors: u64,
+    p50_s: f64,
+    p99_s: f64,
+    queued_after: usize,
+    in_flight_after: usize,
+    gauge_after: i64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64 * 1e-9
+}
+
+/// Paced open-loop phase: `pacers` threads offer `offered_qps` calls/sec
+/// in aggregate for `window`, each call carrying [`DEADLINE`].
+fn run_load(multiplier: f64, saturation_qps: f64, window: Duration) -> LoadResult {
+    let svc = service(Some(DEADLINE), true);
+    let tenant = TenantId::new("paced");
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k);
+    let offered_qps = saturation_qps * multiplier;
+    // Enough pacer threads that callers stuck in the admission queue do
+    // not throttle the offered rate.
+    let pacers = (2 * MAX_IN_FLIGHT + QUEUE_DEPTH + 2).max(4);
+    let per_thread_interval = Duration::from_secs_f64(pacers as f64 / offered_qps.max(1.0));
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let ok = std::sync::atomic::AtomicU64::new(0);
+    let exec_errors = std::sync::atomic::AtomicU64::new(0);
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for p in 0..pacers {
+            let (svc, tenant, a, b, latencies, ok, exec_errors) =
+                (&svc, &tenant, &a, &b, &latencies, &ok, &exec_errors);
+            s.spawn(move || {
+                let mut c = vec![0.0f32; m * n];
+                // Stagger thread start across one interval so the
+                // aggregate offered stream is evenly spaced.
+                let mut next = t0 + per_thread_interval.mul_f64(p as f64 / pacers as f64);
+                loop {
+                    let now = Instant::now();
+                    if now < next {
+                        std::thread::sleep(next - now);
+                    }
+                    if t0.elapsed() >= window {
+                        break;
+                    }
+                    next += per_thread_interval;
+                    let call_t0 = Instant::now();
+                    match svc.submit(tenant, m, n, k, a, b, &mut c, &GemmOptions::new()) {
+                        Ok(_) => {
+                            ok.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let ns = call_t0.elapsed().as_nanos() as u64;
+                            let mut l = latencies.lock().unwrap_or_else(|e| e.into_inner());
+                            l.push(ns);
+                        }
+                        Err(GemmError::Rejected { .. }) => {}
+                        Err(_) => {
+                            exec_errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let snap = svc.metrics().snapshot();
+    let mut lat = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
+    lat.sort_unstable();
+    let ok_calls = ok.load(std::sync::atomic::Ordering::Relaxed);
+    LoadResult {
+        multiplier,
+        offered_qps,
+        achieved_qps: ok_calls as f64 / elapsed,
+        admitted: snap.counter(Counter::ServiceAdmitted),
+        rejected: snap.counter(Counter::ServiceRejected),
+        shed: snap.counter(Counter::ServiceShed),
+        expired_in_queue: snap.counter(Counter::ServiceExpiredInQueue),
+        ok: ok_calls,
+        exec_errors: exec_errors.load(std::sync::atomic::Ordering::Relaxed),
+        p50_s: percentile(&lat, 0.50),
+        p99_s: percentile(&lat, 0.99),
+        queued_after: svc.queued(),
+        in_flight_after: svc.in_flight(),
+        gauge_after: snap.in_flight,
+    }
+}
+
+/// One traced call through a fresh service: the embedded schema-v6 report
+/// (with its `service` section) the schema guard validates.
+fn traced_report() -> String {
+    let svc = service(None, false);
+    let tenant = TenantId::new("traced");
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k);
+    let mut c = vec![0.0f32; m * n];
+    let (_reply, report) = svc
+        .submit_traced(&tenant, m, n, k, &a, &b, &mut c, &GemmOptions::new())
+        .expect("traced service call failed");
+    report.to_json()
+}
+
+fn run(window_sat: Duration, window_load: Duration) -> (f64, Vec<LoadResult>) {
+    let saturation_qps = measure_saturation(window_sat);
+    let results = LOADS.iter().map(|&mult| run_load(mult, saturation_qps, window_load)).collect();
+    (saturation_qps, results)
+}
+
+fn smoke() {
+    let baseline_workers = autogemm::Runtime::global().alive_workers();
+    let (saturation_qps, results) = run(Duration::from_millis(200), Duration::from_millis(400));
+    assert!(saturation_qps > 0.0, "saturation probe made no calls");
+    for r in &results {
+        // Whatever the load, the service must settle to idle...
+        assert_eq!(r.queued_after, 0, "{}x: queue not drained", r.multiplier);
+        assert_eq!(r.in_flight_after, 0, "{}x: leaked in-flight slot", r.multiplier);
+        assert_eq!(r.gauge_after, 0, "{}x: metrics gauge nonzero", r.multiplier);
+        // ...and admitted calls keep a bounded latency profile: queue
+        // wait and execution are both capped by the deadline, so
+        // end-to-end p99 is bounded by a small multiple of it.
+        if r.ok > 0 {
+            assert!(
+                r.p99_s < (5 * DEADLINE).as_secs_f64(),
+                "{}x: admitted p99 {:.1} ms unbounded",
+                r.multiplier,
+                r.p99_s * 1e3,
+            );
+        }
+        let accounted = r.admitted + r.rejected + r.shed + r.expired_in_queue;
+        assert!(accounted > 0, "{}x: no traffic offered", r.multiplier);
+    }
+    let overload = results.last().expect("loads configured");
+    let dropped = overload.rejected + overload.shed + overload.expired_in_queue;
+    assert!(
+        dropped > 0,
+        "2x offered load must produce deterministic rejections, got none \
+         (admitted {} of offered {:.0}/s)",
+        overload.admitted,
+        overload.offered_qps,
+    );
+    assert_eq!(
+        autogemm::Runtime::global().alive_workers(),
+        baseline_workers,
+        "soak changed the global pool's worker count"
+    );
+    println!(
+        "service_soak smoke passed: saturation {:.0} calls/s; 2x load admitted {} / \
+         dropped {} (rejected {}, shed {}, expired {}), admitted p99 {:.2} ms.",
+        saturation_qps,
+        overload.admitted,
+        dropped,
+        overload.rejected,
+        overload.shed,
+        overload.expired_in_queue,
+        overload.p99_s * 1e3,
+    );
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let first = args.next();
+    if first.as_deref() == Some("--smoke") {
+        smoke();
+        return;
+    }
+    let out_path = first.unwrap_or_else(|| "BENCH_service.json".to_string());
+    let (saturation_qps, results) = run(Duration::from_millis(400), Duration::from_millis(800));
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"service_soak\",");
+    let _ = writeln!(
+        json,
+        "  \"command\": \"cargo run --release -p autogemm-bench --bin service_soak\","
+    );
+    let (m, n, k) = SHAPE;
+    let _ = writeln!(json, "  \"shape\": {{\"m\": {m}, \"n\": {n}, \"k\": {k}}},");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"queue_depth\": {QUEUE_DEPTH}, \"max_in_flight\": {MAX_IN_FLIGHT}, \
+         \"tenant_threads\": {TENANT_THREADS}, \"deadline_ms\": {}}},",
+        DEADLINE.as_millis()
+    );
+    let _ = writeln!(
+        json,
+        "  \"host_parallelism\": {},",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    );
+    let _ = writeln!(json, "  \"saturation_qps\": {saturation_qps:.1},");
+    let _ = writeln!(json, "  \"loads\": [");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"multiplier\": {:.1}, \"offered_qps\": {:.1}, \"achieved_qps\": {:.1}, \
+             \"admitted\": {}, \"rejected\": {}, \"shed\": {}, \"expired_in_queue\": {}, \
+             \"ok\": {}, \"exec_errors\": {}, \"p50_s\": {:.9}, \"p99_s\": {:.9}, \
+             \"queued_after\": {}, \"in_flight_after\": {}}}",
+            r.multiplier,
+            r.offered_qps,
+            r.achieved_qps,
+            r.admitted,
+            r.rejected,
+            r.shed,
+            r.expired_in_queue,
+            r.ok,
+            r.exec_errors,
+            r.p50_s,
+            r.p99_s,
+            r.queued_after,
+            r.in_flight_after,
+        );
+        let _ = writeln!(json, "{}", if i + 1 < results.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"report\": {}", traced_report());
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_service.json");
+    let overload = results.last().expect("loads configured");
+    println!(
+        "wrote {out_path}: saturation {:.0} calls/s; 2x load admitted {} rejected {} \
+         shed {} expired {}.",
+        saturation_qps,
+        overload.admitted,
+        overload.rejected,
+        overload.shed,
+        overload.expired_in_queue,
+    );
+}

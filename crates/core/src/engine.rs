@@ -8,8 +8,8 @@ use crate::plancache::{PlanCache, PlanCacheStats, PlanKey};
 use crate::runtime::{PoolStats, Runtime};
 use crate::simexec::{self, BlockCost};
 use crate::supervisor::{
-    is_retryable, Breaker, BreakerConfig, BreakerPath, GemmOptions, ResilientMode, ResilientReport,
-    Supervision,
+    is_retryable, Admission, Breaker, BreakerConfig, BreakerPath, GemmOptions, ResilientMode,
+    ResilientReport, Supervision,
 };
 use crate::telemetry::metrics::{CallOutcome, Counter, MetricsRegistry, MetricsSnapshot};
 use crate::telemetry::{DispatchStats, HealthReport, TraceBuf};
@@ -443,6 +443,12 @@ impl AutoGemm {
     /// (`Cancelled`) and caller mistakes (shape/plan errors) are never
     /// retried. Returns which rung succeeded; the terminal error of the
     /// last rung otherwise.
+    ///
+    /// The deadline budget spans the whole ladder: time a failed rung
+    /// consumed is deducted before the next rung runs, and a budget
+    /// exhausted between rungs surfaces as [`GemmError::Cancelled`]
+    /// (`phase: "retry"`) instead of granting each rung a fresh full
+    /// deadline.
     #[allow(clippy::too_many_arguments)]
     pub fn try_gemm_resilient(
         &self,
@@ -454,6 +460,7 @@ impl AutoGemm {
         c: &mut [f32],
         opts: &GemmOptions,
     ) -> Result<ResilientReport, GemmError> {
+        let start = std::time::Instant::now();
         let err = match self.run_supervised(m, n, k, a, b, c, opts, false, false, false) {
             Ok(()) => return Ok(ResilientReport { attempts: 1, mode: ResilientMode::AsRequested }),
             Err(e) => e,
@@ -461,17 +468,34 @@ impl AutoGemm {
         if !is_retryable(&err) {
             return Err(err);
         }
+        let rung_opts = Self::deduct_deadline(opts, start)?;
         self.metrics.add(Counter::RetryAttempts, 1);
-        match self.run_supervised(m, n, k, a, b, c, opts, false, false, true) {
+        match self.run_supervised(m, n, k, a, b, c, &rung_opts, false, false, true) {
             Ok(()) => {
                 return Ok(ResilientReport { attempts: 2, mode: ResilientMode::SingleThread })
             }
             Err(e) if !is_retryable(&e) => return Err(e),
             Err(_) => {}
         }
+        let rung_opts = Self::deduct_deadline(opts, start)?;
         self.metrics.add(Counter::RetryAttempts, 1);
-        self.run_supervised(m, n, k, a, b, c, opts, true, true, true)
+        self.run_supervised(m, n, k, a, b, c, &rung_opts, true, true, true)
             .map(|()| ResilientReport { attempts: 3, mode: ResilientMode::ScalarTransient })
+    }
+
+    /// The per-rung options of the resilient ladder: the original
+    /// options with the elapsed ladder time deducted from the deadline
+    /// budget. A budget already spent is a cancellation, not a retry.
+    fn deduct_deadline(
+        opts: &GemmOptions,
+        start: std::time::Instant,
+    ) -> Result<GemmOptions, GemmError> {
+        let Some(budget) = opts.deadline else { return Ok(opts.clone()) };
+        let remaining = budget.saturating_sub(start.elapsed());
+        if remaining.is_zero() {
+            return Err(GemmError::Cancelled { phase: "retry", blocks_done: 0, blocks_total: 0 });
+        }
+        Ok(opts.clone().deadline(remaining))
     }
 
     /// Current circuit-breaker health snapshot (empty transition list —
@@ -581,14 +605,14 @@ impl AutoGemm {
         // bit-identical output with none of the planning or packing cost.
         if let Some(route) = crate::gemv::fast_route(m, n, k) {
             let result = crate::gemv::try_fast_supervised(route, m, n, k, a, b, c, threads, &sup);
-            self.breaker_record(&sup, reroute, threads, &result);
+            self.breaker_record(&sup, &adm, threads, &result);
             return result;
         }
         let tuner_threads = if threads > 1 { threads.max(2) } else { 1 };
         let (plan, _) = self.plan_dispatch(m, n, k, tuner_threads);
         let result =
             native::try_gemm_with_plan_supervised(&plan, a, b, c, threads, &self.panel_pool, &sup);
-        self.breaker_record(&sup, reroute, threads, &result);
+        self.breaker_record(&sup, &adm, threads, &result);
         result
     }
 
@@ -599,10 +623,11 @@ impl AutoGemm {
     fn breaker_record<T>(
         &self,
         sup: &Supervision,
-        mut reroute: [bool; 4],
+        adm: &Admission,
         threads: usize,
         result: &Result<T, GemmError>,
     ) -> Vec<String> {
+        let mut reroute = adm.reroute;
         if sup.force_reference {
             reroute[BreakerPath::SimdDispatch.index()] = true;
         }
@@ -619,7 +644,9 @@ impl AutoGemm {
             reroute[BreakerPath::PoolSubmit.index()] = true;
         }
         let neutral = matches!(result, Err(GemmError::Cancelled { .. }));
-        self.breaker.record(&sup.observed, reroute, neutral)
+        // The probe flags travel back so the breaker can release the
+        // path's single HalfOpen probe slot even on neutral calls.
+        self.breaker.record(&sup.observed, reroute, adm.probe, neutral)
     }
 
     /// [`Self::gemm_threaded`] with per-call telemetry: runs the same
@@ -717,7 +744,7 @@ impl AutoGemm {
         }
         let adm = self.breaker.admit();
         let reroute = adm.reroute;
-        let mut events = adm.events;
+        let mut events = adm.events.clone();
         let mut sup = Supervision::from_options(opts).with_runtime(self.runtime.clone());
         if let Some(t) = &self.tracer {
             sup = sup.with_tracer(Arc::clone(t));
@@ -732,7 +759,7 @@ impl AutoGemm {
         if let Some(route) = crate::gemv::fast_route(m, n, k) {
             let result =
                 crate::gemv::try_fast_traced_supervised(route, m, n, k, a, b, c, threads, &sup);
-            events.extend(self.breaker_record(&sup, reroute, threads, &result));
+            events.extend(self.breaker_record(&sup, &adm, threads, &result));
             let stats = self.plans.stats();
             return result.map(|mut report| {
                 report.health = self.breaker.health_report(events);
@@ -759,7 +786,7 @@ impl AutoGemm {
             &self.panel_pool,
             &sup,
         );
-        events.extend(self.breaker_record(&sup, reroute, threads, &result));
+        events.extend(self.breaker_record(&sup, &adm, threads, &result));
         let stats = self.plans.stats();
         result.map(|mut report| {
             report.health = self.breaker.health_report(events);
@@ -867,7 +894,7 @@ impl AutoGemm {
         {
             sup.observe_fault(BreakerPath::ThreadedDriver);
         }
-        self.breaker_record(&sup, reroute, threads, &result);
+        self.breaker_record(&sup, &adm, threads, &result);
         result
     }
 

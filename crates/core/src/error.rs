@@ -117,6 +117,47 @@ pub enum GemmError {
     /// chunks are valid); the failed item's chunk follows `source`'s
     /// own contract.
     InBatch { index: usize, source: Box<GemmError> },
+    /// The [`GemmService`](crate::service::GemmService) admission layer
+    /// refused the request before any engine work started: `C` is
+    /// untouched and no queue or execution slot is held. `queue_depth`
+    /// is the number of requests waiting at the moment of the verdict.
+    Rejected { reason: RejectReason, queue_depth: usize },
+    /// A request admitted by the service failed during execution on the
+    /// named tenant's engine; `source` is the underlying engine error
+    /// and governs the `C` contract.
+    InService { tenant: String, source: Box<GemmError> },
+}
+
+/// Why the service admission layer refused a request (the `reason` of
+/// [`GemmError::Rejected`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded admission queue was at its configured depth.
+    QueueFull,
+    /// The tenant already held its maximum share of the queue.
+    TenantQueueShare,
+    /// The remaining deadline budget was provably insufficient
+    /// (perfmodel floor, or observed p95 once warmed) — shed at
+    /// admission instead of wasting pool time.
+    DeadlineUnmeetable,
+    /// The deadline expired while the request was still queued.
+    ExpiredInQueue,
+    /// The service had been closed; no new work is accepted.
+    ServiceClosed,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull => f.write_str("admission queue full"),
+            RejectReason::TenantQueueShare => f.write_str("tenant queue share exhausted"),
+            RejectReason::DeadlineUnmeetable => {
+                f.write_str("remaining deadline budget provably insufficient")
+            }
+            RejectReason::ExpiredInQueue => f.write_str("deadline expired while queued"),
+            RejectReason::ServiceClosed => f.write_str("service closed"),
+        }
+    }
 }
 
 impl std::fmt::Display for GemmError {
@@ -152,6 +193,12 @@ impl std::fmt::Display for GemmError {
             GemmError::InBatch { index, source } => {
                 write!(f, "autogemm: batch item {index} failed: {source}")
             }
+            GemmError::Rejected { reason, queue_depth } => {
+                write!(f, "autogemm: request rejected ({reason}; {queue_depth} queued)")
+            }
+            GemmError::InService { tenant, source } => {
+                write!(f, "autogemm: tenant {tenant:?} call failed: {source}")
+            }
         }
     }
 }
@@ -159,7 +206,9 @@ impl std::fmt::Display for GemmError {
 impl std::error::Error for GemmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            GemmError::InBatch { source, .. } => Some(source.as_ref()),
+            GemmError::InBatch { source, .. } | GemmError::InService { source, .. } => {
+                Some(source.as_ref())
+            }
             _ => None,
         }
     }
@@ -281,5 +330,41 @@ mod tests {
         assert!(msg.contains("pack B"), "{msg}");
         let chained = e.source().and_then(|s| s.downcast_ref::<GemmError>());
         assert_eq!(chained, Some(&inner));
+    }
+
+    #[test]
+    fn rejected_names_reason_and_depth() {
+        let e = GemmError::Rejected { reason: RejectReason::QueueFull, queue_depth: 64 };
+        let msg = e.to_string();
+        assert!(msg.contains("rejected"), "{msg}");
+        assert!(msg.contains("admission queue full"), "{msg}");
+        assert!(msg.contains("64 queued"), "{msg}");
+        use std::error::Error as _;
+        assert!(e.source().is_none(), "Rejected is terminal: no inner error");
+    }
+
+    /// The satellite source-chain contract: a service wrapper around a
+    /// batch failure walks `InService → InBatch → AllocFailed` through
+    /// plain `std::error::Error::source`, so `anyhow`-style consumers
+    /// see the whole causal chain.
+    #[test]
+    fn in_service_chains_through_in_batch_to_the_root_cause() {
+        use std::error::Error as _;
+        let root = GemmError::AllocFailed { phase: "pack A" };
+        let batch = GemmError::InBatch { index: 2, source: Box::new(root.clone()) };
+        let svc = GemmError::InService { tenant: "acme".into(), source: Box::new(batch.clone()) };
+        assert!(svc.to_string().contains("tenant \"acme\""), "{svc}");
+
+        let mut chain = Vec::new();
+        let mut cur: Option<&(dyn std::error::Error + 'static)> = Some(&svc);
+        while let Some(e) = cur {
+            chain.push(e.to_string());
+            cur = e.source();
+        }
+        assert_eq!(chain.len(), 3, "chain was {chain:?}");
+        assert!(chain[1].contains("batch item 2"), "{chain:?}");
+        assert!(chain[2].contains("pack A"), "{chain:?}");
+        let leaf = svc.source().and_then(|s| s.source()).and_then(|s| s.downcast_ref());
+        assert_eq!(leaf, Some(&root));
     }
 }

@@ -120,6 +120,7 @@ pub mod packing;
 pub mod plan;
 pub(crate) mod plancache;
 pub mod runtime;
+pub mod service;
 pub mod simd;
 pub mod simexec;
 pub mod supervisor;
@@ -128,7 +129,7 @@ pub mod transpose;
 
 pub use batch::{gemm_batch, try_gemm_batch, try_gemm_batch_supervised, GemmBatch};
 pub use engine::{AutoGemm, SimGemmReport};
-pub use error::GemmError;
+pub use error::{GemmError, RejectReason};
 pub use offline::{
     gemm_prepacked, gemm_prepacked_pooled, try_gemm_prepacked, try_gemm_prepacked_pooled,
     try_gemm_prepacked_supervised, PackedB,
@@ -137,9 +138,12 @@ pub use packing::PanelPool;
 pub use plan::{ExecutionPlan, OperandRouting};
 pub use plancache::{PlanCacheStats, PLAN_CACHE_CAPACITY};
 pub use runtime::{host_parallelism, PoolStats, Runtime};
+pub use service::{GemmService, ServiceConfig, ServiceReply, ShedPolicy, TenantId, TenantQuota};
 pub use supervisor::{
     BreakerConfig, BreakerPath, BreakerState, CancelToken, GemmOptions, ResilientMode,
     ResilientReport, Supervision, WatchdogConfig,
 };
-pub use telemetry::{GemmReport, MetricsRegistry, MetricsSnapshot, TraceBuf, TraceSpan};
+pub use telemetry::{
+    GemmReport, MetricsRegistry, MetricsSnapshot, ServiceReport, TraceBuf, TraceSpan,
+};
 pub use transpose::{gemm_op, sgemm, try_gemm_op, try_sgemm, Op};

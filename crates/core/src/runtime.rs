@@ -556,6 +556,13 @@ impl Runtime {
         (self.pool.workers + 1).max(2)
     }
 
+    /// Configured pool worker count (excluding the calling thread).
+    /// [`GemmService`](crate::service::GemmService) derives its default
+    /// execution-concurrency limit from this.
+    pub fn workers(&self) -> usize {
+        self.pool.workers
+    }
+
     /// Cumulative pool counters (see [`PoolStats`]).
     pub fn stats(&self) -> PoolStats {
         self.pool.stats()

@@ -171,9 +171,10 @@ impl GemmOptions {
 
 /// Faults the run observed, by breaker path. Written by the native
 /// drivers (degrade probes) and the engine (error classification), read
-/// by the breaker after the call.
+/// by the breaker after the call. Public so external supervisors (and
+/// the breaker's own tests) can drive [`Breaker::record`] directly.
 #[derive(Debug, Default)]
-pub(crate) struct ObservedFaults {
+pub struct ObservedFaults {
     pub(crate) simd_dispatch: AtomicBool,
     pub(crate) pool_alloc: AtomicBool,
     pub(crate) threaded_driver: AtomicBool,
@@ -181,7 +182,8 @@ pub(crate) struct ObservedFaults {
 }
 
 impl ObservedFaults {
-    pub(crate) fn set(&self, path: BreakerPath) {
+    /// Mark `path` as having faulted during this call.
+    pub fn set(&self, path: BreakerPath) {
         match path {
             BreakerPath::SimdDispatch => self.simd_dispatch.store(true, Ordering::Relaxed),
             BreakerPath::PoolAlloc => self.pool_alloc.store(true, Ordering::Relaxed),
@@ -190,7 +192,8 @@ impl ObservedFaults {
         }
     }
 
-    pub(crate) fn get(&self, path: BreakerPath) -> bool {
+    /// Whether `path` faulted during this call.
+    pub fn get(&self, path: BreakerPath) -> bool {
         match path {
             BreakerPath::SimdDispatch => self.simd_dispatch.load(Ordering::Relaxed),
             BreakerPath::PoolAlloc => self.pool_alloc.load(Ordering::Relaxed),
@@ -521,7 +524,9 @@ impl BreakerPath {
         BreakerPath::PoolSubmit,
     ];
 
-    pub(crate) fn index(self) -> usize {
+    /// Position of this path in [`Self::ALL`] and in the
+    /// [`Admission`] reroute/probe arrays.
+    pub fn index(self) -> usize {
         match self {
             BreakerPath::SimdDispatch => 0,
             BreakerPath::PoolAlloc => 1,
@@ -586,6 +591,9 @@ struct PathInner {
     consecutive_faults: u32,
     open_calls: u32,
     halfopen_clean: u32,
+    /// While HalfOpen, whether a probe call currently holds the path's
+    /// single probe slot; concurrent callers reroute until it records.
+    probe_in_flight: bool,
     total_faults: u64,
     trips: u64,
 }
@@ -608,13 +616,19 @@ impl PathInner {
     }
 }
 
-/// What the breaker decided for one call, per path.
+/// What the breaker decided for one call, per path. Hand it back to
+/// [`Breaker::record`] when the call completes.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct Admission {
+pub struct Admission {
     /// `reroute[path.index()]`: serve this call on the degraded twin.
-    pub(crate) reroute: [bool; 4],
+    pub reroute: [bool; 4],
+    /// `probe[path.index()]`: this call holds the path's single
+    /// HalfOpen probe slot and must release it via [`Breaker::record`]
+    /// (probing calls run the fast path; everyone else reroutes until
+    /// the probe's verdict is in).
+    pub probe: [bool; 4],
     /// Transitions performed while admitting (Open → HalfOpen).
-    pub(crate) events: Vec<String>,
+    pub events: Vec<String>,
 }
 
 /// Per-engine backend-quarantine circuit breaker. See the module docs
@@ -663,7 +677,11 @@ impl Breaker {
     }
 
     /// Decide reroutes for an incoming call and advance Open cooldowns.
-    pub(crate) fn admit(&self) -> Admission {
+    /// HalfOpen paths admit exactly one probe at a time: the call that
+    /// claims the slot (`Admission::probe`) runs the fast path, every
+    /// concurrent caller reroutes to the degraded twin until the probe's
+    /// outcome is recorded.
+    pub fn admit(&self) -> Admission {
         let mut adm = Admission::default();
         let mut paths = self.paths.lock();
         for path in BreakerPath::ALL {
@@ -675,13 +693,22 @@ impl Breaker {
                     if p.open_calls >= self.cfg.open_cooldown {
                         p.set_state(BreakerState::HalfOpen);
                         p.halfopen_clean = 0;
-                        adm.events.push(format!("{}: open -> half_open", path.name()));
                         // This call is the first probe: fast path allowed.
+                        p.probe_in_flight = true;
+                        adm.probe[path.index()] = true;
+                        adm.events.push(format!("{}: open -> half_open", path.name()));
                     } else {
                         adm.reroute[path.index()] = true;
                     }
                 }
-                BreakerState::HalfOpen => {}
+                BreakerState::HalfOpen => {
+                    if p.probe_in_flight {
+                        adm.reroute[path.index()] = true;
+                    } else {
+                        p.probe_in_flight = true;
+                        adm.probe[path.index()] = true;
+                    }
+                }
             }
         }
         drop(paths);
@@ -691,24 +718,30 @@ impl Breaker {
 
     /// Record a call's outcome per path and perform transitions.
     /// `neutral` calls (e.g. cancelled before doing real work) update
-    /// nothing. Rerouted paths were not exercised, so they are neither
-    /// a success nor a fault.
-    pub(crate) fn record(
+    /// no state but still release any probe slot the call held.
+    /// Rerouted paths were not exercised, so they are neither a success
+    /// nor a fault. `rerouted`/`probed` come from the call's
+    /// [`Admission`] (the engine may add forced reroutes of its own).
+    pub fn record(
         &self,
         observed: &ObservedFaults,
         rerouted: [bool; 4],
+        probed: [bool; 4],
         neutral: bool,
     ) -> Vec<String> {
         let mut events = Vec::new();
-        if neutral {
-            return events;
-        }
         let mut paths = self.paths.lock();
         for path in BreakerPath::ALL {
-            if rerouted[path.index()] {
+            let p = &mut paths[path.index()];
+            // A held probe slot is released no matter how the call ended:
+            // a neutral (cancelled) probe decides nothing, but it must
+            // not wedge the path with a probe that never reports.
+            if probed[path.index()] {
+                p.probe_in_flight = false;
+            }
+            if neutral || rerouted[path.index()] {
                 continue;
             }
-            let p = &mut paths[path.index()];
             let fault = observed.get(path);
             match (p.state(), fault) {
                 (BreakerState::Closed, true) => {
@@ -730,6 +763,13 @@ impl Breaker {
                     events.push(format!("{}: half_open -> open", path.name()));
                 }
                 (BreakerState::HalfOpen, false) => {
+                    // Only the call that held the probe slot may count as
+                    // a clean probe; a concurrent call admitted while the
+                    // path was still Closed deciding the verdict instead
+                    // would let a non-representative call close the path.
+                    if !probed[path.index()] {
+                        continue;
+                    }
                     p.halfopen_clean += 1;
                     if p.halfopen_clean >= self.cfg.close_after {
                         p.set_state(BreakerState::Closed);
@@ -952,7 +992,7 @@ mod tests {
             assert!(!adm.reroute[path.index()], "call {i} should run the fast path");
             let obs = ObservedFaults::default();
             obs.set(path);
-            let ev = b.record(&obs, adm.reroute, false);
+            let ev = b.record(&obs, adm.reroute, adm.probe, false);
             if i < 2 {
                 assert!(ev.is_empty(), "no transition before the threshold");
             } else {
@@ -964,19 +1004,19 @@ mod tests {
         // While Open, calls are rerouted; the cooldown counts them.
         let adm = b.admit();
         assert!(adm.reroute[path.index()], "open path must reroute");
-        let _ = b.record(&ObservedFaults::default(), adm.reroute, false);
+        let _ = b.record(&ObservedFaults::default(), adm.reroute, adm.probe, false);
 
         // Cooldown reached: next admit transitions to HalfOpen and probes.
         let adm = b.admit();
         assert!(!adm.reroute[path.index()], "half-open probe runs the fast path");
         assert_eq!(adm.events, vec!["simd_dispatch: open -> half_open"]);
-        let ev = b.record(&ObservedFaults::default(), adm.reroute, false);
+        let ev = b.record(&ObservedFaults::default(), adm.reroute, adm.probe, false);
         assert!(ev.is_empty());
         assert_eq!(b.state(path), BreakerState::HalfOpen);
 
         // Second clean probe closes the breaker.
         let adm = b.admit();
-        let ev = b.record(&ObservedFaults::default(), adm.reroute, false);
+        let ev = b.record(&ObservedFaults::default(), adm.reroute, adm.probe, false);
         assert_eq!(ev, vec!["simd_dispatch: half_open -> closed"]);
         assert_eq!(b.state(path), BreakerState::Closed);
 
@@ -996,13 +1036,13 @@ mod tests {
         let adm = b.admit();
         let obs = ObservedFaults::default();
         obs.set(path);
-        let _ = b.record(&obs, adm.reroute, false);
+        let _ = b.record(&obs, adm.reroute, adm.probe, false);
         assert_eq!(b.state(path), BreakerState::Open);
         let adm = b.admit(); // cooldown = 1 → straight to HalfOpen probe
         assert!(!adm.reroute[path.index()]);
         let obs = ObservedFaults::default();
         obs.set(path);
-        let ev = b.record(&obs, adm.reroute, false);
+        let ev = b.record(&obs, adm.reroute, adm.probe, false);
         assert_eq!(ev, vec!["pool_alloc: half_open -> open"]);
         assert_eq!(b.state(path), BreakerState::Open);
         assert_eq!(b.health_report(Vec::new()).paths[path.index()].trips, 2);
@@ -1014,7 +1054,7 @@ mod tests {
         let adm = b.admit();
         let obs = ObservedFaults::default();
         obs.set(BreakerPath::SimdDispatch);
-        let ev = b.record(&obs, adm.reroute, true);
+        let ev = b.record(&obs, adm.reroute, adm.probe, true);
         assert!(ev.is_empty());
         let health = b.health_report(Vec::new());
         assert_eq!(health.paths[0].total_faults, 0);
@@ -1033,7 +1073,7 @@ mod tests {
             if fault {
                 obs.set(path);
             }
-            let ev = b.record(&obs, adm.reroute, false);
+            let ev = b.record(&obs, adm.reroute, adm.probe, false);
             assert!(ev.is_empty());
         }
         assert_eq!(b.state(path), BreakerState::Closed);

@@ -263,10 +263,22 @@ pub enum Counter {
     PlanCacheMisses,
     /// Plan-cache LRU evictions.
     PlanCacheEvictions,
+    /// Service requests admitted past the queue (dispatched to an
+    /// engine). Only fed by a [`GemmService`](crate::service::GemmService)
+    /// registry; stays zero on engine/runtime registries.
+    ServiceAdmitted,
+    /// Service requests rejected at enqueue (queue full, tenant quota,
+    /// service closed).
+    ServiceRejected,
+    /// Service requests shed because the remaining deadline budget was
+    /// provably insufficient (perfmodel floor / observed p95).
+    ServiceShed,
+    /// Service requests whose deadline expired while still queued.
+    ServiceExpiredInQueue,
 }
 
 impl Counter {
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 12;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::Calls,
@@ -277,6 +289,10 @@ impl Counter {
         Counter::PlanCacheHits,
         Counter::PlanCacheMisses,
         Counter::PlanCacheEvictions,
+        Counter::ServiceAdmitted,
+        Counter::ServiceRejected,
+        Counter::ServiceShed,
+        Counter::ServiceExpiredInQueue,
     ];
 
     fn index(self) -> usize {
@@ -289,6 +305,10 @@ impl Counter {
             Counter::PlanCacheHits => 5,
             Counter::PlanCacheMisses => 6,
             Counter::PlanCacheEvictions => 7,
+            Counter::ServiceAdmitted => 8,
+            Counter::ServiceRejected => 9,
+            Counter::ServiceShed => 10,
+            Counter::ServiceExpiredInQueue => 11,
         }
     }
 
@@ -303,6 +323,10 @@ impl Counter {
             Counter::PlanCacheHits => "plan_cache_hits_total",
             Counter::PlanCacheMisses => "plan_cache_misses_total",
             Counter::PlanCacheEvictions => "plan_cache_evictions_total",
+            Counter::ServiceAdmitted => "service_admitted_total",
+            Counter::ServiceRejected => "service_rejected_total",
+            Counter::ServiceShed => "service_shed_total",
+            Counter::ServiceExpiredInQueue => "service_expired_in_queue_total",
         }
     }
 }
@@ -345,6 +369,9 @@ pub struct MetricsRegistry {
     pub pool_busy_ns: Histogram,
     /// Time pool workers spend parked between jobs, nanoseconds.
     pub pool_park_ns: Histogram,
+    /// Service admission-queue wait (enqueue → dispatch), nanoseconds.
+    /// Only fed by a service registry; stays zero elsewhere.
+    pub queue_wait_ns: Histogram,
 }
 
 impl std::fmt::Debug for MetricsRegistry {
@@ -374,6 +401,7 @@ impl MetricsRegistry {
             pool_wake_ns: Histogram::new(),
             pool_busy_ns: Histogram::new(),
             pool_park_ns: Histogram::new(),
+            queue_wait_ns: Histogram::new(),
         }
     }
 
@@ -468,6 +496,7 @@ impl MetricsRegistry {
             pool_wake_ns: self.pool_wake_ns.snapshot(),
             pool_busy_ns: self.pool_busy_ns.snapshot(),
             pool_park_ns: self.pool_park_ns.snapshot(),
+            queue_wait_ns: self.queue_wait_ns.snapshot(),
         }
     }
 }
@@ -488,6 +517,7 @@ pub struct MetricsSnapshot {
     pub pool_wake_ns: HistogramSnapshot,
     pub pool_busy_ns: HistogramSnapshot,
     pub pool_park_ns: HistogramSnapshot,
+    pub queue_wait_ns: HistogramSnapshot,
 }
 
 impl Default for MetricsSnapshot {
@@ -501,18 +531,20 @@ impl Default for MetricsSnapshot {
             pool_wake_ns: HistogramSnapshot::default(),
             pool_busy_ns: HistogramSnapshot::default(),
             pool_park_ns: HistogramSnapshot::default(),
+            queue_wait_ns: HistogramSnapshot::default(),
         }
     }
 }
 
 /// The histograms a snapshot carries, name-paired for the exporters.
-fn snapshot_hists(s: &MetricsSnapshot) -> [(&'static str, &HistogramSnapshot); 5] {
+fn snapshot_hists(s: &MetricsSnapshot) -> [(&'static str, &HistogramSnapshot); 6] {
     [
         ("call_latency_ns", &s.call_latency_ns),
         ("call_gflops_milli", &s.call_gflops_milli),
         ("pool_wake_ns", &s.pool_wake_ns),
         ("pool_busy_ns", &s.pool_busy_ns),
         ("pool_park_ns", &s.pool_park_ns),
+        ("queue_wait_ns", &s.queue_wait_ns),
     ]
 }
 
@@ -548,6 +580,7 @@ impl MetricsSnapshot {
             pool_wake_ns: hist("pool_wake_ns"),
             pool_busy_ns: hist("pool_busy_ns"),
             pool_park_ns: hist("pool_park_ns"),
+            queue_wait_ns: hist("queue_wait_ns"),
         }
     }
 

@@ -78,7 +78,8 @@ pub use metrics::{
 };
 pub use report::{
     DispatchStats, FallbackStats, GemmReport, HealthReport, ModelJoin, PackStats, PathHealth,
-    PhaseProfile, PhaseTimes, ThreadProfile, TileCount, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+    PhaseProfile, PhaseTimes, ServiceReport, ThreadProfile, TileCount, MIN_SCHEMA_VERSION,
+    SCHEMA_VERSION,
 };
 pub use session::Session;
 pub use tracebuf::{TraceBuf, TraceSpan};

@@ -2,7 +2,7 @@
 
 use crate::runtime::PoolStats;
 use crate::telemetry::json::{Json, JsonError};
-use crate::telemetry::metrics::MetricsSnapshot;
+use crate::telemetry::metrics::{HistogramSnapshot, MetricsSnapshot};
 use autogemm_kernelgen::MicroTile;
 use autogemm_perfmodel::ProjectionTable;
 
@@ -14,10 +14,13 @@ use autogemm_perfmodel::ProjectionTable;
 /// plan-cache counters); v4 added the `pool` section (worker-pool
 /// runtime counters) and `fallbacks.inline_drains`; v5 added the
 /// `metrics` section (the engine-lifetime [`MetricsSnapshot`] at report
-/// time). Older reports are still accepted: v1 parses with an empty
-/// health section, v1/v2 with a default dispatch section, v1–v3 with a
-/// default pool section, v1–v4 with no metrics snapshot.
-pub const SCHEMA_VERSION: u64 = 5;
+/// time); v6 added the `service` section (admission-control counters and
+/// the queue-wait histogram of the owning
+/// [`GemmService`](crate::service::GemmService)). Older reports are
+/// still accepted: v1 parses with an empty health section, v1/v2 with a
+/// default dispatch section, v1–v3 with a default pool section, v1–v4
+/// with no metrics snapshot, v1–v5 with no service section.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Oldest serialized schema version [`GemmReport::from_json`] accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -235,6 +238,79 @@ pub struct ModelJoin {
     pub cycle_ratio: f64,
 }
 
+/// Admission-control view of the [`GemmService`](crate::service::GemmService)
+/// that owns the traced engine: the schema-v6 `service` report section.
+/// Counts are service-lifetime; `queued`/`in_flight` are the live values
+/// at report time (a drained service reports both as zero).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceReport {
+    /// Configured admission-queue depth.
+    pub queue_depth: usize,
+    /// Configured global execution-concurrency limit.
+    pub max_in_flight: usize,
+    /// Requests offered (admitted + every refusal class).
+    pub offered: u64,
+    /// Requests dispatched to an engine.
+    pub admitted: u64,
+    /// Requests refused at enqueue (queue full, tenant share, closed).
+    pub rejected: u64,
+    /// Requests shed because the deadline budget was provably
+    /// insufficient.
+    pub shed: u64,
+    /// Requests whose deadline expired while queued.
+    pub expired_in_queue: u64,
+    /// `(rejected + shed + expired_in_queue) / offered`; 0 when nothing
+    /// was offered.
+    pub shed_ratio: f64,
+    /// Requests waiting in the queue at report time.
+    pub queued: u64,
+    /// Requests executing at report time.
+    pub in_flight: i64,
+    /// Enqueue → dispatch wait of admitted requests, nanoseconds.
+    pub queue_wait_ns: HistogramSnapshot,
+}
+
+impl ServiceReport {
+    /// Serialize to the schema-v6 `service` report section.
+    pub fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("queue_depth".into(), Json::Num(self.queue_depth as f64)),
+            ("max_in_flight".into(), Json::Num(self.max_in_flight as f64)),
+            ("offered".into(), Json::Num(self.offered as f64)),
+            ("admitted".into(), Json::Num(self.admitted as f64)),
+            ("rejected".into(), Json::Num(self.rejected as f64)),
+            ("shed".into(), Json::Num(self.shed as f64)),
+            ("expired_in_queue".into(), Json::Num(self.expired_in_queue as f64)),
+            ("shed_ratio".into(), Json::Num(self.shed_ratio)),
+            ("queued".into(), Json::Num(self.queued as f64)),
+            ("in_flight".into(), Json::Num(self.in_flight as f64)),
+            ("queue_wait_ns".into(), self.queue_wait_ns.to_json_value()),
+        ])
+    }
+
+    /// Parse what [`Self::to_json_value`] wrote; absent fields default
+    /// to zero (lenient, like every other report section).
+    pub fn from_json_value(v: &Json) -> ServiceReport {
+        let num = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+        ServiceReport {
+            queue_depth: num("queue_depth") as usize,
+            max_in_flight: num("max_in_flight") as usize,
+            offered: num("offered"),
+            admitted: num("admitted"),
+            rejected: num("rejected"),
+            shed: num("shed"),
+            expired_in_queue: num("expired_in_queue"),
+            shed_ratio: v.get("shed_ratio").and_then(Json::as_f64).unwrap_or(0.0),
+            queued: num("queued"),
+            in_flight: v.get("in_flight").and_then(Json::as_f64).unwrap_or(0.0) as i64,
+            queue_wait_ns: v
+                .get("queue_wait_ns")
+                .map(HistogramSnapshot::from_json_value)
+                .unwrap_or_default(),
+        }
+    }
+}
+
 /// The per-GEMM telemetry report: what one traced call observed.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GemmReport {
@@ -270,6 +346,10 @@ pub struct GemmReport {
     /// (schema v5; `None` when parsed from older reports or produced by
     /// the engine-less plan-level drivers).
     pub metrics: Option<MetricsSnapshot>,
+    /// Admission-control snapshot of the owning service (schema v6;
+    /// `None` when parsed from older reports or when the engine is not
+    /// fronted by a [`GemmService`](crate::service::GemmService)).
+    pub service: Option<ServiceReport>,
     pub model: Option<ModelJoin>,
 }
 
@@ -455,6 +535,13 @@ impl GemmReport {
             match &self.metrics {
                 None => Json::Null,
                 Some(m) => m.to_json_value(),
+            },
+        ));
+        fields.push((
+            "service".into(),
+            match &self.service {
+                None => Json::Null,
+                Some(s) => s.to_json_value(),
             },
         ));
         fields.push((
@@ -690,6 +777,13 @@ impl GemmReport {
             Some(m) => Some(MetricsSnapshot::from_json_value(m)),
         };
 
+        // Schema v6. Pre-v6 reports predate the service layer entirely;
+        // `None` says "no admission control" rather than inventing zeros.
+        let service = match v.get("service") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(ServiceReport::from_json_value(s)),
+        };
+
         let model = match field("model")? {
             Json::Null => None,
             mj => Some(ModelJoin {
@@ -742,6 +836,7 @@ impl GemmReport {
             dispatch,
             pool,
             metrics,
+            service,
             model,
         })
     }
@@ -831,6 +926,7 @@ mod tests {
                 threads_clamped: 1,
             },
             metrics: None,
+            service: None,
             model: Some(ModelJoin {
                 projected_kernel_cycles: 1.25e6,
                 measured_kernel_cycles: 630_000,
@@ -977,6 +1073,106 @@ mod tests {
         let back = GemmReport::from_json(&text).expect("v4 report must parse leniently");
         assert_eq!(back.metrics, None);
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn v5_report_parses_with_no_service_section() {
+        // A schema-v5 report: version 5, no `service` section — no
+        // admission layer existed, so `None` is the honest parse.
+        let r = sample_report();
+        let text = r
+            .to_json()
+            .replace(&format!("\"schema_version\":{SCHEMA_VERSION}"), "\"schema_version\":5")
+            .replace("\"service\":null,", "");
+        assert!(!text.contains("\"service\""), "v5 fixture must not carry a service section");
+        let back = GemmReport::from_json(&text).expect("v5 report must parse leniently");
+        assert_eq!(back.service, None);
+        assert_eq!(back, r);
+    }
+
+    /// Every historical version fixture (v1–v5, built by stripping the
+    /// sections that version lacked) survives a parse → serialize →
+    /// parse round trip under the current schema.
+    #[test]
+    fn v1_through_v5_fixtures_round_trip_through_current_schema() {
+        let full = sample_report().to_json();
+        let strip_service = full.replace("\"service\":null,", "");
+        let strip_metrics = strip_service.replace("\"metrics\":null,", "");
+        let strip_pool = strip_metrics
+            .replace(DEFAULT_POOL_JSON, "")
+            .replace(
+                "\"pool\":{\"workers\":3,\"alive_workers\":3,\"submissions\":42,\
+                 \"jobs_completed\":42,\"wake_count\":120,\"wake_ns_total\":84000,\
+                 \"busy_ns_total\":9000000,\"park_ns_total\":2000000,\"threads_clamped\":1},",
+                "",
+            )
+            .replace(",\"inline_drains\":0", "");
+        let strip_dispatch = strip_pool.replace(
+            "\"dispatch\":{\"route\":\"block\",\"packed_a\":false,\"packed_b\":true,\
+             \"plan_cache_hit\":true,\"plan_cache_hits\":7,\"plan_cache_misses\":3},",
+            "",
+        );
+        let strip_health = strip_dispatch
+            .replace(",\"breaker_reroutes\":2", "")
+            .replace(&regex_free_health(&full), "");
+        let fixtures: [(u64, &str); 5] = [
+            (1, &strip_health),
+            (2, &strip_dispatch),
+            (3, &strip_pool),
+            (4, &strip_metrics),
+            (5, &strip_service),
+        ];
+        for (version, fixture) in fixtures {
+            let text = fixture.replace(
+                &format!("\"schema_version\":{SCHEMA_VERSION}"),
+                &format!("\"schema_version\":{version}"),
+            );
+            let once = GemmReport::from_json(&text)
+                .unwrap_or_else(|e| panic!("v{version} fixture must parse: {e}"));
+            let twice = GemmReport::from_json(&once.to_json())
+                .unwrap_or_else(|e| panic!("v{version} reserialization must parse: {e}"));
+            assert_eq!(once, twice, "v{version} fixture did not round-trip");
+        }
+    }
+
+    /// The serialized `health` section of [`sample_report`], extracted
+    /// from the full serialization so the v1 fixture can strip it
+    /// without hand-maintaining the string.
+    fn regex_free_health(full: &str) -> String {
+        let start = full.find("\"health\":").expect("health section present");
+        let end = full[start..].find(",\"dispatch\"").expect("dispatch follows health") + start + 1;
+        full[start..end].to_string()
+    }
+
+    #[test]
+    fn service_section_round_trips() {
+        use crate::telemetry::metrics::Histogram;
+        let wait = Histogram::new();
+        for v in [1_000u64, 25_000, 25_000, 4_000_000] {
+            wait.record(v, 0);
+        }
+        let mut r = sample_report();
+        r.service = Some(ServiceReport {
+            queue_depth: 64,
+            max_in_flight: 4,
+            offered: 1000,
+            admitted: 900,
+            rejected: 60,
+            shed: 30,
+            expired_in_queue: 10,
+            shed_ratio: 0.1,
+            queued: 0,
+            in_flight: 0,
+            queue_wait_ns: wait.snapshot(),
+        });
+        let text = r.to_json();
+        assert!(text.contains("\"service\":{"), "{text}");
+        assert!(text.contains("\"shed_ratio\":0.1"), "{text}");
+        let back = GemmReport::from_json(&text).expect("round trip");
+        assert_eq!(back.service, r.service);
+        assert_eq!(back, r);
+        let s = back.service.expect("service section survives");
+        assert_eq!(s.queue_wait_ns.count, 4);
     }
 
     #[test]

@@ -743,3 +743,145 @@ fn breaker_trips_reroutes_half_opens_and_recovers_deterministically() {
     assert!(r5.health.all_closed());
     assert_eq!(c, c_ref, "restored fast path must match the pre-fault run");
 }
+
+#[test]
+fn resilient_retries_share_one_deadline_budget_instead_of_resetting_it() {
+    let _g = chaos_lock();
+    // Quarantine off so every rung really re-enters the stalling path.
+    let engine = engine_unbroken();
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k, 41);
+    // Every rung stalls; the watchdog (80 ms quiescence) converts each
+    // stall into a retryable `Stalled`. With a single 200 ms budget the
+    // ladder must run out of deadline across rungs and surface
+    // `Cancelled` — the buggy behavior was three *full* 200 ms budgets,
+    // ending in `Stalled` after ~3x the requested deadline.
+    let guard = arm(FaultPlan::single(
+        FaultSite::WorkerHeartbeat,
+        FaultAction::Stall(10_000),
+        Trigger::EveryKth(1),
+    ));
+    let watchdog =
+        WatchdogConfig { quiescence: Duration::from_millis(80), poll: Duration::from_millis(5) };
+    let opts =
+        GemmOptions::new().threads(2).watchdog(watchdog).deadline(Duration::from_millis(200));
+    let mut c = vec![0.0f32; m * n];
+    let t0 = std::time::Instant::now();
+    let e = engine.try_gemm_resilient(m, n, k, &a, &b, &mut c, &opts).unwrap_err();
+    let elapsed = t0.elapsed();
+    drop(guard);
+    assert!(
+        matches!(e, GemmError::Cancelled { .. }),
+        "later rungs must inherit the *remaining* budget and stop on it; got {e:?}"
+    );
+    // Generous bound, but far below three full watchdog/deadline cycles.
+    assert!(elapsed < Duration::from_secs(2), "ladder overran its shared budget: {elapsed:?}");
+}
+
+#[test]
+fn recoverable_faults_under_queue_pressure_stay_oracle_identical() {
+    use autogemm::{GemmService, ServiceConfig, ShedPolicy, TenantQuota};
+    let _g = chaos_lock();
+    let cfg = ServiceConfig {
+        queue_depth: 16,
+        max_in_flight: 2,
+        shed: ShedPolicy { enabled: false, ..ShedPolicy::default() },
+        ..ServiceConfig::default()
+    };
+    let svc = GemmService::new(ChipSpec::graviton2(), cfg);
+    let tenant = svc.add_tenant("chaos", TenantQuota { threads: 4, ..TenantQuota::default() });
+    // Degrade is the recoverable action: packing falls back to the
+    // transient (non-pooled) buffer and the call must still be correct.
+    let guard =
+        arm(FaultPlan::single(FaultSite::PackAlloc, FaultAction::Degrade, Trigger::EveryKth(2)));
+    let (m, n, k) = SHAPE;
+    let svc = &svc;
+    let tenant = &tenant;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|t| {
+                s.spawn(move || {
+                    for i in 0..4u32 {
+                        let (a, b) = data(m, n, k, 500 + t * 16 + i);
+                        let mut c = vec![0.0f32; m * n];
+                        svc.submit(tenant, m, n, k, &a, &b, &mut c, &GemmOptions::new())
+                            .unwrap_or_else(|e| panic!("degrade must recover, got {e:?}"));
+                        let err = max_rel_error(&c, &oracle(m, n, k, &a, &b));
+                        assert!(err < 1e-5, "worker {t} call {i}: rel err {err}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no submitter panicked");
+        }
+    });
+    assert!(guard.fired() > 0, "plan armed but nothing fired");
+    drop(guard);
+    assert_eq!(svc.queued(), 0, "no waiter stranded in the queue");
+    assert_eq!(svc.in_flight(), 0, "no leaked in-flight slot");
+    assert_eq!(svc.metrics().snapshot().in_flight, 0);
+}
+
+#[test]
+fn hard_faults_under_queue_pressure_surface_structured_errors_and_leak_nothing() {
+    use autogemm::{GemmService, RejectReason, ServiceConfig, ShedPolicy, TenantQuota};
+    let _g = chaos_lock();
+    let cfg = ServiceConfig {
+        queue_depth: 8,
+        max_in_flight: 2,
+        shed: ShedPolicy { enabled: false, ..ShedPolicy::default() },
+        ..ServiceConfig::default()
+    };
+    let svc = GemmService::new(ChipSpec::graviton2(), cfg);
+    let tenant = svc.add_tenant("storm", TenantQuota { threads: 4, ..TenantQuota::default() });
+    let guard =
+        arm(FaultPlan::single(FaultSite::KernelDispatch, FaultAction::Panic, Trigger::EveryKth(3)));
+    let (m, n, k) = SHAPE;
+    let svc = &svc;
+    let tenant = &tenant;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|t| {
+                s.spawn(move || {
+                    for i in 0..4u32 {
+                        let (a, b) = data(m, n, k, 900 + t * 16 + i);
+                        let mut c = vec![0.0f32; m * n];
+                        match svc.submit(tenant, m, n, k, &a, &b, &mut c, &GemmOptions::new()) {
+                            Ok(_) => {
+                                let err = max_rel_error(&c, &oracle(m, n, k, &a, &b));
+                                assert!(err < 1e-5, "worker {t} call {i}: rel err {err}");
+                            }
+                            // Execution faults come back wrapped and named;
+                            // admission pressure comes back as a rejection.
+                            Err(GemmError::InService { tenant: who, source }) => {
+                                assert_eq!(who, "storm");
+                                assert!(
+                                    !matches!(
+                                        *source,
+                                        GemmError::Rejected { .. } | GemmError::InService { .. }
+                                    ),
+                                    "wrapper must hold a root execution error, got {source:?}"
+                                );
+                            }
+                            Err(GemmError::Rejected { reason, .. }) => {
+                                assert!(
+                                    matches!(reason, RejectReason::QueueFull),
+                                    "only queue pressure may reject here, got {reason:?}"
+                                );
+                            }
+                            Err(other) => panic!("unstructured failure: {other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no submitter panicked");
+        }
+    });
+    drop(guard);
+    assert_eq!(svc.queued(), 0, "no waiter stranded in the queue");
+    assert_eq!(svc.in_flight(), 0, "no leaked in-flight slot");
+    assert_eq!(svc.metrics().snapshot().in_flight, 0, "gauge settles to zero");
+}

@@ -179,3 +179,77 @@ fn a_fresh_engine_reports_every_breaker_path_closed() {
     assert!(report.health.transitions.is_empty());
     assert_eq!(report.fallbacks.breaker_reroutes, 0);
 }
+
+#[test]
+fn half_open_admits_exactly_one_probe_and_reroutes_the_rest() {
+    use autogemm::supervisor::{Breaker, BreakerConfig, BreakerPath, BreakerState, ObservedFaults};
+    let cfg = BreakerConfig { fail_threshold: 1, open_cooldown: 1, close_after: 1 };
+    let b = Breaker::new(cfg);
+    let path = BreakerPath::ThreadedDriver;
+
+    // Trip the path, serve the one-cooldown Open call, reach HalfOpen.
+    let adm = b.admit();
+    let obs = ObservedFaults::default();
+    obs.set(path);
+    let _ = b.record(&obs, adm.reroute, adm.probe, false);
+    assert_eq!(b.state(path), BreakerState::Open);
+
+    // The first HalfOpen admission claims the single probe slot...
+    let first = b.admit();
+    assert!(first.probe[path.index()], "first caller probes the fast path");
+    assert!(!first.reroute[path.index()]);
+    assert_eq!(b.state(path), BreakerState::HalfOpen);
+
+    // ...and every overlapping admission reroutes while it is in flight.
+    for i in 0..8 {
+        let adm = b.admit();
+        assert!(adm.reroute[path.index()], "caller {i} must reroute, not probe");
+        assert!(!adm.probe[path.index()]);
+        let ev = b.record(&ObservedFaults::default(), adm.reroute, adm.probe, false);
+        assert!(ev.is_empty(), "rerouted calls never advance the probe count");
+    }
+    assert_eq!(b.state(path), BreakerState::HalfOpen, "still waiting on the probe");
+
+    // Only the probe's own outcome closes the breaker.
+    let ev = b.record(&ObservedFaults::default(), first.reroute, first.probe, false);
+    assert_eq!(ev, vec!["threaded_driver: half_open -> closed"]);
+    assert_eq!(b.state(path), BreakerState::Closed);
+}
+
+#[test]
+fn racing_half_open_callers_yield_one_probe_and_a_cancelled_probe_releases_the_slot() {
+    use autogemm::supervisor::{Breaker, BreakerConfig, BreakerPath, BreakerState, ObservedFaults};
+    let cfg = BreakerConfig { fail_threshold: 1, open_cooldown: 1, close_after: 100 };
+    let b = Breaker::new(cfg);
+    let path = BreakerPath::PoolSubmit;
+    let adm = b.admit();
+    let obs = ObservedFaults::default();
+    obs.set(path);
+    let _ = b.record(&obs, adm.reroute, adm.probe, false);
+    assert_eq!(b.state(path), BreakerState::Open);
+
+    // Eight threads race the Open->HalfOpen transition: exactly one may
+    // come out holding the probe, everyone else must be rerouted.
+    let admissions: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8).map(|_| s.spawn(|| b.admit())).collect();
+        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+    });
+    let probes = admissions.iter().filter(|a| a.probe[path.index()]).count();
+    let reroutes = admissions.iter().filter(|a| a.reroute[path.index()]).count();
+    assert_eq!(probes, 1, "exactly one concurrent caller probes");
+    assert_eq!(reroutes, 7, "all others reroute to the safe path");
+    assert_eq!(b.state(path), BreakerState::HalfOpen);
+
+    // The probing call ends neutrally (e.g. cancelled): the slot must be
+    // released without counting as a clean probe, so the next admission
+    // probes again instead of the path wedging half-open forever.
+    for adm in &admissions {
+        let neutral = adm.probe[path.index()];
+        let ev = b.record(&ObservedFaults::default(), adm.reroute, adm.probe, neutral);
+        assert!(ev.is_empty());
+    }
+    assert_eq!(b.state(path), BreakerState::HalfOpen);
+    let next = b.admit();
+    assert!(next.probe[path.index()], "released slot re-arms the probe");
+    assert!(!next.reroute[path.index()]);
+}
