@@ -48,6 +48,18 @@ cargo test -q -p autogemm --features faultinject
 cargo test -q -p autogemm --features faultinject,telemetry
 cargo test -q -p autogemm-repro --features faultinject --test chaos --test fallible_api --test supervisor
 
+echo "== output-integrity config =="
+# The always-compiled Freivalds verification layer. tests/verify.rs
+# proves the detection bound (every above-tolerance corruption caught
+# within the round budget, zero clean false positives) and verdict
+# determinism across thread counts; re-running it with the injection
+# probes compiled in proves the verifier itself is fault-plan-agnostic.
+# The injected-corruption story (KernelCompute + CorruptOutput across
+# block/gemv/unpacked routes, sampling cadence, quarantine, verified
+# re-execution) runs in the chaos suite above.
+cargo test -q -p autogemm-repro --test verify
+cargo test -q -p autogemm-repro --features faultinject --test verify
+
 echo "== supervision soak (smoke length) =="
 # Randomized watchdog-supervised calls under seeded fault plans: every
 # call structured-error-or-correct, zero pool-buffer leaks, and the

@@ -36,6 +36,7 @@ fn check_reports(path: &str, v: &Json) -> usize {
                 GemmReport::from_json_value(v).unwrap_or_else(|e| {
                     panic!("{path}: embedded report failed the schema guard: {e}")
                 });
+                check_integrity_consistency(path, v);
                 found += 1;
             }
             for (_, inner) in fields {
@@ -50,6 +51,51 @@ fn check_reports(path: &str, v: &Json) -> usize {
         _ => {}
     }
     found
+}
+
+/// Schema-v7 cross-section rule: a report that claims verification
+/// failures (`integrity.verify_failures_total > 0`) must also show the
+/// failures reaching the breaker — either accumulated faults on the
+/// `verify_integrity` health path or a recorded transition on it. An
+/// artifact violating this was produced by an engine that detected
+/// corruption but never fed the quarantine machinery, which is exactly
+/// the bug this guard exists to catch. Reports without an `integrity`
+/// section (schema ≤ v6, or verification off) are exempt.
+fn check_integrity_consistency(path: &str, report: &Json) {
+    let failures = report
+        .get("integrity")
+        .and_then(|i| i.get("verify_failures_total"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    if failures == 0 {
+        return;
+    }
+    let health = report
+        .get("health")
+        .unwrap_or_else(|| panic!("{path}: report claims verify failures but has no health"));
+    let path_faulted = health
+        .get("paths")
+        .and_then(Json::as_arr)
+        .map(|paths| {
+            paths.iter().any(|p| {
+                p.get("path").and_then(Json::as_str) == Some("verify_integrity")
+                    && (p.get("total_faults").and_then(Json::as_u64).unwrap_or(0) > 0
+                        || p.get("trips").and_then(Json::as_u64).unwrap_or(0) > 0)
+            })
+        })
+        .unwrap_or(false);
+    let transition_recorded = health
+        .get("transitions")
+        .and_then(Json::as_arr)
+        .map(|ts| ts.iter().filter_map(Json::as_str).any(|t| t.starts_with("verify_integrity:")))
+        .unwrap_or(false);
+    if !path_faulted && !transition_recorded {
+        panic!(
+            "{path}: report claims {failures} verify failures but the \
+             verify_integrity breaker path shows no faults, trips or \
+             transitions — detection is not reaching quarantine"
+        );
+    }
 }
 
 /// Validate a Chrome trace-event timeline artifact; returns the event
@@ -122,6 +168,36 @@ fn check_service_envelope(path: &str, v: &Json) {
     }
     if service.get("queue_wait_ns").is_none() {
         panic!("{path}: service section missing queue_wait_ns histogram");
+    }
+    // The per-tenant verification matrix (ISSUE 10). Optional so pre-v7
+    // service artifacts still parse, but when present it must be
+    // complete and internally consistent (clean soak traffic ⇒ zero
+    // failures, drained queues).
+    if let Some(matrix) = v.get("verify_matrix").and_then(Json::as_arr) {
+        assert!(!matrix.is_empty(), "{path}: empty verify_matrix");
+        for (i, cell) in matrix.iter().enumerate() {
+            if cell.get("policy").and_then(Json::as_str).is_none() {
+                panic!("{path}: verify_matrix cell {i} missing policy string");
+            }
+            for key in [
+                "sample_rate",
+                "calls",
+                "verify_runs_total",
+                "verify_passes_total",
+                "verify_failures_total",
+                "queued_after",
+                "in_flight_after",
+            ] {
+                if cell.get(key).and_then(Json::as_f64).is_none() {
+                    panic!("{path}: verify_matrix cell {i} missing numeric {key}");
+                }
+            }
+            let failures = cell.get("verify_failures_total").and_then(Json::as_u64).unwrap_or(1);
+            assert_eq!(failures, 0, "{path}: verify_matrix cell {i} flagged clean soak traffic");
+            let drained = cell.get("queued_after").and_then(Json::as_u64) == Some(0)
+                && cell.get("in_flight_after").and_then(Json::as_u64) == Some(0);
+            assert!(drained, "{path}: verify_matrix cell {i} did not drain to idle");
+        }
     }
 }
 

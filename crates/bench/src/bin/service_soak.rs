@@ -21,10 +21,18 @@
 //!
 //! from the workspace root (default output: `BENCH_service.json`).
 //!
+//! The artifact also carries a `verify_matrix` (ISSUE 10): three tenants
+//! with `VerifyPolicy::{Off, Sample{8}, Always}` quotas run the same
+//! burst through their per-tenant engines, recording how much
+//! verification each policy actually bought (engine-lifetime
+//! `verify_*_total` counters from the schema-v7 `integrity` section).
+//!
 //! `--smoke` runs a shortened sweep as a CI guard and asserts the
 //! contract instead of writing the artifact: >0 rejections at 2x offered
 //! load, bounded p99 for admitted calls, the queue and the in-flight
-//! gauge drained to zero, and no leaked pool workers.
+//! gauge drained to zero, no leaked pool workers, and the verify matrix
+//! contract (off ⇒ zero runs, always ⇒ every call, sampled ⇒ the
+//! cadence's share; zero failures on clean traffic; drained to idle).
 
 use autogemm::supervisor::GemmOptions;
 use autogemm::telemetry::metrics::Counter;
@@ -193,6 +201,86 @@ fn run_load(multiplier: f64, saturation_qps: f64, window: Duration) -> LoadResul
     }
 }
 
+struct VerifyCell {
+    policy: &'static str,
+    sample_rate: u64,
+    calls: u64,
+    runs: u64,
+    passes: u64,
+    failures: u64,
+    queued_after: usize,
+    in_flight_after: usize,
+    gauge_after: i64,
+}
+
+/// Per-tenant verification policy matrix (ISSUE 10): three tenants on
+/// one service — verify never / one-in-eight / always — each push the
+/// same closed-loop burst through their own engine. Engines are
+/// per-tenant, so the engine-lifetime verify counters (read from the
+/// final traced call's schema-v7 `integrity` section) attribute
+/// verification work to exactly one policy.
+fn run_verify_matrix(calls_per_tenant: u64) -> Vec<VerifyCell> {
+    use autogemm::VerifyPolicy;
+    const SAMPLE_RATE: u32 = 8;
+    let policies: [(&'static str, VerifyPolicy); 3] = [
+        ("off", VerifyPolicy::Off),
+        ("sampled", VerifyPolicy::Sample { rate: SAMPLE_RATE }),
+        ("always", VerifyPolicy::Always),
+    ];
+    let svc = service(None, false);
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k);
+    policies
+        .iter()
+        .map(|&(name, policy)| {
+            let tenant = svc.add_tenant(
+                name,
+                TenantQuota { threads: TENANT_THREADS, verify: policy, ..TenantQuota::default() },
+            );
+            let remaining = std::sync::atomic::AtomicU64::new(calls_per_tenant);
+            std::thread::scope(|s| {
+                for _ in 0..MAX_IN_FLIGHT {
+                    let (svc, tenant, a, b, remaining) = (&svc, &tenant, &a, &b, &remaining);
+                    s.spawn(move || {
+                        let mut c = vec![0.0f32; m * n];
+                        while remaining
+                            .fetch_update(
+                                std::sync::atomic::Ordering::Relaxed,
+                                std::sync::atomic::Ordering::Relaxed,
+                                |v| v.checked_sub(1),
+                            )
+                            .is_ok()
+                        {
+                            svc.submit(tenant, m, n, k, a, b, &mut c, &GemmOptions::new())
+                                .expect("unloaded verified call failed");
+                        }
+                    });
+                }
+            });
+            // One more (traced) call exposes the tenant engine's lifetime
+            // verify counters through the integrity report section.
+            let mut c = vec![0.0f32; m * n];
+            let (_reply, report) = svc
+                .submit_traced(&tenant, m, n, k, &a, &b, &mut c, &GemmOptions::new())
+                .expect("traced verified call failed");
+            let integ = report.integrity.expect("schema-v7 report carries an integrity section");
+            assert_eq!(integ.policy, policy.name(), "quota policy must reach the engine");
+            let snap = svc.metrics().snapshot();
+            VerifyCell {
+                policy: name,
+                sample_rate: integ.sample_rate,
+                calls: calls_per_tenant + 1,
+                runs: integ.verify_runs_total,
+                passes: integ.verify_passes_total,
+                failures: integ.verify_failures_total,
+                queued_after: svc.queued(),
+                in_flight_after: svc.in_flight(),
+                gauge_after: snap.in_flight,
+            }
+        })
+        .collect()
+}
+
 /// One traced call through a fresh service: the embedded schema-v6 report
 /// (with its `service` section) the schema guard validates.
 fn traced_report() -> String {
@@ -245,10 +333,45 @@ fn smoke() {
         overload.admitted,
         overload.offered_qps,
     );
+    let matrix = run_verify_matrix(24);
+    for cell in &matrix {
+        // The verify matrix must also settle to idle: verification runs
+        // inline in the dispatched call, never as trailing work.
+        assert_eq!(cell.queued_after, 0, "verify {}: queue not drained", cell.policy);
+        assert_eq!(cell.in_flight_after, 0, "verify {}: leaked in-flight slot", cell.policy);
+        assert_eq!(cell.gauge_after, 0, "verify {}: metrics gauge nonzero", cell.policy);
+        assert_eq!(cell.failures, 0, "verify {}: clean traffic flagged", cell.policy);
+        assert_eq!(
+            cell.passes, cell.runs,
+            "verify {}: runs != passes on clean traffic",
+            cell.policy
+        );
+        match cell.policy {
+            "off" => assert_eq!(cell.runs, 0, "off tenant must never verify"),
+            "always" => assert_eq!(cell.runs, cell.calls, "always tenant must verify every call"),
+            _ => {
+                // Sampled: at least the cadence's share, strictly fewer
+                // than every call (rate > 1 really elides work).
+                assert!(
+                    cell.runs >= cell.calls / cell.sample_rate && cell.runs < cell.calls,
+                    "sampled tenant verified {} of {} calls at rate {}",
+                    cell.runs,
+                    cell.calls,
+                    cell.sample_rate,
+                );
+            }
+        }
+    }
     assert_eq!(
         autogemm::Runtime::global().alive_workers(),
         baseline_workers,
         "soak changed the global pool's worker count"
+    );
+    let sampled = &matrix[1];
+    println!(
+        "verify matrix passed: off 0 runs, sampled {}/{} at rate {}, always {}/{}; \
+         zero failures, all drained.",
+        sampled.runs, sampled.calls, sampled.sample_rate, matrix[2].runs, matrix[2].calls,
     );
     println!(
         "service_soak smoke passed: saturation {:.0} calls/s; 2x load admitted {} / \
@@ -316,6 +439,26 @@ fn main() {
             r.in_flight_after,
         );
         let _ = writeln!(json, "{}", if i + 1 < results.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ],");
+    let matrix = run_verify_matrix(64);
+    let _ = writeln!(json, "  \"verify_matrix\": [");
+    for (i, cell) in matrix.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"policy\": \"{}\", \"sample_rate\": {}, \"calls\": {}, \
+             \"verify_runs_total\": {}, \"verify_passes_total\": {}, \
+             \"verify_failures_total\": {}, \"queued_after\": {}, \"in_flight_after\": {}}}",
+            cell.policy,
+            cell.sample_rate,
+            cell.calls,
+            cell.runs,
+            cell.passes,
+            cell.failures,
+            cell.queued_after,
+            cell.in_flight_after,
+        );
+        let _ = writeln!(json, "{}", if i + 1 < matrix.len() { "," } else { "" });
     }
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"report\": {}", traced_report());

@@ -12,12 +12,14 @@ use crate::supervisor::{
     ResilientReport, Supervision,
 };
 use crate::telemetry::metrics::{CallOutcome, Counter, MetricsRegistry, MetricsSnapshot};
-use crate::telemetry::{DispatchStats, HealthReport, TraceBuf};
+use crate::telemetry::{DispatchStats, HealthReport, IntegrityReport, TraceBuf};
+use crate::verify::{self, VerifyPolicy};
 use autogemm_arch::ChipSpec;
 use autogemm_sim::Warmth;
 use autogemm_tuner::{tune_with, Packing, Schedule};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -71,6 +73,13 @@ pub struct AutoGemm {
     /// pack/kernel/submit/wake/drain spans land here, exported as a
     /// Chrome trace-event timeline by [`Self::trace_export`].
     tracer: Option<Arc<TraceBuf>>,
+    /// Engine-default output-integrity policy ([`Self::with_verify_policy`]);
+    /// a non-`Off` per-call [`GemmOptions::verify`] overrides it.
+    verify_default: VerifyPolicy,
+    /// Monotone sequence the `Sample` policy's deterministic 1-in-`rate`
+    /// selection counts on (bumped only by sampled calls, so `Always`
+    /// bursts don't skew the cadence).
+    verify_seq: AtomicU64,
 }
 
 impl AutoGemm {
@@ -92,7 +101,22 @@ impl AutoGemm {
             runtime: Runtime::global(),
             metrics,
             tracer: None,
+            verify_default: VerifyPolicy::Off,
+            verify_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Set the engine-default output-integrity policy: every supervised
+    /// call whose [`GemmOptions::verify`] is `Off` inherits it. See
+    /// [`crate::verify`] for the check and its cost model.
+    pub fn with_verify_policy(mut self, policy: VerifyPolicy) -> Self {
+        self.verify_default = policy;
+        self
+    }
+
+    /// The engine-default output-integrity policy.
+    pub fn verify_policy(&self) -> VerifyPolicy {
+        self.verify_default
     }
 
     /// Submit this engine's threaded sections to `rt` instead of the
@@ -465,6 +489,20 @@ impl AutoGemm {
             Ok(()) => return Ok(ResilientReport { attempts: 1, mode: ResilientMode::AsRequested }),
             Err(e) => e,
         };
+        if matches!(err, GemmError::IntegrityViolation { .. }) {
+            // The verified-reexecution rung: the computed output failed
+            // the integrity check, so re-run on the trusted scalar
+            // reference path (single thread, transient buffers) and
+            // verify that result too — the caller gets either a checked
+            // `C` or the violation, never a silently wrong answer. `C`
+            // is fully overwritten by the re-run (drivers write, not
+            // accumulate), so the corrupted buffer needs no reset.
+            let rung_opts = Self::deduct_deadline(opts, start)?.verify(VerifyPolicy::Always);
+            self.metrics.add(Counter::VerifyReexecutions, 1);
+            return self.run_supervised(m, n, k, a, b, c, &rung_opts, true, true, true).map(|()| {
+                ResilientReport { attempts: 2, mode: ResilientMode::VerifiedReexecution }
+            });
+        }
         if !is_retryable(&err) {
             return Err(err);
         }
@@ -593,7 +631,15 @@ impl AutoGemm {
         if let Some(t) = &self.tracer {
             sup = sup.with_tracer(Arc::clone(t));
         }
-        sup.set_force_reference(force_reference || reroute[BreakerPath::SimdDispatch.index()]);
+        // A quarantined verify_integrity path reroutes to the trusted
+        // scalar reference kernels — same degraded twin as a SIMD
+        // quarantine, because a silently wrong answer implicates the
+        // fast compute path.
+        sup.set_force_reference(
+            force_reference
+                || reroute[BreakerPath::SimdDispatch.index()]
+                || reroute[BreakerPath::VerifyIntegrity.index()],
+        );
         sup.set_force_transient(force_transient || reroute[BreakerPath::PoolAlloc.index()]);
         sup.set_force_inline(reroute[BreakerPath::PoolSubmit.index()]);
         let mut threads = self.clamp_threads(opts.threads);
@@ -604,32 +650,111 @@ impl AutoGemm {
         // block driver entirely: the GEMV/small-k fast paths produce
         // bit-identical output with none of the planning or packing cost.
         if let Some(route) = crate::gemv::fast_route(m, n, k) {
-            let result = crate::gemv::try_fast_supervised(route, m, n, k, a, b, c, threads, &sup);
-            self.breaker_record(&sup, &adm, threads, &result);
+            let mut result =
+                crate::gemv::try_fast_supervised(route, m, n, k, a, b, c, threads, &sup);
+            let verified = self.maybe_verify(m, n, k, a, b, c, opts, &sup, &adm, &mut result);
+            self.breaker_record(&sup, &adm, threads, &result, verified);
             return result;
         }
         let tuner_threads = if threads > 1 { threads.max(2) } else { 1 };
         let (plan, _) = self.plan_dispatch(m, n, k, tuner_threads);
-        let result =
+        let mut result =
             native::try_gemm_with_plan_supervised(&plan, a, b, c, threads, &self.panel_pool, &sup);
-        self.breaker_record(&sup, &adm, threads, &result);
+        let verified = self.maybe_verify(m, n, k, a, b, c, opts, &sup, &adm, &mut result);
+        self.breaker_record(&sup, &adm, threads, &result, verified);
         result
     }
 
+    /// The verify policy governing one call: a non-`Off` per-call policy
+    /// wins, then the engine default. (Tenant policies are injected into
+    /// the per-call options by [`GemmService`](crate::service::GemmService)
+    /// before the call reaches the engine.)
+    fn resolve_verify(&self, opts: &GemmOptions) -> VerifyPolicy {
+        if opts.verify != VerifyPolicy::Off {
+            opts.verify
+        } else {
+            self.verify_default
+        }
+    }
+
+    /// Run post-execution output verification when the resolved policy
+    /// (or a HalfOpen `verify_integrity` probe) selects this call.
+    /// Returns whether the check actually ran — unverified calls leave
+    /// the `verify_integrity` breaker path unexercised. On mismatch the
+    /// `Ok` result is replaced with the
+    /// [`GemmError::IntegrityViolation`] and a fault is recorded on the
+    /// path; `C` then holds the untrusted output per the error's
+    /// contract.
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_verify(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &[f32],
+        opts: &GemmOptions,
+        sup: &Supervision,
+        adm: &Admission,
+        result: &mut Result<(), GemmError>,
+    ) -> bool {
+        if result.is_err() {
+            // The driver already failed structurally; there is no
+            // completed output to attest.
+            return false;
+        }
+        let policy = self.resolve_verify(opts);
+        // A HalfOpen probe call must produce a verdict regardless of the
+        // sampling cadence — otherwise a `Sample` policy could starve
+        // the path of probes and wedge it HalfOpen.
+        let must = adm.probe[BreakerPath::VerifyIntegrity.index()];
+        let sampled = match policy {
+            VerifyPolicy::Off => false,
+            VerifyPolicy::Always => true,
+            VerifyPolicy::Sample { .. } => {
+                policy.should_run(self.verify_seq.fetch_add(1, Ordering::Relaxed))
+            }
+        };
+        if !must && !sampled {
+            return false;
+        }
+        let t0 = std::time::Instant::now();
+        let check = verify::verify_output(m, n, k, a, b, c);
+        self.metrics.add(Counter::VerifyRuns, 1);
+        self.metrics.record(&self.metrics.verify_ns, t0.elapsed().as_nanos() as u64);
+        match check {
+            Ok(()) => self.metrics.add(Counter::VerifyPasses, 1),
+            Err(e) => {
+                self.metrics.add(Counter::VerifyFailures, 1);
+                sup.observe_fault(BreakerPath::VerifyIntegrity);
+                *result = Err(e);
+            }
+        }
+        true
+    }
+
     /// Feed one call's outcome to the breaker. Paths the call did not
-    /// exercise (rerouted, forced degraded, or single-threaded for the
-    /// threaded-driver path) are neither successes nor faults;
-    /// `Cancelled` calls are neutral.
+    /// exercise (rerouted, forced degraded, single-threaded for the
+    /// threaded-driver path, or unverified for the verify-integrity
+    /// path) are neither successes nor faults; `Cancelled` calls are
+    /// neutral.
     fn breaker_record<T>(
         &self,
         sup: &Supervision,
         adm: &Admission,
         threads: usize,
         result: &Result<T, GemmError>,
+        verified: bool,
     ) -> Vec<String> {
         let mut reroute = adm.reroute;
         if sup.force_reference {
             reroute[BreakerPath::SimdDispatch.index()] = true;
+        }
+        if !verified {
+            // Calls the policy did not sample (or that failed before
+            // producing output) never exercised the integrity check.
+            reroute[BreakerPath::VerifyIntegrity.index()] = true;
         }
         if sup.force_transient {
             reroute[BreakerPath::PoolAlloc.index()] = true;
@@ -749,7 +874,10 @@ impl AutoGemm {
         if let Some(t) = &self.tracer {
             sup = sup.with_tracer(Arc::clone(t));
         }
-        sup.set_force_reference(reroute[BreakerPath::SimdDispatch.index()]);
+        sup.set_force_reference(
+            reroute[BreakerPath::SimdDispatch.index()]
+                || reroute[BreakerPath::VerifyIntegrity.index()],
+        );
         sup.set_force_transient(reroute[BreakerPath::PoolAlloc.index()]);
         sup.set_force_inline(reroute[BreakerPath::PoolSubmit.index()]);
         let mut threads = self.clamp_threads(opts.threads);
@@ -757,13 +885,20 @@ impl AutoGemm {
             threads = 1;
         }
         if let Some(route) = crate::gemv::fast_route(m, n, k) {
-            let result =
+            let mut result =
                 crate::gemv::try_fast_traced_supervised(route, m, n, k, a, b, c, threads, &sup);
-            events.extend(self.breaker_record(&sup, &adm, threads, &result));
+            let mut unit = result.as_ref().map(|_| ()).map_err(GemmError::clone);
+            let verified = self.maybe_verify(m, n, k, a, b, c, opts, &sup, &adm, &mut unit);
+            if let Err(e) = unit {
+                result = Err(e);
+            }
+            events.extend(self.breaker_record(&sup, &adm, threads, &result, verified));
             let stats = self.plans.stats();
+            let integrity = self.integrity_section(opts, verified);
             return result.map(|mut report| {
                 report.health = self.breaker.health_report(events);
                 report.pool = self.runtime.stats();
+                report.integrity = Some(integrity);
                 report.dispatch = DispatchStats {
                     route: route.name().to_string(),
                     packed_a: false,
@@ -777,7 +912,7 @@ impl AutoGemm {
         }
         let tuner_threads = if threads > 1 { threads.max(2) } else { 1 };
         let (plan, cache_hit) = self.plan_dispatch(m, n, k, tuner_threads);
-        let result = native::try_gemm_with_plan_traced_supervised(
+        let mut result = native::try_gemm_with_plan_traced_supervised(
             &plan,
             a,
             b,
@@ -786,11 +921,18 @@ impl AutoGemm {
             &self.panel_pool,
             &sup,
         );
-        events.extend(self.breaker_record(&sup, &adm, threads, &result));
+        let mut unit = result.as_ref().map(|_| ()).map_err(GemmError::clone);
+        let verified = self.maybe_verify(m, n, k, a, b, c, opts, &sup, &adm, &mut unit);
+        if let Err(e) = unit {
+            result = Err(e);
+        }
+        events.extend(self.breaker_record(&sup, &adm, threads, &result, verified));
         let stats = self.plans.stats();
+        let integrity = self.integrity_section(opts, verified);
         result.map(|mut report| {
             report.health = self.breaker.health_report(events);
             report.pool = self.runtime.stats();
+            report.integrity = Some(integrity);
             report.dispatch = DispatchStats {
                 route: "block".to_string(),
                 packed_a: plan.routing.pack_a,
@@ -801,6 +943,22 @@ impl AutoGemm {
             };
             report
         })
+    }
+
+    /// The schema-v7 `integrity` report section: this call's resolved
+    /// policy plus the engine-lifetime verification counters and timing.
+    fn integrity_section(&self, opts: &GemmOptions, verified: bool) -> IntegrityReport {
+        let policy = self.resolve_verify(opts);
+        IntegrityReport {
+            policy: policy.name().to_string(),
+            sample_rate: policy.sample_rate(),
+            verified,
+            verify_runs_total: self.metrics.counter(Counter::VerifyRuns),
+            verify_passes_total: self.metrics.counter(Counter::VerifyPasses),
+            verify_failures_total: self.metrics.counter(Counter::VerifyFailures),
+            verify_reexecutions_total: self.metrics.counter(Counter::VerifyReexecutions),
+            verify_ns: self.metrics.verify_ns.snapshot(),
+        }
     }
 
     /// Batched same-shape GEMM through the engine: tunes the shape once
@@ -894,7 +1052,9 @@ impl AutoGemm {
         {
             sup.observe_fault(BreakerPath::ThreadedDriver);
         }
-        self.breaker_record(&sup, &adm, threads, &result);
+        // Batched calls do not run the integrity check (no per-item
+        // policy resolution yet), so the verify path stays unexercised.
+        self.breaker_record(&sup, &adm, threads, &result, false);
         result
     }
 

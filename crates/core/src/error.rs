@@ -54,7 +54,7 @@ impl std::fmt::Display for Operand {
 
 /// A structured GEMM failure. See the module docs for the panic policy
 /// and the untouched-`C` guarantee.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GemmError {
     /// An operand slice's length does not match the problem shape.
     SliceLen {
@@ -126,11 +126,24 @@ pub enum GemmError {
     /// named tenant's engine; `source` is the underlying engine error
     /// and governs the `C` contract.
     InService { tenant: String, source: Box<GemmError> },
+    /// The output-integrity layer ([`verify`](crate::verify)) rejected
+    /// the computed `C`. `check` names the detector (`"freivalds"` or
+    /// `"non_finite"`), `round` the Freivalds round that tripped (0 for
+    /// the non-finite scan), and `max_residual` the largest
+    /// `|C·x − A·(B·x)|` component observed. `C` holds the untrusted
+    /// result — callers must either discard it or re-run (which
+    /// [`try_gemm_resilient`](crate::engine::AutoGemm::try_gemm_resilient)
+    /// does automatically on its verified-reexecution rung).
+    IntegrityViolation { check: &'static str, round: u32, max_residual: f64 },
 }
 
 /// Why the service admission layer refused a request (the `reason` of
 /// [`GemmError::Rejected`]).
+///
+/// Marked `#[non_exhaustive]`: future admission policies may add
+/// reasons, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RejectReason {
     /// The bounded admission queue was at its configured depth.
     QueueFull,
@@ -199,6 +212,11 @@ impl std::fmt::Display for GemmError {
             GemmError::InService { tenant, source } => {
                 write!(f, "autogemm: tenant {tenant:?} call failed: {source}")
             }
+            GemmError::IntegrityViolation { check, round, max_residual } => write!(
+                f,
+                "autogemm: output integrity check {check} failed \
+                 (round {round}, max residual {max_residual:e})"
+            ),
         }
     }
 }
@@ -366,5 +384,43 @@ mod tests {
         assert!(chain[2].contains("pack A"), "{chain:?}");
         let leaf = svc.source().and_then(|s| s.source()).and_then(|s| s.downcast_ref());
         assert_eq!(leaf, Some(&root));
+    }
+
+    /// An integrity violation surfacing through the service and batch
+    /// wrappers must stay reachable via `source()`: the 3-deep walk
+    /// `InService → InBatch → IntegrityViolation` terminates at the
+    /// integrity root with its detector detail intact.
+    #[test]
+    fn integrity_violation_walks_through_service_and_batch_wrappers() {
+        use std::error::Error as _;
+        let root =
+            GemmError::IntegrityViolation { check: "freivalds", round: 1, max_residual: 42.5 };
+        let batch = GemmError::InBatch { index: 4, source: Box::new(root.clone()) };
+        let svc = GemmError::InService { tenant: "acme".into(), source: Box::new(batch) };
+
+        let mut chain = Vec::new();
+        let mut cur: Option<&(dyn std::error::Error + 'static)> = Some(&svc);
+        while let Some(e) = cur {
+            chain.push(e.to_string());
+            cur = e.source();
+        }
+        assert_eq!(chain.len(), 3, "chain was {chain:?}");
+        assert!(chain[1].contains("batch item 4"), "{chain:?}");
+        assert!(chain[2].contains("integrity check freivalds failed"), "{chain:?}");
+        assert!(chain[2].contains("round 1"), "{chain:?}");
+        let leaf = svc.source().and_then(|s| s.source()).and_then(|s| s.downcast_ref());
+        assert_eq!(leaf, Some(&root));
+    }
+
+    #[test]
+    fn integrity_violation_display_names_check_round_and_residual() {
+        let e = GemmError::IntegrityViolation {
+            check: "non_finite",
+            round: 0,
+            max_residual: f64::INFINITY,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("integrity check non_finite failed"), "{msg}");
+        assert!(msg.contains("round 0"), "{msg}");
     }
 }

@@ -30,6 +30,15 @@
 //!   section inline on its own thread (the single-thread twin of the
 //!   submission), `Fail` simulates submission failure, `Panic` panics at
 //!   the submit probe and is contained like any setup panic.
+//! * [`FaultSite::KernelCompute`] — the per-unit compute body (a block
+//!   of the tiled driver, or a work unit of a GEMV fast path), probed
+//!   *after* the unit's stores land. `CorruptOutput` deterministically
+//!   perturbs elements of the unit's freshly written `C` region,
+//!   simulating a silently-wrong kernel for the
+//!   [`verify`](crate::verify) integrity layer to catch; `Panic` panics
+//!   inside the unit and is contained like any worker panic.
+//!   `Degrade`/`Fail`/`Stall` are ignored here (a finished unit has no
+//!   degraded twin).
 //!
 //! Triggers are counted per site with atomic counters, so a plan like
 //! `Nth(3)` at `WorkerStartup` deterministically kills the third worker
@@ -51,13 +60,19 @@
 //! chaos suite keeps one to scope its panic-hook silencer).
 //!
 //! Note `FaultPlan::seeded` deliberately draws only from the three
-//! original sites — never `WorkerHeartbeat` or `PoolSubmit` — so seeded
-//! chaos sweeps keep their historical determinism and can never wedge a
-//! run on a `Stall`; stalls and pool-submission faults are exercised by
-//! dedicated watchdog/pool tests and the soak driver.
+//! original sites — never `WorkerHeartbeat`, `PoolSubmit` or
+//! `KernelCompute` — so seeded chaos sweeps keep their historical
+//! determinism and can never wedge a run on a `Stall` or silently
+//! corrupt output; stalls, pool-submission faults and output corruption
+//! are exercised by dedicated watchdog/pool/integrity tests and the
+//! soak driver.
 
 /// A place in the native backend where a fault can be injected.
+///
+/// Marked `#[non_exhaustive]`: new probe sites are added as subsystems
+/// grow, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FaultSite {
     /// Panel-buffer acquisition (pool or fresh allocation).
     PackAlloc,
@@ -71,6 +86,11 @@ pub enum FaultSite {
     /// Handing a threaded section to the persistent worker pool.
     /// `Degrade` reroutes the caller to an inline drain.
     PoolSubmit,
+    /// The per-unit compute body, probed after the unit's `C` stores
+    /// land. `CorruptOutput` perturbs the unit's output region (see the
+    /// module docs); only `CorruptOutput` and `Panic` are meaningful
+    /// here.
+    KernelCompute,
 }
 
 impl FaultSite {
@@ -82,21 +102,40 @@ impl FaultSite {
             FaultSite::WorkerStartup => 2,
             FaultSite::WorkerHeartbeat => 3,
             FaultSite::PoolSubmit => 4,
+            FaultSite::KernelCompute => 5,
         }
     }
 
     /// All sites, in counter order.
-    pub const ALL: [FaultSite; 5] = [
+    pub const ALL: [FaultSite; 6] = [
         FaultSite::PackAlloc,
         FaultSite::KernelDispatch,
         FaultSite::WorkerStartup,
         FaultSite::WorkerHeartbeat,
         FaultSite::PoolSubmit,
+        FaultSite::KernelCompute,
     ];
 }
 
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FaultSite::PackAlloc => "pack_alloc",
+            FaultSite::KernelDispatch => "kernel_dispatch",
+            FaultSite::WorkerStartup => "worker_startup",
+            FaultSite::WorkerHeartbeat => "worker_heartbeat",
+            FaultSite::PoolSubmit => "pool_submit",
+            FaultSite::KernelCompute => "kernel_compute",
+        })
+    }
+}
+
 /// What the injected fault does at its site.
+///
+/// Marked `#[non_exhaustive]`: new failure modes are added as
+/// subsystems grow, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FaultAction {
     /// Force the graceful-degradation path (unpooled packing, scalar
     /// kernels). The GEMM must still complete with a correct result.
@@ -112,6 +151,25 @@ pub enum FaultAction {
     /// the watchdog). Only meaningful at [`FaultSite::WorkerHeartbeat`];
     /// other sites ignore it.
     Stall(u64),
+    /// Deterministically perturb up to `elements` cells of the probing
+    /// unit's freshly written `C` region, simulating a silently wrong
+    /// kernel. Only meaningful at [`FaultSite::KernelCompute`]; other
+    /// sites ignore it.
+    CorruptOutput { elements: usize },
+}
+
+impl std::fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultAction::Degrade => f.write_str("degrade"),
+            FaultAction::Fail => f.write_str("fail"),
+            FaultAction::Panic => f.write_str("panic"),
+            FaultAction::Stall(ms) => write!(f, "stall({ms} ms)"),
+            FaultAction::CorruptOutput { elements } => {
+                write!(f, "corrupt-output({elements} elements)")
+            }
+        }
+    }
 }
 
 /// When the fault fires, counted per site across the armed plan's life.
@@ -156,9 +214,9 @@ impl FaultPlan {
     /// Derive a 1–3 injection plan deterministically from `seed`
     /// (xorshift64), restricted to site/action combinations that are
     /// meaningful. Seeded plans draw only from the three original sites
-    /// (never `WorkerHeartbeat`/`Stall`, never `PoolSubmit`) so
-    /// historical seeds stay deterministic and a seeded sweep can never
-    /// wedge — see the module docs.
+    /// (never `WorkerHeartbeat`/`Stall`, never `PoolSubmit`, never
+    /// `KernelCompute`) so historical seeds stay deterministic and a
+    /// seeded sweep can never wedge or corrupt — see the module docs.
     pub fn seeded(seed: u64) -> Self {
         let mut state = seed | 1; // xorshift must not start at 0
         let mut next = move || {
@@ -170,8 +228,8 @@ impl FaultPlan {
         let count = 1 + (next() % 3) as usize;
         let mut specs = Vec::with_capacity(count);
         for _ in 0..count {
-            // `% 3`, not `% ALL.len()`: WorkerHeartbeat and PoolSubmit
-            // are excluded by design.
+            // `% 3`, not `% ALL.len()`: WorkerHeartbeat, PoolSubmit and
+            // KernelCompute are excluded by design.
             let site = FaultSite::ALL[(next() % 3) as usize];
             let action = match site {
                 FaultSite::PackAlloc => match next() % 3 {
@@ -188,7 +246,9 @@ impl FaultPlan {
                 }
                 FaultSite::WorkerStartup => FaultAction::Panic,
                 // Unreachable: seeded sites are drawn `% 3` above.
-                FaultSite::WorkerHeartbeat | FaultSite::PoolSubmit => FaultAction::Panic,
+                FaultSite::WorkerHeartbeat | FaultSite::PoolSubmit | FaultSite::KernelCompute => {
+                    FaultAction::Panic
+                }
             };
             let trigger = if next() % 2 == 0 {
                 Trigger::Nth(1 + next() % 3)
@@ -214,6 +274,9 @@ pub enum Probe {
     /// Wedge here for up to the given milliseconds (heartbeat site only;
     /// other sites treat it as `Ok`).
     Stall(u64),
+    /// Perturb up to `elements` cells of the probing unit's output
+    /// region (kernel-compute site only; other sites treat it as `Ok`).
+    Corrupt { elements: usize },
 }
 
 #[cfg(feature = "faultinject")]
@@ -224,7 +287,7 @@ mod armed {
 
     pub(super) struct ArmedState {
         plan: FaultPlan,
-        calls: [AtomicU64; 5],
+        calls: [AtomicU64; 6],
         fired: AtomicU64,
     }
 
@@ -310,6 +373,7 @@ mod armed {
                         panic!("injected fault at {site:?} (call {call})")
                     }
                     FaultAction::Stall(ms) => return Probe::Stall(ms),
+                    FaultAction::CorruptOutput { elements } => return Probe::Corrupt { elements },
                 }
             }
         }
@@ -381,6 +445,7 @@ mod tests {
         assert_eq!(probe(FaultSite::WorkerStartup), Probe::Ok);
         assert_eq!(probe(FaultSite::WorkerHeartbeat), Probe::Ok);
         assert_eq!(probe(FaultSite::PoolSubmit), Probe::Ok);
+        assert_eq!(probe(FaultSite::KernelCompute), Probe::Ok);
     }
 
     #[test]
@@ -389,8 +454,20 @@ mod tests {
             for spec in &FaultPlan::seeded(seed).specs {
                 assert_ne!(spec.site, FaultSite::WorkerHeartbeat, "seed {seed}");
                 assert_ne!(spec.site, FaultSite::PoolSubmit, "seed {seed}");
+                assert_ne!(spec.site, FaultSite::KernelCompute, "seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn sites_and_actions_display_stable_names() {
+        assert_eq!(FaultSite::KernelCompute.to_string(), "kernel_compute");
+        assert_eq!(FaultSite::PackAlloc.to_string(), "pack_alloc");
+        assert_eq!(FaultAction::Stall(250).to_string(), "stall(250 ms)");
+        assert_eq!(
+            FaultAction::CorruptOutput { elements: 3 }.to_string(),
+            "corrupt-output(3 elements)"
+        );
     }
 
     /// The satellite fix for ISSUE 5: two threads arming concurrently

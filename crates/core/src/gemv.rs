@@ -324,26 +324,64 @@ fn run_unit(
         FastRoute::SmallK => {
             let i0 = u * SMALLK_ROWS;
             let i1 = (i0 + SMALLK_ROWS).min(m);
-            // Every row shares the same lane tail of B — pad it once
-            // for the whole unit, not once per row.
-            let tail = n % 4;
-            let pad = (tail != 0).then(|| pad_lane_tail(k, b, n, n - tail, tail));
-            for i in i0..i1 {
+            smallk_rows(reference, m, n, k, a, b, c_root, i0, i1);
+        }
+    }
+    // Chaos hook: `FaultSite::KernelCompute` fires after the unit's
+    // stores land, perturbing cells inside the unit's owned region of
+    // `C` for the integrity layer to catch (same contract as the block
+    // driver's hook in [`crate::native`]).
+    if let faultinject::Probe::Corrupt { elements } = faultinject::probe(FaultSite::KernelCompute) {
+        let salt = 0x4745_4D56_0000_0000 | u as u64;
+        match route {
+            FastRoute::RowGemv => {
+                let j0 = u * COL_CHUNK;
+                let j1 = (j0 + COL_CHUNK).min(n);
+                // SAFETY: cols [j0, j1) of the single row are owned by
+                // this unit.
+                let region = unsafe { c_root.offset(0, j0) };
+                crate::native::corrupt_c_region(&region, 1, j1 - j0, elements, salt);
+            }
+            FastRoute::ColGemv => {
+                let i0 = u * ROW_CHUNK;
+                let i1 = (i0 + ROW_CHUNK).min(m);
                 // SAFETY: rows [i0, i1) are owned by this unit.
-                let c_row = unsafe { c_root.offset(i, 0) };
-                row_gemv_range(
-                    reference,
-                    k,
-                    &a[i * k..i * k + k],
-                    b,
-                    n,
-                    c_row,
-                    0,
-                    n,
-                    pad.as_deref(),
-                );
+                let region = unsafe { c_root.offset(i0, 0) };
+                crate::native::corrupt_c_region(&region, i1 - i0, 1, elements, salt);
+            }
+            FastRoute::SmallK => {
+                let i0 = u * SMALLK_ROWS;
+                let i1 = (i0 + SMALLK_ROWS).min(m);
+                // SAFETY: rows [i0, i1) are owned by this unit.
+                let region = unsafe { c_root.offset(i0, 0) };
+                crate::native::corrupt_c_region(&region, i1 - i0, n, elements, salt);
             }
         }
+    }
+}
+
+/// The SmallK unit body: rows `[i0, i1)` of the `m×n` product, each a
+/// row-GEMV over the shared lane-tail padding.
+#[allow(clippy::too_many_arguments)]
+fn smallk_rows(
+    reference: bool,
+    _m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c_root: CTile,
+    i0: usize,
+    i1: usize,
+) {
+    // Every row shares the same lane tail of B — pad it once
+    // for the whole unit, not once per row.
+    let tail = n % 4;
+    let pad = (tail != 0).then(|| pad_lane_tail(k, b, n, n - tail, tail));
+    for i in i0..i1 {
+        // SAFETY: rows [i0, i1) are owned by this unit.
+        let c_row = unsafe { c_root.offset(i, 0) };
+        row_gemv_range(reference, k, &a[i * k..i * k + k], b, n, c_row, 0, n, pad.as_deref());
     }
 }
 

@@ -83,7 +83,14 @@
 //!   opt-in stuck-worker watchdog, the per-engine backend-quarantine
 //!   circuit breaker surfaced in the schema-v2 `health` report section,
 //!   and the bounded retry-with-degradation ladder behind
-//!   [`AutoGemm::try_gemm_resilient`].
+//!   [`AutoGemm::try_gemm_resilient`];
+//! * [`verify`] — the always-compiled output-integrity layer:
+//!   Freivalds' probabilistic `C·x` vs `A·(B·x)` check plus a
+//!   non-finite scan, selectable per call/engine/tenant via
+//!   [`VerifyPolicy`], with mismatches surfaced as
+//!   [`GemmError::IntegrityViolation`], quarantined through the
+//!   `verify_integrity` breaker path, and repaired by the resilient
+//!   ladder's verified-reexecution rung.
 //!
 //! ## Fallible API
 //!
@@ -126,6 +133,7 @@ pub mod simexec;
 pub mod supervisor;
 pub mod telemetry;
 pub mod transpose;
+pub mod verify;
 
 pub use batch::{gemm_batch, try_gemm_batch, try_gemm_batch_supervised, GemmBatch};
 pub use engine::{AutoGemm, SimGemmReport};
@@ -144,6 +152,8 @@ pub use supervisor::{
     ResilientReport, Supervision, WatchdogConfig,
 };
 pub use telemetry::{
-    GemmReport, MetricsRegistry, MetricsSnapshot, ServiceReport, TraceBuf, TraceSpan,
+    GemmReport, IntegrityReport, MetricsRegistry, MetricsSnapshot, ServiceReport, TraceBuf,
+    TraceSpan,
 };
 pub use transpose::{gemm_op, sgemm, try_gemm_op, try_sgemm, Op};
+pub use verify::VerifyPolicy;

@@ -163,8 +163,9 @@ impl RunConfig {
             cfg.fallbacks.breaker_reroutes += 1;
         } else {
             match probe_contained(FaultSite::KernelDispatch) {
-                // `Stall` is only meaningful at the heartbeat site.
-                Ok(Probe::Ok) | Ok(Probe::Stall(_)) => {}
+                // `Stall` is only meaningful at the heartbeat site,
+                // `Corrupt` only at the compute site.
+                Ok(Probe::Ok) | Ok(Probe::Stall(_)) | Ok(Probe::Corrupt { .. }) => {}
                 Ok(Probe::Degrade) | Ok(Probe::Fail) => {
                     // Degrade *and* Fail both land on the scalar path: a
                     // kernel backend that cannot be selected still has a
@@ -191,7 +192,7 @@ impl RunConfig {
                 cfg.fallbacks.breaker_reroutes += 1;
             } else {
                 match probe_contained(FaultSite::PoolSubmit) {
-                    Ok(Probe::Ok) | Ok(Probe::Stall(_)) => {}
+                    Ok(Probe::Ok) | Ok(Probe::Stall(_)) | Ok(Probe::Corrupt { .. }) => {}
                     Ok(Probe::Degrade) => {
                         sup.observe_fault(BreakerPath::PoolSubmit);
                         cfg.pool_inline = true;
@@ -226,7 +227,7 @@ impl RunConfig {
             return Ok(transient);
         }
         match probe_contained(FaultSite::PackAlloc) {
-            Ok(Probe::Ok) | Ok(Probe::Stall(_)) => Ok(caller),
+            Ok(Probe::Ok) | Ok(Probe::Stall(_)) | Ok(Probe::Corrupt { .. }) => Ok(caller),
             Ok(Probe::Degrade) => {
                 sup.observe_fault(BreakerPath::PoolAlloc);
                 self.fallbacks.pool_packs += 1;
@@ -1590,6 +1591,36 @@ fn run_block_cached(
         for placement in &plan.block_plan.placements {
             run_placement_operands(reference, placement, s.kc, &a_op, &b_op, c_block, accumulate);
         }
+    }
+    // Chaos hook: `FaultSite::KernelCompute` is probed after the block's
+    // stores land, perturbing finished cells the integrity layer must
+    // catch. Non-corruption actions are meaningless here and ignored
+    // (Panic still propagates out of `probe` into the containment the
+    // driver already has).
+    if let Probe::Corrupt { elements } = faultinject::probe(FaultSite::KernelCompute) {
+        let rows = s.mc.min(s.m - bi * s.mc);
+        let cols = s.nc.min(s.n - bj * s.nc);
+        corrupt_c_region(&c_block, rows, cols, elements, ((bi as u64) << 32) | bj as u64);
+    }
+}
+
+/// Deterministically perturb up to `elements` cells of a thread-owned
+/// `C` region: the [`FaultAction::CorruptOutput`](crate::faultinject)
+/// payload. The perturbation is additive and large relative to the cell
+/// (`v + (1 + |v|)·10³`) so a working integrity check sees a residual
+/// far above any accumulation-error tolerance; cell choice hashes
+/// `(salt, draw)`, so the same plan corrupts the same cells on every
+/// run regardless of thread count.
+pub(crate) fn corrupt_c_region(c: &CTile, rows: usize, cols: usize, elements: usize, salt: u64) {
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let cells = (rows * cols) as u64;
+    for draw in 0..elements.max(1) as u64 {
+        let idx = crate::verify::mix(salt ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % cells;
+        let (i, j) = ((idx / cols as u64) as usize, (idx % cols as u64) as usize);
+        let v = c.get(i, j);
+        c.set(i, j, v + (1.0 + v.abs()) * 1.0e3);
     }
 }
 

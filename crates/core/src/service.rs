@@ -70,6 +70,7 @@ use crate::runtime::Runtime;
 use crate::supervisor::GemmOptions;
 use crate::telemetry::metrics::{CallOutcome, Counter, MetricsRegistry};
 use crate::telemetry::{GemmReport, ServiceReport};
+use crate::verify::VerifyPolicy;
 
 /// Opaque tenant handle: a cheap clonable interned name.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -109,11 +110,21 @@ pub struct TenantQuota {
     /// `Some(n)`: run this tenant on a dedicated [`Runtime::with_workers`]
     /// pool of `n` workers instead of the service's shared runtime.
     pub workers: Option<usize>,
+    /// Output-integrity verification applied to this tenant's calls when
+    /// the caller leaves [`GemmOptions::verify`] at
+    /// [`VerifyPolicy::Off`]. A caller-set policy always wins.
+    pub verify: VerifyPolicy,
 }
 
 impl Default for TenantQuota {
     fn default() -> Self {
-        TenantQuota { threads: 0, max_in_flight: 2, max_queue_share: 1.0, workers: None }
+        TenantQuota {
+            threads: 0,
+            max_in_flight: 2,
+            max_queue_share: 1.0,
+            workers: None,
+            verify: VerifyPolicy::Off,
+        }
     }
 }
 
@@ -592,6 +603,9 @@ impl GemmService {
         let result = (|| {
             let mut run_opts = opts.clone();
             run_opts.threads = threads;
+            if run_opts.verify == VerifyPolicy::Off {
+                run_opts.verify = state.quota.verify;
+            }
             if let Some(b) = budget {
                 let remaining = b.saturating_sub(queue_wait);
                 if remaining.is_zero() {

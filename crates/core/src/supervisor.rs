@@ -22,7 +22,8 @@
 //!   with the heartbeat snapshot.
 //! * **Circuit breaker** — a per-engine [`Breaker`] keyed by dispatch
 //!   path ([`BreakerPath`]: SIMD dispatch, pool allocation, threaded
-//!   driver, worker-pool submission). Repeated faults on a path trip it
+//!   driver, worker-pool submission, output-integrity verification).
+//!   Repeated faults on a path trip it
 //!   Closed → Open; while Open, calls are rerouted to the degraded twin
 //!   (scalar kernels, transient buffers, single thread, inline section
 //!   drains). After a cooldown the breaker
@@ -32,7 +33,10 @@
 //! * **Retry** — [`AutoGemm::try_gemm_resilient`](crate::AutoGemm::try_gemm_resilient)
 //!   adds one bounded retry-with-degradation ladder
 //!   (threaded → single-thread → scalar + transient) for retryable
-//!   error classes, never for `Cancelled`.
+//!   error classes, never for `Cancelled` — plus a verified-reexecution
+//!   rung that re-runs an
+//!   [`IntegrityViolation`](crate::error::GemmError::IntegrityViolation)
+//!   on the trusted scalar path.
 //!
 //! ## Cancellation points and cost
 //!
@@ -48,6 +52,7 @@ use crate::error::GemmError;
 use crate::runtime::Runtime;
 use crate::telemetry::metrics::{Counter, MetricsRegistry};
 use crate::telemetry::{HealthReport, PathHealth, TraceBuf};
+use crate::verify::VerifyPolicy;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -141,6 +146,10 @@ pub struct GemmOptions {
     pub cancel: Option<CancelToken>,
     /// Opt-in stuck-worker watchdog.
     pub watchdog: Option<WatchdogConfig>,
+    /// Output-integrity verification for this call. `Off` (the default)
+    /// defers to the tenant policy (service calls) and then the engine
+    /// default; see [`VerifyPolicy`].
+    pub verify: VerifyPolicy,
 }
 
 impl GemmOptions {
@@ -167,6 +176,11 @@ impl GemmOptions {
         self.watchdog = Some(cfg);
         self
     }
+
+    pub fn verify(mut self, policy: VerifyPolicy) -> Self {
+        self.verify = policy;
+        self
+    }
 }
 
 /// Faults the run observed, by breaker path. Written by the native
@@ -179,6 +193,7 @@ pub struct ObservedFaults {
     pub(crate) pool_alloc: AtomicBool,
     pub(crate) threaded_driver: AtomicBool,
     pub(crate) pool_submit: AtomicBool,
+    pub(crate) verify_integrity: AtomicBool,
 }
 
 impl ObservedFaults {
@@ -189,6 +204,7 @@ impl ObservedFaults {
             BreakerPath::PoolAlloc => self.pool_alloc.store(true, Ordering::Relaxed),
             BreakerPath::ThreadedDriver => self.threaded_driver.store(true, Ordering::Relaxed),
             BreakerPath::PoolSubmit => self.pool_submit.store(true, Ordering::Relaxed),
+            BreakerPath::VerifyIntegrity => self.verify_integrity.store(true, Ordering::Relaxed),
         }
     }
 
@@ -199,6 +215,7 @@ impl ObservedFaults {
             BreakerPath::PoolAlloc => self.pool_alloc.load(Ordering::Relaxed),
             BreakerPath::ThreadedDriver => self.threaded_driver.load(Ordering::Relaxed),
             BreakerPath::PoolSubmit => self.pool_submit.load(Ordering::Relaxed),
+            BreakerPath::VerifyIntegrity => self.verify_integrity.load(Ordering::Relaxed),
         }
     }
 }
@@ -514,14 +531,21 @@ pub enum BreakerPath {
     /// Worker-pool submission; reroute = the caller drains the sections
     /// inline (no pool engagement, still no per-call threads).
     PoolSubmit,
+    /// Output-integrity verification ([`crate::verify`]); a fault here
+    /// means a computed `C` failed the Freivalds/non-finite check, i.e.
+    /// some dispatch path produced a silently wrong answer. Reroute =
+    /// scalar reference kernels (the trusted oracle), same degraded twin
+    /// as [`BreakerPath::SimdDispatch`].
+    VerifyIntegrity,
 }
 
 impl BreakerPath {
-    pub const ALL: [BreakerPath; 4] = [
+    pub const ALL: [BreakerPath; 5] = [
         BreakerPath::SimdDispatch,
         BreakerPath::PoolAlloc,
         BreakerPath::ThreadedDriver,
         BreakerPath::PoolSubmit,
+        BreakerPath::VerifyIntegrity,
     ];
 
     /// Position of this path in [`Self::ALL`] and in the
@@ -532,6 +556,7 @@ impl BreakerPath {
             BreakerPath::PoolAlloc => 1,
             BreakerPath::ThreadedDriver => 2,
             BreakerPath::PoolSubmit => 3,
+            BreakerPath::VerifyIntegrity => 4,
         }
     }
 
@@ -542,6 +567,7 @@ impl BreakerPath {
             BreakerPath::PoolAlloc => "pool_alloc",
             BreakerPath::ThreadedDriver => "threaded_driver",
             BreakerPath::PoolSubmit => "pool_submit",
+            BreakerPath::VerifyIntegrity => "verify_integrity",
         }
     }
 }
@@ -621,12 +647,12 @@ impl PathInner {
 #[derive(Debug, Clone, Default)]
 pub struct Admission {
     /// `reroute[path.index()]`: serve this call on the degraded twin.
-    pub reroute: [bool; 4],
+    pub reroute: [bool; 5],
     /// `probe[path.index()]`: this call holds the path's single
     /// HalfOpen probe slot and must release it via [`Breaker::record`]
     /// (probing calls run the fast path; everyone else reroutes until
     /// the probe's verdict is in).
-    pub probe: [bool; 4],
+    pub probe: [bool; 5],
     /// Transitions performed while admitting (Open → HalfOpen).
     pub events: Vec<String>,
 }
@@ -637,7 +663,7 @@ pub struct Admission {
 #[derive(Debug)]
 pub struct Breaker {
     cfg: BreakerConfig,
-    paths: Mutex<[PathInner; 4]>,
+    paths: Mutex<[PathInner; 5]>,
     /// Engine-lifetime registry to count transitions into (set once by
     /// the owning engine; standalone breakers count nothing).
     metrics: OnceLock<Arc<MetricsRegistry>>,
@@ -651,7 +677,7 @@ impl Default for Breaker {
 
 impl Breaker {
     pub fn new(cfg: BreakerConfig) -> Self {
-        Breaker { cfg, paths: Mutex::new([PathInner::default(); 4]), metrics: OnceLock::new() }
+        Breaker { cfg, paths: Mutex::new([PathInner::default(); 5]), metrics: OnceLock::new() }
     }
 
     /// Attach the engine's metrics registry; every state transition this
@@ -725,8 +751,8 @@ impl Breaker {
     pub fn record(
         &self,
         observed: &ObservedFaults,
-        rerouted: [bool; 4],
-        probed: [bool; 4],
+        rerouted: [bool; 5],
+        probed: [bool; 5],
         neutral: bool,
     ) -> Vec<String> {
         let mut events = Vec::new();
@@ -831,6 +857,10 @@ pub enum ResilientMode {
     /// Retried on a single thread with scalar kernels and transient
     /// buffers (the fully degraded twin).
     ScalarTransient,
+    /// The first attempt's output failed integrity verification; the
+    /// call was re-executed on the trusted scalar reference path and
+    /// that result was returned.
+    VerifiedReexecution,
 }
 
 impl ResilientMode {
@@ -839,6 +869,7 @@ impl ResilientMode {
             ResilientMode::AsRequested => "as-requested",
             ResilientMode::SingleThread => "single-thread",
             ResilientMode::ScalarTransient => "scalar-transient",
+            ResilientMode::VerifiedReexecution => "verified-reexecution",
         }
     }
 }

@@ -275,10 +275,20 @@ pub enum Counter {
     ServiceShed,
     /// Service requests whose deadline expired while still queued.
     ServiceExpiredInQueue,
+    /// Output-integrity verifications started ([`crate::verify`]).
+    VerifyRuns,
+    /// Verifications whose output passed the checks.
+    VerifyPasses,
+    /// Verifications that rejected the output
+    /// (`GemmError::IntegrityViolation` surfaced).
+    VerifyFailures,
+    /// Trusted scalar re-executions taken by `try_gemm_resilient`'s
+    /// verified-reexecution rung after an integrity violation.
+    VerifyReexecutions,
 }
 
 impl Counter {
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 16;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::Calls,
@@ -293,6 +303,10 @@ impl Counter {
         Counter::ServiceRejected,
         Counter::ServiceShed,
         Counter::ServiceExpiredInQueue,
+        Counter::VerifyRuns,
+        Counter::VerifyPasses,
+        Counter::VerifyFailures,
+        Counter::VerifyReexecutions,
     ];
 
     fn index(self) -> usize {
@@ -309,6 +323,10 @@ impl Counter {
             Counter::ServiceRejected => 9,
             Counter::ServiceShed => 10,
             Counter::ServiceExpiredInQueue => 11,
+            Counter::VerifyRuns => 12,
+            Counter::VerifyPasses => 13,
+            Counter::VerifyFailures => 14,
+            Counter::VerifyReexecutions => 15,
         }
     }
 
@@ -327,6 +345,10 @@ impl Counter {
             Counter::ServiceRejected => "service_rejected_total",
             Counter::ServiceShed => "service_shed_total",
             Counter::ServiceExpiredInQueue => "service_expired_in_queue_total",
+            Counter::VerifyRuns => "verify_runs_total",
+            Counter::VerifyPasses => "verify_passes_total",
+            Counter::VerifyFailures => "verify_failures_total",
+            Counter::VerifyReexecutions => "verify_reexecutions_total",
         }
     }
 }
@@ -372,6 +394,9 @@ pub struct MetricsRegistry {
     /// Service admission-queue wait (enqueue → dispatch), nanoseconds.
     /// Only fed by a service registry; stays zero elsewhere.
     pub queue_wait_ns: Histogram,
+    /// Wall time of output-integrity verifications ([`crate::verify`]),
+    /// nanoseconds. Only fed by engines with a verify policy active.
+    pub verify_ns: Histogram,
 }
 
 impl std::fmt::Debug for MetricsRegistry {
@@ -402,6 +427,7 @@ impl MetricsRegistry {
             pool_busy_ns: Histogram::new(),
             pool_park_ns: Histogram::new(),
             queue_wait_ns: Histogram::new(),
+            verify_ns: Histogram::new(),
         }
     }
 
@@ -497,6 +523,7 @@ impl MetricsRegistry {
             pool_busy_ns: self.pool_busy_ns.snapshot(),
             pool_park_ns: self.pool_park_ns.snapshot(),
             queue_wait_ns: self.queue_wait_ns.snapshot(),
+            verify_ns: self.verify_ns.snapshot(),
         }
     }
 }
@@ -518,6 +545,7 @@ pub struct MetricsSnapshot {
     pub pool_busy_ns: HistogramSnapshot,
     pub pool_park_ns: HistogramSnapshot,
     pub queue_wait_ns: HistogramSnapshot,
+    pub verify_ns: HistogramSnapshot,
 }
 
 impl Default for MetricsSnapshot {
@@ -532,12 +560,13 @@ impl Default for MetricsSnapshot {
             pool_busy_ns: HistogramSnapshot::default(),
             pool_park_ns: HistogramSnapshot::default(),
             queue_wait_ns: HistogramSnapshot::default(),
+            verify_ns: HistogramSnapshot::default(),
         }
     }
 }
 
 /// The histograms a snapshot carries, name-paired for the exporters.
-fn snapshot_hists(s: &MetricsSnapshot) -> [(&'static str, &HistogramSnapshot); 6] {
+fn snapshot_hists(s: &MetricsSnapshot) -> [(&'static str, &HistogramSnapshot); 7] {
     [
         ("call_latency_ns", &s.call_latency_ns),
         ("call_gflops_milli", &s.call_gflops_milli),
@@ -545,6 +574,7 @@ fn snapshot_hists(s: &MetricsSnapshot) -> [(&'static str, &HistogramSnapshot); 6
         ("pool_busy_ns", &s.pool_busy_ns),
         ("pool_park_ns", &s.pool_park_ns),
         ("queue_wait_ns", &s.queue_wait_ns),
+        ("verify_ns", &s.verify_ns),
     ]
 }
 
@@ -581,6 +611,7 @@ impl MetricsSnapshot {
             pool_busy_ns: hist("pool_busy_ns"),
             pool_park_ns: hist("pool_park_ns"),
             queue_wait_ns: hist("queue_wait_ns"),
+            verify_ns: hist("verify_ns"),
         }
     }
 

@@ -77,9 +77,9 @@ pub use metrics::{
     Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, HIST_BUCKETS,
 };
 pub use report::{
-    DispatchStats, FallbackStats, GemmReport, HealthReport, ModelJoin, PackStats, PathHealth,
-    PhaseProfile, PhaseTimes, ServiceReport, ThreadProfile, TileCount, MIN_SCHEMA_VERSION,
-    SCHEMA_VERSION,
+    DispatchStats, FallbackStats, GemmReport, HealthReport, IntegrityReport, ModelJoin, PackStats,
+    PathHealth, PhaseProfile, PhaseTimes, ServiceReport, ThreadProfile, TileCount,
+    MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 pub use session::Session;
 pub use tracebuf::{TraceBuf, TraceSpan};

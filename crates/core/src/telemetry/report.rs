@@ -16,11 +16,13 @@ use autogemm_perfmodel::ProjectionTable;
 /// `metrics` section (the engine-lifetime [`MetricsSnapshot`] at report
 /// time); v6 added the `service` section (admission-control counters and
 /// the queue-wait histogram of the owning
-/// [`GemmService`](crate::service::GemmService)). Older reports are
-/// still accepted: v1 parses with an empty health section, v1/v2 with a
-/// default dispatch section, v1–v3 with a default pool section, v1–v4
-/// with no metrics snapshot, v1–v5 with no service section.
-pub const SCHEMA_VERSION: u64 = 6;
+/// [`GemmService`](crate::service::GemmService)); v7 added the
+/// `integrity` section (the output-verification policy and counters of
+/// [`crate::verify`]). Older reports are still accepted: v1 parses with
+/// an empty health section, v1/v2 with a default dispatch section,
+/// v1–v3 with a default pool section, v1–v4 with no metrics snapshot,
+/// v1–v5 with no service section, v1–v6 with no integrity section.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Oldest serialized schema version [`GemmReport::from_json`] accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -311,6 +313,68 @@ impl ServiceReport {
     }
 }
 
+/// Output-integrity view of the traced call: the schema-v7 `integrity`
+/// report section. The counters are engine-lifetime totals from the
+/// [`MetricsRegistry`](crate::telemetry::MetricsRegistry) at report
+/// time; `policy`/`sample_rate`/`verified` describe this call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IntegrityReport {
+    /// Resolved [`VerifyPolicy`](crate::verify::VerifyPolicy) name for
+    /// this call (`off` / `sample` / `always`).
+    pub policy: String,
+    /// Sampling cadence: 0 for `Off`, 1 for `Always`, the 1-in-N rate
+    /// for `Sample`.
+    pub sample_rate: u64,
+    /// Whether this call's output actually went through the Freivalds
+    /// check (sampled in, forced by a breaker probe, or `Always`).
+    pub verified: bool,
+    /// Verifications run, engine lifetime.
+    pub verify_runs_total: u64,
+    /// Verifications that passed.
+    pub verify_passes_total: u64,
+    /// Verifications that flagged an integrity violation.
+    pub verify_failures_total: u64,
+    /// Resilient-ladder verified re-executions taken after a violation.
+    pub verify_reexecutions_total: u64,
+    /// Wall time of the verification pass, nanoseconds.
+    pub verify_ns: HistogramSnapshot,
+}
+
+impl IntegrityReport {
+    /// Serialize to the schema-v7 `integrity` report section.
+    pub fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("policy".into(), Json::Str(self.policy.clone())),
+            ("sample_rate".into(), Json::Num(self.sample_rate as f64)),
+            ("verified".into(), Json::Bool(self.verified)),
+            ("verify_runs_total".into(), Json::Num(self.verify_runs_total as f64)),
+            ("verify_passes_total".into(), Json::Num(self.verify_passes_total as f64)),
+            ("verify_failures_total".into(), Json::Num(self.verify_failures_total as f64)),
+            ("verify_reexecutions_total".into(), Json::Num(self.verify_reexecutions_total as f64)),
+            ("verify_ns".into(), self.verify_ns.to_json_value()),
+        ])
+    }
+
+    /// Parse what [`Self::to_json_value`] wrote; absent fields default
+    /// to zero (lenient, like every other report section).
+    pub fn from_json_value(v: &Json) -> IntegrityReport {
+        let num = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+        IntegrityReport {
+            policy: v.get("policy").and_then(Json::as_str).unwrap_or("off").to_string(),
+            sample_rate: num("sample_rate"),
+            verified: v.get("verified").and_then(Json::as_bool).unwrap_or(false),
+            verify_runs_total: num("verify_runs_total"),
+            verify_passes_total: num("verify_passes_total"),
+            verify_failures_total: num("verify_failures_total"),
+            verify_reexecutions_total: num("verify_reexecutions_total"),
+            verify_ns: v
+                .get("verify_ns")
+                .map(HistogramSnapshot::from_json_value)
+                .unwrap_or_default(),
+        }
+    }
+}
+
 /// The per-GEMM telemetry report: what one traced call observed.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GemmReport {
@@ -350,6 +414,9 @@ pub struct GemmReport {
     /// `None` when parsed from older reports or when the engine is not
     /// fronted by a [`GemmService`](crate::service::GemmService)).
     pub service: Option<ServiceReport>,
+    /// Output-integrity snapshot (schema v7; `None` when parsed from
+    /// older reports or produced by the engine-less plan-level drivers).
+    pub integrity: Option<IntegrityReport>,
     pub model: Option<ModelJoin>,
 }
 
@@ -542,6 +609,13 @@ impl GemmReport {
             match &self.service {
                 None => Json::Null,
                 Some(s) => s.to_json_value(),
+            },
+        ));
+        fields.push((
+            "integrity".into(),
+            match &self.integrity {
+                None => Json::Null,
+                Some(i) => i.to_json_value(),
             },
         ));
         fields.push((
@@ -784,6 +858,13 @@ impl GemmReport {
             Some(s) => Some(ServiceReport::from_json_value(s)),
         };
 
+        // Schema v7. Pre-v7 reports predate the verification layer;
+        // `None` says "no integrity data" rather than inventing zeros.
+        let integrity = match v.get("integrity") {
+            None | Some(Json::Null) => None,
+            Some(i) => Some(IntegrityReport::from_json_value(i)),
+        };
+
         let model = match field("model")? {
             Json::Null => None,
             mj => Some(ModelJoin {
@@ -837,6 +918,7 @@ impl GemmReport {
             pool,
             metrics,
             service,
+            integrity,
             model,
         })
     }
@@ -927,6 +1009,7 @@ mod tests {
             },
             metrics: None,
             service: None,
+            integrity: None,
             model: Some(ModelJoin {
                 projected_kernel_cycles: 1.25e6,
                 measured_kernel_cycles: 630_000,
@@ -1090,13 +1173,29 @@ mod tests {
         assert_eq!(back, r);
     }
 
-    /// Every historical version fixture (v1–v5, built by stripping the
+    #[test]
+    fn v6_report_parses_with_no_integrity_section() {
+        // A schema-v6 report: version 6, no `integrity` section — no
+        // verification layer existed, so `None` is the honest parse.
+        let r = sample_report();
+        let text = r
+            .to_json()
+            .replace(&format!("\"schema_version\":{SCHEMA_VERSION}"), "\"schema_version\":6")
+            .replace("\"integrity\":null,", "");
+        assert!(!text.contains("\"integrity\""), "v6 fixture must not carry an integrity section");
+        let back = GemmReport::from_json(&text).expect("v6 report must parse leniently");
+        assert_eq!(back.integrity, None);
+        assert_eq!(back, r);
+    }
+
+    /// Every historical version fixture (v1–v6, built by stripping the
     /// sections that version lacked) survives a parse → serialize →
     /// parse round trip under the current schema.
     #[test]
-    fn v1_through_v5_fixtures_round_trip_through_current_schema() {
+    fn v1_through_v6_fixtures_round_trip_through_current_schema() {
         let full = sample_report().to_json();
-        let strip_service = full.replace("\"service\":null,", "");
+        let strip_integrity = full.replace("\"integrity\":null,", "");
+        let strip_service = strip_integrity.replace("\"service\":null,", "");
         let strip_metrics = strip_service.replace("\"metrics\":null,", "");
         let strip_pool = strip_metrics
             .replace(DEFAULT_POOL_JSON, "")
@@ -1115,12 +1214,13 @@ mod tests {
         let strip_health = strip_dispatch
             .replace(",\"breaker_reroutes\":2", "")
             .replace(&regex_free_health(&full), "");
-        let fixtures: [(u64, &str); 5] = [
+        let fixtures: [(u64, &str); 6] = [
             (1, &strip_health),
             (2, &strip_dispatch),
             (3, &strip_pool),
             (4, &strip_metrics),
             (5, &strip_service),
+            (6, &strip_integrity),
         ];
         for (version, fixture) in fixtures {
             let text = fixture.replace(
@@ -1173,6 +1273,34 @@ mod tests {
         assert_eq!(back, r);
         let s = back.service.expect("service section survives");
         assert_eq!(s.queue_wait_ns.count, 4);
+    }
+
+    #[test]
+    fn integrity_section_round_trips() {
+        use crate::telemetry::metrics::Histogram;
+        let ns = Histogram::new();
+        for v in [2_000u64, 9_000, 9_000] {
+            ns.record(v, 0);
+        }
+        let mut r = sample_report();
+        r.integrity = Some(IntegrityReport {
+            policy: "sample".to_string(),
+            sample_rate: 16,
+            verified: true,
+            verify_runs_total: 40,
+            verify_passes_total: 38,
+            verify_failures_total: 2,
+            verify_reexecutions_total: 1,
+            verify_ns: ns.snapshot(),
+        });
+        let text = r.to_json();
+        assert!(text.contains("\"integrity\":{"), "{text}");
+        assert!(text.contains("\"verify_failures_total\":2"), "{text}");
+        let back = GemmReport::from_json(&text).expect("round trip");
+        assert_eq!(back.integrity, r.integrity);
+        assert_eq!(back, r);
+        let i = back.integrity.expect("integrity section survives");
+        assert_eq!(i.verify_ns.count, 3);
     }
 
     #[test]

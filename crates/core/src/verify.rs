@@ -1,0 +1,387 @@
+//! Always-compiled output-integrity layer: Freivalds' probabilistic
+//! result verification plus a non-finite scan.
+//!
+//! The supervision stack makes the engine survive panics, stalls and
+//! deadline blowouts — but none of that detects a *silently wrong
+//! answer*: a miscompiled SIMD path, a corrupted prepacked panel or a
+//! bit-flip under memory pressure would serve a bad `C` with `Ok(())`.
+//! This module closes that gap at runtime, cheaply:
+//!
+//! * **Freivalds' check.** Instead of recomputing `A·B` (O(mnk)), draw
+//!   a random ±1 vector `x` and compare `C·x` against `A·(B·x)` —
+//!   three matrix-vector products, O(mn + kn + mk) per round. A wrong
+//!   `C` survives one round with probability ≤ 1/2, so
+//!   [`FREIVALDS_ROUNDS`] independent rounds bound the false-negative
+//!   rate at `2^-rounds` *for exact arithmetic*; the floating-point
+//!   tolerance below keeps the guarantee meaningful for `f32` GEMM.
+//!   The random vectors are seeded from `(m, n, k, round)` only — never
+//!   from time, thread count or scheduling — so a verdict is
+//!   bit-reproducible across runs and thread counts.
+//! * **Tolerance derivation.** The engine's `f32` GEMM accumulates `k`
+//!   products per element, so element `(i, j)` carries rounding error
+//!   up to `γ_k · Σ_p |A_ip||B_pj|` with `γ_k ≈ k · ε_f32`. Dotting a
+//!   ±1 vector through row `i` of that error bound gives
+//!   `|r_i| ≤ k · ε_f32 · Σ_p |A_ip| · (Σ_j |B_pj|)`, and storing `C`
+//!   in `f32` adds at most `ε_f32 · Σ_j |C_ij|`. The check computes
+//!   both magnitude sums in `f64` alongside the products and accepts a
+//!   residual within that bound times a safety factor (plus a tiny
+//!   absolute floor for all-zero rows). The check's own `f64` dot
+//!   products contribute error orders of magnitude below the `f32`
+//!   terms and are ignored.
+//! * **Non-finite scan.** If `A` and `B` are finite but `C` contains a
+//!   `NaN`/`Inf`, the kernel corrupted the output regardless of what
+//!   Freivalds would say (`NaN` also poisons the residual, so the scan
+//!   runs first and reports `check: "non_finite"`). If the *inputs*
+//!   already contain non-finite values, no check can attest anything —
+//!   verification is skipped entirely so garbage-in never reads as a
+//!   false positive.
+//!
+//! Selection is governed by [`VerifyPolicy`], threaded per call
+//! ([`GemmOptions::verify`](crate::supervisor::GemmOptions)), per
+//! engine ([`AutoGemm::with_verify_policy`](crate::engine::AutoGemm))
+//! and per tenant ([`TenantQuota::verify`](crate::service::TenantQuota)).
+//! On mismatch the engine surfaces
+//! [`GemmError::IntegrityViolation`](crate::error::GemmError), records
+//! a failure on the `verify_integrity` breaker path (a repeatedly wrong
+//! dispatch path is quarantined to the scalar reference kernels), and
+//! [`try_gemm_resilient`](crate::engine::AutoGemm::try_gemm_resilient)
+//! re-executes on the trusted scalar path. See DESIGN.md §11.
+
+use crate::error::GemmError;
+
+/// How many independent Freivalds rounds a verification runs. Two
+/// rounds bound the exact-arithmetic false-negative rate at 1/4; in
+/// practice a ±1 probe vector misses a corrupted element only when the
+/// corruptions cancel in the row sum, which the second round's
+/// independent signs break.
+pub const FREIVALDS_ROUNDS: u32 = 2;
+
+/// Safety factor applied to the derived rounding-error bound; absorbs
+/// blocked-accumulation reassociation (the tiled drivers sum in a
+/// different order than the bound's worst case assumes).
+const TOLERANCE_SAFETY: f64 = 16.0;
+
+/// Absolute tolerance floor, so all-zero rows (magnitude bound 0) still
+/// accept an exactly-zero residual without a strict equality test.
+const TOLERANCE_FLOOR: f64 = 1e-6;
+
+/// When (and how often) the engine verifies computed outputs.
+///
+/// Resolution order: a non-`Off` per-call policy
+/// ([`GemmOptions::verify`](crate::supervisor::GemmOptions)) wins;
+/// otherwise a non-`Off` tenant policy
+/// ([`TenantQuota::verify`](crate::service::TenantQuota)) is injected
+/// by the service; otherwise the engine default
+/// ([`AutoGemm::with_verify_policy`](crate::engine::AutoGemm)) applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyPolicy {
+    /// Never verify (the default).
+    #[default]
+    Off,
+    /// Verify one call in `rate` (a `rate` of 16 verifies ~6.25% of
+    /// calls). Sampling is deterministic per engine — a monotone
+    /// sequence counter, not a clock or RNG — so a rate-`r` policy
+    /// verifies exactly every `r`-th sampled call. `rate <= 1` behaves
+    /// like [`VerifyPolicy::Always`].
+    Sample { rate: u32 },
+    /// Verify every call.
+    Always,
+}
+
+impl VerifyPolicy {
+    /// Stable lowercase name for reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyPolicy::Off => "off",
+            VerifyPolicy::Sample { .. } => "sample",
+            VerifyPolicy::Always => "always",
+        }
+    }
+
+    /// The sampling denominator: 0 for `Off`, 1 for `Always`, `rate`
+    /// (clamped to ≥ 1) for `Sample`.
+    pub fn sample_rate(self) -> u64 {
+        match self {
+            VerifyPolicy::Off => 0,
+            VerifyPolicy::Always => 1,
+            VerifyPolicy::Sample { rate } => u64::from(rate.max(1)),
+        }
+    }
+
+    /// Whether the call holding sequence number `seq` (a per-engine
+    /// monotone counter) should verify under this policy.
+    pub fn should_run(self, seq: u64) -> bool {
+        match self {
+            VerifyPolicy::Off => false,
+            VerifyPolicy::Always => true,
+            VerifyPolicy::Sample { rate } => {
+                let rate = u64::from(rate.max(1));
+                seq.is_multiple_of(rate)
+            }
+        }
+    }
+}
+
+/// splitmix64 finalizer: mixes shape/round into a seed with full
+/// avalanche so nearby shapes get unrelated probe vectors. Shared with
+/// the fault injector's deterministic output-corruption payload.
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The xorshift64 stream the probe-vector signs are drawn from.
+struct SignStream {
+    state: u64,
+    bits: u64,
+    left: u32,
+}
+
+impl SignStream {
+    /// Seeded from shape and round only — see the module docs on
+    /// determinism.
+    fn new(m: usize, n: usize, k: usize, round: u32) -> Self {
+        let seed = mix((m as u64)
+            ^ mix((n as u64) ^ mix((k as u64) ^ (u64::from(round) << 32) ^ 0xA076_1D64_78BD_642F)));
+        SignStream { state: seed | 1, bits: 0, left: 0 }
+    }
+
+    /// Next ±1 sign.
+    fn next_sign(&mut self) -> f64 {
+        if self.left == 0 {
+            self.state ^= self.state << 13;
+            self.state ^= self.state >> 7;
+            self.state ^= self.state << 17;
+            self.bits = self.state;
+            self.left = 64;
+        }
+        let bit = self.bits & 1;
+        self.bits >>= 1;
+        self.left -= 1;
+        if bit == 1 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+/// Verify `C ≈ A·B` (`A` is `m×k`, `B` is `k×n`, `C` is `m×n`, all
+/// row-major) with the non-finite scan plus [`FREIVALDS_ROUNDS`]
+/// Freivalds rounds.
+///
+/// Returns `Ok(())` when the output is consistent **or** when the
+/// inputs already contain non-finite values (nothing can be attested —
+/// see the module docs). Returns
+/// [`GemmError::IntegrityViolation`](crate::error::GemmError) naming
+/// the failed detector otherwise. Slice lengths are the caller's
+/// contract (the engine validates before computing); mismatched lengths
+/// here panic via slice indexing like any other library bug.
+pub fn verify_output(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &[f32],
+) -> Result<(), GemmError> {
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    if !a.iter().all(|v| v.is_finite()) || !b.iter().all(|v| v.is_finite()) {
+        return Ok(());
+    }
+    if !c.iter().all(|v| v.is_finite()) {
+        return Err(GemmError::IntegrityViolation {
+            check: "non_finite",
+            round: 0,
+            max_residual: f64::INFINITY,
+        });
+    }
+
+    // Row-magnitude bounds, shared by every round (sign-independent):
+    // babs[p] = Σ_j |B[p,j]|, then mag[i] = Σ_p |A[i,p]|·babs[p] bounds
+    // row i of |A|·|B|·1, and cmag[i] = Σ_j |C[i,j]| the storage term.
+    let mut babs = vec![0.0f64; k];
+    for p in 0..k {
+        let row = &b[p * n..p * n + n];
+        babs[p] = row.iter().map(|v| f64::from(v.abs())).sum();
+    }
+    let eps = f64::from(f32::EPSILON);
+    let gamma = eps * (k.max(1) as f64) * TOLERANCE_SAFETY;
+
+    for round in 0..FREIVALDS_ROUNDS {
+        let mut signs = SignStream::new(m, n, k, round);
+        let x: Vec<f64> = (0..n).map(|_| signs.next_sign()).collect();
+
+        // y = B·x  (k), in f64.
+        let mut y = vec![0.0f64; k];
+        for p in 0..k {
+            let row = &b[p * n..p * n + n];
+            let mut acc = 0.0f64;
+            for (j, v) in row.iter().enumerate() {
+                acc += f64::from(*v) * x[j];
+            }
+            y[p] = acc;
+        }
+
+        let mut max_residual = 0.0f64;
+        let mut violated = false;
+        for i in 0..m {
+            let arow = &a[i * k..i * k + k];
+            let mut z = 0.0f64; // (A·y)_i
+            let mut mag = 0.0f64; // Σ_p |A_ip|·babs[p]
+            for (p, v) in arow.iter().enumerate() {
+                let av = f64::from(*v);
+                z += av * y[p];
+                mag += av.abs() * babs[p];
+            }
+            let crow = &c[i * n..i * n + n];
+            let mut w = 0.0f64; // (C·x)_i
+            let mut cmag = 0.0f64;
+            for (j, v) in crow.iter().enumerate() {
+                let cv = f64::from(*v);
+                w += cv * x[j];
+                cmag += cv.abs();
+            }
+            let residual = (w - z).abs();
+            let tolerance = gamma * mag + eps * TOLERANCE_SAFETY * cmag + TOLERANCE_FLOOR;
+            if residual > tolerance {
+                violated = true;
+                if residual > max_residual {
+                    max_residual = residual;
+                }
+            }
+        }
+        if violated {
+            return Err(GemmError::IntegrityViolation { check: "freivalds", round, max_residual });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(m: usize, n: usize, k: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 52) as f32 / 415.0 - 4.9
+        };
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        (a, b)
+    }
+
+    fn oracle(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                for j in 0..n {
+                    c[i * n + j] += av * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn clean_product_passes() {
+        for &(m, n, k) in &[(1usize, 1usize, 1usize), (7, 5, 3), (40, 36, 24), (1, 64, 16)] {
+            let (a, b) = data(m, n, k, 0x5EED ^ (m as u64) << 8 ^ n as u64);
+            let c = oracle(m, n, k, &a, &b);
+            verify_output(m, n, k, &a, &b, &c).expect("clean product must pass");
+        }
+    }
+
+    #[test]
+    fn corrupted_element_is_caught() {
+        let (m, n, k) = (24, 20, 12);
+        let (a, b) = data(m, n, k, 7);
+        let mut c = oracle(m, n, k, &a, &b);
+        c[5 * n + 3] += 1.0e3;
+        let err = verify_output(m, n, k, &a, &b, &c).unwrap_err();
+        match err {
+            GemmError::IntegrityViolation { check, max_residual, .. } => {
+                assert_eq!(check, "freivalds");
+                assert!(max_residual > 100.0, "residual was {max_residual}");
+            }
+            other => panic!("expected IntegrityViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_output_is_caught_with_its_own_check_name() {
+        let (m, n, k) = (6, 6, 4);
+        let (a, b) = data(m, n, k, 9);
+        let mut c = oracle(m, n, k, &a, &b);
+        c[10] = f32::NAN;
+        let err = verify_output(m, n, k, &a, &b, &c).unwrap_err();
+        assert!(
+            matches!(err, GemmError::IntegrityViolation { check: "non_finite", round: 0, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn non_finite_inputs_skip_verification_entirely() {
+        let (m, n, k) = (4, 4, 4);
+        let (mut a, b) = data(m, n, k, 11);
+        a[3] = f32::INFINITY;
+        // C is garbage, but nothing can be attested from garbage inputs.
+        let c = vec![f32::NAN; m * n];
+        verify_output(m, n, k, &a, &b, &c).expect("non-finite inputs must not false-positive");
+    }
+
+    #[test]
+    fn degenerate_shapes_pass_trivially() {
+        verify_output(0, 4, 4, &[], &[0.0; 16], &[]).unwrap();
+        verify_output(4, 0, 4, &[0.0; 16], &[], &[]).unwrap();
+        // k == 0: C must be the empty sum (all zeros).
+        verify_output(2, 2, 0, &[], &[], &[0.0; 4]).unwrap();
+    }
+
+    #[test]
+    fn sign_stream_is_deterministic_and_balanced() {
+        let mut s1 = SignStream::new(40, 36, 24, 1);
+        let mut s2 = SignStream::new(40, 36, 24, 1);
+        let mut pos = 0usize;
+        for _ in 0..4096 {
+            let v = s1.next_sign();
+            assert_eq!(v, s2.next_sign());
+            if v > 0.0 {
+                pos += 1;
+            }
+        }
+        // xorshift bits are balanced; allow a generous band.
+        assert!((1536..=2560).contains(&pos), "sign bias: {pos}/4096 positive");
+        // Different rounds draw different vectors.
+        let mut s3 = SignStream::new(40, 36, 24, 0);
+        let first: Vec<f64> = (0..64).map(|_| s3.next_sign()).collect();
+        let mut s4 = SignStream::new(40, 36, 24, 1);
+        let second: Vec<f64> = (0..64).map(|_| s4.next_sign()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn policy_sampling_is_deterministic() {
+        assert!(!VerifyPolicy::Off.should_run(0));
+        assert!(VerifyPolicy::Always.should_run(3));
+        let p = VerifyPolicy::Sample { rate: 4 };
+        let picks: Vec<bool> = (0..12).map(|s| p.should_run(s)).collect();
+        assert_eq!(picks.iter().filter(|&&x| x).count(), 3);
+        assert!(picks[0] && picks[4] && picks[8]);
+        // rate <= 1 degenerates to Always.
+        assert!(VerifyPolicy::Sample { rate: 0 }.should_run(7));
+        assert_eq!(VerifyPolicy::Sample { rate: 16 }.sample_rate(), 16);
+        assert_eq!(VerifyPolicy::Always.sample_rate(), 1);
+        assert_eq!(VerifyPolicy::Off.sample_rate(), 0);
+        assert_eq!(VerifyPolicy::Sample { rate: 16 }.name(), "sample");
+    }
+}

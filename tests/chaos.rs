@@ -885,3 +885,228 @@ fn hard_faults_under_queue_pressure_surface_structured_errors_and_leak_nothing()
     assert_eq!(svc.in_flight(), 0, "no leaked in-flight slot");
     assert_eq!(svc.metrics().snapshot().in_flight, 0, "gauge settles to zero");
 }
+
+// ---------------------------------------------------------------------------
+// Output-integrity chaos (ISSUE 10): seeded `CorruptOutput` injections at
+// `FaultSite::KernelCompute` must be caught by the Freivalds layer at
+// `Always`, caught at the sampling cadence under `Sample`, repaired by the
+// resilient ladder's verified re-execution, and never flagged on clean runs.
+// ---------------------------------------------------------------------------
+
+/// The three dispatch routes the corruption sweep must cover: the packed
+/// block driver, the GEMV fast path, and the elided-pack (unpacked
+/// operand) block route.
+const VERIFY_SHAPES: [(&str, usize, usize, usize); 3] =
+    [("block", 40, 36, 24), ("gemv", 1, 96, 24), ("unpacked", 64, 49, 64)];
+
+#[test]
+fn corrupt_output_is_always_caught_across_routes_and_threads() {
+    use autogemm::VerifyPolicy;
+    let _g = chaos_lock();
+    for (route, m, n, k) in VERIFY_SHAPES {
+        for threads in THREADS {
+            let engine = engine_unbroken();
+            let (a, b) = data(m, n, k, 0xC0);
+            let opts = GemmOptions::new().threads(threads).verify(VerifyPolicy::Always);
+
+            let guard = arm(FaultPlan::single(
+                FaultSite::KernelCompute,
+                FaultAction::CorruptOutput { elements: 2 },
+                Trigger::EveryKth(1),
+            ));
+            let mut c = vec![0.0f32; m * n];
+            let e = engine.try_gemm_opts(m, n, k, &a, &b, &mut c, &opts).unwrap_err();
+            assert!(guard.fired() >= 1, "{route} t{threads}: corruption never fired");
+            drop(guard);
+            assert!(
+                matches!(e, GemmError::IntegrityViolation { check: "freivalds", .. }),
+                "{route} t{threads}: expected IntegrityViolation, got {e:?}"
+            );
+
+            // Disarmed: the same call is clean and must never be flagged.
+            let mut c2 = vec![0.0f32; m * n];
+            engine
+                .try_gemm_opts(m, n, k, &a, &b, &mut c2, &opts)
+                .unwrap_or_else(|e| panic!("{route} t{threads}: clean run flagged: {e:?}"));
+            assert!(max_rel_error(&c2, &oracle(m, n, k, &a, &b)) < 1e-5);
+        }
+    }
+}
+
+#[test]
+fn resilient_ladder_repairs_a_corrupted_run_via_verified_reexecution() {
+    use autogemm::supervisor::ResilientMode;
+    use autogemm::VerifyPolicy;
+    let _g = chaos_lock();
+    for (route, m, n, k) in VERIFY_SHAPES {
+        for threads in THREADS {
+            let engine = engine_unbroken();
+            let (a, b) = data(m, n, k, 0xC1);
+            let opts = GemmOptions::new().threads(threads).verify(VerifyPolicy::Always);
+            // Nth(1): only the first compute unit corrupts — the scalar
+            // re-execution runs clean and its own verification attests it.
+            let guard = arm(FaultPlan::single(
+                FaultSite::KernelCompute,
+                FaultAction::CorruptOutput { elements: 1 },
+                Trigger::Nth(1),
+            ));
+            let mut c = vec![0.0f32; m * n];
+            let report = engine
+                .try_gemm_resilient(m, n, k, &a, &b, &mut c, &opts)
+                .unwrap_or_else(|e| panic!("{route} t{threads}: repair failed: {e:?}"));
+            assert_eq!(guard.fired(), 1, "{route} t{threads}");
+            drop(guard);
+            assert_eq!(report.mode, ResilientMode::VerifiedReexecution, "{route} t{threads}");
+            assert_eq!(report.attempts, 2, "{route} t{threads}");
+            let err = max_rel_error(&c, &oracle(m, n, k, &a, &b));
+            assert!(err < 1e-5, "{route} t{threads}: repaired result off by {err}");
+        }
+    }
+}
+
+#[test]
+fn sampled_verification_catches_corruption_at_exactly_the_sampling_cadence() {
+    use autogemm::VerifyPolicy;
+    let _g = chaos_lock();
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k, 0xC2);
+    // Engine-default policy: every 4th call verifies (seq 0, 4, ...).
+    let engine = engine_unbroken().with_verify_policy(VerifyPolicy::Sample { rate: 4 });
+    let guard = arm(FaultPlan::single(
+        FaultSite::KernelCompute,
+        FaultAction::CorruptOutput { elements: 2 },
+        Trigger::EveryKth(1),
+    ));
+    let mut caught = Vec::new();
+    for call in 0..8 {
+        let mut c = vec![0.0f32; m * n];
+        match engine.try_gemm_opts(m, n, k, &a, &b, &mut c, &GemmOptions::new().threads(2)) {
+            Ok(()) => {}
+            Err(GemmError::IntegrityViolation { .. }) => caught.push(call),
+            Err(other) => panic!("call {call}: unexpected {other:?}"),
+        }
+    }
+    drop(guard);
+    // Deterministic cadence: the sampler is a monotone counter, so with
+    // every call corrupted, exactly the sampled calls are flagged.
+    assert_eq!(caught, vec![0, 4], "sampled detections at the wrong cadence");
+}
+
+#[test]
+fn repeated_integrity_violations_quarantine_the_path_to_scalar_kernels() {
+    use autogemm::VerifyPolicy;
+    let _g = chaos_lock();
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k, 0xC3);
+    let want = oracle(m, n, k, &a, &b);
+    let path = BreakerPath::VerifyIntegrity;
+    let engine = AutoGemm::new(ChipSpec::graviton2())
+        .with_breaker_config(BreakerConfig { fail_threshold: 2, open_cooldown: 2, close_after: 1 })
+        .with_verify_policy(VerifyPolicy::Always);
+    let opts = GemmOptions::new().threads(2);
+
+    let guard = arm(FaultPlan::single(
+        FaultSite::KernelCompute,
+        FaultAction::CorruptOutput { elements: 2 },
+        Trigger::EveryKth(1),
+    ));
+    // Calls 1 and 2: corrupted, caught, two consecutive faults -> trip.
+    let mut c = vec![0.0f32; m * n];
+    let e1 = engine.try_gemm_opts(m, n, k, &a, &b, &mut c, &opts).unwrap_err();
+    assert!(matches!(e1, GemmError::IntegrityViolation { .. }), "{e1:?}");
+    assert_eq!(engine.breaker().state(path), BreakerState::Closed);
+    let e2 = engine.try_gemm_opts(m, n, k, &a, &b, &mut c, &opts).unwrap_err();
+    assert!(matches!(e2, GemmError::IntegrityViolation { .. }), "{e2:?}");
+    assert_eq!(engine.breaker().state(path), BreakerState::Open, "two violations must trip");
+    drop(guard);
+
+    // Call 3: Open -> quarantined to the scalar reference kernels. The
+    // run is rerouted, verified (policy is Always) and correct.
+    let r3 = engine.try_gemm_traced_opts(m, n, k, &a, &b, &mut c, &opts).unwrap();
+    // A breaker reroute lands on the scalar reference kernels but is
+    // accounted as a reroute, not a probe-degrade (`scalar_kernels`).
+    assert!(r3.fallbacks.breaker_reroutes >= 1, "quarantine must reroute");
+    assert_eq!(engine.breaker().state(path), BreakerState::Open);
+    assert!(max_rel_error(&c, &want) < 1e-5, "quarantined run must be correct");
+    let integ3 = r3.integrity.as_ref().expect("traced reports carry the integrity section");
+    assert_eq!(integ3.policy, "always");
+    assert!(integ3.verified, "Always policy must verify the quarantined run too");
+
+    // Call 4: cooldown served -> HalfOpen probe (clean) -> Closed.
+    let r4 = engine.try_gemm_traced_opts(m, n, k, &a, &b, &mut c, &opts).unwrap();
+    assert_eq!(
+        r4.health.transitions,
+        vec![
+            "verify_integrity: open -> half_open".to_string(),
+            "verify_integrity: half_open -> closed".to_string(),
+        ]
+    );
+    assert_eq!(engine.breaker().state(path), BreakerState::Closed);
+    assert!(max_rel_error(&c, &want) < 1e-5);
+    assert!(r4.integrity.as_ref().unwrap().verify_failures_total >= 2);
+}
+
+#[test]
+fn clean_runs_are_never_flagged_under_always() {
+    use autogemm::telemetry::Counter;
+    use autogemm::VerifyPolicy;
+    let _g = chaos_lock();
+    let engine = AutoGemm::new(ChipSpec::graviton2()).with_verify_policy(VerifyPolicy::Always);
+    for (route, m, n, k) in VERIFY_SHAPES {
+        for threads in THREADS {
+            let (a, b) = data(m, n, k, 0xC4);
+            let mut c = vec![0.0f32; m * n];
+            engine
+                .try_gemm_opts(m, n, k, &a, &b, &mut c, &GemmOptions::new().threads(threads))
+                .unwrap_or_else(|e| panic!("{route} t{threads}: clean run flagged: {e:?}"));
+            assert!(max_rel_error(&c, &oracle(m, n, k, &a, &b)) < 1e-5);
+        }
+    }
+    let snap = engine.metrics();
+    assert_eq!(snap.counter(Counter::VerifyFailures), 0, "clean runs produced failures");
+    assert!(snap.counter(Counter::VerifyRuns) >= 9, "Always must verify every call");
+    assert_eq!(snap.counter(Counter::VerifyRuns), snap.counter(Counter::VerifyPasses));
+}
+
+#[test]
+fn tenant_verify_policy_is_injected_and_caller_policy_wins() {
+    use autogemm::{GemmService, ServiceConfig, TenantQuota, VerifyPolicy};
+    let _g = chaos_lock();
+    let svc = GemmService::new(ChipSpec::graviton2(), ServiceConfig::default());
+    let audited = svc.add_tenant(
+        "audited",
+        TenantQuota { threads: 2, verify: VerifyPolicy::Always, ..TenantQuota::default() },
+    );
+    let lax = svc.add_tenant("lax", TenantQuota { threads: 2, ..TenantQuota::default() });
+    let (m, n, k) = SHAPE;
+    let (a, b) = data(m, n, k, 0xC5);
+    let guard = arm(FaultPlan::single(
+        FaultSite::KernelCompute,
+        FaultAction::CorruptOutput { elements: 2 },
+        Trigger::EveryKth(1),
+    ));
+    // The audited tenant's quota injects Always: corruption is caught and
+    // comes back wrapped in the service error with the tenant named.
+    let mut c = vec![0.0f32; m * n];
+    let e = svc.submit(&audited, m, n, k, &a, &b, &mut c, &GemmOptions::new()).unwrap_err();
+    match &e {
+        GemmError::InService { tenant, source } => {
+            assert_eq!(tenant, "audited");
+            assert!(matches!(**source, GemmError::IntegrityViolation { .. }), "{source:?}");
+        }
+        other => panic!("expected InService wrapper, got {other:?}"),
+    }
+    // The lax tenant has no policy: the corrupted output sails through
+    // unverified (per-tenant selectivity, not a global switch).
+    let mut c2 = vec![0.0f32; m * n];
+    svc.submit(&lax, m, n, k, &a, &b, &mut c2, &GemmOptions::new())
+        .expect("unverified tenant must not be flagged");
+    // A caller-set policy overrides the tenant's Off.
+    let mut c3 = vec![0.0f32; m * n];
+    let opts = GemmOptions::new().verify(VerifyPolicy::Always);
+    let e3 = svc.submit(&lax, m, n, k, &a, &b, &mut c3, &opts).unwrap_err();
+    assert!(matches!(e3, GemmError::InService { .. }), "{e3:?}");
+    drop(guard);
+    assert_eq!(svc.queued(), 0);
+    assert_eq!(svc.in_flight(), 0);
+}

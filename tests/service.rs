@@ -139,8 +139,8 @@ fn full_queue_rejects_immediately_with_queue_full() {
 
     assert_eq!(svc.queued(), 0);
     assert_eq!(svc.in_flight(), 0);
-    assert_eq!(service_counter(&svc, "service_admitted_total"), 1 + depth as u64);
-    assert_eq!(service_counter(&svc, "service_rejected_total"), 1);
+    assert_eq!(service_counter(svc, "service_admitted_total"), 1 + depth as u64);
+    assert_eq!(service_counter(svc, "service_rejected_total"), 1);
     assert_eq!(svc.metrics().snapshot().in_flight, 0);
 }
 
@@ -202,7 +202,7 @@ fn tenant_queue_share_caps_one_tenants_backlog() {
         }
         polite_waiter.join().expect("no panic").expect("polite waiter drains");
     });
-    assert_eq!(service_counter(&svc, "service_rejected_total"), 1);
+    assert_eq!(service_counter(svc, "service_rejected_total"), 1);
     assert_eq!(svc.in_flight(), 0);
 }
 
@@ -295,7 +295,7 @@ fn a_deadline_that_expires_in_the_queue_is_dropped_there() {
         }
         holder.join().expect("no panic").expect("holder succeeds");
     });
-    assert_eq!(service_counter(&svc, "service_expired_in_queue_total"), 1);
+    assert_eq!(service_counter(svc, "service_expired_in_queue_total"), 1);
     assert_eq!(svc.queued(), 0, "expired waiter left no queue residue");
     assert_eq!(svc.in_flight(), 0);
 }

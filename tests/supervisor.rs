@@ -163,9 +163,11 @@ fn resilient_never_retries_a_cancellation() {
 fn a_fresh_engine_reports_every_breaker_path_closed() {
     let engine = AutoGemm::new(ChipSpec::graviton2());
     let health = engine.health();
-    assert_eq!(health.paths.len(), 4);
+    assert_eq!(health.paths.len(), 5);
     assert!(health.all_closed());
-    for name in ["simd_dispatch", "pool_alloc", "threaded_driver", "pool_submit"] {
+    for name in
+        ["simd_dispatch", "pool_alloc", "threaded_driver", "pool_submit", "verify_integrity"]
+    {
         let p = health.path(name).unwrap_or_else(|| panic!("missing path {name}"));
         assert_eq!(p.state, "closed", "{name}");
         assert_eq!((p.total_faults, p.trips), (0, 0), "{name}");

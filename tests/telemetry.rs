@@ -261,7 +261,7 @@ fn engine_reports_carry_a_health_section_that_round_trips() {
     let b = data(k * n, 22);
     let mut c = vec![0.0f32; m * n];
     let report = engine.try_gemm_traced(m, n, k, &a, &b, &mut c, 2).unwrap();
-    assert_eq!(report.health.paths.len(), 4, "engine reports name every breaker path");
+    assert_eq!(report.health.paths.len(), 5, "engine reports name every breaker path");
     assert!(report.health.all_closed());
     let text = report.to_json();
     assert!(text.contains("\"health\""), "{text}");

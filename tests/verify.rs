@@ -1,0 +1,182 @@
+//! Output-integrity properties (ISSUE 10): the Freivalds check's
+//! false-negative bound over corruption magnitudes, and verdict
+//! determinism — same inputs, same verdict, bit-for-bit, regardless of
+//! how many threads computed the output or run the check.
+//!
+//! Always-compiled (no `faultinject` needed): these drive
+//! [`autogemm::verify::verify_output`] directly on corrupted oracle
+//! products rather than injecting faults into the drivers; the injected
+//! end-to-end story lives in `tests/chaos.rs`.
+
+use autogemm::supervisor::GemmOptions;
+use autogemm::verify::{verify_output, FREIVALDS_ROUNDS};
+use autogemm::{AutoGemm, GemmError, VerifyPolicy};
+use autogemm_arch::ChipSpec;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Exactly-representable operands (integers in [-15, 15] scaled by
+/// powers of two), the repo's standard oracle-friendly generator.
+fn data(m: usize, n: usize, k: usize, seed: u32) -> (Vec<f32>, Vec<f32>) {
+    let f = |i: usize, s: u32| {
+        (((i as u32).wrapping_mul(2654435761).wrapping_add(s) >> 16) % 31) as f32 - 15.0
+    };
+    let a = (0..m * k).map(|i| f(i, seed) * 0.125).collect();
+    let b = (0..k * n).map(|i| f(i, seed ^ 0x7e57) * 0.25).collect();
+    (a, b)
+}
+
+fn naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            for j in 0..n {
+                c[i * n + j] += av * b[p * n + j];
+            }
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// False-negative bound, single-cell corruptions: a ±1 probe vector
+    /// carries any lone perturbation straight into the row residual
+    /// (`|residual| = |delta|`, sign-independent), so every corruption
+    /// above the rounding tolerance is caught — across six orders of
+    /// magnitude, any cell, any shape in the envelope, and always
+    /// within the [`FREIVALDS_ROUNDS`] budget.
+    #[test]
+    fn corruption_above_tolerance_is_always_caught(
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..13,
+        cell in 0usize..4096,
+        exp in 0i32..7,
+        negative in proptest::bool::ANY,
+        seed in 0u32..1000,
+    ) {
+        let (a, b) = data(m, n, k, seed);
+        let mut c = naive(m, n, k, &a, &b);
+        let delta = if negative { -(10f32.powi(exp)) } else { 10f32.powi(exp) };
+        c[cell % (m * n)] += delta;
+        match verify_output(m, n, k, &a, &b, &c) {
+            Err(GemmError::IntegrityViolation { check, round, max_residual }) => {
+                prop_assert_eq!(check, "freivalds");
+                prop_assert!(round < FREIVALDS_ROUNDS);
+                // The residual carries the corruption magnitude (±
+                // accumulated rounding noise far below it).
+                prop_assert!(
+                    max_residual > f64::from(delta.abs()) * 0.5,
+                    "residual {} vs delta {}", max_residual, delta
+                );
+            }
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "{m}x{n}x{k} delta {delta}: corruption missed: {other:?}"
+                )));
+            }
+        }
+    }
+
+    /// Zero false positives: clean oracle products pass at every shape
+    /// in the envelope (the tolerance really does cover `f32` GEMM
+    /// accumulation error).
+    #[test]
+    fn clean_products_never_false_positive(
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..13,
+        seed in 0u32..1000,
+    ) {
+        let (a, b) = data(m, n, k, seed);
+        let c = naive(m, n, k, &a, &b);
+        prop_assert!(verify_output(m, n, k, &a, &b, &c).is_ok());
+    }
+}
+
+/// The multi-round rationale made concrete: two opposite corruptions in
+/// one row cancel in a round whose probe signs agree on both columns
+/// (exact-arithmetic miss probability 1/2 per round), and the next
+/// round's independent signs break the cancellation. Over all column
+/// pairs of this shape, some pair must be caught only in round 1 —
+/// i.e. the second round genuinely tightens the false-negative bound.
+#[test]
+fn adversarial_cancellation_is_caught_by_a_later_round() {
+    let (m, n, k) = (8usize, 20usize, 10usize);
+    let (a, b) = data(m, n, k, 42);
+    let clean = naive(m, n, k, &a, &b);
+    let mut round1_catches = 0u32;
+    let mut caught = 0u32;
+    let mut pairs = 0u32;
+    for j1 in 0..n {
+        for j2 in (j1 + 1)..n {
+            pairs += 1;
+            let mut c = clean.clone();
+            c[3 * n + j1] += 1.0e3;
+            c[3 * n + j2] -= 1.0e3;
+            match verify_output(m, n, k, &a, &b, &c) {
+                Err(GemmError::IntegrityViolation { round, .. }) => {
+                    caught += 1;
+                    if round == 1 {
+                        round1_catches += 1;
+                    }
+                }
+                Ok(()) => {} // cancelled in every round: the 2^-rounds tail
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+    }
+    assert!(round1_catches > 0, "no pair needed round 1 ({caught}/{pairs} caught)");
+    // The probabilistic bound: ~3/4 of pairs caught with 2 rounds. Allow
+    // a wide band; the point is the tail is small, not its exact size.
+    assert!(
+        f64::from(caught) > 0.5 * f64::from(pairs),
+        "detection rate collapsed: {caught}/{pairs}"
+    );
+}
+
+/// Same seed, same verdict: the probe vectors are a pure function of
+/// `(m, n, k, round)`, so concurrent verifications of the same buffers
+/// return bit-identical verdicts — no time, RNG or scheduling leaks in.
+#[test]
+fn verdict_is_deterministic_across_concurrent_checkers() {
+    let (m, n, k) = (24usize, 20usize, 12usize);
+    let (a, b) = data(m, n, k, 7);
+    let mut c = naive(m, n, k, &a, &b);
+    c[5 * n + 3] += 1.0e3;
+    let (a, b, c) = (&a, &b, &c);
+    let verdicts: Vec<_> = std::thread::scope(|s| {
+        (0..8)
+            .map(|_| s.spawn(move || verify_output(m, n, k, a, b, c)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("checker panicked"))
+            .collect()
+    });
+    let first = &verdicts[0];
+    assert!(first.is_err());
+    for v in &verdicts {
+        assert_eq!(v, first, "verdicts diverged across threads");
+    }
+}
+
+/// Engine-level determinism: the verified engine path produces the same
+/// (passing) verdict at 1, 2 and 8 threads — thread count changes the
+/// schedule, never the attested output or the probe vectors.
+#[test]
+fn engine_verification_passes_at_every_thread_count() {
+    let engine = AutoGemm::new(ChipSpec::graviton2()).with_verify_policy(VerifyPolicy::Always);
+    let (m, n, k) = (40usize, 36usize, 24usize);
+    let (a, b) = data(m, n, k, 11);
+    let want = naive(m, n, k, &a, &b);
+    for threads in [1usize, 2, 8] {
+        let mut c = vec![0.0f32; m * n];
+        engine
+            .try_gemm_opts(m, n, k, &a, &b, &mut c, &GemmOptions::new().threads(threads))
+            .unwrap_or_else(|e| panic!("t{threads}: verified run flagged: {e:?}"));
+        assert_eq!(c, want, "t{threads}: exact-representable data must match the oracle");
+    }
+}
